@@ -1,0 +1,37 @@
+//! Ablation — attack variants.
+//!
+//! Runs the same SAMO experiment under each membership-score family (MPE,
+//! plain entropy, confidence, loss) and compares the final-round
+//! vulnerability and AUC. Expected shape: MPE and loss are the strongest
+//! (label-aware) scores; plain entropy is weakest.
+
+use glmia_bench::output::{emit, stat};
+use glmia_bench::scale::experiment;
+use glmia_core::run_experiment;
+use glmia_data::DataPreset;
+use glmia_mia::AttackKind;
+
+fn main() {
+    let mut rows = Vec::new();
+    for kind in AttackKind::ALL {
+        let config = experiment(DataPreset::Cifar10Like)
+            .with_view_size(5)
+            .with_attack(kind)
+            .with_seed(48);
+        let result = run_experiment(&config).expect("attack ablation experiment");
+        let last = result.final_round();
+        rows.push(vec![
+            kind.to_string(),
+            stat(last.mia_vulnerability),
+            stat(last.mia_auc),
+            stat(last.test_accuracy),
+        ]);
+        eprintln!("[ablation_attacks] finished {kind}");
+    }
+    emit(
+        "ablation_attacks",
+        "Ablation: attack variants (CIFAR-10-like, SAMO, static 5-regular, final round)",
+        &["attack", "MIA vuln", "AUC", "test acc"],
+        &rows,
+    );
+}

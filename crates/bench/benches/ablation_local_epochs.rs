@@ -1,0 +1,36 @@
+//! Ablation — local epochs (the overfitting knob).
+//!
+//! Sweeps the number of local epochs per update. More local work between
+//! exchanges means each shared model carries more of its owner's shard —
+//! the mechanism the paper identifies behind early-overfitting leakage.
+//! Expected shape: vulnerability grows with local epochs.
+
+use glmia_bench::output::{emit, stat};
+use glmia_bench::scale::experiment;
+use glmia_core::run_experiment;
+use glmia_data::DataPreset;
+
+fn main() {
+    let mut rows = Vec::new();
+    for epochs in [1usize, 3, 6, 12] {
+        let config = experiment(DataPreset::Cifar10Like)
+            .with_view_size(5)
+            .with_local_epochs(epochs)
+            .with_seed(50);
+        let result = run_experiment(&config).expect("local-epochs ablation experiment");
+        let last = result.final_round();
+        rows.push(vec![
+            epochs.to_string(),
+            stat(last.test_accuracy),
+            stat(last.gen_error),
+            stat(last.mia_vulnerability),
+        ]);
+        eprintln!("[ablation_local_epochs] finished epochs={epochs}");
+    }
+    emit(
+        "ablation_local_epochs",
+        "Ablation: local epochs per update (CIFAR-10-like, SAMO, static 5-regular, final round)",
+        &["local epochs", "test acc", "gen error", "MIA vuln"],
+        &rows,
+    );
+}

@@ -1,0 +1,92 @@
+//! Ablation — oracle vs transferred thresholds.
+//!
+//! The paper's MPE attack uses the oracle threshold (calibrated on the
+//! victim's own data), a worst-case bound. Here a realistic attacker
+//! calibrates on *another node's* data and transfers the threshold.
+//! Expected shape: transferred accuracy tracks the oracle closely (scores
+//! are comparable across nodes trained on the same task), confirming the
+//! oracle bound is informative rather than vacuous.
+
+use glmia_bench::output::{emit, f3};
+use glmia_bench::scale::experiment;
+use glmia_core::ExperimentConfig;
+use glmia_data::{DataPreset, Federation};
+use glmia_graph::Topology;
+use glmia_gossip::Simulation;
+use glmia_mia::{AttackKind, MiaEvaluator, TransferAttack};
+use glmia_nn::Mlp;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let config: ExperimentConfig = experiment(DataPreset::Cifar10Like)
+        .with_view_size(5)
+        .with_seed(53);
+    let mut rng = StdRng::seed_from_u64(config.seed());
+    let data_spec = config.data_spec();
+    let fed = Federation::build(
+        &data_spec,
+        config.nodes(),
+        config.train_per_node(),
+        config.test_per_node(),
+        config.partition(),
+        &mut rng,
+    )
+    .expect("federation");
+    let topo = Topology::random_regular(config.nodes(), config.view_size(), &mut rng)
+        .expect("topology");
+    let model_spec = config.model_spec().expect("model spec");
+    let mut sim = Simulation::new(config.sim_config(), &model_spec, &fed, topo, config.seed())
+        .expect("simulation");
+    let result = sim.run();
+    let snapshot = result.final_snapshot();
+
+    // Calibrate the transfer attack on node 0 (the attacker's vantage),
+    // then attack every other node; compare with the per-victim oracle.
+    let attacker_model = Mlp::from_flat(&model_spec, &snapshot.models[0]).expect("model");
+    let attacker_data = fed.node(0);
+    let transfer = TransferAttack::calibrate_on(
+        AttackKind::Mpe,
+        &attacker_model,
+        &attacker_data.train,
+        &attacker_data.test,
+    )
+    .expect("calibration");
+    let oracle = MiaEvaluator::new(AttackKind::Mpe);
+
+    let mut oracle_accs = Vec::new();
+    let mut transfer_accs = Vec::new();
+    for (i, flat) in snapshot.models.iter().enumerate().skip(1) {
+        let victim = Mlp::from_flat(&model_spec, flat).expect("model");
+        let node = fed.node(i);
+        let o = oracle
+            .evaluate(&victim, &node.train, &node.test, &mut rng)
+            .expect("oracle eval");
+        let t = transfer
+            .evaluate(&victim, &node.train, &node.test, &mut rng)
+            .expect("transfer eval");
+        oracle_accs.push(o.attack_accuracy);
+        transfer_accs.push(t.attack_accuracy);
+    }
+    let (o_mean, o_std) = glmia_dist::mean_std(&oracle_accs);
+    let (t_mean, t_std) = glmia_dist::mean_std(&transfer_accs);
+    emit(
+        "ablation_threshold_transfer",
+        "Ablation: oracle vs transferred threshold (CIFAR-10-like, SAMO, final round)",
+        &["attacker", "mean accuracy", "std", "victims"],
+        &[
+            vec![
+                "oracle (paper)".into(),
+                f3(o_mean),
+                f3(o_std),
+                oracle_accs.len().to_string(),
+            ],
+            vec![
+                "transferred from node 0".into(),
+                f3(t_mean),
+                f3(t_std),
+                transfer_accs.len().to_string(),
+            ],
+        ],
+    );
+}

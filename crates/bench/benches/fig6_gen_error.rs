@@ -1,0 +1,44 @@
+//! Figure 6 — MIA vulnerability vs generalization error.
+//!
+//! The same Base-vs-SAMO runs as Figure 2 but plotted against the mean
+//! generalization error (Eq. 7) instead of test accuracy. Expected shape:
+//! vulnerability broadly grows with generalization error, but the relation
+//! is not one-to-one — the same generalization error can carry different
+//! vulnerabilities depending on protocol and round (the paper's RQ5 point
+//! that generalization error alone does not determine privacy risk).
+
+use glmia_bench::output::{emit, stat};
+use glmia_bench::scale::experiment;
+use glmia_core::run_experiment;
+use glmia_data::DataPreset;
+use glmia_gossip::{ProtocolKind, TopologyMode};
+
+fn main() {
+    let mut rows = Vec::new();
+    for preset in DataPreset::ALL {
+        for protocol in [ProtocolKind::BaseGossip, ProtocolKind::Samo] {
+            let config = experiment(preset)
+                .with_protocol(protocol)
+                .with_topology_mode(TopologyMode::Static)
+                .with_view_size(5)
+                .with_seed(42); // same seed as fig2: these are the same runs
+            let result = run_experiment(&config).expect("figure 6 experiment");
+            for r in &result.rounds {
+                rows.push(vec![
+                    preset.to_string(),
+                    protocol.to_string(),
+                    r.round.to_string(),
+                    stat(r.gen_error),
+                    stat(r.mia_vulnerability),
+                ]);
+            }
+            eprintln!("[fig6] finished {}", config.label());
+        }
+    }
+    emit(
+        "fig6_gen_error",
+        "Figure 6: MIA vulnerability vs generalization error (Base vs SAMO)",
+        &["dataset", "protocol", "round", "gen error", "MIA vuln"],
+        &rows,
+    );
+}

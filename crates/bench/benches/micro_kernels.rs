@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks of the workspace's hot kernels: dense
+//! matmul, MPE scoring, k-regular generation, PeerSwap, mixing matvec and
+//! the Jacobi λ₂ path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use glmia_graph::Topology;
+use glmia_mia::modified_prediction_entropy;
+use glmia_nn::{Activation, Matrix, Mlp, MlpSpec, Sgd};
+use glmia_spectral::MixingMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let a = Matrix::from_vec(64, 64, (0..64 * 64).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .unwrap();
+    let b = Matrix::from_vec(64, 64, (0..64 * 64).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .unwrap();
+    c.bench_function("matmul_64x64", |bench| {
+        bench.iter(|| std::hint::black_box(a.matmul(&b).unwrap()))
+    });
+}
+
+fn bench_train_batch(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let spec = MlpSpec::new(48, &[64, 32], 10, Activation::Relu).unwrap();
+    let model = Mlp::new(&spec, &mut rng);
+    let x = Matrix::from_vec(16, 48, (0..16 * 48).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .unwrap();
+    let y: Vec<usize> = (0..16).map(|i| i % 10).collect();
+    c.bench_function("train_batch_16x48_mlp", |bench| {
+        bench.iter_batched(
+            || (model.clone(), Sgd::new(0.01)),
+            |(mut m, mut opt)| {
+                std::hint::black_box(m.train_batch(&x, &y, &mut opt));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_mpe(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut probs = vec![0.0f32; 100];
+    for p in &mut probs {
+        *p = rng.gen_range(0.0..1.0);
+    }
+    let total: f32 = probs.iter().sum();
+    for p in &mut probs {
+        *p /= total;
+    }
+    c.bench_function("mpe_100_classes", |bench| {
+        bench.iter(|| std::hint::black_box(modified_prediction_entropy(&probs, 42)))
+    });
+}
+
+fn bench_graph(c: &mut Criterion) {
+    c.bench_function("random_regular_150_k5", |bench| {
+        let mut rng = StdRng::seed_from_u64(3);
+        bench.iter(|| std::hint::black_box(Topology::random_regular(150, 5, &mut rng).unwrap()))
+    });
+    c.bench_function("peerswap_150_k5", |bench| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let topo = Topology::random_regular(150, 5, &mut rng).unwrap();
+        bench.iter_batched(
+            || topo.clone(),
+            |mut g| {
+                let i = rng.gen_range(0..g.len());
+                std::hint::black_box(g.swap_with_random_neighbor(i, &mut rng));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_spectral(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let topo = Topology::random_regular(150, 5, &mut rng).unwrap();
+    let w = MixingMatrix::from_regular(&topo).unwrap();
+    let v: Vec<f64> = (0..150).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    c.bench_function("mixing_matvec_150", |bench| {
+        bench.iter(|| std::hint::black_box(w.apply(&v)))
+    });
+    let small_topo = Topology::random_regular(40, 5, &mut rng).unwrap();
+    let small = MixingMatrix::from_regular(&small_topo).unwrap();
+    c.bench_function("jacobi_lambda2_40", |bench| {
+        bench.iter(|| std::hint::black_box(small.lambda2()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_train_batch,
+    bench_mpe,
+    bench_graph,
+    bench_spectral
+);
+criterion_main!(benches);

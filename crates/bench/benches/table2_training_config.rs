@@ -1,0 +1,46 @@
+//! Table 2 — training configuration.
+//!
+//! Prints the per-dataset training hyperparameters (the paper's Table 2
+//! values, which this reproduction reuses verbatim) plus the stand-in model
+//! architecture and its parameter count.
+
+use glmia_bench::output::emit;
+use glmia_bench::scale::experiment;
+use glmia_core::TrainingPreset;
+use glmia_data::DataPreset;
+
+fn main() {
+    let rows: Vec<Vec<String>> = DataPreset::ALL
+        .iter()
+        .map(|&preset| {
+            let t = TrainingPreset::for_dataset(preset);
+            let config = experiment(preset);
+            let model = config.model_spec().expect("preset model spec is valid");
+            vec![
+                preset.paper_name().to_string(),
+                format!("MLP {:?}", t.hidden),
+                model.num_params().to_string(),
+                format!("{}", t.learning_rate),
+                format!("{}", t.momentum),
+                format!("{:e}", t.weight_decay),
+                t.local_epochs.to_string(),
+                t.paper_rounds.to_string(),
+            ]
+        })
+        .collect();
+    emit(
+        "table2_training_config",
+        "Table 2: training configuration",
+        &[
+            "dataset",
+            "model",
+            "parameters",
+            "learning rate",
+            "momentum",
+            "weight decay",
+            "local epochs",
+            "rounds (paper)",
+        ],
+        &rows,
+    );
+}

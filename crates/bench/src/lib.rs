@@ -1,0 +1,13 @@
+//! Shared plumbing for the benchmark harness.
+//!
+//! Each `benches/*.rs` target regenerates one table or figure of the paper:
+//! it runs the corresponding experiment (at a reduced scale by default, or
+//! at the paper's full scale with `GLMIA_PAPER_SCALE=1`), prints the same
+//! rows/series the paper reports, and writes a CSV under
+//! `target/bench-results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod output;
+pub mod scale;

@@ -1,0 +1,80 @@
+//! Result printing and CSV persistence for bench targets.
+
+use std::fs;
+use std::path::PathBuf;
+
+use glmia_metrics::{render_csv, render_table};
+
+/// The directory bench results are written to (`target/bench-results`),
+/// created on first use.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    // CARGO_TARGET_DIR may relocate the target directory; otherwise it
+    // lives at the workspace root, two levels above this crate.
+    let target = std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target"));
+    let dir = target.join("bench-results");
+    fs::create_dir_all(&dir).expect("creating bench-results directory");
+    dir
+}
+
+/// Prints a titled, aligned table to stdout and saves it as
+/// `target/bench-results/<name>.csv`.
+///
+/// # Panics
+///
+/// Panics if rows are ragged or the CSV cannot be written.
+pub fn emit(name: &str, title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    print!("{}", render_table(headers, rows));
+    let path = results_dir().join(format!("{name}.csv"));
+    fs::write(&path, render_csv(headers, rows)).expect("writing bench CSV");
+    println!("[saved {}]", path.display());
+}
+
+/// Formats a float with three decimals.
+#[must_use]
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a `Stat` as `mean±std` with three decimals.
+#[must_use]
+pub fn stat(s: glmia_core::Stat) -> String {
+    format!("{:.3}±{:.3}", s.mean, s.std)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_is_creatable() {
+        let dir = results_dir();
+        assert!(dir.ends_with("bench-results"));
+        assert!(dir.exists());
+    }
+
+    #[test]
+    fn f3_formats() {
+        assert_eq!(f3(0.12345), "0.123");
+    }
+
+    #[test]
+    fn emit_writes_csv() {
+        emit(
+            "unit-test-emit",
+            "unit test",
+            &["a"],
+            &[vec!["1".into()]],
+        );
+        let path = results_dir().join("unit-test-emit.csv");
+        assert!(path.exists());
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,70 @@
+//! Bench-scale vs paper-scale experiment selection.
+
+use glmia_core::{ExperimentConfig, Lambda2Config};
+use glmia_data::DataPreset;
+use glmia_gossip::TopologyMode;
+
+/// Whether the harness should run at the paper's full scale
+/// (`GLMIA_PAPER_SCALE=1`). Default: reduced bench scale, sized for one CPU
+/// core.
+#[must_use]
+pub fn is_paper_scale() -> bool {
+    std::env::var("GLMIA_PAPER_SCALE").is_ok_and(|v| v == "1" || v == "true")
+}
+
+/// The experiment configuration for a dataset at the selected scale.
+#[must_use]
+pub fn experiment(dataset: DataPreset) -> ExperimentConfig {
+    if is_paper_scale() {
+        ExperimentConfig::paper_scale(dataset)
+    } else {
+        ExperimentConfig::bench_scale(dataset)
+    }
+}
+
+/// The λ₂ experiment configuration at the selected scale. Figure 8 is pure
+/// linear algebra, so even "bench" scale keeps the paper's 150 nodes and
+/// only trims iterations and runs.
+#[must_use]
+pub fn lambda2(view_size: usize, mode: TopologyMode, seed: u64) -> Lambda2Config {
+    if is_paper_scale() {
+        Lambda2Config {
+            nodes: 150,
+            view_size,
+            iterations: 30,
+            runs: 50,
+            mode,
+            seed,
+        }
+    } else {
+        Lambda2Config {
+            nodes: 150,
+            view_size,
+            iterations: 15,
+            runs: 10,
+            mode,
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_scale_is_default() {
+        // The test environment does not set GLMIA_PAPER_SCALE.
+        if !is_paper_scale() {
+            let c = experiment(DataPreset::Cifar10Like);
+            assert!(c.nodes() <= 32);
+        }
+    }
+
+    #[test]
+    fn lambda2_keeps_paper_node_count() {
+        let c = lambda2(2, TopologyMode::Static, 0);
+        assert_eq!(c.nodes, 150);
+        assert_eq!(c.view_size, 2);
+    }
+}

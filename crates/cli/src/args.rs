@@ -1,0 +1,146 @@
+//! A small `--key value` argument parser (the workspace's dependency set
+//! deliberately excludes a CLI framework).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    subcommand: Option<String>,
+    options: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses `args` (excluding the program name). The first non-flag token
+    /// is the subcommand; the rest must be `--key value` pairs or `--flag`
+    /// (stored with an empty value).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a positional token appears after options or a
+    /// key is repeated.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut parsed = Args::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(token) = iter.next() {
+            if let Some(key) = token.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err("empty option name '--'".into());
+                }
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next().unwrap_or_default(),
+                    _ => String::new(),
+                };
+                if parsed
+                    .options
+                    .insert(key.to_string(), value)
+                    .is_some()
+                {
+                    return Err(format!("option --{key} given twice"));
+                }
+            } else if parsed.subcommand.is_none() && parsed.options.is_empty() {
+                parsed.subcommand = Some(token);
+            } else {
+                return Err(format!("unexpected positional argument '{token}'"));
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// The subcommand, if any.
+    #[must_use]
+    pub fn subcommand(&self) -> Option<&str> {
+        self.subcommand.as_deref()
+    }
+
+    /// A raw option value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Whether a bare `--flag` was passed.
+    #[must_use]
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+
+    /// A parsed option value with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value does not parse as `T`.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: '{raw}'")),
+        }
+    }
+
+    /// Option keys that were provided but not consumed by the command's
+    /// known set — used to reject typos.
+    #[must_use]
+    pub fn unknown_keys(&self, known: &[&str]) -> Vec<String> {
+        self.options
+            .keys()
+            .filter(|k| !known.contains(&k.as_str()))
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, String> {
+        Args::parse(tokens.iter().map(|s| (*s).to_string()))
+    }
+
+    #[test]
+    fn parses_subcommand_and_options() {
+        let a = parse(&["run", "--nodes", "24", "--dynamic"]).unwrap();
+        assert_eq!(a.subcommand(), Some("run"));
+        assert_eq!(a.get("nodes"), Some("24"));
+        assert!(a.flag("dynamic"));
+        assert!(!a.flag("static"));
+    }
+
+    #[test]
+    fn get_or_parses_with_default() {
+        let a = parse(&["run", "--rounds", "7"]).unwrap();
+        assert_eq!(a.get_or("rounds", 10usize).unwrap(), 7);
+        assert_eq!(a.get_or("seed", 42u64).unwrap(), 42);
+        assert!(a.get_or("rounds", 1.5f64).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        let a = parse(&["run", "--rounds", "many"]).unwrap();
+        assert!(a.get_or("rounds", 10usize).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_keys() {
+        assert!(parse(&["run", "--k", "1", "--k", "2"]).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_positionals() {
+        assert!(parse(&["run", "--k", "1", "oops"]).is_err());
+    }
+
+    #[test]
+    fn empty_args_have_no_subcommand() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.subcommand(), None);
+    }
+
+    #[test]
+    fn unknown_keys_are_reported() {
+        let a = parse(&["run", "--nodes", "8", "--typo", "x"]).unwrap();
+        assert_eq!(a.unknown_keys(&["nodes"]), vec!["typo".to_string()]);
+    }
+}

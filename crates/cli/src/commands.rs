@@ -1,0 +1,378 @@
+//! Subcommand implementations.
+
+use glmia_core::{lambda2_series, run_experiment, ExperimentConfig, Lambda2Config};
+use glmia_data::{DataPreset, Federation, Partition};
+use glmia_gossip::{ProtocolKind, TopologyMode};
+use glmia_graph::Topology;
+use glmia_metrics::render_table;
+use glmia_mia::{AttackKind, MiaEvaluator};
+use glmia_nn::{Mlp, Sgd};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::args::Args;
+
+fn parse_dataset(raw: &str) -> Result<DataPreset, String> {
+    match raw {
+        "cifar10" => Ok(DataPreset::Cifar10Like),
+        "cifar100" => Ok(DataPreset::Cifar100Like),
+        "fashion" => Ok(DataPreset::FashionMnistLike),
+        "purchase100" => Ok(DataPreset::Purchase100Like),
+        other => Err(format!(
+            "unknown dataset '{other}' (expected cifar10|cifar100|fashion|purchase100)"
+        )),
+    }
+}
+
+fn parse_protocol(raw: &str) -> Result<ProtocolKind, String> {
+    match raw {
+        "base" => Ok(ProtocolKind::BaseGossip),
+        "samo" => Ok(ProtocolKind::Samo),
+        "somo" => Ok(ProtocolKind::SendOneMergeOnce),
+        "same" => Ok(ProtocolKind::SendAllMergeEach),
+        other => Err(format!(
+            "unknown protocol '{other}' (expected base|samo|somo|same)"
+        )),
+    }
+}
+
+fn reject_unknown(args: &Args, known: &[&str]) -> Result<(), String> {
+    let unknown = args.unknown_keys(known);
+    if unknown.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("unknown options: --{}", unknown.join(", --")))
+    }
+}
+
+/// `glmia run`
+pub fn run(args: &Args) -> Result<(), String> {
+    reject_unknown(
+        args,
+        &[
+            "dataset", "protocol", "dynamic", "k", "nodes", "rounds", "eval-every", "beta",
+            "seed", "json", "plot",
+        ],
+    )?;
+    let dataset = parse_dataset(args.get("dataset").unwrap_or("cifar10"))?;
+    let protocol = parse_protocol(args.get("protocol").unwrap_or("samo"))?;
+    let mut config = ExperimentConfig::bench_scale(dataset)
+        .with_protocol(protocol)
+        .with_topology_mode(if args.flag("dynamic") {
+            TopologyMode::Dynamic
+        } else {
+            TopologyMode::Static
+        })
+        .with_view_size(args.get_or("k", 5usize)?)
+        .with_nodes(args.get_or("nodes", 24usize)?)
+        .with_rounds(args.get_or("rounds", 40usize)?)
+        .with_eval_every(args.get_or("eval-every", 4usize)?)
+        .with_seed(args.get_or("seed", 42u64)?);
+    if let Some(beta) = args.get("beta") {
+        let beta: f64 = beta
+            .parse()
+            .map_err(|_| format!("invalid --beta '{beta}'"))?;
+        config = config.with_partition(Partition::Dirichlet { beta });
+    }
+    eprintln!("running: {}", config.label());
+    let result = run_experiment(&config).map_err(|e| e.to_string())?;
+    if args.flag("json") {
+        let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
+        println!("{json}");
+        return Ok(());
+    }
+    let rows: Vec<Vec<String>> = result
+        .rounds
+        .iter()
+        .map(|r| {
+            vec![
+                r.round.to_string(),
+                format!("{}", r.test_accuracy),
+                format!("{}", r.train_accuracy),
+                format!("{}", r.mia_vulnerability),
+                format!("{}", r.gen_error),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["round", "test acc", "train acc", "MIA vuln", "gen error"],
+            &rows,
+        )
+    );
+    if args.flag("plot") {
+        let series = vec![(config.label(), result.tradeoff_points())];
+        println!("\n{}", glmia_metrics::plot_tradeoff(&series, 60, 16));
+    }
+    let best = result
+        .best_point()
+        .ok_or_else(|| "experiment produced no rounds".to_string())?;
+    println!(
+        "\nbest: round {} — accuracy {:.3} at vulnerability {:.3}; {} models sent",
+        best.round, best.utility, best.vulnerability, result.messages_sent
+    );
+    Ok(())
+}
+
+/// `glmia compare`: run the same workload under two protocol/topology
+/// settings and overlay their tradeoff curves.
+pub fn compare(args: &Args) -> Result<(), String> {
+    reject_unknown(
+        args,
+        &["dataset", "k", "nodes", "rounds", "eval-every", "beta", "seed", "axis"],
+    )?;
+    let dataset = parse_dataset(args.get("dataset").unwrap_or("cifar10"))?;
+    let axis = args.get("axis").unwrap_or("topology");
+    let base = |config: ExperimentConfig| -> ExperimentConfig {
+        let mut config = config
+            .with_view_size(args.get_or("k", 2usize).unwrap_or(2))
+            .with_nodes(args.get_or("nodes", 24usize).unwrap_or(24))
+            .with_rounds(args.get_or("rounds", 40usize).unwrap_or(40))
+            .with_eval_every(args.get_or("eval-every", 4usize).unwrap_or(4))
+            .with_seed(args.get_or("seed", 42u64).unwrap_or(42));
+        if let Some(beta) = args.get("beta") {
+            if let Ok(beta) = beta.parse::<f64>() {
+                config = config.with_partition(Partition::Dirichlet { beta });
+            }
+        }
+        config
+    };
+    let variants: Vec<ExperimentConfig> = match axis {
+        "topology" => vec![
+            base(ExperimentConfig::bench_scale(dataset))
+                .with_topology_mode(TopologyMode::Static),
+            base(ExperimentConfig::bench_scale(dataset))
+                .with_topology_mode(TopologyMode::Dynamic),
+        ],
+        "protocol" => vec![
+            base(ExperimentConfig::bench_scale(dataset))
+                .with_protocol(ProtocolKind::BaseGossip),
+            base(ExperimentConfig::bench_scale(dataset)).with_protocol(ProtocolKind::Samo),
+        ],
+        other => {
+            return Err(format!(
+                "unknown --axis '{other}' (expected topology|protocol)"
+            ))
+        }
+    };
+    let mut series = Vec::new();
+    for config in variants {
+        eprintln!("running: {}", config.label());
+        let result = run_experiment(&config).map_err(|e| e.to_string())?;
+        let best = result
+            .best_point()
+            .ok_or_else(|| "experiment produced no rounds".to_string())?;
+        println!(
+            "{:<50} max acc {:.3} @ vuln {:.3} ({} models sent)",
+            config.label(),
+            best.utility,
+            best.vulnerability,
+            result.messages_sent
+        );
+        series.push((config.label(), result.tradeoff_points()));
+    }
+    println!("\n{}", glmia_metrics::plot_tradeoff(&series, 60, 16));
+    Ok(())
+}
+
+/// `glmia lambda2`
+pub fn lambda2(args: &Args) -> Result<(), String> {
+    reject_unknown(args, &["k", "nodes", "iterations", "runs", "dynamic", "seed"])?;
+    let config = Lambda2Config {
+        nodes: args.get_or("nodes", 150usize)?,
+        view_size: args.get_or("k", 2usize)?,
+        iterations: args.get_or("iterations", 15usize)?,
+        runs: args.get_or("runs", 10usize)?,
+        mode: if args.flag("dynamic") {
+            TopologyMode::Dynamic
+        } else {
+            TopologyMode::Static
+        },
+        seed: args.get_or("seed", 42u64)?,
+    };
+    let series = lambda2_series(&config).map_err(|e| e.to_string())?;
+    let rows: Vec<Vec<String>> = series
+        .mean
+        .iter()
+        .zip(&series.std)
+        .enumerate()
+        .map(|(t, (m, s))| vec![(t + 1).to_string(), format!("{m:.6}"), format!("{s:.6}")])
+        .collect();
+    print!(
+        "{}",
+        render_table(&["iterations", "λ₂(W*)", "std"], &rows)
+    );
+    Ok(())
+}
+
+/// `glmia attack`
+pub fn attack(args: &Args) -> Result<(), String> {
+    reject_unknown(args, &["dataset", "epochs", "samples", "seed"])?;
+    let dataset = parse_dataset(args.get("dataset").unwrap_or("cifar10"))?;
+    let epochs: usize = args.get_or("epochs", 100usize)?;
+    let samples: usize = args.get_or("samples", 64usize)?;
+    let seed: u64 = args.get_or("seed", 42u64)?;
+    if samples == 0 || epochs == 0 {
+        return Err("--samples and --epochs must be positive".into());
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = ExperimentConfig::bench_scale(dataset);
+    let data_spec = config.data_spec();
+    let fed = Federation::build(&data_spec, 2, samples, samples, Partition::Iid, &mut rng)
+        .map_err(|e| e.to_string())?;
+    let node = fed.node(0);
+    let model_spec = config.model_spec().map_err(|e| e.to_string())?;
+    let mut victim = Mlp::new(&model_spec, &mut rng);
+    let training = config.training();
+    let mut opt = Sgd::new(training.learning_rate)
+        .with_weight_decay(training.weight_decay);
+    if training.momentum > 0.0 {
+        opt = opt.with_momentum(training.momentum);
+    }
+    for _ in 0..epochs {
+        victim.train_epoch(node.train.features(), node.train.labels(), 16, &mut opt, &mut rng);
+    }
+    println!(
+        "victim after {epochs} epochs: train acc {:.3}, local test acc {:.3}",
+        victim.accuracy(node.train.features(), node.train.labels()),
+        victim.accuracy(node.test.features(), node.test.labels()),
+    );
+    let rows: Vec<Vec<String>> = AttackKind::ALL
+        .iter()
+        .map(|&kind| {
+            let result = MiaEvaluator::new(kind)
+                .evaluate(&victim, &node.train, &node.test, &mut rng)
+                .map_err(|e| e.to_string())?;
+            Ok(vec![
+                kind.to_string(),
+                format!("{:.3}", result.attack_accuracy),
+                format!("{:.3}", result.auc),
+                format!("{:.4}", result.threshold),
+            ])
+        })
+        .collect::<Result<_, String>>()?;
+    print!(
+        "{}",
+        render_table(&["attack", "accuracy", "AUC", "threshold"], &rows)
+    );
+    Ok(())
+}
+
+/// `glmia topo`
+pub fn topo(args: &Args) -> Result<(), String> {
+    reject_unknown(args, &["nodes", "k", "swaps", "seed"])?;
+    let nodes: usize = args.get_or("nodes", 24usize)?;
+    let k: usize = args.get_or("k", 4usize)?;
+    let swaps: usize = args.get_or("swaps", 0usize)?;
+    let seed: u64 = args.get_or("seed", 42u64)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Topology::random_regular(nodes, k, &mut rng).map_err(|e| e.to_string())?;
+    for _ in 0..swaps {
+        let i = rand::Rng::gen_range(&mut rng, 0..g.len());
+        g.swap_with_random_neighbor(i, &mut rng);
+    }
+    let stats = g.stats();
+    let w = glmia_spectral::MixingMatrix::from_regular(&g).map_err(|e| e.to_string())?;
+    println!(
+        "random {k}-regular graph on {nodes} nodes after {swaps} PeerSwap steps:\n\
+         edges: {}\n\
+         connected: {}\n\
+         diameter: {}\n\
+         average path length: {}\n\
+         clustering coefficient: {:.4}\n\
+         λ₂(W): {:.6}   spectral gap: {:.6}",
+        stats.edges,
+        g.is_connected(),
+        stats.diameter.map_or("∞".into(), |d| d.to_string()),
+        stats
+            .average_path_length
+            .map_or("—".into(), |l| format!("{l:.3}")),
+        stats.clustering_coefficient,
+        w.lambda2(),
+        w.spectral_gap(),
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| (*s).to_string())).unwrap()
+    }
+
+    #[test]
+    fn dataset_names_parse() {
+        assert_eq!(parse_dataset("cifar10").unwrap(), DataPreset::Cifar10Like);
+        assert_eq!(parse_dataset("cifar100").unwrap(), DataPreset::Cifar100Like);
+        assert_eq!(
+            parse_dataset("fashion").unwrap(),
+            DataPreset::FashionMnistLike
+        );
+        assert_eq!(
+            parse_dataset("purchase100").unwrap(),
+            DataPreset::Purchase100Like
+        );
+        assert!(parse_dataset("mnist").is_err());
+    }
+
+    #[test]
+    fn protocol_names_parse() {
+        assert_eq!(parse_protocol("base").unwrap(), ProtocolKind::BaseGossip);
+        assert_eq!(parse_protocol("samo").unwrap(), ProtocolKind::Samo);
+        assert_eq!(
+            parse_protocol("somo").unwrap(),
+            ProtocolKind::SendOneMergeOnce
+        );
+        assert_eq!(
+            parse_protocol("same").unwrap(),
+            ProtocolKind::SendAllMergeEach
+        );
+        assert!(parse_protocol("push-pull").is_err());
+    }
+
+    #[test]
+    fn unknown_options_are_rejected() {
+        let a = args(&["run", "--nodse", "8"]);
+        assert!(run(&a).is_err());
+        let a = args(&["lambda2", "--oops"]);
+        assert!(lambda2(&a).is_err());
+    }
+
+    #[test]
+    fn topo_runs_end_to_end() {
+        let a = args(&["topo", "--nodes", "12", "--k", "2", "--swaps", "3"]);
+        assert!(topo(&a).is_ok());
+    }
+
+    #[test]
+    fn lambda2_runs_small() {
+        let a = args(&[
+            "lambda2",
+            "--nodes",
+            "16",
+            "--k",
+            "2",
+            "--iterations",
+            "3",
+            "--runs",
+            "2",
+        ]);
+        assert!(lambda2(&a).is_ok());
+    }
+
+    #[test]
+    fn attack_rejects_zero_samples() {
+        let a = args(&["attack", "--samples", "0"]);
+        assert!(attack(&a).is_err());
+    }
+
+    #[test]
+    fn compare_rejects_unknown_axis() {
+        let a = args(&["compare", "--axis", "weather"]);
+        assert!(compare(&a).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! `glmia` — command-line front end for the gossip-learning / MIA lab.
+//!
+//! ```text
+//! glmia run      --dataset cifar10 --protocol samo --dynamic --k 5 ...
+//! glmia lambda2  --k 2 --nodes 150 --iterations 15 --runs 10 --dynamic
+//! glmia attack   --dataset purchase100 --epochs 100
+//! glmia topo     --nodes 24 --k 4
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+use args::Args;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Args::parse(argv) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            print_usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match parsed.subcommand() {
+        Some("run") => commands::run(&parsed),
+        Some("compare") => commands::compare(&parsed),
+        Some("lambda2") => commands::lambda2(&parsed),
+        Some("attack") => commands::attack(&parsed),
+        Some("topo") => commands::topo(&parsed),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand '{other}'")),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "glmia — gossip learning & membership-inference-attack laboratory
+
+USAGE:
+    glmia <SUBCOMMAND> [--key value]...
+
+SUBCOMMANDS:
+    run       run a gossip-learning experiment and report per-round
+              accuracy / MIA vulnerability / generalization error
+              --dataset cifar10|cifar100|fashion|purchase100 (default cifar10)
+              --protocol base|samo|somo|same     (default samo)
+              --dynamic                          (default static)
+              --k <view size>                    (default 5)
+              --nodes <n>                        (default 24)
+              --rounds <r>                       (default 40)
+              --eval-every <r>                   (default 4)
+              --beta <dirichlet β>               (default: IID)
+              --seed <s>                         (default 42)
+              --json                             emit JSON instead of a table
+              --plot                             draw an ASCII tradeoff scatter
+
+    compare   run the same workload under two settings and overlay the
+              privacy/utility curves on one ASCII plot
+              --axis topology|protocol           (default topology)
+              plus the run options: --dataset --k --nodes --rounds
+              --eval-every --beta --seed
+
+    lambda2   measure λ₂(W*) decay over iterations (the paper's Figure 8)
+              --k <degree> --nodes <n> --iterations <T> --runs <R>
+              --dynamic --seed <s>
+
+    attack    overfit one model on a local shard and run all MIA variants
+              --dataset ... --epochs <e> --samples <n> --seed <s>
+
+    topo      generate a random k-regular topology and print its stats
+              --nodes <n> --k <degree> --swaps <peer swaps> --seed <s>
+
+    help      show this message"
+    );
+}

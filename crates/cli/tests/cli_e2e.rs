@@ -1,0 +1,95 @@
+//! End-to-end tests of the `glmia` binary.
+
+use std::process::Command;
+
+fn glmia(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_glmia"))
+        .args(args)
+        .output()
+        .expect("running glmia binary")
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = glmia(&["help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("SUBCOMMANDS"));
+    assert!(stdout.contains("lambda2"));
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = glmia(&[]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn unknown_subcommand_fails() {
+    let out = glmia(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+}
+
+#[test]
+fn unknown_option_fails_with_message() {
+    let out = glmia(&["run", "--nodse", "8"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown options"));
+}
+
+#[test]
+fn topo_reports_statistics() {
+    let out = glmia(&["topo", "--nodes", "16", "--k", "4", "--seed", "3"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("connected: true"));
+    assert!(stdout.contains("λ₂(W)"));
+}
+
+#[test]
+fn lambda2_emits_series() {
+    let out = glmia(&[
+        "lambda2", "--nodes", "16", "--k", "2", "--iterations", "4", "--runs", "2",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Header plus rule plus 4 iterations.
+    assert_eq!(stdout.lines().count(), 6, "{stdout}");
+}
+
+#[test]
+fn run_small_experiment_emits_json() {
+    let out = glmia(&[
+        "run",
+        "--dataset",
+        "fashion",
+        "--nodes",
+        "6",
+        "--k",
+        "2",
+        "--rounds",
+        "2",
+        "--eval-every",
+        "1",
+        "--json",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let value: serde_json::Value =
+        serde_json::from_str(&stdout).expect("valid JSON from --json run");
+    assert_eq!(value["rounds"].as_array().map(Vec::len), Some(2));
+}
+
+#[test]
+fn seeded_runs_are_reproducible() {
+    let args = [
+        "run", "--dataset", "fashion", "--nodes", "6", "--k", "2", "--rounds", "2",
+        "--eval-every", "1", "--seed", "9", "--json",
+    ];
+    let a = glmia(&args);
+    let b = glmia(&args);
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(a.stdout, b.stdout);
+}

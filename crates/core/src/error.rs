@@ -1,0 +1,80 @@
+//! Unified error type for the experiment layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by experiment construction or execution; wraps the
+/// substrate crates' error types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreError {
+    message: String,
+}
+
+impl CoreError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for CoreError {}
+
+impl From<glmia_data::DataError> for CoreError {
+    fn from(e: glmia_data::DataError) -> Self {
+        Self::new(format!("data: {e}"))
+    }
+}
+
+impl From<glmia_graph::GraphError> for CoreError {
+    fn from(e: glmia_graph::GraphError) -> Self {
+        Self::new(format!("graph: {e}"))
+    }
+}
+
+impl From<glmia_gossip::GossipError> for CoreError {
+    fn from(e: glmia_gossip::GossipError) -> Self {
+        Self::new(format!("gossip: {e}"))
+    }
+}
+
+impl From<glmia_nn::NnError> for CoreError {
+    fn from(e: glmia_nn::NnError) -> Self {
+        Self::new(format!("nn: {e}"))
+    }
+}
+
+impl From<glmia_mia::MiaError> for CoreError {
+    fn from(e: glmia_mia::MiaError) -> Self {
+        Self::new(format!("mia: {e}"))
+    }
+}
+
+impl From<glmia_spectral::SpectralError> for CoreError {
+    fn from(e: glmia_spectral::SpectralError) -> Self {
+        Self::new(format!("spectral: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<CoreError>();
+    }
+
+    #[test]
+    fn wraps_substrate_errors_with_prefix() {
+        let e: CoreError = glmia_data::Dataset::empty(4, 1).unwrap_err().into();
+        assert!(e.to_string().starts_with("data: "));
+    }
+}

@@ -1,0 +1,207 @@
+//! The §4 spectral experiment: λ₂(W*) versus iterations (Figure 8).
+
+use glmia_graph::Topology;
+use glmia_spectral::{product_contraction, MixingMatrix, ProductContractionOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::CoreError;
+
+/// Configuration of one λ₂(W*) decay measurement.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_core::{lambda2_series, Lambda2Config};
+/// use glmia_gossip::TopologyMode;
+///
+/// let config = Lambda2Config {
+///     nodes: 30,
+///     view_size: 2,
+///     iterations: 8,
+///     runs: 5,
+///     mode: TopologyMode::Dynamic,
+///     seed: 0,
+/// };
+/// let series = lambda2_series(&config)?;
+/// assert_eq!(series.mean.len(), 8);
+/// // Contraction decays with more iterations.
+/// assert!(series.mean[7] < series.mean[0]);
+/// # Ok::<(), glmia_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lambda2Config {
+    /// Number of nodes `n` (the paper uses 150).
+    pub nodes: usize,
+    /// Regular-graph degree `k ∈ {2, 5, 10, 25}` in the paper.
+    pub view_size: usize,
+    /// Maximum number of synchronous iterations `T`.
+    pub iterations: usize,
+    /// Independent runs to average (the paper uses 50).
+    pub runs: usize,
+    /// Static (one `W` reused) or dynamic (random node permutation each
+    /// iteration, the idealized PeerSwap limit of §4).
+    pub mode: glmia_gossip::TopologyMode,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// λ₂(W*) as a function of the iteration count, averaged over runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lambda2Series {
+    /// The configuration that produced the series.
+    pub config: Lambda2Config,
+    /// `mean[t]` is the mean contraction of the length-`t+1` product.
+    pub mean: Vec<f64>,
+    /// Population standard deviation across runs, same indexing.
+    pub std: Vec<f64>,
+}
+
+/// Measures the decay of λ₂(W*) (precisely: the contraction coefficient
+/// σ₂ of the mixing product, which equals |λ₂| per symmetric factor) over
+/// `iterations` synchronous gossip steps, averaged over `runs` independent
+/// random k-regular graphs — the paper's Figure 8.
+///
+/// In the static mode the same mixing matrix is reused each iteration; in
+/// the dynamic mode the graph's node labels are randomly permuted between
+/// iterations, the idealized model of PeerSwap dynamics used by §4 ("all
+/// nodes are randomly permuted at each iteration").
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the regular-graph parameters are infeasible.
+pub fn lambda2_series(config: &Lambda2Config) -> Result<Lambda2Series, CoreError> {
+    if config.iterations == 0 || config.runs == 0 {
+        return Err(CoreError::new("iterations and runs must be positive"));
+    }
+    let mut master = StdRng::seed_from_u64(config.seed);
+    // per_run[r][t] = contraction of the length-(t+1) product in run r.
+    let mut per_run: Vec<Vec<f64>> = Vec::with_capacity(config.runs);
+    let opts = ProductContractionOptions::default();
+    for _ in 0..config.runs {
+        let mut rng = StdRng::seed_from_u64(master.gen());
+        let base = Topology::random_regular(config.nodes, config.view_size, &mut rng)?;
+        let mut sequence: Vec<MixingMatrix> = Vec::with_capacity(config.iterations);
+        let mut values = Vec::with_capacity(config.iterations);
+        let mut topo = base;
+        for t in 0..config.iterations {
+            sequence.push(MixingMatrix::from_regular(&topo)?);
+            values.push(product_contraction(&sequence, opts, &mut rng)?);
+            if config.mode == glmia_gossip::TopologyMode::Dynamic && t + 1 < config.iterations {
+                topo = permute_topology(&topo, &mut rng);
+            }
+        }
+        per_run.push(values);
+    }
+    let mut mean = Vec::with_capacity(config.iterations);
+    let mut std = Vec::with_capacity(config.iterations);
+    for t in 0..config.iterations {
+        let column: Vec<f64> = per_run.iter().map(|run| run[t]).collect();
+        let (m, s) = glmia_dist::mean_std(&column);
+        mean.push(m);
+        std.push(s);
+    }
+    Ok(Lambda2Series {
+        config: *config,
+        mean,
+        std,
+    })
+}
+
+/// Relabels all nodes with a uniformly random permutation, preserving the
+/// graph structure (the §4 idealization of PeerSwap dynamics).
+fn permute_topology<R: Rng + ?Sized>(topology: &Topology, rng: &mut R) -> Topology {
+    let n = topology.len();
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    let mut views = vec![Vec::new(); n];
+    for i in 0..n {
+        views[perm[i]] = topology.view(i).iter().map(|&j| perm[j]).collect();
+    }
+    Topology::from_views(views).expect("permutation preserves validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glmia_gossip::TopologyMode;
+
+    fn config(mode: TopologyMode, k: usize) -> Lambda2Config {
+        Lambda2Config {
+            nodes: 24,
+            view_size: k,
+            iterations: 6,
+            runs: 4,
+            mode,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn series_has_expected_shape() {
+        let s = lambda2_series(&config(TopologyMode::Static, 2)).unwrap();
+        assert_eq!(s.mean.len(), 6);
+        assert_eq!(s.std.len(), 6);
+        assert!(s.mean.iter().all(|&m| (0.0..=1.0 + 1e-9).contains(&m)));
+    }
+
+    #[test]
+    fn contraction_decays_monotonically_in_iterations() {
+        let s = lambda2_series(&config(TopologyMode::Static, 5)).unwrap();
+        for w in s.mean.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "{:?}", s.mean);
+        }
+    }
+
+    #[test]
+    fn dynamic_beats_static_on_sparse_graphs() {
+        // The headline claim of §4 / Figure 8.
+        let st = lambda2_series(&config(TopologyMode::Static, 2)).unwrap();
+        let dy = lambda2_series(&config(TopologyMode::Dynamic, 2)).unwrap();
+        let last = st.mean.len() - 1;
+        assert!(
+            dy.mean[last] < st.mean[last],
+            "dynamic {} should be below static {}",
+            dy.mean[last],
+            st.mean[last]
+        );
+    }
+
+    #[test]
+    fn denser_graphs_mix_faster() {
+        let sparse = lambda2_series(&config(TopologyMode::Static, 2)).unwrap();
+        let dense = lambda2_series(&config(TopologyMode::Static, 10)).unwrap();
+        assert!(dense.mean[0] < sparse.mean[0]);
+    }
+
+    #[test]
+    fn permutation_preserves_structure() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = Topology::random_regular(20, 4, &mut rng).unwrap();
+        let p = permute_topology(&g, &mut rng);
+        assert!(p.is_regular(4));
+        assert!(p.invariants_hold());
+        assert_eq!(p.edges().len(), g.edges().len());
+    }
+
+    #[test]
+    fn zero_iterations_errors() {
+        let mut c = config(TopologyMode::Static, 2);
+        c.iterations = 0;
+        assert!(lambda2_series(&c).is_err());
+        let mut c = config(TopologyMode::Static, 2);
+        c.runs = 0;
+        assert!(lambda2_series(&c).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = lambda2_series(&config(TopologyMode::Dynamic, 2)).unwrap();
+        let b = lambda2_series(&config(TopologyMode::Dynamic, 2)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,132 @@
+//! The paper's per-dataset training configuration (Table 2).
+
+use glmia_data::DataPreset;
+use glmia_nn::Activation;
+use serde::{Deserialize, Serialize};
+
+/// The training hyperparameters the paper uses for one dataset (Table 2),
+/// plus the model architecture stand-in.
+///
+/// The paper's models (light CNNs, ResNet-8, a 4-layer MLP) are replaced by
+/// MLPs sized to the synthetic stand-in tasks; learning rate, momentum,
+/// weight decay, local epochs and round counts are kept at the paper's
+/// values.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_core::TrainingPreset;
+/// use glmia_data::DataPreset;
+///
+/// let t = TrainingPreset::for_dataset(DataPreset::Cifar100Like);
+/// assert_eq!(t.learning_rate, 0.001);
+/// assert_eq!(t.momentum, 0.9);
+/// assert_eq!(t.paper_rounds, 500);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingPreset {
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// SGD weight decay.
+    pub weight_decay: f32,
+    /// Local epochs per update.
+    pub local_epochs: usize,
+    /// Rounds the paper trains for.
+    pub paper_rounds: usize,
+    /// Nodes the paper simulates (150; 60 for CIFAR-100).
+    pub paper_nodes: usize,
+    /// Hidden-layer widths of the stand-in MLP.
+    pub hidden: Vec<usize>,
+    /// Dropout probability on hidden activations (0 = the paper's setup).
+    pub dropout: f32,
+    /// Hidden activation.
+    pub activation: Activation,
+}
+
+impl TrainingPreset {
+    /// The paper's Table 2 row for `dataset`.
+    #[must_use]
+    pub fn for_dataset(dataset: DataPreset) -> Self {
+        match dataset {
+            DataPreset::Cifar10Like => Self {
+                learning_rate: 0.01,
+                momentum: 0.0,
+                weight_decay: 5e-4,
+                local_epochs: 3,
+                paper_rounds: 250,
+                paper_nodes: 150,
+                hidden: vec![64, 32],
+                dropout: 0.0,
+                activation: Activation::Relu,
+            },
+            DataPreset::Cifar100Like => Self {
+                learning_rate: 0.001,
+                momentum: 0.9,
+                weight_decay: 5e-4,
+                local_epochs: 5,
+                paper_rounds: 500,
+                paper_nodes: 60,
+                hidden: vec![96, 64],
+                dropout: 0.0,
+                activation: Activation::Relu,
+            },
+            DataPreset::FashionMnistLike => Self {
+                learning_rate: 0.01,
+                momentum: 0.0,
+                weight_decay: 5e-4,
+                local_epochs: 3,
+                paper_rounds: 250,
+                paper_nodes: 150,
+                hidden: vec![48, 24],
+                dropout: 0.0,
+                activation: Activation::Relu,
+            },
+            DataPreset::Purchase100Like => Self {
+                learning_rate: 0.01,
+                momentum: 0.9,
+                weight_decay: 5e-4,
+                local_epochs: 10,
+                paper_rounds: 250,
+                paper_nodes: 150,
+                // The paper uses Nasr et al.'s 4-layer fully-connected net.
+                hidden: vec![128, 64, 32],
+                dropout: 0.0,
+                activation: Activation::Relu,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values_match_paper() {
+        let c10 = TrainingPreset::for_dataset(DataPreset::Cifar10Like);
+        assert_eq!(
+            (c10.learning_rate, c10.momentum, c10.local_epochs, c10.paper_rounds),
+            (0.01, 0.0, 3, 250)
+        );
+        let c100 = TrainingPreset::for_dataset(DataPreset::Cifar100Like);
+        assert_eq!(
+            (c100.learning_rate, c100.momentum, c100.local_epochs, c100.paper_rounds),
+            (0.001, 0.9, 5, 500)
+        );
+        assert_eq!(c100.paper_nodes, 60);
+        let fm = TrainingPreset::for_dataset(DataPreset::FashionMnistLike);
+        assert_eq!(fm.paper_nodes, 150);
+        let p100 = TrainingPreset::for_dataset(DataPreset::Purchase100Like);
+        assert_eq!(p100.local_epochs, 10);
+        assert_eq!(p100.hidden.len(), 3, "4-layer fully-connected stand-in");
+    }
+
+    #[test]
+    fn all_presets_share_weight_decay() {
+        for d in DataPreset::ALL {
+            assert_eq!(TrainingPreset::for_dataset(d).weight_decay, 5e-4);
+        }
+    }
+}

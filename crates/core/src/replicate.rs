@@ -1,0 +1,142 @@
+//! Multi-seed replication: run a configuration across independent seeds
+//! and aggregate, giving the error bars the paper reports over repeated
+//! runs.
+
+use glmia_dist::mean_std;
+use serde::{Deserialize, Serialize};
+
+use crate::{run_experiment, CoreError, ExperimentConfig, ExperimentResult, Stat};
+
+/// Per-round metrics aggregated *across seeds* (each seed's value is its
+/// own across-node mean).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplicatedRound {
+    /// The 1-based communication round.
+    pub round: usize,
+    /// Across-seed statistics of the mean test accuracy.
+    pub test_accuracy: Stat,
+    /// Across-seed statistics of the mean MIA vulnerability.
+    pub mia_vulnerability: Stat,
+    /// Across-seed statistics of the mean generalization error.
+    pub gen_error: Stat,
+}
+
+/// The outcome of a replicated experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicatedResult {
+    /// The base configuration (its seed field is the first seed used).
+    pub config: ExperimentConfig,
+    /// Seeds that were run.
+    pub seeds: Vec<u64>,
+    /// Per-round aggregates across seeds.
+    pub rounds: Vec<ReplicatedRound>,
+    /// The individual per-seed results.
+    pub runs: Vec<ExperimentResult>,
+}
+
+/// Runs `config` under each seed `base_seed..base_seed + replicas` and
+/// aggregates per-round metrics across seeds.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if `replicas == 0` or any replica fails.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_core::{replicate_experiment, ExperimentConfig};
+/// use glmia_data::DataPreset;
+///
+/// let config = ExperimentConfig::quick_test(DataPreset::Cifar10Like);
+/// let replicated = replicate_experiment(&config, 2)?;
+/// assert_eq!(replicated.runs.len(), 2);
+/// assert_eq!(replicated.rounds.len(), replicated.runs[0].rounds.len());
+/// # Ok::<(), glmia_core::CoreError>(())
+/// ```
+pub fn replicate_experiment(
+    config: &ExperimentConfig,
+    replicas: usize,
+) -> Result<ReplicatedResult, CoreError> {
+    if replicas == 0 {
+        return Err(CoreError::new("replicas must be positive"));
+    }
+    let base_seed = config.seed();
+    let mut runs = Vec::with_capacity(replicas);
+    let mut seeds = Vec::with_capacity(replicas);
+    for r in 0..replicas {
+        let seed = base_seed.wrapping_add(r as u64);
+        seeds.push(seed);
+        runs.push(run_experiment(&config.clone().with_seed(seed))?);
+    }
+    // All runs share the eval schedule, so aggregate by index.
+    let n_rounds = runs[0].rounds.len();
+    if runs.iter().any(|r| r.rounds.len() != n_rounds) {
+        return Err(CoreError::new(
+            "replicas produced differing evaluation schedules",
+        ));
+    }
+    let mut rounds = Vec::with_capacity(n_rounds);
+    for i in 0..n_rounds {
+        let acc: Vec<f64> = runs.iter().map(|r| r.rounds[i].test_accuracy.mean).collect();
+        let vuln: Vec<f64> = runs
+            .iter()
+            .map(|r| r.rounds[i].mia_vulnerability.mean)
+            .collect();
+        let gen: Vec<f64> = runs.iter().map(|r| r.rounds[i].gen_error.mean).collect();
+        let stat = |xs: &[f64]| {
+            let (mean, std) = mean_std(xs);
+            Stat { mean, std }
+        };
+        rounds.push(ReplicatedRound {
+            round: runs[0].rounds[i].round,
+            test_accuracy: stat(&acc),
+            mia_vulnerability: stat(&vuln),
+            gen_error: stat(&gen),
+        });
+    }
+    Ok(ReplicatedResult {
+        config: config.clone(),
+        seeds,
+        rounds,
+        runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glmia_data::DataPreset;
+
+    #[test]
+    fn zero_replicas_errors() {
+        let config = ExperimentConfig::quick_test(DataPreset::Cifar10Like);
+        assert!(replicate_experiment(&config, 0).is_err());
+    }
+
+    #[test]
+    fn replicas_use_distinct_seeds() {
+        let config = ExperimentConfig::quick_test(DataPreset::Cifar10Like).with_seed(500);
+        let rep = replicate_experiment(&config, 3).unwrap();
+        assert_eq!(rep.seeds, vec![500, 501, 502]);
+        assert_ne!(rep.runs[0], rep.runs[1]);
+    }
+
+    #[test]
+    fn aggregate_mean_matches_manual_average() {
+        let config = ExperimentConfig::quick_test(DataPreset::Cifar10Like).with_seed(600);
+        let rep = replicate_experiment(&config, 2).unwrap();
+        for (i, round) in rep.rounds.iter().enumerate() {
+            let manual = (rep.runs[0].rounds[i].test_accuracy.mean
+                + rep.runs[1].rounds[i].test_accuracy.mean)
+                / 2.0;
+            assert!((round.test_accuracy.mean - manual).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_replica_has_zero_std() {
+        let config = ExperimentConfig::quick_test(DataPreset::Cifar10Like).with_seed(700);
+        let rep = replicate_experiment(&config, 1).unwrap();
+        assert!(rep.rounds.iter().all(|r| r.test_accuracy.std == 0.0));
+    }
+}

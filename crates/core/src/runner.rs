@@ -1,0 +1,368 @@
+//! The end-to-end experiment runner: simulate, then replay the omniscient
+//! attacker over every recorded round.
+
+use glmia_data::Federation;
+use glmia_dist::mean_std;
+use glmia_graph::Topology;
+use glmia_gossip::{RoundSnapshot, Simulation};
+use glmia_metrics::{accuracy, best_utility_point, generalization_error, TradeoffPoint};
+use glmia_mia::MiaEvaluator;
+use glmia_nn::Mlp;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::{AttackSurface, CoreError, ExperimentConfig};
+
+/// A mean ± population-standard-deviation pair aggregated over nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Stat {
+    /// Mean over nodes.
+    pub mean: f64,
+    /// Population standard deviation over nodes.
+    pub std: f64,
+}
+
+impl Stat {
+    fn of(values: &[f64]) -> Self {
+        let (mean, std) = mean_std(values);
+        Self { mean, std }
+    }
+}
+
+impl std::fmt::Display for Stat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}±{:.3}", self.mean, self.std)
+    }
+}
+
+/// The omniscient attacker's measurements for one evaluated round,
+/// aggregated over all nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundEval {
+    /// The 1-based communication round.
+    pub round: usize,
+    /// Mean top-1 accuracy on the shared global test set (utility, Eq. 5).
+    pub test_accuracy: Stat,
+    /// Mean accuracy on each node's own training shard.
+    pub train_accuracy: Stat,
+    /// Mean MPE-attack accuracy over nodes (privacy, Eq. 6).
+    pub mia_vulnerability: Stat,
+    /// Mean attack AUC over nodes (threshold-free leakage).
+    pub mia_auc: Stat,
+    /// Mean generalization error over nodes (Eq. 7).
+    pub gen_error: Stat,
+}
+
+/// The outcome of one experiment: per-round evaluations plus run-level
+/// counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// The configuration that produced this result.
+    pub config: ExperimentConfig,
+    /// One entry per evaluated round, in round order.
+    pub rounds: Vec<RoundEval>,
+    /// Total models sent (communication cost).
+    pub messages_sent: u64,
+    /// Models dropped by failure injection.
+    pub messages_dropped: u64,
+}
+
+impl ExperimentResult {
+    /// The privacy/utility tradeoff curve: one point per evaluated round
+    /// (utility = mean test accuracy, vulnerability = mean MIA accuracy) —
+    /// the data behind the paper's Figures 2, 3 and 5.
+    #[must_use]
+    pub fn tradeoff_points(&self) -> Vec<TradeoffPoint> {
+        self.rounds
+            .iter()
+            .map(|r| TradeoffPoint {
+                round: r.round,
+                utility: r.test_accuracy.mean,
+                vulnerability: r.mia_vulnerability.mean,
+            })
+            .collect()
+    }
+
+    /// The generalization-error tradeoff curve (x = mean gen error, y =
+    /// mean MIA accuracy) — the data behind Figure 6.
+    #[must_use]
+    pub fn gen_error_points(&self) -> Vec<TradeoffPoint> {
+        self.rounds
+            .iter()
+            .map(|r| TradeoffPoint {
+                round: r.round,
+                utility: r.gen_error.mean,
+                vulnerability: r.mia_vulnerability.mean,
+            })
+            .collect()
+    }
+
+    /// The round with maximum mean test accuracy and its vulnerability —
+    /// the summary statistic of Figure 4.
+    #[must_use]
+    pub fn best_point(&self) -> Option<TradeoffPoint> {
+        best_utility_point(&self.tradeoff_points())
+    }
+
+    /// The final evaluated round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result holds no rounds (cannot happen for a value
+    /// returned by [`run_experiment`]).
+    #[must_use]
+    pub fn final_round(&self) -> &RoundEval {
+        self.rounds.last().expect("experiments evaluate at least one round")
+    }
+
+    /// Renders the per-round evaluations as an aligned plain-text table.
+    #[must_use]
+    pub fn summary_table(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rounds
+            .iter()
+            .map(|r| {
+                vec![
+                    r.round.to_string(),
+                    r.test_accuracy.to_string(),
+                    r.train_accuracy.to_string(),
+                    r.mia_vulnerability.to_string(),
+                    r.mia_auc.to_string(),
+                    r.gen_error.to_string(),
+                ]
+            })
+            .collect();
+        glmia_metrics::render_table(
+            &["round", "test acc", "train acc", "MIA vuln", "MIA AUC", "gen error"],
+            &rows,
+        )
+    }
+}
+
+/// Runs one experiment end to end.
+///
+/// Pipeline: build the federation and k-regular topology from the config's
+/// seed, simulate the gossip protocol for the configured rounds, and at
+/// every `eval_every`-th round (plus the final round) replay the paper's
+/// omniscient attacker: reconstruct each node's model from the snapshot and
+/// measure global-test accuracy, local train accuracy, MPE-attack
+/// accuracy/AUC against the node's member/non-member pools, and
+/// generalization error.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if any substrate rejects the configuration
+/// (infeasible topology, undersized dataset, mismatched shapes).
+pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentResult, CoreError> {
+    let mut rng = StdRng::seed_from_u64(config.seed());
+    let data_spec = config.data_spec();
+    let federation = Federation::build(
+        &data_spec,
+        config.nodes(),
+        config.train_per_node(),
+        config.test_per_node(),
+        config.partition(),
+        &mut rng,
+    )?;
+    let topology = Topology::random_regular(config.nodes(), config.view_size(), &mut rng)?;
+    let model_spec = config.model_spec()?;
+    let mut sim = Simulation::new(
+        config.sim_config(),
+        &model_spec,
+        &federation,
+        topology,
+        // Decouple the simulator's stream from the data stream.
+        config.seed().wrapping_add(0x9E37_79B9_7F4A_7C15),
+    )?;
+
+    let evaluator = MiaEvaluator::new(config.attack());
+    let mut eval_rng = StdRng::seed_from_u64(config.seed().wrapping_add(1));
+    let mut rounds = Vec::new();
+    let mut eval_error: Option<CoreError> = None;
+    let total_rounds = config.rounds();
+    sim.run_with(|snapshot: &RoundSnapshot| {
+        if eval_error.is_some() {
+            return;
+        }
+        let due = snapshot.round.is_multiple_of(config.eval_every()) || snapshot.round == total_rounds;
+        if !due {
+            return;
+        }
+        match evaluate_round(
+            snapshot,
+            config.attack_surface(),
+            &model_spec,
+            &federation,
+            &evaluator,
+            &mut eval_rng,
+        ) {
+            Ok(eval) => rounds.push(eval),
+            Err(e) => eval_error = Some(e),
+        }
+    });
+    if let Some(e) = eval_error {
+        return Err(e);
+    }
+    Ok(ExperimentResult {
+        config: config.clone(),
+        rounds,
+        messages_sent: sim.messages_sent(),
+        messages_dropped: sim.messages_dropped(),
+    })
+}
+
+/// Evaluates one snapshot: per-node utility, leakage and generalization.
+fn evaluate_round(
+    snapshot: &RoundSnapshot,
+    surface: AttackSurface,
+    model_spec: &glmia_nn::MlpSpec,
+    federation: &Federation,
+    evaluator: &MiaEvaluator,
+    rng: &mut StdRng,
+) -> Result<RoundEval, CoreError> {
+    let observed = match surface {
+        AttackSurface::NodeModel => &snapshot.models,
+        AttackSurface::SharedModel => &snapshot.shared_models,
+    };
+    let n = observed.len();
+    let mut test_acc = Vec::with_capacity(n);
+    let mut train_acc = Vec::with_capacity(n);
+    let mut vuln = Vec::with_capacity(n);
+    let mut auc = Vec::with_capacity(n);
+    let mut gen = Vec::with_capacity(n);
+    for (i, flat) in observed.iter().enumerate() {
+        let model = Mlp::from_flat(model_spec, flat)?;
+        let node = federation.node(i);
+        test_acc.push(accuracy(&model, federation.global_test()));
+        train_acc.push(accuracy(&model, &node.train));
+        gen.push(generalization_error(&model, node));
+        let mia = evaluator.evaluate(&model, &node.train, &node.test, rng)?;
+        vuln.push(mia.attack_accuracy);
+        auc.push(mia.auc);
+    }
+    Ok(RoundEval {
+        round: snapshot.round,
+        test_accuracy: Stat::of(&test_acc),
+        train_accuracy: Stat::of(&train_acc),
+        mia_vulnerability: Stat::of(&vuln),
+        mia_auc: Stat::of(&auc),
+        gen_error: Stat::of(&gen),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glmia_data::DataPreset;
+    use glmia_gossip::{ProtocolKind, TopologyMode};
+
+    fn quick(seed: u64) -> ExperimentConfig {
+        ExperimentConfig::quick_test(DataPreset::FashionMnistLike).with_seed(seed)
+    }
+
+    #[test]
+    fn quick_experiment_produces_per_round_evals() {
+        let result = run_experiment(&quick(1)).unwrap();
+        assert_eq!(result.rounds.len(), 5, "eval_every=1 over 5 rounds");
+        for (i, r) in result.rounds.iter().enumerate() {
+            assert_eq!(r.round, i + 1);
+            assert!((0.0..=1.0).contains(&r.test_accuracy.mean));
+            assert!((0.5..=1.0).contains(&r.mia_vulnerability.mean));
+            assert!((0.0..=1.0).contains(&r.mia_auc.mean));
+            assert!((-1.0..=1.0).contains(&r.gen_error.mean));
+        }
+        assert!(result.messages_sent > 0);
+    }
+
+    #[test]
+    fn results_are_seed_deterministic() {
+        let a = run_experiment(&quick(3)).unwrap();
+        let b = run_experiment(&quick(3)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run_experiment(&quick(4)).unwrap();
+        let b = run_experiment(&quick(5)).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn eval_every_thins_rounds_but_keeps_final() {
+        let config = quick(6).with_rounds(7).with_eval_every(3);
+        let result = run_experiment(&config).unwrap();
+        let rounds: Vec<usize> = result.rounds.iter().map(|r| r.round).collect();
+        assert_eq!(rounds, vec![3, 6, 7]);
+        assert_eq!(result.final_round().round, 7);
+    }
+
+    #[test]
+    fn tradeoff_points_mirror_rounds() {
+        let result = run_experiment(&quick(7)).unwrap();
+        let points = result.tradeoff_points();
+        assert_eq!(points.len(), result.rounds.len());
+        assert_eq!(points[0].utility, result.rounds[0].test_accuracy.mean);
+        assert!(result.best_point().is_some());
+        assert_eq!(result.gen_error_points().len(), points.len());
+    }
+
+    #[test]
+    fn base_gossip_and_samo_both_run() {
+        for protocol in [ProtocolKind::BaseGossip, ProtocolKind::Samo] {
+            for mode in [TopologyMode::Static, TopologyMode::Dynamic] {
+                let config = quick(8).with_protocol(protocol).with_topology_mode(mode);
+                let result = run_experiment(&config).unwrap();
+                assert!(!result.rounds.is_empty(), "{protocol} {mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn summary_table_has_one_line_per_round() {
+        let result = run_experiment(&quick(12)).unwrap();
+        let table = result.summary_table();
+        // header + rule + one line per evaluated round
+        assert_eq!(table.lines().count(), 2 + result.rounds.len());
+        assert!(table.contains("MIA vuln"));
+    }
+
+    #[test]
+    fn shared_surface_differs_under_defense() {
+        use crate::AttackSurface;
+        use glmia_gossip::Defense;
+        let noisy = quick(10).with_defense(Defense::GaussianNoise { std: 0.5 });
+        let on_node = run_experiment(&noisy.clone()).unwrap();
+        let on_share = run_experiment(
+            &noisy.with_attack_surface(AttackSurface::SharedModel),
+        )
+        .unwrap();
+        // Same simulation, different observed surface → different evals.
+        assert_eq!(on_node.messages_sent, on_share.messages_sent);
+        assert_ne!(on_node.rounds, on_share.rounds);
+    }
+
+    #[test]
+    fn surfaces_agree_without_defense_up_to_staleness() {
+        // With no defense the shared copy is just a (possibly stale) model;
+        // both surfaces must produce valid rounds.
+        use crate::AttackSurface;
+        let result = run_experiment(
+            &quick(11).with_attack_surface(AttackSurface::SharedModel),
+        )
+        .unwrap();
+        assert!(!result.rounds.is_empty());
+        assert!(result
+            .rounds
+            .iter()
+            .all(|r| (0.5..=1.0).contains(&r.mia_vulnerability.mean)));
+    }
+
+    #[test]
+    fn infeasible_topology_errors() {
+        // 8 nodes with view size 9 is impossible.
+        let config = quick(9).with_view_size(9);
+        assert!(run_experiment(&config).is_err());
+    }
+}

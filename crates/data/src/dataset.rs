@@ -1,0 +1,275 @@
+//! Labelled dataset container.
+
+use glmia_nn::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::DataError;
+
+/// A labelled classification dataset: a feature matrix (one sample per row)
+/// and integer labels.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_data::Dataset;
+/// use glmia_nn::Matrix;
+///
+/// let x = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]])?;
+/// let d = Dataset::new(x, vec![0, 1], 2)?;
+/// assert_eq!(d.len(), 2);
+/// assert_eq!(d.input_dim(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    features: Matrix,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating labels against the class count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError`] if `labels.len() != features.rows()`, any label
+    /// is `>= num_classes`, or `num_classes < 2`.
+    pub fn new(features: Matrix, labels: Vec<usize>, num_classes: usize) -> Result<Self, DataError> {
+        if num_classes < 2 {
+            return Err(DataError::new("num_classes must be at least 2"));
+        }
+        if labels.len() != features.rows() {
+            return Err(DataError::new(format!(
+                "labels ({}) must match feature rows ({})",
+                labels.len(),
+                features.rows()
+            )));
+        }
+        if let Some(&bad) = labels.iter().find(|&&y| y >= num_classes) {
+            return Err(DataError::new(format!(
+                "label {bad} out of range for {num_classes} classes"
+            )));
+        }
+        Ok(Self {
+            features,
+            labels,
+            num_classes,
+        })
+    }
+
+    /// An empty dataset with the given feature width and class count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError`] if `num_classes < 2`.
+    pub fn empty(input_dim: usize, num_classes: usize) -> Result<Self, DataError> {
+        Self::new(Matrix::zeros(0, input_dim), Vec::new(), num_classes)
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has zero samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimensionality.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The feature matrix (one sample per row).
+    #[must_use]
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// The labels.
+    #[must_use]
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Per-class sample counts.
+    #[must_use]
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &y in &self.labels {
+            counts[y] += 1;
+        }
+        counts
+    }
+
+    /// A new dataset holding the given sample indices (duplicates allowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    #[must_use]
+    pub fn select(&self, indices: &[usize]) -> Self {
+        Self {
+            features: self.features.select_rows(indices),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Splits into `(first, second)` where `first` holds a `fraction` share
+    /// of the samples, after shuffling with `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn split<R: Rng + ?Sized>(&self, fraction: f64, rng: &mut R) -> (Self, Self) {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction {fraction} outside [0, 1]"
+        );
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        for i in (1..indices.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            indices.swap(i, j);
+        }
+        let cut = (self.len() as f64 * fraction).round() as usize;
+        (self.select(&indices[..cut]), self.select(&indices[cut..]))
+    }
+
+    /// Concatenates two datasets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError`] if the feature widths or class counts differ.
+    pub fn concat(&self, other: &Dataset) -> Result<Self, DataError> {
+        if self.input_dim() != other.input_dim() {
+            return Err(DataError::new(format!(
+                "cannot concat input dims {} and {}",
+                self.input_dim(),
+                other.input_dim()
+            )));
+        }
+        if self.num_classes != other.num_classes {
+            return Err(DataError::new(format!(
+                "cannot concat class counts {} and {}",
+                self.num_classes, other.num_classes
+            )));
+        }
+        let mut data = self.features.as_slice().to_vec();
+        data.extend_from_slice(other.features.as_slice());
+        let features = Matrix::from_vec(self.len() + other.len(), self.input_dim(), data)
+            .expect("dimensions are consistent");
+        let mut labels = self.labels.clone();
+        labels.extend_from_slice(&other.labels);
+        Ok(Self {
+            features,
+            labels,
+            num_classes: self.num_classes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> Dataset {
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ])
+        .unwrap();
+        Dataset::new(x, vec![0, 1, 1, 0], 2).unwrap()
+    }
+
+    #[test]
+    fn new_validates() {
+        let x = Matrix::zeros(2, 2);
+        assert!(Dataset::new(x.clone(), vec![0], 2).is_err());
+        assert!(Dataset::new(x.clone(), vec![0, 2], 2).is_err());
+        assert!(Dataset::new(x.clone(), vec![0, 1], 1).is_err());
+        assert!(Dataset::new(x, vec![0, 1], 2).is_ok());
+    }
+
+    #[test]
+    fn class_counts_sum_to_len() {
+        let d = toy();
+        let counts = d.class_counts();
+        assert_eq!(counts, vec![2, 2]);
+        assert_eq!(counts.iter().sum::<usize>(), d.len());
+    }
+
+    #[test]
+    fn select_keeps_feature_label_pairing() {
+        let d = toy();
+        let s = d.select(&[3, 0]);
+        assert_eq!(s.labels(), &[0, 0]);
+        assert_eq!(s.features().row(0), &[1.0, 1.0]);
+        assert_eq!(s.features().row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn split_partitions_every_sample() {
+        let d = toy();
+        let (a, b) = d.split(0.5, &mut StdRng::seed_from_u64(0));
+        assert_eq!(a.len() + b.len(), d.len());
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn split_extremes() {
+        let d = toy();
+        let (a, b) = d.split(0.0, &mut StdRng::seed_from_u64(0));
+        assert!(a.is_empty());
+        assert_eq!(b.len(), 4);
+        let (a, b) = d.split(1.0, &mut StdRng::seed_from_u64(0));
+        assert_eq!(a.len(), 4);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn split_bad_fraction_panics() {
+        toy().split(1.5, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn concat_appends() {
+        let d = toy();
+        let c = d.concat(&d).unwrap();
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.labels()[4..], d.labels()[..]);
+    }
+
+    #[test]
+    fn concat_rejects_mismatched() {
+        let d = toy();
+        let other = Dataset::new(Matrix::zeros(1, 3), vec![0], 2).unwrap();
+        assert!(d.concat(&other).is_err());
+        let other = Dataset::new(Matrix::zeros(1, 2), vec![0], 3).unwrap();
+        assert!(d.concat(&other).is_err());
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = Dataset::empty(4, 3).unwrap();
+        assert!(d.is_empty());
+        assert_eq!(d.input_dim(), 4);
+        assert_eq!(d.num_classes(), 3);
+    }
+}

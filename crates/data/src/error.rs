@@ -1,0 +1,48 @@
+//! Error type for dataset construction and partitioning.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned on invalid dataset shapes, specs or partitions.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_data::Dataset;
+/// use glmia_nn::Matrix;
+///
+/// let x = Matrix::zeros(2, 3);
+/// let err = Dataset::new(x, vec![0], 2).unwrap_err();
+/// assert!(err.to_string().contains("labels"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataError {
+    message: String,
+}
+
+impl DataError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<DataError>();
+    }
+}

@@ -1,0 +1,361 @@
+//! IID and Dirichlet non-IID partitioning of a dataset across nodes.
+
+use glmia_dist::Dirichlet;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{DataError, Dataset};
+
+/// How a global training set is distributed across nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Partition {
+    /// Uniform equal shards (the paper's IID configuration, §3.1).
+    Iid,
+    /// Label-skewed shards: for each label `k`, node proportions are drawn
+    /// from `Dir_N(β)` (the paper's non-IID configuration, §3.6). Lower `β`
+    /// (≤ 0.1) yields higher label imbalance.
+    Dirichlet {
+        /// Concentration parameter β.
+        beta: f64,
+    },
+    /// Quantity-skewed shards: shard *sizes* follow `Dir_N(β)` while labels
+    /// stay IID within each shard (ablation axis beyond the paper).
+    QuantitySkew {
+        /// Concentration parameter β.
+        beta: f64,
+    },
+    /// Pathological label split: each node holds at most this many classes
+    /// (ablation axis beyond the paper).
+    Pathological {
+        /// Maximum distinct classes per node.
+        classes_per_node: usize,
+    },
+}
+
+impl std::fmt::Display for Partition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Partition::Iid => f.write_str("iid"),
+            Partition::Dirichlet { beta } => write!(f, "dirichlet(β={beta})"),
+            Partition::QuantitySkew { beta } => write!(f, "quantity-skew(β={beta})"),
+            Partition::Pathological { classes_per_node } => {
+                write!(f, "pathological(c={classes_per_node})")
+            }
+        }
+    }
+}
+
+impl Partition {
+    /// Applies the partition to `dataset`, producing one shard per node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError`] if `n_nodes == 0`, the dataset is too small to
+    /// give every node at least one sample, or a Dirichlet parameter is
+    /// invalid.
+    pub fn apply<R: Rng + ?Sized>(
+        self,
+        dataset: &Dataset,
+        n_nodes: usize,
+        rng: &mut R,
+    ) -> Result<Vec<Dataset>, DataError> {
+        match self {
+            Partition::Iid => partition_iid(dataset, n_nodes, rng),
+            Partition::Dirichlet { beta } => partition_dirichlet(dataset, n_nodes, beta, rng),
+            Partition::QuantitySkew { beta } => {
+                crate::partition_quantity_skew(dataset, n_nodes, beta, rng)
+            }
+            Partition::Pathological { classes_per_node } => {
+                crate::partition_pathological(dataset, n_nodes, classes_per_node, rng)
+            }
+        }
+    }
+}
+
+/// Splits `dataset` into `n_nodes` near-equal IID shards after a uniform
+/// shuffle.
+///
+/// # Errors
+///
+/// Returns [`DataError`] if `n_nodes == 0` or `dataset.len() < n_nodes`.
+pub fn partition_iid<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    n_nodes: usize,
+    rng: &mut R,
+) -> Result<Vec<Dataset>, DataError> {
+    validate(dataset, n_nodes)?;
+    let mut indices: Vec<usize> = (0..dataset.len()).collect();
+    shuffle(&mut indices, rng);
+    let base = dataset.len() / n_nodes;
+    let extra = dataset.len() % n_nodes;
+    let mut shards = Vec::with_capacity(n_nodes);
+    let mut offset = 0;
+    for node in 0..n_nodes {
+        let size = base + usize::from(node < extra);
+        shards.push(dataset.select(&indices[offset..offset + size]));
+        offset += size;
+    }
+    Ok(shards)
+}
+
+/// Splits `dataset` into `n_nodes` label-skewed shards: for each class `k`,
+/// the class's samples are distributed across nodes with proportions
+/// `p ~ Dir_N(β)`.
+///
+/// A repair pass then guarantees every node holds at least two samples
+/// (moving samples from the largest shards), since a node with an empty
+/// shard can neither train nor be attacked.
+///
+/// # Errors
+///
+/// Returns [`DataError`] if `n_nodes == 0`, `dataset.len() < 2 * n_nodes`,
+/// or `beta` is not finite and positive.
+pub fn partition_dirichlet<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    n_nodes: usize,
+    beta: f64,
+    rng: &mut R,
+) -> Result<Vec<Dataset>, DataError> {
+    validate(dataset, n_nodes)?;
+    if dataset.len() < 2 * n_nodes {
+        return Err(DataError::new(format!(
+            "dirichlet partition needs at least {} samples for {n_nodes} nodes, got {}",
+            2 * n_nodes,
+            dataset.len()
+        )));
+    }
+    if n_nodes == 1 {
+        return Ok(vec![dataset.clone()]);
+    }
+    let dir = Dirichlet::symmetric(beta, n_nodes)
+        .map_err(|e| DataError::new(format!("invalid dirichlet β: {e}")))?;
+
+    // Group sample indices by class.
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); dataset.num_classes()];
+    for (i, &y) in dataset.labels().iter().enumerate() {
+        by_class[y].push(i);
+    }
+
+    let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); n_nodes];
+    for class_indices in by_class.iter_mut().filter(|c| !c.is_empty()) {
+        shuffle(class_indices, rng);
+        let p = dir.sample(rng);
+        // Largest-remainder allocation of this class's samples to nodes.
+        let total = class_indices.len();
+        let mut counts: Vec<usize> = p.iter().map(|&pi| (pi * total as f64) as usize).collect();
+        let mut assigned: usize = counts.iter().sum();
+        // Distribute the remainder to the nodes with the largest fractional
+        // parts.
+        let mut fracs: Vec<(usize, f64)> = p
+            .iter()
+            .enumerate()
+            .map(|(node, &pi)| (node, pi * total as f64 - counts[node] as f64))
+            .collect();
+        fracs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite fractions"));
+        let mut fi = 0;
+        while assigned < total {
+            counts[fracs[fi % n_nodes].0] += 1;
+            assigned += 1;
+            fi += 1;
+        }
+        let mut offset = 0;
+        for (node, &count) in counts.iter().enumerate() {
+            assignments[node].extend_from_slice(&class_indices[offset..offset + count]);
+            offset += count;
+        }
+    }
+
+    repair_min_shard_size(&mut assignments, 2, rng);
+    Ok(assignments
+        .iter()
+        .map(|idx| dataset.select(idx))
+        .collect())
+}
+
+/// Moves samples from the largest shards until every shard has at least
+/// `min` samples.
+fn repair_min_shard_size<R: Rng + ?Sized>(
+    assignments: &mut [Vec<usize>],
+    min: usize,
+    rng: &mut R,
+) {
+    loop {
+        let Some(smallest) = (0..assignments.len()).min_by_key(|&i| assignments[i].len()) else {
+            return;
+        };
+        if assignments[smallest].len() >= min {
+            return;
+        }
+        let largest = (0..assignments.len())
+            .max_by_key(|&i| assignments[i].len())
+            .expect("non-empty");
+        if assignments[largest].len() <= min {
+            // Nothing left to move without violating the donor's minimum.
+            return;
+        }
+        let take = rng.gen_range(0..assignments[largest].len());
+        let sample = assignments[largest].swap_remove(take);
+        assignments[smallest].push(sample);
+    }
+}
+
+fn validate(dataset: &Dataset, n_nodes: usize) -> Result<(), DataError> {
+    if n_nodes == 0 {
+        return Err(DataError::new("cannot partition across zero nodes"));
+    }
+    if dataset.len() < n_nodes {
+        return Err(DataError::new(format!(
+            "{} samples cannot cover {n_nodes} nodes",
+            dataset.len()
+        )));
+    }
+    Ok(())
+}
+
+fn shuffle<R: Rng + ?Sized>(xs: &mut [usize], rng: &mut R) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FeatureKind, SyntheticSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn sample_dataset(n: usize, classes: usize, seed: u64) -> Dataset {
+        let spec = SyntheticSpec::new(classes, 4, FeatureKind::Gaussian).unwrap();
+        let world = spec.sample_world(&mut rng(seed));
+        world.sample(n, &mut rng(seed + 1))
+    }
+
+    #[test]
+    fn iid_shards_cover_everything_equally() {
+        let d = sample_dataset(103, 5, 0);
+        let shards = partition_iid(&d, 10, &mut rng(2)).unwrap();
+        assert_eq!(shards.len(), 10);
+        let total: usize = shards.iter().map(Dataset::len).sum();
+        assert_eq!(total, 103);
+        // Shard sizes differ by at most one.
+        let min = shards.iter().map(Dataset::len).min().unwrap();
+        let max = shards.iter().map(Dataset::len).max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn iid_rejects_bad_params() {
+        let d = sample_dataset(5, 2, 1);
+        assert!(partition_iid(&d, 0, &mut rng(0)).is_err());
+        assert!(partition_iid(&d, 6, &mut rng(0)).is_err());
+    }
+
+    #[test]
+    fn dirichlet_covers_everything() {
+        let d = sample_dataset(200, 5, 3);
+        let shards = partition_dirichlet(&d, 8, 0.5, &mut rng(4)).unwrap();
+        let total: usize = shards.iter().map(Dataset::len).sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn dirichlet_guarantees_min_shard_size() {
+        let d = sample_dataset(100, 10, 5);
+        for seed in 0..5 {
+            let shards = partition_dirichlet(&d, 10, 0.05, &mut rng(seed)).unwrap();
+            for (i, s) in shards.iter().enumerate() {
+                assert!(s.len() >= 2, "seed {seed} node {i} got {} samples", s.len());
+            }
+        }
+    }
+
+    #[test]
+    fn low_beta_is_more_skewed_than_high_beta() {
+        // Measure label skew as the mean over nodes of the max class share.
+        fn skew(shards: &[Dataset]) -> f64 {
+            let per_node: Vec<f64> = shards
+                .iter()
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    let counts = s.class_counts();
+                    let max = *counts.iter().max().unwrap() as f64;
+                    max / s.len() as f64
+                })
+                .collect();
+            per_node.iter().sum::<f64>() / per_node.len() as f64
+        }
+        let d = sample_dataset(1000, 10, 6);
+        let sharp = partition_dirichlet(&d, 10, 0.1, &mut rng(7)).unwrap();
+        let flat = partition_dirichlet(&d, 10, 100.0, &mut rng(8)).unwrap();
+        assert!(
+            skew(&sharp) > skew(&flat) + 0.1,
+            "sharp skew {} vs flat skew {}",
+            skew(&sharp),
+            skew(&flat)
+        );
+    }
+
+    #[test]
+    fn dirichlet_rejects_bad_params() {
+        let d = sample_dataset(30, 3, 9);
+        assert!(partition_dirichlet(&d, 0, 0.5, &mut rng(0)).is_err());
+        assert!(partition_dirichlet(&d, 20, 0.5, &mut rng(0)).is_err());
+        assert!(partition_dirichlet(&d, 5, -1.0, &mut rng(0)).is_err());
+        assert!(partition_dirichlet(&d, 5, f64::NAN, &mut rng(0)).is_err());
+    }
+
+    #[test]
+    fn single_node_gets_everything() {
+        let d = sample_dataset(20, 3, 10);
+        let shards = partition_dirichlet(&d, 1, 0.5, &mut rng(0)).unwrap();
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].len(), 20);
+    }
+
+    #[test]
+    fn partition_enum_dispatches() {
+        let d = sample_dataset(60, 3, 11);
+        let iid = Partition::Iid.apply(&d, 4, &mut rng(1)).unwrap();
+        let dir = Partition::Dirichlet { beta: 0.5 }
+            .apply(&d, 4, &mut rng(1))
+            .unwrap();
+        assert_eq!(iid.len(), 4);
+        assert_eq!(dir.len(), 4);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Partition::Iid.to_string(), "iid");
+        assert_eq!(
+            Partition::Dirichlet { beta: 0.1 }.to_string(),
+            "dirichlet(β=0.1)"
+        );
+        assert_eq!(
+            Partition::QuantitySkew { beta: 0.5 }.to_string(),
+            "quantity-skew(β=0.5)"
+        );
+        assert_eq!(
+            Partition::Pathological { classes_per_node: 2 }.to_string(),
+            "pathological(c=2)"
+        );
+    }
+
+    #[test]
+    fn new_partition_variants_dispatch() {
+        let d = sample_dataset(120, 6, 20);
+        let q = Partition::QuantitySkew { beta: 0.3 }
+            .apply(&d, 4, &mut rng(1))
+            .unwrap();
+        assert_eq!(q.iter().map(Dataset::len).sum::<usize>(), 120);
+        let p = Partition::Pathological { classes_per_node: 2 }
+            .apply(&d, 4, &mut rng(2))
+            .unwrap();
+        assert_eq!(p.iter().map(Dataset::len).sum::<usize>(), 120);
+    }
+}

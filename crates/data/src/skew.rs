@@ -1,0 +1,288 @@
+//! Additional non-IID partitioners beyond Dirichlet label skew.
+//!
+//! The paper's non-IID experiments use Dirichlet label imbalance (§3.6);
+//! these two partitioners cover the other heterogeneity axes studied in the
+//! federated-learning literature, so ablations can separate *label* skew
+//! from *quantity* skew and the pathological few-classes-per-node regime.
+
+use glmia_dist::Dirichlet;
+use rand::Rng;
+
+use crate::{DataError, Dataset};
+
+/// Quantity skew: shard *sizes* are drawn from `Dir_N(β)` while the label
+/// distribution inside every shard stays IID. Lower `β` concentrates data
+/// on fewer nodes.
+///
+/// Every node is guaranteed at least 2 samples (repair from the largest
+/// shard).
+///
+/// # Errors
+///
+/// Returns [`DataError`] if `n_nodes == 0`, `dataset.len() < 2 * n_nodes`,
+/// or `beta` is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_data::{partition_quantity_skew, FeatureKind, SyntheticSpec};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let world = SyntheticSpec::new(4, 4, FeatureKind::Gaussian)?.sample_world(&mut rng);
+/// let data = world.sample(200, &mut rng);
+/// let shards = partition_quantity_skew(&data, 8, 0.3, &mut rng)?;
+/// assert_eq!(shards.iter().map(|s| s.len()).sum::<usize>(), 200);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn partition_quantity_skew<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    n_nodes: usize,
+    beta: f64,
+    rng: &mut R,
+) -> Result<Vec<Dataset>, DataError> {
+    if n_nodes == 0 {
+        return Err(DataError::new("cannot partition across zero nodes"));
+    }
+    if dataset.len() < 2 * n_nodes {
+        return Err(DataError::new(format!(
+            "quantity skew needs at least {} samples for {n_nodes} nodes, got {}",
+            2 * n_nodes,
+            dataset.len()
+        )));
+    }
+    if n_nodes == 1 {
+        return Ok(vec![dataset.clone()]);
+    }
+    let dir = Dirichlet::symmetric(beta, n_nodes)
+        .map_err(|e| DataError::new(format!("invalid quantity-skew β: {e}")))?;
+    let proportions = dir.sample(rng);
+
+    let mut indices: Vec<usize> = (0..dataset.len()).collect();
+    for i in (1..indices.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        indices.swap(i, j);
+    }
+
+    // Largest-remainder allocation of the shuffled pool.
+    let total = dataset.len();
+    let mut counts: Vec<usize> = proportions
+        .iter()
+        .map(|&p| (p * total as f64) as usize)
+        .collect();
+    let mut assigned: usize = counts.iter().sum();
+    let mut fracs: Vec<(usize, f64)> = proportions
+        .iter()
+        .enumerate()
+        .map(|(node, &p)| (node, p * total as f64 - counts[node] as f64))
+        .collect();
+    fracs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite fractions"));
+    let mut fi = 0;
+    while assigned < total {
+        counts[fracs[fi % n_nodes].0] += 1;
+        assigned += 1;
+        fi += 1;
+    }
+    // Minimum-size repair: move from the largest shard.
+    loop {
+        let smallest = (0..n_nodes).min_by_key(|&i| counts[i]).expect("nodes > 0");
+        if counts[smallest] >= 2 {
+            break;
+        }
+        let largest = (0..n_nodes).max_by_key(|&i| counts[i]).expect("nodes > 0");
+        if counts[largest] <= 2 {
+            break;
+        }
+        counts[largest] -= 1;
+        counts[smallest] += 1;
+    }
+
+    let mut shards = Vec::with_capacity(n_nodes);
+    let mut offset = 0;
+    for &count in &counts {
+        shards.push(dataset.select(&indices[offset..offset + count]));
+        offset += count;
+    }
+    Ok(shards)
+}
+
+/// Pathological label partition (Shokri/McMahan style): each node receives
+/// samples from at most `classes_per_node` classes. The extreme non-IID
+/// regime where local distributions share almost no support.
+///
+/// # Errors
+///
+/// Returns [`DataError`] if `n_nodes == 0`, `classes_per_node == 0`,
+/// `classes_per_node > num_classes`, or the dataset is too small to give
+/// every node at least one sample.
+pub fn partition_pathological<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    n_nodes: usize,
+    classes_per_node: usize,
+    rng: &mut R,
+) -> Result<Vec<Dataset>, DataError> {
+    if n_nodes == 0 {
+        return Err(DataError::new("cannot partition across zero nodes"));
+    }
+    if classes_per_node == 0 || classes_per_node > dataset.num_classes() {
+        return Err(DataError::new(format!(
+            "classes_per_node must be in 1..={}, got {classes_per_node}",
+            dataset.num_classes()
+        )));
+    }
+    if dataset.len() < n_nodes {
+        return Err(DataError::new(format!(
+            "{} samples cannot cover {n_nodes} nodes",
+            dataset.len()
+        )));
+    }
+    // Split each class's samples into contiguous shards; deal shards to
+    // nodes round-robin over a random node order so every node collects
+    // `classes_per_node` shards.
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); dataset.num_classes()];
+    for (i, &y) in dataset.labels().iter().enumerate() {
+        by_class[y].push(i);
+    }
+    let total_shards = n_nodes * classes_per_node;
+    // Build the shard list: distribute shard quotas over the non-empty
+    // classes proportionally to their sample counts.
+    let mut shard_pool: Vec<Vec<usize>> = Vec::with_capacity(total_shards);
+    let nonempty: Vec<usize> = (0..dataset.num_classes())
+        .filter(|&c| !by_class[c].is_empty())
+        .collect();
+    if nonempty.is_empty() {
+        return Err(DataError::new("dataset has no samples"));
+    }
+    for (rank, &c) in nonempty.iter().enumerate() {
+        // Spread shard counts as evenly as possible across classes.
+        let quota = total_shards / nonempty.len()
+            + usize::from(rank < total_shards % nonempty.len());
+        let class = &mut by_class[c];
+        for i in (1..class.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            class.swap(i, j);
+        }
+        let quota = quota.max(1).min(class.len());
+        let base = class.len() / quota;
+        let extra = class.len() % quota;
+        let mut offset = 0;
+        for s in 0..quota {
+            let size = base + usize::from(s < extra);
+            shard_pool.push(class[offset..offset + size].to_vec());
+            offset += size;
+        }
+    }
+    // Random deal: shuffle shards, hand them out round-robin.
+    for i in (1..shard_pool.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        shard_pool.swap(i, j);
+    }
+    let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); n_nodes];
+    for (s, shard) in shard_pool.into_iter().enumerate() {
+        assignments[s % n_nodes].extend(shard);
+    }
+    // A node can still end up empty when shard_pool < n_nodes; repair by
+    // splitting the largest assignment.
+    while let Some(empty) = assignments.iter().position(Vec::is_empty) {
+        let largest = (0..n_nodes)
+            .max_by_key(|&i| assignments[i].len())
+            .expect("nodes > 0");
+        if assignments[largest].len() < 2 {
+            return Err(DataError::new(
+                "not enough samples to give every node data",
+            ));
+        }
+        let half = assignments[largest].len() / 2;
+        let moved = assignments[largest].split_off(half);
+        assignments[empty] = moved;
+    }
+    Ok(assignments.iter().map(|idx| dataset.select(idx)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FeatureKind, SyntheticSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn sample_dataset(n: usize, classes: usize, seed: u64) -> Dataset {
+        let spec = SyntheticSpec::new(classes, 4, FeatureKind::Gaussian).unwrap();
+        let world = spec.sample_world(&mut rng(seed));
+        world.sample(n, &mut rng(seed + 1))
+    }
+
+    #[test]
+    fn quantity_skew_conserves_and_repairs() {
+        let d = sample_dataset(300, 5, 0);
+        for seed in 0..4 {
+            let shards = partition_quantity_skew(&d, 10, 0.1, &mut rng(seed)).unwrap();
+            assert_eq!(shards.iter().map(Dataset::len).sum::<usize>(), 300);
+            assert!(shards.iter().all(|s| s.len() >= 2));
+        }
+    }
+
+    #[test]
+    fn quantity_skew_low_beta_is_more_imbalanced() {
+        let d = sample_dataset(1000, 5, 2);
+        let max_share = |shards: &[Dataset]| {
+            shards.iter().map(Dataset::len).max().unwrap() as f64 / 1000.0
+        };
+        let sharp = partition_quantity_skew(&d, 10, 0.1, &mut rng(3)).unwrap();
+        let flat = partition_quantity_skew(&d, 10, 100.0, &mut rng(3)).unwrap();
+        assert!(max_share(&sharp) > max_share(&flat));
+    }
+
+    #[test]
+    fn quantity_skew_validates() {
+        let d = sample_dataset(10, 2, 4);
+        assert!(partition_quantity_skew(&d, 0, 0.5, &mut rng(0)).is_err());
+        assert!(partition_quantity_skew(&d, 6, 0.5, &mut rng(0)).is_err());
+        assert!(partition_quantity_skew(&d, 4, -1.0, &mut rng(0)).is_err());
+    }
+
+    #[test]
+    fn pathological_limits_classes_per_node() {
+        let d = sample_dataset(400, 10, 5);
+        let shards = partition_pathological(&d, 8, 2, &mut rng(6)).unwrap();
+        assert_eq!(shards.iter().map(Dataset::len).sum::<usize>(), 400);
+        for (i, s) in shards.iter().enumerate() {
+            let distinct = s.class_counts().iter().filter(|&&c| c > 0).count();
+            assert!(
+                distinct <= 3,
+                "node {i} holds {distinct} classes (want ≈ 2)"
+            );
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn pathological_validates() {
+        let d = sample_dataset(40, 4, 7);
+        assert!(partition_pathological(&d, 0, 2, &mut rng(0)).is_err());
+        assert!(partition_pathological(&d, 4, 0, &mut rng(0)).is_err());
+        assert!(partition_pathological(&d, 4, 5, &mut rng(0)).is_err());
+        assert!(partition_pathological(&d, 50, 2, &mut rng(0)).is_err());
+    }
+
+    #[test]
+    fn pathological_more_skewed_than_iid() {
+        let d = sample_dataset(600, 10, 8);
+        let skew = |shards: &[Dataset]| -> f64 {
+            let per: Vec<f64> = shards
+                .iter()
+                .map(|s| {
+                    *s.class_counts().iter().max().unwrap() as f64 / s.len() as f64
+                })
+                .collect();
+            per.iter().sum::<f64>() / per.len() as f64
+        };
+        let path = partition_pathological(&d, 6, 1, &mut rng(9)).unwrap();
+        let iid = crate::partition_iid(&d, 6, &mut rng(9)).unwrap();
+        assert!(skew(&path) > skew(&iid) + 0.3);
+    }
+}

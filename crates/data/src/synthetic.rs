@@ -1,0 +1,541 @@
+//! Shape-matched synthetic dataset generators.
+
+use glmia_dist::Normal;
+use glmia_nn::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{DataError, Dataset};
+
+/// The kind of feature space a [`SyntheticSpec`] generates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum FeatureKind {
+    /// Dense real-valued features from a class-conditional Gaussian mixture
+    /// (stand-in for image datasets: each class has a mean vector, samples
+    /// scatter around it).
+    #[default]
+    Gaussian,
+    /// Sparse `{0, 1}` features from class-conditional Bernoulli prototypes
+    /// (stand-in for Purchase-100-style tabular purchase records).
+    SparseBinary,
+}
+
+impl std::fmt::Display for FeatureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FeatureKind::Gaussian => f.write_str("gaussian"),
+            FeatureKind::SparseBinary => f.write_str("sparse-binary"),
+        }
+    }
+}
+
+/// Specification of a synthetic classification task.
+///
+/// The generator draws a random per-class prototype, then samples each
+/// example around its class prototype. Two knobs control task difficulty,
+/// and therefore how much a small locally-trained model overfits — the
+/// quantity the MPE attack exploits:
+///
+/// * [`class_separation`](Self::with_class_separation) — how far apart class
+///   prototypes sit relative to the within-class noise;
+/// * [`label_noise`](Self::with_label_noise) — the fraction of labels
+///   resampled uniformly, which bounds achievable test accuracy and forces a
+///   train/test gap under memorization.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_data::{FeatureKind, SyntheticSpec};
+/// use rand::SeedableRng;
+///
+/// let spec = SyntheticSpec::new(10, 32, FeatureKind::Gaussian)?
+///     .with_class_separation(1.5)
+///     .with_label_noise(0.05);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let world = spec.sample_world(&mut rng);
+/// let d = world.sample(100, &mut rng);
+/// assert_eq!(d.len(), 100);
+/// assert_eq!(d.input_dim(), 32);
+/// # Ok::<(), glmia_data::DataError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticSpec {
+    num_classes: usize,
+    input_dim: usize,
+    kind: FeatureKind,
+    class_separation: f64,
+    noise_std: f64,
+    label_noise: f64,
+    /// Bernoulli base rate for sparse-binary prototypes.
+    density: f64,
+    /// Sub-modes per class (1 = unimodal).
+    subclusters: usize,
+    /// Spread of subcluster prototypes around the class prototype.
+    subcluster_spread: f64,
+}
+
+impl SyntheticSpec {
+    /// Creates a spec with default difficulty (separation 1.0, noise 1.0, no
+    /// label noise, 10% binary density).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError`] if `num_classes < 2` or `input_dim == 0`.
+    pub fn new(num_classes: usize, input_dim: usize, kind: FeatureKind) -> Result<Self, DataError> {
+        if num_classes < 2 {
+            return Err(DataError::new("num_classes must be at least 2"));
+        }
+        if input_dim == 0 {
+            return Err(DataError::new("input_dim must be positive"));
+        }
+        Ok(Self {
+            num_classes,
+            input_dim,
+            kind,
+            class_separation: 1.0,
+            noise_std: 1.0,
+            label_noise: 0.0,
+            density: 0.1,
+            subclusters: 1,
+            subcluster_spread: 0.5,
+        })
+    }
+
+    /// Overrides the class count (used to scale presets down).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_classes < 2`.
+    #[must_use]
+    pub fn with_num_classes(mut self, num_classes: usize) -> Self {
+        assert!(num_classes >= 2, "num_classes must be at least 2");
+        self.num_classes = num_classes;
+        self
+    }
+
+    /// Overrides the feature dimensionality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_dim == 0`.
+    #[must_use]
+    pub fn with_input_dim(mut self, input_dim: usize) -> Self {
+        assert!(input_dim > 0, "input_dim must be positive");
+        self.input_dim = input_dim;
+        self
+    }
+
+    /// Sets the distance scale between class prototypes (larger = easier).
+    ///
+    /// # Panics
+    ///
+    /// Panics if negative or not finite.
+    #[must_use]
+    pub fn with_class_separation(mut self, sep: f64) -> Self {
+        assert!(sep.is_finite() && sep >= 0.0, "separation must be non-negative");
+        self.class_separation = sep;
+        self
+    }
+
+    /// Sets the within-class noise standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if non-positive or not finite.
+    #[must_use]
+    pub fn with_noise_std(mut self, std: f64) -> Self {
+        assert!(std.is_finite() && std > 0.0, "noise std must be positive");
+        self.noise_std = std;
+        self
+    }
+
+    /// Sets the fraction of labels resampled uniformly at random.
+    ///
+    /// # Panics
+    ///
+    /// Panics if outside `[0, 1]`.
+    #[must_use]
+    pub fn with_label_noise(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "label noise must be in [0, 1]");
+        self.label_noise = p;
+        self
+    }
+
+    /// Sets the number of sub-modes per class.
+    ///
+    /// Real image/tabular classes are internally diverse: knowing the class
+    /// does not mean having seen a sample's *neighborhood*. Subclusters
+    /// reproduce that: each class is a mixture of `m` prototypes, so
+    /// within-class generalization requires having trained on the right
+    /// sub-mode — the sample-level memorization signal membership
+    /// inference feeds on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    #[must_use]
+    pub fn with_subclusters(mut self, m: usize) -> Self {
+        assert!(m > 0, "subclusters must be positive");
+        self.subclusters = m;
+        self
+    }
+
+    /// Sets how far subcluster prototypes spread around their class
+    /// prototype. For Gaussian worlds this is a standard deviation; for
+    /// sparse-binary worlds it is the fraction of feature probabilities
+    /// re-randomized per subcluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if negative or not finite.
+    #[must_use]
+    pub fn with_subcluster_spread(mut self, spread: f64) -> Self {
+        assert!(
+            spread.is_finite() && spread >= 0.0,
+            "subcluster spread must be non-negative"
+        );
+        self.subcluster_spread = spread;
+        self
+    }
+
+    /// Sets the Bernoulli base rate used by sparse-binary prototypes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if outside `(0, 1)`.
+    #[must_use]
+    pub fn with_density(mut self, density: f64) -> Self {
+        assert!(
+            density > 0.0 && density < 1.0,
+            "density must be in (0, 1)"
+        );
+        self.density = density;
+        self
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Feature dimensionality.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Feature kind.
+    #[must_use]
+    pub fn kind(&self) -> FeatureKind {
+        self.kind
+    }
+
+    /// Label-noise fraction.
+    #[must_use]
+    pub fn label_noise(&self) -> f64 {
+        self.label_noise
+    }
+
+    /// Draws the world's class (and per-class subcluster) prototypes; the
+    /// resulting [`SyntheticWorld`] can then generate any number of IID
+    /// datasets from the same underlying distribution (train shards, local
+    /// test sets, the global test set).
+    pub fn sample_world<R: Rng + ?Sized>(&self, rng: &mut R) -> SyntheticWorld {
+        let normal = Normal::standard();
+        let prototypes: Vec<Vec<Vec<f32>>> = match self.kind {
+            FeatureKind::Gaussian => (0..self.num_classes)
+                .map(|_| {
+                    let class_mean: Vec<f64> = (0..self.input_dim)
+                        .map(|_| normal.sample(rng) * self.class_separation)
+                        .collect();
+                    (0..self.subclusters)
+                        .map(|_| {
+                            class_mean
+                                .iter()
+                                .map(|&m| {
+                                    (m + normal.sample(rng) * self.subcluster_spread) as f32
+                                })
+                                .collect()
+                        })
+                        .collect()
+                })
+                .collect(),
+            FeatureKind::SparseBinary => (0..self.num_classes)
+                .map(|_| {
+                    let class_proto: Vec<f64> = (0..self.input_dim)
+                        .map(|_| {
+                            // Each class flips a subset of features to be
+                            // "likely on": base density elsewhere.
+                            let on = rng.gen_bool((self.density * 4.0).min(0.9));
+                            if on {
+                                0.5 + 0.5 * self.class_separation.min(1.0)
+                            } else {
+                                self.density
+                            }
+                        })
+                        .collect();
+                    let rerand = self.subcluster_spread.clamp(0.0, 1.0);
+                    (0..self.subclusters)
+                        .map(|sub| {
+                            class_proto
+                                .iter()
+                                .map(|&p| {
+                                    // First subcluster keeps the class
+                                    // prototype; others re-randomize a
+                                    // `spread` fraction of features.
+                                    if sub > 0 && rng.gen_bool(rerand) {
+                                        let on = rng.gen_bool((self.density * 4.0).min(0.9));
+                                        if on {
+                                            0.5 + 0.5 * self.class_separation.min(1.0)
+                                        } else {
+                                            self.density
+                                        }
+                                    } else {
+                                        p
+                                    }
+                                })
+                                .map(|p| p as f32)
+                                .collect()
+                        })
+                        .collect()
+                })
+                .collect(),
+        };
+        SyntheticWorld {
+            spec: self.clone(),
+            prototypes,
+        }
+    }
+}
+
+/// A concrete synthetic data distribution: a [`SyntheticSpec`] plus the
+/// drawn per-class prototypes.
+///
+/// All shards sampled from one world share the same class structure, exactly
+/// like shards of one real dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticWorld {
+    spec: SyntheticSpec,
+    /// Prototype vectors indexed `[class][subcluster]`: Gaussian means, or
+    /// Bernoulli probabilities for sparse-binary worlds.
+    prototypes: Vec<Vec<Vec<f32>>>,
+}
+
+impl SyntheticWorld {
+    /// The generating spec.
+    #[must_use]
+    pub fn spec(&self) -> &SyntheticSpec {
+        &self.spec
+    }
+
+    /// Samples `n` labelled examples with uniform class priors.
+    pub fn sample<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Dataset {
+        let labels: Vec<usize> = (0..n)
+            .map(|_| rng.gen_range(0..self.spec.num_classes))
+            .collect();
+        self.sample_with_labels(&labels, rng)
+    }
+
+    /// Samples one example per entry of `labels`, with label noise applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any label is out of range.
+    pub fn sample_with_labels<R: Rng + ?Sized>(&self, labels: &[usize], rng: &mut R) -> Dataset {
+        let dim = self.spec.input_dim;
+        let mut data = Vec::with_capacity(labels.len() * dim);
+        let normal = Normal::new(0.0, self.spec.noise_std).expect("validated std");
+        let mut noisy_labels = Vec::with_capacity(labels.len());
+        for &y in labels {
+            assert!(y < self.spec.num_classes, "label {y} out of range");
+            let sub = rng.gen_range(0..self.spec.subclusters);
+            let proto = &self.prototypes[y][sub];
+            match self.spec.kind {
+                FeatureKind::Gaussian => {
+                    for &m in proto {
+                        data.push(m + normal.sample(rng) as f32);
+                    }
+                }
+                FeatureKind::SparseBinary => {
+                    for &p in proto {
+                        data.push(if rng.gen_bool(f64::from(p).clamp(0.0, 1.0)) {
+                            1.0
+                        } else {
+                            0.0
+                        });
+                    }
+                }
+            }
+            let final_label = if self.spec.label_noise > 0.0 && rng.gen_bool(self.spec.label_noise)
+            {
+                rng.gen_range(0..self.spec.num_classes)
+            } else {
+                y
+            };
+            noisy_labels.push(final_label);
+        }
+        let features = Matrix::from_vec(labels.len(), dim, data).expect("consistent dims");
+        Dataset::new(features, noisy_labels, self.spec.num_classes).expect("labels in range")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn spec_validates() {
+        assert!(SyntheticSpec::new(1, 4, FeatureKind::Gaussian).is_err());
+        assert!(SyntheticSpec::new(2, 0, FeatureKind::Gaussian).is_err());
+        assert!(SyntheticSpec::new(2, 4, FeatureKind::Gaussian).is_ok());
+    }
+
+    #[test]
+    fn sample_has_requested_shape() {
+        let spec = SyntheticSpec::new(3, 5, FeatureKind::Gaussian).unwrap();
+        let world = spec.sample_world(&mut rng(0));
+        let d = world.sample(17, &mut rng(1));
+        assert_eq!(d.len(), 17);
+        assert_eq!(d.input_dim(), 5);
+        assert_eq!(d.num_classes(), 3);
+    }
+
+    #[test]
+    fn binary_features_are_zero_one() {
+        let spec = SyntheticSpec::new(4, 16, FeatureKind::SparseBinary).unwrap();
+        let world = spec.sample_world(&mut rng(2));
+        let d = world.sample(50, &mut rng(3));
+        assert!(d
+            .features()
+            .as_slice()
+            .iter()
+            .all(|&x| x == 0.0 || x == 1.0));
+    }
+
+    #[test]
+    fn separated_classes_are_linearly_learnable() {
+        // High separation, low noise: a linear model should fit quickly —
+        // the generator really produces class structure.
+        use glmia_nn::{Mlp, MlpSpec, Sgd};
+        let spec = SyntheticSpec::new(3, 8, FeatureKind::Gaussian)
+            .unwrap()
+            .with_class_separation(4.0)
+            .with_noise_std(0.5);
+        let world = spec.sample_world(&mut rng(4));
+        let train = world.sample(150, &mut rng(5));
+        let test = world.sample(150, &mut rng(6));
+        let mspec = MlpSpec::linear(8, 3).unwrap();
+        let mut m = Mlp::new(&mspec, &mut rng(7));
+        let mut opt = Sgd::new(0.1);
+        let mut r = rng(8);
+        for _ in 0..30 {
+            m.train_epoch(train.features(), train.labels(), 16, &mut opt, &mut r);
+        }
+        let acc = m.accuracy(test.features(), test.labels());
+        assert!(acc > 0.9, "test accuracy was {acc}");
+    }
+
+    #[test]
+    fn subclusters_make_within_class_generalization_harder() {
+        // Train a small model on a handful of samples; with unimodal
+        // classes it generalizes within-class, with many subclusters it
+        // cannot cover unseen sub-modes — the sample-level memorization
+        // regime membership inference exploits.
+        use glmia_nn::{Mlp, MlpSpec, Sgd};
+        let gap_for = |subclusters: usize, seed: u64| -> f32 {
+            let spec = SyntheticSpec::new(6, 16, FeatureKind::Gaussian)
+                .unwrap()
+                .with_class_separation(0.8)
+                .with_subclusters(subclusters)
+                .with_subcluster_spread(0.9);
+            let world = spec.sample_world(&mut rng(seed));
+            let train = world.sample(48, &mut rng(seed + 1));
+            let test = world.sample(200, &mut rng(seed + 2));
+            let mspec = MlpSpec::new(16, &[32], 6, glmia_nn::Activation::Relu).unwrap();
+            let mut m = Mlp::new(&mspec, &mut rng(seed + 3));
+            let mut opt = Sgd::new(0.05).with_momentum(0.9);
+            let mut r = rng(seed + 4);
+            for _ in 0..80 {
+                m.train_epoch(train.features(), train.labels(), 16, &mut opt, &mut r);
+            }
+            m.accuracy(train.features(), train.labels())
+                - m.accuracy(test.features(), test.labels())
+        };
+        let unimodal: f32 = (0..3).map(|s| gap_for(1, 100 + s)).sum::<f32>() / 3.0;
+        let multimodal: f32 = (0..3).map(|s| gap_for(8, 200 + s)).sum::<f32>() / 3.0;
+        assert!(
+            multimodal > unimodal + 0.05,
+            "expected larger generalization gap with subclusters: {multimodal} vs {unimodal}"
+        );
+    }
+
+    #[test]
+    fn subcluster_builder_validates() {
+        let spec = SyntheticSpec::new(3, 4, FeatureKind::Gaussian).unwrap();
+        let s = spec.clone().with_subclusters(5).with_subcluster_spread(0.3);
+        let world = s.sample_world(&mut rng(0));
+        let d = world.sample(20, &mut rng(1));
+        assert_eq!(d.len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "subclusters must be positive")]
+    fn zero_subclusters_panics() {
+        let _ = SyntheticSpec::new(3, 4, FeatureKind::Gaussian)
+            .unwrap()
+            .with_subclusters(0);
+    }
+
+    #[test]
+    fn label_noise_perturbs_labels() {
+        let spec = SyntheticSpec::new(10, 4, FeatureKind::Gaussian)
+            .unwrap()
+            .with_label_noise(0.5);
+        let world = spec.sample_world(&mut rng(9));
+        let requested: Vec<usize> = vec![0; 1000];
+        let d = world.sample_with_labels(&requested, &mut rng(10));
+        let flipped = d.labels().iter().filter(|&&y| y != 0).count();
+        // Half are resampled uniformly over 10 classes: ~45% end up ≠ 0.
+        assert!(
+            (300..600).contains(&flipped),
+            "flipped {flipped} of 1000"
+        );
+    }
+
+    #[test]
+    fn worlds_differ_but_are_seed_deterministic() {
+        let spec = SyntheticSpec::new(3, 4, FeatureKind::Gaussian).unwrap();
+        let a = spec.sample_world(&mut rng(11));
+        let b = spec.sample_world(&mut rng(11));
+        let c = spec.sample_world(&mut rng(12));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn builder_overrides_apply() {
+        let spec = SyntheticSpec::new(10, 32, FeatureKind::Gaussian)
+            .unwrap()
+            .with_num_classes(4)
+            .with_input_dim(8)
+            .with_label_noise(0.1);
+        assert_eq!(spec.num_classes(), 4);
+        assert_eq!(spec.input_dim(), 8);
+        assert_eq!(spec.label_noise(), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "label noise must be in [0, 1]")]
+    fn bad_label_noise_panics() {
+        let _ = SyntheticSpec::new(2, 2, FeatureKind::Gaussian)
+            .unwrap()
+            .with_label_noise(1.5);
+    }
+}

@@ -1,0 +1,133 @@
+//! Categorical distribution over `0..k` with arbitrary non-negative weights.
+
+use rand::Rng;
+
+use crate::DistError;
+
+/// A categorical distribution over indices `0..k`.
+///
+/// Used when sampling labels according to a (possibly Dirichlet-drawn)
+/// proportion vector. Sampling is `O(log k)` via a precomputed cumulative
+/// weight table.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_dist::Categorical;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let c = Categorical::new(&[0.1, 0.0, 0.9]).unwrap();
+/// let i = c.sample(&mut rng);
+/// assert!(i == 0 || i == 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorical {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl Categorical {
+    /// Creates a categorical distribution from unnormalized weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError`] if `weights` is empty, contains a negative or
+    /// non-finite weight, or all weights are zero.
+    pub fn new(weights: &[f64]) -> Result<Self, DistError> {
+        if weights.is_empty() {
+            return Err(DistError::new("categorical requires at least one weight"));
+        }
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0.0;
+        for &w in weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(DistError::new(format!(
+                    "categorical weights must be finite and non-negative, got {w}"
+                )));
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if total <= 0.0 {
+            return Err(DistError::new("categorical weights must not all be zero"));
+        }
+        Ok(Self { cumulative, total })
+    }
+
+    /// The number of categories.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the distribution has zero categories (never true for a
+    /// successfully constructed value).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws one category index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen::<f64>() * self.total;
+        // partition_point returns the first index whose cumulative weight
+        // exceeds u; zero-weight categories are skipped because their
+        // cumulative value equals their predecessor's.
+        let idx = self.cumulative.partition_point(|&c| c <= u);
+        idx.min(self.cumulative.len() - 1)
+    }
+
+    /// Draws `n` category indices.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<usize> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert!(Categorical::new(&[]).is_err());
+        assert!(Categorical::new(&[-1.0, 2.0]).is_err());
+        assert!(Categorical::new(&[0.0, 0.0]).is_err());
+        assert!(Categorical::new(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn zero_weight_categories_are_never_drawn() {
+        let c = Categorical::new(&[0.0, 1.0, 0.0, 1.0, 0.0]).unwrap();
+        let mut r = rng(3);
+        for _ in 0..1000 {
+            let i = c.sample(&mut r);
+            assert!(i == 1 || i == 3, "drew zero-weight category {i}");
+        }
+    }
+
+    #[test]
+    fn frequencies_match_weights() {
+        let c = Categorical::new(&[1.0, 3.0]).unwrap();
+        let mut r = rng(4);
+        let n = 40_000;
+        let ones = c.sample_n(&mut r, n).iter().filter(|&&i| i == 1).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.01, "frac was {frac}");
+    }
+
+    #[test]
+    fn single_category_always_zero() {
+        let c = Categorical::new(&[2.5]).unwrap();
+        let mut r = rng(5);
+        assert!(c.sample_n(&mut r, 100).iter().all(|&i| i == 0));
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+}

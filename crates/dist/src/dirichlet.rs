@@ -1,0 +1,188 @@
+//! Dirichlet distribution built from independent gamma variates.
+
+use rand::Rng;
+
+use crate::{DistError, Gamma};
+
+/// A Dirichlet distribution over the probability simplex.
+///
+/// The paper uses `Dir_N(β)` to skew label proportions across nodes
+/// (Section 3.6): lower `β` concentrates each label's mass on fewer nodes,
+/// yielding a more heterogeneous (non-IID) partition.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_dist::Dirichlet;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let d = Dirichlet::symmetric(0.1, 8).unwrap();
+/// let p = d.sample(&mut rng);
+/// assert_eq!(p.len(), 8);
+/// assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dirichlet {
+    alphas: Vec<f64>,
+}
+
+impl Dirichlet {
+    /// Creates a Dirichlet distribution with the given concentration vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError`] if fewer than two concentrations are given or
+    /// any concentration is non-positive or not finite.
+    pub fn new(alphas: Vec<f64>) -> Result<Self, DistError> {
+        if alphas.len() < 2 {
+            return Err(DistError::new(
+                "dirichlet requires at least two concentration parameters",
+            ));
+        }
+        for &a in &alphas {
+            if !a.is_finite() || a <= 0.0 {
+                return Err(DistError::new(format!(
+                    "dirichlet concentrations must be finite and positive, got {a}"
+                )));
+            }
+        }
+        Ok(Self { alphas })
+    }
+
+    /// Creates a symmetric Dirichlet with concentration `beta` in `dim`
+    /// dimensions — the `Dir_N(β)` of the paper.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError`] if `dim < 2` or `beta` is invalid.
+    pub fn symmetric(beta: f64, dim: usize) -> Result<Self, DistError> {
+        Self::new(vec![beta; dim])
+    }
+
+    /// The number of dimensions of the simplex.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.alphas.len()
+    }
+
+    /// The concentration parameters.
+    #[must_use]
+    pub fn alphas(&self) -> &[f64] {
+        &self.alphas
+    }
+
+    /// Draws one probability vector. The result sums to 1 and every entry is
+    /// non-negative (entries can underflow to exactly zero for tiny
+    /// concentrations; the vector is renormalized defensively).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let mut draws: Vec<f64> = self
+            .alphas
+            .iter()
+            .map(|&a| {
+                // Constructor validated alpha > 0, so Gamma::new cannot fail.
+                Gamma::new(a, 1.0).expect("validated alpha").sample(rng)
+            })
+            .collect();
+        let mut total: f64 = draws.iter().sum();
+        if total <= 0.0 || !total.is_finite() {
+            // Pathological underflow (possible only for extremely small
+            // alphas): fall back to a uniform vector rather than NaN.
+            let uniform = 1.0 / draws.len() as f64;
+            draws.fill(uniform);
+            total = 1.0;
+        }
+        for d in &mut draws {
+            *d /= total;
+        }
+        draws
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Dirichlet::new(vec![1.0]).is_err());
+        assert!(Dirichlet::new(vec![1.0, 0.0]).is_err());
+        assert!(Dirichlet::new(vec![1.0, -1.0]).is_err());
+        assert!(Dirichlet::new(vec![1.0, f64::NAN]).is_err());
+        assert!(Dirichlet::symmetric(0.5, 1).is_err());
+    }
+
+    #[test]
+    fn samples_live_on_the_simplex() {
+        let mut r = rng(9);
+        for &beta in &[0.05, 0.1, 0.5, 1.0, 10.0] {
+            let d = Dirichlet::symmetric(beta, 6).unwrap();
+            for _ in 0..100 {
+                let p = d.sample(&mut r);
+                assert_eq!(p.len(), 6);
+                assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+                assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+            }
+        }
+    }
+
+    #[test]
+    fn low_beta_concentrates_mass() {
+        // With beta = 0.05 most of the mass should sit on one coordinate;
+        // with beta = 50 the vector should be close to uniform.
+        let mut r = rng(10);
+        let sharp = Dirichlet::symmetric(0.05, 10).unwrap();
+        let flat = Dirichlet::symmetric(50.0, 10).unwrap();
+        let mut sharp_max = 0.0;
+        let mut flat_max = 0.0;
+        let runs = 200;
+        for _ in 0..runs {
+            sharp_max += sharp.sample(&mut r).iter().cloned().fold(0.0, f64::max);
+            flat_max += flat.sample(&mut r).iter().cloned().fold(0.0, f64::max);
+        }
+        sharp_max /= runs as f64;
+        flat_max /= runs as f64;
+        assert!(
+            sharp_max > 0.6,
+            "expected concentrated mass, max avg was {sharp_max}"
+        );
+        assert!(
+            flat_max < 0.25,
+            "expected near-uniform mass, max avg was {flat_max}"
+        );
+    }
+
+    #[test]
+    fn asymmetric_mean_matches_alphas() {
+        // E[p_i] = alpha_i / sum(alpha).
+        let mut r = rng(12);
+        let d = Dirichlet::new(vec![1.0, 2.0, 7.0]).unwrap();
+        let runs = 20_000;
+        let mut acc = [0.0f64; 3];
+        for _ in 0..runs {
+            let p = d.sample(&mut r);
+            for (a, x) in acc.iter_mut().zip(&p) {
+                *a += x;
+            }
+        }
+        for a in &mut acc {
+            *a /= runs as f64;
+        }
+        assert!((acc[0] - 0.1).abs() < 0.01, "{acc:?}");
+        assert!((acc[1] - 0.2).abs() < 0.01, "{acc:?}");
+        assert!((acc[2] - 0.7).abs() < 0.01, "{acc:?}");
+    }
+
+    #[test]
+    fn accessors_roundtrip() {
+        let d = Dirichlet::symmetric(0.3, 4).unwrap();
+        assert_eq!(d.dim(), 4);
+        assert_eq!(d.alphas(), &[0.3, 0.3, 0.3, 0.3]);
+    }
+}

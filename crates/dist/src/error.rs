@@ -1,0 +1,52 @@
+//! Error type for invalid distribution parameters.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a distribution is constructed with invalid parameters.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_dist::Normal;
+///
+/// let err = Normal::new(0.0, -1.0).unwrap_err();
+/// assert!(err.to_string().contains("standard deviation"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistError {
+    message: String,
+}
+
+impl DistError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for DistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_message() {
+        let e = DistError::new("bad parameter");
+        assert_eq!(e.to_string(), "bad parameter");
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<DistError>();
+    }
+}

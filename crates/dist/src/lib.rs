@@ -1,0 +1,46 @@
+//! Seeded probability distributions and summary statistics.
+//!
+//! The `glmia` workspace implements every stochastic component against a
+//! caller-supplied [`rand::Rng`] so that whole experiments are reproducible
+//! from a single master seed. This crate provides the handful of
+//! distributions the paper's pipeline needs — normal (model initialization,
+//! wake-up jitter, Gaussian-mixture data), gamma and Dirichlet (non-IID label
+//! skew), categorical (label sampling) — plus the summary statistics used by
+//! the experiment reports.
+//!
+//! Samplers are implemented from first principles (Box–Muller,
+//! Marsaglia–Tsang) instead of pulling in `rand_distr`, keeping the
+//! dependency set to the workspace's allowed crates.
+//!
+//! # Examples
+//!
+//! ```
+//! use glmia_dist::{Normal, Dirichlet};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let n = Normal::new(100.0, 10.0).unwrap();
+//! let wait = n.sample(&mut rng);
+//! assert!(wait.is_finite());
+//!
+//! let d = Dirichlet::symmetric(0.5, 3).unwrap();
+//! let p = d.sample(&mut rng);
+//! assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod categorical;
+mod dirichlet;
+mod error;
+mod gamma;
+mod normal;
+mod stats;
+
+pub use categorical::Categorical;
+pub use dirichlet::Dirichlet;
+pub use error::DistError;
+pub use gamma::Gamma;
+pub use normal::Normal;
+pub use stats::{mean, mean_std, percentile, std_dev, Summary};

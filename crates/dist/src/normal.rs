@@ -1,0 +1,163 @@
+//! Normal distribution sampled via the Box–Muller transform.
+
+use rand::Rng;
+
+use crate::DistError;
+
+/// A normal (Gaussian) distribution `N(mean, std_dev²)`.
+///
+/// Sampling uses the polar variant of the Box–Muller transform; one spare
+/// variate is *not* cached so that sampling is a pure function of the RNG
+/// stream, which keeps interleaved multi-component simulations reproducible
+/// regardless of call order within a component.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_dist::Normal;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+/// let n = Normal::new(0.0, 1.0).unwrap();
+/// let xs: Vec<f64> = (0..1000).map(|_| n.sample(&mut rng)).collect();
+/// let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+/// assert!(mean.abs() < 0.15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError`] if `std_dev` is negative or not finite, or if
+    /// `mean` is not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, DistError> {
+        if !mean.is_finite() {
+            return Err(DistError::new(format!("mean must be finite, got {mean}")));
+        }
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(DistError::new(format!(
+                "standard deviation must be finite and non-negative, got {std_dev}"
+            )));
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// Creates the standard normal distribution `N(0, 1)`.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self {
+            mean: 0.0,
+            std_dev: 1.0,
+        }
+    }
+
+    /// The mean of the distribution.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard deviation of the distribution.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+
+    /// Draws `n` samples into a fresh vector.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+impl Default for Normal {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// Draws one standard-normal variate using the polar Box–Muller method.
+pub(crate) fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn rejects_negative_std_dev() {
+        assert!(Normal::new(0.0, -0.1).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_parameters() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+        assert!(Normal::new(f64::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn zero_std_dev_is_constant() {
+        let n = Normal::new(3.5, 0.0).unwrap();
+        let mut r = rng(1);
+        for _ in 0..10 {
+            assert_eq!(n.sample(&mut r), 3.5);
+        }
+    }
+
+    #[test]
+    fn sample_statistics_match_parameters() {
+        let n = Normal::new(10.0, 2.0).unwrap();
+        let mut r = rng(2);
+        let xs = n.sample_n(&mut r, 20_000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean was {mean}");
+        assert!((var - 4.0).abs() < 0.2, "variance was {var}");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let n = Normal::standard();
+        let a = n.sample_n(&mut rng(7), 16);
+        let b = n.sample_n(&mut rng(7), 16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn default_is_standard() {
+        assert_eq!(Normal::default(), Normal::standard());
+    }
+
+    #[test]
+    fn accessors_roundtrip() {
+        let n = Normal::new(1.5, 0.5).unwrap();
+        assert_eq!(n.mean(), 1.5);
+        assert_eq!(n.std_dev(), 0.5);
+    }
+}

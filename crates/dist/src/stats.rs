@@ -1,0 +1,186 @@
+//! Summary statistics used throughout experiment reporting.
+
+/// Arithmetic mean of a slice; `0.0` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(glmia_dist::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// assert_eq!(glmia_dist::mean(&[]), 0.0);
+/// ```
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation of a slice; `0.0` for slices shorter than 2.
+///
+/// # Examples
+///
+/// ```
+/// let s = glmia_dist::std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+/// assert!((s - 2.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Mean and population standard deviation computed in one pass.
+#[must_use]
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    (mean(xs), std_dev(xs))
+}
+
+/// Linear-interpolated percentile (`p` in `[0, 100]`) of a slice.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `p` is outside `[0, 100]`.
+///
+/// # Examples
+///
+/// ```
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(glmia_dist::percentile(&xs, 50.0), 2.5);
+/// assert_eq!(glmia_dist::percentile(&xs, 0.0), 1.0);
+/// assert_eq!(glmia_dist::percentile(&xs, 100.0), 4.0);
+/// ```
+#[must_use]
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of [0, 100]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// A compact summary of a sample: count, mean, standard deviation, min, max.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_dist::Summary;
+///
+/// let s = Summary::of(&[1.0, 2.0, 3.0]);
+/// assert_eq!(s.count, 3);
+/// assert_eq!(s.mean, 2.0);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Population standard deviation (0 when fewer than 2 observations).
+    pub std_dev: f64,
+    /// Minimum observation (0 when empty).
+    pub min: f64,
+    /// Maximum observation (0 when empty).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a slice of observations.
+    #[must_use]
+    pub fn of(xs: &[f64]) -> Self {
+        if xs.is_empty() {
+            return Self::default();
+        }
+        let (mean, std_dev) = mean_std(xs);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Self {
+            count: xs.len(),
+            mean,
+            std_dev,
+            min,
+            max,
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} std={:.4} min={:.4} max={:.4}",
+            self.count, self.mean, self.std_dev, self.min, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn summary_of_empty_is_default() {
+        assert_eq!(Summary::of(&[]), Summary::default());
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = Summary::of(&[4.0, 2.0, 6.0]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 6.0);
+        assert!(s.std_dev > 0.0);
+    }
+
+    #[test]
+    fn summary_display_nonempty() {
+        let s = Summary::of(&[1.0]);
+        assert!(!format!("{s}").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile of empty slice")]
+    fn percentile_empty_panics() {
+        let _ = percentile(&[], 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 100]")]
+    fn percentile_out_of_range_panics() {
+        let _ = percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0];
+        assert_eq!(percentile(&xs, 25.0), 15.0);
+        assert_eq!(percentile(&xs, 75.0), 25.0);
+    }
+
+    #[test]
+    fn percentile_sorts_input() {
+        let xs = [30.0, 10.0, 20.0];
+        assert_eq!(percentile(&xs, 50.0), 20.0);
+    }
+}

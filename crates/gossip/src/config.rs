@@ -1,0 +1,431 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Defense, LrSchedule};
+
+/// Which gossip-learning protocol the nodes run.
+///
+/// [`BaseGossip`](ProtocolKind::BaseGossip) and [`Samo`](ProtocolKind::Samo)
+/// are the paper's Algorithms 1 and 2. SAMO changes *two* things at once
+/// relative to Base Gossip — it defers merging to wake-up (merge-once) and
+/// it disseminates to every neighbor (send-all). The two hybrid variants
+/// decompose that change so ablations can attribute the privacy gain to
+/// each mechanism separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// Algorithm 1: pairwise merge on receive, send to one random neighbor
+    /// on wake.
+    BaseGossip,
+    /// Algorithm 2 (*send-all-merge-once*): buffer on receive; on wake merge
+    /// the whole buffer, train, and send to every neighbor.
+    Samo,
+    /// Hybrid ablation (*send-one-merge-once*): buffer on receive and merge
+    /// at wake-up like SAMO, but send to only one random neighbor like Base
+    /// Gossip. Isolates the merge-once mechanism.
+    SendOneMergeOnce,
+    /// Hybrid ablation (*send-all-merge-each*): pairwise merge + local
+    /// update on every receive like Base Gossip, but send to every neighbor
+    /// like SAMO. Isolates the send-all mechanism.
+    SendAllMergeEach,
+}
+
+impl ProtocolKind {
+    /// All protocol variants (the paper's two plus the two decomposition
+    /// hybrids).
+    pub const ALL: [ProtocolKind; 4] = [
+        ProtocolKind::BaseGossip,
+        ProtocolKind::Samo,
+        ProtocolKind::SendOneMergeOnce,
+        ProtocolKind::SendAllMergeEach,
+    ];
+
+    /// Whether received models are buffered until wake-up (merge-once)
+    /// rather than merged immediately.
+    #[must_use]
+    pub fn merges_once(self) -> bool {
+        matches!(self, ProtocolKind::Samo | ProtocolKind::SendOneMergeOnce)
+    }
+
+    /// Whether the node disseminates to all neighbors (send-all) rather
+    /// than one random neighbor.
+    #[must_use]
+    pub fn sends_all(self) -> bool {
+        matches!(self, ProtocolKind::Samo | ProtocolKind::SendAllMergeEach)
+    }
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolKind::BaseGossip => f.write_str("base-gossip"),
+            ProtocolKind::Samo => f.write_str("samo"),
+            ProtocolKind::SendOneMergeOnce => f.write_str("send-one-merge-once"),
+            ProtocolKind::SendAllMergeEach => f.write_str("send-all-merge-each"),
+        }
+    }
+}
+
+/// Whether the communication graph evolves during the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TopologyMode {
+    /// The initial k-regular graph never changes.
+    Static,
+    /// A waking node first swaps positions with a random neighbor
+    /// (PeerSwap, §2.4).
+    Dynamic,
+}
+
+impl std::fmt::Display for TopologyMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyMode::Static => f.write_str("static"),
+            TopologyMode::Dynamic => f.write_str("dynamic"),
+        }
+    }
+}
+
+/// Configuration of a gossip-learning simulation.
+///
+/// Defaults mirror the paper's setup (§3.1): 100 ticks per round, wake
+/// period `N(100, 100)` (σ = 10 ticks), no message loss, one local epoch,
+/// batch size 16.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_gossip::{ProtocolKind, SimConfig, TopologyMode};
+///
+/// let config = SimConfig::new(ProtocolKind::BaseGossip, TopologyMode::Static)
+///     .with_rounds(50)
+///     .with_local_epochs(3)
+///     .with_learning_rate(0.01)
+///     .with_momentum(0.9)
+///     .with_weight_decay(5e-4);
+/// assert_eq!(config.rounds(), 50);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    protocol: ProtocolKind,
+    topology_mode: TopologyMode,
+    rounds: usize,
+    ticks_per_round: u64,
+    wake_mean: f64,
+    wake_std: f64,
+    message_latency: u64,
+    drop_probability: f64,
+    local_epochs: usize,
+    batch_size: usize,
+    learning_rate: f32,
+    momentum: f32,
+    weight_decay: f32,
+    defense: Option<Defense>,
+    lr_schedule: LrSchedule,
+}
+
+impl SimConfig {
+    /// Creates a config with the paper's defaults.
+    #[must_use]
+    pub fn new(protocol: ProtocolKind, topology_mode: TopologyMode) -> Self {
+        Self {
+            protocol,
+            topology_mode,
+            rounds: 10,
+            ticks_per_round: 100,
+            wake_mean: 100.0,
+            wake_std: 10.0,
+            message_latency: 1,
+            drop_probability: 0.0,
+            local_epochs: 1,
+            batch_size: 16,
+            learning_rate: 0.01,
+            momentum: 0.0,
+            weight_decay: 5e-4,
+            defense: None,
+            lr_schedule: LrSchedule::Constant,
+        }
+    }
+
+    /// Sets the number of communication rounds to simulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    #[must_use]
+    pub fn with_rounds(mut self, rounds: usize) -> Self {
+        assert!(rounds > 0, "rounds must be positive");
+        self.rounds = rounds;
+        self
+    }
+
+    /// Sets the number of ticks per communication round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    #[must_use]
+    pub fn with_ticks_per_round(mut self, ticks: u64) -> Self {
+        assert!(ticks > 0, "ticks_per_round must be positive");
+        self.ticks_per_round = ticks;
+        self
+    }
+
+    /// Sets the wake-period distribution `N(mean, std²)` in ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean <= 0` or `std < 0`.
+    #[must_use]
+    pub fn with_wake_distribution(mut self, mean: f64, std: f64) -> Self {
+        assert!(mean > 0.0 && mean.is_finite(), "wake mean must be positive");
+        assert!(std >= 0.0 && std.is_finite(), "wake std must be non-negative");
+        self.wake_mean = mean;
+        self.wake_std = std;
+        self
+    }
+
+    /// Sets the message delivery latency in ticks.
+    #[must_use]
+    pub fn with_message_latency(mut self, ticks: u64) -> Self {
+        self.message_latency = ticks;
+        self
+    }
+
+    /// Sets the probability that a sent model is silently dropped
+    /// (failure injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if outside `[0, 1)`.
+    #[must_use]
+    pub fn with_drop_probability(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        self.drop_probability = p;
+        self
+    }
+
+    /// Sets the number of local epochs run per update (Table 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    #[must_use]
+    pub fn with_local_epochs(mut self, epochs: usize) -> Self {
+        assert!(epochs > 0, "local_epochs must be positive");
+        self.local_epochs = epochs;
+        self
+    }
+
+    /// Sets the minibatch size for local SGD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    #[must_use]
+    pub fn with_batch_size(mut self, batch: usize) -> Self {
+        assert!(batch > 0, "batch_size must be positive");
+        self.batch_size = batch;
+        self
+    }
+
+    /// Sets the SGD learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if non-positive or not finite.
+    #[must_use]
+    pub fn with_learning_rate(mut self, lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Sets the SGD momentum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if outside `[0, 1)`.
+    #[must_use]
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        self.momentum = momentum;
+        self
+    }
+
+    /// Sets the SGD weight decay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if negative or not finite.
+    #[must_use]
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        assert!(wd.is_finite() && wd >= 0.0, "weight decay must be non-negative");
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Attaches a model-perturbation defense applied to outgoing models.
+    #[must_use]
+    pub fn with_defense(mut self, defense: Defense) -> Self {
+        self.defense = Some(defense);
+        self
+    }
+
+    /// Sets the learning-rate schedule over rounds (default:
+    /// [`LrSchedule::Constant`], the paper's setup).
+    #[must_use]
+    pub fn with_lr_schedule(mut self, schedule: LrSchedule) -> Self {
+        self.lr_schedule = schedule;
+        self
+    }
+
+    /// The protocol.
+    #[must_use]
+    pub fn protocol(&self) -> ProtocolKind {
+        self.protocol
+    }
+
+    /// The topology mode.
+    #[must_use]
+    pub fn topology_mode(&self) -> TopologyMode {
+        self.topology_mode
+    }
+
+    /// Communication rounds to simulate.
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Ticks per round.
+    #[must_use]
+    pub fn ticks_per_round(&self) -> u64 {
+        self.ticks_per_round
+    }
+
+    /// Mean of the wake-period distribution.
+    #[must_use]
+    pub fn wake_mean(&self) -> f64 {
+        self.wake_mean
+    }
+
+    /// Standard deviation of the wake-period distribution.
+    #[must_use]
+    pub fn wake_std(&self) -> f64 {
+        self.wake_std
+    }
+
+    /// Message latency in ticks.
+    #[must_use]
+    pub fn message_latency(&self) -> u64 {
+        self.message_latency
+    }
+
+    /// Message drop probability.
+    #[must_use]
+    pub fn drop_probability(&self) -> f64 {
+        self.drop_probability
+    }
+
+    /// Local epochs per update.
+    #[must_use]
+    pub fn local_epochs(&self) -> usize {
+        self.local_epochs
+    }
+
+    /// Minibatch size.
+    #[must_use]
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// SGD learning rate.
+    #[must_use]
+    pub fn learning_rate(&self) -> f32 {
+        self.learning_rate
+    }
+
+    /// SGD momentum.
+    #[must_use]
+    pub fn momentum(&self) -> f32 {
+        self.momentum
+    }
+
+    /// SGD weight decay.
+    #[must_use]
+    pub fn weight_decay(&self) -> f32 {
+        self.weight_decay
+    }
+
+    /// The configured defense, if any.
+    #[must_use]
+    pub fn defense(&self) -> Option<&Defense> {
+        self.defense.as_ref()
+    }
+
+    /// The learning-rate schedule.
+    #[must_use]
+    pub fn lr_schedule(&self) -> LrSchedule {
+        self.lr_schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SimConfig::new(ProtocolKind::Samo, TopologyMode::Static);
+        assert_eq!(c.ticks_per_round(), 100);
+        assert_eq!(c.wake_mean(), 100.0);
+        assert_eq!(c.wake_std(), 10.0);
+        assert_eq!(c.drop_probability(), 0.0);
+        assert!(c.defense().is_none());
+    }
+
+    #[test]
+    fn builder_chain_applies() {
+        let c = SimConfig::new(ProtocolKind::BaseGossip, TopologyMode::Dynamic)
+            .with_rounds(7)
+            .with_ticks_per_round(50)
+            .with_wake_distribution(60.0, 5.0)
+            .with_message_latency(3)
+            .with_drop_probability(0.1)
+            .with_local_epochs(4)
+            .with_batch_size(8)
+            .with_learning_rate(0.05)
+            .with_momentum(0.9)
+            .with_weight_decay(1e-4);
+        assert_eq!(c.rounds(), 7);
+        assert_eq!(c.ticks_per_round(), 50);
+        assert_eq!(c.wake_mean(), 60.0);
+        assert_eq!(c.message_latency(), 3);
+        assert_eq!(c.drop_probability(), 0.1);
+        assert_eq!(c.local_epochs(), 4);
+        assert_eq!(c.batch_size(), 8);
+        assert_eq!(c.learning_rate(), 0.05);
+        assert_eq!(c.momentum(), 0.9);
+        assert_eq!(c.weight_decay(), 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "rounds must be positive")]
+    fn zero_rounds_panics() {
+        let _ = SimConfig::new(ProtocolKind::Samo, TopologyMode::Static).with_rounds(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability must be in [0, 1)")]
+    fn bad_drop_probability_panics() {
+        let _ = SimConfig::new(ProtocolKind::Samo, TopologyMode::Static).with_drop_probability(1.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ProtocolKind::BaseGossip.to_string(), "base-gossip");
+        assert_eq!(ProtocolKind::Samo.to_string(), "samo");
+        assert_eq!(TopologyMode::Static.to_string(), "static");
+        assert_eq!(TopologyMode::Dynamic.to_string(), "dynamic");
+    }
+}

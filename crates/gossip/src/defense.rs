@@ -1,0 +1,125 @@
+//! Model-perturbation defenses applied to outgoing models.
+
+use glmia_dist::Normal;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A perturbation applied to every model a node *sends* (its own stored
+/// model is untouched).
+///
+/// These are lightweight instances of the mitigation directions the paper
+/// surveys in §6.2 (local-DP-style noise injection); they let the benchmark
+/// harness quantify the privacy/utility shift a defense buys on top of the
+/// architectural factors the paper studies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Defense {
+    /// Adds IID Gaussian noise `N(0, std²)` to every shared parameter — the
+    /// core randomizer of local-DP approaches (Cyffers & Bellet 2022).
+    GaussianNoise {
+        /// Noise standard deviation.
+        std: f64,
+    },
+    /// Zeroes a uniformly random fraction of shared parameters (sparsifying
+    /// share-masking).
+    RandomMask {
+        /// Fraction of parameters zeroed, in `[0, 1)`.
+        fraction: f64,
+    },
+}
+
+impl Defense {
+    /// Applies the defense in place to an outgoing flat parameter vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parameters are invalid (negative noise std, fraction
+    /// outside `[0, 1)`).
+    pub fn apply<R: Rng + ?Sized>(&self, params: &mut [f32], rng: &mut R) {
+        match *self {
+            Defense::GaussianNoise { std } => {
+                assert!(std >= 0.0 && std.is_finite(), "noise std must be non-negative");
+                if std == 0.0 {
+                    return;
+                }
+                let normal = Normal::new(0.0, std).expect("validated std");
+                for p in params {
+                    *p += normal.sample(rng) as f32;
+                }
+            }
+            Defense::RandomMask { fraction } => {
+                assert!(
+                    (0.0..1.0).contains(&fraction),
+                    "mask fraction must be in [0, 1)"
+                );
+                for p in params {
+                    if rng.gen_bool(fraction) {
+                        *p = 0.0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Defense {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Defense::GaussianNoise { std } => write!(f, "gaussian-noise(σ={std})"),
+            Defense::RandomMask { fraction } => write!(f, "random-mask({fraction})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn gaussian_noise_perturbs() {
+        let mut params = vec![1.0f32; 100];
+        Defense::GaussianNoise { std: 0.5 }.apply(&mut params, &mut rng(0));
+        assert!(params.iter().any(|&p| p != 1.0));
+        // Mean stays near 1.
+        let mean: f32 = params.iter().sum::<f32>() / 100.0;
+        assert!((mean - 1.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn zero_noise_is_noop() {
+        let mut params = vec![1.0f32; 10];
+        Defense::GaussianNoise { std: 0.0 }.apply(&mut params, &mut rng(1));
+        assert!(params.iter().all(|&p| p == 1.0));
+    }
+
+    #[test]
+    fn mask_zeroes_expected_fraction() {
+        let mut params = vec![1.0f32; 10_000];
+        Defense::RandomMask { fraction: 0.3 }.apply(&mut params, &mut rng(2));
+        let zeroed = params.iter().filter(|&&p| p == 0.0).count();
+        assert!((2700..3300).contains(&zeroed), "zeroed {zeroed}");
+    }
+
+    #[test]
+    #[should_panic(expected = "mask fraction must be in [0, 1)")]
+    fn bad_mask_fraction_panics() {
+        Defense::RandomMask { fraction: 1.0 }.apply(&mut [1.0], &mut rng(3));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(
+            Defense::GaussianNoise { std: 0.1 }.to_string(),
+            "gaussian-noise(σ=0.1)"
+        );
+        assert_eq!(
+            Defense::RandomMask { fraction: 0.5 }.to_string(),
+            "random-mask(0.5)"
+        );
+    }
+}

@@ -1,0 +1,807 @@
+//! The discrete-event simulation engine.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use glmia_data::Federation;
+use glmia_dist::Normal;
+use glmia_graph::Topology;
+use glmia_nn::{Mlp, MlpSpec, Sgd};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::node::Node;
+use crate::{
+    GossipError, NodeStats, ProtocolKind, RoundSnapshot, SimConfig, SimResult, TopologyMode,
+};
+
+/// A scheduled event, ordered by `(tick, seq)` so simultaneous events
+/// process in deterministic insertion order. `seq` is unique per event, so
+/// comparing only `(tick, seq)` is a total order consistent with equality.
+#[derive(Debug, Clone)]
+struct Event {
+    tick: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        (self.tick, self.seq) == (other.tick, other.seq)
+    }
+}
+
+impl Eq for Event {}
+
+#[derive(Debug, Clone)]
+enum EventKind {
+    /// Node wakes up (Algorithm 1/2 wake branch).
+    Wake { node: usize },
+    /// A model arrives at `to` (receive branch).
+    Deliver { to: usize, model: Vec<f32> },
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.tick, self.seq).cmp(&(other.tick, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A runnable gossip-learning simulation.
+///
+/// Built from a [`SimConfig`], a shared model architecture, a
+/// [`Federation`] of per-node datasets, and an initial [`Topology`]; every
+/// source of randomness derives from the single `seed`, so runs are
+/// bit-reproducible.
+///
+/// See the [crate docs](crate) for a full example.
+#[derive(Debug)]
+pub struct Simulation {
+    config: SimConfig,
+    topology: Topology,
+    nodes: Vec<Node>,
+    queue: BinaryHeap<Reverse<Event>>,
+    next_seq: u64,
+    messages_sent: u64,
+    messages_dropped: u64,
+    local_updates: u64,
+    node_stats: Vec<NodeStats>,
+}
+
+impl Simulation {
+    /// Creates a simulation.
+    ///
+    /// Every node starts from the *same* initial model `θ₀` (drawn once
+    /// with Kaiming initialization from the master seed), as in Algorithm
+    /// 1/2 line 1, and from its own wake period `Δᵢ ~ N(μ, σ²)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GossipError`] if the topology size differs from the
+    /// federation size, the federation is empty, or a node's training shard
+    /// does not match the model input width.
+    pub fn new(
+        config: SimConfig,
+        model_spec: &MlpSpec,
+        federation: &Federation,
+        topology: Topology,
+        seed: u64,
+    ) -> Result<Self, GossipError> {
+        let n = federation.len();
+        if n == 0 {
+            return Err(GossipError::new("federation has no nodes"));
+        }
+        if topology.len() != n {
+            return Err(GossipError::new(format!(
+                "topology has {} nodes but federation has {n}",
+                topology.len()
+            )));
+        }
+        let mut master = StdRng::seed_from_u64(seed);
+        let theta0 = Mlp::new(model_spec, &mut master);
+        let wake_dist = Normal::new(config.wake_mean(), config.wake_std())
+            .expect("config validated wake distribution");
+
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            let data = federation.node(i);
+            if !data.train.is_empty() && data.train.input_dim() != model_spec.input_dim() {
+                return Err(GossipError::new(format!(
+                    "node {i} data width {} does not match model input {}",
+                    data.train.input_dim(),
+                    model_spec.input_dim()
+                )));
+            }
+            let period = wake_dist.sample(&mut master).round().max(1.0) as u64;
+            nodes.push(Node {
+                model: theta0.clone(),
+                opt: Sgd::new(config.learning_rate())
+                    .with_momentum(config.momentum())
+                    .with_weight_decay(config.weight_decay()),
+                buffer: Vec::new(),
+                last_shared: None,
+                wake_period: period,
+                train: data.train.clone(),
+                rng: StdRng::seed_from_u64(master.gen()),
+            });
+        }
+
+        let mut sim = Self {
+            config,
+            topology,
+            node_stats: vec![NodeStats::default(); nodes.len()],
+            nodes,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            messages_sent: 0,
+            messages_dropped: 0,
+            local_updates: 0,
+        };
+        // First wake of node i lands after one full period, staggering the
+        // network naturally.
+        for i in 0..n {
+            let first = sim.nodes[i].wake_period;
+            sim.schedule(first, EventKind::Wake { node: i });
+        }
+        Ok(sim)
+    }
+
+    /// The simulation's configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The current communication topology (evolves under
+    /// [`TopologyMode::Dynamic`]).
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the simulation has zero nodes (never true after successful
+    /// construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total models sent so far.
+    #[must_use]
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Models dropped by failure injection so far.
+    #[must_use]
+    pub fn messages_dropped(&self) -> u64 {
+        self.messages_dropped
+    }
+
+    /// Total local-update epochs run so far.
+    #[must_use]
+    pub fn local_updates(&self) -> u64 {
+        self.local_updates
+    }
+
+    /// Per-node activity counters so far.
+    #[must_use]
+    pub fn node_stats(&self) -> &[NodeStats] {
+        &self.node_stats
+    }
+
+    /// Node `i`'s current model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn node_model(&self, i: usize) -> &Mlp {
+        &self.nodes[i].model
+    }
+
+    /// Runs the configured number of rounds, recording one
+    /// [`RoundSnapshot`] per round.
+    pub fn run(&mut self) -> SimResult {
+        let mut snapshots = Vec::with_capacity(self.config.rounds());
+        self.run_with(|snap| snapshots.push(snap.clone()));
+        SimResult {
+            snapshots,
+            messages_sent: self.messages_sent,
+            messages_dropped: self.messages_dropped,
+            local_updates: self.local_updates,
+            node_stats: self.node_stats.clone(),
+        }
+    }
+
+    /// Runs the configured number of rounds, invoking `observer` with each
+    /// round's snapshot instead of accumulating them (constant-memory
+    /// variant for long runs).
+    pub fn run_with(&mut self, mut observer: impl FnMut(&RoundSnapshot)) {
+        for round in 1..=self.config.rounds() {
+            let horizon = round as u64 * self.config.ticks_per_round();
+            self.process_until(horizon);
+            let snapshot = RoundSnapshot {
+                round,
+                tick: horizon,
+                models: self.nodes.iter().map(|n| n.model.flat_params()).collect(),
+                shared_models: self
+                    .nodes
+                    .iter()
+                    .map(|n| {
+                        n.last_shared
+                            .clone()
+                            .unwrap_or_else(|| n.model.flat_params())
+                    })
+                    .collect(),
+            };
+            observer(&snapshot);
+        }
+    }
+
+    /// Processes every event with `tick <= horizon`.
+    fn process_until(&mut self, horizon: u64) {
+        while let Some(Reverse(event)) = self.queue.peek().cloned() {
+            if event.tick > horizon {
+                break;
+            }
+            self.queue.pop();
+            match event.kind {
+                EventKind::Wake { node } => self.on_wake(node, event.tick),
+                EventKind::Deliver { to, model } => self.on_deliver(to, &model, event.tick),
+            }
+        }
+    }
+
+    fn schedule(&mut self, tick: u64, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(Event { tick, seq, kind }));
+    }
+
+    /// Wake branch of Algorithms 1 and 2.
+    fn on_wake(&mut self, i: usize, tick: u64) {
+        // Dynamic topologies: swap with a random neighbor before anything
+        // else (§2.4).
+        self.node_stats[i].wakes += 1;
+        if self.config.topology_mode() == TopologyMode::Dynamic {
+            self.topology
+                .swap_with_random_neighbor(i, &mut self.nodes[i].rng);
+        }
+        let protocol: ProtocolKind = self.config.protocol();
+        // Merge-once protocols aggregate their buffer and train at wake-up
+        // (SAMO lines 3–7).
+        if protocol.merges_once() && self.nodes[i].merge_buffer() {
+            self.node_stats[i].merges += 1;
+            self.run_local_update(i, tick);
+        }
+        // Dissemination: all neighbors (send-all) or one uniformly random
+        // neighbor (Base Gossip line 3).
+        if protocol.sends_all() {
+            let neighbors: Vec<usize> = self.topology.view(i).to_vec();
+            for j in neighbors {
+                self.send_model(i, j, tick);
+            }
+        } else {
+            let view = self.topology.view(i);
+            if !view.is_empty() {
+                let j = view[self.nodes[i].rng.gen_range(0..view.len())];
+                self.send_model(i, j, tick);
+            }
+        }
+        // Schedule the next wake.
+        let next = tick + self.nodes[i].wake_period;
+        self.schedule(next, EventKind::Wake { node: i });
+    }
+
+    /// Receive branch of Algorithms 1 and 2.
+    fn on_deliver(&mut self, i: usize, model: &[f32], tick: u64) {
+        self.node_stats[i].received += 1;
+        if self.config.protocol().merges_once() {
+            // Store for the next wake-up merge (SAMO line 11).
+            self.nodes[i].buffer.push(model.to_vec());
+        } else {
+            // Pairwise aggregate + immediate local update (Base GL lines
+            // 7–8).
+            self.nodes[i].merge_pairwise(model);
+            self.node_stats[i].merges += 1;
+            self.run_local_update(i, tick);
+        }
+    }
+
+    /// Runs node `i`'s local update at `tick`, applying the learning-rate
+    /// schedule for the current round.
+    fn run_local_update(&mut self, i: usize, tick: u64) {
+        let round = (tick / self.config.ticks_per_round()) as usize;
+        let factor = self
+            .config
+            .lr_schedule()
+            .factor_at(round, self.config.rounds());
+        self.nodes[i]
+            .opt
+            .set_learning_rate(self.config.learning_rate() * factor);
+        let epochs = {
+            let config = self.config.clone();
+            self.nodes[i].local_update(&config)
+        };
+        self.local_updates += epochs;
+        self.node_stats[i].update_epochs += epochs;
+    }
+
+    /// Sends node `i`'s current model to `j`, applying the configured
+    /// defense and failure injection.
+    fn send_model(&mut self, i: usize, j: usize, tick: u64) {
+        self.messages_sent += 1;
+        self.node_stats[i].sent += 1;
+        let drop = self.config.drop_probability() > 0.0
+            && self.nodes[i].rng.gen_bool(self.config.drop_probability());
+        if drop {
+            self.messages_dropped += 1;
+            return;
+        }
+        let mut params = self.nodes[i].model.flat_params();
+        if let Some(defense) = self.config.defense().copied() {
+            defense.apply(&mut params, &mut self.nodes[i].rng);
+        }
+        self.nodes[i].last_shared = Some(params.clone());
+        self.schedule(
+            tick + self.config.message_latency(),
+            EventKind::Deliver { to: j, model: params },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glmia_data::{FeatureKind, Partition, SyntheticSpec};
+    use glmia_nn::Activation;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn small_setup(
+        n: usize,
+        k: usize,
+        seed: u64,
+    ) -> (MlpSpec, Federation, Topology) {
+        let spec = SyntheticSpec::new(3, 6, FeatureKind::Gaussian)
+            .unwrap()
+            .with_class_separation(1.5);
+        let fed = Federation::build(&spec, n, 12, 6, Partition::Iid, &mut rng(seed)).unwrap();
+        let topo = Topology::random_regular(n, k, &mut rng(seed + 1)).unwrap();
+        let model_spec = MlpSpec::new(6, &[8], 3, Activation::Relu).unwrap();
+        (model_spec, fed, topo)
+    }
+
+    fn config(protocol: ProtocolKind, mode: TopologyMode) -> SimConfig {
+        SimConfig::new(protocol, mode)
+            .with_rounds(4)
+            .with_local_epochs(1)
+            .with_batch_size(4)
+            .with_learning_rate(0.05)
+    }
+
+    #[test]
+    fn construction_validates_sizes() {
+        let (spec, fed, _) = small_setup(6, 2, 0);
+        let wrong_topo = Topology::ring(5).unwrap();
+        assert!(Simulation::new(
+            config(ProtocolKind::Samo, TopologyMode::Static),
+            &spec,
+            &fed,
+            wrong_topo,
+            0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn construction_validates_input_width() {
+        let (_, fed, topo) = small_setup(6, 2, 1);
+        let wrong_spec = MlpSpec::new(7, &[8], 3, Activation::Relu).unwrap();
+        assert!(Simulation::new(
+            config(ProtocolKind::Samo, TopologyMode::Static),
+            &wrong_spec,
+            &fed,
+            topo,
+            0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn run_produces_one_snapshot_per_round() {
+        let (spec, fed, topo) = small_setup(6, 2, 2);
+        let mut sim = Simulation::new(
+            config(ProtocolKind::Samo, TopologyMode::Static),
+            &spec,
+            &fed,
+            topo,
+            7,
+        )
+        .unwrap();
+        let result = sim.run();
+        assert_eq!(result.snapshots.len(), 4);
+        for (idx, snap) in result.snapshots.iter().enumerate() {
+            assert_eq!(snap.round, idx + 1);
+            assert_eq!(snap.tick as usize, (idx + 1) * 100);
+            assert_eq!(snap.models.len(), 6);
+        }
+        assert!(result.messages_sent > 0);
+        assert!(result.local_updates > 0);
+        assert_eq!(result.messages_dropped, 0);
+    }
+
+    #[test]
+    fn runs_are_seed_deterministic() {
+        let (spec, fed, topo) = small_setup(6, 2, 3);
+        let mk = || {
+            Simulation::new(
+                config(ProtocolKind::BaseGossip, TopologyMode::Dynamic),
+                &spec,
+                &fed,
+                topo.clone(),
+                99,
+            )
+            .unwrap()
+        };
+        let a = mk().run();
+        let b = mk().run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let (spec, fed, topo) = small_setup(6, 2, 4);
+        let a = Simulation::new(
+            config(ProtocolKind::Samo, TopologyMode::Static),
+            &spec,
+            &fed,
+            topo.clone(),
+            1,
+        )
+        .unwrap()
+        .run();
+        let b = Simulation::new(
+            config(ProtocolKind::Samo, TopologyMode::Static),
+            &spec,
+            &fed,
+            topo,
+            2,
+        )
+        .unwrap()
+        .run();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn models_change_over_training() {
+        let (spec, fed, topo) = small_setup(6, 2, 5);
+        let mut sim = Simulation::new(
+            config(ProtocolKind::Samo, TopologyMode::Static),
+            &spec,
+            &fed,
+            topo,
+            11,
+        )
+        .unwrap();
+        let initial = sim.node_model(0).flat_params();
+        let result = sim.run();
+        assert_ne!(result.final_snapshot().models[0], initial);
+    }
+
+    #[test]
+    fn all_nodes_start_from_theta0() {
+        let (spec, fed, topo) = small_setup(6, 2, 6);
+        let sim = Simulation::new(
+            config(ProtocolKind::Samo, TopologyMode::Static),
+            &spec,
+            &fed,
+            topo,
+            13,
+        )
+        .unwrap();
+        let first = sim.node_model(0).flat_params();
+        for i in 1..sim.len() {
+            assert_eq!(sim.node_model(i).flat_params(), first, "node {i} differs");
+        }
+    }
+
+    #[test]
+    fn samo_sends_k_models_per_wake_base_sends_one() {
+        let (spec, fed, topo) = small_setup(8, 4, 7);
+        let base = Simulation::new(
+            config(ProtocolKind::BaseGossip, TopologyMode::Static),
+            &spec,
+            &fed,
+            topo.clone(),
+            21,
+        )
+        .unwrap()
+        .run();
+        let samo = Simulation::new(
+            config(ProtocolKind::Samo, TopologyMode::Static),
+            &spec,
+            &fed,
+            topo,
+            21,
+        )
+        .unwrap()
+        .run();
+        // SAMO's message volume is ~k times Base Gossip's.
+        assert!(
+            samo.messages_sent > base.messages_sent * 3,
+            "samo {} vs base {}",
+            samo.messages_sent,
+            base.messages_sent
+        );
+    }
+
+    #[test]
+    fn dynamic_mode_mutates_topology() {
+        let (spec, fed, topo) = small_setup(8, 2, 8);
+        let mut sim = Simulation::new(
+            config(ProtocolKind::Samo, TopologyMode::Dynamic),
+            &spec,
+            &fed,
+            topo.clone(),
+            17,
+        )
+        .unwrap();
+        sim.run();
+        assert_ne!(*sim.topology(), topo, "PeerSwap never fired");
+        assert!(sim.topology().is_regular(2), "dynamics must stay 2-regular");
+    }
+
+    #[test]
+    fn static_mode_preserves_topology() {
+        let (spec, fed, topo) = small_setup(8, 2, 9);
+        let mut sim = Simulation::new(
+            config(ProtocolKind::Samo, TopologyMode::Static),
+            &spec,
+            &fed,
+            topo.clone(),
+            19,
+        )
+        .unwrap();
+        sim.run();
+        assert_eq!(*sim.topology(), topo);
+    }
+
+    #[test]
+    fn hybrid_protocols_run_and_split_mechanisms() {
+        let (spec, fed, topo) = small_setup(8, 4, 20);
+        let mut results = std::collections::HashMap::new();
+        for protocol in ProtocolKind::ALL {
+            let result = Simulation::new(
+                config(protocol, TopologyMode::Static),
+                &spec,
+                &fed,
+                topo.clone(),
+                51,
+            )
+            .unwrap()
+            .run();
+            assert_eq!(result.snapshots.len(), 4, "{protocol}");
+            results.insert(protocol.to_string(), result.messages_sent);
+        }
+        // send-all variants send ~k× more than send-one variants.
+        assert!(results["samo"] > results["send-one-merge-once"] * 3);
+        assert!(results["send-all-merge-each"] > results["base-gossip"] * 3);
+    }
+
+    #[test]
+    fn protocol_mechanism_flags() {
+        assert!(!ProtocolKind::BaseGossip.merges_once());
+        assert!(!ProtocolKind::BaseGossip.sends_all());
+        assert!(ProtocolKind::Samo.merges_once());
+        assert!(ProtocolKind::Samo.sends_all());
+        assert!(ProtocolKind::SendOneMergeOnce.merges_once());
+        assert!(!ProtocolKind::SendOneMergeOnce.sends_all());
+        assert!(!ProtocolKind::SendAllMergeEach.merges_once());
+        assert!(ProtocolKind::SendAllMergeEach.sends_all());
+    }
+
+    #[test]
+    fn message_drops_are_counted() {
+        let (spec, fed, topo) = small_setup(6, 2, 10);
+        let cfg = config(ProtocolKind::Samo, TopologyMode::Static).with_drop_probability(0.5);
+        let result = Simulation::new(cfg, &spec, &fed, topo, 23).unwrap().run();
+        assert!(result.messages_dropped > 0);
+        assert!(result.messages_dropped < result.messages_sent);
+    }
+
+    #[test]
+    fn training_under_message_loss_still_progresses() {
+        let (spec, fed, topo) = small_setup(6, 2, 11);
+        let cfg = SimConfig::new(ProtocolKind::Samo, TopologyMode::Static)
+            .with_rounds(10)
+            .with_local_epochs(1)
+            .with_batch_size(4)
+            .with_learning_rate(0.05)
+            .with_drop_probability(0.3);
+        let mut sim = Simulation::new(cfg, &spec, &fed, topo, 29).unwrap();
+        let result = sim.run();
+        // Average global-test accuracy of final models beats chance (1/3).
+        let node0 = fed.node(0);
+        let model = Mlp::from_flat(&spec, &result.final_snapshot().models[0]).unwrap();
+        let acc = model.accuracy(node0.train.features(), node0.train.labels());
+        assert!(acc > 0.4, "accuracy under loss was {acc}");
+    }
+
+    #[test]
+    fn run_with_observer_streams_rounds() {
+        let (spec, fed, topo) = small_setup(6, 2, 12);
+        let mut sim = Simulation::new(
+            config(ProtocolKind::BaseGossip, TopologyMode::Static),
+            &spec,
+            &fed,
+            topo,
+            31,
+        )
+        .unwrap();
+        let mut rounds = Vec::new();
+        sim.run_with(|s| rounds.push(s.round));
+        assert_eq!(rounds, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn node_stats_are_consistent_with_global_counters() {
+        let (spec, fed, topo) = small_setup(8, 4, 26);
+        let mut sim = Simulation::new(
+            config(ProtocolKind::Samo, TopologyMode::Static),
+            &spec,
+            &fed,
+            topo,
+            61,
+        )
+        .unwrap();
+        let result = sim.run();
+        assert_eq!(result.node_stats.len(), 8);
+        let sent: u64 = result.node_stats.iter().map(|s| s.sent).sum();
+        assert_eq!(sent, result.messages_sent);
+        let epochs: u64 = result.node_stats.iter().map(|s| s.update_epochs).sum();
+        assert_eq!(epochs, result.local_updates);
+        let received: u64 = result.node_stats.iter().map(|s| s.received).sum();
+        let undropped = result.messages_sent - result.messages_dropped;
+        // Models sent in the final ticks may still be in flight at the
+        // horizon; everything else must have been delivered.
+        assert!(received <= undropped);
+        assert!(
+            received + 8 * 4 >= undropped,
+            "at most one last volley per node may be in flight: {received} vs {undropped}"
+        );
+        // Every node woke roughly once per round.
+        for (i, s) in result.node_stats.iter().enumerate() {
+            assert!(s.wakes >= 2, "node {i} woke only {} times", s.wakes);
+            assert!(s.merges <= s.wakes, "SAMO merges happen at wake-ups");
+        }
+    }
+
+    #[test]
+    fn zero_wake_std_still_staggers_via_distinct_rngs() {
+        let (spec, fed, topo) = small_setup(6, 2, 22);
+        let cfg = SimConfig::new(ProtocolKind::Samo, TopologyMode::Static)
+            .with_rounds(3)
+            .with_wake_distribution(100.0, 0.0)
+            .with_local_epochs(1)
+            .with_batch_size(4);
+        let mut sim = Simulation::new(cfg, &spec, &fed, topo, 43).unwrap();
+        let result = sim.run();
+        assert_eq!(result.snapshots.len(), 3);
+        assert!(result.messages_sent > 0);
+    }
+
+    #[test]
+    fn large_message_latency_delays_learning() {
+        // With latency beyond the horizon, no model is ever delivered:
+        // SAMO nodes never merge, so no local updates happen.
+        let (spec, fed, topo) = small_setup(6, 2, 23);
+        let cfg = SimConfig::new(ProtocolKind::Samo, TopologyMode::Static)
+            .with_rounds(3)
+            .with_message_latency(10_000)
+            .with_local_epochs(1)
+            .with_batch_size(4);
+        let mut sim = Simulation::new(cfg, &spec, &fed, topo, 47).unwrap();
+        let result = sim.run();
+        assert!(result.messages_sent > 0);
+        assert_eq!(result.local_updates, 0, "nothing delivered, nothing merged");
+        // All models still equal θ₀.
+        let snap = result.final_snapshot();
+        assert!(snap.models.iter().all(|m| *m == snap.models[0]));
+    }
+
+    #[test]
+    fn shared_models_track_last_transmission() {
+        use crate::Defense;
+        let (spec, fed, topo) = small_setup(6, 2, 24);
+        let cfg = config(ProtocolKind::Samo, TopologyMode::Static)
+            .with_defense(Defense::GaussianNoise { std: 1.0 });
+        let mut sim = Simulation::new(cfg, &spec, &fed, topo, 53).unwrap();
+        let result = sim.run();
+        let snap = result.final_snapshot();
+        // With heavy noise, transmitted copies differ from internal models.
+        let differs = snap
+            .models
+            .iter()
+            .zip(&snap.shared_models)
+            .filter(|(m, s)| m != s)
+            .count();
+        assert!(differs > 0, "defense must perturb the shared surface");
+    }
+
+    #[test]
+    fn without_defense_shared_equals_a_past_model_shape() {
+        let (spec, fed, topo) = small_setup(6, 2, 25);
+        let mut sim = Simulation::new(
+            config(ProtocolKind::Samo, TopologyMode::Static),
+            &spec,
+            &fed,
+            topo,
+            59,
+        )
+        .unwrap();
+        let result = sim.run();
+        let snap = result.final_snapshot();
+        assert_eq!(snap.shared_models.len(), snap.models.len());
+        for shared in &snap.shared_models {
+            assert_eq!(shared.len(), snap.models[0].len());
+        }
+    }
+
+    #[test]
+    fn lr_schedule_changes_the_run() {
+        use crate::LrSchedule;
+        let (spec, fed, topo) = small_setup(6, 2, 21);
+        let constant = Simulation::new(
+            config(ProtocolKind::Samo, TopologyMode::Static),
+            &spec,
+            &fed,
+            topo.clone(),
+            41,
+        )
+        .unwrap()
+        .run();
+        let warmup = Simulation::new(
+            config(ProtocolKind::Samo, TopologyMode::Static).with_lr_schedule(
+                LrSchedule::Warmup {
+                    rounds: 3,
+                    start_factor: 0.1,
+                },
+            ),
+            &spec,
+            &fed,
+            topo,
+            41,
+        )
+        .unwrap()
+        .run();
+        assert_ne!(constant, warmup, "schedule should alter the trajectory");
+    }
+
+    #[test]
+    fn defense_noise_is_applied_to_sent_models() {
+        use crate::Defense;
+        let (spec, fed, topo) = small_setup(6, 2, 13);
+        // With huge noise, received models destroy convergence; just check
+        // the run completes and models move.
+        let cfg = config(ProtocolKind::Samo, TopologyMode::Static)
+            .with_defense(Defense::GaussianNoise { std: 0.01 });
+        let result = Simulation::new(cfg, &spec, &fed, topo, 37).unwrap().run();
+        assert_eq!(result.snapshots.len(), 4);
+    }
+}

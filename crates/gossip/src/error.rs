@@ -1,0 +1,42 @@
+//! Error type for simulation construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a simulation is configured inconsistently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GossipError {
+    message: String,
+}
+
+impl GossipError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for GossipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for GossipError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<GossipError>();
+    }
+
+    #[test]
+    fn display_matches_message() {
+        assert_eq!(GossipError::new("bad").to_string(), "bad");
+    }
+}

@@ -1,0 +1,97 @@
+//! Per-node simulation state.
+
+use glmia_data::Dataset;
+use glmia_nn::{Mlp, Sgd};
+use rand::rngs::StdRng;
+
+use crate::SimConfig;
+
+/// One gossip participant: its current model, optimizer state, SAMO buffer
+/// and private randomness.
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    /// The node's current model θᵢ.
+    pub model: Mlp,
+    /// Long-lived optimizer (momentum persists across merges).
+    pub opt: Sgd,
+    /// SAMO incoming-model buffer Θᵢ \ {θᵢ} — received flat parameter
+    /// vectors awaiting the next wake-up merge.
+    pub buffer: Vec<Vec<f32>>,
+    /// Fixed wake period Δᵢ in ticks (drawn once at startup, §3.1).
+    pub wake_period: u64,
+    /// The most recent outgoing model copy (post-defense); `None` until the
+    /// node first sends.
+    pub last_shared: Option<Vec<f32>>,
+    /// Local training shard Dᵢ,train.
+    pub train: Dataset,
+    /// Node-private RNG: neighbor choice, shuffling, defense noise, drops.
+    pub rng: StdRng,
+}
+
+impl Node {
+    /// Runs the configured number of local epochs on the node's shard.
+    /// Returns how many epochs ran (0 when the shard is empty).
+    pub fn local_update(&mut self, config: &SimConfig) -> u64 {
+        if self.train.is_empty() {
+            return 0;
+        }
+        for _ in 0..config.local_epochs() {
+            self.model.train_epoch(
+                self.train.features(),
+                self.train.labels(),
+                config.batch_size(),
+                &mut self.opt,
+                &mut self.rng,
+            );
+        }
+        config.local_epochs() as u64
+    }
+
+    /// Replaces the node's model parameters with the average of its buffer
+    /// and its own model (SAMO line 4), clearing the buffer. No-op when the
+    /// buffer is empty (|Θᵢ| = 1 in the paper's notation).
+    ///
+    /// Returns whether a merge happened.
+    pub fn merge_buffer(&mut self) -> bool {
+        if self.buffer.is_empty() {
+            return false;
+        }
+        let mut acc = self.model.flat_params();
+        for received in &self.buffer {
+            debug_assert_eq!(received.len(), acc.len());
+            for (a, r) in acc.iter_mut().zip(received) {
+                *a += r;
+            }
+        }
+        let count = (self.buffer.len() + 1) as f32;
+        for a in &mut acc {
+            *a /= count;
+        }
+        self.model
+            .load_flat(&acc)
+            .expect("buffered models share the node's parameter count");
+        self.buffer.clear();
+        true
+    }
+
+    /// Pairwise-averages the node's model with one received model (Base
+    /// Gossip line 7): `θᵢ ← (θᵢ + θⱼ) / 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the received vector length mismatches the model.
+    pub fn merge_pairwise(&mut self, received: &[f32]) {
+        let mut acc = self.model.flat_params();
+        assert_eq!(
+            received.len(),
+            acc.len(),
+            "received model has wrong parameter count"
+        );
+        for (a, r) in acc.iter_mut().zip(received) {
+            *a = (*a + r) / 2.0;
+        }
+        self.model
+            .load_flat(&acc)
+            .expect("length checked above");
+    }
+}

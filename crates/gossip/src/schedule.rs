@@ -1,0 +1,200 @@
+//! Learning-rate schedules over communication rounds.
+//!
+//! The paper's recommendations (§5) call out *dynamic learning rates* and
+//! *warmup-style damping* as levers against early overfitting — the phase
+//! that creates persistent MIA vulnerability (RQ5). A schedule maps the
+//! current communication round to a multiplier on the base learning rate.
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule evaluated per communication round.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_gossip::LrSchedule;
+///
+/// let warmup = LrSchedule::Warmup { rounds: 10, start_factor: 0.1 };
+/// assert!((warmup.factor_at(0, 100) - 0.1).abs() < 1e-6);
+/// assert!((warmup.factor_at(10, 100) - 1.0).abs() < 1e-6);
+///
+/// let decay = LrSchedule::StepDecay { every_rounds: 50, factor: 0.5 };
+/// assert_eq!(decay.factor_at(100, 250), 0.25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum LrSchedule {
+    /// The base learning rate throughout (the paper's setup).
+    #[default]
+    Constant,
+    /// Linear ramp from `start_factor · lr` to `lr` over the first
+    /// `rounds` rounds — damps the early steps that create persistent
+    /// leakage.
+    Warmup {
+        /// Rounds the ramp spans.
+        rounds: usize,
+        /// Initial multiplier in `(0, 1]`.
+        start_factor: f32,
+    },
+    /// Multiplies the rate by `factor` every `every_rounds` rounds.
+    StepDecay {
+        /// Decay period in rounds.
+        every_rounds: usize,
+        /// Multiplier per period, in `(0, 1]`.
+        factor: f32,
+    },
+    /// Cosine annealing from the base rate to `min_factor · lr` across the
+    /// whole run.
+    Cosine {
+        /// Final multiplier in `[0, 1]`.
+        min_factor: f32,
+    },
+}
+
+
+impl LrSchedule {
+    /// The learning-rate multiplier at `round` (0-based) of a
+    /// `total_rounds`-round run. Always positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if schedule parameters are invalid (zero periods, factors
+    /// outside their documented ranges).
+    #[must_use]
+    pub fn factor_at(self, round: usize, total_rounds: usize) -> f32 {
+        match self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::Warmup {
+                rounds,
+                start_factor,
+            } => {
+                assert!(rounds > 0, "warmup rounds must be positive");
+                assert!(
+                    start_factor > 0.0 && start_factor <= 1.0,
+                    "warmup start factor must be in (0, 1]"
+                );
+                if round >= rounds {
+                    1.0
+                } else {
+                    let progress = round as f32 / rounds as f32;
+                    start_factor + (1.0 - start_factor) * progress
+                }
+            }
+            LrSchedule::StepDecay {
+                every_rounds,
+                factor,
+            } => {
+                assert!(every_rounds > 0, "decay period must be positive");
+                assert!(
+                    factor > 0.0 && factor <= 1.0,
+                    "decay factor must be in (0, 1]"
+                );
+                // Floor against f32 underflow on very long runs: the
+                // learning rate must stay strictly positive.
+                factor.powi((round / every_rounds) as i32).max(1e-12)
+            }
+            LrSchedule::Cosine { min_factor } => {
+                assert!(
+                    (0.0..=1.0).contains(&min_factor),
+                    "cosine min factor must be in [0, 1]"
+                );
+                if total_rounds <= 1 {
+                    return 1.0;
+                }
+                let progress = (round.min(total_rounds - 1)) as f32 / (total_rounds - 1) as f32;
+                let cos = (std::f32::consts::PI * progress).cos();
+                (min_factor + (1.0 - min_factor) * 0.5 * (1.0 + cos)).max(min_factor.max(1e-6))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for LrSchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LrSchedule::Constant => f.write_str("constant"),
+            LrSchedule::Warmup {
+                rounds,
+                start_factor,
+            } => write!(f, "warmup({rounds}r from {start_factor})"),
+            LrSchedule::StepDecay {
+                every_rounds,
+                factor,
+            } => write!(f, "step-decay(×{factor} every {every_rounds}r)"),
+            LrSchedule::Cosine { min_factor } => write!(f, "cosine(to {min_factor})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one_everywhere() {
+        for round in [0, 10, 1000] {
+            assert_eq!(LrSchedule::Constant.factor_at(round, 100), 1.0);
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_linearly_then_saturates() {
+        let s = LrSchedule::Warmup {
+            rounds: 4,
+            start_factor: 0.2,
+        };
+        assert!((s.factor_at(0, 10) - 0.2).abs() < 1e-6);
+        assert!((s.factor_at(2, 10) - 0.6).abs() < 1e-6);
+        assert_eq!(s.factor_at(4, 10), 1.0);
+        assert_eq!(s.factor_at(9, 10), 1.0);
+    }
+
+    #[test]
+    fn step_decay_compounds() {
+        let s = LrSchedule::StepDecay {
+            every_rounds: 10,
+            factor: 0.5,
+        };
+        assert_eq!(s.factor_at(0, 100), 1.0);
+        assert_eq!(s.factor_at(9, 100), 1.0);
+        assert_eq!(s.factor_at(10, 100), 0.5);
+        assert_eq!(s.factor_at(35, 100), 0.125);
+    }
+
+    #[test]
+    fn cosine_is_monotone_decreasing_and_positive() {
+        let s = LrSchedule::Cosine { min_factor: 0.1 };
+        let mut prev = f32::INFINITY;
+        for round in 0..50 {
+            let f = s.factor_at(round, 50);
+            assert!(f > 0.0);
+            assert!(f <= prev + 1e-6);
+            prev = f;
+        }
+        assert!((s.factor_at(0, 50) - 1.0).abs() < 1e-6);
+        assert!((s.factor_at(49, 50) - 0.1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cosine_single_round_is_one() {
+        assert_eq!(LrSchedule::Cosine { min_factor: 0.5 }.factor_at(0, 1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup rounds must be positive")]
+    fn warmup_zero_rounds_panics() {
+        let _ = LrSchedule::Warmup {
+            rounds: 0,
+            start_factor: 0.5,
+        }
+        .factor_at(0, 10);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(LrSchedule::Constant.to_string(), "constant");
+        assert!(LrSchedule::Cosine { min_factor: 0.1 }
+            .to_string()
+            .contains("cosine"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Round snapshots: the omniscient attacker's observations.
+
+use serde::{Deserialize, Serialize};
+
+/// All node models captured at one round boundary — what the paper's
+/// omniscient observer (§2.6) records: "at regular time intervals recover
+/// the current models of all nodes".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundSnapshot {
+    /// The 1-based communication round this snapshot closes.
+    pub round: usize,
+    /// The simulation tick at capture time.
+    pub tick: u64,
+    /// Flat parameter vectors, one per node (index = node id) — each
+    /// node's *internal* current model θᵢ.
+    pub models: Vec<Vec<f32>>,
+    /// The most recent model each node *transmitted*, after any
+    /// [`Defense`](crate::Defense) was applied; equals the internal model
+    /// for nodes that have not sent yet. This is the surface a
+    /// network-eavesdropping attacker actually observes, and the only one a
+    /// share-perturbation defense can protect.
+    pub shared_models: Vec<Vec<f32>>,
+}
+
+/// Per-node activity counters over a whole run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// Times the node woke up.
+    pub wakes: u64,
+    /// Models the node sent (before failure injection).
+    pub sent: u64,
+    /// Models delivered to the node.
+    pub received: u64,
+    /// Local-update epochs the node ran.
+    pub update_epochs: u64,
+    /// Buffer merges (SAMO-family) or pairwise merges (Base-family) the
+    /// node performed.
+    pub merges: u64,
+}
+
+/// The full outcome of a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// One snapshot per round, in order.
+    pub snapshots: Vec<RoundSnapshot>,
+    /// Total models sent over the run (SAMO sends `k` per wake, Base Gossip
+    /// sends 1 — the communication-cost axis of RQ3).
+    pub messages_sent: u64,
+    /// Models silently dropped by failure injection.
+    pub messages_dropped: u64,
+    /// Total local-update invocations across nodes.
+    pub local_updates: u64,
+    /// Per-node activity counters (index = node id).
+    pub node_stats: Vec<NodeStats>,
+}
+
+impl SimResult {
+    /// The final round's snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run produced no snapshots (never happens for a
+    /// successfully constructed simulation, which validates `rounds > 0`).
+    #[must_use]
+    pub fn final_snapshot(&self) -> &RoundSnapshot {
+        self.snapshots.last().expect("simulations run at least one round")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn final_snapshot_is_last() {
+        let result = SimResult {
+            snapshots: vec![
+                RoundSnapshot {
+                    round: 1,
+                    tick: 100,
+                    models: vec![],
+                    shared_models: vec![],
+                },
+                RoundSnapshot {
+                    round: 2,
+                    tick: 200,
+                    models: vec![],
+                    shared_models: vec![],
+                },
+            ],
+            messages_sent: 0,
+            messages_dropped: 0,
+            local_updates: 0,
+            node_stats: vec![],
+        };
+        assert_eq!(result.final_snapshot().round, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn empty_final_snapshot_panics() {
+        let result = SimResult {
+            snapshots: vec![],
+            messages_sent: 0,
+            messages_dropped: 0,
+            local_updates: 0,
+            node_stats: vec![],
+        };
+        let _ = result.final_snapshot();
+    }
+}

@@ -1,0 +1,49 @@
+//! Error type for invalid topologies and operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned on invalid graph parameters or operations.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_graph::Topology;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// // k must be smaller than n.
+/// let err = Topology::random_regular(4, 4, &mut rng).unwrap_err();
+/// assert!(err.to_string().contains("degree"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphError {
+    message: String,
+}
+
+impl GraphError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<GraphError>();
+    }
+}

@@ -1,0 +1,191 @@
+//! Additional reference topology families.
+//!
+//! The paper's experiments use random k-regular graphs; these families give
+//! the analysis toolkit interpretable comparison points with known mixing
+//! behaviour: the torus (poorly-mixing regular lattice), the hypercube
+//! (well-mixing structured graph) and Watts–Strogatz-style rewired rings
+//! (tunable between lattice and random graph).
+
+use rand::Rng;
+
+use crate::{GraphError, Topology};
+
+impl Topology {
+    /// A 2-dimensional `rows × cols` torus (wrap-around grid): every node
+    /// has degree 4, diameter `Θ(rows + cols)` — a canonical *slow-mixing*
+    /// regular topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if either side is smaller than 3 (smaller
+    /// sides create parallel edges).
+    pub fn torus(rows: usize, cols: usize) -> Result<Self, GraphError> {
+        if rows < 3 || cols < 3 {
+            return Err(GraphError::new("torus sides must be at least 3"));
+        }
+        let mut g = Topology::empty(rows * cols);
+        let id = |r: usize, c: usize| r * cols + c;
+        for r in 0..rows {
+            for c in 0..cols {
+                g.insert_edge_unchecked(id(r, c), id((r + 1) % rows, c));
+                g.insert_edge_unchecked(id(r, c), id(r, (c + 1) % cols));
+            }
+        }
+        Ok(g)
+    }
+
+    /// The `d`-dimensional hypercube on `2^d` nodes: degree `d`, diameter
+    /// `d` — a canonical *fast-mixing* structured topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if `d == 0` or `d > 20` (more than a million
+    /// nodes is outside this toolkit's intended scale).
+    pub fn hypercube(d: usize) -> Result<Self, GraphError> {
+        if d == 0 {
+            return Err(GraphError::new("hypercube dimension must be positive"));
+        }
+        if d > 20 {
+            return Err(GraphError::new("hypercube dimension capped at 20"));
+        }
+        let n = 1usize << d;
+        let mut g = Topology::empty(n);
+        for i in 0..n {
+            for bit in 0..d {
+                let j = i ^ (1 << bit);
+                if i < j {
+                    g.insert_edge_unchecked(i, j);
+                }
+            }
+        }
+        Ok(g)
+    }
+
+    /// A Watts–Strogatz-style small world: a ring where each node connects
+    /// to its `k/2` nearest neighbors on each side, with every edge
+    /// rewired to a random endpoint with probability `p` (keeping the
+    /// graph simple; degrees may deviate slightly from `k` after
+    /// rewiring).
+    ///
+    /// `p = 0` is the ring lattice (slow mixing); `p = 1` approaches a
+    /// random graph (fast mixing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if `k` is odd, zero, or `k >= n`, if
+    /// `n < 4`, or if `p` is outside `[0, 1]`.
+    pub fn small_world<R: Rng + ?Sized>(
+        n: usize,
+        k: usize,
+        p: f64,
+        rng: &mut R,
+    ) -> Result<Self, GraphError> {
+        if n < 4 {
+            return Err(GraphError::new("small world requires at least 4 nodes"));
+        }
+        if k == 0 || !k.is_multiple_of(2) || k >= n {
+            return Err(GraphError::new(
+                "small-world degree must be even, positive and below n",
+            ));
+        }
+        if !(0.0..=1.0).contains(&p) {
+            return Err(GraphError::new("rewiring probability must be in [0, 1]"));
+        }
+        let mut g = Topology::empty(n);
+        for i in 0..n {
+            for offset in 1..=(k / 2) {
+                g.insert_edge_unchecked(i, (i + offset) % n);
+            }
+        }
+        if p > 0.0 {
+            for (i, j) in g.edges() {
+                if !rng.gen_bool(p) {
+                    continue;
+                }
+                // Rewire edge (i, j) to (i, new) when that keeps the graph
+                // simple; skip otherwise (standard Watts–Strogatz).
+                let new = rng.gen_range(0..n);
+                if new == i || g.contains_edge(i, new) {
+                    continue;
+                }
+                g.remove_edge_unchecked(i, j);
+                g.insert_edge_unchecked(i, new);
+            }
+        }
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn torus_is_4_regular_connected() {
+        let g = Topology::torus(4, 5).unwrap();
+        assert_eq!(g.len(), 20);
+        assert!(g.is_regular(4));
+        assert!(g.is_connected());
+        assert!(g.invariants_hold());
+    }
+
+    #[test]
+    fn torus_rejects_small_sides() {
+        assert!(Topology::torus(2, 5).is_err());
+        assert!(Topology::torus(5, 2).is_err());
+    }
+
+    #[test]
+    fn hypercube_has_degree_d_and_2_pow_d_nodes() {
+        let g = Topology::hypercube(4).unwrap();
+        assert_eq!(g.len(), 16);
+        assert!(g.is_regular(4));
+        assert!(g.is_connected());
+        // Neighbors differ in exactly one bit.
+        for i in 0..g.len() {
+            for &j in g.view(i) {
+                assert_eq!((i ^ j).count_ones(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_rejects_bad_dims() {
+        assert!(Topology::hypercube(0).is_err());
+        assert!(Topology::hypercube(21).is_err());
+    }
+
+    #[test]
+    fn small_world_p0_is_ring_lattice() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = Topology::small_world(12, 4, 0.0, &mut rng).unwrap();
+        assert!(g.is_regular(4));
+        assert!(g.is_connected());
+        assert!(g.contains_edge(0, 1) && g.contains_edge(0, 2));
+        assert!(g.contains_edge(0, 11) && g.contains_edge(0, 10));
+    }
+
+    #[test]
+    fn small_world_rewiring_keeps_graph_simple() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for p in [0.1, 0.5, 1.0] {
+            let g = Topology::small_world(30, 4, p, &mut rng).unwrap();
+            assert!(g.invariants_hold(), "p={p}");
+            // Edge count is preserved by rewiring (skips notwithstanding,
+            // every rewire removes one and adds one).
+            assert_eq!(g.edges().len(), 30 * 2, "p={p}");
+        }
+    }
+
+    #[test]
+    fn small_world_rejects_bad_params() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(Topology::small_world(3, 2, 0.1, &mut rng).is_err());
+        assert!(Topology::small_world(10, 3, 0.1, &mut rng).is_err());
+        assert!(Topology::small_world(10, 0, 0.1, &mut rng).is_err());
+        assert!(Topology::small_world(10, 10, 0.1, &mut rng).is_err());
+        assert!(Topology::small_world(10, 2, 1.5, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! Random k-regular graph generation and deterministic reference topologies.
+
+use rand::Rng;
+
+use crate::{GraphError, Topology};
+
+/// How many pairing attempts the configuration model makes before giving up.
+const MAX_PAIRING_ATTEMPTS: usize = 10_000;
+
+/// How many generated graphs we reject for disconnectedness before giving up.
+const MAX_CONNECTIVITY_ATTEMPTS: usize = 1_000;
+
+impl Topology {
+    /// Generates a uniformly random *connected* k-regular graph over `n`
+    /// nodes using the configuration (pairing) model with rejection, the
+    /// standard construction behind random-peer-sampling overlays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if the parameters are infeasible (`k >= n`,
+    /// `n·k` odd, or `k == 0` with `n > 1`) or if generation repeatedly
+    /// fails (astronomically unlikely for feasible parameters).
+    pub fn random_regular<R: Rng + ?Sized>(
+        n: usize,
+        k: usize,
+        rng: &mut R,
+    ) -> Result<Self, GraphError> {
+        validate_regular_params(n, k)?;
+        if n == 0 {
+            return Ok(Topology::empty(0));
+        }
+        if k == 0 {
+            // Feasible only for n == 1 after validation.
+            return Ok(Topology::empty(n));
+        }
+        for _ in 0..MAX_CONNECTIVITY_ATTEMPTS {
+            let g = pairing_model(n, k, rng)?;
+            if g.is_connected() {
+                debug_assert!(g.invariants_hold());
+                return Ok(g);
+            }
+        }
+        Err(GraphError::new(format!(
+            "failed to generate a connected {k}-regular graph on {n} nodes \
+             after {MAX_CONNECTIVITY_ATTEMPTS} attempts"
+        )))
+    }
+
+    /// The deterministic ring (cycle) topology — the canonical 2-regular
+    /// graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if `n < 3`.
+    pub fn ring(n: usize) -> Result<Self, GraphError> {
+        if n < 3 {
+            return Err(GraphError::new("a ring requires at least 3 nodes"));
+        }
+        let mut g = Topology::empty(n);
+        for i in 0..n {
+            g.insert_edge_unchecked(i, (i + 1) % n);
+        }
+        Ok(g)
+    }
+
+    /// The complete graph on `n` nodes (the `(n−1)`-regular limit the paper
+    /// uses as the reference point for large view sizes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if `n == 0`.
+    pub fn complete(n: usize) -> Result<Self, GraphError> {
+        if n == 0 {
+            return Err(GraphError::new("a complete graph requires at least 1 node"));
+        }
+        let mut g = Topology::empty(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.insert_edge_unchecked(i, j);
+            }
+        }
+        Ok(g)
+    }
+}
+
+fn validate_regular_params(n: usize, k: usize) -> Result<(), GraphError> {
+    if n == 0 {
+        return Ok(());
+    }
+    if k >= n {
+        return Err(GraphError::new(format!(
+            "degree {k} must be smaller than the node count {n}"
+        )));
+    }
+    if n > 1 && k == 0 {
+        return Err(GraphError::new(
+            "degree 0 on more than one node can never be connected",
+        ));
+    }
+    if !(n * k).is_multiple_of(2) {
+        return Err(GraphError::new(format!(
+            "a {k}-regular graph on {n} nodes is infeasible (n·k must be even)"
+        )));
+    }
+    Ok(())
+}
+
+/// One configuration-model draw in the incremental (Steger–Wormald) style:
+/// repeatedly pair two random *suitable* stubs (different nodes, edge not
+/// yet present); restart on the rare deadlock where no suitable pair
+/// remains. Unlike whole-matching rejection, this stays efficient for the
+/// paper's densest setting (k = 25).
+fn pairing_model<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Result<Topology, GraphError> {
+    'attempt: for _ in 0..MAX_PAIRING_ATTEMPTS {
+        let mut stubs: Vec<usize> = (0..n).flat_map(|i| std::iter::repeat_n(i, k)).collect();
+        let mut g = Topology::empty(n);
+        while !stubs.is_empty() {
+            let mut paired = false;
+            // Random proposals; bounded so a deadlock falls through to the
+            // exhaustive check instead of looping forever.
+            for _ in 0..50 {
+                let ai = rng.gen_range(0..stubs.len());
+                let bi = rng.gen_range(0..stubs.len());
+                let (a, b) = (stubs[ai], stubs[bi]);
+                if ai == bi || a == b || g.contains_edge(a, b) {
+                    continue;
+                }
+                g.insert_edge_unchecked(a, b);
+                // swap_remove the larger index first so indices stay valid.
+                let (hi, lo) = if ai > bi { (ai, bi) } else { (bi, ai) };
+                stubs.swap_remove(hi);
+                stubs.swap_remove(lo);
+                paired = true;
+                break;
+            }
+            if paired {
+                continue;
+            }
+            // Exhaustive scan: does any suitable pair remain?
+            let found = 'scan: {
+                for x in 0..stubs.len() {
+                    for y in (x + 1)..stubs.len() {
+                        let (a, b) = (stubs[x], stubs[y]);
+                        if a != b && !g.contains_edge(a, b) {
+                            break 'scan Some((x, y));
+                        }
+                    }
+                }
+                None
+            };
+            match found {
+                Some((x, y)) => {
+                    let (a, b) = (stubs[x], stubs[y]);
+                    g.insert_edge_unchecked(a, b);
+                    stubs.swap_remove(y);
+                    stubs.swap_remove(x);
+                }
+                None => continue 'attempt,
+            }
+        }
+        return Ok(g);
+    }
+    Err(GraphError::new(format!(
+        "pairing model failed to produce a simple {k}-regular graph on {n} nodes \
+         after {MAX_PAIRING_ATTEMPTS} attempts"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn rejects_infeasible_parameters() {
+        let mut r = rng(0);
+        assert!(Topology::random_regular(5, 5, &mut r).is_err());
+        assert!(Topology::random_regular(5, 3, &mut r).is_err()); // odd n*k
+        assert!(Topology::random_regular(4, 0, &mut r).is_err());
+    }
+
+    #[test]
+    fn paper_configurations_generate() {
+        // All view sizes used in the paper, at the paper's 150-node scale.
+        let mut r = rng(1);
+        for &k in &[2usize, 5, 10, 25] {
+            let g = Topology::random_regular(150, k, &mut r).unwrap();
+            assert!(g.is_regular(k), "k={k}");
+            assert!(g.is_connected(), "k={k}");
+            assert!(g.invariants_hold(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn small_graphs_generate() {
+        let mut r = rng(2);
+        let g = Topology::random_regular(4, 2, &mut r).unwrap();
+        assert!(g.is_regular(2));
+        let g = Topology::random_regular(1, 0, &mut r).unwrap();
+        assert_eq!(g.len(), 1);
+        let g = Topology::random_regular(0, 0, &mut r).unwrap();
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = Topology::random_regular(30, 4, &mut rng(7)).unwrap();
+        let b = Topology::random_regular(30, 4, &mut rng(7)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Topology::random_regular(30, 4, &mut rng(7)).unwrap();
+        let b = Topology::random_regular(30, 4, &mut rng(8)).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ring_is_2_regular_connected() {
+        let g = Topology::ring(10).unwrap();
+        assert!(g.is_regular(2));
+        assert!(g.is_connected());
+        assert_eq!(g.view(9), &[0, 8]);
+        assert!(Topology::ring(2).is_err());
+    }
+
+    #[test]
+    fn complete_graph_has_full_degree() {
+        let g = Topology::complete(6).unwrap();
+        assert!(g.is_regular(5));
+        assert_eq!(g.edges().len(), 15);
+        assert!(Topology::complete(0).is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! Communication topologies for decentralized learning.
+//!
+//! The paper runs gossip learning over *k-regular* graphs (every node has
+//! exactly `k` neighbors) in two regimes:
+//!
+//! * **static** — the initial random k-regular graph never changes;
+//! * **dynamic** — the [PeerSwap] random peer-sampling protocol
+//!   (Guerraoui et al. 2024) is applied on every node wake-up: the waking
+//!   node swaps graph positions with a random neighbor, which keeps the graph
+//!   k-regular while rapidly re-randomizing it (§2.4).
+//!
+//! This crate provides the [`Topology`] type (neighbor views + invariant
+//! checks), random k-regular generation via the configuration model, and the
+//! exact PeerSwap update rule.
+//!
+//! [PeerSwap]: Topology::peer_swap
+//!
+//! # Examples
+//!
+//! ```
+//! use glmia_graph::Topology;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut g = Topology::random_regular(20, 4, &mut rng)?;
+//! assert!(g.is_regular(4) && g.is_connected());
+//!
+//! // One PeerSwap step keeps the graph 4-regular.
+//! let waking = 3;
+//! g.swap_with_random_neighbor(waking, &mut rng);
+//! assert!(g.is_regular(4));
+//! # Ok::<(), glmia_graph::GraphError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod families;
+mod generate;
+mod peerswap;
+mod stats;
+mod topology;
+
+pub use error::GraphError;
+pub use stats::GraphStats;
+pub use topology::Topology;

@@ -1,0 +1,192 @@
+//! The PeerSwap dynamic peer-sampling update.
+
+use rand::Rng;
+
+use crate::{GraphError, Topology};
+
+impl Topology {
+    /// Applies one PeerSwap step: nodes `i` and `j` (which must be
+    /// neighbors) exchange their positions in the graph.
+    ///
+    /// Following §2.4 of the paper, with `p` the current time:
+    ///
+    /// ```text
+    /// Nᵢ ← Nⱼ⁽ᵖ⁻¹⁾ \ {i} ∪ {j}
+    /// Nⱼ ← Nᵢ⁽ᵖ⁻¹⁾ \ {j} ∪ {i}
+    /// Nₖ ← Nₖ⁽ᵖ⁻¹⁾ \ {i} ∪ {j}   for all k ∈ Nᵢ⁽ᵖ⁻¹⁾ \ {j}
+    /// Nₖ ← Nₖ⁽ᵖ⁻¹⁾ \ {j} ∪ {i}   for all k ∈ Nⱼ⁽ᵖ⁻¹⁾ \ {i}
+    /// ```
+    ///
+    /// The swap relabels `i ↔ j`, so the graph stays k-regular and common
+    /// neighbors of `i` and `j` keep both in their views.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if `i == j`, either index is out of range, or
+    /// `(i, j)` is not an edge.
+    pub fn peer_swap(&mut self, i: usize, j: usize) -> Result<(), GraphError> {
+        let n = self.len();
+        if i >= n || j >= n {
+            return Err(GraphError::new(format!(
+                "peer_swap indices ({i}, {j}) out of range for {n} nodes"
+            )));
+        }
+        if i == j {
+            return Err(GraphError::new("peer_swap requires two distinct nodes"));
+        }
+        if !self.contains_edge(i, j) {
+            return Err(GraphError::new(format!(
+                "peer_swap requires ({i}, {j}) to be an edge"
+            )));
+        }
+        // Old views minus each other.
+        let a: Vec<usize> = self.view(i).iter().copied().filter(|&x| x != j).collect();
+        let b: Vec<usize> = self.view(j).iter().copied().filter(|&x| x != i).collect();
+        // Detach i and j from their exclusive neighbors, then reattach
+        // swapped. Common neighbors (in both a and b) end up unchanged.
+        for &x in &a {
+            self.remove_edge_unchecked(i, x);
+        }
+        for &x in &b {
+            self.remove_edge_unchecked(j, x);
+        }
+        for &x in &b {
+            self.insert_edge_unchecked(i, x);
+        }
+        for &x in &a {
+            self.insert_edge_unchecked(j, x);
+        }
+        // (i, j) itself is untouched: i and j remain neighbors.
+        debug_assert!(self.invariants_hold());
+        Ok(())
+    }
+
+    /// PeerSwap wake-up step for node `i`: pick a uniformly random neighbor
+    /// `j` and swap positions with it, returning `j`. Returns `None` when
+    /// `i` has no neighbors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn swap_with_random_neighbor<R: Rng + ?Sized>(
+        &mut self,
+        i: usize,
+        rng: &mut R,
+    ) -> Option<usize> {
+        let view = self.view(i);
+        if view.is_empty() {
+            return None;
+        }
+        let j = view[rng.gen_range(0..view.len())];
+        self.peer_swap(i, j)
+            .expect("random neighbor forms a valid edge");
+        Some(j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn swap_requires_an_edge() {
+        let mut g = Topology::ring(5).unwrap();
+        assert!(g.peer_swap(0, 2).is_err());
+        assert!(g.peer_swap(0, 0).is_err());
+        assert!(g.peer_swap(0, 9).is_err());
+    }
+
+    #[test]
+    fn swap_exchanges_positions_on_a_ring() {
+        // Ring 0-1-2-3-4. Swapping 0 and 1 relabels them: new ring is
+        // 1-0-2-3-4, i.e. N_0 = {1, 2}, N_1 = {0, 4}.
+        let mut g = Topology::ring(5).unwrap();
+        g.peer_swap(0, 1).unwrap();
+        assert_eq!(g.view(0), &[1, 2]);
+        assert_eq!(g.view(1), &[0, 4]);
+        assert_eq!(g.view(4), &[1, 3]);
+        assert_eq!(g.view(2), &[0, 3]);
+        assert!(g.is_regular(2));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn swap_is_an_involution() {
+        let mut g = Topology::random_regular(20, 4, &mut rng(0)).unwrap();
+        let before = g.clone();
+        g.peer_swap(3, g.view(3)[0]).unwrap();
+        // Swapping the same pair back restores the original graph.
+        let j = *before.view(3).first().unwrap();
+        g.peer_swap(3, j).unwrap();
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn swap_preserves_regularity_and_connectivity() {
+        let mut g = Topology::random_regular(30, 4, &mut rng(1)).unwrap();
+        let mut r = rng(2);
+        for step in 0..500 {
+            let i = r.gen_range(0..g.len());
+            g.swap_with_random_neighbor(i, &mut r);
+            assert!(g.is_regular(4), "broke regularity at step {step}");
+            assert!(g.invariants_hold(), "broke invariants at step {step}");
+        }
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn swap_with_common_neighbors_keeps_them_intact() {
+        // Triangle plus a pendant structure: 0-1, 1-2, 0-2, 2-3, 3-0 forms
+        // a graph where 0 and 1 share neighbor 2.
+        let g = Topology::from_views(vec![
+            vec![1, 2, 3],
+            vec![0, 2],
+            vec![0, 1, 3],
+            vec![0, 2],
+        ])
+        .unwrap();
+        let mut h = g.clone();
+        h.peer_swap(0, 1).unwrap();
+        // Node 2 was a common neighbor: still adjacent to both 0 and 1.
+        assert!(h.contains_edge(2, 0) && h.contains_edge(2, 1));
+        // Node 3 was exclusive to 0: now adjacent to 1 instead.
+        assert!(h.contains_edge(3, 1) && !h.contains_edge(3, 0));
+        // Degrees swapped with the labels.
+        assert_eq!(h.degree(0), g.degree(1));
+        assert_eq!(h.degree(1), g.degree(0));
+        assert!(h.invariants_hold());
+    }
+
+    #[test]
+    fn swap_on_isolated_node_returns_none() {
+        let mut g = Topology::from_views(vec![vec![1], vec![0], vec![]]).unwrap();
+        assert_eq!(g.swap_with_random_neighbor(2, &mut rng(3)), None);
+    }
+
+    #[test]
+    fn degree_multiset_is_invariant() {
+        let mut g = Topology::from_views(vec![
+            vec![1, 2, 3],
+            vec![0, 2],
+            vec![0, 1, 3],
+            vec![0, 2],
+        ])
+        .unwrap();
+        let mut degrees_before: Vec<usize> = (0..g.len()).map(|i| g.degree(i)).collect();
+        degrees_before.sort_unstable();
+        let mut r = rng(4);
+        for _ in 0..100 {
+            let i = r.gen_range(0..g.len());
+            g.swap_with_random_neighbor(i, &mut r);
+        }
+        let mut degrees_after: Vec<usize> = (0..g.len()).map(|i| g.degree(i)).collect();
+        degrees_after.sort_unstable();
+        assert_eq!(degrees_before, degrees_after);
+    }
+}

@@ -1,0 +1,182 @@
+//! Structural graph statistics.
+//!
+//! Interpretable complements to the spectral analysis: path lengths and
+//! clustering explain *why* a topology mixes slowly (long paths, local
+//! cliques) in terms a deployment engineer can act on.
+
+use crate::Topology;
+
+/// Structural statistics of a topology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of undirected edges.
+    pub edges: usize,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Longest shortest path; `None` if the graph is disconnected.
+    pub diameter: Option<usize>,
+    /// Mean shortest-path length over connected ordered pairs; `None` if
+    /// the graph has fewer than 2 nodes or no connected pair.
+    pub average_path_length: Option<f64>,
+    /// Global clustering coefficient (3 × triangles / connected triples);
+    /// 0 when the graph has no connected triples.
+    pub clustering_coefficient: f64,
+}
+
+impl Topology {
+    /// Breadth-first distances from `source`; `usize::MAX` marks
+    /// unreachable nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source >= len()`.
+    #[must_use]
+    pub fn bfs_distances(&self, source: usize) -> Vec<usize> {
+        assert!(source < self.len(), "source {source} out of bounds");
+        let mut dist = vec![usize::MAX; self.len()];
+        dist[source] = 0;
+        let mut queue = std::collections::VecDeque::from([source]);
+        while let Some(i) = queue.pop_front() {
+            for &j in self.view(i) {
+                if dist[j] == usize::MAX {
+                    dist[j] = dist[i] + 1;
+                    queue.push_back(j);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Computes all structural statistics (all-pairs BFS, `O(n·(n+m))` —
+    /// fine at this workspace's scales).
+    #[must_use]
+    pub fn stats(&self) -> GraphStats {
+        let n = self.len();
+        let edges = self.edges().len();
+        let degrees: Vec<usize> = (0..n).map(|i| self.degree(i)).collect();
+        let min_degree = degrees.iter().copied().min().unwrap_or(0);
+        let max_degree = degrees.iter().copied().max().unwrap_or(0);
+
+        let mut diameter = Some(0usize);
+        let mut path_sum = 0u64;
+        let mut path_pairs = 0u64;
+        for i in 0..n {
+            for (j, &d) in self.bfs_distances(i).iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                if d == usize::MAX {
+                    diameter = None;
+                } else {
+                    if let Some(current) = diameter {
+                        diameter = Some(current.max(d));
+                    }
+                    path_sum += d as u64;
+                    path_pairs += 1;
+                }
+            }
+        }
+        let average_path_length = if path_pairs > 0 && diameter.is_some() {
+            Some(path_sum as f64 / path_pairs as f64)
+        } else {
+            None
+        };
+
+        // Global clustering: closed triples / all connected triples.
+        let mut triangles = 0u64; // counted 3× (once per corner ordering)
+        let mut triples = 0u64;
+        for i in 0..n {
+            let view = self.view(i);
+            let d = view.len() as u64;
+            triples += d.saturating_sub(1) * d / 2;
+            for (a_idx, &a) in view.iter().enumerate() {
+                for &b in &view[a_idx + 1..] {
+                    if self.contains_edge(a, b) {
+                        triangles += 1;
+                    }
+                }
+            }
+        }
+        let clustering_coefficient = if triples > 0 {
+            triangles as f64 / triples as f64
+        } else {
+            0.0
+        };
+
+        GraphStats {
+            nodes: n,
+            edges,
+            min_degree,
+            max_degree,
+            diameter,
+            average_path_length,
+            clustering_coefficient,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_statistics() {
+        let g = Topology::ring(8).unwrap();
+        let s = g.stats();
+        assert_eq!(s.nodes, 8);
+        assert_eq!(s.edges, 8);
+        assert_eq!((s.min_degree, s.max_degree), (2, 2));
+        assert_eq!(s.diameter, Some(4));
+        assert_eq!(s.clustering_coefficient, 0.0);
+        // Ring of 8: distances 1,1,2,2,3,3,4 from any node → mean 16/7.
+        let apl = s.average_path_length.unwrap();
+        assert!((apl - 16.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complete_graph_statistics() {
+        let g = Topology::complete(5).unwrap();
+        let s = g.stats();
+        assert_eq!(s.diameter, Some(1));
+        assert_eq!(s.average_path_length, Some(1.0));
+        assert!((s.clustering_coefficient - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_graph_has_no_diameter() {
+        let g = Topology::from_views(vec![vec![1], vec![0], vec![3], vec![2]]).unwrap();
+        let s = g.stats();
+        assert_eq!(s.diameter, None);
+        assert_eq!(s.average_path_length, None);
+    }
+
+    #[test]
+    fn bfs_distances_on_a_path() {
+        let g = Topology::from_views(vec![vec![1], vec![0, 2], vec![1, 3], vec![2]]).unwrap();
+        assert_eq!(g.bfs_distances(0), vec![0, 1, 2, 3]);
+        assert_eq!(g.bfs_distances(3), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn triangle_has_clustering_one() {
+        let g = Topology::from_views(vec![vec![1, 2], vec![0, 2], vec![0, 1]]).unwrap();
+        assert!((g.stats().clustering_coefficient - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypercube_diameter_equals_dimension() {
+        let g = Topology::hypercube(5).unwrap();
+        assert_eq!(g.stats().diameter, Some(5));
+    }
+
+    #[test]
+    fn torus_diameter_matches_lattice_formula() {
+        let g = Topology::torus(4, 6).unwrap();
+        // Torus diameter = floor(rows/2) + floor(cols/2).
+        assert_eq!(g.stats().diameter, Some(2 + 3));
+    }
+}

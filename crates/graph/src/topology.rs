@@ -1,0 +1,263 @@
+//! The `Topology` type: symmetric neighbor views over `n` nodes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::GraphError;
+
+/// An undirected communication graph over nodes `0..n`, stored as per-node
+/// sorted neighbor views.
+///
+/// The views define the graph `G = (V, E)` of the paper: an edge `(i, j)`
+/// exists iff `j ∈ Nᵢ`, and symmetry (`j ∈ Nᵢ ⇔ i ∈ Nⱼ`) is an invariant
+/// enforced by every constructor and mutation.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_graph::Topology;
+///
+/// let ring = Topology::ring(5)?;
+/// assert_eq!(ring.view(0), &[1, 4]);
+/// assert!(ring.is_regular(2));
+/// # Ok::<(), glmia_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    views: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// Builds a topology from explicit neighbor views.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if any view references an out-of-range node,
+    /// contains a self-loop or duplicate, or the views are not symmetric.
+    pub fn from_views(views: Vec<Vec<usize>>) -> Result<Self, GraphError> {
+        let n = views.len();
+        let mut sorted = views;
+        for (i, view) in sorted.iter_mut().enumerate() {
+            view.sort_unstable();
+            if view.windows(2).any(|w| w[0] == w[1]) {
+                return Err(GraphError::new(format!("duplicate neighbor in view of {i}")));
+            }
+            if view.iter().any(|&j| j >= n) {
+                return Err(GraphError::new(format!(
+                    "view of {i} references a node outside 0..{n}"
+                )));
+            }
+            if view.contains(&i) {
+                return Err(GraphError::new(format!("self-loop at node {i}")));
+            }
+        }
+        let t = Self { views: sorted };
+        for i in 0..n {
+            for &j in t.view(i) {
+                if !t.contains_edge(j, i) {
+                    return Err(GraphError::new(format!(
+                        "asymmetric views: {j} ∈ N_{i} but {i} ∉ N_{j}"
+                    )));
+                }
+            }
+        }
+        Ok(t)
+    }
+
+    /// Creates `n` isolated nodes (used internally by generators).
+    pub(crate) fn empty(n: usize) -> Self {
+        Self {
+            views: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Whether the graph has zero nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// The (sorted) neighbor view of node `i` — `Nᵢ` in the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn view(&self, i: usize) -> &[usize] {
+        &self.views[i]
+    }
+
+    /// The degree of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn degree(&self, i: usize) -> usize {
+        self.views[i].len()
+    }
+
+    /// Whether edge `(i, j)` exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn contains_edge(&self, i: usize, j: usize) -> bool {
+        self.views[i].binary_search(&j).is_ok()
+    }
+
+    /// All edges as `(i, j)` pairs with `i < j`.
+    #[must_use]
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (i, view) in self.views.iter().enumerate() {
+            for &j in view {
+                if i < j {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether every node has degree exactly `k`.
+    #[must_use]
+    pub fn is_regular(&self, k: usize) -> bool {
+        self.views.iter().all(|v| v.len() == k)
+    }
+
+    /// Whether the graph is connected (vacuously true for `n <= 1`).
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        let n = self.len();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(i) = stack.pop() {
+            for &j in &self.views[i] {
+                if !seen[j] {
+                    seen[j] = true;
+                    count += 1;
+                    stack.push(j);
+                }
+            }
+        }
+        count == n
+    }
+
+    pub(crate) fn insert_edge_unchecked(&mut self, i: usize, j: usize) {
+        if let Err(pos) = self.views[i].binary_search(&j) {
+            self.views[i].insert(pos, j);
+        }
+        if let Err(pos) = self.views[j].binary_search(&i) {
+            self.views[j].insert(pos, i);
+        }
+    }
+
+    pub(crate) fn remove_edge_unchecked(&mut self, i: usize, j: usize) {
+        if let Ok(pos) = self.views[i].binary_search(&j) {
+            self.views[i].remove(pos);
+        }
+        if let Ok(pos) = self.views[j].binary_search(&i) {
+            self.views[j].remove(pos);
+        }
+    }
+
+    /// Verifies the symmetry/no-self-loop/no-duplicate invariants; used by
+    /// tests and debug assertions.
+    #[must_use]
+    pub fn invariants_hold(&self) -> bool {
+        for (i, view) in self.views.iter().enumerate() {
+            if view.windows(2).any(|w| w[0] >= w[1]) {
+                return false;
+            }
+            if view.contains(&i) {
+                return false;
+            }
+            if view.iter().any(|&j| j >= self.len() || !self.contains_edge(j, i)) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_views_validates_symmetry() {
+        assert!(Topology::from_views(vec![vec![1], vec![]]).is_err());
+        assert!(Topology::from_views(vec![vec![1], vec![0]]).is_ok());
+    }
+
+    #[test]
+    fn from_views_rejects_self_loop() {
+        assert!(Topology::from_views(vec![vec![0]]).is_err());
+    }
+
+    #[test]
+    fn from_views_rejects_duplicates() {
+        assert!(Topology::from_views(vec![vec![1, 1], vec![0, 0]]).is_err());
+    }
+
+    #[test]
+    fn from_views_rejects_out_of_range() {
+        assert!(Topology::from_views(vec![vec![5], vec![0]]).is_err());
+    }
+
+    #[test]
+    fn from_views_sorts() {
+        let t = Topology::from_views(vec![vec![2, 1], vec![0], vec![0]]).unwrap();
+        assert_eq!(t.view(0), &[1, 2]);
+    }
+
+    #[test]
+    fn edges_lists_each_once() {
+        let t = Topology::from_views(vec![vec![1, 2], vec![0], vec![0]]).unwrap();
+        assert_eq!(t.edges(), vec![(0, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn connectivity_detects_components() {
+        let connected = Topology::from_views(vec![vec![1], vec![0, 2], vec![1]]).unwrap();
+        assert!(connected.is_connected());
+        let split = Topology::from_views(vec![vec![1], vec![0], vec![3], vec![2]]).unwrap();
+        assert!(!split.is_connected());
+    }
+
+    #[test]
+    fn single_node_is_connected() {
+        let t = Topology::from_views(vec![vec![]]).unwrap();
+        assert!(t.is_connected());
+        assert!(t.is_regular(0));
+    }
+
+    #[test]
+    fn invariants_hold_on_valid_graph() {
+        let t = Topology::from_views(vec![vec![1, 2], vec![0, 2], vec![0, 1]]).unwrap();
+        assert!(t.invariants_hold());
+        assert!(t.is_regular(2));
+    }
+
+    #[test]
+    fn edge_insert_remove_roundtrip() {
+        let mut t = Topology::empty(3);
+        t.insert_edge_unchecked(0, 2);
+        assert!(t.contains_edge(0, 2) && t.contains_edge(2, 0));
+        t.remove_edge_unchecked(2, 0);
+        assert!(!t.contains_edge(0, 2) && !t.contains_edge(2, 0));
+        assert!(t.invariants_hold());
+    }
+}

@@ -1,0 +1,47 @@
+//! Utility and privacy metrics for gossip-learning experiments.
+//!
+//! Implements the paper's three measurements (§3.2):
+//!
+//! * **utility** — top-1 accuracy ([`accuracy`], Eq. 5);
+//! * **privacy** — MIA vulnerability, produced by the `glmia-mia` crate and
+//!   aggregated here;
+//! * **generalization error** ([`generalization_error`], Eq. 7) — local
+//!   train accuracy minus local test accuracy.
+//!
+//! It also provides the plotting-side utilities the paper's figures need:
+//! privacy/utility [`TradeoffPoint`]s, [`pareto_front`] extraction, and
+//! plain-text/CSV table rendering for the benchmark harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use glmia_metrics::{accuracy, generalization_error};
+//! use glmia_data::{DataPreset, Federation, Partition};
+//! use glmia_nn::{Activation, Mlp, MlpSpec};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let spec = DataPreset::Cifar10Like.spec().with_num_classes(3).with_input_dim(8);
+//! let fed = Federation::build(&spec, 2, 20, 10, Partition::Iid, &mut rng)?;
+//! let model = Mlp::new(&MlpSpec::new(8, &[8], 3, Activation::Relu)?, &mut rng);
+//! let acc = accuracy(&model, fed.global_test());
+//! assert!((0.0..=1.0).contains(&acc));
+//! let ge = generalization_error(&model, fed.node(0));
+//! assert!((-1.0..=1.0).contains(&ge));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod eval;
+mod plot;
+mod report;
+mod tradeoff;
+
+pub use eval::{accuracy, generalization_error};
+pub use plot::plot_tradeoff;
+pub use report::{render_csv, render_table};
+pub use tradeoff::{best_utility_point, pareto_front, TradeoffPoint};

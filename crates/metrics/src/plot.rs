@@ -1,0 +1,143 @@
+//! Terminal scatter plots for privacy/utility tradeoff curves.
+
+use crate::TradeoffPoint;
+
+/// Renders one or more labelled tradeoff curves as an ASCII scatter plot
+/// (utility on x, vulnerability on y). Each series is drawn with its own
+/// glyph; a legend and axis ranges are appended.
+///
+/// Returns a plain string suitable for `println!`; series beyond six reuse
+/// glyphs. Empty input produces an explanatory one-liner.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_metrics::{plot_tradeoff, TradeoffPoint};
+///
+/// let series = vec![(
+///     "samo".to_string(),
+///     vec![TradeoffPoint { round: 1, utility: 0.5, vulnerability: 0.6 }],
+/// )];
+/// let plot = plot_tradeoff(&series, 40, 10);
+/// assert!(plot.contains("samo"));
+/// ```
+#[must_use]
+pub fn plot_tradeoff(series: &[(String, Vec<TradeoffPoint>)], width: usize, height: usize) -> String {
+    const GLYPHS: [char; 6] = ['o', 'x', '+', '*', '#', '@'];
+    let width = width.max(10);
+    let height = height.max(5);
+    let points: Vec<&TradeoffPoint> = series.iter().flat_map(|(_, p)| p).collect();
+    if points.is_empty() {
+        return "(no tradeoff points to plot)".to_string();
+    }
+    let min_max = |f: fn(&TradeoffPoint) -> f64| -> (f64, f64) {
+        let lo = points.iter().map(|p| f(p)).fold(f64::INFINITY, f64::min);
+        let hi = points
+            .iter()
+            .map(|p| f(p))
+            .fold(f64::NEG_INFINITY, f64::max);
+        if (hi - lo).abs() < 1e-12 {
+            (lo - 0.5, hi + 0.5)
+        } else {
+            (lo, hi)
+        }
+    };
+    let (x_lo, x_hi) = min_max(|p| p.utility);
+    let (y_lo, y_hi) = min_max(|p| p.vulnerability);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (s, (_, pts)) in series.iter().enumerate() {
+        let glyph = GLYPHS[s % GLYPHS.len()];
+        for p in pts {
+            let gx = ((p.utility - x_lo) / (x_hi - x_lo) * (width - 1) as f64).round() as usize;
+            let gy = ((p.vulnerability - y_lo) / (y_hi - y_lo) * (height - 1) as f64).round()
+                as usize;
+            // y axis points up: row 0 is the top (max vulnerability).
+            grid[height - 1 - gy][gx.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("vulnerability {y_hi:.3}\n"));
+    for row in &grid {
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "vulnerability {y_lo:.3}; utility {x_lo:.3} → {x_hi:.3}\n"
+    ));
+    for (s, (label, _)) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {label}\n", GLYPHS[s % GLYPHS.len()]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(round: usize, u: f64, v: f64) -> TradeoffPoint {
+        TradeoffPoint {
+            round,
+            utility: u,
+            vulnerability: v,
+        }
+    }
+
+    #[test]
+    fn empty_series_explain_themselves() {
+        assert!(plot_tradeoff(&[], 40, 10).contains("no tradeoff points"));
+        let empty = vec![("a".to_string(), vec![])];
+        assert!(plot_tradeoff(&empty, 40, 10).contains("no tradeoff points"));
+    }
+
+    #[test]
+    fn plot_has_expected_dimensions() {
+        let series = vec![(
+            "curve".to_string(),
+            vec![p(1, 0.1, 0.5), p(2, 0.9, 0.9)],
+        )];
+        let plot = plot_tradeoff(&series, 30, 8);
+        // 8 grid rows + header + axis + footer + 1 legend line.
+        assert_eq!(plot.lines().count(), 8 + 4);
+        let grid_line = plot.lines().nth(1).unwrap();
+        assert_eq!(grid_line.chars().count(), 31, "| plus width");
+    }
+
+    #[test]
+    fn extreme_points_land_in_corners() {
+        let series = vec![(
+            "c".to_string(),
+            vec![p(1, 0.0, 0.0), p(2, 1.0, 1.0)],
+        )];
+        let plot = plot_tradeoff(&series, 20, 6);
+        let lines: Vec<&str> = plot.lines().collect();
+        // Max vulnerability + max utility → top row, last column.
+        assert_eq!(lines[1].chars().last(), Some('o'));
+        // Min vulnerability + min utility → bottom grid row, first column.
+        assert_eq!(lines[6].chars().nth(1), Some('o'));
+    }
+
+    #[test]
+    fn distinct_series_use_distinct_glyphs() {
+        let series = vec![
+            ("a".to_string(), vec![p(1, 0.2, 0.2)]),
+            ("b".to_string(), vec![p(1, 0.8, 0.8)]),
+        ];
+        let plot = plot_tradeoff(&series, 20, 6);
+        assert!(plot.contains('o') && plot.contains('x'));
+        assert!(plot.contains("  o a"));
+        assert!(plot.contains("  x b"));
+    }
+
+    #[test]
+    fn degenerate_range_does_not_divide_by_zero() {
+        let series = vec![("flat".to_string(), vec![p(1, 0.5, 0.5), p(2, 0.5, 0.5)])];
+        let plot = plot_tradeoff(&series, 20, 6);
+        assert!(plot.contains('o'));
+    }
+}

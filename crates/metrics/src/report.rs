@@ -1,0 +1,167 @@
+//! Plain-text and CSV table rendering for the benchmark harness.
+
+/// Renders an aligned plain-text table. Every row must have exactly as many
+/// cells as `headers`.
+///
+/// # Panics
+///
+/// Panics if any row's width differs from the header width.
+///
+/// # Examples
+///
+/// ```
+/// let table = glmia_metrics::render_table(
+///     &["dataset", "acc"],
+///     &[vec!["cifar10-like".into(), "0.71".into()]],
+/// );
+/// assert!(table.contains("cifar10-like"));
+/// assert!(table.lines().count() >= 3);
+/// ```
+#[must_use]
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(
+            row.len(),
+            headers.len(),
+            "row {i} has {} cells, expected {}",
+            row.len(),
+            headers.len()
+        );
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (cell, width) in cells.iter().zip(widths) {
+            line.push_str(&format!("{cell:<width$}  "));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| (*h).to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    let rule: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+    out.push_str(&"-".repeat(rule));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a CSV table with a header row. Cells containing commas, quotes
+/// or newlines are quoted.
+///
+/// # Panics
+///
+/// Panics if any row's width differs from the header width.
+///
+/// # Examples
+///
+/// ```
+/// let csv = glmia_metrics::render_csv(
+///     &["a", "b"],
+///     &[vec!["1".into(), "x,y".into()]],
+/// );
+/// assert_eq!(csv, "a,b\n1,\"x,y\"\n");
+/// ```
+#[must_use]
+pub fn render_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(
+            row.len(),
+            headers.len(),
+            "row {i} has {} cells, expected {}",
+            row.len(),
+            headers.len()
+        );
+    }
+    let escape = |cell: &str| -> String {
+        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    };
+    let mut out = String::new();
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| escape(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in rows {
+        out.push_str(
+            &row.iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            &["name", "v"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Both value columns start at the same offset.
+        let idx1 = lines[2].find('1').unwrap();
+        let idx2 = lines[3].find("22").unwrap();
+        assert_eq!(idx1, idx2);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2")]
+    fn table_rejects_ragged_rows() {
+        let _ = render_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn table_with_no_rows_has_header_and_rule() {
+        let t = render_table(&["a"], &[]);
+        assert_eq!(t.lines().count(), 2);
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let csv = render_csv(
+            &["a"],
+            &[vec!["he said \"hi\"".into()], vec!["x\ny".into()]],
+        );
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+        assert!(csv.contains("\"x\ny\""));
+    }
+
+    #[test]
+    fn csv_plain_cells_unquoted() {
+        let csv = render_csv(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(csv, "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 1")]
+    fn csv_rejects_ragged_rows() {
+        let _ = render_csv(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

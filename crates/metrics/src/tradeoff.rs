@@ -1,0 +1,143 @@
+//! Privacy/utility tradeoff curves and Pareto fronts.
+
+use serde::{Deserialize, Serialize};
+
+/// One evaluation point on a privacy/utility tradeoff curve (one per
+/// evaluated round in the paper's Figures 2/3/5/6): a utility value to
+/// maximize and a vulnerability value to minimize.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TradeoffPoint {
+    /// The 1-based round the point was measured at.
+    pub round: usize,
+    /// Utility (e.g. mean test accuracy) — higher is better.
+    pub utility: f64,
+    /// Privacy risk (e.g. mean MIA accuracy) — lower is better.
+    pub vulnerability: f64,
+}
+
+/// Extracts the Pareto front of a tradeoff curve: points for which no other
+/// point has both higher utility and lower vulnerability. Returned sorted by
+/// increasing utility.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_metrics::{pareto_front, TradeoffPoint};
+///
+/// let pts = vec![
+///     TradeoffPoint { round: 1, utility: 0.5, vulnerability: 0.6 },
+///     TradeoffPoint { round: 2, utility: 0.7, vulnerability: 0.8 },
+///     TradeoffPoint { round: 3, utility: 0.6, vulnerability: 0.9 }, // dominated
+/// ];
+/// let front = pareto_front(&pts);
+/// assert_eq!(front.len(), 2);
+/// ```
+#[must_use]
+pub fn pareto_front(points: &[TradeoffPoint]) -> Vec<TradeoffPoint> {
+    let mut sorted: Vec<TradeoffPoint> = points.to_vec();
+    // Sort by utility descending, vulnerability ascending as tiebreak.
+    sorted.sort_by(|a, b| {
+        b.utility
+            .partial_cmp(&a.utility)
+            .expect("finite utilities")
+            .then(
+                a.vulnerability
+                    .partial_cmp(&b.vulnerability)
+                    .expect("finite vulnerabilities"),
+            )
+    });
+    let mut front = Vec::new();
+    let mut best_vuln = f64::INFINITY;
+    for p in sorted {
+        if p.vulnerability < best_vuln {
+            best_vuln = p.vulnerability;
+            front.push(p);
+        }
+    }
+    front.reverse();
+    front
+}
+
+/// The point with maximum utility (ties broken by lower vulnerability) —
+/// the "maximum average test accuracy with its according vulnerability"
+/// statistic the paper reports in Figure 4 and the RQ summaries.
+///
+/// Returns `None` for an empty curve.
+#[must_use]
+pub fn best_utility_point(points: &[TradeoffPoint]) -> Option<TradeoffPoint> {
+    points.iter().copied().max_by(|a, b| {
+        a.utility
+            .partial_cmp(&b.utility)
+            .expect("finite utilities")
+            .then(
+                b.vulnerability
+                    .partial_cmp(&a.vulnerability)
+                    .expect("finite vulnerabilities"),
+            )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(round: usize, utility: f64, vulnerability: f64) -> TradeoffPoint {
+        TradeoffPoint {
+            round,
+            utility,
+            vulnerability,
+        }
+    }
+
+    #[test]
+    fn pareto_front_removes_dominated() {
+        let pts = vec![
+            p(1, 0.3, 0.55),
+            p(2, 0.5, 0.60),
+            p(3, 0.4, 0.70), // dominated by round 2
+            p(4, 0.7, 0.80),
+            p(5, 0.6, 0.90), // dominated by round 4
+        ];
+        let front = pareto_front(&pts);
+        let rounds: Vec<usize> = front.iter().map(|x| x.round).collect();
+        assert_eq!(rounds, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn pareto_front_sorted_by_utility() {
+        let pts = vec![p(1, 0.9, 0.9), p(2, 0.1, 0.5), p(3, 0.5, 0.7)];
+        let front = pareto_front(&pts);
+        for w in front.windows(2) {
+            assert!(w[0].utility <= w[1].utility);
+        }
+    }
+
+    #[test]
+    fn pareto_of_empty_is_empty() {
+        assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn pareto_of_single_is_itself() {
+        let only = p(1, 0.5, 0.5);
+        assert_eq!(pareto_front(&[only]), vec![only]);
+    }
+
+    #[test]
+    fn identical_points_collapse_to_one() {
+        let pts = vec![p(1, 0.5, 0.5), p(2, 0.5, 0.5)];
+        assert_eq!(pareto_front(&pts).len(), 1);
+    }
+
+    #[test]
+    fn best_utility_breaks_ties_by_vulnerability() {
+        let pts = vec![p(1, 0.7, 0.9), p(2, 0.7, 0.6), p(3, 0.2, 0.1)];
+        let best = best_utility_point(&pts).unwrap();
+        assert_eq!(best.round, 2);
+    }
+
+    #[test]
+    fn best_utility_of_empty_is_none() {
+        assert!(best_utility_point(&[]).is_none());
+    }
+}

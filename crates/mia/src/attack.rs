@@ -1,0 +1,430 @@
+//! Attack kinds and the end-to-end evaluator.
+
+use glmia_data::Dataset;
+use glmia_nn::Mlp;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{auc, modified_prediction_entropy, optimal_threshold, prediction_entropy, MiaError};
+
+/// The membership score a model+sample pair is reduced to. Lower score =
+/// more member-like for every kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum AttackKind {
+    /// Modified prediction entropy (the paper's attack, Eq. 3–4).
+    #[default]
+    Mpe,
+    /// Plain prediction entropy (label-free baseline).
+    Entropy,
+    /// Negative max-softmax confidence.
+    Confidence,
+    /// Per-sample cross-entropy loss (Yeom et al.).
+    Loss,
+}
+
+impl AttackKind {
+    /// All kinds, for ablation sweeps.
+    pub const ALL: [AttackKind; 4] = [
+        AttackKind::Mpe,
+        AttackKind::Entropy,
+        AttackKind::Confidence,
+        AttackKind::Loss,
+    ];
+
+    /// Scores one sample from its softmax output and true label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs` is empty or (for label-aware kinds) `label` is out
+    /// of range.
+    #[must_use]
+    pub fn score(self, probs: &[f32], label: usize) -> f64 {
+        match self {
+            AttackKind::Mpe => modified_prediction_entropy(probs, label),
+            AttackKind::Entropy => prediction_entropy(probs),
+            AttackKind::Confidence => {
+                let max = probs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                -f64::from(max)
+            }
+            AttackKind::Loss => {
+                assert!(label < probs.len(), "label out of range");
+                -f64::from(probs[label]).max(1e-12).ln()
+            }
+        }
+    }
+
+    /// Scores every sample of a dataset under `model`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiaError`] if the dataset's feature width does not match
+    /// the model.
+    pub fn score_dataset(self, model: &Mlp, data: &Dataset) -> Result<Vec<f64>, MiaError> {
+        let probs = model
+            .predict_proba(data.features())
+            .map_err(|e| MiaError::new(format!("model/dataset mismatch: {e}")))?;
+        Ok(data
+            .labels()
+            .iter()
+            .enumerate()
+            .map(|(i, &y)| self.score(probs.row(i), y))
+            .collect())
+    }
+}
+
+impl std::fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            AttackKind::Mpe => "mpe",
+            AttackKind::Entropy => "entropy",
+            AttackKind::Confidence => "confidence",
+            AttackKind::Loss => "loss",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The outcome of attacking one victim model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MiaResult {
+    /// Oracle-threshold attack accuracy (Eq. 6) on the balanced attack set.
+    pub attack_accuracy: f64,
+    /// Threshold-free AUC of the membership score.
+    pub auc: f64,
+    /// The oracle threshold `τ̃` used.
+    pub threshold: f64,
+    /// Members evaluated (after balancing).
+    pub n_members: usize,
+    /// Non-members evaluated (after balancing).
+    pub n_nonmembers: usize,
+}
+
+/// Evaluates a membership attack against victim models.
+///
+/// Mirrors the paper's measurement (Eq. 6): the attack set `D_att` is
+/// *balanced* — equally many members (sampled from the victim's train split)
+/// and non-members (from its local test split) — so 0.5 is chance and the
+/// oracle threshold makes the result a worst-case bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MiaEvaluator {
+    kind: AttackKind,
+}
+
+impl MiaEvaluator {
+    /// Creates an evaluator for the given attack kind.
+    #[must_use]
+    pub fn new(kind: AttackKind) -> Self {
+        Self { kind }
+    }
+
+    /// The attack kind.
+    #[must_use]
+    pub fn kind(&self) -> AttackKind {
+        self.kind
+    }
+
+    /// Attacks `model` with member pool `members` (training data) and
+    /// non-member pool `nonmembers` (held-out data). Pools are balanced by
+    /// downsampling the larger one with `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiaError`] if either pool is empty or does not match the
+    /// model's input width.
+    pub fn evaluate<R: Rng + ?Sized>(
+        &self,
+        model: &Mlp,
+        members: &Dataset,
+        nonmembers: &Dataset,
+        rng: &mut R,
+    ) -> Result<MiaResult, MiaError> {
+        if members.is_empty() || nonmembers.is_empty() {
+            return Err(MiaError::new(
+                "member and non-member pools must be non-empty",
+            ));
+        }
+        let n = members.len().min(nonmembers.len());
+        let member_scores = subsample(self.kind.score_dataset(model, members)?, n, rng);
+        let nonmember_scores = subsample(self.kind.score_dataset(model, nonmembers)?, n, rng);
+        let report = optimal_threshold(&member_scores, &nonmember_scores)?;
+        let auc = auc(&member_scores, &nonmember_scores)?;
+        Ok(MiaResult {
+            attack_accuracy: report.accuracy,
+            auc,
+            threshold: report.threshold,
+            n_members: n,
+            n_nonmembers: n,
+        })
+    }
+}
+
+/// Per-class leakage breakdown: AUC of the membership score restricted to
+/// one class's samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassLeakage {
+    /// The class label.
+    pub class: usize,
+    /// Members of this class in the pool.
+    pub n_members: usize,
+    /// Non-members of this class in the pool.
+    pub n_nonmembers: usize,
+    /// AUC restricted to this class; `None` when either side is empty.
+    pub auc: Option<f64>,
+}
+
+impl MiaEvaluator {
+    /// Breaks leakage down by class: for each label, the AUC of the
+    /// membership score over that label's members vs non-members. Classes
+    /// with no members or no non-members report `auc: None`.
+    ///
+    /// Under label-skewed partitions this shows *where* a node leaks — its
+    /// dominant classes carry most of the signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiaError`] if either pool is empty or mismatches the
+    /// model.
+    pub fn per_class(
+        &self,
+        model: &Mlp,
+        members: &Dataset,
+        nonmembers: &Dataset,
+    ) -> Result<Vec<ClassLeakage>, MiaError> {
+        if members.is_empty() || nonmembers.is_empty() {
+            return Err(MiaError::new(
+                "member and non-member pools must be non-empty",
+            ));
+        }
+        if members.num_classes() != nonmembers.num_classes() {
+            return Err(MiaError::new("pools must share a class count"));
+        }
+        let member_scores = self.kind.score_dataset(model, members)?;
+        let nonmember_scores = self.kind.score_dataset(model, nonmembers)?;
+        let mut out = Vec::with_capacity(members.num_classes());
+        for class in 0..members.num_classes() {
+            let m: Vec<f64> = members
+                .labels()
+                .iter()
+                .zip(&member_scores)
+                .filter(|(&y, _)| y == class)
+                .map(|(_, &s)| s)
+                .collect();
+            let nm: Vec<f64> = nonmembers
+                .labels()
+                .iter()
+                .zip(&nonmember_scores)
+                .filter(|(&y, _)| y == class)
+                .map(|(_, &s)| s)
+                .collect();
+            let auc = if m.is_empty() || nm.is_empty() {
+                None
+            } else {
+                Some(crate::auc(&m, &nm)?)
+            };
+            out.push(ClassLeakage {
+                class,
+                n_members: m.len(),
+                n_nonmembers: nm.len(),
+                auc,
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// Uniformly subsamples `scores` down to `n` items (no-op when already
+/// small enough).
+fn subsample<R: Rng + ?Sized>(mut scores: Vec<f64>, n: usize, rng: &mut R) -> Vec<f64> {
+    if scores.len() <= n {
+        return scores;
+    }
+    // Partial Fisher–Yates: the first n positions become a uniform sample.
+    for i in 0..n {
+        let j = rng.gen_range(i..scores.len());
+        scores.swap(i, j);
+    }
+    scores.truncate(n);
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glmia_data::{FeatureKind, SyntheticSpec};
+    use glmia_nn::{Activation, MlpSpec, Sgd};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    /// A model memorizing a tiny training set leaks membership; an
+    /// untrained model does not.
+    fn overfit_setup() -> (Mlp, Dataset, Dataset) {
+        let spec = SyntheticSpec::new(4, 8, FeatureKind::Gaussian)
+            .unwrap()
+            .with_class_separation(0.3)
+            .with_noise_std(1.0);
+        let world = spec.sample_world(&mut rng(0));
+        let train = world.sample(24, &mut rng(1));
+        let test = world.sample(24, &mut rng(2));
+        let mspec = MlpSpec::new(8, &[32], 4, Activation::Relu).unwrap();
+        let mut model = Mlp::new(&mspec, &mut rng(3));
+        let mut opt = Sgd::new(0.1).with_momentum(0.9);
+        let mut r = rng(4);
+        for _ in 0..150 {
+            model.train_epoch(train.features(), train.labels(), 8, &mut opt, &mut r);
+        }
+        (model, train, test)
+    }
+
+    #[test]
+    fn overfit_model_leaks_membership() {
+        let (model, train, test) = overfit_setup();
+        // Sanity: the model memorized its training data.
+        assert!(model.accuracy(train.features(), train.labels()) > 0.9);
+        let result = MiaEvaluator::new(AttackKind::Mpe)
+            .evaluate(&model, &train, &test, &mut rng(5))
+            .unwrap();
+        assert!(
+            result.attack_accuracy > 0.7,
+            "expected strong leakage, got {}",
+            result.attack_accuracy
+        );
+        assert!(result.auc > 0.7);
+    }
+
+    #[test]
+    fn untrained_model_is_near_chance() {
+        let spec = SyntheticSpec::new(4, 8, FeatureKind::Gaussian).unwrap();
+        let world = spec.sample_world(&mut rng(6));
+        let train = world.sample(100, &mut rng(7));
+        let test = world.sample(100, &mut rng(8));
+        let mspec = MlpSpec::new(8, &[16], 4, Activation::Relu).unwrap();
+        let model = Mlp::new(&mspec, &mut rng(9));
+        let result = MiaEvaluator::new(AttackKind::Mpe)
+            .evaluate(&model, &train, &test, &mut rng(10))
+            .unwrap();
+        assert!(
+            result.attack_accuracy < 0.65,
+            "untrained model should not leak, got {}",
+            result.attack_accuracy
+        );
+    }
+
+    #[test]
+    fn all_attack_kinds_detect_overfitting() {
+        let (model, train, test) = overfit_setup();
+        for kind in AttackKind::ALL {
+            let result = MiaEvaluator::new(kind)
+                .evaluate(&model, &train, &test, &mut rng(11))
+                .unwrap();
+            assert!(
+                result.attack_accuracy > 0.6,
+                "{kind} accuracy was {}",
+                result.attack_accuracy
+            );
+        }
+    }
+
+    #[test]
+    fn balancing_downsamples_the_larger_pool() {
+        let (model, train, test) = overfit_setup();
+        let small_test = test.select(&[0, 1, 2, 3]);
+        let result = MiaEvaluator::new(AttackKind::Mpe)
+            .evaluate(&model, &train, &small_test, &mut rng(12))
+            .unwrap();
+        assert_eq!(result.n_members, 4);
+        assert_eq!(result.n_nonmembers, 4);
+    }
+
+    #[test]
+    fn empty_pool_errors() {
+        let (model, train, _) = overfit_setup();
+        let empty = Dataset::empty(8, 4).unwrap();
+        assert!(MiaEvaluator::new(AttackKind::Mpe)
+            .evaluate(&model, &train, &empty, &mut rng(13))
+            .is_err());
+        assert!(MiaEvaluator::new(AttackKind::Mpe)
+            .evaluate(&model, &empty, &train, &mut rng(13))
+            .is_err());
+    }
+
+    #[test]
+    fn mismatched_input_width_errors() {
+        let (model, ..) = overfit_setup();
+        let wrong = SyntheticSpec::new(4, 5, FeatureKind::Gaussian)
+            .unwrap()
+            .sample_world(&mut rng(14))
+            .sample(10, &mut rng(15));
+        assert!(AttackKind::Mpe.score_dataset(&model, &wrong).is_err());
+    }
+
+    #[test]
+    fn score_conventions_lower_is_member_like() {
+        // Confident correct prediction must score lower than an uncertain
+        // one for every kind.
+        let confident = [0.97f32, 0.01, 0.01, 0.01];
+        let uncertain = [0.25f32; 4];
+        for kind in AttackKind::ALL {
+            assert!(
+                kind.score(&confident, 0) < kind.score(&uncertain, 0),
+                "{kind} violates the lower-is-member convention"
+            );
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AttackKind::Mpe.to_string(), "mpe");
+        assert_eq!(AttackKind::Loss.to_string(), "loss");
+    }
+
+    #[test]
+    fn per_class_breakdown_covers_all_classes() {
+        let (model, train, test) = overfit_setup();
+        let breakdown = MiaEvaluator::new(AttackKind::Mpe)
+            .per_class(&model, &train, &test)
+            .unwrap();
+        assert_eq!(breakdown.len(), train.num_classes());
+        let total_members: usize = breakdown.iter().map(|c| c.n_members).sum();
+        assert_eq!(total_members, train.len());
+        // At least one class shows real leakage on an overfit model.
+        assert!(breakdown
+            .iter()
+            .filter_map(|c| c.auc)
+            .any(|a| a > 0.6));
+    }
+
+    #[test]
+    fn per_class_handles_missing_classes() {
+        let (model, train, test) = overfit_setup();
+        // Restrict non-members to samples of class 0 only.
+        let class0: Vec<usize> = test
+            .labels()
+            .iter()
+            .enumerate()
+            .filter(|(_, &y)| y == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let test0 = test.select(&class0);
+        let breakdown = MiaEvaluator::new(AttackKind::Mpe)
+            .per_class(&model, &train, &test0)
+            .unwrap();
+        for c in &breakdown {
+            if c.class != 0 {
+                assert!(c.auc.is_none(), "class {} had no non-members", c.class);
+            }
+        }
+    }
+
+    #[test]
+    fn per_class_rejects_mismatched_pools() {
+        let (model, train, _) = overfit_setup();
+        let other = Dataset::empty(8, 7).unwrap();
+        assert!(MiaEvaluator::new(AttackKind::Mpe)
+            .per_class(&model, &train, &other)
+            .is_err());
+    }
+}

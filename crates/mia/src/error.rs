@@ -1,0 +1,44 @@
+//! Error type for attack evaluation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned on invalid attack inputs (empty pools, shape mismatches).
+///
+/// # Examples
+///
+/// ```
+/// let err = glmia_mia::optimal_threshold(&[], &[0.5]).unwrap_err();
+/// assert!(err.to_string().contains("empty"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MiaError {
+    message: String,
+}
+
+impl MiaError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for MiaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for MiaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<MiaError>();
+    }
+}

@@ -1,0 +1,150 @@
+//! Modified prediction entropy (Song & Mittal 2020) and plain prediction
+//! entropy.
+
+/// Floor applied inside logarithms to avoid `log(0)`.
+const LOG_FLOOR: f64 = 1e-12;
+
+/// The Modified Prediction Entropy measure (Eq. 3 of the paper):
+///
+/// ```text
+/// M(P, y) = −(1 − P(y))·log P(y) − Σ_{y'≠y} P(y')·log(1 − P(y'))
+/// ```
+///
+/// Unlike plain entropy, MPE is label-aware: it is `0` exactly when the
+/// model assigns probability 1 to the true label, and grows without bound
+/// as the model becomes confidently *wrong* — which is what separates
+/// training members (confidently right) from non-members.
+///
+/// # Panics
+///
+/// Panics if `probs` is empty or `label >= probs.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_mia::modified_prediction_entropy;
+///
+/// // Confidently correct: zero.
+/// assert!(modified_prediction_entropy(&[1.0, 0.0], 0) < 1e-9);
+/// // Confidently wrong: large.
+/// assert!(modified_prediction_entropy(&[1.0, 0.0], 1) > 10.0);
+/// ```
+#[must_use]
+pub fn modified_prediction_entropy(probs: &[f32], label: usize) -> f64 {
+    assert!(!probs.is_empty(), "probability vector must be non-empty");
+    assert!(
+        label < probs.len(),
+        "label {label} out of range for {} classes",
+        probs.len()
+    );
+    let py = f64::from(probs[label]).clamp(0.0, 1.0);
+    let mut m = -(1.0 - py) * py.max(LOG_FLOOR).ln();
+    for (i, &p) in probs.iter().enumerate() {
+        if i == label {
+            continue;
+        }
+        let p = f64::from(p).clamp(0.0, 1.0);
+        m -= p * (1.0 - p).max(LOG_FLOOR).ln();
+    }
+    m
+}
+
+/// Plain prediction entropy `−Σ p·log p`, the label-free baseline measure
+/// (Salem et al. 2019).
+///
+/// # Panics
+///
+/// Panics if `probs` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_mia::prediction_entropy;
+///
+/// assert!(prediction_entropy(&[1.0, 0.0]) < 1e-9);
+/// let uniform = prediction_entropy(&[0.25; 4]);
+/// assert!((uniform - (4.0f64).ln()).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn prediction_entropy(probs: &[f32]) -> f64 {
+    assert!(!probs.is_empty(), "probability vector must be non-empty");
+    probs
+        .iter()
+        .map(|&p| {
+            let p = f64::from(p).clamp(0.0, 1.0);
+            if p > 0.0 {
+                -p * p.max(LOG_FLOOR).ln()
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpe_zero_iff_confidently_correct() {
+        assert!(modified_prediction_entropy(&[0.0, 1.0, 0.0], 1) < 1e-9);
+        assert!(modified_prediction_entropy(&[0.5, 0.5], 0) > 0.1);
+    }
+
+    #[test]
+    fn mpe_confidently_wrong_exceeds_uncertain() {
+        let wrong = modified_prediction_entropy(&[0.99, 0.01], 1);
+        let unsure = modified_prediction_entropy(&[0.5, 0.5], 1);
+        assert!(wrong > unsure);
+    }
+
+    #[test]
+    fn mpe_is_monotone_in_true_label_confidence() {
+        let low = modified_prediction_entropy(&[0.6, 0.4], 0);
+        let high = modified_prediction_entropy(&[0.9, 0.1], 0);
+        assert!(high < low);
+    }
+
+    #[test]
+    fn mpe_is_finite_on_degenerate_inputs() {
+        let m = modified_prediction_entropy(&[0.0, 1.0], 0);
+        assert!(m.is_finite());
+        let m = modified_prediction_entropy(&[1.0, 0.0], 1);
+        assert!(m.is_finite());
+    }
+
+    #[test]
+    fn mpe_matches_hand_computation() {
+        // P = [0.7, 0.3], y = 0:
+        // M = -(1-0.7)ln(0.7) - 0.3·ln(1-0.3)
+        let expected = -(0.3f64) * (0.7f64).ln() - 0.3 * (0.7f64).ln();
+        let m = modified_prediction_entropy(&[0.7, 0.3], 0);
+        assert!((m - expected).abs() < 1e-6, "{m} vs {expected}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn mpe_label_out_of_range_panics() {
+        let _ = modified_prediction_entropy(&[1.0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn mpe_empty_panics() {
+        let _ = modified_prediction_entropy(&[], 0);
+    }
+
+    #[test]
+    fn entropy_is_maximal_at_uniform() {
+        let uniform = prediction_entropy(&[0.25; 4]);
+        let skewed = prediction_entropy(&[0.7, 0.1, 0.1, 0.1]);
+        assert!(uniform > skewed);
+    }
+
+    #[test]
+    fn entropy_nonnegative() {
+        for probs in [&[1.0f32, 0.0][..], &[0.3, 0.7], &[0.2, 0.2, 0.6]] {
+            assert!(prediction_entropy(probs) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Transferred-threshold attacks: the realistic counterpart of the oracle.
+//!
+//! The paper's MPE attack picks the threshold `τ̃` with the victim's own
+//! member/non-member scores — a worst-case bound, not a deployable attack
+//! (§2.5). A realistic attacker instead *calibrates* the threshold on data
+//! it controls (an auxiliary population drawn from the same distribution)
+//! and transfers it to the victim. Comparing the two quantifies how loose
+//! the worst-case bound is.
+
+use glmia_data::Dataset;
+use glmia_nn::Mlp;
+use rand::Rng;
+
+use crate::{auc, AttackKind, MiaError, MiaResult, ThresholdReport};
+
+/// A membership attack whose threshold is calibrated on auxiliary data and
+/// then applied unchanged to the victim.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_mia::{AttackKind, TransferAttack};
+///
+/// // Calibrate on auxiliary scores (members low, non-members high)...
+/// let attack = TransferAttack::calibrate(AttackKind::Mpe, &[0.1, 0.2], &[0.8, 0.9])?;
+/// // ...then apply the frozen threshold to victim scores: a victim member
+/// // above the frozen threshold (0.25 > 0.2) is missed.
+/// assert_eq!(attack.accuracy(&[0.15, 0.18], &[0.7, 1.0]), 1.0);
+/// assert_eq!(attack.accuracy(&[0.15, 0.25], &[0.7, 1.0]), 0.75);
+/// # Ok::<(), glmia_mia::MiaError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferAttack {
+    kind: AttackKind,
+    threshold: f64,
+    calibration: ThresholdReport,
+}
+
+impl TransferAttack {
+    /// Calibrates a threshold on auxiliary member/non-member scores by the
+    /// same accuracy-maximizing sweep the oracle uses — but on the
+    /// attacker's data, not the victim's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiaError`] if either pool is empty or contains NaN.
+    pub fn calibrate(
+        kind: AttackKind,
+        aux_member_scores: &[f64],
+        aux_nonmember_scores: &[f64],
+    ) -> Result<Self, MiaError> {
+        let calibration = crate::optimal_threshold(aux_member_scores, aux_nonmember_scores)?;
+        Ok(Self {
+            kind,
+            threshold: calibration.threshold,
+            calibration,
+        })
+    }
+
+    /// Calibrates from auxiliary datasets scored under `shadow_model` — the
+    /// attacker trains/holds its own model and data, scores them, and keeps
+    /// the threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiaError`] if datasets are empty or mismatch the model.
+    pub fn calibrate_on(
+        kind: AttackKind,
+        shadow_model: &Mlp,
+        aux_members: &Dataset,
+        aux_nonmembers: &Dataset,
+    ) -> Result<Self, MiaError> {
+        let m = kind.score_dataset(shadow_model, aux_members)?;
+        let n = kind.score_dataset(shadow_model, aux_nonmembers)?;
+        Self::calibrate(kind, &m, &n)
+    }
+
+    /// The attack kind.
+    #[must_use]
+    pub fn kind(&self) -> AttackKind {
+        self.kind
+    }
+
+    /// The frozen threshold.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The calibration report (accuracy on the *auxiliary* population).
+    #[must_use]
+    pub fn calibration(&self) -> ThresholdReport {
+        self.calibration
+    }
+
+    /// Attack accuracy on victim scores with the frozen threshold
+    /// (`member ⇔ score ≤ τ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if both pools are empty.
+    #[must_use]
+    pub fn accuracy(&self, member_scores: &[f64], nonmember_scores: &[f64]) -> f64 {
+        let total = member_scores.len() + nonmember_scores.len();
+        assert!(total > 0, "attack requires at least one score");
+        let tp = member_scores.iter().filter(|&&s| s <= self.threshold).count();
+        let tn = nonmember_scores
+            .iter()
+            .filter(|&&s| s > self.threshold)
+            .count();
+        (tp + tn) as f64 / total as f64
+    }
+
+    /// End-to-end evaluation against a victim model, balancing pools like
+    /// [`crate::MiaEvaluator`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiaError`] if pools are empty or mismatch the model.
+    pub fn evaluate<R: Rng + ?Sized>(
+        &self,
+        victim: &Mlp,
+        members: &Dataset,
+        nonmembers: &Dataset,
+        rng: &mut R,
+    ) -> Result<MiaResult, MiaError> {
+        if members.is_empty() || nonmembers.is_empty() {
+            return Err(MiaError::new(
+                "member and non-member pools must be non-empty",
+            ));
+        }
+        let n = members.len().min(nonmembers.len());
+        let m = subsample(self.kind.score_dataset(victim, members)?, n, rng);
+        let nm = subsample(self.kind.score_dataset(victim, nonmembers)?, n, rng);
+        Ok(MiaResult {
+            attack_accuracy: self.accuracy(&m, &nm),
+            auc: auc(&m, &nm)?,
+            threshold: self.threshold,
+            n_members: n,
+            n_nonmembers: n,
+        })
+    }
+}
+
+/// Uniformly subsamples down to `n` items.
+fn subsample<R: Rng + ?Sized>(mut scores: Vec<f64>, n: usize, rng: &mut R) -> Vec<f64> {
+    if scores.len() <= n {
+        return scores;
+    }
+    for i in 0..n {
+        let j = rng.gen_range(i..scores.len());
+        scores.swap(i, j);
+    }
+    scores.truncate(n);
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrate_rejects_bad_pools() {
+        assert!(TransferAttack::calibrate(AttackKind::Mpe, &[], &[1.0]).is_err());
+        assert!(TransferAttack::calibrate(AttackKind::Mpe, &[f64::NAN], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn frozen_threshold_is_applied_verbatim() {
+        let attack = TransferAttack::calibrate(AttackKind::Loss, &[1.0, 2.0], &[5.0, 6.0]).unwrap();
+        // Calibrated threshold separates at 2.0; victim pools shifted.
+        assert_eq!(attack.accuracy(&[1.5], &[3.0]), 1.0);
+        // A victim member above the frozen threshold is missed.
+        assert_eq!(attack.accuracy(&[2.5], &[3.0]), 0.5);
+    }
+
+    #[test]
+    fn transferred_is_never_better_than_oracle_on_the_same_pools() {
+        // The oracle maximizes accuracy on the victim pools, so any frozen
+        // threshold is ≤ the oracle on those pools.
+        let aux_m = [0.2, 0.3, 0.5];
+        let aux_n = [0.4, 0.8, 0.9];
+        let victim_m = [0.1, 0.35, 0.6];
+        let victim_n = [0.5, 0.55, 1.0];
+        let transfer = TransferAttack::calibrate(AttackKind::Mpe, &aux_m, &aux_n).unwrap();
+        let transferred = transfer.accuracy(&victim_m, &victim_n);
+        let oracle = crate::optimal_threshold(&victim_m, &victim_n)
+            .unwrap()
+            .accuracy;
+        assert!(transferred <= oracle + 1e-12);
+    }
+
+    #[test]
+    fn calibration_report_reflects_aux_population() {
+        let attack =
+            TransferAttack::calibrate(AttackKind::Entropy, &[0.0, 0.1], &[1.0, 1.1]).unwrap();
+        assert_eq!(attack.calibration().accuracy, 1.0);
+        assert_eq!(attack.kind(), AttackKind::Entropy);
+        assert!(attack.threshold() >= 0.1 && attack.threshold() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one score")]
+    fn accuracy_on_empty_pools_panics() {
+        let attack = TransferAttack::calibrate(AttackKind::Mpe, &[0.1], &[0.9]).unwrap();
+        let _ = attack.accuracy(&[], &[]);
+    }
+}

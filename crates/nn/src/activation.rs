@@ -1,0 +1,149 @@
+//! Elementwise activation functions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Matrix;
+
+/// An elementwise activation function placed between linear layers.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_nn::Activation;
+///
+/// assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+/// assert_eq!(Activation::Relu.apply(3.0), 3.0);
+/// assert_eq!(Activation::Identity.apply(-3.0), -3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit, `max(0, x)` — used by the paper's CNN/MLP
+    /// stand-ins.
+    #[default]
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// No-op (useful for linear models and for testing).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation to one scalar.
+    #[must_use]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Identity => x,
+        }
+    }
+
+    /// The derivative expressed in terms of the *pre-activation* input `x`.
+    #[must_use]
+    pub fn derivative(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+
+    /// Applies the activation to a whole matrix in place.
+    pub fn forward_in_place(self, m: &mut Matrix) {
+        if self == Activation::Identity {
+            return;
+        }
+        m.map_in_place(|x| self.apply(x));
+    }
+
+    /// Multiplies `grad` elementwise by the derivative evaluated at the
+    /// cached pre-activation `pre`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn backward_in_place(self, grad: &mut Matrix, pre: &Matrix) {
+        if self == Activation::Identity {
+            return;
+        }
+        assert_eq!(
+            (grad.rows(), grad.cols()),
+            (pre.rows(), pre.cols()),
+            "activation backward shape mismatch"
+        );
+        for (g, &x) in grad.as_mut_slice().iter_mut().zip(pre.as_slice()) {
+            *g *= self.derivative(x);
+        }
+    }
+}
+
+impl std::fmt::Display for Activation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Activation::Relu => "relu",
+            Activation::Tanh => "tanh",
+            Activation::Identity => "identity",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_values_and_derivative() {
+        assert_eq!(Activation::Relu.apply(-1.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert_eq!(Activation::Relu.derivative(-1.0), 0.0);
+        assert_eq!(Activation::Relu.derivative(2.0), 1.0);
+    }
+
+    #[test]
+    fn tanh_derivative_matches_finite_difference() {
+        let x = 0.4f32;
+        let h = 1e-3f32;
+        let fd = (Activation::Tanh.apply(x + h) - Activation::Tanh.apply(x - h)) / (2.0 * h);
+        assert!((Activation::Tanh.derivative(x) - fd).abs() < 1e-4);
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let mut m = Matrix::from_vec(1, 2, vec![-1.0, 1.0]).unwrap();
+        Activation::Identity.forward_in_place(&mut m);
+        assert_eq!(m.as_slice(), &[-1.0, 1.0]);
+    }
+
+    #[test]
+    fn forward_backward_in_place() {
+        let mut m = Matrix::from_vec(1, 3, vec![-1.0, 0.5, 2.0]).unwrap();
+        let pre = m.clone();
+        Activation::Relu.forward_in_place(&mut m);
+        assert_eq!(m.as_slice(), &[0.0, 0.5, 2.0]);
+        let mut grad = Matrix::from_vec(1, 3, vec![1.0, 1.0, 1.0]).unwrap();
+        Activation::Relu.backward_in_place(&mut grad, &pre);
+        assert_eq!(grad.as_slice(), &[0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Activation::Relu.to_string(), "relu");
+        assert_eq!(Activation::Tanh.to_string(), "tanh");
+        assert_eq!(Activation::Identity.to_string(), "identity");
+    }
+
+    #[test]
+    fn default_is_relu() {
+        assert_eq!(Activation::default(), Activation::Relu);
+    }
+}

@@ -1,0 +1,51 @@
+//! Error type for shape and specification mismatches.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned on invalid shapes or model specifications.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_nn::Matrix;
+///
+/// let err = Matrix::from_vec(2, 3, vec![1.0]).unwrap_err();
+/// assert!(err.to_string().contains("expected"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NnError {
+    message: String,
+}
+
+impl NnError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<NnError>();
+    }
+
+    #[test]
+    fn display_matches_message() {
+        assert_eq!(NnError::new("oops").to_string(), "oops");
+    }
+}

@@ -1,0 +1,174 @@
+//! Finite-difference gradient checking for the test suite.
+//!
+//! Verifies the analytic gradients produced by backpropagation against
+//! central finite differences of the loss. Used by `glmia-nn`'s own tests
+//! and available to downstream crates that add layers.
+
+use crate::{Matrix, Mlp, Sgd};
+
+/// Result of a gradient check: the largest absolute and relative deviation
+/// between analytic and finite-difference gradients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradCheckReport {
+    /// Maximum absolute difference over all parameters.
+    pub max_abs_diff: f64,
+    /// Maximum relative difference over all parameters (denominator clamped
+    /// to `1e-4` to avoid division blow-ups near zero).
+    pub max_rel_diff: f64,
+    /// Number of parameters checked.
+    pub checked: usize,
+}
+
+impl GradCheckReport {
+    /// Whether the analytic gradient is within `tol` of finite differences
+    /// in relative terms.
+    #[must_use]
+    pub fn passes(&self, tol: f64) -> bool {
+        self.max_rel_diff < tol
+    }
+}
+
+/// Checks the analytic gradient of `model`'s mean cross-entropy loss on
+/// `(x, labels)` against central finite differences with step `h`.
+///
+/// The model is restored to its original parameters before returning.
+///
+/// # Panics
+///
+/// Panics if shapes mismatch or labels are out of range.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_nn::{Activation, Matrix, Mlp, MlpSpec};
+/// use glmia_nn::gradcheck::check_gradients;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), glmia_nn::NnError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let spec = MlpSpec::new(3, &[5], 2, Activation::Tanh)?;
+/// let mut m = Mlp::new(&spec, &mut rng);
+/// let x = Matrix::from_vec(2, 3, vec![0.1, -0.3, 0.5, 0.2, 0.2, -0.1])?;
+/// let report = check_gradients(&mut m, &x, &[0, 1], 1e-3);
+/// assert!(report.passes(1e-2), "{report:?}");
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn check_gradients(model: &mut Mlp, x: &Matrix, labels: &[usize], h: f32) -> GradCheckReport {
+    let original = model.flat_params();
+    // Collect analytic gradients with a zero-lr-like trick: we cannot use
+    // lr = 0 (validated), so capture grads via visit after a manual
+    // forward/backward. train_batch would mutate params, so replicate its
+    // forward/backward by stepping with a tiny lr on a clone.
+    let analytic = analytic_gradients(model, x, labels);
+    model
+        .load_flat(&original)
+        .expect("restoring original parameters");
+
+    let mut max_abs: f64 = 0.0;
+    let mut max_rel: f64 = 0.0;
+    let n = original.len();
+    for i in 0..n {
+        let mut plus = original.clone();
+        plus[i] += h;
+        model.load_flat(&plus).expect("same length");
+        let lp = f64::from(model.loss(x, labels));
+        let mut minus = original.clone();
+        minus[i] -= h;
+        model.load_flat(&minus).expect("same length");
+        let lm = f64::from(model.loss(x, labels));
+        let fd = (lp - lm) / (2.0 * f64::from(h));
+        let a = f64::from(analytic[i]);
+        let abs = (a - fd).abs();
+        let rel = abs / fd.abs().max(a.abs()).max(1e-4);
+        max_abs = max_abs.max(abs);
+        max_rel = max_rel.max(rel);
+    }
+    model
+        .load_flat(&original)
+        .expect("restoring original parameters");
+    GradCheckReport {
+        max_abs_diff: max_abs,
+        max_rel_diff: max_rel,
+        checked: n,
+    }
+}
+
+/// Computes the analytic gradient vector of the mean cross-entropy loss at
+/// the model's current parameters, without changing them.
+fn analytic_gradients(model: &mut Mlp, x: &Matrix, labels: &[usize]) -> Vec<f32> {
+    // Run a train step with lr so small the parameter change is negligible,
+    // then recover grads from the parameter delta... That loses precision.
+    // Instead: run forward/backward via train_batch on a clone with momentum
+    // 0 and read grads directly via visit_params_mut on the clone before the
+    // step. Mlp does not expose a public backward, so emulate with Sgd and
+    // delta reconstruction at lr = 1, momentum = 0, wd = 0:
+    //   p' = p - g  =>  g = p - p'.
+    let mut clone = model.clone();
+    let before = clone.flat_params();
+    let mut opt = Sgd::new(1.0);
+    clone.train_batch(x, labels, &mut opt);
+    let after = clone.flat_params();
+    before
+        .iter()
+        .zip(after)
+        .map(|(b, a)| b - a)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, MlpSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn data() -> (Matrix, Vec<usize>) {
+        let x = Matrix::from_rows(&[
+            vec![0.3, -0.2, 0.7],
+            vec![-0.5, 0.4, 0.1],
+            vec![0.9, 0.9, -0.9],
+        ])
+        .unwrap();
+        (x, vec![0, 1, 2])
+    }
+
+    #[test]
+    fn tanh_mlp_gradients_match() {
+        let spec = MlpSpec::new(3, &[6], 3, Activation::Tanh).unwrap();
+        let mut m = Mlp::new(&spec, &mut StdRng::seed_from_u64(1));
+        let (x, y) = data();
+        let report = check_gradients(&mut m, &x, &y, 1e-2);
+        assert!(report.passes(5e-2), "{report:?}");
+    }
+
+    #[test]
+    fn linear_model_gradients_match() {
+        let spec = MlpSpec::linear(3, 3).unwrap();
+        let mut m = Mlp::new(&spec, &mut StdRng::seed_from_u64(2));
+        let (x, y) = data();
+        let report = check_gradients(&mut m, &x, &y, 1e-2);
+        assert!(report.passes(5e-2), "{report:?}");
+    }
+
+    #[test]
+    fn deep_relu_gradients_match() {
+        // ReLU kinks can trip finite differences; use a loose tolerance.
+        let spec = MlpSpec::new(3, &[8, 4], 3, Activation::Relu).unwrap();
+        let mut m = Mlp::new(&spec, &mut StdRng::seed_from_u64(3));
+        let (x, y) = data();
+        let report = check_gradients(&mut m, &x, &y, 1e-2);
+        assert!(report.passes(0.15), "{report:?}");
+    }
+
+    #[test]
+    fn check_restores_parameters() {
+        let spec = MlpSpec::new(3, &[4], 3, Activation::Tanh).unwrap();
+        let mut m = Mlp::new(&spec, &mut StdRng::seed_from_u64(4));
+        let before = m.flat_params();
+        let (x, y) = data();
+        let _ = check_gradients(&mut m, &x, &y, 1e-2);
+        assert_eq!(m.flat_params(), before);
+    }
+}

@@ -1,0 +1,102 @@
+//! Weight initialization schemes.
+
+use glmia_dist::Normal;
+use rand::Rng;
+
+/// Fills `weights` with Kaiming-normal values: `N(0, 2 / fan_in)`.
+///
+/// The paper initializes every node's model with the Kaiming normal
+/// initializer (He et al. 2015), which is the appropriate variance for
+/// ReLU networks (§3.1).
+///
+/// # Panics
+///
+/// Panics if `fan_in == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut w = vec![0.0f32; 256];
+/// glmia_nn::kaiming_normal(&mut w, 64, &mut rng);
+/// assert!(w.iter().any(|&x| x != 0.0));
+/// ```
+pub fn kaiming_normal<R: Rng + ?Sized>(weights: &mut [f32], fan_in: usize, rng: &mut R) {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let std = (2.0 / fan_in as f64).sqrt();
+    let normal = Normal::new(0.0, std).expect("finite std");
+    for w in weights {
+        *w = normal.sample(rng) as f32;
+    }
+}
+
+/// Fills `weights` with uniform values in `[-bound, bound]`.
+///
+/// # Panics
+///
+/// Panics if `bound` is negative or not finite.
+pub fn uniform_init<R: Rng + ?Sized>(weights: &mut [f32], bound: f32, rng: &mut R) {
+    assert!(
+        bound.is_finite() && bound >= 0.0,
+        "bound must be finite and non-negative"
+    );
+    if bound == 0.0 {
+        weights.fill(0.0);
+        return;
+    }
+    for w in weights {
+        *w = rng.gen_range(-bound..=bound);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_variance_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut w = vec![0.0f32; 50_000];
+        kaiming_normal(&mut w, 50, &mut rng);
+        let mean = w.iter().map(|&x| x as f64).sum::<f64>() / w.len() as f64;
+        let var = w.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / w.len() as f64;
+        let expected = 2.0 / 50.0;
+        assert!((var - expected).abs() < expected * 0.1, "var was {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fan_in must be positive")]
+    fn kaiming_zero_fan_in_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        kaiming_normal(&mut [0.0], 0, &mut rng);
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut w = vec![0.0f32; 1000];
+        uniform_init(&mut w, 0.5, &mut rng);
+        assert!(w.iter().all(|&x| (-0.5..=0.5).contains(&x)));
+    }
+
+    #[test]
+    fn uniform_zero_bound_zeroes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut w = vec![1.0f32; 8];
+        uniform_init(&mut w, 0.0, &mut rng);
+        assert!(w.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = vec![0.0f32; 32];
+        let mut b = vec![0.0f32; 32];
+        kaiming_normal(&mut a, 8, &mut StdRng::seed_from_u64(9));
+        kaiming_normal(&mut b, 8, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,65 @@
+//! Minimal dense neural-network substrate for gossip-learning experiments.
+//!
+//! The paper trains small classifiers (CNNs, a ResNet-8 and MLPs) with SGD at
+//! every node of a gossip network; models are repeatedly *averaged* with
+//! models received from neighbors. This crate provides exactly the substrate
+//! that workload needs:
+//!
+//! * a small row-major [`Matrix`] type with the handful of BLAS-like kernels
+//!   backpropagation needs,
+//! * a configurable multi-layer perceptron ([`Mlp`], built from an
+//!   [`MlpSpec`]) with stable softmax cross-entropy,
+//! * an [`Sgd`] optimizer with momentum and weight decay (the paper's
+//!   training configuration, Table 2),
+//! * Kaiming-normal initialization (the paper initializes every node's model
+//!   with `kaiming_normal`, §3.1),
+//! * flat parameter-vector views so gossip protocols can average models with
+//!   plain vector arithmetic, mirroring the paper's treat-models-as-vectors
+//!   spectral analysis (§4),
+//! * a finite-difference [`gradcheck`] harness used by the test suite.
+//!
+//! # Examples
+//!
+//! ```
+//! use glmia_nn::{Activation, Matrix, Mlp, MlpSpec, Sgd};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), glmia_nn::NnError> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let spec = MlpSpec::new(4, &[8], 3, Activation::Relu)?;
+//! let mut model = Mlp::new(&spec, &mut rng);
+//! let mut opt = Sgd::new(0.1).with_momentum(0.9).with_weight_decay(5e-4);
+//!
+//! // Two tiny training samples.
+//! let x = Matrix::from_rows(&[vec![0.0, 1.0, 0.0, 1.0], vec![1.0, 0.0, 1.0, 0.0]])?;
+//! let y = [0usize, 2usize];
+//! let loss_before = model.loss(&x, &y);
+//! for _ in 0..50 {
+//!     model.train_batch(&x, &y, &mut opt);
+//! }
+//! assert!(model.loss(&x, &y) < loss_before);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activation;
+mod error;
+pub mod gradcheck;
+mod init;
+mod linear;
+mod loss;
+mod mlp;
+mod sgd;
+mod tensor;
+
+pub use activation::Activation;
+pub use error::NnError;
+pub use init::{kaiming_normal, uniform_init};
+pub use linear::Linear;
+pub use loss::{cross_entropy_loss, softmax_cross_entropy, softmax_in_place, softmax_rows};
+pub use mlp::{Mlp, MlpSpec};
+pub use sgd::Sgd;
+pub use tensor::Matrix;

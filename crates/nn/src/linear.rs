@@ -1,0 +1,304 @@
+//! Fully-connected (affine) layer with cached-input backpropagation.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{kaiming_normal, Matrix, NnError};
+
+/// A fully-connected layer `y = x·W + b` with `W: in_dim × out_dim`.
+///
+/// The layer caches its last forward input so that a subsequent
+/// [`Linear::backward`] call can accumulate parameter gradients; gradients
+/// accumulate across calls until [`Linear::zero_grad`].
+///
+/// # Examples
+///
+/// ```
+/// use glmia_nn::{Linear, Matrix};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), glmia_nn::NnError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut layer = Linear::new(3, 2, &mut rng);
+/// let x = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0])?;
+/// let y = layer.forward(&x)?;
+/// assert_eq!(y.cols(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    weight: Matrix,
+    bias: Vec<f32>,
+    grad_weight: Matrix,
+    grad_bias: Vec<f32>,
+    #[serde(skip)]
+    cached_input: Option<Matrix>,
+}
+
+impl Linear {
+    /// Creates a layer with Kaiming-normal weights and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_dim == 0` or `out_dim == 0`.
+    pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "layer dimensions must be positive");
+        let mut weight = Matrix::zeros(in_dim, out_dim);
+        kaiming_normal(weight.as_mut_slice(), in_dim, rng);
+        Self {
+            bias: vec![0.0; out_dim],
+            grad_weight: Matrix::zeros(in_dim, out_dim),
+            grad_bias: vec![0.0; out_dim],
+            cached_input: None,
+            weight,
+        }
+    }
+
+    /// Creates a layer with all-zero weights and bias (a placeholder to be
+    /// overwritten via [`Linear::load_flat`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_dim == 0` or `out_dim == 0`.
+    #[must_use]
+    pub fn zeros(in_dim: usize, out_dim: usize) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "layer dimensions must be positive");
+        Self {
+            weight: Matrix::zeros(in_dim, out_dim),
+            bias: vec![0.0; out_dim],
+            grad_weight: Matrix::zeros(in_dim, out_dim),
+            grad_bias: vec![0.0; out_dim],
+            cached_input: None,
+        }
+    }
+
+    /// Input dimension.
+    #[must_use]
+    pub fn in_dim(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Output dimension.
+    #[must_use]
+    pub fn out_dim(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Total number of trainable parameters (weights + biases).
+    #[must_use]
+    pub fn num_params(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    /// The weight matrix.
+    #[must_use]
+    pub fn weight(&self) -> &Matrix {
+        &self.weight
+    }
+
+    /// The bias vector.
+    #[must_use]
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Computes `x·W + b`, caching `x` for the backward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] if `x.cols() != in_dim`.
+    pub fn forward(&mut self, x: &Matrix) -> Result<Matrix, NnError> {
+        let mut y = x.matmul(&self.weight)?;
+        y.add_row_broadcast(&self.bias);
+        self.cached_input = Some(x.clone());
+        Ok(y)
+    }
+
+    /// Computes `x·W + b` without caching (inference path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] if `x.cols() != in_dim`.
+    pub fn forward_inference(&self, x: &Matrix) -> Result<Matrix, NnError> {
+        let mut y = x.matmul(&self.weight)?;
+        y.add_row_broadcast(&self.bias);
+        Ok(y)
+    }
+
+    /// Accumulates parameter gradients from `grad_out` and returns the
+    /// gradient with respect to the layer input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] if no forward pass was cached or shapes mismatch.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Result<Matrix, NnError> {
+        let x = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| NnError::new("backward called before forward"))?;
+        if grad_out.rows() != x.rows() || grad_out.cols() != self.weight.cols() {
+            return Err(NnError::new(format!(
+                "backward shape mismatch: grad {}x{}, expected {}x{}",
+                grad_out.rows(),
+                grad_out.cols(),
+                x.rows(),
+                self.weight.cols()
+            )));
+        }
+        let dw = x.t_matmul(grad_out)?;
+        for (g, d) in self
+            .grad_weight
+            .as_mut_slice()
+            .iter_mut()
+            .zip(dw.as_slice())
+        {
+            *g += d;
+        }
+        for (g, d) in self.grad_bias.iter_mut().zip(grad_out.sum_rows()) {
+            *g += d;
+        }
+        grad_out.matmul_t(&self.weight)
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_weight.as_mut_slice().fill(0.0);
+        self.grad_bias.fill(0.0);
+    }
+
+    /// Visits `(param, grad)` pairs mutably: weights first, then biases.
+    /// Row-major order; stable across calls (used by the optimizer and the
+    /// flat-vector views).
+    pub fn visit_params_mut(&mut self, mut f: impl FnMut(&mut f32, f32)) {
+        for (p, &g) in self
+            .weight
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.grad_weight.as_slice())
+        {
+            f(p, g);
+        }
+        for (p, &g) in self.bias.iter_mut().zip(&self.grad_bias) {
+            f(p, g);
+        }
+    }
+
+    /// Appends the layer's parameters to `out` in the order used by
+    /// [`Linear::load_flat`].
+    pub fn store_flat(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.weight.as_slice());
+        out.extend_from_slice(&self.bias);
+    }
+
+    /// Loads parameters from a flat slice, returning how many values were
+    /// consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] if `flat` holds fewer values than the layer needs.
+    pub fn load_flat(&mut self, flat: &[f32]) -> Result<usize, NnError> {
+        let need = self.num_params();
+        if flat.len() < need {
+            return Err(NnError::new(format!(
+                "flat parameter slice too short: need {need}, got {}",
+                flat.len()
+            )));
+        }
+        let (w, rest) = flat.split_at(self.weight.len());
+        self.weight.as_mut_slice().copy_from_slice(w);
+        let bias_len = self.bias.len();
+        self.bias.copy_from_slice(&rest[..bias_len]);
+        Ok(need)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn forward_matches_hand_computation() {
+        let mut l = Linear::new(2, 2, &mut rng());
+        // Overwrite parameters with known values.
+        l.load_flat(&[1.0, 2.0, 3.0, 4.0, 0.5, -0.5]).unwrap();
+        let x = Matrix::from_vec(1, 2, vec![1.0, 1.0]).unwrap();
+        let y = l.forward(&x).unwrap();
+        // [1, 1] · [[1, 2], [3, 4]] + [0.5, -0.5] = [4.5, 5.5]
+        assert_eq!(y.as_slice(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn forward_inference_matches_forward() {
+        let mut l = Linear::new(3, 4, &mut rng());
+        let x = Matrix::from_vec(2, 3, vec![0.1; 6]).unwrap();
+        let a = l.forward(&x).unwrap();
+        let b = l.forward_inference(&x).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut l = Linear::new(2, 2, &mut rng());
+        let g = Matrix::zeros(1, 2);
+        assert!(l.backward(&g).is_err());
+    }
+
+    #[test]
+    fn backward_shape_mismatch_errors() {
+        let mut l = Linear::new(2, 2, &mut rng());
+        let x = Matrix::zeros(1, 2);
+        l.forward(&x).unwrap();
+        assert!(l.backward(&Matrix::zeros(1, 3)).is_err());
+        assert!(l.backward(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut l = Linear::new(2, 1, &mut rng());
+        l.load_flat(&[1.0, 1.0, 0.0]).unwrap();
+        let x = Matrix::from_vec(1, 2, vec![1.0, 2.0]).unwrap();
+        let g = Matrix::from_vec(1, 1, vec![1.0]).unwrap();
+        l.forward(&x).unwrap();
+        l.backward(&g).unwrap();
+        l.forward(&x).unwrap();
+        l.backward(&g).unwrap();
+        // dW = x^T g accumulated twice -> [2, 4]; db = 2.
+        assert_eq!(l.grad_weight.as_slice(), &[2.0, 4.0]);
+        assert_eq!(l.grad_bias, vec![2.0]);
+        l.zero_grad();
+        assert_eq!(l.grad_weight.as_slice(), &[0.0, 0.0]);
+        assert_eq!(l.grad_bias, vec![0.0]);
+    }
+
+    #[test]
+    fn flat_roundtrip_preserves_parameters() {
+        let a = Linear::new(3, 2, &mut rng());
+        let mut flat = Vec::new();
+        a.store_flat(&mut flat);
+        assert_eq!(flat.len(), a.num_params());
+        let mut b = Linear::new(3, 2, &mut StdRng::seed_from_u64(7));
+        let consumed = b.load_flat(&flat).unwrap();
+        assert_eq!(consumed, flat.len());
+        assert_eq!(b.weight().as_slice(), a.weight().as_slice());
+        assert_eq!(b.bias(), a.bias());
+    }
+
+    #[test]
+    fn load_flat_too_short_errors() {
+        let mut l = Linear::new(2, 2, &mut rng());
+        assert!(l.load_flat(&[0.0; 3]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dim_panics() {
+        Linear::new(0, 2, &mut rng());
+    }
+}

@@ -1,0 +1,187 @@
+//! Numerically stable softmax and cross-entropy.
+
+use crate::Matrix;
+
+/// Applies a numerically stable softmax to one logits row in place.
+///
+/// # Examples
+///
+/// ```
+/// let mut row = [1.0f32, 1.0, 1.0];
+/// glmia_nn::softmax_in_place(&mut row);
+/// assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+/// assert!((row[0] - 1.0 / 3.0).abs() < 1e-6);
+/// ```
+pub fn softmax_in_place(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for x in row.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    if sum > 0.0 {
+        for x in row.iter_mut() {
+            *x /= sum;
+        }
+    } else {
+        // All logits were -inf (cannot happen with finite weights); fall
+        // back to uniform rather than NaN.
+        let u = 1.0 / row.len() as f32;
+        row.fill(u);
+    }
+}
+
+/// Returns a matrix whose rows are the softmax of the rows of `logits`.
+#[must_use]
+pub fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        softmax_in_place(out.row_mut(r));
+    }
+    out
+}
+
+/// Mean cross-entropy of `probs` (already softmaxed, rows sum to 1) against
+/// integer `labels`.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != probs.rows()` or any label is out of range.
+#[must_use]
+pub fn cross_entropy_loss(probs: &Matrix, labels: &[usize]) -> f32 {
+    assert_eq!(labels.len(), probs.rows(), "label/batch size mismatch");
+    let mut total = 0.0f64;
+    for (r, &y) in labels.iter().enumerate() {
+        assert!(y < probs.cols(), "label {y} out of range for {} classes", probs.cols());
+        let p = probs.get(r, y).max(1e-12);
+        total -= f64::from(p.ln());
+    }
+    (total / labels.len() as f64) as f32
+}
+
+/// Combined softmax + cross-entropy: returns `(mean loss, grad wrt logits)`.
+///
+/// The gradient of mean cross-entropy with respect to the logits is the
+/// classic `(softmax(z) - onehot(y)) / batch`.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or any label is out of range.
+#[must_use]
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+    assert_eq!(labels.len(), logits.rows(), "label/batch size mismatch");
+    let mut grad = softmax_rows(logits);
+    let loss = cross_entropy_loss(&grad, labels);
+    let batch = labels.len() as f32;
+    for (r, &y) in labels.iter().enumerate() {
+        let row = grad.row_mut(r);
+        row[y] -= 1.0;
+        for g in row.iter_mut() {
+            *g /= batch;
+        }
+    }
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_is_shift_invariant() {
+        let mut a = [1.0f32, 2.0, 3.0];
+        let mut b = [101.0f32, 102.0, 103.0];
+        softmax_in_place(&mut a);
+        softmax_in_place(&mut b);
+        assert!((a.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let mut a = [1000.0f32, 0.0];
+        softmax_in_place(&mut a);
+        assert!((a[0] - 1.0).abs() < 1e-6);
+        assert!(a[1] >= 0.0);
+    }
+
+    #[test]
+    fn softmax_empty_row_is_noop() {
+        let mut a: [f32; 0] = [];
+        softmax_in_place(&mut a);
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_zero() {
+        let probs = Matrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap();
+        assert!(cross_entropy_loss(&probs, &[0]) < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_of_uniform_is_log_k() {
+        let probs = Matrix::from_vec(1, 4, vec![0.25; 4]).unwrap();
+        let loss = cross_entropy_loss(&probs, &[2]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "label/batch size mismatch")]
+    fn cross_entropy_batch_mismatch_panics() {
+        let probs = Matrix::zeros(2, 2);
+        let _ = cross_entropy_loss(&probs, &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cross_entropy_label_out_of_range_panics() {
+        let probs = Matrix::from_vec(1, 2, vec![0.5, 0.5]).unwrap();
+        let _ = cross_entropy_loss(&probs, &[2]);
+    }
+
+    #[test]
+    fn grad_rows_sum_to_zero() {
+        // Softmax-CE gradient rows sum to zero: sum(softmax) - 1 = 0.
+        let logits = Matrix::from_vec(2, 3, vec![0.5, -1.0, 2.0, 0.0, 0.0, 0.0]).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &[2, 0]);
+        for r in 0..2 {
+            let s: f32 = grad.row(r).iter().sum();
+            assert!(s.abs() < 1e-6, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let logits = Matrix::from_vec(1, 3, vec![0.2, -0.4, 0.9]).unwrap();
+        let labels = [1usize];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let h = 1e-3f32;
+        for c in 0..3 {
+            let mut plus = logits.clone();
+            plus.set(0, c, plus.get(0, c) + h);
+            let mut minus = logits.clone();
+            minus.set(0, c, minus.get(0, c) - h);
+            let lp = cross_entropy_loss(&softmax_rows(&plus), &labels);
+            let lm = cross_entropy_loss(&softmax_rows(&minus), &labels);
+            let fd = (lp - lm) / (2.0 * h);
+            assert!(
+                (grad.get(0, c) - fd).abs() < 1e-3,
+                "col {c}: analytic {} vs fd {fd}",
+                grad.get(0, c)
+            );
+        }
+    }
+
+    #[test]
+    fn loss_decreases_toward_correct_class() {
+        let good = Matrix::from_vec(1, 3, vec![5.0, 0.0, 0.0]).unwrap();
+        let bad = Matrix::from_vec(1, 3, vec![0.0, 5.0, 0.0]).unwrap();
+        let (lg, _) = softmax_cross_entropy(&good, &[0]);
+        let (lb, _) = softmax_cross_entropy(&bad, &[0]);
+        assert!(lg < lb);
+    }
+}

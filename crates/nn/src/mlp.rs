@@ -1,0 +1,690 @@
+//! Multi-layer perceptron classifier with flat parameter-vector views.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    softmax_cross_entropy, softmax_rows, Activation, Linear, Matrix, NnError, Sgd,
+};
+
+/// The architecture of an [`Mlp`]: input width, hidden widths, class count
+/// and hidden activation.
+///
+/// Nodes in a gossip network share one spec (the paper's common initial model
+/// `θ₀`) and exchange flat parameter vectors; the spec is what turns those
+/// vectors back into runnable models.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_nn::{Activation, MlpSpec};
+///
+/// let spec = MlpSpec::new(32, &[64, 32], 10, Activation::Relu)?;
+/// assert_eq!(spec.num_params(), 32 * 64 + 64 + 64 * 32 + 32 + 32 * 10 + 10);
+/// # Ok::<(), glmia_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlpSpec {
+    input_dim: usize,
+    hidden: Vec<usize>,
+    num_classes: usize,
+    activation: Activation,
+    #[serde(default)]
+    dropout: f32,
+}
+
+impl MlpSpec {
+    /// Creates a spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] if `input_dim == 0`, `num_classes < 2`, or any
+    /// hidden width is zero.
+    pub fn new(
+        input_dim: usize,
+        hidden: &[usize],
+        num_classes: usize,
+        activation: Activation,
+    ) -> Result<Self, NnError> {
+        if input_dim == 0 {
+            return Err(NnError::new("input_dim must be positive"));
+        }
+        if num_classes < 2 {
+            return Err(NnError::new("num_classes must be at least 2"));
+        }
+        if hidden.contains(&0) {
+            return Err(NnError::new("hidden widths must be positive"));
+        }
+        Ok(Self {
+            input_dim,
+            hidden: hidden.to_vec(),
+            num_classes,
+            activation,
+            dropout: 0.0,
+        })
+    }
+
+    /// Sets the dropout probability applied to hidden activations during
+    /// training (inverted dropout; inference is unaffected). `0` disables
+    /// dropout — the default and the paper's setup; the §5 recommendations
+    /// suggest regularization like this against early overfitting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1)`.
+    #[must_use]
+    pub fn with_dropout(mut self, p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout must be in [0, 1)");
+        self.dropout = p;
+        self
+    }
+
+    /// The dropout probability.
+    #[must_use]
+    pub fn dropout(&self) -> f32 {
+        self.dropout
+    }
+
+    /// A linear (no hidden layer) softmax classifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] under the same conditions as [`MlpSpec::new`].
+    pub fn linear(input_dim: usize, num_classes: usize) -> Result<Self, NnError> {
+        Self::new(input_dim, &[], num_classes, Activation::Identity)
+    }
+
+    /// Input dimension.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden layer widths.
+    #[must_use]
+    pub fn hidden(&self) -> &[usize] {
+        &self.hidden
+    }
+
+    /// Number of output classes.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Hidden activation function.
+    #[must_use]
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// The sequence of `(in, out)` layer shapes.
+    #[must_use]
+    pub fn layer_shapes(&self) -> Vec<(usize, usize)> {
+        let mut dims = Vec::with_capacity(self.hidden.len() + 2);
+        dims.push(self.input_dim);
+        dims.extend_from_slice(&self.hidden);
+        dims.push(self.num_classes);
+        dims.windows(2).map(|w| (w[0], w[1])).collect()
+    }
+
+    /// Total number of trainable parameters.
+    #[must_use]
+    pub fn num_params(&self) -> usize {
+        self.layer_shapes()
+            .iter()
+            .map(|&(i, o)| i * o + o)
+            .sum()
+    }
+}
+
+/// A multi-layer perceptron classifier trained with softmax cross-entropy.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_nn::{Activation, Matrix, Mlp, MlpSpec, Sgd};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), glmia_nn::NnError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let spec = MlpSpec::new(2, &[8], 2, Activation::Relu)?;
+/// let mut m = Mlp::new(&spec, &mut rng);
+/// let x = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]])?;
+/// let y = [0usize, 1usize];
+/// let mut opt = Sgd::new(0.5);
+/// for _ in 0..200 {
+///     m.train_batch(&x, &y, &mut opt);
+/// }
+/// assert_eq!(m.predict(&x), vec![0, 1]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    spec: MlpSpec,
+    layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Creates a model with Kaiming-normal initialization.
+    pub fn new<R: Rng + ?Sized>(spec: &MlpSpec, rng: &mut R) -> Self {
+        let layers = spec
+            .layer_shapes()
+            .into_iter()
+            .map(|(i, o)| Linear::new(i, o, rng))
+            .collect();
+        Self {
+            spec: spec.clone(),
+            layers,
+        }
+    }
+
+    /// Creates a model with all parameters zero (a placeholder to be
+    /// overwritten via [`Mlp::load_flat`]).
+    #[must_use]
+    pub fn zeros(spec: &MlpSpec) -> Self {
+        let layers = spec
+            .layer_shapes()
+            .into_iter()
+            .map(|(i, o)| Linear::zeros(i, o))
+            .collect();
+        Self {
+            spec: spec.clone(),
+            layers,
+        }
+    }
+
+    /// Creates a model with the given flat parameter vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] if `flat.len() != spec.num_params()`.
+    pub fn from_flat(spec: &MlpSpec, flat: &[f32]) -> Result<Self, NnError> {
+        let mut model = Self::zeros(spec);
+        model.load_flat(flat)?;
+        Ok(model)
+    }
+
+    /// The model's architecture spec.
+    #[must_use]
+    pub fn spec(&self) -> &MlpSpec {
+        &self.spec
+    }
+
+    /// Total number of trainable parameters.
+    #[must_use]
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Linear::num_params).sum()
+    }
+
+    /// The layers of the model.
+    #[must_use]
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// Copies all parameters into one flat vector (layer by layer, weights
+    /// before biases). The inverse of [`Mlp::load_flat`].
+    #[must_use]
+    pub fn flat_params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_params());
+        for layer in &self.layers {
+            layer.store_flat(&mut out);
+        }
+        out
+    }
+
+    /// Overwrites all parameters from a flat vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] if `flat.len() != num_params()`.
+    pub fn load_flat(&mut self, flat: &[f32]) -> Result<(), NnError> {
+        if flat.len() != self.num_params() {
+            return Err(NnError::new(format!(
+                "flat parameter vector has {} values, model needs {}",
+                flat.len(),
+                self.num_params()
+            )));
+        }
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            offset += layer.load_flat(&flat[offset..])?;
+        }
+        Ok(())
+    }
+
+    /// Visits `(param, grad)` pairs mutably across all layers, in flat-vector
+    /// order.
+    pub(crate) fn visit_params_mut(&mut self, mut f: impl FnMut(&mut f32, f32)) {
+        for layer in &mut self.layers {
+            layer.visit_params_mut(&mut f);
+        }
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Raw logits for a batch (inference path, no gradient caching).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] if `x.cols() != input_dim`.
+    pub fn logits(&self, x: &Matrix) -> Result<Matrix, NnError> {
+        let mut h = self.layers[0].forward_inference(x)?;
+        for layer in &self.layers[1..] {
+            self.spec.activation.forward_in_place(&mut h);
+            h = layer.forward_inference(&h)?;
+        }
+        Ok(h)
+    }
+
+    /// Class-probability rows for a batch: `θ[z]` in the paper's notation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] if `x.cols() != input_dim`.
+    pub fn predict_proba(&self, x: &Matrix) -> Result<Matrix, NnError> {
+        Ok(softmax_rows(&self.logits(x)?))
+    }
+
+    /// Top-1 class predictions for a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != input_dim`.
+    #[must_use]
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        self.logits(x)
+            .expect("input width must match model input_dim")
+            .argmax_rows()
+    }
+
+    /// Mean cross-entropy loss on a labelled batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes mismatch or labels are out of range.
+    #[must_use]
+    pub fn loss(&self, x: &Matrix, labels: &[usize]) -> f32 {
+        let probs = self
+            .predict_proba(x)
+            .expect("input width must match model input_dim");
+        crate::cross_entropy_loss(&probs, labels)
+    }
+
+    /// Top-1 accuracy on a labelled batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != x.rows()`.
+    #[must_use]
+    pub fn accuracy(&self, x: &Matrix, labels: &[usize]) -> f32 {
+        assert_eq!(labels.len(), x.rows(), "label/batch size mismatch");
+        if labels.is_empty() {
+            return 0.0;
+        }
+        let preds = self.predict(x);
+        let correct = preds
+            .iter()
+            .zip(labels)
+            .filter(|(p, y)| p == y)
+            .count();
+        correct as f32 / labels.len() as f32
+    }
+
+    /// Runs one gradient step on a batch and returns the batch loss.
+    /// Dropout is *not* applied (there is no randomness source); use
+    /// [`Mlp::train_batch_dropout`] or [`Mlp::train_epoch`] for specs with
+    /// dropout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes mismatch or labels are out of range.
+    pub fn train_batch(&mut self, x: &Matrix, labels: &[usize], opt: &mut Sgd) -> f32 {
+        self.train_batch_impl(x, labels, opt, None)
+    }
+
+    /// Runs one gradient step with inverted dropout on hidden activations
+    /// at the spec's dropout rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes mismatch or labels are out of range.
+    pub fn train_batch_dropout<R: Rng + ?Sized>(
+        &mut self,
+        x: &Matrix,
+        labels: &[usize],
+        opt: &mut Sgd,
+        rng: &mut R,
+    ) -> f32 {
+        let p = self.spec.dropout;
+        if p == 0.0 {
+            return self.train_batch_impl(x, labels, opt, None);
+        }
+        // Pre-draw dropout masks (one per hidden layer) so the backward
+        // pass can reuse them; inverted scaling keeps expectations equal.
+        let last = self.layers.len() - 1;
+        let keep = 1.0 - p;
+        let masks: Vec<Vec<f32>> = (0..last)
+            .map(|i| {
+                let width = self.layers[i].out_dim() * x.rows();
+                (0..width)
+                    .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+                    .collect()
+            })
+            .collect();
+        self.train_batch_impl(x, labels, opt, Some(&masks))
+    }
+
+    fn train_batch_impl(
+        &mut self,
+        x: &Matrix,
+        labels: &[usize],
+        opt: &mut Sgd,
+        dropout_masks: Option<&[Vec<f32>]>,
+    ) -> f32 {
+        self.zero_grad();
+        // Forward with caches.
+        let last = self.layers.len() - 1;
+        let mut preacts = Vec::with_capacity(last);
+        let mut h = self.layers[0]
+            .forward(x)
+            .expect("input width must match model input_dim");
+        for (i, layer) in self.layers[1..].iter_mut().enumerate() {
+            preacts.push(h.clone());
+            self.spec.activation.forward_in_place(&mut h);
+            if let Some(masks) = dropout_masks {
+                for (v, &m) in h.as_mut_slice().iter_mut().zip(&masks[i]) {
+                    *v *= m;
+                }
+            }
+            h = layer.forward(&h).expect("layer widths are consistent");
+        }
+        let (loss, dlogits) = softmax_cross_entropy(&h, labels);
+        // Backward.
+        let mut grad = self.layers[last]
+            .backward(&dlogits)
+            .expect("forward was just run");
+        for i in (0..last).rev() {
+            if let Some(masks) = dropout_masks {
+                for (g, &m) in grad.as_mut_slice().iter_mut().zip(&masks[i]) {
+                    *g *= m;
+                }
+            }
+            self.spec.activation.backward_in_place(&mut grad, &preacts[i]);
+            grad = self.layers[i].backward(&grad).expect("forward was just run");
+        }
+        opt.step(self);
+        loss
+    }
+
+    /// Runs one epoch of minibatch SGD over the dataset, shuffling with
+    /// `rng`. Returns the mean batch loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`, shapes mismatch, or labels are out of
+    /// range.
+    pub fn train_epoch<R: Rng + ?Sized>(
+        &mut self,
+        x: &Matrix,
+        labels: &[usize],
+        batch_size: usize,
+        opt: &mut Sgd,
+        rng: &mut R,
+    ) -> f32 {
+        assert!(batch_size > 0, "batch_size must be positive");
+        assert_eq!(labels.len(), x.rows(), "label/batch size mismatch");
+        if labels.is_empty() {
+            return 0.0;
+        }
+        let mut indices: Vec<usize> = (0..x.rows()).collect();
+        // Fisher–Yates shuffle.
+        for i in (1..indices.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            indices.swap(i, j);
+        }
+        let mut total = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in indices.chunks(batch_size) {
+            let bx = x.select_rows(chunk);
+            let by: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+            total += f64::from(self.train_batch_dropout(&bx, &by, opt, rng));
+            batches += 1;
+        }
+        (total / batches as f64) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn xor_data() -> (Matrix, Vec<usize>) {
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ])
+        .unwrap();
+        (x, vec![0, 1, 1, 0])
+    }
+
+    #[test]
+    fn spec_validates() {
+        assert!(MlpSpec::new(0, &[4], 2, Activation::Relu).is_err());
+        assert!(MlpSpec::new(4, &[0], 2, Activation::Relu).is_err());
+        assert!(MlpSpec::new(4, &[4], 1, Activation::Relu).is_err());
+        assert!(MlpSpec::new(4, &[], 2, Activation::Relu).is_ok());
+    }
+
+    #[test]
+    fn spec_num_params_matches_model() {
+        let spec = MlpSpec::new(5, &[7, 3], 4, Activation::Tanh).unwrap();
+        let model = Mlp::new(&spec, &mut rng(0));
+        assert_eq!(spec.num_params(), model.num_params());
+        assert_eq!(model.flat_params().len(), spec.num_params());
+    }
+
+    #[test]
+    fn layer_shapes_chain_dimensions() {
+        let spec = MlpSpec::new(5, &[7, 3], 4, Activation::Relu).unwrap();
+        assert_eq!(spec.layer_shapes(), vec![(5, 7), (7, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn flat_roundtrip_preserves_predictions() {
+        let spec = MlpSpec::new(3, &[6], 3, Activation::Relu).unwrap();
+        let a = Mlp::new(&spec, &mut rng(5));
+        let flat = a.flat_params();
+        let b = Mlp::from_flat(&spec, &flat).unwrap();
+        let x = Matrix::from_vec(2, 3, vec![0.1, -0.2, 0.3, 1.0, 0.0, -1.0]).unwrap();
+        assert_eq!(
+            a.predict_proba(&x).unwrap(),
+            b.predict_proba(&x).unwrap()
+        );
+    }
+
+    #[test]
+    fn zeros_model_is_all_zero_and_loadable() {
+        let spec = MlpSpec::new(3, &[5], 2, Activation::Relu).unwrap();
+        let z = Mlp::zeros(&spec);
+        assert!(z.flat_params().iter().all(|&p| p == 0.0));
+        assert_eq!(z.num_params(), spec.num_params());
+        // A zero model predicts uniformly.
+        let x = Matrix::from_vec(1, 3, vec![1.0, -1.0, 0.5]).unwrap();
+        let p = z.predict_proba(&x).unwrap();
+        assert!(p.row(0).iter().all(|&v| (v - 0.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn load_flat_wrong_size_errors() {
+        let spec = MlpSpec::new(2, &[2], 2, Activation::Relu).unwrap();
+        let mut m = Mlp::new(&spec, &mut rng(0));
+        assert!(m.load_flat(&[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn predict_proba_rows_sum_to_one() {
+        let spec = MlpSpec::new(4, &[8], 5, Activation::Relu).unwrap();
+        let m = Mlp::new(&spec, &mut rng(2));
+        let x = Matrix::from_vec(3, 4, vec![0.5; 12]).unwrap();
+        let p = m.predict_proba(&x).unwrap();
+        for r in 0..p.rows() {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn learns_xor() {
+        let spec = MlpSpec::new(2, &[16], 2, Activation::Tanh).unwrap();
+        let mut m = Mlp::new(&spec, &mut rng(3));
+        let (x, y) = xor_data();
+        let mut opt = Sgd::new(0.5).with_momentum(0.9);
+        for _ in 0..500 {
+            m.train_batch(&x, &y, &mut opt);
+        }
+        assert_eq!(m.predict(&x), y, "failed to learn XOR");
+        assert!(m.accuracy(&x, &y) == 1.0);
+    }
+
+    #[test]
+    fn linear_spec_trains_separable_data() {
+        let spec = MlpSpec::linear(2, 2).unwrap();
+        let mut m = Mlp::new(&spec, &mut rng(4));
+        let x = Matrix::from_rows(&[vec![-1.0, -1.0], vec![1.0, 1.0]]).unwrap();
+        let y = vec![0, 1];
+        let mut opt = Sgd::new(0.5);
+        for _ in 0..200 {
+            m.train_batch(&x, &y, &mut opt);
+        }
+        assert_eq!(m.predict(&x), y);
+    }
+
+    #[test]
+    fn train_epoch_reduces_loss() {
+        let spec = MlpSpec::new(2, &[16], 2, Activation::Relu).unwrap();
+        let mut m = Mlp::new(&spec, &mut rng(6));
+        let (x, y) = xor_data();
+        let mut opt = Sgd::new(0.3).with_momentum(0.9);
+        let before = m.loss(&x, &y);
+        let mut r = rng(7);
+        for _ in 0..300 {
+            m.train_epoch(&x, &y, 2, &mut opt, &mut r);
+        }
+        assert!(m.loss(&x, &y) < before);
+    }
+
+    #[test]
+    fn train_epoch_empty_dataset_is_zero_loss() {
+        let spec = MlpSpec::new(2, &[], 2, Activation::Identity).unwrap();
+        let mut m = Mlp::new(&spec, &mut rng(8));
+        let x = Matrix::zeros(0, 2);
+        let mut opt = Sgd::new(0.1);
+        let loss = m.train_epoch(&x, &[], 4, &mut opt, &mut rng(9));
+        assert_eq!(loss, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size must be positive")]
+    fn train_epoch_zero_batch_panics() {
+        let spec = MlpSpec::new(2, &[], 2, Activation::Identity).unwrap();
+        let mut m = Mlp::new(&spec, &mut rng(8));
+        let (x, y) = xor_data();
+        let mut opt = Sgd::new(0.1);
+        m.train_epoch(&x, &y, 0, &mut opt, &mut rng(9));
+    }
+
+    #[test]
+    fn dropout_spec_validates() {
+        let spec = MlpSpec::new(4, &[8], 2, Activation::Relu).unwrap();
+        assert_eq!(spec.dropout(), 0.0);
+        assert_eq!(spec.clone().with_dropout(0.3).dropout(), 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout must be in [0, 1)")]
+    fn dropout_of_one_panics() {
+        let _ = MlpSpec::new(4, &[8], 2, Activation::Relu)
+            .unwrap()
+            .with_dropout(1.0);
+    }
+
+    #[test]
+    fn dropout_training_still_learns() {
+        let spec = MlpSpec::new(2, &[32], 2, Activation::Tanh)
+            .unwrap()
+            .with_dropout(0.2);
+        let mut m = Mlp::new(&spec, &mut rng(20));
+        let (x, y) = xor_data();
+        let mut opt = Sgd::new(0.3).with_momentum(0.9);
+        let mut r = rng(21);
+        for _ in 0..500 {
+            m.train_epoch(&x, &y, 4, &mut opt, &mut r);
+        }
+        assert!(m.accuracy(&x, &y) >= 0.75, "dropout training diverged");
+    }
+
+    #[test]
+    fn dropout_changes_the_training_trajectory() {
+        let base = MlpSpec::new(3, &[8], 2, Activation::Relu).unwrap();
+        let dropped = base.clone().with_dropout(0.5);
+        let x = Matrix::from_rows(&[vec![0.1, 0.2, 0.3], vec![-0.1, 0.4, 0.0]]).unwrap();
+        let y = [0usize, 1];
+        let run = |spec: &MlpSpec| {
+            let mut m = Mlp::new(spec, &mut rng(22));
+            let mut opt = Sgd::new(0.1);
+            let mut r = rng(23);
+            for _ in 0..5 {
+                m.train_batch_dropout(&x, &y, &mut opt, &mut r);
+            }
+            m.flat_params()
+        };
+        assert_ne!(run(&base), run(&dropped));
+    }
+
+    #[test]
+    fn zero_dropout_batch_paths_agree() {
+        let spec = MlpSpec::new(3, &[6], 2, Activation::Relu).unwrap();
+        let x = Matrix::from_rows(&[vec![0.5, -0.5, 1.0]]).unwrap();
+        let y = [1usize];
+        let mut a = Mlp::new(&spec, &mut rng(24));
+        let mut b = a.clone();
+        let mut opt_a = Sgd::new(0.1);
+        let mut opt_b = Sgd::new(0.1);
+        a.train_batch(&x, &y, &mut opt_a);
+        b.train_batch_dropout(&x, &y, &mut opt_b, &mut rng(25));
+        assert_eq!(a.flat_params(), b.flat_params());
+    }
+
+    #[test]
+    fn averaging_two_models_preserves_param_mean() {
+        // Gossip-style averaging on flat vectors: mean of flats equals flat
+        // of mean model.
+        let spec = MlpSpec::new(3, &[4], 2, Activation::Relu).unwrap();
+        let a = Mlp::new(&spec, &mut rng(10));
+        let b = Mlp::new(&spec, &mut rng(11));
+        let avg: Vec<f32> = a
+            .flat_params()
+            .iter()
+            .zip(b.flat_params())
+            .map(|(x, y)| (x + y) / 2.0)
+            .collect();
+        let m = Mlp::from_flat(&spec, &avg).unwrap();
+        assert_eq!(m.flat_params(), avg);
+    }
+}

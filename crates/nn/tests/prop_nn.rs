@@ -1,0 +1,131 @@
+//! Property-based tests of the neural-network substrate.
+
+use glmia_nn::{Activation, Matrix, Mlp, MlpSpec, Sgd};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Strategy for small random MLP architectures.
+fn arch() -> impl Strategy<Value = (usize, Vec<usize>, usize)> {
+    (
+        1usize..8,
+        proptest::collection::vec(1usize..10, 0..3),
+        2usize..6,
+    )
+}
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.gen_range(-2.0..2.0)).collect(),
+    )
+    .expect("consistent dims")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn flat_roundtrip_for_random_architectures(
+        (input, hidden, classes) in arch(),
+        seed in 0u64..1000,
+    ) {
+        let spec = MlpSpec::new(input, &hidden, classes, Activation::Relu).unwrap();
+        let model = Mlp::new(&spec, &mut StdRng::seed_from_u64(seed));
+        let flat = model.flat_params();
+        prop_assert_eq!(flat.len(), spec.num_params());
+        let rebuilt = Mlp::from_flat(&spec, &flat).unwrap();
+        prop_assert_eq!(rebuilt.flat_params(), flat);
+    }
+
+    #[test]
+    fn predictions_are_valid_distributions(
+        (input, hidden, classes) in arch(),
+        batch in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let spec = MlpSpec::new(input, &hidden, classes, Activation::Tanh).unwrap();
+        let model = Mlp::new(&spec, &mut StdRng::seed_from_u64(seed));
+        let mut rng = StdRng::seed_from_u64(seed + 1);
+        let x = random_matrix(batch, input, &mut rng);
+        let probs = model.predict_proba(&x).unwrap();
+        prop_assert_eq!(probs.rows(), batch);
+        prop_assert_eq!(probs.cols(), classes);
+        for r in 0..batch {
+            let sum: f32 = probs.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(probs.row(r).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+        let preds = model.predict(&x);
+        prop_assert!(preds.iter().all(|&p| p < classes));
+    }
+
+    #[test]
+    fn matmul_is_associative_on_vectors(
+        n in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        // (A·B)·v == A·(B·v) within f32 tolerance.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_matrix(n, n, &mut rng);
+        let b = random_matrix(n, n, &mut rng);
+        let v = random_matrix(n, 1, &mut rng);
+        let left = a.matmul(&b).unwrap().matmul(&v).unwrap();
+        let right = a.matmul(&b.matmul(&v).unwrap()).unwrap();
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3 * (1.0 + x.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transpose_is_an_involution(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_matrix(rows, cols, &mut rng);
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn sgd_steps_reduce_loss_on_a_fixed_batch(
+        seed in 0u64..500,
+    ) {
+        // On a fixed batch with a small lr, 25 full-batch steps must not
+        // increase the loss (deterministic gradient descent).
+        let spec = MlpSpec::new(4, &[8], 3, Activation::Tanh).unwrap();
+        let mut model = Mlp::new(&spec, &mut StdRng::seed_from_u64(seed));
+        let mut rng = StdRng::seed_from_u64(seed + 1);
+        let x = random_matrix(6, 4, &mut rng);
+        let y: Vec<usize> = (0..6).map(|i| i % 3).collect();
+        let before = model.loss(&x, &y);
+        let mut opt = Sgd::new(0.01);
+        for _ in 0..25 {
+            model.train_batch(&x, &y, &mut opt);
+        }
+        let after = model.loss(&x, &y);
+        prop_assert!(after <= before + 1e-4, "loss rose from {before} to {after}");
+    }
+
+    #[test]
+    fn weight_decay_bounds_parameter_growth(
+        seed in 0u64..500,
+    ) {
+        // With strong decay and zero gradients, parameter norm shrinks
+        // monotonically.
+        let spec = MlpSpec::new(3, &[5], 2, Activation::Relu).unwrap();
+        let mut model = Mlp::new(&spec, &mut StdRng::seed_from_u64(seed));
+        let mut opt = Sgd::new(0.1).with_weight_decay(0.5);
+        let norm = |m: &Mlp| m.flat_params().iter().map(|p| p * p).sum::<f32>();
+        let mut prev = norm(&model);
+        for _ in 0..5 {
+            model.zero_grad();
+            opt.step(&mut model);
+            let current = norm(&model);
+            prop_assert!(current <= prev + 1e-6);
+            prev = current;
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Error type for spectral computations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned on invalid matrices or topologies.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_graph::Topology;
+/// use glmia_spectral::MixingMatrix;
+///
+/// // Not regular: node degrees differ.
+/// let g = Topology::from_views(vec![vec![1, 2], vec![0], vec![0]]).unwrap();
+/// let err = MixingMatrix::from_regular(&g).unwrap_err();
+/// assert!(err.to_string().contains("regular"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpectralError {
+    message: String,
+}
+
+impl SpectralError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpectralError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for SpectralError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<SpectralError>();
+    }
+}

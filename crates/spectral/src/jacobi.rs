@@ -1,0 +1,149 @@
+//! Cyclic Jacobi eigensolver for symmetric matrices.
+
+use crate::MixingMatrix;
+
+/// Maximum number of full Jacobi sweeps before giving up on convergence.
+const MAX_SWEEPS: usize = 100;
+
+/// Computes all eigenvalues of a symmetric matrix with the cyclic Jacobi
+/// rotation method, returned sorted in descending order.
+///
+/// Jacobi is slow (`O(n³)` per sweep) but simple, numerically robust and
+/// exact enough for the `n ≤ a few hundred` mixing matrices this workspace
+/// analyzes.
+///
+/// # Panics
+///
+/// Panics if the matrix is not symmetric within `1e-9`.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_spectral::{symmetric_eigenvalues, MixingMatrix};
+///
+/// let m = MixingMatrix::from_vec(2, vec![2.0, 1.0, 1.0, 2.0])?;
+/// let eigs = symmetric_eigenvalues(&m);
+/// assert!((eigs[0] - 3.0).abs() < 1e-9);
+/// assert!((eigs[1] - 1.0).abs() < 1e-9);
+/// # Ok::<(), glmia_spectral::SpectralError>(())
+/// ```
+#[must_use]
+pub fn symmetric_eigenvalues(matrix: &MixingMatrix) -> Vec<f64> {
+    assert!(
+        matrix.is_symmetric(1e-9),
+        "jacobi eigensolver requires a symmetric matrix"
+    );
+    let n = matrix.n();
+    let mut a = matrix.as_slice().to_vec();
+    for _ in 0..MAX_SWEEPS {
+        let mut off: f64 = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += a[i * n + j] * a[i * n + j];
+            }
+        }
+        if off.sqrt() < 1e-12 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[p * n + q];
+                if apq.abs() < 1e-15 {
+                    continue;
+                }
+                let app = a[p * n + p];
+                let aqq = a[q * n + q];
+                let theta = (aqq - app) / (2.0 * apq);
+                // Stable rotation parameter t = sign(θ) / (|θ| + sqrt(θ² + 1)).
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (theta * theta + 1.0).sqrt())
+                } else {
+                    -1.0 / (-theta + (theta * theta + 1.0).sqrt())
+                };
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation G(p, q, θ) on both sides: A ← GᵀAG.
+                for k in 0..n {
+                    let akp = a[k * n + p];
+                    let akq = a[k * n + q];
+                    a[k * n + p] = c * akp - s * akq;
+                    a[k * n + q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p * n + k];
+                    let aqk = a[q * n + k];
+                    a[p * n + k] = c * apk - s * aqk;
+                    a[q * n + k] = s * apk + c * aqk;
+                }
+            }
+        }
+    }
+    let mut eigs: Vec<f64> = (0..n).map(|i| a[i * n + i]).collect();
+    eigs.sort_by(|x, y| y.partial_cmp(x).expect("finite eigenvalues"));
+    eigs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glmia_graph::Topology;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_the_diagonal() {
+        let m = MixingMatrix::from_vec(3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0])
+            .unwrap();
+        let eigs = symmetric_eigenvalues(&m);
+        assert!((eigs[0] - 3.0).abs() < 1e-12);
+        assert!((eigs[1] - 2.0).abs() < 1e-12);
+        assert!((eigs[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_by_two_closed_form() {
+        let m = MixingMatrix::from_vec(2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
+        let eigs = symmetric_eigenvalues(&m);
+        assert!((eigs[0] - 3.0).abs() < 1e-10);
+        assert!((eigs[1] + 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 12;
+        let mut data = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let v: f64 = rng.gen_range(-1.0..1.0);
+                data[i * n + j] = v;
+                data[j * n + i] = v;
+            }
+        }
+        let m = MixingMatrix::from_vec(n, data.clone()).unwrap();
+        let trace: f64 = (0..n).map(|i| data[i * n + i]).sum();
+        let eig_sum: f64 = symmetric_eigenvalues(&m).iter().sum();
+        assert!((trace - eig_sum).abs() < 1e-8);
+    }
+
+    #[test]
+    fn stochastic_matrix_top_eigenvalue_is_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = Topology::random_regular(30, 4, &mut rng).unwrap();
+        let w = MixingMatrix::from_regular(&g).unwrap();
+        let eigs = symmetric_eigenvalues(&w);
+        assert!((eigs[0] - 1.0).abs() < 1e-9);
+        // Connected graph: λ₂ strictly below 1.
+        assert!(eigs[1] < 1.0 - 1e-6);
+        // Gershgorin bound for W = (A + I)/(k + 1): eigenvalues ≥ (1-k)/(1+k).
+        let bound = (1.0 - 4.0) / (1.0 + 4.0);
+        assert!(*eigs.last().unwrap() >= bound - 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a symmetric matrix")]
+    fn asymmetric_input_panics() {
+        let m = MixingMatrix::from_vec(2, vec![1.0, 2.0, 0.0, 1.0]).unwrap();
+        let _ = symmetric_eigenvalues(&m);
+    }
+}

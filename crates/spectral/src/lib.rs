@@ -1,0 +1,52 @@
+//! Spectral analysis of gossip mixing (the paper's §4).
+//!
+//! Synchronous gossip averaging over a k-regular graph `G` applies the
+//! mixing matrix `W(G)` with `W_{ij} = 1/(k+1)` iff `j ∈ Nᵢ ∪ {i}` to the
+//! vector of node models (Eq. 8–9). Boyd et al. (2006) show that for a
+//! symmetric doubly-stochastic `W`, the distance to consensus contracts by
+//! `λ₂(W)` per step (Eq. 10). The quantity the paper plots in Figure 8 is
+//! the contraction of the *product* `W* = W⁽ᵀ⁾⋯W⁽¹⁾` over a whole run —
+//! static graphs reuse one `W`, dynamic (PeerSwap) graphs change it every
+//! iteration, and the product's contraction decays much faster in the
+//! dynamic case.
+//!
+//! This crate provides:
+//!
+//! * [`MixingMatrix`] — dense `f64` mixing matrices built from topologies
+//!   (uniform weights for regular graphs, Metropolis–Hastings weights for
+//!   general graphs), with stochasticity/symmetry checks;
+//! * [`symmetric_eigenvalues`] — a Jacobi eigensolver for exact spectra of
+//!   single matrices, and [`MixingMatrix::lambda2`];
+//! * [`product_contraction`] — the contraction coefficient
+//!   `σ₂(W⁽ᵀ⁾⋯W⁽¹⁾)` of a matrix sequence, computed by power iteration on
+//!   the consensus-orthogonal subspace without materializing the product.
+//!   For a single symmetric `W` this equals `|λ₂(W)|`.
+//!
+//! # Examples
+//!
+//! ```
+//! use glmia_graph::Topology;
+//! use glmia_spectral::MixingMatrix;
+//!
+//! let ring = Topology::ring(8)?;
+//! let w = MixingMatrix::from_regular(&ring)?;
+//! assert!(w.is_doubly_stochastic(1e-12) && w.is_symmetric(1e-12));
+//! let l2 = w.lambda2();
+//! assert!(l2 > 0.0 && l2 < 1.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod jacobi;
+mod matrix;
+mod mixing_time;
+mod power;
+
+pub use error::SpectralError;
+pub use jacobi::symmetric_eigenvalues;
+pub use matrix::MixingMatrix;
+pub use mixing_time::{compare_mixing_bounds, mixing_time, MixingBoundComparison};
+pub use power::{product_contraction, ProductContractionOptions};

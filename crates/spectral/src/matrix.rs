@@ -1,0 +1,321 @@
+//! Dense mixing matrices built from communication topologies.
+
+use glmia_graph::Topology;
+use serde::{Deserialize, Serialize};
+
+use crate::SpectralError;
+
+/// A dense `n × n` gossip mixing matrix in `f64`.
+///
+/// For the paper's k-regular graphs, `W_{ij} = 1/(k+1)` iff `i = j` or
+/// `(i, j)` is an edge ([`MixingMatrix::from_regular`]); such matrices are
+/// symmetric and doubly stochastic, the precondition for the Boyd et al.
+/// contraction bound (Eq. 10). For non-regular graphs,
+/// [`MixingMatrix::metropolis`] builds the Metropolis–Hastings weights,
+/// which are also symmetric and doubly stochastic.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_graph::Topology;
+/// use glmia_spectral::MixingMatrix;
+///
+/// let g = Topology::complete(4)?;
+/// let w = MixingMatrix::from_regular(&g)?;
+/// // Complete graph with uniform weights averages in one step:
+/// let v = w.apply(&[1.0, 0.0, 0.0, 0.0]);
+/// assert!(v.iter().all(|&x| (x - 0.25).abs() < 1e-12));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixingMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl MixingMatrix {
+    /// Builds the uniform-weight mixing matrix of a k-regular topology:
+    /// `W = (A + I) / (k + 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpectralError`] if the topology is empty or not regular.
+    pub fn from_regular(topology: &Topology) -> Result<Self, SpectralError> {
+        let n = topology.len();
+        if n == 0 {
+            return Err(SpectralError::new("topology has no nodes"));
+        }
+        let k = topology.degree(0);
+        if !topology.is_regular(k) {
+            return Err(SpectralError::new(
+                "topology is not regular; use MixingMatrix::metropolis for general graphs",
+            ));
+        }
+        let w = 1.0 / (k as f64 + 1.0);
+        let mut m = Self {
+            n,
+            data: vec![0.0; n * n],
+        };
+        for i in 0..n {
+            m.data[i * n + i] = w;
+            for &j in topology.view(i) {
+                m.data[i * n + j] = w;
+            }
+        }
+        Ok(m)
+    }
+
+    /// Builds Metropolis–Hastings weights for an arbitrary topology:
+    /// `W_{ij} = 1 / (1 + max(dᵢ, dⱼ))` for edges, diagonal absorbs the
+    /// remainder. Symmetric and doubly stochastic for any graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpectralError`] if the topology is empty.
+    pub fn metropolis(topology: &Topology) -> Result<Self, SpectralError> {
+        let n = topology.len();
+        if n == 0 {
+            return Err(SpectralError::new("topology has no nodes"));
+        }
+        let mut m = Self {
+            n,
+            data: vec![0.0; n * n],
+        };
+        for i in 0..n {
+            let mut off_diag = 0.0;
+            for &j in topology.view(i) {
+                let w = 1.0 / (1.0 + topology.degree(i).max(topology.degree(j)) as f64);
+                m.data[i * n + j] = w;
+                off_diag += w;
+            }
+            m.data[i * n + i] = 1.0 - off_diag;
+        }
+        Ok(m)
+    }
+
+    /// Builds a matrix from explicit row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpectralError`] if `data.len() != n * n` or `n == 0`.
+    pub fn from_vec(n: usize, data: Vec<f64>) -> Result<Self, SpectralError> {
+        if n == 0 {
+            return Err(SpectralError::new("matrix must have at least one row"));
+        }
+        if data.len() != n * n {
+            return Err(SpectralError::new(format!(
+                "expected {} elements for a {n}x{n} matrix, got {}",
+                n * n,
+                data.len()
+            )));
+        }
+        Ok(Self { n, data })
+    }
+
+    /// Matrix dimension.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The entry at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        self.data[i * self.n + j]
+    }
+
+    /// The underlying row-major data.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Computes `W·v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != n`.
+    #[must_use]
+    pub fn apply(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.n, "vector length mismatch");
+        let mut out = vec![0.0; self.n];
+        for (o, row) in out.iter_mut().zip(self.data.chunks_exact(self.n)) {
+            *o = row.iter().zip(v).map(|(w, x)| w * x).sum();
+        }
+        out
+    }
+
+    /// Computes `Wᵀ·v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != n`.
+    #[must_use]
+    pub fn apply_transpose(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.n, "vector length mismatch");
+        let mut out = vec![0.0; self.n];
+        for (row, x) in self.data.chunks_exact(self.n).zip(v) {
+            for (o, w) in out.iter_mut().zip(row) {
+                *o += w * x;
+            }
+        }
+        out
+    }
+
+    /// Whether all row and column sums are within `tol` of 1 and all
+    /// entries are non-negative.
+    #[must_use]
+    pub fn is_doubly_stochastic(&self, tol: f64) -> bool {
+        if self.data.iter().any(|&x| x < -tol) {
+            return false;
+        }
+        for i in 0..self.n {
+            let row: f64 = self.data[i * self.n..(i + 1) * self.n].iter().sum();
+            if (row - 1.0).abs() > tol {
+                return false;
+            }
+        }
+        for j in 0..self.n {
+            let col: f64 = (0..self.n).map(|i| self.data[i * self.n + j]).sum();
+            if (col - 1.0).abs() > tol {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether the matrix is symmetric within `tol`.
+    #[must_use]
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if (self.data[i * self.n + j] - self.data[j * self.n + i]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The second-largest eigenvalue `λ₂(W)` of a symmetric mixing matrix,
+    /// computed exactly with the Jacobi eigensolver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not symmetric (within `1e-9`) or `n < 2`.
+    #[must_use]
+    pub fn lambda2(&self) -> f64 {
+        assert!(self.n >= 2, "λ₂ requires at least a 2x2 matrix");
+        assert!(self.is_symmetric(1e-9), "λ₂ requires a symmetric matrix");
+        let eigs = crate::symmetric_eigenvalues(self);
+        eigs[1]
+    }
+
+    /// The spectral gap `1 − λ₂(W)`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`MixingMatrix::lambda2`].
+    #[must_use]
+    pub fn spectral_gap(&self) -> f64 {
+        1.0 - self.lambda2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn regular_matrix_entries() {
+        let ring = Topology::ring(4).unwrap();
+        let w = MixingMatrix::from_regular(&ring).unwrap();
+        let third = 1.0 / 3.0;
+        assert!((w.get(0, 0) - third).abs() < 1e-12);
+        assert!((w.get(0, 1) - third).abs() < 1e-12);
+        assert!((w.get(0, 2) - 0.0).abs() < 1e-12);
+        assert!((w.get(0, 3) - third).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regular_matrices_are_symmetric_doubly_stochastic() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for &k in &[2usize, 5, 10] {
+            let g = Topology::random_regular(40, k, &mut rng).unwrap();
+            let w = MixingMatrix::from_regular(&g).unwrap();
+            assert!(w.is_symmetric(1e-12));
+            assert!(w.is_doubly_stochastic(1e-9));
+        }
+    }
+
+    #[test]
+    fn from_regular_rejects_irregular() {
+        let g = Topology::from_views(vec![vec![1, 2], vec![0], vec![0]]).unwrap();
+        assert!(MixingMatrix::from_regular(&g).is_err());
+    }
+
+    #[test]
+    fn metropolis_handles_irregular_graphs() {
+        let g = Topology::from_views(vec![vec![1, 2], vec![0], vec![0]]).unwrap();
+        let w = MixingMatrix::metropolis(&g).unwrap();
+        assert!(w.is_symmetric(1e-12));
+        assert!(w.is_doubly_stochastic(1e-9));
+    }
+
+    #[test]
+    fn apply_preserves_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = Topology::random_regular(20, 4, &mut rng).unwrap();
+        let w = MixingMatrix::from_regular(&g).unwrap();
+        let v: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let mean_before: f64 = v.iter().sum::<f64>() / 20.0;
+        let out = w.apply(&v);
+        let mean_after: f64 = out.iter().sum::<f64>() / 20.0;
+        assert!((mean_before - mean_after).abs() < 1e-9);
+    }
+
+    #[test]
+    fn apply_transpose_equals_apply_for_symmetric() {
+        let g = Topology::ring(6).unwrap();
+        let w = MixingMatrix::from_regular(&g).unwrap();
+        let v: Vec<f64> = vec![1.0, -2.0, 0.5, 3.0, 0.0, -1.0];
+        let a = w.apply(&v);
+        let b = w.apply_transpose(&v);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(MixingMatrix::from_vec(0, vec![]).is_err());
+        assert!(MixingMatrix::from_vec(2, vec![0.0; 3]).is_err());
+        assert!(MixingMatrix::from_vec(2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn complete_graph_lambda2_is_zero() {
+        let g = Topology::complete(5).unwrap();
+        let w = MixingMatrix::from_regular(&g).unwrap();
+        assert!(w.lambda2().abs() < 1e-9);
+        assert!((w.spectral_gap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ring_lambda2_matches_closed_form() {
+        // Ring of n nodes with uniform 1/3 weights: eigenvalues are
+        // (1 + 2cos(2πm/n)) / 3; λ₂ corresponds to m = 1.
+        let n = 10;
+        let g = Topology::ring(n).unwrap();
+        let w = MixingMatrix::from_regular(&g).unwrap();
+        let expected = (1.0 + 2.0 * (2.0 * std::f64::consts::PI / n as f64).cos()) / 3.0;
+        assert!((w.lambda2() - expected).abs() < 1e-9);
+    }
+}

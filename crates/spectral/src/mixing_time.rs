@@ -1,0 +1,161 @@
+//! Mixing times and the paper's Eq. 11 bound.
+
+use rand::Rng;
+
+use crate::{product_contraction, MixingMatrix, ProductContractionOptions, SpectralError};
+
+/// The number of synchronous gossip iterations needed to contract the
+/// consensus distance by a factor `epsilon`, from the per-step contraction
+/// `lambda2`: `t(ε) = ⌈ln ε / ln λ₂⌉`.
+///
+/// Returns `None` when `lambda2 >= 1` (no contraction) and `Some(0)` when
+/// `lambda2 <= 0` (one-step consensus) or `epsilon >= 1`.
+///
+/// # Panics
+///
+/// Panics if `epsilon <= 0` or either argument is NaN.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_spectral::mixing_time;
+///
+/// // λ₂ = 0.5 halves the distance per step: 1/1024 needs 10 steps.
+/// assert_eq!(mixing_time(0.5, 1.0 / 1024.0), Some(10));
+/// assert_eq!(mixing_time(1.0, 0.1), None);
+/// assert_eq!(mixing_time(0.0, 0.1), Some(0));
+/// ```
+#[must_use]
+pub fn mixing_time(lambda2: f64, epsilon: f64) -> Option<u32> {
+    assert!(!lambda2.is_nan() && !epsilon.is_nan(), "NaN argument");
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    if epsilon >= 1.0 {
+        return Some(0);
+    }
+    if lambda2 >= 1.0 {
+        return None;
+    }
+    if lambda2 <= 0.0 {
+        return Some(0);
+    }
+    Some((epsilon.ln() / lambda2.ln()).ceil() as u32)
+}
+
+/// Compares the paper's two bounds on the mixing of a matrix sequence
+/// (§4): the per-factor product bound of Eq. 11,
+/// `∏ₜ λ₂(W⁽ᵗ⁾)`, against the joint contraction `σ₂(W⁽ᵀ⁾⋯W⁽¹⁾)` of
+/// Eq. 10 applied to the whole product.
+///
+/// The joint value is always ≤ the Eq. 11 bound; the *gap* between them is
+/// exactly the benefit of varying the communication graph, which Eq. 11 is
+/// blind to. For a static sequence the two coincide.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixingBoundComparison {
+    /// The Eq. 11 per-factor bound `∏ₜ λ₂(W⁽ᵗ⁾)` (using |λ₂| of each
+    /// factor).
+    pub per_factor_bound: f64,
+    /// The joint contraction `σ₂(W*)` of the whole product.
+    pub joint: f64,
+}
+
+impl MixingBoundComparison {
+    /// How much tighter the joint analysis is: `per_factor_bound − joint`
+    /// (non-negative up to numerical error).
+    #[must_use]
+    pub fn gap(&self) -> f64 {
+        self.per_factor_bound - self.joint
+    }
+}
+
+/// Computes [`MixingBoundComparison`] for a sequence of symmetric
+/// doubly-stochastic mixing matrices.
+///
+/// # Errors
+///
+/// Returns [`SpectralError`] if the sequence is empty or dimensions are
+/// inconsistent.
+pub fn compare_mixing_bounds<R: Rng + ?Sized>(
+    matrices: &[MixingMatrix],
+    rng: &mut R,
+) -> Result<MixingBoundComparison, SpectralError> {
+    if matrices.is_empty() {
+        return Err(SpectralError::new(
+            "bound comparison requires at least one matrix",
+        ));
+    }
+    let opts = ProductContractionOptions::default();
+    let mut per_factor_bound = 1.0;
+    for m in matrices {
+        per_factor_bound *= product_contraction(std::slice::from_ref(m), opts, rng)?;
+    }
+    let joint = product_contraction(matrices, opts, rng)?;
+    Ok(MixingBoundComparison {
+        per_factor_bound,
+        joint,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glmia_graph::Topology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn mixing_time_closed_forms() {
+        assert_eq!(mixing_time(0.5, 0.25), Some(2));
+        assert_eq!(mixing_time(0.9, 0.5), Some(7)); // ln 0.5 / ln 0.9 ≈ 6.58
+        assert_eq!(mixing_time(0.99, 1.5), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn mixing_time_rejects_zero_epsilon() {
+        let _ = mixing_time(0.5, 0.0);
+    }
+
+    #[test]
+    fn static_sequence_has_no_gap() {
+        let mut r = rng(0);
+        let g = Topology::random_regular(20, 3, &mut r).unwrap();
+        let w = MixingMatrix::from_regular(&g).unwrap();
+        let seq = vec![w; 4];
+        let cmp = compare_mixing_bounds(&seq, &mut r).unwrap();
+        assert!(cmp.gap().abs() < 1e-6, "static gap was {}", cmp.gap());
+    }
+
+    #[test]
+    fn dynamic_sequence_has_positive_gap() {
+        // Four different random 2-regular graphs: the joint contraction
+        // beats the per-factor product (Eq. 11 is loose under dynamics).
+        let mut r = rng(1);
+        let seq: Vec<MixingMatrix> = (0..4)
+            .map(|_| {
+                let g = Topology::random_regular(30, 2, &mut r).unwrap();
+                MixingMatrix::from_regular(&g).unwrap()
+            })
+            .collect();
+        let cmp = compare_mixing_bounds(&seq, &mut r).unwrap();
+        assert!(
+            cmp.joint <= cmp.per_factor_bound + 1e-9,
+            "joint {} must not exceed the per-factor bound {}",
+            cmp.joint,
+            cmp.per_factor_bound
+        );
+        assert!(
+            cmp.gap() > 0.01,
+            "expected a positive dynamics gap, got {}",
+            cmp.gap()
+        );
+    }
+
+    #[test]
+    fn empty_sequence_errors() {
+        assert!(compare_mixing_bounds(&[], &mut rng(2)).is_err());
+    }
+}

@@ -1,0 +1,255 @@
+//! Contraction coefficient of mixing-matrix products by power iteration.
+
+use rand::Rng;
+
+use crate::{MixingMatrix, SpectralError};
+
+/// Options for [`product_contraction`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProductContractionOptions {
+    /// Maximum power-iteration steps.
+    pub max_iters: usize,
+    /// Relative convergence tolerance on the eigenvalue estimate.
+    pub tol: f64,
+}
+
+impl Default for ProductContractionOptions {
+    fn default() -> Self {
+        Self {
+            max_iters: 300,
+            tol: 1e-10,
+        }
+    }
+}
+
+/// Computes the contraction coefficient of the product
+/// `W* = W⁽ᵀ⁾ ⋯ W⁽¹⁾` on the consensus-orthogonal subspace:
+///
+/// ```text
+/// σ₂(W*) = max { ‖W*θ‖ : ‖θ‖ = 1, θ ⊥ 𝟙 }
+/// ```
+///
+/// For a single symmetric `W` this equals `|λ₂|` where `λ₂` is the
+/// second-largest-in-magnitude eigenvalue, and for the static product `Wᵀ`
+/// it equals `|λ₂(W)|ᵀ` — the quantity plotted in the paper's Figure 8.
+/// It is the tight constant in the Boyd et al. consensus bound
+/// `‖W*θ − 𝟙θ̄‖ ≤ σ₂(W*)·‖θ − 𝟙θ̄‖` for doubly-stochastic factors.
+///
+/// The product is never materialized: power iteration runs on
+/// `P (W*)ᵀ (W*) P` (with `P` the mean-removal projector) using one forward
+/// and one reverse sweep of matrix–vector products per step, so a length-`T`
+/// sequence of `n × n` matrices costs `O(iters · T · n²)`.
+///
+/// # Errors
+///
+/// Returns [`SpectralError`] if `matrices` is empty or dimensions are
+/// inconsistent.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_graph::Topology;
+/// use glmia_spectral::{product_contraction, MixingMatrix, ProductContractionOptions};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let g = Topology::ring(8)?;
+/// let w = MixingMatrix::from_regular(&g)?;
+/// let opts = ProductContractionOptions::default();
+/// let single = product_contraction(&[w.clone()], opts, &mut rng)?;
+/// let squared = product_contraction(&[w.clone(), w], opts, &mut rng)?;
+/// assert!((squared - single * single).abs() < 1e-6);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn product_contraction<R: Rng + ?Sized>(
+    matrices: &[MixingMatrix],
+    opts: ProductContractionOptions,
+    rng: &mut R,
+) -> Result<f64, SpectralError> {
+    let Some(first) = matrices.first() else {
+        return Err(SpectralError::new(
+            "product contraction requires at least one matrix",
+        ));
+    };
+    let n = first.n();
+    if matrices.iter().any(|m| m.n() != n) {
+        return Err(SpectralError::new(
+            "all matrices in the product must have the same dimension",
+        ));
+    }
+    if n == 1 {
+        return Ok(0.0);
+    }
+
+    // Random start vector, projected off the consensus direction.
+    let mut v: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    project_off_ones(&mut v);
+    if normalize(&mut v) == 0.0 {
+        // Degenerate draw (probability zero, but stay safe).
+        v = (0..n).map(|i| if i == 0 { 1.0 } else { -1.0 / (n as f64 - 1.0) }).collect();
+        project_off_ones(&mut v);
+        normalize(&mut v);
+    }
+
+    let mut prev_sigma_sq = f64::INFINITY;
+    for _ in 0..opts.max_iters {
+        // u = W* v (apply W⁽¹⁾ first).
+        let mut u = v.clone();
+        for m in matrices {
+            u = m.apply(&u);
+        }
+        // w = (W*)ᵀ u (reverse order, transposed factors).
+        let mut w = u;
+        for m in matrices.iter().rev() {
+            w = m.apply_transpose(&w);
+        }
+        project_off_ones(&mut w);
+        // Rayleigh quotient of (W*)ᵀW* at v is vᵀw since ‖v‖ = 1.
+        let sigma_sq: f64 = v.iter().zip(&w).map(|(a, b)| a * b).sum();
+        if normalize(&mut w) == 0.0 {
+            // W* annihilated the whole orthogonal subspace (e.g. complete
+            // graph): contraction is exactly 0.
+            return Ok(0.0);
+        }
+        v = w;
+        if (sigma_sq - prev_sigma_sq).abs() <= opts.tol * sigma_sq.abs().max(1e-300) {
+            return Ok(sigma_sq.max(0.0).sqrt());
+        }
+        prev_sigma_sq = sigma_sq;
+    }
+    Ok(prev_sigma_sq.max(0.0).sqrt())
+}
+
+fn project_off_ones(v: &mut [f64]) {
+    let mean = v.iter().sum::<f64>() / v.len() as f64;
+    for x in v.iter_mut() {
+        *x -= mean;
+    }
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 1e-150 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+        norm
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glmia_graph::Topology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn opts() -> ProductContractionOptions {
+        ProductContractionOptions::default()
+    }
+
+    #[test]
+    fn empty_sequence_errors() {
+        assert!(product_contraction(&[], opts(), &mut rng(0)).is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch_errors() {
+        let a = MixingMatrix::from_regular(&Topology::ring(4).unwrap()).unwrap();
+        let b = MixingMatrix::from_regular(&Topology::ring(5).unwrap()).unwrap();
+        assert!(product_contraction(&[a, b], opts(), &mut rng(0)).is_err());
+    }
+
+    #[test]
+    fn single_matrix_matches_jacobi_lambda2() {
+        let mut r = rng(1);
+        let g = Topology::random_regular(20, 4, &mut r).unwrap();
+        let w = MixingMatrix::from_regular(&g).unwrap();
+        let eigs = crate::symmetric_eigenvalues(&w);
+        // Power iteration finds the largest-magnitude eigenvalue on the
+        // orthogonal subspace.
+        let expected = eigs[1..]
+            .iter()
+            .map(|e| e.abs())
+            .fold(0.0f64, f64::max);
+        let sigma = product_contraction(std::slice::from_ref(&w), opts(), &mut r).unwrap();
+        assert!((sigma - expected).abs() < 1e-6, "sigma {sigma} vs {expected}");
+    }
+
+    #[test]
+    fn complete_graph_contracts_to_zero() {
+        let w = MixingMatrix::from_regular(&Topology::complete(6).unwrap()).unwrap();
+        let sigma = product_contraction(&[w], opts(), &mut rng(2)).unwrap();
+        assert!(sigma.abs() < 1e-9);
+    }
+
+    #[test]
+    fn static_product_is_power_of_single() {
+        let mut r = rng(3);
+        let g = Topology::random_regular(16, 2, &mut r).unwrap();
+        let w = MixingMatrix::from_regular(&g).unwrap();
+        let single = product_contraction(std::slice::from_ref(&w), opts(), &mut r).unwrap();
+        let seq: Vec<MixingMatrix> = vec![w.clone(); 5];
+        let five = product_contraction(&seq, opts(), &mut r).unwrap();
+        assert!(
+            (five - single.powi(5)).abs() < 1e-6,
+            "five-step {five} vs single^5 {}",
+            single.powi(5)
+        );
+    }
+
+    #[test]
+    fn dynamic_sequence_contracts_faster_than_static() {
+        // The paper's core spectral claim (Fig. 8): randomly permuted
+        // (dynamic) graph sequences mix faster than the static graph.
+        let mut r = rng(4);
+        let n = 40;
+        let k = 2;
+        let g = Topology::random_regular(n, k, &mut r).unwrap();
+        let w_static = MixingMatrix::from_regular(&g).unwrap();
+        let t = 10;
+        let static_seq: Vec<MixingMatrix> = vec![w_static; t];
+
+        // Dynamic: apply many PeerSwap steps between iterations.
+        let mut g_dyn = Topology::random_regular(n, k, &mut r).unwrap();
+        let mut dyn_seq = Vec::with_capacity(t);
+        for _ in 0..t {
+            dyn_seq.push(MixingMatrix::from_regular(&g_dyn).unwrap());
+            for _ in 0..n {
+                let i = r.gen_range(0..n);
+                g_dyn.swap_with_random_neighbor(i, &mut r);
+            }
+        }
+        use rand::Rng;
+        let sigma_static = product_contraction(&static_seq, opts(), &mut r).unwrap();
+        let sigma_dyn = product_contraction(&dyn_seq, opts(), &mut r).unwrap();
+        assert!(
+            sigma_dyn < sigma_static,
+            "dynamic {sigma_dyn} should beat static {sigma_static}"
+        );
+    }
+
+    #[test]
+    fn contraction_is_within_unit_interval() {
+        let mut r = rng(5);
+        for &k in &[2usize, 5] {
+            let g = Topology::random_regular(20, k, &mut r).unwrap();
+            let w = MixingMatrix::from_regular(&g).unwrap();
+            let sigma = product_contraction(&[w], opts(), &mut r).unwrap();
+            assert!((0.0..=1.0 + 1e-9).contains(&sigma), "k={k} sigma={sigma}");
+        }
+    }
+
+    #[test]
+    fn one_by_one_matrix_contracts_to_zero() {
+        let w = MixingMatrix::from_vec(1, vec![1.0]).unwrap();
+        let sigma = product_contraction(&[w], opts(), &mut rng(6)).unwrap();
+        assert_eq!(sigma, 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Attack playground: overfit one model on a small shard, then attack it
+//! with every membership-score family and inspect the ROC.
+//!
+//! ```bash
+//! cargo run --release --example attack_playground
+//! ```
+
+use glmia_data::{DataPreset, Federation, Partition};
+use glmia_mia::{roc_curve, AttackKind, MiaEvaluator, TransferAttack};
+use glmia_nn::{Mlp, Sgd};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(21);
+    let data_spec = DataPreset::Cifar10Like.spec();
+    let fed = Federation::build(&data_spec, 2, 64, 64, Partition::Iid, &mut rng)?;
+    let victim_data = fed.node(0);
+
+    // Train a victim to (over)fit its shard — the situation every gossip
+    // node is in between merges.
+    let config = glmia_core::ExperimentConfig::bench_scale(DataPreset::Cifar10Like);
+    let model_spec = config.model_spec()?;
+    let mut victim = Mlp::new(&model_spec, &mut rng);
+    let mut opt = Sgd::new(0.01).with_momentum(0.9).with_weight_decay(5e-4);
+    for epoch in 0..120 {
+        let loss = victim.train_epoch(
+            victim_data.train.features(),
+            victim_data.train.labels(),
+            16,
+            &mut opt,
+            &mut rng,
+        );
+        if epoch % 30 == 0 {
+            println!("epoch {epoch:>3}: train loss {loss:.4}");
+        }
+    }
+    println!(
+        "victim: train acc {:.3}, local test acc {:.3}, global test acc {:.3}\n",
+        victim.accuracy(victim_data.train.features(), victim_data.train.labels()),
+        victim.accuracy(victim_data.test.features(), victim_data.test.labels()),
+        victim.accuracy(fed.global_test().features(), fed.global_test().labels()),
+    );
+
+    println!("{:<12} {:>9} {:>7} {:>11}", "attack", "accuracy", "AUC", "threshold");
+    for kind in AttackKind::ALL {
+        let result = MiaEvaluator::new(kind).evaluate(
+            &victim,
+            &victim_data.train,
+            &victim_data.test,
+            &mut rng,
+        )?;
+        println!(
+            "{:<12} {:>9.3} {:>7.3} {:>11.4}",
+            kind.to_string(),
+            result.attack_accuracy,
+            result.auc,
+            result.threshold
+        );
+    }
+
+    // The realistic attacker: calibrate the threshold on node 1's data and
+    // transfer it to the victim (node 0).
+    let shadow_data = fed.node(1);
+    let mut shadow = Mlp::new(&model_spec, &mut rng);
+    let mut shadow_opt = Sgd::new(0.01).with_momentum(0.9).with_weight_decay(5e-4);
+    for _ in 0..120 {
+        shadow.train_epoch(
+            shadow_data.train.features(),
+            shadow_data.train.labels(),
+            16,
+            &mut shadow_opt,
+            &mut rng,
+        );
+    }
+    let transfer = TransferAttack::calibrate_on(
+        AttackKind::Mpe,
+        &shadow,
+        &shadow_data.train,
+        &shadow_data.test,
+    )?;
+    let transferred =
+        transfer.evaluate(&victim, &victim_data.train, &victim_data.test, &mut rng)?;
+    println!(
+        "\ntransferred-threshold MPE (calibrated on another node): accuracy {:.3} (oracle bound above)",
+        transferred.attack_accuracy
+    );
+
+    // Per-class leakage: where does the membership signal live?
+    let breakdown = MiaEvaluator::new(AttackKind::Mpe).per_class(
+        &victim,
+        &victim_data.train,
+        &victim_data.test,
+    )?;
+    println!("\nper-class MPE leakage (AUC):");
+    for c in breakdown.iter().take(10) {
+        match c.auc {
+            Some(auc) => println!(
+                "  class {:>2}: AUC {auc:.3} ({} members / {} non-members)",
+                c.class, c.n_members, c.n_nonmembers
+            ),
+            None => println!("  class {:>2}: not measurable (one side empty)", c.class),
+        }
+    }
+
+    // A coarse ASCII ROC for the MPE attack.
+    let members = AttackKind::Mpe.score_dataset(&victim, &victim_data.train)?;
+    let nonmembers = AttackKind::Mpe.score_dataset(&victim, &victim_data.test)?;
+    let roc = roc_curve(&members, &nonmembers)?;
+    println!("\nMPE ROC (fpr → tpr):");
+    for target in [0.0, 0.1, 0.25, 0.5, 0.75] {
+        if let Some((fpr, tpr)) = roc.iter().find(|(f, _)| *f >= target) {
+            println!("  fpr {fpr:.2} → tpr {tpr:.2}");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Defense tradeoff: what does perturbing shared models buy, and what does
+//! it cost? (The §6.2 mitigation direction, quantified.)
+//!
+//! ```bash
+//! cargo run --release --example defense_tradeoff
+//! ```
+
+use glmia_core::{run_experiment, AttackSurface, ExperimentConfig};
+use glmia_data::DataPreset;
+use glmia_gossip::Defense;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let defenses: Vec<(&str, Option<Defense>)> = vec![
+        ("no defense", None),
+        ("gaussian σ=0.01", Some(Defense::GaussianNoise { std: 0.01 })),
+        ("gaussian σ=0.05", Some(Defense::GaussianNoise { std: 0.05 })),
+        ("mask 30%", Some(Defense::RandomMask { fraction: 0.3 })),
+    ];
+
+    println!("{:<18} {:>9} {:>9} {:>7}", "defense", "test-acc", "MIA-vuln", "AUC");
+    for (label, defense) in defenses {
+        // Attack the *transmitted* models: perturbing shares can only
+        // protect what leaves the node, so that is the surface to measure.
+        let mut config = ExperimentConfig::bench_scale(DataPreset::Cifar10Like)
+            .with_nodes(16)
+            .with_rounds(20)
+            .with_eval_every(5)
+            .with_attack_surface(AttackSurface::SharedModel)
+            .with_seed(23);
+        if let Some(d) = defense {
+            config = config.with_defense(d);
+        }
+        let result = run_experiment(&config)?;
+        let last = result.final_round();
+        println!(
+            "{label:<18} {:>9.3} {:>9.3} {:>7.3}",
+            last.test_accuracy.mean, last.mia_vulnerability.mean, last.mia_auc.mean
+        );
+    }
+    println!("\nstronger perturbation lowers leakage and costs accuracy — the");
+    println!("architectural levers the paper studies (mixing, dynamics) shift");
+    println!("the same tradeoff without paying noise for it.");
+    Ok(())
+}

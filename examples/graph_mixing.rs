@@ -1,0 +1,48 @@
+//! Graph mixing analysis (the paper's §4): how the spectral contraction of
+//! the gossip mixing product explains why dynamic, denser graphs leak less.
+//!
+//! ```bash
+//! cargo run --release --example graph_mixing
+//! ```
+
+use glmia_core::{lambda2_series, Lambda2Config};
+use glmia_gossip::TopologyMode;
+use glmia_graph::Topology;
+use glmia_spectral::MixingMatrix;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+
+    // Single-matrix spectra: denser k-regular graphs have smaller λ₂.
+    println!("single-graph spectral gap (150 nodes):");
+    for &k in &[2usize, 5, 10, 25] {
+        let g = Topology::random_regular(150, k, &mut rng)?;
+        let w = MixingMatrix::from_regular(&g)?;
+        println!("  k={k:<3} λ₂={:.4}  gap={:.4}", w.lambda2(), w.spectral_gap());
+    }
+
+    // Product contraction over iterations: static vs dynamic (Figure 8).
+    println!("\nλ₂(W*) after T iterations (mean over 10 runs):");
+    println!("{:>4} {:>12} {:>12}", "k", "static T=10", "dynamic T=10");
+    for &k in &[2usize, 5, 10] {
+        let mut values = Vec::new();
+        for mode in [TopologyMode::Static, TopologyMode::Dynamic] {
+            let series = lambda2_series(&Lambda2Config {
+                nodes: 150,
+                view_size: k,
+                iterations: 10,
+                runs: 10,
+                mode,
+                seed: 5,
+            })?;
+            values.push(*series.mean.last().expect("non-empty series"));
+        }
+        println!("{k:>4} {:>12.6} {:>12.6}", values[0], values[1]);
+    }
+    println!("\npaper's §4 expectation: dynamic ≪ static at equal k — random");
+    println!("permutation between rounds multiplies *different* contractions,");
+    println!("so individual node contributions dissolve into the consensus");
+    println!("model faster, which is exactly what blunts the MPE attack.");
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Cross-crate reproducibility: a whole experiment is a pure function of
+//! its config (seed included), and results serialize round-trip.
+
+use glmia_core::{run_experiment, ExperimentConfig, ExperimentResult};
+use glmia_data::DataPreset;
+use glmia_gossip::{ProtocolKind, TopologyMode};
+
+fn config(seed: u64) -> ExperimentConfig {
+    ExperimentConfig::quick_test(DataPreset::Purchase100Like)
+        .with_protocol(ProtocolKind::Samo)
+        .with_topology_mode(TopologyMode::Dynamic)
+        .with_seed(seed)
+}
+
+#[test]
+fn identical_configs_produce_identical_results() {
+    let a = run_experiment(&config(101)).unwrap();
+    let b = run_experiment(&config(101)).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn seed_changes_everything() {
+    let a = run_experiment(&config(101)).unwrap();
+    let b = run_experiment(&config(102)).unwrap();
+    assert_ne!(a, b);
+}
+
+#[test]
+fn results_serialize_round_trip() {
+    let result = run_experiment(&config(103)).unwrap();
+    let json = serde_json::to_string(&result).unwrap();
+    let back: ExperimentResult = serde_json::from_str(&json).unwrap();
+    assert_eq!(result, back);
+}
+
+#[test]
+fn config_serializes_round_trip() {
+    let c = config(104);
+    let json = serde_json::to_string(&c).unwrap();
+    let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(c, back);
+    // And the deserialized config reproduces the same run.
+    assert_eq!(run_experiment(&c).unwrap(), run_experiment(&back).unwrap());
+}

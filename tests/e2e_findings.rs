@@ -1,0 +1,123 @@
+//! End-to-end directional findings: small-scale versions of the paper's
+//! RQ1–RQ4 takeaways. Margins are forgiving — these assert the *direction*
+//! of each effect, not its magnitude.
+
+use glmia_core::{run_experiment, ExperimentConfig, ExperimentResult};
+use glmia_data::{DataPreset, Partition};
+use glmia_gossip::{ProtocolKind, TopologyMode};
+
+fn base_config(seed: u64) -> ExperimentConfig {
+    ExperimentConfig::bench_scale(DataPreset::Cifar10Like)
+        .with_nodes(16)
+        .with_rounds(16)
+        .with_eval_every(4)
+        .with_seed(seed)
+}
+
+/// Mean MIA vulnerability over all evaluated rounds.
+fn mean_vuln(result: &ExperimentResult) -> f64 {
+    let xs: Vec<f64> = result
+        .rounds
+        .iter()
+        .map(|r| r.mia_vulnerability.mean)
+        .collect();
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[test]
+fn rq1_samo_does_not_leak_more_than_base_gossip() {
+    let base = run_experiment(
+        &base_config(1)
+            .with_protocol(ProtocolKind::BaseGossip)
+            .with_view_size(5),
+    )
+    .unwrap();
+    let samo = run_experiment(
+        &base_config(1)
+            .with_protocol(ProtocolKind::Samo)
+            .with_view_size(5),
+    )
+    .unwrap();
+    assert!(
+        mean_vuln(&samo) <= mean_vuln(&base) + 0.03,
+        "SAMO vuln {:.3} should not exceed Base {:.3}",
+        mean_vuln(&samo),
+        mean_vuln(&base)
+    );
+    // SAMO pays for it in communication (sends to all neighbors).
+    assert!(samo.messages_sent > base.messages_sent);
+}
+
+#[test]
+fn rq2_dynamic_does_not_leak_more_than_static_on_sparse_graphs() {
+    let static_run = run_experiment(
+        &base_config(2)
+            .with_view_size(2)
+            .with_topology_mode(TopologyMode::Static),
+    )
+    .unwrap();
+    let dynamic_run = run_experiment(
+        &base_config(2)
+            .with_view_size(2)
+            .with_topology_mode(TopologyMode::Dynamic),
+    )
+    .unwrap();
+    assert!(
+        mean_vuln(&dynamic_run) <= mean_vuln(&static_run) + 0.03,
+        "dynamic vuln {:.3} should not exceed static {:.3}",
+        mean_vuln(&dynamic_run),
+        mean_vuln(&static_run)
+    );
+}
+
+#[test]
+fn rq3_larger_views_do_not_hurt_utility() {
+    let sparse = run_experiment(&base_config(3).with_view_size(2)).unwrap();
+    let dense = run_experiment(&base_config(3).with_view_size(10)).unwrap();
+    let sparse_best = sparse.best_point().unwrap();
+    let dense_best = dense.best_point().unwrap();
+    assert!(
+        dense_best.utility >= sparse_best.utility - 0.05,
+        "dense utility {:.3} vs sparse {:.3}",
+        dense_best.utility,
+        sparse_best.utility
+    );
+    // Communication scales with the view size under SAMO.
+    assert!(dense.messages_sent > sparse.messages_sent * 3);
+}
+
+#[test]
+fn rq4_noniid_increases_vulnerability() {
+    let iid = run_experiment(&base_config(4).with_partition(Partition::Iid)).unwrap();
+    let skewed = run_experiment(
+        &base_config(4).with_partition(Partition::Dirichlet { beta: 0.1 }),
+    )
+    .unwrap();
+    assert!(
+        mean_vuln(&skewed) > mean_vuln(&iid) - 0.02,
+        "non-IID vuln {:.3} should meet or exceed IID {:.3}",
+        mean_vuln(&skewed),
+        mean_vuln(&iid)
+    );
+}
+
+#[test]
+fn training_makes_models_leak_more_than_initialization() {
+    let result = run_experiment(&base_config(5)).unwrap();
+    let first = result.rounds.first().unwrap();
+    let last = result.final_round();
+    // Vulnerability grows (or at worst stagnates) as training overfits.
+    assert!(
+        last.mia_vulnerability.mean >= first.mia_vulnerability.mean - 0.05,
+        "vuln fell from {:.3} to {:.3}",
+        first.mia_vulnerability.mean,
+        last.mia_vulnerability.mean
+    );
+    // Utility improves over training.
+    assert!(
+        last.test_accuracy.mean > first.test_accuracy.mean,
+        "accuracy fell from {:.3} to {:.3}",
+        first.test_accuracy.mean,
+        last.test_accuracy.mean
+    );
+}

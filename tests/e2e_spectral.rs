@@ -1,0 +1,72 @@
+//! End-to-end spectral findings (§4 / Figure 8) at the paper's 150-node
+//! scale.
+
+use glmia_core::{lambda2_series, Lambda2Config};
+use glmia_gossip::TopologyMode;
+
+fn config(k: usize, mode: TopologyMode) -> Lambda2Config {
+    Lambda2Config {
+        nodes: 150,
+        view_size: k,
+        iterations: 8,
+        runs: 5,
+        mode,
+        seed: 7,
+    }
+}
+
+#[test]
+fn dynamic_contracts_much_faster_than_static_at_k2() {
+    let st = lambda2_series(&config(2, TopologyMode::Static)).unwrap();
+    let dy = lambda2_series(&config(2, TopologyMode::Dynamic)).unwrap();
+    let t = st.mean.len() - 1;
+    assert!(
+        dy.mean[t] < st.mean[t] * 0.8,
+        "dynamic {:.4} should be well below static {:.4}",
+        dy.mean[t],
+        st.mean[t]
+    );
+}
+
+#[test]
+fn higher_degree_contracts_faster() {
+    let k2 = lambda2_series(&config(2, TopologyMode::Static)).unwrap();
+    let k10 = lambda2_series(&config(10, TopologyMode::Static)).unwrap();
+    for t in 0..k2.mean.len() {
+        assert!(
+            k10.mean[t] <= k2.mean[t] + 1e-9,
+            "iteration {t}: k=10 {:.4} vs k=2 {:.4}",
+            k10.mean[t],
+            k2.mean[t]
+        );
+    }
+}
+
+#[test]
+fn dynamic_variance_is_negligible() {
+    // The paper: "the standard deviation is negligible in the dynamic case".
+    let dy = lambda2_series(&config(2, TopologyMode::Dynamic)).unwrap();
+    let last_std = *dy.std.last().unwrap();
+    let last_mean = *dy.mean.last().unwrap();
+    assert!(
+        last_std < (last_mean * 0.5).max(0.02),
+        "dynamic std {last_std:.4} too large relative to mean {last_mean:.4}"
+    );
+}
+
+#[test]
+fn static_series_matches_lambda2_powers() {
+    // In the static setting λ₂(W*) = λ₂(W)^T exactly.
+    let st = lambda2_series(&config(5, TopologyMode::Static)).unwrap();
+    let first = st.mean[0];
+    for (t, &value) in st.mean.iter().enumerate() {
+        let expected = first.powi(t as i32 + 1);
+        assert!(
+            (value - expected).abs() < 0.05,
+            "iteration {}: {:.4} vs λ₂^T {:.4}",
+            t + 1,
+            value,
+            expected
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! Cross-crate property-based tests of the workspace's core invariants.
+
+use glmia_data::{partition_dirichlet, partition_iid, FeatureKind, SyntheticSpec};
+use glmia_graph::Topology;
+use glmia_mia::{auc, optimal_threshold};
+use glmia_nn::{softmax_rows, Matrix};
+use glmia_spectral::{product_contraction, MixingMatrix, ProductContractionOptions};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Feasible (n, k) pairs for random regular graphs.
+fn regular_params() -> impl Strategy<Value = (usize, usize)> {
+    (4usize..40, 2usize..6)
+        .prop_filter("k < n and n*k even", |&(n, k)| k < n && (n * k) % 2 == 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn peerswap_preserves_regularity_and_symmetry(
+        (n, k) in regular_params(),
+        seed in 0u64..1000,
+        swaps in 1usize..60,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = Topology::random_regular(n, k, &mut rng).unwrap();
+        for _ in 0..swaps {
+            let i = rng.gen_range(0..n);
+            g.swap_with_random_neighbor(i, &mut rng);
+        }
+        prop_assert!(g.is_regular(k));
+        prop_assert!(g.invariants_hold());
+        prop_assert!(g.is_connected(), "PeerSwap relabels nodes, connectivity is invariant");
+    }
+
+    #[test]
+    fn mixing_matrices_are_doubly_stochastic_with_unit_top_eigenvalue(
+        (n, k) in regular_params(),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Topology::random_regular(n, k, &mut rng).unwrap();
+        let w = MixingMatrix::from_regular(&g).unwrap();
+        prop_assert!(w.is_symmetric(1e-12));
+        prop_assert!(w.is_doubly_stochastic(1e-9));
+        let l2 = w.lambda2();
+        prop_assert!(l2 < 1.0 - 1e-9, "connected graph must have λ₂ < 1, got {l2}");
+        prop_assert!(l2 >= -1.0 - 1e-9);
+        let sigma = product_contraction(
+            &[w],
+            ProductContractionOptions::default(),
+            &mut rng,
+        ).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&sigma));
+    }
+
+    #[test]
+    fn mixing_preserves_the_mean(
+        (n, k) in regular_params(),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Topology::random_regular(n, k, &mut rng).unwrap();
+        let w = MixingMatrix::from_regular(&g).unwrap();
+        let v: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let mean_before: f64 = v.iter().sum::<f64>() / n as f64;
+        let out = w.apply(&v);
+        let mean_after: f64 = out.iter().sum::<f64>() / n as f64;
+        prop_assert!((mean_before - mean_after).abs() < 1e-9);
+        // And the spread shrinks (consensus contraction).
+        let spread = |xs: &[f64], m: f64| xs.iter().map(|x| (x - m).powi(2)).sum::<f64>();
+        prop_assert!(spread(&out, mean_after) <= spread(&v, mean_before) + 1e-9);
+    }
+
+    #[test]
+    fn oracle_attack_accuracy_is_bounded_on_balanced_pools(
+        scores in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..80),
+    ) {
+        let members: Vec<f64> = scores.iter().map(|s| s.0).collect();
+        let nonmembers: Vec<f64> = scores.iter().map(|s| s.1).collect();
+        let report = optimal_threshold(&members, &nonmembers).unwrap();
+        prop_assert!((0.5..=1.0).contains(&report.accuracy),
+            "balanced oracle accuracy must be in [0.5, 1], got {}", report.accuracy);
+        let a = auc(&members, &nonmembers).unwrap();
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(
+        rows in 1usize..6,
+        cols in 2usize..12,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-30.0..30.0)).collect();
+        let logits = Matrix::from_vec(rows, cols, data).unwrap();
+        let probs = softmax_rows(&logits);
+        for r in 0..rows {
+            let row = probs.row(r);
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn partitions_conserve_samples(
+        n_samples in 40usize..200,
+        n_nodes in 2usize..10,
+        beta in 0.05f64..5.0,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(n_samples >= 2 * n_nodes);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = SyntheticSpec::new(5, 4, FeatureKind::Gaussian).unwrap();
+        let world = spec.sample_world(&mut rng);
+        let data = world.sample(n_samples, &mut rng);
+        let iid = partition_iid(&data, n_nodes, &mut rng).unwrap();
+        prop_assert_eq!(iid.iter().map(|d| d.len()).sum::<usize>(), n_samples);
+        let dir = partition_dirichlet(&data, n_nodes, beta, &mut rng).unwrap();
+        prop_assert_eq!(dir.iter().map(|d| d.len()).sum::<usize>(), n_samples);
+        for shard in &dir {
+            prop_assert!(shard.len() >= 2, "repair pass guarantees ≥ 2 samples");
+        }
+    }
+
+    #[test]
+    fn mpe_scores_are_finite_and_nonnegative(
+        probs in proptest::collection::vec(0.0f32..1.0, 2..20),
+        label_pick in 0usize..1000,
+    ) {
+        use glmia_mia::{modified_prediction_entropy, prediction_entropy};
+        // Normalize to a distribution.
+        let total: f32 = probs.iter().sum::<f32>().max(1e-6);
+        let probs: Vec<f32> = probs.iter().map(|p| p / total).collect();
+        let label = label_pick % probs.len();
+        let mpe = modified_prediction_entropy(&probs, label);
+        prop_assert!(mpe.is_finite());
+        prop_assert!(mpe >= 0.0);
+        let h = prediction_entropy(&probs);
+        prop_assert!(h.is_finite());
+        prop_assert!(h >= -1e-9);
+        prop_assert!(h <= (probs.len() as f64).ln() + 1e-6);
+    }
+
+    #[test]
+    fn lr_schedule_factors_are_positive_and_bounded(
+        round in 0usize..500,
+        total in 1usize..500,
+        warmup_rounds in 1usize..50,
+        start in 0.01f32..1.0,
+        every in 1usize..50,
+        decay in 0.05f32..1.0,
+        min_factor in 0.0f32..1.0,
+    ) {
+        use glmia_gossip::LrSchedule;
+        let schedules = [
+            LrSchedule::Constant,
+            LrSchedule::Warmup { rounds: warmup_rounds, start_factor: start },
+            LrSchedule::StepDecay { every_rounds: every, factor: decay },
+            LrSchedule::Cosine { min_factor },
+        ];
+        for s in schedules {
+            let f = s.factor_at(round, total);
+            prop_assert!(f > 0.0, "{s} produced non-positive factor {f}");
+            prop_assert!(f <= 1.0 + 1e-6, "{s} produced factor above 1: {f}");
+        }
+    }
+
+    #[test]
+    fn regular_graph_stats_invariants(
+        (n, k) in regular_params(),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Topology::random_regular(n, k, &mut rng).unwrap();
+        let stats = g.stats();
+        prop_assert_eq!(stats.edges, n * k / 2);
+        prop_assert_eq!(stats.min_degree, k);
+        prop_assert_eq!(stats.max_degree, k);
+        let diameter = stats.diameter.expect("connected by construction");
+        let apl = stats.average_path_length.expect("connected");
+        prop_assert!(apl <= diameter as f64 + 1e-9);
+        prop_assert!(apl >= 1.0 - 1e-9, "paths are at least one hop");
+        prop_assert!((0.0..=1.0).contains(&stats.clustering_coefficient));
+    }
+
+    #[test]
+    fn transferred_threshold_never_beats_oracle(
+        scores in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0, 0.0f64..10.0, 0.0f64..10.0), 2..40),
+    ) {
+        use glmia_mia::{AttackKind, TransferAttack};
+        let aux_m: Vec<f64> = scores.iter().map(|s| s.0).collect();
+        let aux_n: Vec<f64> = scores.iter().map(|s| s.1).collect();
+        let victim_m: Vec<f64> = scores.iter().map(|s| s.2).collect();
+        let victim_n: Vec<f64> = scores.iter().map(|s| s.3).collect();
+        let transfer = TransferAttack::calibrate(AttackKind::Mpe, &aux_m, &aux_n).unwrap();
+        let transferred = transfer.accuracy(&victim_m, &victim_n);
+        let oracle = optimal_threshold(&victim_m, &victim_n).unwrap().accuracy;
+        prop_assert!(transferred <= oracle + 1e-12,
+            "transferred {transferred} beat oracle {oracle}");
+    }
+
+    #[test]
+    fn model_averaging_is_a_convex_combination(
+        seed in 0u64..1000,
+    ) {
+        use glmia_nn::{Activation, Mlp, MlpSpec};
+        let spec = MlpSpec::new(3, &[4], 2, Activation::Relu).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Mlp::new(&spec, &mut rng);
+        let b = Mlp::new(&spec, &mut rng);
+        let avg: Vec<f32> = a.flat_params().iter().zip(b.flat_params())
+            .map(|(x, y)| (x + y) / 2.0)
+            .collect();
+        for ((&x, y), z) in a.flat_params().iter().zip(b.flat_params()).zip(&avg) {
+            let lo = x.min(y) - 1e-6;
+            let hi = x.max(y) + 1e-6;
+            prop_assert!((lo..=hi).contains(z));
+        }
+    }
+}
