@@ -18,10 +18,22 @@ use glmia_gossip::Defense;
 fn main() {
     let defenses: Vec<(String, Option<Defense>)> = vec![
         ("none".into(), None),
-        ("gauss σ=0.005".into(), Some(Defense::GaussianNoise { std: 0.005 })),
-        ("gauss σ=0.02".into(), Some(Defense::GaussianNoise { std: 0.02 })),
-        ("gauss σ=0.05".into(), Some(Defense::GaussianNoise { std: 0.05 })),
-        ("mask 25%".into(), Some(Defense::RandomMask { fraction: 0.25 })),
+        (
+            "gauss σ=0.005".into(),
+            Some(Defense::GaussianNoise { std: 0.005 }),
+        ),
+        (
+            "gauss σ=0.02".into(),
+            Some(Defense::GaussianNoise { std: 0.02 }),
+        ),
+        (
+            "gauss σ=0.05".into(),
+            Some(Defense::GaussianNoise { std: 0.05 }),
+        ),
+        (
+            "mask 25%".into(),
+            Some(Defense::RandomMask { fraction: 0.25 }),
+        ),
     ];
     let mut rows = Vec::new();
     for (label, defense) in defenses {

@@ -26,7 +26,12 @@ fn main() {
         let last = result.final_round();
         rows.push(vec![
             protocol.to_string(),
-            if protocol.merges_once() { "once" } else { "each" }.to_string(),
+            if protocol.merges_once() {
+                "once"
+            } else {
+                "each"
+            }
+            .to_string(),
             if protocol.sends_all() { "all" } else { "one" }.to_string(),
             stat(last.test_accuracy),
             stat(last.mia_vulnerability),
@@ -37,7 +42,14 @@ fn main() {
     emit(
         "ablation_protocol_decomposition",
         "Ablation: SAMO mechanism decomposition (CIFAR-10-like, static 5-regular, final round)",
-        &["protocol", "merge", "send", "test acc", "MIA vuln", "models sent"],
+        &[
+            "protocol",
+            "merge",
+            "send",
+            "test acc",
+            "MIA vuln",
+            "models sent",
+        ],
         &rows,
     );
 }

@@ -11,8 +11,8 @@ use glmia_bench::output::{emit, f3};
 use glmia_bench::scale::experiment;
 use glmia_core::ExperimentConfig;
 use glmia_data::{DataPreset, Federation};
-use glmia_graph::Topology;
 use glmia_gossip::Simulation;
+use glmia_graph::Topology;
 use glmia_mia::{AttackKind, MiaEvaluator, TransferAttack};
 use glmia_nn::Mlp;
 use rand::rngs::StdRng;
@@ -33,8 +33,8 @@ fn main() {
         &mut rng,
     )
     .expect("federation");
-    let topo = Topology::random_regular(config.nodes(), config.view_size(), &mut rng)
-        .expect("topology");
+    let topo =
+        Topology::random_regular(config.nodes(), config.view_size(), &mut rng).expect("topology");
     let model_spec = config.model_spec().expect("model spec");
     let mut sim = Simulation::new(config.sim_config(), &model_spec, &fed, topo, config.seed())
         .expect("simulation");

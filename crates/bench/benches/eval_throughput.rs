@@ -1,0 +1,105 @@
+//! Attack-replay throughput: the same 32-node × 10-round experiment at 1,
+//! 2 and all-core thread budgets.
+//!
+//! The omniscient attacker's replay (model reconstruction + MPE scoring for
+//! every node at every round) is the pipeline's hot path; this bench tracks
+//! how well the parallel evaluation layer converts cores into wall-clock.
+//! Besides the criterion measurements it emits a machine-readable speedup
+//! record to `target/bench-results/BENCH_eval.json` so future changes can
+//! track the perf trajectory. Determinism is asserted on the way: every
+//! thread count must produce the identical `ExperimentResult`.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glmia_bench::output::emit_json;
+use glmia_core::{run_experiment, ExperimentConfig, Parallelism};
+use glmia_data::DataPreset;
+
+/// An evaluation-heavy workload: every round is attacked, and the per-node
+/// pools are large relative to the single local epoch, so attack replay —
+/// not simulation — dominates wall-clock.
+fn eval_config() -> ExperimentConfig {
+    ExperimentConfig::bench_scale(DataPreset::Cifar10Like)
+        .with_nodes(32)
+        .with_rounds(10)
+        .with_eval_every(1)
+        .with_local_epochs(1)
+        .with_train_per_node(64)
+        .with_test_per_node(64)
+        .with_seed(7)
+}
+
+/// The thread budgets to compare: serial, 2, and all cores (deduplicated
+/// on machines with ≤ 2 cores).
+fn thread_settings() -> Vec<usize> {
+    let mut settings = vec![1, 2, Parallelism::Auto.threads()];
+    settings.sort_unstable();
+    settings.dedup();
+    settings
+}
+
+fn bench_eval_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_throughput");
+    group.sample_size(10);
+    for threads in thread_settings() {
+        let config = eval_config().with_parallelism(Parallelism::Fixed(threads));
+        group.bench_function(format!("nodes32_rounds10_t{threads}"), |b| {
+            b.iter(|| std::hint::black_box(run_experiment(&config).expect("bench experiment")))
+        });
+    }
+    group.finish();
+    emit_speedup_record();
+}
+
+/// Times each thread budget directly (median of three runs), asserts the
+/// results are identical, and writes the `BENCH_eval.json` trajectory
+/// record.
+fn emit_speedup_record() {
+    let settings = thread_settings();
+    let mut medians = Vec::with_capacity(settings.len());
+    let mut baseline_result = None;
+    for &threads in &settings {
+        let config = eval_config().with_parallelism(Parallelism::Fixed(threads));
+        let mut times = Vec::with_capacity(3);
+        for _ in 0..3 {
+            let start = Instant::now();
+            let result = run_experiment(&config).expect("bench experiment");
+            times.push(start.elapsed().as_secs_f64());
+            match &baseline_result {
+                None => baseline_result = Some(result),
+                Some(base) => assert_eq!(
+                    *base, result,
+                    "thread count {threads} broke the determinism contract"
+                ),
+            }
+        }
+        times.sort_by(f64::total_cmp);
+        medians.push(times[1]);
+    }
+    let serial = medians[0];
+    let per_thread: Vec<serde_json::Value> = settings
+        .iter()
+        .zip(&medians)
+        .map(|(&threads, &secs)| {
+            serde_json::json!({
+                "threads": threads,
+                "median_secs": secs,
+                "speedup_vs_serial": serial / secs,
+            })
+        })
+        .collect();
+    emit_json(
+        "BENCH_eval",
+        &serde_json::json!({
+            "bench": "eval_throughput",
+            "workload": {"nodes": 32, "rounds": 10, "eval_every": 1},
+            "available_cores": Parallelism::Auto.threads(),
+            "results_identical_across_thread_counts": true,
+            "measurements": per_thread,
+        }),
+    );
+}
+
+criterion_group!(benches, bench_eval_throughput);
+criterion_main!(benches);

@@ -32,7 +32,10 @@ fn main() {
                 factor: 0.5,
             },
         ),
-        ("cosine to 0.1".into(), LrSchedule::Cosine { min_factor: 0.1 }),
+        (
+            "cosine to 0.1".into(),
+            LrSchedule::Cosine { min_factor: 0.1 },
+        ),
     ];
     let mut rows = Vec::new();
     let mut variants: Vec<(String, LrSchedule, f32)> = schedules
@@ -74,7 +77,13 @@ fn main() {
     emit(
         "ext_early_overfitting",
         "Extension: LR schedules vs early overfitting (Purchase-100-like, SAMO, 2-regular)",
-        &["schedule", "peak gen err", "peak MIA vuln", "final MIA vuln", "final test acc"],
+        &[
+            "schedule",
+            "peak gen err",
+            "peak MIA vuln",
+            "final MIA vuln",
+            "final test acc",
+        ],
         &rows,
     );
 }

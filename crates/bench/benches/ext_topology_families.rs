@@ -12,8 +12,8 @@ use glmia_bench::output::{emit, f3};
 use glmia_bench::scale::experiment;
 use glmia_core::ExperimentConfig;
 use glmia_data::{DataPreset, Federation};
-use glmia_graph::Topology;
 use glmia_gossip::Simulation;
+use glmia_graph::Topology;
 use glmia_metrics::accuracy;
 use glmia_mia::{AttackKind, MiaEvaluator};
 use glmia_nn::Mlp;
@@ -60,14 +60,8 @@ fn main() {
         // Irregular after rewiring → Metropolis weights for a fair λ₂.
         let w = MixingMatrix::metropolis(&topo).expect("mixing matrix");
         let lambda2 = w.lambda2();
-        let mut sim = Simulation::new(
-            config.sim_config(),
-            &model_spec,
-            &fed,
-            topo,
-            config.seed(),
-        )
-        .expect("simulation");
+        let mut sim = Simulation::new(config.sim_config(), &model_spec, &fed, topo, config.seed())
+            .expect("simulation");
         let result = sim.run();
         let snapshot = result.final_snapshot();
         let mut accs = Vec::new();
@@ -86,9 +80,7 @@ fn main() {
         rows.push(vec![
             label.clone(),
             f3(lambda2),
-            stats
-                .diameter
-                .map_or("∞".into(), |d| d.to_string()),
+            stats.diameter.map_or("∞".into(), |d| d.to_string()),
             f3(glmia_dist::mean(&accs)),
             f3(glmia_dist::mean(&vulns)),
         ]);

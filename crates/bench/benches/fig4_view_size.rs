@@ -42,7 +42,13 @@ fn main() {
     emit(
         "fig4_view_size",
         "Figure 4: max accuracy & vulnerability vs view size (CIFAR-10-like, SAMO)",
-        &["view size", "topology", "max test acc", "MIA vuln @ max", "models sent"],
+        &[
+            "view size",
+            "topology",
+            "max test acc",
+            "MIA vuln @ max",
+            "models sent",
+        ],
         &rows,
     );
 }

@@ -58,7 +58,13 @@ fn main() {
     emit(
         "fig5_summary",
         "Figure 5 summary",
-        &["partition", "topology", "max test acc", "MIA vuln @ max", "final MIA vuln"],
+        &[
+            "partition",
+            "topology",
+            "max test acc",
+            "MIA vuln @ max",
+            "final MIA vuln",
+        ],
         &summary,
     );
 }

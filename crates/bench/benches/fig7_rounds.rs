@@ -55,7 +55,12 @@ fn main() {
     emit(
         "fig7_persistence",
         "Figure 7 persistence summary",
-        &["gen-error peak round", "peak MIA vuln", "final MIA vuln", "retained fraction"],
+        &[
+            "gen-error peak round",
+            "peak MIA vuln",
+            "final MIA vuln",
+            "retained fraction",
+        ],
         &[vec![
             peak_ge_round.round.to_string(),
             f3(peak_vuln),

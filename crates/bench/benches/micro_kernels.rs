@@ -12,10 +12,18 @@ use rand::{Rng, SeedableRng};
 
 fn bench_matmul(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);
-    let a = Matrix::from_vec(64, 64, (0..64 * 64).map(|_| rng.gen_range(-1.0..1.0)).collect())
-        .unwrap();
-    let b = Matrix::from_vec(64, 64, (0..64 * 64).map(|_| rng.gen_range(-1.0..1.0)).collect())
-        .unwrap();
+    let a = Matrix::from_vec(
+        64,
+        64,
+        (0..64 * 64).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    )
+    .unwrap();
+    let b = Matrix::from_vec(
+        64,
+        64,
+        (0..64 * 64).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    )
+    .unwrap();
     c.bench_function("matmul_64x64", |bench| {
         bench.iter(|| std::hint::black_box(a.matmul(&b).unwrap()))
     });
@@ -25,8 +33,12 @@ fn bench_train_batch(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let spec = MlpSpec::new(48, &[64, 32], 10, Activation::Relu).unwrap();
     let model = Mlp::new(&spec, &mut rng);
-    let x = Matrix::from_vec(16, 48, (0..16 * 48).map(|_| rng.gen_range(-1.0..1.0)).collect())
-        .unwrap();
+    let x = Matrix::from_vec(
+        16,
+        48,
+        (0..16 * 48).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    )
+    .unwrap();
     let y: Vec<usize> = (0..16).map(|i| i % 10).collect();
     c.bench_function("train_batch_16x48_mlp", |bench| {
         bench.iter_batched(

@@ -37,6 +37,20 @@ pub fn emit(name: &str, title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("[saved {}]", path.display());
 }
 
+/// Prints a JSON record and saves it as `target/bench-results/<name>.json`
+/// — machine-readable performance trajectory records (e.g.
+/// `BENCH_eval.json`) that future changes can diff against.
+///
+/// # Panics
+///
+/// Panics if the record cannot be serialized or written.
+pub fn emit_json(name: &str, record: &serde_json::Value) {
+    let pretty = serde_json::to_string_pretty(record).expect("serializing bench record");
+    let path = results_dir().join(format!("{name}.json"));
+    fs::write(&path, &pretty).expect("writing bench JSON");
+    println!("{pretty}\n[saved {}]", path.display());
+}
+
 /// Formats a float with three decimals.
 #[must_use]
 pub fn f3(x: f64) -> String {
@@ -67,12 +81,7 @@ mod tests {
 
     #[test]
     fn emit_writes_csv() {
-        emit(
-            "unit-test-emit",
-            "unit test",
-            &["a"],
-            &[vec!["1".into()]],
-        );
+        emit("unit-test-emit", "unit test", &["a"], &[vec!["1".into()]]);
         let path = results_dir().join("unit-test-emit.csv");
         assert!(path.exists());
         let _ = std::fs::remove_file(path);

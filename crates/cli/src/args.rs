@@ -31,11 +31,7 @@ impl Args {
                     Some(next) if !next.starts_with("--") => iter.next().unwrap_or_default(),
                     _ => String::new(),
                 };
-                if parsed
-                    .options
-                    .insert(key.to_string(), value)
-                    .is_some()
-                {
+                if parsed.options.insert(key.to_string(), value).is_some() {
                     return Err(format!("option --{key} given twice"));
                 }
             } else if parsed.subcommand.is_none() && parsed.options.is_empty() {

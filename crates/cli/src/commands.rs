@@ -1,6 +1,6 @@
 //! Subcommand implementations.
 
-use glmia_core::{lambda2_series, run_experiment, ExperimentConfig, Lambda2Config};
+use glmia_core::{lambda2_series, run_experiment, ExperimentConfig, Lambda2Config, Parallelism};
 use glmia_data::{DataPreset, Federation, Partition};
 use glmia_gossip::{ProtocolKind, TopologyMode};
 use glmia_graph::Topology;
@@ -50,8 +50,18 @@ pub fn run(args: &Args) -> Result<(), String> {
     reject_unknown(
         args,
         &[
-            "dataset", "protocol", "dynamic", "k", "nodes", "rounds", "eval-every", "beta",
-            "seed", "json", "plot",
+            "dataset",
+            "protocol",
+            "dynamic",
+            "k",
+            "nodes",
+            "rounds",
+            "eval-every",
+            "beta",
+            "seed",
+            "threads",
+            "json",
+            "plot",
         ],
     )?;
     let dataset = parse_dataset(args.get("dataset").unwrap_or("cifar10"))?;
@@ -67,7 +77,8 @@ pub fn run(args: &Args) -> Result<(), String> {
         .with_nodes(args.get_or("nodes", 24usize)?)
         .with_rounds(args.get_or("rounds", 40usize)?)
         .with_eval_every(args.get_or("eval-every", 4usize)?)
-        .with_seed(args.get_or("seed", 42u64)?);
+        .with_seed(args.get_or("seed", 42u64)?)
+        .with_parallelism(args.get_or("threads", Parallelism::Auto)?);
     if let Some(beta) = args.get("beta") {
         let beta: f64 = beta
             .parse()
@@ -120,7 +131,17 @@ pub fn run(args: &Args) -> Result<(), String> {
 pub fn compare(args: &Args) -> Result<(), String> {
     reject_unknown(
         args,
-        &["dataset", "k", "nodes", "rounds", "eval-every", "beta", "seed", "axis"],
+        &[
+            "dataset",
+            "k",
+            "nodes",
+            "rounds",
+            "eval-every",
+            "beta",
+            "seed",
+            "threads",
+            "axis",
+        ],
     )?;
     let dataset = parse_dataset(args.get("dataset").unwrap_or("cifar10"))?;
     let axis = args.get("axis").unwrap_or("topology");
@@ -130,7 +151,11 @@ pub fn compare(args: &Args) -> Result<(), String> {
             .with_nodes(args.get_or("nodes", 24usize).unwrap_or(24))
             .with_rounds(args.get_or("rounds", 40usize).unwrap_or(40))
             .with_eval_every(args.get_or("eval-every", 4usize).unwrap_or(4))
-            .with_seed(args.get_or("seed", 42u64).unwrap_or(42));
+            .with_seed(args.get_or("seed", 42u64).unwrap_or(42))
+            .with_parallelism(
+                args.get_or("threads", Parallelism::Auto)
+                    .unwrap_or_default(),
+            );
         if let Some(beta) = args.get("beta") {
             if let Ok(beta) = beta.parse::<f64>() {
                 config = config.with_partition(Partition::Dirichlet { beta });
@@ -140,14 +165,11 @@ pub fn compare(args: &Args) -> Result<(), String> {
     };
     let variants: Vec<ExperimentConfig> = match axis {
         "topology" => vec![
-            base(ExperimentConfig::bench_scale(dataset))
-                .with_topology_mode(TopologyMode::Static),
-            base(ExperimentConfig::bench_scale(dataset))
-                .with_topology_mode(TopologyMode::Dynamic),
+            base(ExperimentConfig::bench_scale(dataset)).with_topology_mode(TopologyMode::Static),
+            base(ExperimentConfig::bench_scale(dataset)).with_topology_mode(TopologyMode::Dynamic),
         ],
         "protocol" => vec![
-            base(ExperimentConfig::bench_scale(dataset))
-                .with_protocol(ProtocolKind::BaseGossip),
+            base(ExperimentConfig::bench_scale(dataset)).with_protocol(ProtocolKind::BaseGossip),
             base(ExperimentConfig::bench_scale(dataset)).with_protocol(ProtocolKind::Samo),
         ],
         other => {
@@ -178,7 +200,10 @@ pub fn compare(args: &Args) -> Result<(), String> {
 
 /// `glmia lambda2`
 pub fn lambda2(args: &Args) -> Result<(), String> {
-    reject_unknown(args, &["k", "nodes", "iterations", "runs", "dynamic", "seed"])?;
+    reject_unknown(
+        args,
+        &["k", "nodes", "iterations", "runs", "dynamic", "seed"],
+    )?;
     let config = Lambda2Config {
         nodes: args.get_or("nodes", 150usize)?,
         view_size: args.get_or("k", 2usize)?,
@@ -199,10 +224,7 @@ pub fn lambda2(args: &Args) -> Result<(), String> {
         .enumerate()
         .map(|(t, (m, s))| vec![(t + 1).to_string(), format!("{m:.6}"), format!("{s:.6}")])
         .collect();
-    print!(
-        "{}",
-        render_table(&["iterations", "λ₂(W*)", "std"], &rows)
-    );
+    print!("{}", render_table(&["iterations", "λ₂(W*)", "std"], &rows));
     Ok(())
 }
 
@@ -226,13 +248,18 @@ pub fn attack(args: &Args) -> Result<(), String> {
     let model_spec = config.model_spec().map_err(|e| e.to_string())?;
     let mut victim = Mlp::new(&model_spec, &mut rng);
     let training = config.training();
-    let mut opt = Sgd::new(training.learning_rate)
-        .with_weight_decay(training.weight_decay);
+    let mut opt = Sgd::new(training.learning_rate).with_weight_decay(training.weight_decay);
     if training.momentum > 0.0 {
         opt = opt.with_momentum(training.momentum);
     }
     for _ in 0..epochs {
-        victim.train_epoch(node.train.features(), node.train.labels(), 16, &mut opt, &mut rng);
+        victim.train_epoch(
+            node.train.features(),
+            node.train.labels(),
+            16,
+            &mut opt,
+            &mut rng,
+        );
     }
     println!(
         "victim after {epochs} epochs: train acc {:.3}, local test acc {:.3}",
@@ -340,6 +367,14 @@ mod tests {
         assert!(run(&a).is_err());
         let a = args(&["lambda2", "--oops"]);
         assert!(lambda2(&a).is_err());
+    }
+
+    #[test]
+    fn invalid_thread_counts_are_rejected() {
+        let a = args(&["run", "--threads", "0"]);
+        assert!(run(&a).is_err());
+        let a = args(&["run", "--threads", "lots"]);
+        assert!(run(&a).is_err());
     }
 
     #[test]

@@ -64,6 +64,10 @@ SUBCOMMANDS:
               --eval-every <r>                   (default 4)
               --beta <dirichlet β>               (default: IID)
               --seed <s>                         (default 42)
+              --threads auto|<n>                 attack-replay worker threads
+                                                 (default auto = all cores;
+                                                 results are identical at any
+                                                 setting, 1 = serial path)
               --json                             emit JSON instead of a table
               --plot                             draw an ASCII tradeoff scatter
 
@@ -71,7 +75,7 @@ SUBCOMMANDS:
               privacy/utility curves on one ASCII plot
               --axis topology|protocol           (default topology)
               plus the run options: --dataset --k --nodes --rounds
-              --eval-every --beta --seed
+              --eval-every --beta --seed --threads
 
     lambda2   measure λ₂(W*) decay over iterations (the paper's Figure 8)
               --k <degree> --nodes <n> --iterations <T> --runs <R>

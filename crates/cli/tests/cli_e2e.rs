@@ -42,7 +42,11 @@ fn unknown_option_fails_with_message() {
 #[test]
 fn topo_reports_statistics() {
     let out = glmia(&["topo", "--nodes", "16", "--k", "4", "--seed", "3"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("connected: true"));
     assert!(stdout.contains("λ₂(W)"));
@@ -51,9 +55,21 @@ fn topo_reports_statistics() {
 #[test]
 fn lambda2_emits_series() {
     let out = glmia(&[
-        "lambda2", "--nodes", "16", "--k", "2", "--iterations", "4", "--runs", "2",
+        "lambda2",
+        "--nodes",
+        "16",
+        "--k",
+        "2",
+        "--iterations",
+        "4",
+        "--runs",
+        "2",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     // Header plus rule plus 4 iterations.
     assert_eq!(stdout.lines().count(), 6, "{stdout}");
@@ -75,7 +91,11 @@ fn run_small_experiment_emits_json() {
         "1",
         "--json",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     let value: serde_json::Value =
         serde_json::from_str(&stdout).expect("valid JSON from --json run");
@@ -85,8 +105,20 @@ fn run_small_experiment_emits_json() {
 #[test]
 fn seeded_runs_are_reproducible() {
     let args = [
-        "run", "--dataset", "fashion", "--nodes", "6", "--k", "2", "--rounds", "2",
-        "--eval-every", "1", "--seed", "9", "--json",
+        "run",
+        "--dataset",
+        "fashion",
+        "--nodes",
+        "6",
+        "--k",
+        "2",
+        "--rounds",
+        "2",
+        "--eval-every",
+        "1",
+        "--seed",
+        "9",
+        "--json",
     ];
     let a = glmia(&args);
     let b = glmia(&args);

@@ -30,6 +30,60 @@ impl std::fmt::Display for AttackSurface {
     }
 }
 
+/// How many worker threads the attack-replay pipeline may use.
+///
+/// This is an *execution* knob, not part of an experiment's identity:
+/// results are bit-identical at any thread count (the evaluation RNG is
+/// derived per `(seed, round, node)`, never shared across nodes), so the
+/// field is excluded from [`ExperimentConfig`]'s equality and serialization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Parallelism {
+    /// Use every available core (`std::thread::available_parallelism`).
+    #[default]
+    Auto,
+    /// Pin to exactly `n` threads; `1` selects the legacy serial path,
+    /// which spawns no threads at all.
+    Fixed(usize),
+}
+
+impl Parallelism {
+    /// The concrete worker count this knob resolves to (always ≥ 1).
+    #[must_use]
+    pub fn threads(self) -> usize {
+        match self {
+            Parallelism::Auto => {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            }
+            Parallelism::Fixed(n) => n.max(1),
+        }
+    }
+}
+
+impl std::fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Parallelism::Auto => f.write_str("auto"),
+            Parallelism::Fixed(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl std::str::FromStr for Parallelism {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "auto" {
+            return Ok(Parallelism::Auto);
+        }
+        match s.parse::<usize>() {
+            Ok(0) | Err(_) => Err(format!(
+                "invalid parallelism '{s}' (expected 'auto' or a positive integer)"
+            )),
+            Ok(n) => Ok(Parallelism::Fixed(n)),
+        }
+    }
+}
+
 /// Full description of one decentralized-learning experiment: dataset,
 /// partition, topology, protocol, training hyperparameters, attack and
 /// seed.
@@ -58,7 +112,7 @@ impl std::fmt::Display for AttackSurface {
 ///     .with_partition(Partition::Dirichlet { beta: 0.1 });
 /// assert_eq!(config.view_size(), 5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExperimentConfig {
     dataset: DataPreset,
     num_classes_override: Option<usize>,
@@ -81,6 +135,64 @@ pub struct ExperimentConfig {
     drop_probability: f64,
     lr_schedule: LrSchedule,
     seed: u64,
+    /// Worker threads for the attack-replay pipeline. Excluded from
+    /// serialization and equality: two runs differing only in thread count
+    /// produce byte-identical results, so this knob is not part of the
+    /// experiment's identity.
+    #[serde(skip)]
+    parallelism: Parallelism,
+}
+
+/// Equality over every field *except* `parallelism` (an execution knob, see
+/// [`Parallelism`]). The exhaustive destructuring makes this impl fail to
+/// compile when a field is added, so new knobs cannot silently escape
+/// comparison.
+impl PartialEq for ExperimentConfig {
+    fn eq(&self, other: &Self) -> bool {
+        let Self {
+            dataset,
+            num_classes_override,
+            input_dim_override,
+            n_nodes,
+            view_size,
+            train_per_node,
+            test_per_node,
+            partition,
+            protocol,
+            topology_mode,
+            rounds,
+            eval_every,
+            training,
+            batch_size,
+            attack,
+            attack_surface,
+            defense,
+            drop_probability,
+            lr_schedule,
+            seed,
+            parallelism: _,
+        } = self;
+        *dataset == other.dataset
+            && *num_classes_override == other.num_classes_override
+            && *input_dim_override == other.input_dim_override
+            && *n_nodes == other.n_nodes
+            && *view_size == other.view_size
+            && *train_per_node == other.train_per_node
+            && *test_per_node == other.test_per_node
+            && *partition == other.partition
+            && *protocol == other.protocol
+            && *topology_mode == other.topology_mode
+            && *rounds == other.rounds
+            && *eval_every == other.eval_every
+            && *training == other.training
+            && *batch_size == other.batch_size
+            && *attack == other.attack
+            && *attack_surface == other.attack_surface
+            && *defense == other.defense
+            && *drop_probability == other.drop_probability
+            && *lr_schedule == other.lr_schedule
+            && *seed == other.seed
+    }
 }
 
 impl ExperimentConfig {
@@ -114,6 +226,7 @@ impl ExperimentConfig {
             lr_schedule: LrSchedule::Constant,
             seed: 0,
             training,
+            parallelism: Parallelism::Auto,
         }
     }
 
@@ -355,7 +468,10 @@ impl ExperimentConfig {
     /// Panics if outside `[0, 1)`.
     #[must_use]
     pub fn with_drop_probability(mut self, p: f64) -> Self {
-        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
         self.drop_probability = p;
         self
     }
@@ -364,6 +480,14 @@ impl ExperimentConfig {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the attack-replay worker-thread budget (default: all cores).
+    /// Results are bit-identical at any setting; see [`Parallelism`].
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 
@@ -449,6 +573,12 @@ impl ExperimentConfig {
     #[must_use]
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The attack-replay worker-thread budget.
+    #[must_use]
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Materializes the synthetic dataset spec (preset + overrides).
@@ -584,5 +714,38 @@ mod tests {
     #[should_panic(expected = "view size must be positive")]
     fn zero_view_size_panics() {
         let _ = ExperimentConfig::quick_test(DataPreset::Cifar10Like).with_view_size(0);
+    }
+
+    #[test]
+    fn parallelism_parses_and_displays() {
+        assert_eq!("auto".parse::<Parallelism>().unwrap(), Parallelism::Auto);
+        assert_eq!("4".parse::<Parallelism>().unwrap(), Parallelism::Fixed(4));
+        assert!("0".parse::<Parallelism>().is_err());
+        assert!("many".parse::<Parallelism>().is_err());
+        assert_eq!(Parallelism::Auto.to_string(), "auto");
+        assert_eq!(Parallelism::Fixed(3).to_string(), "3");
+    }
+
+    #[test]
+    fn parallelism_resolves_to_at_least_one_thread() {
+        assert!(Parallelism::Auto.threads() >= 1);
+        assert_eq!(Parallelism::Fixed(1).threads(), 1);
+        assert_eq!(Parallelism::Fixed(8).threads(), 8);
+    }
+
+    #[test]
+    fn parallelism_is_not_part_of_config_identity() {
+        let a = ExperimentConfig::quick_test(DataPreset::Cifar10Like)
+            .with_parallelism(Parallelism::Fixed(1));
+        let b = a.clone().with_parallelism(Parallelism::Fixed(8));
+        assert_eq!(a, b, "thread count must not distinguish configs");
+        // ... and it never reaches the serialized form.
+        let json_a = serde_json::to_string(&a).unwrap();
+        let json_b = serde_json::to_string(&b).unwrap();
+        assert_eq!(json_a, json_b);
+        assert!(!json_a.contains("parallelism"));
+        // A deserialized config runs with the default (auto) budget.
+        let back: ExperimentConfig = serde_json::from_str(&json_b).unwrap();
+        assert_eq!(back.parallelism(), Parallelism::Auto);
     }
 }

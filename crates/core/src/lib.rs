@@ -52,7 +52,7 @@ mod presets;
 mod replicate;
 mod runner;
 
-pub use config::{AttackSurface, ExperimentConfig};
+pub use config::{AttackSurface, ExperimentConfig, Parallelism};
 pub use error::CoreError;
 pub use lambda2::{lambda2_series, Lambda2Config, Lambda2Series};
 pub use presets::TrainingPreset;

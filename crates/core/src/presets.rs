@@ -107,12 +107,22 @@ mod tests {
     fn table2_values_match_paper() {
         let c10 = TrainingPreset::for_dataset(DataPreset::Cifar10Like);
         assert_eq!(
-            (c10.learning_rate, c10.momentum, c10.local_epochs, c10.paper_rounds),
+            (
+                c10.learning_rate,
+                c10.momentum,
+                c10.local_epochs,
+                c10.paper_rounds
+            ),
             (0.01, 0.0, 3, 250)
         );
         let c100 = TrainingPreset::for_dataset(DataPreset::Cifar100Like);
         assert_eq!(
-            (c100.learning_rate, c100.momentum, c100.local_epochs, c100.paper_rounds),
+            (
+                c100.learning_rate,
+                c100.momentum,
+                c100.local_epochs,
+                c100.paper_rounds
+            ),
             (0.001, 0.9, 5, 500)
         );
         assert_eq!(c100.paper_nodes, 60);

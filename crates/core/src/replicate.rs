@@ -5,7 +5,7 @@
 use glmia_dist::mean_std;
 use serde::{Deserialize, Serialize};
 
-use crate::{run_experiment, CoreError, ExperimentConfig, ExperimentResult, Stat};
+use crate::{run_experiment, CoreError, ExperimentConfig, ExperimentResult, Parallelism, Stat};
 
 /// Per-round metrics aggregated *across seeds* (each seed's value is its
 /// own across-node mean).
@@ -37,6 +37,12 @@ pub struct ReplicatedResult {
 /// Runs `config` under each seed `base_seed..base_seed + replicas` and
 /// aggregates per-round metrics across seeds.
 ///
+/// Replicas are independent experiments, so they run on scoped threads when
+/// the config's [`Parallelism`] allows: the thread budget is split between
+/// seed-level workers and each run's inner evaluation pool. The seed
+/// sequence, the order of `runs`, and every result are identical to the
+/// serial path ([`run_experiment`]'s determinism contract).
+///
 /// # Errors
 ///
 /// Returns [`CoreError`] if `replicas == 0` or any replica fails.
@@ -61,13 +67,40 @@ pub fn replicate_experiment(
         return Err(CoreError::new("replicas must be positive"));
     }
     let base_seed = config.seed();
-    let mut runs = Vec::with_capacity(replicas);
-    let mut seeds = Vec::with_capacity(replicas);
-    for r in 0..replicas {
-        let seed = base_seed.wrapping_add(r as u64);
-        seeds.push(seed);
-        runs.push(run_experiment(&config.clone().with_seed(seed))?);
-    }
+    let seeds: Vec<u64> = (0..replicas)
+        .map(|r| base_seed.wrapping_add(r as u64))
+        .collect();
+    let threads = config.parallelism().threads();
+    // Split the budget: up to `outer` seeds in flight, each with an inner
+    // evaluation pool of `threads / outer` workers.
+    let outer = threads.min(replicas);
+    let runs: Vec<ExperimentResult> = if outer <= 1 {
+        seeds
+            .iter()
+            .map(|&seed| run_experiment(&config.clone().with_seed(seed)))
+            .collect::<Result<_, _>>()?
+    } else {
+        let inner = Parallelism::Fixed((threads / outer).max(1));
+        let mut slots: Vec<Option<Result<ExperimentResult, CoreError>>> =
+            (0..replicas).map(|_| None).collect();
+        let chunk_len = replicas.div_ceil(outer);
+        std::thread::scope(|scope| {
+            for (w, out) in slots.chunks_mut(chunk_len).enumerate() {
+                let seeds = &seeds;
+                scope.spawn(move || {
+                    for (offset, slot) in out.iter_mut().enumerate() {
+                        let seed = seeds[w * chunk_len + offset];
+                        let run_config = config.clone().with_seed(seed).with_parallelism(inner);
+                        *slot = Some(run_experiment(&run_config));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every replica slot is filled by exactly one worker"))
+            .collect::<Result<_, _>>()?
+    };
     // All runs share the eval schedule, so aggregate by index.
     let n_rounds = runs[0].rounds.len();
     if runs.iter().any(|r| r.rounds.len() != n_rounds) {
@@ -77,7 +110,10 @@ pub fn replicate_experiment(
     }
     let mut rounds = Vec::with_capacity(n_rounds);
     for i in 0..n_rounds {
-        let acc: Vec<f64> = runs.iter().map(|r| r.rounds[i].test_accuracy.mean).collect();
+        let acc: Vec<f64> = runs
+            .iter()
+            .map(|r| r.rounds[i].test_accuracy.mean)
+            .collect();
         let vuln: Vec<f64> = runs
             .iter()
             .map(|r| r.rounds[i].mia_vulnerability.mean)
@@ -131,6 +167,17 @@ mod tests {
                 / 2.0;
             assert!((round.test_accuracy.mean - manual).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn parallel_over_seeds_matches_serial_baseline() {
+        let config = ExperimentConfig::quick_test(DataPreset::Cifar10Like).with_seed(800);
+        let serial =
+            replicate_experiment(&config.clone().with_parallelism(Parallelism::Fixed(1)), 3)
+                .unwrap();
+        let parallel =
+            replicate_experiment(&config.with_parallelism(Parallelism::Fixed(3)), 3).unwrap();
+        assert_eq!(serial, parallel);
     }
 
     #[test]

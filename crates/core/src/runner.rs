@@ -1,10 +1,34 @@
 //! The end-to-end experiment runner: simulate, then replay the omniscient
 //! attacker over every recorded round.
+//!
+//! # Parallel evaluation & determinism
+//!
+//! The attack replay is embarrassingly parallel — every node's model is
+//! reconstructed and attacked independently against read-only data — so the
+//! runner fans it out over a scoped worker pool sized by
+//! [`Parallelism`](crate::Parallelism). Two properties make the fan-out
+//! invisible to results:
+//!
+//! 1. **Per-`(seed, round, node)` RNG derivation.** The evaluation RNG is
+//!    not a sequential stream threaded through nodes; each node of each
+//!    evaluated round reseeds its own [`StdRng`] from a SplitMix64 hash of
+//!    `(seed, round, node)`. Evaluation order therefore cannot influence any
+//!    random choice.
+//! 2. **In-order reassembly.** Snapshots stream from the simulation thread
+//!    over a bounded channel in round order, and per-node results are
+//!    written into index-addressed slots, so aggregation always sees the
+//!    same ordering the serial path produces.
+//!
+//! Consequently `run_experiment` returns bit-identical results at any
+//! thread count, including the legacy serial path (`Parallelism::Fixed(1)`),
+//! which spawns no threads at all.
+
+use std::sync::mpsc;
 
 use glmia_data::Federation;
 use glmia_dist::mean_std;
-use glmia_graph::Topology;
 use glmia_gossip::{RoundSnapshot, Simulation};
+use glmia_graph::Topology;
 use glmia_metrics::{accuracy, best_utility_point, generalization_error, TradeoffPoint};
 use glmia_mia::MiaEvaluator;
 use glmia_nn::Mlp;
@@ -13,6 +37,28 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::{AttackSurface, CoreError, ExperimentConfig};
+
+/// How many evaluated snapshots the simulation thread may run ahead of the
+/// evaluation pool before backpressure pauses it. Small on purpose: each
+/// snapshot holds every node's full parameter vector.
+const PIPELINE_DEPTH: usize = 2;
+
+/// SplitMix64 finalizer: a cheap, well-mixed u64 → u64 hash.
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The evaluation RNG for one node of one evaluated round: an `StdRng`
+/// seeded from a SplitMix64 chain over `(seed, round, node)`. Independent of
+/// evaluation order and thread count — the determinism contract documented
+/// in the module docs hinges on this derivation.
+fn node_eval_rng(seed: u64, round: usize, node: usize) -> StdRng {
+    let h = splitmix64(splitmix64(splitmix64(seed) ^ round as u64) ^ node as u64);
+    StdRng::seed_from_u64(h)
+}
 
 /// A mean ± population-standard-deviation pair aggregated over nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -113,7 +159,9 @@ impl ExperimentResult {
     /// returned by [`run_experiment`]).
     #[must_use]
     pub fn final_round(&self) -> &RoundEval {
-        self.rounds.last().expect("experiments evaluate at least one round")
+        self.rounds
+            .last()
+            .expect("experiments evaluate at least one round")
     }
 
     /// Renders the per-round evaluations as an aligned plain-text table.
@@ -134,7 +182,14 @@ impl ExperimentResult {
             })
             .collect();
         glmia_metrics::render_table(
-            &["round", "test acc", "train acc", "MIA vuln", "MIA AUC", "gen error"],
+            &[
+                "round",
+                "test acc",
+                "train acc",
+                "MIA vuln",
+                "MIA AUC",
+                "gen error",
+            ],
             &rows,
         )
     }
@@ -149,6 +204,12 @@ impl ExperimentResult {
 /// measure global-test accuracy, local train accuracy, MPE-attack
 /// accuracy/AUC against the node's member/non-member pools, and
 /// generalization error.
+///
+/// With [`Parallelism`](crate::Parallelism) above 1 the simulation runs on
+/// its own thread, streaming due snapshots over a bounded channel to a
+/// scoped evaluation pool, so attack replay never stalls the protocol
+/// simulation; the result is bit-identical to the serial path (see the
+/// module docs for the determinism contract).
 ///
 /// # Errors
 ///
@@ -177,30 +238,72 @@ pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentResult, Cor
     )?;
 
     let evaluator = MiaEvaluator::new(config.attack());
-    let mut eval_rng = StdRng::seed_from_u64(config.seed().wrapping_add(1));
+    let threads = config.parallelism().threads();
+    let seed = config.seed();
+    let surface = config.attack_surface();
+    let eval_every = config.eval_every();
+    let total_rounds = config.rounds();
+    let due = move |round: usize| round.is_multiple_of(eval_every) || round == total_rounds;
+
     let mut rounds = Vec::new();
     let mut eval_error: Option<CoreError> = None;
-    let total_rounds = config.rounds();
-    sim.run_with(|snapshot: &RoundSnapshot| {
-        if eval_error.is_some() {
-            return;
-        }
-        let due = snapshot.round.is_multiple_of(config.eval_every()) || snapshot.round == total_rounds;
-        if !due {
-            return;
-        }
-        match evaluate_round(
-            snapshot,
-            config.attack_surface(),
-            &model_spec,
-            &federation,
-            &evaluator,
-            &mut eval_rng,
-        ) {
-            Ok(eval) => rounds.push(eval),
-            Err(e) => eval_error = Some(e),
-        }
-    });
+    if threads <= 1 {
+        // Legacy serial path: evaluate inline, no threads spawned.
+        sim.run_with(|snapshot| {
+            if eval_error.is_some() || !due(snapshot.round) {
+                return;
+            }
+            match evaluate_round(
+                &snapshot,
+                surface,
+                &model_spec,
+                &federation,
+                &evaluator,
+                seed,
+                1,
+            ) {
+                Ok(eval) => rounds.push(eval),
+                Err(e) => eval_error = Some(e),
+            }
+        });
+    } else {
+        // Pipelined path: the simulation thread streams due snapshots over
+        // a bounded channel while this thread replays the attack on them
+        // with a node-parallel pool. The channel preserves round order, so
+        // `rounds` is assembled exactly as the serial path would.
+        let (tx, rx) = mpsc::sync_channel::<RoundSnapshot>(PIPELINE_DEPTH);
+        std::thread::scope(|scope| {
+            let sim = &mut sim;
+            scope.spawn(move || {
+                sim.run_with(|snapshot| {
+                    if due(snapshot.round) {
+                        // The receiver only hangs up if the scope is
+                        // unwinding; finish the simulation regardless.
+                        let _ = tx.send(snapshot);
+                    }
+                });
+            });
+            for snapshot in &rx {
+                if eval_error.is_some() {
+                    // Keep draining so the simulation thread never blocks
+                    // on a full channel; the first error is what we report.
+                    continue;
+                }
+                match evaluate_round(
+                    &snapshot,
+                    surface,
+                    &model_spec,
+                    &federation,
+                    &evaluator,
+                    seed,
+                    threads,
+                ) {
+                    Ok(eval) => rounds.push(eval),
+                    Err(e) => eval_error = Some(e),
+                }
+            }
+        });
+    }
     if let Some(e) = eval_error {
         return Err(e);
     }
@@ -212,37 +315,106 @@ pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentResult, Cor
     })
 }
 
-/// Evaluates one snapshot: per-node utility, leakage and generalization.
+/// One node's slice of a round evaluation.
+struct NodeEval {
+    test_acc: f64,
+    train_acc: f64,
+    vuln: f64,
+    auc: f64,
+    gen: f64,
+}
+
+/// Reconstructs and attacks one node's observed model, using the node's
+/// order-independent derived RNG.
+fn evaluate_node(
+    flat: &[f32],
+    node: usize,
+    round: usize,
+    seed: u64,
+    model_spec: &glmia_nn::MlpSpec,
+    federation: &Federation,
+    evaluator: &MiaEvaluator,
+) -> Result<NodeEval, CoreError> {
+    let model = Mlp::from_flat(model_spec, flat)?;
+    let data = federation.node(node);
+    let mut rng = node_eval_rng(seed, round, node);
+    let mia = evaluator.evaluate(&model, &data.train, &data.test, &mut rng)?;
+    Ok(NodeEval {
+        test_acc: accuracy(&model, federation.global_test()),
+        train_acc: accuracy(&model, &data.train),
+        vuln: mia.attack_accuracy,
+        auc: mia.auc,
+        gen: generalization_error(&model, data),
+    })
+}
+
+/// Evaluates one snapshot: per-node utility, leakage and generalization,
+/// fanned out over at most `threads` scoped workers (serial when 1).
 fn evaluate_round(
     snapshot: &RoundSnapshot,
     surface: AttackSurface,
     model_spec: &glmia_nn::MlpSpec,
     federation: &Federation,
     evaluator: &MiaEvaluator,
-    rng: &mut StdRng,
+    seed: u64,
+    threads: usize,
 ) -> Result<RoundEval, CoreError> {
-    let observed = match surface {
+    let observed: &[Vec<f32>] = match surface {
         AttackSurface::NodeModel => &snapshot.models,
         AttackSurface::SharedModel => &snapshot.shared_models,
     };
     let n = observed.len();
+    let round = snapshot.round;
+    let evals: Vec<Result<NodeEval, CoreError>> = if threads <= 1 || n < 2 {
+        observed
+            .iter()
+            .enumerate()
+            .map(|(i, flat)| evaluate_node(flat, i, round, seed, model_spec, federation, evaluator))
+            .collect()
+    } else {
+        // Index-addressed slots + contiguous chunks give each worker a
+        // disjoint &mut region; node order is preserved by construction.
+        let mut slots: Vec<Option<Result<NodeEval, CoreError>>> = (0..n).map(|_| None).collect();
+        let chunk_len = n.div_ceil(threads.min(n));
+        std::thread::scope(|scope| {
+            for (w, out) in slots.chunks_mut(chunk_len).enumerate() {
+                let start = w * chunk_len;
+                scope.spawn(move || {
+                    for (offset, slot) in out.iter_mut().enumerate() {
+                        let i = start + offset;
+                        *slot = Some(evaluate_node(
+                            &observed[i],
+                            i,
+                            round,
+                            seed,
+                            model_spec,
+                            federation,
+                            evaluator,
+                        ));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every node slot is filled by exactly one worker"))
+            .collect()
+    };
     let mut test_acc = Vec::with_capacity(n);
     let mut train_acc = Vec::with_capacity(n);
     let mut vuln = Vec::with_capacity(n);
     let mut auc = Vec::with_capacity(n);
     let mut gen = Vec::with_capacity(n);
-    for (i, flat) in observed.iter().enumerate() {
-        let model = Mlp::from_flat(model_spec, flat)?;
-        let node = federation.node(i);
-        test_acc.push(accuracy(&model, federation.global_test()));
-        train_acc.push(accuracy(&model, &node.train));
-        gen.push(generalization_error(&model, node));
-        let mia = evaluator.evaluate(&model, &node.train, &node.test, rng)?;
-        vuln.push(mia.attack_accuracy);
-        auc.push(mia.auc);
+    for eval in evals {
+        let eval = eval?;
+        test_acc.push(eval.test_acc);
+        train_acc.push(eval.train_acc);
+        vuln.push(eval.vuln);
+        auc.push(eval.auc);
+        gen.push(eval.gen);
     }
     Ok(RoundEval {
-        round: snapshot.round,
+        round,
         test_accuracy: Stat::of(&test_acc),
         train_accuracy: Stat::of(&train_acc),
         mia_vulnerability: Stat::of(&vuln),
@@ -334,10 +506,8 @@ mod tests {
         use glmia_gossip::Defense;
         let noisy = quick(10).with_defense(Defense::GaussianNoise { std: 0.5 });
         let on_node = run_experiment(&noisy.clone()).unwrap();
-        let on_share = run_experiment(
-            &noisy.with_attack_surface(AttackSurface::SharedModel),
-        )
-        .unwrap();
+        let on_share =
+            run_experiment(&noisy.with_attack_surface(AttackSurface::SharedModel)).unwrap();
         // Same simulation, different observed surface → different evals.
         assert_eq!(on_node.messages_sent, on_share.messages_sent);
         assert_ne!(on_node.rounds, on_share.rounds);
@@ -348,10 +518,8 @@ mod tests {
         // With no defense the shared copy is just a (possibly stale) model;
         // both surfaces must produce valid rounds.
         use crate::AttackSurface;
-        let result = run_experiment(
-            &quick(11).with_attack_surface(AttackSurface::SharedModel),
-        )
-        .unwrap();
+        let result =
+            run_experiment(&quick(11).with_attack_surface(AttackSurface::SharedModel)).unwrap();
         assert!(!result.rounds.is_empty());
         assert!(result
             .rounds

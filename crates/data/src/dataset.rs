@@ -35,7 +35,11 @@ impl Dataset {
     ///
     /// Returns [`DataError`] if `labels.len() != features.rows()`, any label
     /// is `>= num_classes`, or `num_classes < 2`.
-    pub fn new(features: Matrix, labels: Vec<usize>, num_classes: usize) -> Result<Self, DataError> {
+    pub fn new(
+        features: Matrix,
+        labels: Vec<usize>,
+        num_classes: usize,
+    ) -> Result<Self, DataError> {
         if num_classes < 2 {
             return Err(DataError::new("num_classes must be at least 2"));
         }

@@ -152,8 +152,7 @@ mod tests {
 
     #[test]
     fn iid_nodes_get_exact_sizes() {
-        let fed =
-            Federation::build(&small_spec(), 6, 20, 10, Partition::Iid, &mut rng(1)).unwrap();
+        let fed = Federation::build(&small_spec(), 6, 20, 10, Partition::Iid, &mut rng(1)).unwrap();
         for node in fed.nodes() {
             assert_eq!(node.train.len(), 20);
             assert_eq!(node.test.len(), 10);
@@ -184,9 +183,8 @@ mod tests {
     fn dirichlet_skews_train_but_not_test() {
         // §3.6: heterogeneity applies to training sets only; local test
         // splits stay IID.
-        let skew = |d: &crate::Dataset| {
-            *d.class_counts().iter().max().unwrap() as f64 / d.len() as f64
-        };
+        let skew =
+            |d: &crate::Dataset| *d.class_counts().iter().max().unwrap() as f64 / d.len() as f64;
         let fed = Federation::build(
             &small_spec(),
             6,
@@ -207,8 +205,7 @@ mod tests {
 
     #[test]
     fn global_test_is_clamped() {
-        let fed =
-            Federation::build(&small_spec(), 3, 10, 5, Partition::Iid, &mut rng(3)).unwrap();
+        let fed = Federation::build(&small_spec(), 3, 10, 5, Partition::Iid, &mut rng(3)).unwrap();
         assert_eq!(fed.global_test().len(), 100);
     }
 
@@ -223,8 +220,7 @@ mod tests {
     fn presets_build() {
         for preset in DataPreset::ALL {
             let spec = preset.spec().with_num_classes(5).with_input_dim(12);
-            let fed =
-                Federation::build(&spec, 4, 15, 8, Partition::Iid, &mut rng(9)).unwrap();
+            let fed = Federation::build(&spec, 4, 15, 8, Partition::Iid, &mut rng(9)).unwrap();
             assert_eq!(fed.len(), 4);
             assert!(!fed.is_empty());
         }

@@ -166,19 +166,12 @@ pub fn partition_dirichlet<R: Rng + ?Sized>(
     }
 
     repair_min_shard_size(&mut assignments, 2, rng);
-    Ok(assignments
-        .iter()
-        .map(|idx| dataset.select(idx))
-        .collect())
+    Ok(assignments.iter().map(|idx| dataset.select(idx)).collect())
 }
 
 /// Moves samples from the largest shards until every shard has at least
 /// `min` samples.
-fn repair_min_shard_size<R: Rng + ?Sized>(
-    assignments: &mut [Vec<usize>],
-    min: usize,
-    rng: &mut R,
-) {
+fn repair_min_shard_size<R: Rng + ?Sized>(assignments: &mut [Vec<usize>], min: usize, rng: &mut R) {
     loop {
         let Some(smallest) = (0..assignments.len()).min_by_key(|&i| assignments[i].len()) else {
             return;
@@ -341,7 +334,10 @@ mod tests {
             "quantity-skew(β=0.5)"
         );
         assert_eq!(
-            Partition::Pathological { classes_per_node: 2 }.to_string(),
+            Partition::Pathological {
+                classes_per_node: 2
+            }
+            .to_string(),
             "pathological(c=2)"
         );
     }
@@ -353,9 +349,11 @@ mod tests {
             .apply(&d, 4, &mut rng(1))
             .unwrap();
         assert_eq!(q.iter().map(Dataset::len).sum::<usize>(), 120);
-        let p = Partition::Pathological { classes_per_node: 2 }
-            .apply(&d, 4, &mut rng(2))
-            .unwrap();
+        let p = Partition::Pathological {
+            classes_per_node: 2,
+        }
+        .apply(&d, 4, &mut rng(2))
+        .unwrap();
         assert_eq!(p.iter().map(Dataset::len).sum::<usize>(), 120);
     }
 }

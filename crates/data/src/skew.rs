@@ -155,8 +155,8 @@ pub fn partition_pathological<R: Rng + ?Sized>(
     }
     for (rank, &c) in nonempty.iter().enumerate() {
         // Spread shard counts as evenly as possible across classes.
-        let quota = total_shards / nonempty.len()
-            + usize::from(rank < total_shards % nonempty.len());
+        let quota =
+            total_shards / nonempty.len() + usize::from(rank < total_shards % nonempty.len());
         let class = &mut by_class[c];
         for i in (1..class.len()).rev() {
             let j = rng.gen_range(0..=i);
@@ -188,9 +188,7 @@ pub fn partition_pathological<R: Rng + ?Sized>(
             .max_by_key(|&i| assignments[i].len())
             .expect("nodes > 0");
         if assignments[largest].len() < 2 {
-            return Err(DataError::new(
-                "not enough samples to give every node data",
-            ));
+            return Err(DataError::new("not enough samples to give every node data"));
         }
         let half = assignments[largest].len() / 2;
         let moved = assignments[largest].split_off(half);
@@ -229,9 +227,8 @@ mod tests {
     #[test]
     fn quantity_skew_low_beta_is_more_imbalanced() {
         let d = sample_dataset(1000, 5, 2);
-        let max_share = |shards: &[Dataset]| {
-            shards.iter().map(Dataset::len).max().unwrap() as f64 / 1000.0
-        };
+        let max_share =
+            |shards: &[Dataset]| shards.iter().map(Dataset::len).max().unwrap() as f64 / 1000.0;
         let sharp = partition_quantity_skew(&d, 10, 0.1, &mut rng(3)).unwrap();
         let flat = partition_quantity_skew(&d, 10, 100.0, &mut rng(3)).unwrap();
         assert!(max_share(&sharp) > max_share(&flat));
@@ -275,9 +272,7 @@ mod tests {
         let skew = |shards: &[Dataset]| -> f64 {
             let per: Vec<f64> = shards
                 .iter()
-                .map(|s| {
-                    *s.class_counts().iter().max().unwrap() as f64 / s.len() as f64
-                })
+                .map(|s| *s.class_counts().iter().max().unwrap() as f64 / s.len() as f64)
                 .collect();
             per.iter().sum::<f64>() / per.len() as f64
         };

@@ -132,7 +132,10 @@ impl SyntheticSpec {
     /// Panics if negative or not finite.
     #[must_use]
     pub fn with_class_separation(mut self, sep: f64) -> Self {
-        assert!(sep.is_finite() && sep >= 0.0, "separation must be non-negative");
+        assert!(
+            sep.is_finite() && sep >= 0.0,
+            "separation must be non-negative"
+        );
         self.class_separation = sep;
         self
     }
@@ -205,10 +208,7 @@ impl SyntheticSpec {
     /// Panics if outside `(0, 1)`.
     #[must_use]
     pub fn with_density(mut self, density: f64) -> Self {
-        assert!(
-            density > 0.0 && density < 1.0,
-            "density must be in (0, 1)"
-        );
+        assert!(density > 0.0 && density < 1.0, "density must be in (0, 1)");
         self.density = density;
         self
     }
@@ -253,9 +253,7 @@ impl SyntheticSpec {
                         .map(|_| {
                             class_mean
                                 .iter()
-                                .map(|&m| {
-                                    (m + normal.sample(rng) * self.subcluster_spread) as f32
-                                })
+                                .map(|&m| (m + normal.sample(rng) * self.subcluster_spread) as f32)
                                 .collect()
                         })
                         .collect()
@@ -503,10 +501,7 @@ mod tests {
         let d = world.sample_with_labels(&requested, &mut rng(10));
         let flipped = d.labels().iter().filter(|&&y| y != 0).count();
         // Half are resampled uniformly over 10 classes: ~45% end up ≠ 0.
-        assert!(
-            (300..600).contains(&flipped),
-            "flipped {flipped} of 1000"
-        );
+        assert!((300..600).contains(&flipped), "flipped {flipped} of 1000");
     }
 
     #[test]

@@ -178,7 +178,10 @@ impl SimConfig {
     #[must_use]
     pub fn with_wake_distribution(mut self, mean: f64, std: f64) -> Self {
         assert!(mean > 0.0 && mean.is_finite(), "wake mean must be positive");
-        assert!(std >= 0.0 && std.is_finite(), "wake std must be non-negative");
+        assert!(
+            std >= 0.0 && std.is_finite(),
+            "wake std must be non-negative"
+        );
         self.wake_mean = mean;
         self.wake_std = std;
         self
@@ -199,7 +202,10 @@ impl SimConfig {
     /// Panics if outside `[0, 1)`.
     #[must_use]
     pub fn with_drop_probability(mut self, p: f64) -> Self {
-        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
         self.drop_probability = p;
         self
     }
@@ -259,7 +265,10 @@ impl SimConfig {
     /// Panics if negative or not finite.
     #[must_use]
     pub fn with_weight_decay(mut self, wd: f32) -> Self {
-        assert!(wd.is_finite() && wd >= 0.0, "weight decay must be non-negative");
+        assert!(
+            wd.is_finite() && wd >= 0.0,
+            "weight decay must be non-negative"
+        );
         self.weight_decay = wd;
         self
     }

@@ -37,7 +37,10 @@ impl Defense {
     pub fn apply<R: Rng + ?Sized>(&self, params: &mut [f32], rng: &mut R) {
         match *self {
             Defense::GaussianNoise { std } => {
-                assert!(std >= 0.0 && std.is_finite(), "noise std must be non-negative");
+                assert!(
+                    std >= 0.0 && std.is_finite(),
+                    "noise std must be non-negative"
+                );
                 if std == 0.0 {
                     return;
                 }

@@ -18,7 +18,7 @@ use crate::{
 /// A scheduled event, ordered by `(tick, seq)` so simultaneous events
 /// process in deterministic insertion order. `seq` is unique per event, so
 /// comparing only `(tick, seq)` is a total order consistent with equality.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct Event {
     tick: u64,
     seq: u64,
@@ -33,7 +33,7 @@ impl PartialEq for Event {
 
 impl Eq for Event {}
 
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 enum EventKind {
     /// Node wakes up (Algorithm 1/2 wake branch).
     Wake { node: usize },
@@ -216,7 +216,7 @@ impl Simulation {
     /// [`RoundSnapshot`] per round.
     pub fn run(&mut self) -> SimResult {
         let mut snapshots = Vec::with_capacity(self.config.rounds());
-        self.run_with(|snap| snapshots.push(snap.clone()));
+        self.run_with(|snap| snapshots.push(snap));
         SimResult {
             snapshots,
             messages_sent: self.messages_sent,
@@ -229,7 +229,11 @@ impl Simulation {
     /// Runs the configured number of rounds, invoking `observer` with each
     /// round's snapshot instead of accumulating them (constant-memory
     /// variant for long runs).
-    pub fn run_with(&mut self, mut observer: impl FnMut(&RoundSnapshot)) {
+    ///
+    /// Snapshots are handed over *by value*: the observer owns each one, so
+    /// accumulating ([`Simulation::run`]) or shipping them to another thread
+    /// costs no extra copy.
+    pub fn run_with(&mut self, mut observer: impl FnMut(RoundSnapshot)) {
         for round in 1..=self.config.rounds() {
             let horizon = round as u64 * self.config.ticks_per_round();
             self.process_until(horizon);
@@ -247,20 +251,23 @@ impl Simulation {
                     })
                     .collect(),
             };
-            observer(&snapshot);
+            observer(snapshot);
         }
     }
 
     /// Processes every event with `tick <= horizon`.
     fn process_until(&mut self, horizon: u64) {
-        while let Some(Reverse(event)) = self.queue.peek().cloned() {
-            if event.tick > horizon {
-                break;
-            }
-            self.queue.pop();
+        // Peek the tick by reference: cloning the whole event would deep-copy
+        // every `Deliver` payload (a full parameter vector) once per event.
+        while self
+            .queue
+            .peek()
+            .is_some_and(|Reverse(event)| event.tick <= horizon)
+        {
+            let Reverse(event) = self.queue.pop().expect("peek returned an event");
             match event.kind {
                 EventKind::Wake { node } => self.on_wake(node, event.tick),
-                EventKind::Deliver { to, model } => self.on_deliver(to, &model, event.tick),
+                EventKind::Deliver { to, model } => self.on_deliver(to, model, event.tick),
             }
         }
     }
@@ -290,8 +297,10 @@ impl Simulation {
         // Dissemination: all neighbors (send-all) or one uniformly random
         // neighbor (Base Gossip line 3).
         if protocol.sends_all() {
-            let neighbors: Vec<usize> = self.topology.view(i).to_vec();
-            for j in neighbors {
+            // Re-fetch the view each iteration instead of cloning it; the
+            // topology is only mutated at wake-up, never inside send_model.
+            for idx in 0..self.topology.view(i).len() {
+                let j = self.topology.view(i)[idx];
                 self.send_model(i, j, tick);
             }
         } else {
@@ -306,36 +315,37 @@ impl Simulation {
         self.schedule(next, EventKind::Wake { node: i });
     }
 
-    /// Receive branch of Algorithms 1 and 2.
-    fn on_deliver(&mut self, i: usize, model: &[f32], tick: u64) {
+    /// Receive branch of Algorithms 1 and 2. Takes the delivered parameter
+    /// vector by value: SAMO buffers it without another copy.
+    fn on_deliver(&mut self, i: usize, model: Vec<f32>, tick: u64) {
         self.node_stats[i].received += 1;
         if self.config.protocol().merges_once() {
             // Store for the next wake-up merge (SAMO line 11).
-            self.nodes[i].buffer.push(model.to_vec());
+            self.nodes[i].buffer.push(model);
         } else {
             // Pairwise aggregate + immediate local update (Base GL lines
             // 7–8).
-            self.nodes[i].merge_pairwise(model);
+            self.nodes[i].merge_pairwise(&model);
             self.node_stats[i].merges += 1;
             self.run_local_update(i, tick);
         }
     }
 
     /// Runs node `i`'s local update at `tick`, applying the learning-rate
-    /// schedule for the current round.
+    /// schedule for the current round. Only the scalar hyperparameters are
+    /// read out of the config, keeping this hot path allocation-free.
     fn run_local_update(&mut self, i: usize, tick: u64) {
         let round = (tick / self.config.ticks_per_round()) as usize;
         let factor = self
             .config
             .lr_schedule()
             .factor_at(round, self.config.rounds());
-        self.nodes[i]
-            .opt
-            .set_learning_rate(self.config.learning_rate() * factor);
-        let epochs = {
-            let config = self.config.clone();
-            self.nodes[i].local_update(&config)
-        };
+        let lr = self.config.learning_rate() * factor;
+        let local_epochs = self.config.local_epochs();
+        let batch_size = self.config.batch_size();
+        let node = &mut self.nodes[i];
+        node.opt.set_learning_rate(lr);
+        let epochs = node.local_update(local_epochs, batch_size);
         self.local_updates += epochs;
         self.node_stats[i].update_epochs += epochs;
     }
@@ -358,7 +368,10 @@ impl Simulation {
         self.nodes[i].last_shared = Some(params.clone());
         self.schedule(
             tick + self.config.message_latency(),
-            EventKind::Deliver { to: j, model: params },
+            EventKind::Deliver {
+                to: j,
+                model: params,
+            },
         );
     }
 }
@@ -373,11 +386,7 @@ mod tests {
         StdRng::seed_from_u64(seed)
     }
 
-    fn small_setup(
-        n: usize,
-        k: usize,
-        seed: u64,
-    ) -> (MlpSpec, Federation, Topology) {
+    fn small_setup(n: usize, k: usize, seed: u64) -> (MlpSpec, Federation, Topology) {
         let spec = SyntheticSpec::new(3, 6, FeatureKind::Gaussian)
             .unwrap()
             .with_class_separation(1.5);
@@ -777,12 +786,10 @@ mod tests {
         .unwrap()
         .run();
         let warmup = Simulation::new(
-            config(ProtocolKind::Samo, TopologyMode::Static).with_lr_schedule(
-                LrSchedule::Warmup {
-                    rounds: 3,
-                    start_factor: 0.1,
-                },
-            ),
+            config(ProtocolKind::Samo, TopologyMode::Static).with_lr_schedule(LrSchedule::Warmup {
+                rounds: 3,
+                start_factor: 0.1,
+            }),
             &spec,
             &fed,
             topo,

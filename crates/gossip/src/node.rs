@@ -4,8 +4,6 @@ use glmia_data::Dataset;
 use glmia_nn::{Mlp, Sgd};
 use rand::rngs::StdRng;
 
-use crate::SimConfig;
-
 /// One gossip participant: its current model, optimizer state, SAMO buffer
 /// and private randomness.
 #[derive(Debug, Clone)]
@@ -29,22 +27,26 @@ pub(crate) struct Node {
 }
 
 impl Node {
-    /// Runs the configured number of local epochs on the node's shard.
+    /// Runs `local_epochs` epochs of mini-batch SGD on the node's shard.
     /// Returns how many epochs ran (0 when the shard is empty).
-    pub fn local_update(&mut self, config: &SimConfig) -> u64 {
+    ///
+    /// Takes the two scalar hyperparameters instead of a full
+    /// [`SimConfig`](crate::SimConfig) so the caller's hot loop needs no
+    /// config clone.
+    pub fn local_update(&mut self, local_epochs: usize, batch_size: usize) -> u64 {
         if self.train.is_empty() {
             return 0;
         }
-        for _ in 0..config.local_epochs() {
+        for _ in 0..local_epochs {
             self.model.train_epoch(
                 self.train.features(),
                 self.train.labels(),
-                config.batch_size(),
+                batch_size,
                 &mut self.opt,
                 &mut self.rng,
             );
         }
-        config.local_epochs() as u64
+        local_epochs as u64
     }
 
     /// Replaces the node's model parameters with the average of its buffer
@@ -90,8 +92,6 @@ impl Node {
         for (a, r) in acc.iter_mut().zip(received) {
             *a = (*a + r) / 2.0;
         }
-        self.model
-            .load_flat(&acc)
-            .expect("length checked above");
+        self.model.load_flat(&acc).expect("length checked above");
     }
 }

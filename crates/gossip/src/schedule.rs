@@ -21,8 +21,7 @@ use serde::{Deserialize, Serialize};
 /// let decay = LrSchedule::StepDecay { every_rounds: 50, factor: 0.5 };
 /// assert_eq!(decay.factor_at(100, 250), 0.25);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum LrSchedule {
     /// The base learning rate throughout (the paper's setup).
     #[default]
@@ -50,7 +49,6 @@ pub enum LrSchedule {
         min_factor: f32,
     },
 }
-
 
 impl LrSchedule {
     /// The learning-rate multiplier at `round` (0-based) of a

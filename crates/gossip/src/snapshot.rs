@@ -63,7 +63,9 @@ impl SimResult {
     /// successfully constructed simulation, which validates `rounds > 0`).
     #[must_use]
     pub fn final_snapshot(&self) -> &RoundSnapshot {
-        self.snapshots.last().expect("simulations run at least one round")
+        self.snapshots
+            .last()
+            .expect("simulations run at least one round")
     }
 }
 

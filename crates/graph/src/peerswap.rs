@@ -144,13 +144,8 @@ mod tests {
     fn swap_with_common_neighbors_keeps_them_intact() {
         // Triangle plus a pendant structure: 0-1, 1-2, 0-2, 2-3, 3-0 forms
         // a graph where 0 and 1 share neighbor 2.
-        let g = Topology::from_views(vec![
-            vec![1, 2, 3],
-            vec![0, 2],
-            vec![0, 1, 3],
-            vec![0, 2],
-        ])
-        .unwrap();
+        let g = Topology::from_views(vec![vec![1, 2, 3], vec![0, 2], vec![0, 1, 3], vec![0, 2]])
+            .unwrap();
         let mut h = g.clone();
         h.peer_swap(0, 1).unwrap();
         // Node 2 was a common neighbor: still adjacent to both 0 and 1.
@@ -171,13 +166,9 @@ mod tests {
 
     #[test]
     fn degree_multiset_is_invariant() {
-        let mut g = Topology::from_views(vec![
-            vec![1, 2, 3],
-            vec![0, 2],
-            vec![0, 1, 3],
-            vec![0, 2],
-        ])
-        .unwrap();
+        let mut g =
+            Topology::from_views(vec![vec![1, 2, 3], vec![0, 2], vec![0, 1, 3], vec![0, 2]])
+                .unwrap();
         let mut degrees_before: Vec<usize> = (0..g.len()).map(|i| g.degree(i)).collect();
         degrees_before.sort_unstable();
         let mut r = rng(4);

@@ -39,7 +39,9 @@ impl Topology {
         for (i, view) in sorted.iter_mut().enumerate() {
             view.sort_unstable();
             if view.windows(2).any(|w| w[0] == w[1]) {
-                return Err(GraphError::new(format!("duplicate neighbor in view of {i}")));
+                return Err(GraphError::new(format!(
+                    "duplicate neighbor in view of {i}"
+                )));
             }
             if view.iter().any(|&j| j >= n) {
                 return Err(GraphError::new(format!(
@@ -184,7 +186,10 @@ impl Topology {
             if view.contains(&i) {
                 return false;
             }
-            if view.iter().any(|&j| j >= self.len() || !self.contains_edge(j, i)) {
+            if view
+                .iter()
+                .any(|&j| j >= self.len() || !self.contains_edge(j, i))
+            {
                 return false;
             }
         }

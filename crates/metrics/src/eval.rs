@@ -33,8 +33,8 @@ pub fn generalization_error(model: &Mlp, node: &NodeData) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use glmia_data::{FeatureKind, Partition, SyntheticSpec};
     use glmia_data::Federation;
+    use glmia_data::{FeatureKind, Partition, SyntheticSpec};
     use glmia_nn::{Activation, MlpSpec, Sgd};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -81,7 +81,13 @@ mod tests {
         let mut opt = Sgd::new(0.1).with_momentum(0.9);
         let mut r = rng(4);
         for _ in 0..200 {
-            model.train_epoch(node.train.features(), node.train.labels(), 8, &mut opt, &mut r);
+            model.train_epoch(
+                node.train.features(),
+                node.train.labels(),
+                8,
+                &mut opt,
+                &mut r,
+            );
         }
         let ge = generalization_error(&model, node);
         assert!(ge > 0.2, "expected clear overfitting, got {ge}");

@@ -22,7 +22,11 @@ use crate::TradeoffPoint;
 /// assert!(plot.contains("samo"));
 /// ```
 #[must_use]
-pub fn plot_tradeoff(series: &[(String, Vec<TradeoffPoint>)], width: usize, height: usize) -> String {
+pub fn plot_tradeoff(
+    series: &[(String, Vec<TradeoffPoint>)],
+    width: usize,
+    height: usize,
+) -> String {
     const GLYPHS: [char; 6] = ['o', 'x', '+', '*', '#', '@'];
     let width = width.max(10);
     let height = height.max(5);
@@ -50,8 +54,8 @@ pub fn plot_tradeoff(series: &[(String, Vec<TradeoffPoint>)], width: usize, heig
         let glyph = GLYPHS[s % GLYPHS.len()];
         for p in pts {
             let gx = ((p.utility - x_lo) / (x_hi - x_lo) * (width - 1) as f64).round() as usize;
-            let gy = ((p.vulnerability - y_lo) / (y_hi - y_lo) * (height - 1) as f64).round()
-                as usize;
+            let gy =
+                ((p.vulnerability - y_lo) / (y_hi - y_lo) * (height - 1) as f64).round() as usize;
             // y axis points up: row 0 is the top (max vulnerability).
             grid[height - 1 - gy][gx.min(width - 1)] = glyph;
         }
@@ -97,10 +101,7 @@ mod tests {
 
     #[test]
     fn plot_has_expected_dimensions() {
-        let series = vec![(
-            "curve".to_string(),
-            vec![p(1, 0.1, 0.5), p(2, 0.9, 0.9)],
-        )];
+        let series = vec![("curve".to_string(), vec![p(1, 0.1, 0.5), p(2, 0.9, 0.9)])];
         let plot = plot_tradeoff(&series, 30, 8);
         // 8 grid rows + header + axis + footer + 1 legend line.
         assert_eq!(plot.lines().count(), 8 + 4);
@@ -110,10 +111,7 @@ mod tests {
 
     #[test]
     fn extreme_points_land_in_corners() {
-        let series = vec![(
-            "c".to_string(),
-            vec![p(1, 0.0, 0.0), p(2, 1.0, 1.0)],
-        )];
+        let series = vec![("c".to_string(), vec![p(1, 0.0, 0.0), p(2, 1.0, 1.0)])];
         let plot = plot_tradeoff(&series, 20, 6);
         let lines: Vec<&str> = plot.lines().collect();
         // Max vulnerability + max utility → top row, last column.

@@ -99,12 +99,7 @@ pub fn render_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
     );
     out.push('\n');
     for row in rows {
-        out.push_str(
-            &row.iter()
-                .map(|c| escape(c))
-                .collect::<Vec<_>>()
-                .join(","),
-        );
+        out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
         out.push('\n');
     }
     out

@@ -391,10 +391,7 @@ mod tests {
         let total_members: usize = breakdown.iter().map(|c| c.n_members).sum();
         assert_eq!(total_members, train.len());
         // At least one class shows real leakage on an overfit model.
-        assert!(breakdown
-            .iter()
-            .filter_map(|c| c.auc)
-            .any(|a| a > 0.6));
+        assert!(breakdown.iter().filter_map(|c| c.auc).any(|a| a > 0.6));
     }
 
     #[test]

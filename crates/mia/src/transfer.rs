@@ -103,7 +103,10 @@ impl TransferAttack {
     pub fn accuracy(&self, member_scores: &[f64], nonmember_scores: &[f64]) -> f64 {
         let total = member_scores.len() + nonmember_scores.len();
         assert!(total > 0, "attack requires at least one score");
-        let tp = member_scores.iter().filter(|&&s| s <= self.threshold).count();
+        let tp = member_scores
+            .iter()
+            .filter(|&&s| s <= self.threshold)
+            .count();
         let tn = nonmember_scores
             .iter()
             .filter(|&&s| s > self.threshold)

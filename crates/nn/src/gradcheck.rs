@@ -110,11 +110,7 @@ fn analytic_gradients(model: &mut Mlp, x: &Matrix, labels: &[usize]) -> Vec<f32>
     let mut opt = Sgd::new(1.0);
     clone.train_batch(x, labels, &mut opt);
     let after = clone.flat_params();
-    before
-        .iter()
-        .zip(after)
-        .map(|(b, a)| b - a)
-        .collect()
+    before.iter().zip(after).map(|(b, a)| b - a).collect()
 }
 
 #[cfg(test)]

@@ -43,7 +43,10 @@ impl Linear {
     ///
     /// Panics if `in_dim == 0` or `out_dim == 0`.
     pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
-        assert!(in_dim > 0 && out_dim > 0, "layer dimensions must be positive");
+        assert!(
+            in_dim > 0 && out_dim > 0,
+            "layer dimensions must be positive"
+        );
         let mut weight = Matrix::zeros(in_dim, out_dim);
         kaiming_normal(weight.as_mut_slice(), in_dim, rng);
         Self {
@@ -63,7 +66,10 @@ impl Linear {
     /// Panics if `in_dim == 0` or `out_dim == 0`.
     #[must_use]
     pub fn zeros(in_dim: usize, out_dim: usize) -> Self {
-        assert!(in_dim > 0 && out_dim > 0, "layer dimensions must be positive");
+        assert!(
+            in_dim > 0 && out_dim > 0,
+            "layer dimensions must be positive"
+        );
         Self {
             weight: Matrix::zeros(in_dim, out_dim),
             bias: vec![0.0; out_dim],

@@ -55,7 +55,11 @@ pub fn cross_entropy_loss(probs: &Matrix, labels: &[usize]) -> f32 {
     assert_eq!(labels.len(), probs.rows(), "label/batch size mismatch");
     let mut total = 0.0f64;
     for (r, &y) in labels.iter().enumerate() {
-        assert!(y < probs.cols(), "label {y} out of range for {} classes", probs.cols());
+        assert!(
+            y < probs.cols(),
+            "label {y} out of range for {} classes",
+            probs.cols()
+        );
         let p = probs.get(r, y).max(1e-12);
         total -= f64::from(p.ln());
     }

@@ -3,9 +3,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::{
-    softmax_cross_entropy, softmax_rows, Activation, Linear, Matrix, NnError, Sgd,
-};
+use crate::{softmax_cross_entropy, softmax_rows, Activation, Linear, Matrix, NnError, Sgd};
 
 /// The architecture of an [`Mlp`]: input width, hidden widths, class count
 /// and hidden activation.
@@ -131,10 +129,7 @@ impl MlpSpec {
     /// Total number of trainable parameters.
     #[must_use]
     pub fn num_params(&self) -> usize {
-        self.layer_shapes()
-            .iter()
-            .map(|&(i, o)| i * o + o)
-            .sum()
+        self.layer_shapes().iter().map(|&(i, o)| i * o + o).sum()
     }
 }
 
@@ -330,11 +325,7 @@ impl Mlp {
             return 0.0;
         }
         let preds = self.predict(x);
-        let correct = preds
-            .iter()
-            .zip(labels)
-            .filter(|(p, y)| p == y)
-            .count();
+        let correct = preds.iter().zip(labels).filter(|(p, y)| p == y).count();
         correct as f32 / labels.len() as f32
     }
 
@@ -375,7 +366,13 @@ impl Mlp {
             .map(|i| {
                 let width = self.layers[i].out_dim() * x.rows();
                 (0..width)
-                    .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+                    .map(|_| {
+                        if rng.gen::<f32>() < keep {
+                            1.0 / keep
+                        } else {
+                            0.0
+                        }
+                    })
                     .collect()
             })
             .collect();
@@ -417,8 +414,12 @@ impl Mlp {
                     *g *= m;
                 }
             }
-            self.spec.activation.backward_in_place(&mut grad, &preacts[i]);
-            grad = self.layers[i].backward(&grad).expect("forward was just run");
+            self.spec
+                .activation
+                .backward_in_place(&mut grad, &preacts[i]);
+            grad = self.layers[i]
+                .backward(&grad)
+                .expect("forward was just run");
         }
         opt.step(self);
         loss
@@ -512,10 +513,7 @@ mod tests {
         let flat = a.flat_params();
         let b = Mlp::from_flat(&spec, &flat).unwrap();
         let x = Matrix::from_vec(2, 3, vec![0.1, -0.2, 0.3, 1.0, 0.0, -1.0]).unwrap();
-        assert_eq!(
-            a.predict_proba(&x).unwrap(),
-            b.predict_proba(&x).unwrap()
-        );
+        assert_eq!(a.predict_proba(&x).unwrap(), b.predict_proba(&x).unwrap());
     }
 
     #[test]

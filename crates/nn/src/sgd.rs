@@ -60,10 +60,7 @@ impl Sgd {
     /// Panics if `momentum` is outside `[0, 1)`.
     #[must_use]
     pub fn with_momentum(mut self, momentum: f32) -> Self {
-        assert!(
-            (0.0..1.0).contains(&momentum),
-            "momentum must be in [0, 1)"
-        );
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
         self.momentum = momentum;
         self
     }

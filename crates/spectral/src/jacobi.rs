@@ -92,8 +92,8 @@ mod tests {
 
     #[test]
     fn diagonal_matrix_eigenvalues_are_the_diagonal() {
-        let m = MixingMatrix::from_vec(3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0])
-            .unwrap();
+        let m =
+            MixingMatrix::from_vec(3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]).unwrap();
         let eigs = symmetric_eigenvalues(&m);
         assert!((eigs[0] - 3.0).abs() < 1e-12);
         assert!((eigs[1] - 2.0).abs() < 1e-12);

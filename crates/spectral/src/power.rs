@@ -86,7 +86,9 @@ pub fn product_contraction<R: Rng + ?Sized>(
     project_off_ones(&mut v);
     if normalize(&mut v) == 0.0 {
         // Degenerate draw (probability zero, but stay safe).
-        v = (0..n).map(|i| if i == 0 { 1.0 } else { -1.0 / (n as f64 - 1.0) }).collect();
+        v = (0..n)
+            .map(|i| if i == 0 { 1.0 } else { -1.0 / (n as f64 - 1.0) })
+            .collect();
         project_off_ones(&mut v);
         normalize(&mut v);
     }
@@ -174,12 +176,12 @@ mod tests {
         let eigs = crate::symmetric_eigenvalues(&w);
         // Power iteration finds the largest-magnitude eigenvalue on the
         // orthogonal subspace.
-        let expected = eigs[1..]
-            .iter()
-            .map(|e| e.abs())
-            .fold(0.0f64, f64::max);
+        let expected = eigs[1..].iter().map(|e| e.abs()).fold(0.0f64, f64::max);
         let sigma = product_contraction(std::slice::from_ref(&w), opts(), &mut r).unwrap();
-        assert!((sigma - expected).abs() < 1e-6, "sigma {sigma} vs {expected}");
+        assert!(
+            (sigma - expected).abs() < 1e-6,
+            "sigma {sigma} vs {expected}"
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         victim.accuracy(fed.global_test().features(), fed.global_test().labels()),
     );
 
-    println!("{:<12} {:>9} {:>7} {:>11}", "attack", "accuracy", "AUC", "threshold");
+    println!(
+        "{:<12} {:>9} {:>7} {:>11}",
+        "attack", "accuracy", "AUC", "threshold"
+    );
     for kind in AttackKind::ALL {
         let result = MiaEvaluator::new(kind).evaluate(
             &victim,

@@ -12,12 +12,21 @@ use glmia_gossip::Defense;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let defenses: Vec<(&str, Option<Defense>)> = vec![
         ("no defense", None),
-        ("gaussian σ=0.01", Some(Defense::GaussianNoise { std: 0.01 })),
-        ("gaussian σ=0.05", Some(Defense::GaussianNoise { std: 0.05 })),
+        (
+            "gaussian σ=0.01",
+            Some(Defense::GaussianNoise { std: 0.01 }),
+        ),
+        (
+            "gaussian σ=0.05",
+            Some(Defense::GaussianNoise { std: 0.05 }),
+        ),
         ("mask 30%", Some(Defense::RandomMask { fraction: 0.3 })),
     ];
 
-    println!("{:<18} {:>9} {:>9} {:>7}", "defense", "test-acc", "MIA-vuln", "AUC");
+    println!(
+        "{:<18} {:>9} {:>9} {:>7}",
+        "defense", "test-acc", "MIA-vuln", "AUC"
+    );
     for (label, defense) in defenses {
         // Attack the *transmitted* models: perturbing shares can only
         // protect what leaves the node, so that is the surface to measure.

@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &k in &[2usize, 5, 10, 25] {
         let g = Topology::random_regular(150, k, &mut rng)?;
         let w = MixingMatrix::from_regular(&g)?;
-        println!("  k={k:<3} λ₂={:.4}  gap={:.4}", w.lambda2(), w.spectral_gap());
+        println!(
+            "  k={k:<3} λ₂={:.4}  gap={:.4}",
+            w.lambda2(),
+            w.spectral_gap()
+        );
     }
 
     // Product contraction over iterations: static vs dynamic (Figure 8).

@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "pareto front (utility, vulnerability): {:?}",
             front
                 .iter()
-                .map(|p| (format!("{:.3}", p.utility), format!("{:.3}", p.vulnerability)))
+                .map(|p| (
+                    format!("{:.3}", p.utility),
+                    format!("{:.3}", p.vulnerability)
+                ))
                 .collect::<Vec<_>>()
         );
         println!(
@@ -55,6 +58,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nsummary: Base max-acc {:.3} @ vuln {:.3} | SAMO max-acc {:.3} @ vuln {:.3}",
         best_base.utility, best_base.vulnerability, best_samo.utility, best_samo.vulnerability
     );
-    println!("paper's RQ1 expectation: SAMO reaches equal or better accuracy at lower vulnerability.");
+    println!(
+        "paper's RQ1 expectation: SAMO reaches equal or better accuracy at lower vulnerability."
+    );
     Ok(())
 }

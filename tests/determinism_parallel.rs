@@ -1,0 +1,109 @@
+//! The parallel-evaluation determinism contract: `run_experiment` and
+//! `replicate_experiment` produce bit-identical results at every thread
+//! count, because the evaluation RNG is derived per `(seed, round, node)`
+//! and results are reassembled in round/node order (see
+//! `glmia_core::runner` module docs).
+
+use glmia_core::{
+    replicate_experiment, run_experiment, ExperimentConfig, ExperimentResult, Parallelism,
+};
+use glmia_data::DataPreset;
+use glmia_gossip::{ProtocolKind, TopologyMode};
+use proptest::prelude::*;
+
+fn config(seed: u64) -> ExperimentConfig {
+    ExperimentConfig::quick_test(DataPreset::FashionMnistLike)
+        .with_protocol(ProtocolKind::Samo)
+        .with_topology_mode(TopologyMode::Dynamic)
+        .with_seed(seed)
+}
+
+fn run_at(seed: u64, parallelism: Parallelism) -> ExperimentResult {
+    run_experiment(&config(seed).with_parallelism(parallelism)).unwrap()
+}
+
+#[test]
+fn thread_count_is_invisible_to_results() {
+    let serial = run_at(900, Parallelism::Fixed(1));
+    for threads in [2, 3, 8] {
+        let parallel = run_at(900, Parallelism::Fixed(threads));
+        assert_eq!(serial, parallel, "{threads} threads diverged from serial");
+        // Byte-level identity: the serialized forms match exactly.
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap(),
+            "{threads} threads serialized differently"
+        );
+    }
+}
+
+#[test]
+fn auto_parallelism_matches_serial() {
+    let serial = run_at(901, Parallelism::Fixed(1));
+    let auto = run_at(901, Parallelism::Auto);
+    assert_eq!(serial, auto);
+}
+
+#[test]
+fn parallel_runs_are_repeatable() {
+    let a = run_at(902, Parallelism::Fixed(4));
+    let b = run_at(902, Parallelism::Fixed(4));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn replicate_parallel_over_seeds_equals_serial() {
+    let serial =
+        replicate_experiment(&config(903).with_parallelism(Parallelism::Fixed(1)), 4).unwrap();
+    for threads in [2, 4, 8] {
+        let parallel = replicate_experiment(
+            &config(903).with_parallelism(Parallelism::Fixed(threads)),
+            4,
+        )
+        .unwrap();
+        assert_eq!(serial, parallel, "{threads}-thread replication diverged");
+        assert_eq!(parallel.seeds, vec![903, 904, 905, 906]);
+    }
+}
+
+#[test]
+fn eval_schedule_thinning_survives_parallelism() {
+    let thin = |p: Parallelism| {
+        run_experiment(
+            &config(904)
+                .with_rounds(7)
+                .with_eval_every(3)
+                .with_parallelism(p),
+        )
+        .unwrap()
+    };
+    let serial = thin(Parallelism::Fixed(1));
+    let parallel = thin(Parallelism::Fixed(4));
+    let rounds: Vec<usize> = parallel.rounds.iter().map(|r| r.round).collect();
+    assert_eq!(rounds, vec![3, 6, 7]);
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn errors_surface_identically_under_parallelism() {
+    // 8 nodes with view size 9 is infeasible at any thread count.
+    for p in [Parallelism::Fixed(1), Parallelism::Fixed(4)] {
+        assert!(run_experiment(&config(905).with_view_size(9).with_parallelism(p)).is_err());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Property: for arbitrary seeds and thread counts, the parallel
+    /// pipeline is bit-identical to the serial path.
+    #[test]
+    fn any_seed_any_thread_count_matches_serial(
+        seed in 0u64..1_000_000,
+        threads in 2usize..6,
+    ) {
+        let serial = run_at(seed, Parallelism::Fixed(1));
+        let parallel = run_at(seed, Parallelism::Fixed(threads));
+        prop_assert_eq!(serial, parallel);
+    }
+}

@@ -89,10 +89,8 @@ fn rq3_larger_views_do_not_hurt_utility() {
 #[test]
 fn rq4_noniid_increases_vulnerability() {
     let iid = run_experiment(&base_config(4).with_partition(Partition::Iid)).unwrap();
-    let skewed = run_experiment(
-        &base_config(4).with_partition(Partition::Dirichlet { beta: 0.1 }),
-    )
-    .unwrap();
+    let skewed =
+        run_experiment(&base_config(4).with_partition(Partition::Dirichlet { beta: 0.1 })).unwrap();
     assert!(
         mean_vuln(&skewed) > mean_vuln(&iid) - 0.02,
         "non-IID vuln {:.3} should meet or exceed IID {:.3}",

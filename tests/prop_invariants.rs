@@ -11,8 +11,7 @@ use rand::{Rng, SeedableRng};
 
 /// Feasible (n, k) pairs for random regular graphs.
 fn regular_params() -> impl Strategy<Value = (usize, usize)> {
-    (4usize..40, 2usize..6)
-        .prop_filter("k < n and n*k even", |&(n, k)| k < n && (n * k) % 2 == 0)
+    (4usize..40, 2usize..6).prop_filter("k < n and n*k even", |&(n, k)| k < n && (n * k) % 2 == 0)
 }
 
 proptest! {
