@@ -12,8 +12,8 @@
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use glmia_bench::output::emit_json;
-use glmia_core::{run_experiment, ExperimentConfig, Parallelism};
+use glmia_bench::output::{emit_json, emit_trace};
+use glmia_core::{run_experiment, run_experiment_traced, ExperimentConfig, Parallelism};
 use glmia_data::DataPreset;
 
 /// An evaluation-heavy workload: every round is attacked, and the per-node
@@ -77,6 +77,29 @@ fn emit_speedup_record() {
         times.sort_by(f64::total_cmp);
         medians.push(times[1]);
     }
+    // The traced entry point must change neither the numbers nor (by more
+    // than noise) the wall-clock; record its overhead alongside the
+    // speedups and keep one trace as a bench artifact.
+    let all_cores = *settings.last().expect("at least one thread setting");
+    let traced_config = eval_config().with_parallelism(Parallelism::Fixed(all_cores));
+    let mut traced_times = Vec::with_capacity(3);
+    let mut last_trace = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let (result, trace) = run_experiment_traced(&traced_config).expect("bench experiment");
+        traced_times.push(start.elapsed().as_secs_f64());
+        assert_eq!(
+            baseline_result.as_ref(),
+            Some(&result),
+            "tracing changed the experiment result"
+        );
+        last_trace = Some(trace);
+    }
+    traced_times.sort_by(f64::total_cmp);
+    let traced_median = traced_times[1];
+    let untraced_median = *medians.last().expect("medians parallel to settings");
+    emit_trace("BENCH_eval_trace", &last_trace.expect("three traced runs"));
+
     let serial = medians[0];
     let per_thread: Vec<serde_json::Value> = settings
         .iter()
@@ -97,6 +120,11 @@ fn emit_speedup_record() {
             "available_cores": Parallelism::Auto.threads(),
             "results_identical_across_thread_counts": true,
             "measurements": per_thread,
+            "trace": {
+                "threads": all_cores,
+                "median_secs": traced_median,
+                "overhead_vs_untraced": traced_median / untraced_median - 1.0,
+            },
         }),
     );
 }

@@ -51,6 +51,18 @@ pub fn emit_json(name: &str, record: &serde_json::Value) {
     println!("{pretty}\n[saved {}]", path.display());
 }
 
+/// Saves a [`RunTrace`](glmia_trace::RunTrace)'s `events.jsonl` and
+/// `manifest.json` under `target/bench-results/<name>/`.
+///
+/// # Panics
+///
+/// Panics if the trace cannot be written.
+pub fn emit_trace(name: &str, trace: &glmia_trace::RunTrace) {
+    let dir = results_dir().join(name);
+    trace.write_to_dir(&dir).expect("writing bench trace");
+    println!("[saved {}]", dir.display());
+}
+
 /// Formats a float with three decimals.
 #[must_use]
 pub fn f3(x: f64) -> String {

@@ -1,7 +1,112 @@
 //! A small `--key value` argument parser (the workspace's dependency set
-//! deliberately excludes a CLI framework).
+//! deliberately excludes a CLI framework), with typed errors so `main`
+//! can map *usage* mistakes and *value* mistakes to distinct exit codes.
 
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// A command-line error, classified so the binary can exit with the
+/// conventional code for each kind: **usage** errors (a name the CLI does
+/// not know — subcommand, option, malformed `--` syntax) exit with `2`;
+/// **value** errors (a known option given an unparsable value) exit
+/// with `1` like runtime failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A bare `--` with no option name.
+    EmptyOptionName,
+    /// The same `--key` appeared twice.
+    DuplicateOption(String),
+    /// A positional token where only `--key value` pairs are allowed.
+    UnexpectedPositional(String),
+    /// A known option's value failed to parse.
+    InvalidValue {
+        /// The option name (without `--`).
+        key: String,
+        /// The rejected raw value.
+        value: String,
+    },
+    /// Options no subcommand consumes (typos).
+    UnknownOptions(Vec<String>),
+    /// A subcommand the CLI does not know.
+    UnknownSubcommand(String),
+}
+
+impl ArgError {
+    /// `true` for mistakes in the command *shape* (unknown names,
+    /// malformed syntax) — exit code 2; `false` for bad values — exit
+    /// code 1.
+    #[must_use]
+    pub fn is_usage(&self) -> bool {
+        !matches!(self, ArgError::InvalidValue { .. })
+    }
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::EmptyOptionName => f.write_str("empty option name '--'"),
+            ArgError::DuplicateOption(key) => write!(f, "option --{key} given twice"),
+            ArgError::UnexpectedPositional(token) => {
+                write!(f, "unexpected positional argument '{token}'")
+            }
+            ArgError::InvalidValue { key, value } => {
+                write!(f, "invalid value for --{key}: '{value}'")
+            }
+            ArgError::UnknownOptions(keys) => {
+                write!(f, "unknown options: --{}", keys.join(", --"))
+            }
+            ArgError::UnknownSubcommand(name) => write!(f, "unknown subcommand '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Any failure a subcommand can report: a CLI [`ArgError`] or a runtime
+/// failure (experiment error, I/O). [`exit_code`](CliError::exit_code)
+/// maps usage errors to `2` and everything else to `1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// The command line itself was wrong.
+    Arg(ArgError),
+    /// The command ran and failed.
+    Failure(String),
+}
+
+impl CliError {
+    /// The process exit code this error warrants: `2` for usage errors
+    /// (unknown subcommand/option, malformed syntax), `1` otherwise.
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Arg(e) if e.is_usage() => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Arg(e) => e.fmt(f),
+            CliError::Failure(message) => f.write_str(message),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Arg(e)
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::Failure(message)
+    }
+}
 
 /// Parsed command line: a subcommand plus `--key value` options.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -17,27 +122,27 @@ impl Args {
     ///
     /// # Errors
     ///
-    /// Returns a message when a positional token appears after options or a
-    /// key is repeated.
-    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+    /// Returns an [`ArgError`] when a positional token appears after
+    /// options or a key is repeated.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgError> {
         let mut parsed = Args::default();
         let mut iter = args.into_iter().peekable();
         while let Some(token) = iter.next() {
             if let Some(key) = token.strip_prefix("--") {
                 if key.is_empty() {
-                    return Err("empty option name '--'".into());
+                    return Err(ArgError::EmptyOptionName);
                 }
                 let value = match iter.peek() {
                     Some(next) if !next.starts_with("--") => iter.next().unwrap_or_default(),
                     _ => String::new(),
                 };
                 if parsed.options.insert(key.to_string(), value).is_some() {
-                    return Err(format!("option --{key} given twice"));
+                    return Err(ArgError::DuplicateOption(key.to_string()));
                 }
             } else if parsed.subcommand.is_none() && parsed.options.is_empty() {
                 parsed.subcommand = Some(token);
             } else {
-                return Err(format!("unexpected positional argument '{token}'"));
+                return Err(ArgError::UnexpectedPositional(token));
             }
         }
         Ok(parsed)
@@ -65,13 +170,15 @@ impl Args {
     ///
     /// # Errors
     ///
-    /// Returns a message when the value does not parse as `T`.
-    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+    /// Returns [`ArgError::InvalidValue`] when the value does not parse
+    /// as `T`.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
         match self.get(key) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse()
-                .map_err(|_| format!("invalid value for --{key}: '{raw}'")),
+            Some(raw) => raw.parse().map_err(|_| ArgError::InvalidValue {
+                key: key.to_string(),
+                value: raw.to_string(),
+            }),
         }
     }
 
@@ -91,7 +198,7 @@ impl Args {
 mod tests {
     use super::*;
 
-    fn parse(tokens: &[&str]) -> Result<Args, String> {
+    fn parse(tokens: &[&str]) -> Result<Args, ArgError> {
         Args::parse(tokens.iter().map(|s| (*s).to_string()))
     }
 
@@ -113,19 +220,42 @@ mod tests {
     }
 
     #[test]
-    fn rejects_bad_values() {
+    fn rejects_bad_values_as_invalid_value() {
         let a = parse(&["run", "--rounds", "many"]).unwrap();
-        assert!(a.get_or("rounds", 10usize).is_err());
+        let err = a.get_or("rounds", 10usize).unwrap_err();
+        assert_eq!(
+            err,
+            ArgError::InvalidValue {
+                key: "rounds".into(),
+                value: "many".into(),
+            }
+        );
+        assert!(!err.is_usage(), "bad values are not usage errors");
+        assert_eq!(CliError::from(err).exit_code(), 1);
     }
 
     #[test]
     fn rejects_duplicate_keys() {
-        assert!(parse(&["run", "--k", "1", "--k", "2"]).is_err());
+        assert_eq!(
+            parse(&["run", "--k", "1", "--k", "2"]).unwrap_err(),
+            ArgError::DuplicateOption("k".into())
+        );
     }
 
     #[test]
     fn rejects_trailing_positionals() {
-        assert!(parse(&["run", "--k", "1", "oops"]).is_err());
+        assert_eq!(
+            parse(&["run", "--k", "1", "oops"]).unwrap_err(),
+            ArgError::UnexpectedPositional("oops".into())
+        );
+    }
+
+    #[test]
+    fn rejects_empty_option_name() {
+        assert_eq!(
+            parse(&["run", "--"]).unwrap_err(),
+            ArgError::EmptyOptionName
+        );
     }
 
     #[test]
@@ -138,5 +268,40 @@ mod tests {
     fn unknown_keys_are_reported() {
         let a = parse(&["run", "--nodes", "8", "--typo", "x"]).unwrap();
         assert_eq!(a.unknown_keys(&["nodes"]), vec!["typo".to_string()]);
+    }
+
+    #[test]
+    fn usage_errors_exit_with_2() {
+        for err in [
+            ArgError::EmptyOptionName,
+            ArgError::DuplicateOption("k".into()),
+            ArgError::UnexpectedPositional("x".into()),
+            ArgError::UnknownOptions(vec!["typo".into()]),
+            ArgError::UnknownSubcommand("zap".into()),
+        ] {
+            assert!(err.is_usage());
+            assert_eq!(CliError::from(err).exit_code(), 2);
+        }
+        assert_eq!(CliError::Failure("boom".into()).exit_code(), 1);
+    }
+
+    #[test]
+    fn errors_display_their_context() {
+        assert_eq!(
+            ArgError::UnknownOptions(vec!["a".into(), "b".into()]).to_string(),
+            "unknown options: --a, --b"
+        );
+        assert_eq!(
+            ArgError::UnknownSubcommand("zap".into()).to_string(),
+            "unknown subcommand 'zap'"
+        );
+        assert_eq!(
+            ArgError::InvalidValue {
+                key: "rounds".into(),
+                value: "many".into(),
+            }
+            .to_string(),
+            "invalid value for --rounds: 'many'"
+        );
     }
 }

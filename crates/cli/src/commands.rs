@@ -1,6 +1,9 @@
 //! Subcommand implementations.
 
-use glmia_core::{lambda2_series, run_experiment, ExperimentConfig, Lambda2Config, Parallelism};
+use glmia_core::{
+    lambda2_series, run_experiment, run_experiment_traced, ExperimentConfig, Lambda2Config,
+    Parallelism,
+};
 use glmia_data::{DataPreset, Federation, Partition};
 use glmia_gossip::{ProtocolKind, TopologyMode};
 use glmia_graph::Topology;
@@ -10,7 +13,7 @@ use glmia_nn::{Mlp, Sgd};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::args::Args;
+use crate::args::{ArgError, Args, CliError};
 
 fn parse_dataset(raw: &str) -> Result<DataPreset, String> {
     match raw {
@@ -36,20 +39,32 @@ fn parse_protocol(raw: &str) -> Result<ProtocolKind, String> {
     }
 }
 
-fn reject_unknown(args: &Args, known: &[&str]) -> Result<(), String> {
+fn parse_preset(raw: &str, dataset: DataPreset) -> Result<ExperimentConfig, String> {
+    match raw {
+        "quick" => Ok(ExperimentConfig::quick_test(dataset)),
+        "bench" => Ok(ExperimentConfig::bench_scale(dataset)),
+        "paper" => Ok(ExperimentConfig::paper_scale(dataset)),
+        other => Err(format!(
+            "unknown preset '{other}' (expected quick|bench|paper)"
+        )),
+    }
+}
+
+fn reject_unknown(args: &Args, known: &[&str]) -> Result<(), CliError> {
     let unknown = args.unknown_keys(known);
     if unknown.is_empty() {
         Ok(())
     } else {
-        Err(format!("unknown options: --{}", unknown.join(", --")))
+        Err(ArgError::UnknownOptions(unknown).into())
     }
 }
 
 /// `glmia run`
-pub fn run(args: &Args) -> Result<(), String> {
+pub fn run(args: &Args) -> Result<(), CliError> {
     reject_unknown(
         args,
         &[
+            "preset",
             "dataset",
             "protocol",
             "dynamic",
@@ -60,25 +75,36 @@ pub fn run(args: &Args) -> Result<(), String> {
             "beta",
             "seed",
             "threads",
+            "trace",
             "json",
             "plot",
         ],
     )?;
     let dataset = parse_dataset(args.get("dataset").unwrap_or("cifar10"))?;
     let protocol = parse_protocol(args.get("protocol").unwrap_or("samo"))?;
-    let mut config = ExperimentConfig::bench_scale(dataset)
+    let mut config = parse_preset(args.get("preset").unwrap_or("bench"), dataset)?
         .with_protocol(protocol)
         .with_topology_mode(if args.flag("dynamic") {
             TopologyMode::Dynamic
         } else {
             TopologyMode::Static
         })
-        .with_view_size(args.get_or("k", 5usize)?)
-        .with_nodes(args.get_or("nodes", 24usize)?)
-        .with_rounds(args.get_or("rounds", 40usize)?)
-        .with_eval_every(args.get_or("eval-every", 4usize)?)
         .with_seed(args.get_or("seed", 42u64)?)
         .with_parallelism(args.get_or("threads", Parallelism::Auto)?);
+    // Scale knobs override the preset only when given explicitly, so
+    // `--preset quick` keeps its own node/round counts.
+    if args.get("k").is_some() {
+        config = config.with_view_size(args.get_or("k", 0usize)?);
+    }
+    if args.get("nodes").is_some() {
+        config = config.with_nodes(args.get_or("nodes", 0usize)?);
+    }
+    if args.get("rounds").is_some() {
+        config = config.with_rounds(args.get_or("rounds", 0usize)?);
+    }
+    if args.get("eval-every").is_some() {
+        config = config.with_eval_every(args.get_or("eval-every", 0usize)?);
+    }
     if let Some(beta) = args.get("beta") {
         let beta: f64 = beta
             .parse()
@@ -86,7 +112,16 @@ pub fn run(args: &Args) -> Result<(), String> {
         config = config.with_partition(Partition::Dirichlet { beta });
     }
     eprintln!("running: {}", config.label());
-    let result = run_experiment(&config).map_err(|e| e.to_string())?;
+    let (result, trace) = run_experiment_traced(&config).map_err(|e| e.to_string())?;
+    if let Some(dir) = args.get("trace") {
+        if dir.is_empty() {
+            return Err("--trace requires a directory".to_string().into());
+        }
+        trace
+            .write_to_dir(dir)
+            .map_err(|e| format!("writing trace to '{dir}': {e}"))?;
+        eprintln!("trace: {dir}/events.jsonl, {dir}/manifest.json");
+    }
     if args.flag("json") {
         let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
         println!("{json}");
@@ -128,7 +163,7 @@ pub fn run(args: &Args) -> Result<(), String> {
 
 /// `glmia compare`: run the same workload under two protocol/topology
 /// settings and overlay their tradeoff curves.
-pub fn compare(args: &Args) -> Result<(), String> {
+pub fn compare(args: &Args) -> Result<(), CliError> {
     reject_unknown(
         args,
         &[
@@ -173,9 +208,7 @@ pub fn compare(args: &Args) -> Result<(), String> {
             base(ExperimentConfig::bench_scale(dataset)).with_protocol(ProtocolKind::Samo),
         ],
         other => {
-            return Err(format!(
-                "unknown --axis '{other}' (expected topology|protocol)"
-            ))
+            return Err(format!("unknown --axis '{other}' (expected topology|protocol)").into())
         }
     };
     let mut series = Vec::new();
@@ -199,7 +232,7 @@ pub fn compare(args: &Args) -> Result<(), String> {
 }
 
 /// `glmia lambda2`
-pub fn lambda2(args: &Args) -> Result<(), String> {
+pub fn lambda2(args: &Args) -> Result<(), CliError> {
     reject_unknown(
         args,
         &["k", "nodes", "iterations", "runs", "dynamic", "seed"],
@@ -229,14 +262,14 @@ pub fn lambda2(args: &Args) -> Result<(), String> {
 }
 
 /// `glmia attack`
-pub fn attack(args: &Args) -> Result<(), String> {
+pub fn attack(args: &Args) -> Result<(), CliError> {
     reject_unknown(args, &["dataset", "epochs", "samples", "seed"])?;
     let dataset = parse_dataset(args.get("dataset").unwrap_or("cifar10"))?;
     let epochs: usize = args.get_or("epochs", 100usize)?;
     let samples: usize = args.get_or("samples", 64usize)?;
     let seed: u64 = args.get_or("seed", 42u64)?;
     if samples == 0 || epochs == 0 {
-        return Err("--samples and --epochs must be positive".into());
+        return Err("--samples and --epochs must be positive".to_string().into());
     }
 
     let mut rng = StdRng::seed_from_u64(seed);
@@ -288,7 +321,7 @@ pub fn attack(args: &Args) -> Result<(), String> {
 }
 
 /// `glmia topo`
-pub fn topo(args: &Args) -> Result<(), String> {
+pub fn topo(args: &Args) -> Result<(), CliError> {
     reject_unknown(args, &["nodes", "k", "swaps", "seed"])?;
     let nodes: usize = args.get_or("nodes", 24usize)?;
     let k: usize = args.get_or("k", 4usize)?;
@@ -362,19 +395,57 @@ mod tests {
     }
 
     #[test]
-    fn unknown_options_are_rejected() {
-        let a = args(&["run", "--nodse", "8"]);
-        assert!(run(&a).is_err());
-        let a = args(&["lambda2", "--oops"]);
-        assert!(lambda2(&a).is_err());
+    fn preset_names_parse() {
+        let quick = parse_preset("quick", DataPreset::Cifar10Like).unwrap();
+        assert_eq!(quick, ExperimentConfig::quick_test(DataPreset::Cifar10Like));
+        let bench = parse_preset("bench", DataPreset::Cifar10Like).unwrap();
+        assert_eq!(
+            bench,
+            ExperimentConfig::bench_scale(DataPreset::Cifar10Like)
+        );
+        let paper = parse_preset("paper", DataPreset::Cifar10Like).unwrap();
+        assert_eq!(
+            paper,
+            ExperimentConfig::paper_scale(DataPreset::Cifar10Like)
+        );
+        assert!(parse_preset("huge", DataPreset::Cifar10Like).is_err());
     }
 
     #[test]
-    fn invalid_thread_counts_are_rejected() {
+    fn unknown_options_are_rejected_as_usage_errors() {
+        let a = args(&["run", "--nodse", "8"]);
+        let err = run(&a).unwrap_err();
+        assert_eq!(err, ArgError::UnknownOptions(vec!["nodse".into()]).into());
+        assert_eq!(err.exit_code(), 2);
+        let a = args(&["lambda2", "--oops"]);
+        assert_eq!(lambda2(&a).unwrap_err().exit_code(), 2);
+    }
+
+    #[test]
+    fn invalid_thread_counts_are_value_errors() {
         let a = args(&["run", "--threads", "0"]);
-        assert!(run(&a).is_err());
+        let err = run(&a).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
         let a = args(&["run", "--threads", "lots"]);
-        assert!(run(&a).is_err());
+        let err = run(&a).unwrap_err();
+        assert_eq!(
+            err,
+            ArgError::InvalidValue {
+                key: "threads".into(),
+                value: "lots".into(),
+            }
+            .into()
+        );
+        assert_eq!(err.exit_code(), 1);
+    }
+
+    #[test]
+    fn run_rejects_invalid_config_before_simulating() {
+        // view_size >= nodes fails validate(), a runtime (exit 1) error.
+        let a = args(&["run", "--preset", "quick", "--k", "99"]);
+        let err = run(&a).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        assert!(err.to_string().contains("view_size"), "{err}");
     }
 
     #[test]

@@ -2,17 +2,21 @@
 //!
 //! ```text
 //! glmia run      --dataset cifar10 --protocol samo --dynamic --k 5 ...
+//! glmia run      --preset quick --trace out/trace
 //! glmia lambda2  --k 2 --nodes 150 --iterations 15 --runs 10 --dynamic
 //! glmia attack   --dataset purchase100 --epochs 100
 //! glmia topo     --nodes 24 --k 4
 //! ```
+//!
+//! Exit codes: `0` success, `1` runtime failure or bad option value,
+//! `2` usage error (unknown subcommand/option, malformed syntax).
 
 mod args;
 mod commands;
 
 use std::process::ExitCode;
 
-use args::Args;
+use args::{ArgError, Args, CliError};
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -21,7 +25,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}\n");
             print_usage();
-            return ExitCode::FAILURE;
+            return ExitCode::from(CliError::from(e).exit_code());
         }
     };
     let outcome = match parsed.subcommand() {
@@ -34,13 +38,15 @@ fn main() -> ExitCode {
             print_usage();
             Ok(())
         }
-        Some(other) => Err(format!("unknown subcommand '{other}'")),
+        Some(other) => Err(CliError::from(ArgError::UnknownSubcommand(
+            other.to_string(),
+        ))),
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -55,19 +61,22 @@ USAGE:
 SUBCOMMANDS:
     run       run a gossip-learning experiment and report per-round
               accuracy / MIA vulnerability / generalization error
+              --preset quick|bench|paper         base scale (default bench)
               --dataset cifar10|cifar100|fashion|purchase100 (default cifar10)
               --protocol base|samo|somo|same     (default samo)
               --dynamic                          (default static)
-              --k <view size>                    (default 5)
-              --nodes <n>                        (default 24)
-              --rounds <r>                       (default 40)
-              --eval-every <r>                   (default 4)
+              --k <view size>                    (preset default)
+              --nodes <n>                        (preset default)
+              --rounds <r>                       (preset default)
+              --eval-every <r>                   (preset default)
               --beta <dirichlet β>               (default: IID)
               --seed <s>                         (default 42)
               --threads auto|<n>                 attack-replay worker threads
                                                  (default auto = all cores;
                                                  results are identical at any
                                                  setting, 1 = serial path)
+              --trace <dir>                      write events.jsonl +
+                                                 manifest.json run trace
               --json                             emit JSON instead of a table
               --plot                             draw an ASCII tradeoff scatter
 
@@ -87,6 +96,11 @@ SUBCOMMANDS:
     topo      generate a random k-regular topology and print its stats
               --nodes <n> --k <degree> --swaps <peer swaps> --seed <s>
 
-    help      show this message"
+    help      show this message
+
+EXIT CODES:
+    0  success
+    1  runtime failure or invalid option value
+    2  usage error (unknown subcommand, unknown option, malformed syntax)"
     );
 }

@@ -103,6 +103,74 @@ fn run_small_experiment_emits_json() {
 }
 
 #[test]
+fn usage_errors_exit_with_code_2() {
+    assert_eq!(glmia(&["frobnicate"]).status.code(), Some(2));
+    assert_eq!(glmia(&["run", "--nodse", "8"]).status.code(), Some(2));
+    assert_eq!(
+        glmia(&["run", "--k", "1", "--k", "2"]).status.code(),
+        Some(2)
+    );
+}
+
+#[test]
+fn value_and_runtime_errors_exit_with_code_1() {
+    let out = glmia(&["run", "--threads", "lots"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid value for --threads"));
+    assert_eq!(glmia(&["run", "--dataset", "mnist"]).status.code(), Some(1));
+    assert_eq!(glmia(&["run", "--preset", "huge"]).status.code(), Some(1));
+}
+
+#[test]
+fn trace_flag_writes_jsonl_and_manifest_without_changing_results() {
+    let dir = std::env::temp_dir().join(format!("glmia-cli-trace-{}", std::process::id()));
+    let traced = glmia(&[
+        "run",
+        "--preset",
+        "quick",
+        "--seed",
+        "5",
+        "--json",
+        "--trace",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(
+        traced.status.success(),
+        "{}",
+        String::from_utf8_lossy(&traced.stderr)
+    );
+
+    let events = std::fs::read_to_string(dir.join("events.jsonl")).expect("events.jsonl written");
+    let header = events.lines().next().expect("non-empty event stream");
+    assert!(header.contains("\"schema\":1"), "{header}");
+    assert!(events.lines().count() > 1, "events follow the header");
+
+    let manifest: serde_json::Value = serde_json::from_str(
+        &std::fs::read_to_string(dir.join("manifest.json")).expect("manifest.json written"),
+    )
+    .expect("valid manifest JSON");
+    assert_eq!(manifest["schema"].as_u64(), Some(1));
+    assert_eq!(
+        manifest["seeds"].as_array().map(Vec::len),
+        Some(1),
+        "one seed was run"
+    );
+    assert_eq!(
+        manifest["totals"]["rounds"].as_u64(),
+        Some(5),
+        "quick preset runs 5 rounds"
+    );
+    assert_eq!(manifest["phases"].as_array().map(Vec::len), Some(5));
+
+    // Tracing must not perturb the experiment itself.
+    let plain = glmia(&["run", "--preset", "quick", "--seed", "5", "--json"]);
+    assert!(plain.status.success());
+    assert_eq!(traced.stdout, plain.stdout);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn seeded_runs_are_reproducible() {
     let args = [
         "run",

@@ -289,26 +289,19 @@ impl ExperimentConfig {
         self
     }
 
-    /// Sets the view size `k` of the k-regular topology.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `k == 0`.
+    /// Sets the view size `k` of the k-regular topology. Checked by
+    /// [`validate`](Self::validate): must be positive and below the node
+    /// count.
     #[must_use]
     pub fn with_view_size(mut self, k: usize) -> Self {
-        assert!(k > 0, "view size must be positive");
         self.view_size = k;
         self
     }
 
-    /// Sets the number of nodes.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n < 2`.
+    /// Sets the number of nodes. Checked by [`validate`](Self::validate):
+    /// at least 2.
     #[must_use]
     pub fn with_nodes(mut self, n: usize) -> Self {
-        assert!(n >= 2, "need at least 2 nodes");
         self.n_nodes = n;
         self
     }
@@ -320,99 +313,68 @@ impl ExperimentConfig {
         self
     }
 
-    /// Sets the number of communication rounds.
-    ///
-    /// # Panics
-    ///
-    /// Panics if zero.
+    /// Sets the number of communication rounds. Checked by
+    /// [`validate`](Self::validate): must be positive.
     #[must_use]
     pub fn with_rounds(mut self, rounds: usize) -> Self {
-        assert!(rounds > 0, "rounds must be positive");
         self.rounds = rounds;
         self
     }
 
     /// Sets how often (in rounds) the omniscient attacker evaluates. The
-    /// final round is always evaluated.
-    ///
-    /// # Panics
-    ///
-    /// Panics if zero.
+    /// final round is always evaluated. Checked by
+    /// [`validate`](Self::validate): must be positive and at most the
+    /// round count.
     #[must_use]
     pub fn with_eval_every(mut self, every: usize) -> Self {
-        assert!(every > 0, "eval_every must be positive");
         self.eval_every = every;
         self
     }
 
-    /// Sets the number of local epochs per update.
-    ///
-    /// # Panics
-    ///
-    /// Panics if zero.
+    /// Sets the number of local epochs per update. Checked by
+    /// [`validate`](Self::validate): must be positive.
     #[must_use]
     pub fn with_local_epochs(mut self, epochs: usize) -> Self {
-        assert!(epochs > 0, "local_epochs must be positive");
         self.training.local_epochs = epochs;
         self
     }
 
-    /// Sets the SGD learning rate.
-    ///
-    /// # Panics
-    ///
-    /// Panics if non-positive or not finite.
+    /// Sets the SGD learning rate. Checked by
+    /// [`validate`](Self::validate): must be finite and positive.
     #[must_use]
     pub fn with_learning_rate(mut self, lr: f32) -> Self {
-        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
         self.training.learning_rate = lr;
         self
     }
 
     /// Sets training samples per node (average under non-IID partitions).
-    ///
-    /// # Panics
-    ///
-    /// Panics if zero.
+    /// Checked by [`validate`](Self::validate): must be positive.
     #[must_use]
     pub fn with_train_per_node(mut self, n: usize) -> Self {
-        assert!(n > 0, "train_per_node must be positive");
         self.train_per_node = n;
         self
     }
 
-    /// Sets held-out samples per node.
-    ///
-    /// # Panics
-    ///
-    /// Panics if zero.
+    /// Sets held-out samples per node. Checked by
+    /// [`validate`](Self::validate): must be positive.
     #[must_use]
     pub fn with_test_per_node(mut self, n: usize) -> Self {
-        assert!(n > 0, "test_per_node must be positive");
         self.test_per_node = n;
         self
     }
 
-    /// Overrides the class count of the synthetic dataset.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `classes < 2`.
+    /// Overrides the class count of the synthetic dataset. Checked by
+    /// [`validate`](Self::validate): at least 2.
     #[must_use]
     pub fn with_num_classes(mut self, classes: usize) -> Self {
-        assert!(classes >= 2, "need at least 2 classes");
         self.num_classes_override = Some(classes);
         self
     }
 
     /// Overrides the feature dimensionality of the synthetic dataset.
-    ///
-    /// # Panics
-    ///
-    /// Panics if zero.
+    /// Checked by [`validate`](Self::validate): must be positive.
     #[must_use]
     pub fn with_input_dim(mut self, dim: usize) -> Self {
-        assert!(dim > 0, "input_dim must be positive");
         self.input_dim_override = Some(dim);
         self
     }
@@ -449,29 +411,18 @@ impl ExperimentConfig {
 
     /// Sets the dropout probability on hidden activations (default 0, the
     /// paper's setup; the §5 recommendations suggest regularization like
-    /// this against early overfitting).
-    ///
-    /// # Panics
-    ///
-    /// Panics if outside `[0, 1)`.
+    /// this against early overfitting). Checked by
+    /// [`validate`](Self::validate): must lie in `[0, 1)`.
     #[must_use]
     pub fn with_dropout(mut self, p: f32) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout must be in [0, 1)");
         self.training.dropout = p;
         self
     }
 
-    /// Sets the message-drop probability (failure injection).
-    ///
-    /// # Panics
-    ///
-    /// Panics if outside `[0, 1)`.
+    /// Sets the message-drop probability (failure injection). Checked by
+    /// [`validate`](Self::validate): must lie in `[0, 1)`.
     #[must_use]
     pub fn with_drop_probability(mut self, p: f64) -> Self {
-        assert!(
-            (0.0..1.0).contains(&p),
-            "drop probability must be in [0, 1)"
-        );
         self.drop_probability = p;
         self
     }
@@ -631,6 +582,108 @@ impl ExperimentConfig {
         sim.with_lr_schedule(self.lr_schedule)
     }
 
+    /// Validates every field constraint, returning the first violation as
+    /// [`CoreError::InvalidConfig`] naming the offending field.
+    ///
+    /// The `with_*` setters accept any value so builder chains stay
+    /// infallible and composable; [`run_experiment`](crate::run_experiment)
+    /// calls this before doing any work, so a bad knob fails fast with a
+    /// field-named error instead of a panic or a late substrate error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when a field is out of range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use glmia_core::prelude::*;
+    ///
+    /// let bad = ExperimentConfig::quick_test(DataPreset::Cifar10Like).with_view_size(0);
+    /// let err = bad.validate().unwrap_err();
+    /// assert_eq!(err.invalid_field(), Some("view_size"));
+    /// ```
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.n_nodes < 2 {
+            return Err(CoreError::invalid(
+                "nodes",
+                format!("need at least 2 nodes, got {}", self.n_nodes),
+            ));
+        }
+        if self.view_size == 0 {
+            return Err(CoreError::invalid("view_size", "must be positive"));
+        }
+        if self.view_size >= self.n_nodes {
+            return Err(CoreError::invalid(
+                "view_size",
+                format!(
+                    "view size {} must be smaller than the node count {}",
+                    self.view_size, self.n_nodes
+                ),
+            ));
+        }
+        if self.rounds == 0 {
+            return Err(CoreError::invalid("rounds", "must be positive"));
+        }
+        if self.eval_every == 0 {
+            return Err(CoreError::invalid("eval_every", "must be positive"));
+        }
+        if self.eval_every > self.rounds {
+            return Err(CoreError::invalid(
+                "eval_every",
+                format!(
+                    "eval cadence {} exceeds the round count {}",
+                    self.eval_every, self.rounds
+                ),
+            ));
+        }
+        if self.train_per_node == 0 {
+            return Err(CoreError::invalid("train_per_node", "must be positive"));
+        }
+        if self.test_per_node == 0 {
+            return Err(CoreError::invalid("test_per_node", "must be positive"));
+        }
+        if self.batch_size == 0 {
+            return Err(CoreError::invalid("batch_size", "must be positive"));
+        }
+        if let Some(classes) = self.num_classes_override {
+            if classes < 2 {
+                return Err(CoreError::invalid(
+                    "num_classes",
+                    format!("need at least 2 classes, got {classes}"),
+                ));
+            }
+        }
+        if let Some(dim) = self.input_dim_override {
+            if dim == 0 {
+                return Err(CoreError::invalid("input_dim", "must be positive"));
+            }
+        }
+        if self.training.local_epochs == 0 {
+            return Err(CoreError::invalid("local_epochs", "must be positive"));
+        }
+        let lr = self.training.learning_rate;
+        if !lr.is_finite() || lr <= 0.0 {
+            return Err(CoreError::invalid(
+                "learning_rate",
+                format!("must be finite and positive, got {lr}"),
+            ));
+        }
+        if !(0.0..1.0).contains(&self.training.dropout) {
+            return Err(CoreError::invalid(
+                "dropout",
+                format!("must lie in [0, 1), got {}", self.training.dropout),
+            ));
+        }
+        if !(0.0..1.0).contains(&self.drop_probability) {
+            return Err(CoreError::invalid(
+                "drop_probability",
+                format!("must lie in [0, 1), got {}", self.drop_probability),
+            ));
+        }
+        Ok(())
+    }
+
     /// A short human-readable label for tables and logs.
     #[must_use]
     pub fn label(&self) -> String {
@@ -711,9 +764,46 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "view size must be positive")]
-    fn zero_view_size_panics() {
-        let _ = ExperimentConfig::quick_test(DataPreset::Cifar10Like).with_view_size(0);
+    fn presets_validate_clean() {
+        for preset in [
+            DataPreset::Cifar10Like,
+            DataPreset::Cifar100Like,
+            DataPreset::FashionMnistLike,
+            DataPreset::Purchase100Like,
+        ] {
+            ExperimentConfig::paper_scale(preset).validate().unwrap();
+            ExperimentConfig::bench_scale(preset).validate().unwrap();
+            ExperimentConfig::quick_test(preset).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn validate_names_the_offending_field() {
+        let quick = || ExperimentConfig::quick_test(DataPreset::Cifar10Like);
+        let cases: Vec<(ExperimentConfig, &str)> = vec![
+            (quick().with_nodes(1), "nodes"),
+            (quick().with_view_size(0), "view_size"),
+            (quick().with_nodes(4).with_view_size(4), "view_size"),
+            (quick().with_rounds(0), "rounds"),
+            (quick().with_eval_every(0), "eval_every"),
+            (quick().with_rounds(3).with_eval_every(4), "eval_every"),
+            (quick().with_train_per_node(0), "train_per_node"),
+            (quick().with_test_per_node(0), "test_per_node"),
+            (quick().with_num_classes(1), "num_classes"),
+            (quick().with_input_dim(0), "input_dim"),
+            (quick().with_local_epochs(0), "local_epochs"),
+            (quick().with_learning_rate(0.0), "learning_rate"),
+            (quick().with_learning_rate(f32::NAN), "learning_rate"),
+            (quick().with_dropout(1.0), "dropout"),
+            (quick().with_dropout(-0.1), "dropout"),
+            (quick().with_drop_probability(1.0), "drop_probability"),
+            (quick().with_drop_probability(-0.5), "drop_probability"),
+        ];
+        for (config, field) in cases {
+            let err = config.validate().unwrap_err();
+            assert_eq!(err.invalid_field(), Some(field), "for field {field}");
+            assert!(err.to_string().starts_with("invalid config: "));
+        }
     }
 
     #[test]

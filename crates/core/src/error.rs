@@ -3,24 +3,59 @@
 use std::error::Error;
 use std::fmt;
 
-/// Error returned by experiment construction or execution; wraps the
-/// substrate crates' error types.
+/// Error returned by experiment construction or execution.
+///
+/// Configuration mistakes are reported *before* any work starts as
+/// [`CoreError::InvalidConfig`], naming the offending field; failures from
+/// the substrate crates (data synthesis, graph construction, simulation,
+/// evaluation) are wrapped as [`CoreError::Message`] with a subsystem
+/// prefix.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CoreError {
-    message: String,
+pub enum CoreError {
+    /// A configuration field violates its documented constraint; caught by
+    /// [`ExperimentConfig::validate`](crate::ExperimentConfig::validate).
+    InvalidConfig {
+        /// The offending configuration field, e.g. `"view_size"`.
+        field: &'static str,
+        /// What constraint was violated.
+        message: String,
+    },
+    /// Any other construction or execution failure.
+    Message(String),
 }
 
 impl CoreError {
     pub(crate) fn new(message: impl Into<String>) -> Self {
-        Self {
+        Self::Message(message.into())
+    }
+
+    pub(crate) fn invalid(field: &'static str, message: impl Into<String>) -> Self {
+        Self::InvalidConfig {
+            field,
             message: message.into(),
+        }
+    }
+
+    /// The offending config field for [`CoreError::InvalidConfig`], `None`
+    /// otherwise. Lets callers (CLI, tests) react to *which* knob failed
+    /// without parsing the message.
+    #[must_use]
+    pub fn invalid_field(&self) -> Option<&'static str> {
+        match self {
+            Self::InvalidConfig { field, .. } => Some(field),
+            Self::Message(_) => None,
         }
     }
 }
 
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.message)
+        match self {
+            Self::InvalidConfig { field, message } => {
+                write!(f, "invalid config: {field}: {message}")
+            }
+            Self::Message(message) => f.write_str(message),
+        }
     }
 }
 
@@ -76,5 +111,13 @@ mod tests {
     fn wraps_substrate_errors_with_prefix() {
         let e: CoreError = glmia_data::Dataset::empty(4, 1).unwrap_err().into();
         assert!(e.to_string().starts_with("data: "));
+        assert_eq!(e.invalid_field(), None);
+    }
+
+    #[test]
+    fn invalid_config_names_the_field() {
+        let e = CoreError::invalid("view_size", "must be positive");
+        assert_eq!(e.invalid_field(), Some("view_size"));
+        assert_eq!(e.to_string(), "invalid config: view_size: must be positive");
     }
 }

@@ -25,11 +25,9 @@
 //! # Examples
 //!
 //! ```
-//! use glmia_core::{run_experiment, ExperimentConfig};
-//! use glmia_data::DataPreset;
-//! use glmia_gossip::{ProtocolKind, TopologyMode};
+//! use glmia_core::prelude::*;
 //!
-//! # fn main() -> Result<(), glmia_core::CoreError> {
+//! # fn main() -> Result<(), CoreError> {
 //! let config = ExperimentConfig::quick_test(DataPreset::FashionMnistLike)
 //!     .with_protocol(ProtocolKind::Samo)
 //!     .with_topology_mode(TopologyMode::Dynamic)
@@ -56,5 +54,27 @@ pub use config::{AttackSurface, ExperimentConfig, Parallelism};
 pub use error::CoreError;
 pub use lambda2::{lambda2_series, Lambda2Config, Lambda2Series};
 pub use presets::TrainingPreset;
-pub use replicate::{replicate_experiment, ReplicatedResult, ReplicatedRound};
-pub use runner::{run_experiment, ExperimentResult, RoundEval, Stat};
+pub use replicate::{
+    replicate_experiment, replicate_experiment_traced, ReplicatedResult, ReplicatedRound,
+};
+pub use runner::{run_experiment, run_experiment_traced, ExperimentResult, RoundEval, Stat};
+
+/// One-stop imports for configuring, running and observing experiments.
+///
+/// Pulls in the experiment entry points and every cross-crate type a
+/// typical caller needs to *configure* one (dataset presets, partitions,
+/// protocols, topology modes, defenses, attack kinds) plus the
+/// observability types returned by the `*_traced` runners — so examples
+/// and downstream code start with a single `use glmia_core::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        lambda2_series, replicate_experiment, replicate_experiment_traced, run_experiment,
+        run_experiment_traced, AttackSurface, CoreError, ExperimentConfig, ExperimentResult,
+        Lambda2Config, Lambda2Series, Parallelism, ReplicatedResult, ReplicatedRound, RoundEval,
+        Stat, TrainingPreset,
+    };
+    pub use glmia_data::{DataPreset, Partition};
+    pub use glmia_gossip::{Defense, LrSchedule, ProtocolKind, TopologyMode};
+    pub use glmia_mia::AttackKind;
+    pub use glmia_trace::{Phase, RunTrace, TraceEvent, TraceRecorder};
+}

@@ -2,10 +2,16 @@
 //! and aggregate, giving the error bars the paper reports over repeated
 //! runs.
 
+use std::time::Instant;
+
 use glmia_dist::mean_std;
+use glmia_trace::{Phase, RunTrace};
 use serde::{Deserialize, Serialize};
 
-use crate::{run_experiment, CoreError, ExperimentConfig, ExperimentResult, Parallelism, Stat};
+use crate::runner::config_fingerprint;
+use crate::{
+    run_experiment_traced, CoreError, ExperimentConfig, ExperimentResult, Parallelism, Stat,
+};
 
 /// Per-round metrics aggregated *across seeds* (each seed's value is its
 /// own across-node mean).
@@ -41,47 +47,69 @@ pub struct ReplicatedResult {
 /// the config's [`Parallelism`] allows: the thread budget is split between
 /// seed-level workers and each run's inner evaluation pool. The seed
 /// sequence, the order of `runs`, and every result are identical to the
-/// serial path ([`run_experiment`]'s determinism contract).
+/// serial path ([`run_experiment`](crate::run_experiment)'s determinism
+/// contract).
 ///
 /// # Errors
 ///
-/// Returns [`CoreError`] if `replicas == 0` or any replica fails.
+/// Returns [`CoreError`] if `replicas == 0`, the config fails
+/// [`validate`](ExperimentConfig::validate), or any replica fails.
 ///
 /// # Examples
 ///
 /// ```
-/// use glmia_core::{replicate_experiment, ExperimentConfig};
-/// use glmia_data::DataPreset;
+/// use glmia_core::prelude::*;
 ///
 /// let config = ExperimentConfig::quick_test(DataPreset::Cifar10Like);
 /// let replicated = replicate_experiment(&config, 2)?;
 /// assert_eq!(replicated.runs.len(), 2);
 /// assert_eq!(replicated.rounds.len(), replicated.runs[0].rounds.len());
-/// # Ok::<(), glmia_core::CoreError>(())
+/// # Ok::<(), CoreError>(())
 /// ```
 pub fn replicate_experiment(
     config: &ExperimentConfig,
     replicas: usize,
 ) -> Result<ReplicatedResult, CoreError> {
+    replicate_experiment_traced(config, replicas).map(|(result, _trace)| result)
+}
+
+/// [`replicate_experiment`], additionally returning the combined
+/// [`RunTrace`]: every seed's per-round counters concatenated in ascending
+/// seed order (so the event stream stays deterministic), phase timings
+/// summed across replicas, plus the cross-seed aggregation charged to the
+/// `aggregate` phase.
+///
+/// # Errors
+///
+/// Same contract as [`replicate_experiment`].
+pub fn replicate_experiment_traced(
+    config: &ExperimentConfig,
+    replicas: usize,
+) -> Result<(ReplicatedResult, RunTrace), CoreError> {
     if replicas == 0 {
         return Err(CoreError::new("replicas must be positive"));
     }
+    config.validate()?;
+    let wall_start = Instant::now();
     let base_seed = config.seed();
     let seeds: Vec<u64> = (0..replicas)
         .map(|r| base_seed.wrapping_add(r as u64))
         .collect();
     let threads = config.parallelism().threads();
+    // The combined trace is keyed by the *base* config's fingerprint; the
+    // per-seed child traces (hashed with their own seed) fold into it.
+    let mut trace = RunTrace::new(config.label(), config_fingerprint(config), threads);
     // Split the budget: up to `outer` seeds in flight, each with an inner
     // evaluation pool of `threads / outer` workers.
     let outer = threads.min(replicas);
-    let runs: Vec<ExperimentResult> = if outer <= 1 {
+    let outcomes: Vec<(ExperimentResult, RunTrace)> = if outer <= 1 {
         seeds
             .iter()
-            .map(|&seed| run_experiment(&config.clone().with_seed(seed)))
+            .map(|&seed| run_experiment_traced(&config.clone().with_seed(seed)))
             .collect::<Result<_, _>>()?
     } else {
         let inner = Parallelism::Fixed((threads / outer).max(1));
-        let mut slots: Vec<Option<Result<ExperimentResult, CoreError>>> =
+        let mut slots: Vec<Option<Result<(ExperimentResult, RunTrace), CoreError>>> =
             (0..replicas).map(|_| None).collect();
         let chunk_len = replicas.div_ceil(outer);
         std::thread::scope(|scope| {
@@ -91,7 +119,7 @@ pub fn replicate_experiment(
                     for (offset, slot) in out.iter_mut().enumerate() {
                         let seed = seeds[w * chunk_len + offset];
                         let run_config = config.clone().with_seed(seed).with_parallelism(inner);
-                        *slot = Some(run_experiment(&run_config));
+                        *slot = Some(run_experiment_traced(&run_config));
                     }
                 });
             }
@@ -101,7 +129,31 @@ pub fn replicate_experiment(
             .map(|slot| slot.expect("every replica slot is filled by exactly one worker"))
             .collect::<Result<_, _>>()?
     };
+    let mut runs = Vec::with_capacity(replicas);
+    for (result, seed_trace) in outcomes {
+        // `outcomes` is in ascending seed order on both paths, so the
+        // merged event stream is deterministic.
+        trace.merge(seed_trace);
+        runs.push(result);
+    }
     // All runs share the eval schedule, so aggregate by index.
+    let rounds = trace
+        .phases_mut()
+        .time(Phase::Aggregate, || aggregate_rounds(&runs))?;
+    trace.set_wall_secs(wall_start.elapsed().as_secs_f64());
+    Ok((
+        ReplicatedResult {
+            config: config.clone(),
+            seeds,
+            rounds,
+            runs,
+        },
+        trace,
+    ))
+}
+
+/// Cross-seed per-round aggregation (mean ± std over seeds, by index).
+fn aggregate_rounds(runs: &[ExperimentResult]) -> Result<Vec<ReplicatedRound>, CoreError> {
     let n_rounds = runs[0].rounds.len();
     if runs.iter().any(|r| r.rounds.len() != n_rounds) {
         return Err(CoreError::new(
@@ -130,12 +182,7 @@ pub fn replicate_experiment(
             gen_error: stat(&gen),
         });
     }
-    Ok(ReplicatedResult {
-        config: config.clone(),
-        seeds,
-        rounds,
-        runs,
-    })
+    Ok(rounds)
 }
 
 #[cfg(test)]
@@ -185,5 +232,38 @@ mod tests {
         let config = ExperimentConfig::quick_test(DataPreset::Cifar10Like).with_seed(700);
         let rep = replicate_experiment(&config, 1).unwrap();
         assert!(rep.rounds.iter().all(|r| r.test_accuracy.std == 0.0));
+    }
+
+    #[test]
+    fn traced_replication_merges_seed_traces_in_order() {
+        let config = ExperimentConfig::quick_test(DataPreset::Cifar10Like).with_seed(900);
+        let (rep, trace) = replicate_experiment_traced(&config, 2).unwrap();
+        assert_eq!(trace.seeds(), &[900, 901]);
+        assert_eq!(
+            trace.totals().rounds,
+            (rep.runs.len() * config.rounds()) as u64
+        );
+        let sent: u64 = rep.runs.iter().map(|r| r.messages_sent).sum();
+        assert_eq!(trace.totals().messages_sent, sent);
+        // The combined event stream lists seed 900's records before 901's.
+        let seed_order: Vec<u64> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                glmia_trace::TraceEvent::Round(r) => Some(r.seed),
+                _ => None,
+            })
+            .collect();
+        let mut sorted = seed_order.clone();
+        sorted.sort_unstable();
+        assert_eq!(seed_order, sorted);
+    }
+
+    #[test]
+    fn traced_and_untraced_replication_agree() {
+        let config = ExperimentConfig::quick_test(DataPreset::Cifar10Like).with_seed(950);
+        let plain = replicate_experiment(&config, 2).unwrap();
+        let (traced, _) = replicate_experiment_traced(&config, 2).unwrap();
+        assert_eq!(plain, traced);
     }
 }

@@ -24,14 +24,16 @@
 //! which spawns no threads at all.
 
 use std::sync::mpsc;
+use std::time::Instant;
 
 use glmia_data::Federation;
 use glmia_dist::mean_std;
-use glmia_gossip::{RoundSnapshot, Simulation};
+use glmia_gossip::{Observers, RoundSnapshot, Simulation};
 use glmia_graph::Topology;
 use glmia_metrics::{accuracy, best_utility_point, generalization_error, TradeoffPoint};
 use glmia_mia::MiaEvaluator;
 use glmia_nn::Mlp;
+use glmia_trace::{fnv1a, EvalRecord, Phase, RunTrace, TraceRecorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -213,20 +215,51 @@ impl ExperimentResult {
 ///
 /// # Errors
 ///
-/// Returns [`CoreError`] if any substrate rejects the configuration
-/// (infeasible topology, undersized dataset, mismatched shapes).
+/// Returns [`CoreError::InvalidConfig`] if the configuration fails
+/// [`validate`](ExperimentConfig::validate), or [`CoreError`] if any
+/// substrate rejects it (infeasible topology, undersized dataset,
+/// mismatched shapes).
 pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentResult, CoreError> {
+    run_experiment_traced(config).map(|(result, _trace)| result)
+}
+
+/// [`run_experiment`], additionally returning the run's observability
+/// trace: per-round simulation counters (from a
+/// [`TraceRecorder`] riding the engine's observer chain), per-phase
+/// wall-clock timings and run totals, packaged as a [`RunTrace`] ready to
+/// serialize as `events.jsonl` + `manifest.json`.
+///
+/// Tracing is counter-only instrumentation on the engine's event stream —
+/// it never touches an RNG or a model, so the [`ExperimentResult`] is
+/// byte-identical to an untraced run ([`run_experiment`] is in fact this
+/// function with the trace discarded).
+///
+/// # Errors
+///
+/// Same contract as [`run_experiment`].
+pub fn run_experiment_traced(
+    config: &ExperimentConfig,
+) -> Result<(ExperimentResult, RunTrace), CoreError> {
+    config.validate()?;
+    let wall_start = Instant::now();
+    let threads = config.parallelism().threads();
+    let mut trace = RunTrace::new(config.label(), config_fingerprint(config), threads);
+
     let mut rng = StdRng::seed_from_u64(config.seed());
     let data_spec = config.data_spec();
-    let federation = Federation::build(
-        &data_spec,
-        config.nodes(),
-        config.train_per_node(),
-        config.test_per_node(),
-        config.partition(),
-        &mut rng,
-    )?;
-    let topology = Topology::random_regular(config.nodes(), config.view_size(), &mut rng)?;
+    let federation = trace.phases_mut().time(Phase::Partition, || {
+        Federation::build(
+            &data_spec,
+            config.nodes(),
+            config.train_per_node(),
+            config.test_per_node(),
+            config.partition(),
+            &mut rng,
+        )
+    })?;
+    let topology = trace.phases_mut().time(Phase::Topology, || {
+        Topology::random_regular(config.nodes(), config.view_size(), &mut rng)
+    })?;
     let model_spec = config.model_spec()?;
     let mut sim = Simulation::new(
         config.sim_config(),
@@ -238,7 +271,6 @@ pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentResult, Cor
     )?;
 
     let evaluator = MiaEvaluator::new(config.attack());
-    let threads = config.parallelism().threads();
     let seed = config.seed();
     let surface = config.attack_surface();
     let eval_every = config.eval_every();
@@ -247,12 +279,19 @@ pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentResult, Cor
 
     let mut rounds = Vec::new();
     let mut eval_error: Option<CoreError> = None;
+    let mut recorder = TraceRecorder::new();
+    let mut sim_secs = 0.0_f64;
+    let mut eval_secs = 0.0_f64;
     if threads <= 1 {
-        // Legacy serial path: evaluate inline, no threads spawned.
-        sim.run_with(|snapshot| {
+        // Legacy serial path: evaluate inline, no threads spawned. The
+        // recorder rides the observer chain; the closure sink keeps the
+        // pre-trait behavior.
+        let run_start = Instant::now();
+        sim.run_observed(Observers::new(&mut recorder, |snapshot: RoundSnapshot| {
             if eval_error.is_some() || !due(snapshot.round) {
                 return;
             }
+            let eval_start = Instant::now();
             match evaluate_round(
                 &snapshot,
                 surface,
@@ -265,23 +304,30 @@ pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentResult, Cor
                 Ok(eval) => rounds.push(eval),
                 Err(e) => eval_error = Some(e),
             }
-        });
+            eval_secs += eval_start.elapsed().as_secs_f64();
+        }));
+        sim_secs = run_start.elapsed().as_secs_f64() - eval_secs;
     } else {
         // Pipelined path: the simulation thread streams due snapshots over
         // a bounded channel while this thread replays the attack on them
         // with a node-parallel pool. The channel preserves round order, so
-        // `rounds` is assembled exactly as the serial path would.
+        // `rounds` is assembled exactly as the serial path would. The
+        // phases overlap in wall time; each accumulates its own busy time.
         let (tx, rx) = mpsc::sync_channel::<RoundSnapshot>(PIPELINE_DEPTH);
         std::thread::scope(|scope| {
             let sim = &mut sim;
+            let recorder = &mut recorder;
+            let sim_secs = &mut sim_secs;
             scope.spawn(move || {
-                sim.run_with(|snapshot| {
+                let run_start = Instant::now();
+                sim.run_observed(Observers::new(recorder, move |snapshot: RoundSnapshot| {
                     if due(snapshot.round) {
                         // The receiver only hangs up if the scope is
                         // unwinding; finish the simulation regardless.
                         let _ = tx.send(snapshot);
                     }
-                });
+                }));
+                *sim_secs = run_start.elapsed().as_secs_f64();
             });
             for snapshot in &rx {
                 if eval_error.is_some() {
@@ -289,6 +335,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentResult, Cor
                     // on a full channel; the first error is what we report.
                     continue;
                 }
+                let eval_start = Instant::now();
                 match evaluate_round(
                     &snapshot,
                     surface,
@@ -301,18 +348,46 @@ pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentResult, Cor
                     Ok(eval) => rounds.push(eval),
                     Err(e) => eval_error = Some(e),
                 }
+                eval_secs += eval_start.elapsed().as_secs_f64();
             }
         });
     }
     if let Some(e) = eval_error {
         return Err(e);
     }
-    Ok(ExperimentResult {
-        config: config.clone(),
-        rounds,
-        messages_sent: sim.messages_sent(),
-        messages_dropped: sim.messages_dropped(),
-    })
+    trace.phases_mut().add(Phase::Simulate, sim_secs);
+    trace.phases_mut().add(Phase::Eval, eval_secs);
+    let evals: Vec<EvalRecord> = rounds
+        .iter()
+        .map(|r| EvalRecord {
+            seed,
+            round: r.round,
+            test_accuracy: r.test_accuracy.mean,
+            train_accuracy: r.train_accuracy.mean,
+            mia_vulnerability: r.mia_vulnerability.mean,
+            mia_auc: r.mia_auc.mean,
+            gen_error: r.gen_error.mean,
+        })
+        .collect();
+    trace.add_seed_run(seed, recorder.rounds(), &evals);
+    trace.set_wall_secs(wall_start.elapsed().as_secs_f64());
+    Ok((
+        ExperimentResult {
+            config: config.clone(),
+            rounds,
+            messages_sent: sim.messages_sent(),
+            messages_dropped: sim.messages_dropped(),
+        },
+        trace,
+    ))
+}
+
+/// FNV-1a fingerprint over the config's canonical JSON. The serialized
+/// form excludes the thread-count knob, so the fingerprint identifies the
+/// *experiment*, not the execution.
+pub(crate) fn config_fingerprint(config: &ExperimentConfig) -> u64 {
+    let json = serde_json::to_string(config).expect("config serialization is infallible");
+    fnv1a(json.as_bytes())
 }
 
 /// One node's slice of a round evaluation.
@@ -532,5 +607,59 @@ mod tests {
         // 8 nodes with view size 9 is impossible.
         let config = quick(9).with_view_size(9);
         assert!(run_experiment(&config).is_err());
+    }
+
+    #[test]
+    fn invalid_config_fails_fast_with_field_name() {
+        let err = run_experiment(&quick(9).with_rounds(0)).unwrap_err();
+        assert_eq!(err.invalid_field(), Some("rounds"));
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_result() {
+        let config = quick(13);
+        let untraced = run_experiment(&config).unwrap();
+        let (traced, trace) = run_experiment_traced(&config).unwrap();
+        assert_eq!(
+            untraced, traced,
+            "tracing must not change experiment numbers"
+        );
+        // ... and the serialized results are byte-identical too.
+        assert_eq!(
+            serde_json::to_string(&untraced).unwrap(),
+            serde_json::to_string(&traced).unwrap()
+        );
+        assert_eq!(trace.seeds(), &[config.seed()]);
+    }
+
+    #[test]
+    fn trace_counters_cover_every_round_and_match_result() {
+        let config = quick(14).with_rounds(7).with_eval_every(3);
+        let (result, trace) = run_experiment_traced(&config).unwrap();
+        let totals = trace.totals();
+        assert_eq!(totals.rounds, 7, "every simulated round is recorded");
+        assert_eq!(totals.evals, result.rounds.len() as u64);
+        assert_eq!(totals.messages_sent, result.messages_sent);
+        assert_eq!(totals.messages_dropped, result.messages_dropped);
+        assert!(totals.local_updates > 0);
+        // Eval records mirror the result's per-round means.
+        let evals: Vec<&glmia_trace::EvalRecord> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                glmia_trace::TraceEvent::Eval(record) => Some(record),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(evals.len(), result.rounds.len());
+        for (record, eval) in evals.iter().zip(&result.rounds) {
+            assert_eq!(record.round, eval.round);
+            assert_eq!(record.test_accuracy, eval.test_accuracy.mean);
+            assert_eq!(record.mia_vulnerability, eval.mia_vulnerability.mean);
+        }
+        // Phase timings cover the run.
+        assert!(trace.phases().get(Phase::Simulate) > 0.0);
+        assert!(trace.phases().get(Phase::Eval) > 0.0);
+        assert!(trace.wall_secs() > 0.0);
     }
 }

@@ -11,6 +11,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::node::Node;
+use crate::observer::{DeliverEvent, MergeEvent, SendEvent, SimObserver, UpdateEvent};
 use crate::{
     GossipError, NodeStats, ProtocolKind, RoundSnapshot, SimConfig, SimResult, TopologyMode,
 };
@@ -233,10 +234,64 @@ impl Simulation {
     /// Snapshots are handed over *by value*: the observer owns each one, so
     /// accumulating ([`Simulation::run`]) or shipping them to another thread
     /// costs no extra copy.
-    pub fn run_with(&mut self, mut observer: impl FnMut(RoundSnapshot)) {
+    ///
+    /// This is closure sugar over [`Simulation::run_observed`]: the closure
+    /// becomes the round-end sink of the [`SimObserver`] protocol. Use
+    /// `run_observed` directly to watch individual sends, merges and local
+    /// updates, or to compose several observers with
+    /// [`Observers`](crate::Observers).
+    pub fn run_with(&mut self, observer: impl FnMut(RoundSnapshot)) {
+        self.run_observed(observer);
+    }
+
+    /// Runs the configured number of rounds, reporting every simulation
+    /// event to `observer` (see [`SimObserver`] for the callback protocol).
+    ///
+    /// Returns the observer so recorders can be read back after the run:
+    ///
+    /// ```
+    /// # use glmia_data::{DataPreset, Federation, Partition};
+    /// # use glmia_gossip::{ProtocolKind, SimConfig, Simulation, TopologyMode};
+    /// # use glmia_graph::Topology;
+    /// # use glmia_nn::{Activation, MlpSpec};
+    /// # use rand::SeedableRng;
+    /// use glmia_gossip::{Observers, SimObserver};
+    ///
+    /// #[derive(Default)]
+    /// struct SendCounter {
+    ///     sent: u64,
+    /// }
+    /// impl SimObserver for SendCounter {
+    ///     fn on_send(&mut self, _event: glmia_gossip::SendEvent) {
+    ///         self.sent += 1;
+    ///     }
+    /// }
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// # let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    /// # let spec = DataPreset::FashionMnistLike.spec().with_num_classes(3).with_input_dim(8);
+    /// # let fed = Federation::build(&spec, 6, 20, 10, Partition::Iid, &mut rng)?;
+    /// # let topo = Topology::random_regular(6, 2, &mut rng)?;
+    /// # let model_spec = MlpSpec::new(8, &[16], 3, Activation::Relu)?;
+    /// # let config = SimConfig::new(ProtocolKind::Samo, TopologyMode::Static)
+    /// #     .with_rounds(2).with_local_epochs(1);
+    /// let mut sim = Simulation::new(config, &model_spec, &fed, topo, 42)?;
+    /// let mut rounds = Vec::new();
+    /// let sink = |s: glmia_gossip::RoundSnapshot| rounds.push(s.round);
+    /// let observers = sim.run_observed(Observers::new(SendCounter::default(), sink));
+    /// let (counter, _) = observers.into_inner();
+    /// assert_eq!(counter.sent, sim.messages_sent());
+    /// # drop(sim);
+    /// assert_eq!(rounds, vec![1, 2]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn run_observed<O: SimObserver>(&mut self, mut observer: O) -> O {
+        let ticks_per_round = self.config.ticks_per_round();
         for round in 1..=self.config.rounds() {
-            let horizon = round as u64 * self.config.ticks_per_round();
-            self.process_until(horizon);
+            let horizon = round as u64 * ticks_per_round;
+            observer.on_round_start(round, horizon - ticks_per_round);
+            self.process_until(horizon, &mut observer);
             let snapshot = RoundSnapshot {
                 round,
                 tick: horizon,
@@ -251,12 +306,14 @@ impl Simulation {
                     })
                     .collect(),
             };
-            observer(snapshot);
+            observer.on_snapshot(&snapshot);
+            observer.on_round_end(snapshot);
         }
+        observer
     }
 
     /// Processes every event with `tick <= horizon`.
-    fn process_until(&mut self, horizon: u64) {
+    fn process_until<O: SimObserver>(&mut self, horizon: u64, observer: &mut O) {
         // Peek the tick by reference: cloning the whole event would deep-copy
         // every `Deliver` payload (a full parameter vector) once per event.
         while self
@@ -266,8 +323,10 @@ impl Simulation {
         {
             let Reverse(event) = self.queue.pop().expect("peek returned an event");
             match event.kind {
-                EventKind::Wake { node } => self.on_wake(node, event.tick),
-                EventKind::Deliver { to, model } => self.on_deliver(to, model, event.tick),
+                EventKind::Wake { node } => self.on_wake(node, event.tick, observer),
+                EventKind::Deliver { to, model } => {
+                    self.on_deliver(to, model, event.tick, observer)
+                }
             }
         }
     }
@@ -279,7 +338,7 @@ impl Simulation {
     }
 
     /// Wake branch of Algorithms 1 and 2.
-    fn on_wake(&mut self, i: usize, tick: u64) {
+    fn on_wake<O: SimObserver>(&mut self, i: usize, tick: u64, observer: &mut O) {
         // Dynamic topologies: swap with a random neighbor before anything
         // else (§2.4).
         self.node_stats[i].wakes += 1;
@@ -290,9 +349,15 @@ impl Simulation {
         let protocol: ProtocolKind = self.config.protocol();
         // Merge-once protocols aggregate their buffer and train at wake-up
         // (SAMO lines 3–7).
+        let buffered = self.nodes[i].buffer.len();
         if protocol.merges_once() && self.nodes[i].merge_buffer() {
             self.node_stats[i].merges += 1;
-            self.run_local_update(i, tick);
+            observer.on_merge(MergeEvent {
+                tick,
+                node: i,
+                models_merged: buffered,
+            });
+            self.run_local_update(i, tick, observer);
         }
         // Dissemination: all neighbors (send-all) or one uniformly random
         // neighbor (Base Gossip line 3).
@@ -301,13 +366,13 @@ impl Simulation {
             // topology is only mutated at wake-up, never inside send_model.
             for idx in 0..self.topology.view(i).len() {
                 let j = self.topology.view(i)[idx];
-                self.send_model(i, j, tick);
+                self.send_model(i, j, tick, observer);
             }
         } else {
             let view = self.topology.view(i);
             if !view.is_empty() {
                 let j = view[self.nodes[i].rng.gen_range(0..view.len())];
-                self.send_model(i, j, tick);
+                self.send_model(i, j, tick, observer);
             }
         }
         // Schedule the next wake.
@@ -317,9 +382,21 @@ impl Simulation {
 
     /// Receive branch of Algorithms 1 and 2. Takes the delivered parameter
     /// vector by value: SAMO buffers it without another copy.
-    fn on_deliver(&mut self, i: usize, model: Vec<f32>, tick: u64) {
+    fn on_deliver<O: SimObserver>(
+        &mut self,
+        i: usize,
+        model: Vec<f32>,
+        tick: u64,
+        observer: &mut O,
+    ) {
         self.node_stats[i].received += 1;
-        if self.config.protocol().merges_once() {
+        let buffered = self.config.protocol().merges_once();
+        observer.on_deliver(DeliverEvent {
+            tick,
+            to: i,
+            buffered,
+        });
+        if buffered {
             // Store for the next wake-up merge (SAMO line 11).
             self.nodes[i].buffer.push(model);
         } else {
@@ -327,14 +404,19 @@ impl Simulation {
             // 7–8).
             self.nodes[i].merge_pairwise(&model);
             self.node_stats[i].merges += 1;
-            self.run_local_update(i, tick);
+            observer.on_merge(MergeEvent {
+                tick,
+                node: i,
+                models_merged: 1,
+            });
+            self.run_local_update(i, tick, observer);
         }
     }
 
     /// Runs node `i`'s local update at `tick`, applying the learning-rate
     /// schedule for the current round. Only the scalar hyperparameters are
     /// read out of the config, keeping this hot path allocation-free.
-    fn run_local_update(&mut self, i: usize, tick: u64) {
+    fn run_local_update<O: SimObserver>(&mut self, i: usize, tick: u64, observer: &mut O) {
         let round = (tick / self.config.ticks_per_round()) as usize;
         let factor = self
             .config
@@ -348,15 +430,26 @@ impl Simulation {
         let epochs = node.local_update(local_epochs, batch_size);
         self.local_updates += epochs;
         self.node_stats[i].update_epochs += epochs;
+        observer.on_local_update(UpdateEvent {
+            tick,
+            node: i,
+            epochs,
+        });
     }
 
     /// Sends node `i`'s current model to `j`, applying the configured
     /// defense and failure injection.
-    fn send_model(&mut self, i: usize, j: usize, tick: u64) {
+    fn send_model<O: SimObserver>(&mut self, i: usize, j: usize, tick: u64, observer: &mut O) {
         self.messages_sent += 1;
         self.node_stats[i].sent += 1;
         let drop = self.config.drop_probability() > 0.0
             && self.nodes[i].rng.gen_bool(self.config.drop_probability());
+        observer.on_send(SendEvent {
+            tick,
+            from: i,
+            to: j,
+            dropped: drop,
+        });
         if drop {
             self.messages_dropped += 1;
             return;
@@ -798,6 +891,91 @@ mod tests {
         .unwrap()
         .run();
         assert_ne!(constant, warmup, "schedule should alter the trajectory");
+    }
+
+    #[test]
+    fn observer_event_counts_match_global_counters() {
+        use crate::Observers;
+
+        #[derive(Default)]
+        struct Counter {
+            sends: u64,
+            drops: u64,
+            delivers: u64,
+            merged_models: u64,
+            epochs: u64,
+            round_starts: Vec<usize>,
+            snapshots: usize,
+        }
+
+        impl SimObserver for Counter {
+            fn on_round_start(&mut self, round: usize, _tick: u64) {
+                self.round_starts.push(round);
+            }
+            fn on_send(&mut self, event: SendEvent) {
+                self.sends += 1;
+                self.drops += u64::from(event.dropped);
+            }
+            fn on_deliver(&mut self, _event: DeliverEvent) {
+                self.delivers += 1;
+            }
+            fn on_merge(&mut self, event: MergeEvent) {
+                self.merged_models += event.models_merged as u64;
+            }
+            fn on_local_update(&mut self, event: UpdateEvent) {
+                self.epochs += event.epochs;
+            }
+            fn on_snapshot(&mut self, _snapshot: &RoundSnapshot) {
+                self.snapshots += 1;
+            }
+        }
+
+        let (spec, fed, topo) = small_setup(6, 2, 27);
+        let cfg = config(ProtocolKind::Samo, TopologyMode::Static).with_drop_probability(0.3);
+        let mut sim = Simulation::new(cfg, &spec, &fed, topo, 67).unwrap();
+        // Two observers watch the same run: a counter plus a closure sink.
+        let mut sink_rounds = Vec::new();
+        let sink = |s: RoundSnapshot| sink_rounds.push(s.round);
+        let observers = sim.run_observed(Observers::new(Counter::default(), sink));
+        let (counter, _) = observers.into_inner();
+        assert_eq!(counter.sends, sim.messages_sent());
+        assert_eq!(counter.drops, sim.messages_dropped());
+        assert_eq!(counter.epochs, sim.local_updates());
+        let received: u64 = sim.node_stats().iter().map(|s| s.received).sum();
+        assert_eq!(counter.delivers, received);
+        assert_eq!(
+            counter.merged_models,
+            received - sim.nodes.iter().map(|n| n.buffer.len() as u64).sum::<u64>()
+        );
+        assert_eq!(counter.round_starts, vec![1, 2, 3, 4]);
+        assert_eq!(counter.snapshots, 4);
+        assert_eq!(sink_rounds, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn run_observed_and_run_with_agree() {
+        let (spec, fed, topo) = small_setup(6, 2, 28);
+        let mk = || {
+            Simulation::new(
+                config(ProtocolKind::BaseGossip, TopologyMode::Static),
+                &spec,
+                &fed,
+                topo.clone(),
+                71,
+            )
+            .unwrap()
+        };
+        let mut via_with = Vec::new();
+        mk().run_with(|s| via_with.push(s));
+        let mut via_observed = Vec::new();
+        struct Sink<'a>(&'a mut Vec<RoundSnapshot>);
+        impl SimObserver for Sink<'_> {
+            fn on_round_end(&mut self, snapshot: RoundSnapshot) {
+                self.0.push(snapshot);
+            }
+        }
+        mk().run_observed(Sink(&mut via_observed));
+        assert_eq!(via_with, via_observed);
     }
 
     #[test]

@@ -58,6 +58,7 @@ mod defense;
 mod engine;
 mod error;
 mod node;
+mod observer;
 mod schedule;
 mod snapshot;
 
@@ -65,5 +66,6 @@ pub use config::{ProtocolKind, SimConfig, TopologyMode};
 pub use defense::Defense;
 pub use engine::Simulation;
 pub use error::GossipError;
+pub use observer::{DeliverEvent, MergeEvent, Observers, SendEvent, SimObserver, UpdateEvent};
 pub use schedule::LrSchedule;
 pub use snapshot::{NodeStats, RoundSnapshot, SimResult};

@@ -1,0 +1,342 @@
+//! Structured observation of a running simulation.
+//!
+//! [`SimObserver`] is the engine's callback surface: a trait of per-event
+//! hooks (sends, deliveries, merges, local updates, round boundaries) with
+//! no-op defaults, so an observer implements only what it cares about.
+//! [`Simulation::run_observed`](crate::Simulation::run_observed) drives any
+//! observer; [`Observers`] composes two (or, nested, any number) so an
+//! attacker, a progress reporter and a metrics recorder can all watch the
+//! same run without the engine knowing about any of them.
+//!
+//! Closures stay first-class: every `FnMut(RoundSnapshot)` *is* a
+//! [`SimObserver`] via a blanket impl that maps the closure to
+//! [`on_round_end`](SimObserver::on_round_end), so pre-trait callers of
+//! [`run_with`](crate::Simulation::run_with) compile unchanged.
+//!
+//! # Ownership protocol
+//!
+//! Round snapshots are handed out in two steps so that composition never
+//! clones a parameter vector:
+//!
+//! 1. [`on_snapshot`](SimObserver::on_snapshot) passes the snapshot *by
+//!    reference* to every observer in a chain;
+//! 2. [`on_round_end`](SimObserver::on_round_end) then passes it *by value*
+//!    to exactly one sink — the **last** observer of an [`Observers`] chain.
+//!
+//! An observer that only needs to look at rounds implements `on_snapshot`;
+//! an accumulator that wants to keep them implements `on_round_end` (or is
+//! simply a closure).
+//!
+//! # Examples
+//!
+//! ```
+//! use glmia_gossip::{Observers, SendEvent, SimObserver};
+//!
+//! #[derive(Default)]
+//! struct SendCounter {
+//!     sent: u64,
+//! }
+//!
+//! impl SimObserver for SendCounter {
+//!     fn on_send(&mut self, event: SendEvent) {
+//!         self.sent += u64::from(!event.dropped);
+//!     }
+//! }
+//!
+//! // Compose the counter with a closure sink; the closure receives each
+//! // round snapshot by value, the counter sees every send event.
+//! let sink = |snapshot: glmia_gossip::RoundSnapshot| {
+//!     let _ = snapshot.round;
+//! };
+//! let observers = Observers::new(SendCounter::default(), sink);
+//! let (counter, _sink) = observers.into_inner();
+//! assert_eq!(counter.sent, 0);
+//! ```
+
+use crate::RoundSnapshot;
+
+/// A model transmission attempt: node `from` sent its (post-defense) model
+/// toward `to` at `tick`. `dropped` marks failure injection — dropped
+/// messages count as sent but are never delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendEvent {
+    /// Simulation tick of the send.
+    pub tick: u64,
+    /// Sending node.
+    pub from: usize,
+    /// Receiving node.
+    pub to: usize,
+    /// Whether failure injection dropped the message in transit.
+    pub dropped: bool,
+}
+
+/// A model arrival at node `to` after message latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliverEvent {
+    /// Simulation tick of the delivery.
+    pub tick: u64,
+    /// Receiving node.
+    pub to: usize,
+    /// `true` under merge-once protocols (the model was buffered for the
+    /// next wake-up), `false` when it was merged pairwise on the spot.
+    pub buffered: bool,
+}
+
+/// A model aggregation at `node`: pairwise (`models_merged == 1`) or a
+/// buffer merge of `models_merged` received models at wake-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeEvent {
+    /// Simulation tick of the merge.
+    pub tick: u64,
+    /// Merging node.
+    pub node: usize,
+    /// How many received models were folded into the node's own.
+    pub models_merged: usize,
+}
+
+/// A local SGD update at `node` (post-merge training).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateEvent {
+    /// Simulation tick of the update.
+    pub tick: u64,
+    /// Training node.
+    pub node: usize,
+    /// Epochs actually run (0 when the node's shard is empty).
+    pub epochs: u64,
+}
+
+/// Callbacks into a running [`Simulation`](crate::Simulation).
+///
+/// Every hook has a no-op default; implement only what you observe. The
+/// snapshot ownership protocol: `on_snapshot` shares each round's snapshot
+/// by reference with every observer in a chain, then `on_round_end` hands
+/// it by value to the last chain member. Compose observers with
+/// [`Observers`].
+pub trait SimObserver {
+    /// A communication round begins (`tick` is the round's first tick).
+    fn on_round_start(&mut self, round: usize, tick: u64) {
+        let _ = (round, tick);
+    }
+
+    /// A node attempted to send its model (possibly dropped in transit).
+    fn on_send(&mut self, event: SendEvent) {
+        let _ = event;
+    }
+
+    /// A model arrived at its destination.
+    fn on_deliver(&mut self, event: DeliverEvent) {
+        let _ = event;
+    }
+
+    /// A node aggregated received models into its own.
+    fn on_merge(&mut self, event: MergeEvent) {
+        let _ = event;
+    }
+
+    /// A node ran local SGD epochs.
+    fn on_local_update(&mut self, event: UpdateEvent) {
+        let _ = event;
+    }
+
+    /// A round completed; the snapshot is shared with *every* observer in a
+    /// chain before [`on_round_end`](SimObserver::on_round_end) consumes it.
+    fn on_snapshot(&mut self, snapshot: &RoundSnapshot) {
+        let _ = snapshot;
+    }
+
+    /// A round completed; receives the snapshot *by value*. In an
+    /// [`Observers`] chain only the last member is called — accumulate or
+    /// ship snapshots here, observe them in `on_snapshot`.
+    fn on_round_end(&mut self, snapshot: RoundSnapshot) {
+        let _ = snapshot;
+    }
+}
+
+/// Every `FnMut(RoundSnapshot)` is an observer: the closure becomes the
+/// round-end sink, exactly matching the pre-trait `run_with` contract.
+impl<F: FnMut(RoundSnapshot)> SimObserver for F {
+    fn on_round_end(&mut self, snapshot: RoundSnapshot) {
+        self(snapshot);
+    }
+}
+
+/// Two observers watching one simulation.
+///
+/// Event hooks and [`on_snapshot`](SimObserver::on_snapshot) fan out to
+/// both members in order; [`on_round_end`](SimObserver::on_round_end) hands
+/// the snapshot to the *second* member only (the ownership sink). Nest
+/// pairs — `Observers::new(a, Observers::new(b, sink))` — for longer
+/// chains; the innermost second member is the sink.
+#[derive(Debug, Clone)]
+pub struct Observers<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A: SimObserver, B: SimObserver> Observers<A, B> {
+    /// Composes `first` and `second`; `second` is the round-end sink.
+    pub fn new(first: A, second: B) -> Self {
+        Self { first, second }
+    }
+
+    /// Recovers both observers (e.g. after
+    /// [`run_observed`](crate::Simulation::run_observed) returns the
+    /// composite).
+    pub fn into_inner(self) -> (A, B) {
+        (self.first, self.second)
+    }
+}
+
+impl<A: SimObserver, B: SimObserver> SimObserver for Observers<A, B> {
+    fn on_round_start(&mut self, round: usize, tick: u64) {
+        self.first.on_round_start(round, tick);
+        self.second.on_round_start(round, tick);
+    }
+
+    fn on_send(&mut self, event: SendEvent) {
+        self.first.on_send(event);
+        self.second.on_send(event);
+    }
+
+    fn on_deliver(&mut self, event: DeliverEvent) {
+        self.first.on_deliver(event);
+        self.second.on_deliver(event);
+    }
+
+    fn on_merge(&mut self, event: MergeEvent) {
+        self.first.on_merge(event);
+        self.second.on_merge(event);
+    }
+
+    fn on_local_update(&mut self, event: UpdateEvent) {
+        self.first.on_local_update(event);
+        self.second.on_local_update(event);
+    }
+
+    fn on_snapshot(&mut self, snapshot: &RoundSnapshot) {
+        self.first.on_snapshot(snapshot);
+        self.second.on_snapshot(snapshot);
+    }
+
+    fn on_round_end(&mut self, snapshot: RoundSnapshot) {
+        self.second.on_round_end(snapshot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default, Debug, PartialEq, Eq)]
+    struct Recorder {
+        starts: Vec<usize>,
+        sends: u64,
+        drops: u64,
+        delivers: u64,
+        merges: u64,
+        epochs: u64,
+        snapshots_seen: usize,
+    }
+
+    impl SimObserver for Recorder {
+        fn on_round_start(&mut self, round: usize, _tick: u64) {
+            self.starts.push(round);
+        }
+        fn on_send(&mut self, event: SendEvent) {
+            self.sends += 1;
+            self.drops += u64::from(event.dropped);
+        }
+        fn on_deliver(&mut self, _event: DeliverEvent) {
+            self.delivers += 1;
+        }
+        fn on_merge(&mut self, event: MergeEvent) {
+            self.merges += event.models_merged as u64;
+        }
+        fn on_local_update(&mut self, event: UpdateEvent) {
+            self.epochs += event.epochs;
+        }
+        fn on_snapshot(&mut self, _snapshot: &RoundSnapshot) {
+            self.snapshots_seen += 1;
+        }
+    }
+
+    fn snapshot(round: usize) -> RoundSnapshot {
+        RoundSnapshot {
+            round,
+            tick: round as u64 * 100,
+            models: vec![vec![0.0]],
+            shared_models: vec![vec![0.0]],
+        }
+    }
+
+    #[test]
+    fn defaults_are_no_ops() {
+        struct Inert;
+        impl SimObserver for Inert {}
+        let mut o = Inert;
+        o.on_round_start(1, 0);
+        o.on_send(SendEvent {
+            tick: 1,
+            from: 0,
+            to: 1,
+            dropped: false,
+        });
+        o.on_snapshot(&snapshot(1));
+        o.on_round_end(snapshot(1));
+    }
+
+    #[test]
+    fn closures_are_observers_via_round_end() {
+        let mut rounds = Vec::new();
+        {
+            let mut sink = |s: RoundSnapshot| rounds.push(s.round);
+            sink.on_snapshot(&snapshot(5));
+            sink.on_round_end(snapshot(1));
+            sink.on_round_end(snapshot(2));
+        }
+        assert_eq!(rounds, vec![1, 2]);
+    }
+
+    #[test]
+    fn pair_fans_out_events_and_sinks_round_end_to_second() {
+        let mut rounds = Vec::new();
+        {
+            let sink = |s: RoundSnapshot| rounds.push(s.round);
+            let mut pair = Observers::new(Recorder::default(), sink);
+            pair.on_round_start(1, 0);
+            pair.on_send(SendEvent {
+                tick: 3,
+                from: 0,
+                to: 1,
+                dropped: true,
+            });
+            pair.on_snapshot(&snapshot(1));
+            pair.on_round_end(snapshot(1));
+            let (recorder, _) = pair.into_inner();
+            assert_eq!(recorder.starts, vec![1]);
+            assert_eq!(recorder.sends, 1);
+            assert_eq!(recorder.drops, 1);
+            assert_eq!(recorder.snapshots_seen, 1);
+        }
+        assert_eq!(rounds, vec![1]);
+    }
+
+    #[test]
+    fn nested_chain_shares_snapshots_with_all_members() {
+        let mut inner_rounds = Vec::new();
+        {
+            let sink = |s: RoundSnapshot| inner_rounds.push(s.round);
+            let mut chain = Observers::new(
+                Recorder::default(),
+                Observers::new(Recorder::default(), sink),
+            );
+            chain.on_snapshot(&snapshot(1));
+            chain.on_round_end(snapshot(1));
+            let (a, rest) = chain.into_inner();
+            let (b, _) = rest.into_inner();
+            assert_eq!(a.snapshots_seen, 1);
+            assert_eq!(b.snapshots_seen, 1);
+        }
+        assert_eq!(inner_rounds, vec![1]);
+    }
+}

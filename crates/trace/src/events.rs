@@ -1,0 +1,129 @@
+//! Schema-versioned trace records.
+//!
+//! A trace is a stream of [`TraceEvent`]s serialized one-per-line as JSON
+//! (JSONL). The first line is always a [`HeaderRecord`] carrying
+//! [`SCHEMA_VERSION`] so consumers can reject streams they do not
+//! understand; subsequent lines interleave per-round simulation counters
+//! ([`RoundRecord`]) with evaluation results ([`EvalRecord`]) in
+//! round-major order — for every round the `Round` line precedes the
+//! `Eval` line, and replicated runs are concatenated in ascending seed
+//! order.
+//!
+//! Records deliberately carry **no wall-clock timestamps**: everything in
+//! the event stream is a deterministic function of the experiment config
+//! and seed, so same-seed reruns produce byte-identical JSONL. Timings
+//! live in the run manifest instead (see [`crate::Manifest`]).
+
+use serde::Serialize;
+
+/// Version of the JSONL trace schema; bump on any incompatible change to
+/// the record shapes below.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One line of a trace stream.
+///
+/// Serialized internally tagged (`"type": "Header" | "Round" | "Eval"`).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+#[serde(tag = "type")]
+pub enum TraceEvent {
+    /// First line of every stream: schema version and run identity.
+    Header(HeaderRecord),
+    /// Per-round simulation counters for one seed.
+    Round(RoundRecord),
+    /// Evaluation results for a round that was due for eval.
+    Eval(EvalRecord),
+}
+
+/// Stream identity: schema version, human-readable experiment label, and
+/// the FNV-1a hash of the canonical config JSON (hex).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct HeaderRecord {
+    /// Trace schema version ([`SCHEMA_VERSION`]).
+    pub schema: u32,
+    /// Experiment label, e.g. `"CIFAR-10-like samo static k=4 iid"`.
+    pub label: String,
+    /// FNV-1a-64 of the config's canonical JSON, zero-padded hex.
+    pub config_hash: String,
+}
+
+/// Simulation counters for one communication round of one seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct RoundRecord {
+    /// Experiment seed this round belongs to.
+    pub seed: u64,
+    /// 1-based round index.
+    pub round: usize,
+    /// Simulation tick at the round boundary.
+    pub tick: u64,
+    /// Model transmissions attempted this round (dropped ones included).
+    pub sends: u64,
+    /// Transmissions lost to failure injection.
+    pub drops: u64,
+    /// Models that arrived at a destination.
+    pub delivers: u64,
+    /// Merge operations performed (pairwise or buffer merges).
+    pub merges: u64,
+    /// Received models folded into a local model across all merges.
+    pub models_merged: u64,
+    /// Local SGD epochs run across all nodes this round.
+    pub update_epochs: u64,
+}
+
+/// Evaluation metrics for one evaluated round of one seed. Field meanings
+/// match `glmia_core::RoundEval`; `gen_error` is the mean over nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct EvalRecord {
+    /// Experiment seed this evaluation belongs to.
+    pub seed: u64,
+    /// 1-based round index that was evaluated.
+    pub round: usize,
+    /// Mean test-set accuracy over nodes.
+    pub test_accuracy: f64,
+    /// Mean train-set accuracy over nodes.
+    pub train_accuracy: f64,
+    /// Mean MIA attack accuracy over nodes (paper's vulnerability metric).
+    pub mia_vulnerability: f64,
+    /// Mean MIA AUC over nodes.
+    pub mia_auc: f64,
+    /// Mean generalization error (train minus test accuracy) over nodes.
+    pub gen_error: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_serializes_with_type_tag_and_stable_field_order() {
+        let event = TraceEvent::Header(HeaderRecord {
+            schema: SCHEMA_VERSION,
+            label: "quick".into(),
+            config_hash: "00deadbeef00cafe".into(),
+        });
+        let line = serde_json::to_string(&event).unwrap();
+        assert_eq!(
+            line,
+            "{\"type\":\"Header\",\"schema\":1,\"label\":\"quick\",\
+             \"config_hash\":\"00deadbeef00cafe\"}"
+        );
+    }
+
+    #[test]
+    fn round_record_serializes_deterministically() {
+        let record = RoundRecord {
+            seed: 7,
+            round: 3,
+            tick: 300,
+            sends: 12,
+            drops: 1,
+            delivers: 11,
+            merges: 9,
+            models_merged: 11,
+            update_epochs: 18,
+        };
+        let a = serde_json::to_string(&TraceEvent::Round(record)).unwrap();
+        let b = serde_json::to_string(&TraceEvent::Round(record)).unwrap();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"type\":\"Round\",\"seed\":7,\"round\":3,"));
+    }
+}

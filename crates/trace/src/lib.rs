@@ -1,0 +1,374 @@
+//! Observability for glmia experiment runs.
+//!
+//! This crate is the *trace layer* sitting between the gossip engine's
+//! [`SimObserver`](glmia_gossip::SimObserver) callback surface and
+//! on-disk run artifacts:
+//!
+//! * [`TraceRecorder`] — an observer that folds engine events (sends,
+//!   deliveries, merges, local updates) into per-round counters;
+//! * [`PhaseTimings`] — monotonic wall-clock accumulation per run phase
+//!   (partition, topology, simulate, eval, aggregate);
+//! * [`RunTrace`] — the assembled run record, writable as a
+//!   schema-versioned JSONL event stream (`events.jsonl`) plus an
+//!   end-of-run [`Manifest`] (`manifest.json`).
+//!
+//! # Determinism contract
+//!
+//! The event stream is a pure function of config and seeds: records carry
+//! simulation ticks and counters, never wall-clock times, so same-seed
+//! reruns emit **byte-identical** `events.jsonl` at any thread count.
+//! Timings (which do vary) are confined to the manifest.
+//!
+//! # Examples
+//!
+//! ```
+//! use glmia_trace::{EvalRecord, RoundCounters, RunTrace};
+//!
+//! let mut trace = RunTrace::new("demo", 0xfeed, 1);
+//! let round = RoundCounters {
+//!     round: 1,
+//!     tick: 100,
+//!     sends: 4,
+//!     delivers: 4,
+//!     ..RoundCounters::default()
+//! };
+//! let eval = EvalRecord {
+//!     seed: 9,
+//!     round: 1,
+//!     test_accuracy: 0.5,
+//!     train_accuracy: 0.6,
+//!     mia_vulnerability: 0.55,
+//!     mia_auc: 0.58,
+//!     gen_error: 0.1,
+//! };
+//! trace.add_seed_run(9, &[round], &[eval]);
+//!
+//! let jsonl = trace.events_jsonl();
+//! let mut lines = jsonl.lines();
+//! assert!(lines.next().unwrap().contains("\"type\":\"Header\""));
+//! assert!(lines.next().unwrap().contains("\"type\":\"Round\""));
+//! assert!(lines.next().unwrap().contains("\"type\":\"Eval\""));
+//! assert_eq!(trace.totals().messages_sent, 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod events;
+mod manifest;
+mod phase;
+mod recorder;
+
+pub use events::{EvalRecord, HeaderRecord, RoundRecord, TraceEvent, SCHEMA_VERSION};
+pub use manifest::{fnv1a, git_describe, Manifest, PhaseEntry, Totals};
+pub use phase::{Phase, PhaseTimings};
+pub use recorder::{RoundCounters, TraceRecorder};
+
+use std::io;
+use std::path::Path;
+
+/// The assembled trace of one experiment run (one or many seeds).
+///
+/// Build with [`RunTrace::new`], feed each seed's recorder output through
+/// [`add_seed_run`](RunTrace::add_seed_run) (ascending seed order),
+/// accumulate timings via [`phases_mut`](RunTrace::phases_mut), then
+/// serialize with [`events_jsonl`](RunTrace::events_jsonl) /
+/// [`manifest_json`](RunTrace::manifest_json) or persist both with
+/// [`write_to_dir`](RunTrace::write_to_dir).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunTrace {
+    label: String,
+    config_hash: u64,
+    threads: usize,
+    seeds: Vec<u64>,
+    events: Vec<TraceEvent>,
+    phases: PhaseTimings,
+    totals: Totals,
+    wall_secs: f64,
+}
+
+impl RunTrace {
+    /// An empty trace for an experiment identified by `label` and the
+    /// FNV-1a `config_hash` of its canonical config JSON.
+    pub fn new(label: impl Into<String>, config_hash: u64, threads: usize) -> Self {
+        Self {
+            label: label.into(),
+            config_hash,
+            threads,
+            seeds: Vec::new(),
+            events: Vec::new(),
+            phases: PhaseTimings::new(),
+            totals: Totals::default(),
+            wall_secs: 0.0,
+        }
+    }
+
+    /// Experiment label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Config fingerprint as zero-padded hex.
+    pub fn config_hash_hex(&self) -> String {
+        format!("{:016x}", self.config_hash)
+    }
+
+    /// Seeds recorded so far, in insertion (ascending) order.
+    pub fn seeds(&self) -> &[u64] {
+        &self.seeds
+    }
+
+    /// Data records (header excluded), round-major per seed.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Run-wide totals accumulated from every `add_seed_run`.
+    pub fn totals(&self) -> Totals {
+        self.totals
+    }
+
+    /// Phase timing accumulator.
+    pub fn phases(&self) -> &PhaseTimings {
+        &self.phases
+    }
+
+    /// Mutable phase timing accumulator (for `time`/`add`).
+    pub fn phases_mut(&mut self) -> &mut PhaseTimings {
+        &mut self.phases
+    }
+
+    /// Records the end-to-end wall-clock duration.
+    pub fn set_wall_secs(&mut self, secs: f64) {
+        self.wall_secs = secs;
+    }
+
+    /// End-to-end wall-clock seconds (0 until set).
+    pub fn wall_secs(&self) -> f64 {
+        self.wall_secs
+    }
+
+    /// Appends one seed's run: per-round counters interleaved round-major
+    /// with its evaluations (the `Round` record precedes the `Eval` record
+    /// of the same round). Eval records are restamped with `seed` so a
+    /// mislabeled input cannot corrupt the stream.
+    pub fn add_seed_run(&mut self, seed: u64, rounds: &[RoundCounters], evals: &[EvalRecord]) {
+        self.seeds.push(seed);
+        let mut pending = evals.iter().peekable();
+        for counters in rounds {
+            self.events.push(TraceEvent::Round(RoundRecord {
+                seed,
+                round: counters.round,
+                tick: counters.tick,
+                sends: counters.sends,
+                drops: counters.drops,
+                delivers: counters.delivers,
+                merges: counters.merges,
+                models_merged: counters.models_merged,
+                update_epochs: counters.update_epochs,
+            }));
+            while pending
+                .peek()
+                .is_some_and(|eval| eval.round <= counters.round)
+            {
+                let mut eval = *pending.next().expect("peeked");
+                eval.seed = seed;
+                self.events.push(TraceEvent::Eval(eval));
+            }
+            self.totals.messages_sent += counters.sends;
+            self.totals.messages_dropped += counters.drops;
+            self.totals.local_updates += counters.update_epochs;
+        }
+        // Evals past the last recorded round (defensive; normally empty).
+        for eval in pending {
+            let mut eval = *eval;
+            eval.seed = seed;
+            self.events.push(TraceEvent::Eval(eval));
+        }
+        self.totals.rounds += rounds.len() as u64;
+        self.totals.evals += evals.len() as u64;
+    }
+
+    /// Folds `other` into `self`: events are appended in `other`'s order,
+    /// totals and phase timings are summed. Callers merge in ascending
+    /// seed order to keep the stream deterministic.
+    pub fn merge(&mut self, other: RunTrace) {
+        self.seeds.extend(other.seeds);
+        self.events.extend(other.events);
+        self.phases.merge(&other.phases);
+        self.totals.rounds += other.totals.rounds;
+        self.totals.evals += other.totals.evals;
+        self.totals.messages_sent += other.totals.messages_sent;
+        self.totals.messages_dropped += other.totals.messages_dropped;
+        self.totals.local_updates += other.totals.local_updates;
+    }
+
+    fn header(&self) -> TraceEvent {
+        TraceEvent::Header(HeaderRecord {
+            schema: SCHEMA_VERSION,
+            label: self.label.clone(),
+            config_hash: self.config_hash_hex(),
+        })
+    }
+
+    /// The full JSONL stream: header line, then every data record.
+    /// Byte-identical across same-seed reruns (no timestamps inside).
+    pub fn events_jsonl(&self) -> String {
+        let mut out = String::new();
+        let mut push = |event: &TraceEvent| {
+            out.push_str(&serde_json::to_string(event).expect("trace record serialization"));
+            out.push('\n');
+        };
+        push(&self.header());
+        for event in &self.events {
+            push(event);
+        }
+        out
+    }
+
+    /// The end-of-run manifest (stamps the current git revision).
+    pub fn manifest(&self) -> Manifest {
+        Manifest {
+            schema: SCHEMA_VERSION,
+            label: self.label.clone(),
+            config_hash: self.config_hash_hex(),
+            seeds: self.seeds.clone(),
+            threads: self.threads,
+            git_commit: git_describe(),
+            wall_secs: self.wall_secs,
+            phases: PhaseEntry::from_timings(&self.phases),
+            totals: self.totals,
+        }
+    }
+
+    /// Pretty-printed `manifest.json` contents.
+    pub fn manifest_json(&self) -> String {
+        let mut out =
+            serde_json::to_string_pretty(&self.manifest()).expect("manifest serialization");
+        out.push('\n');
+        out
+    }
+
+    /// Writes `events.jsonl` and `manifest.json` under `dir` (created if
+    /// missing).
+    pub fn write_to_dir(&self, dir: impl AsRef<Path>) -> io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join("events.jsonl"), self.events_jsonl())?;
+        std::fs::write(dir.join("manifest.json"), self.manifest_json())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(round: usize) -> RoundCounters {
+        RoundCounters {
+            round,
+            tick: round as u64 * 100,
+            sends: 10 + round as u64,
+            drops: 1,
+            delivers: 9 + round as u64,
+            merges: 5,
+            models_merged: 9 + round as u64,
+            update_epochs: 12,
+        }
+    }
+
+    fn eval(round: usize) -> EvalRecord {
+        EvalRecord {
+            seed: 0,
+            round,
+            test_accuracy: 0.4,
+            train_accuracy: 0.5,
+            mia_vulnerability: 0.6,
+            mia_auc: 0.62,
+            gen_error: 0.1,
+        }
+    }
+
+    #[test]
+    fn events_are_round_major_with_eval_after_its_round() {
+        let mut trace = RunTrace::new("t", 1, 1);
+        trace.add_seed_run(42, &[counters(1), counters(2)], &[eval(2)]);
+        let kinds: Vec<&str> = trace
+            .events()
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Header(_) => "header",
+                TraceEvent::Round(_) => "round",
+                TraceEvent::Eval(_) => "eval",
+            })
+            .collect();
+        assert_eq!(kinds, ["round", "round", "eval"]);
+        match &trace.events()[2] {
+            TraceEvent::Eval(e) => {
+                assert_eq!(e.round, 2);
+                assert_eq!(e.seed, 42, "eval records are restamped with the seed");
+            }
+            other => panic!("expected eval, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn totals_accumulate_across_seeds() {
+        let mut trace = RunTrace::new("t", 1, 2);
+        trace.add_seed_run(1, &[counters(1)], &[eval(1)]);
+        trace.add_seed_run(2, &[counters(1), counters(2)], &[eval(2)]);
+        let totals = trace.totals();
+        assert_eq!(totals.rounds, 3);
+        assert_eq!(totals.evals, 2);
+        assert_eq!(totals.messages_sent, 11 + 11 + 12);
+        assert_eq!(totals.messages_dropped, 3);
+        assert_eq!(totals.local_updates, 36);
+        assert_eq!(trace.seeds(), &[1, 2]);
+    }
+
+    #[test]
+    fn jsonl_is_reproducible_and_header_first() {
+        let build = || {
+            let mut trace = RunTrace::new("exp", 0xabcd, 4);
+            trace.add_seed_run(7, &[counters(1)], &[eval(1)]);
+            trace
+        };
+        let a = build().events_jsonl();
+        let b = build().events_jsonl();
+        assert_eq!(a, b, "same inputs must serialize byte-identically");
+        let first = a.lines().next().unwrap();
+        assert!(first.contains("\"type\":\"Header\""));
+        assert!(first.contains("\"schema\":1"));
+        assert!(first.contains("000000000000abcd"));
+        assert_eq!(a.lines().count(), 3);
+    }
+
+    #[test]
+    fn merge_concatenates_in_call_order() {
+        let mut a = RunTrace::new("exp", 1, 1);
+        a.add_seed_run(1, &[counters(1)], &[]);
+        a.phases_mut().add(Phase::Simulate, 1.0);
+        let mut b = RunTrace::new("exp", 1, 1);
+        b.add_seed_run(2, &[counters(1)], &[eval(1)]);
+        b.phases_mut().add(Phase::Simulate, 2.0);
+        a.merge(b);
+        assert_eq!(a.seeds(), &[1, 2]);
+        assert_eq!(a.totals().rounds, 2);
+        assert_eq!(a.totals().evals, 1);
+        assert_eq!(a.phases().get(Phase::Simulate), 3.0);
+    }
+
+    #[test]
+    fn write_to_dir_emits_both_files() {
+        let dir = std::env::temp_dir().join(format!("glmia-trace-test-{}", std::process::id()));
+        let mut trace = RunTrace::new("exp", 2, 1);
+        trace.add_seed_run(3, &[counters(1)], &[eval(1)]);
+        trace.write_to_dir(&dir).unwrap();
+        let events = std::fs::read_to_string(dir.join("events.jsonl")).unwrap();
+        let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+        assert_eq!(events, trace.events_jsonl());
+        assert!(manifest.contains("\"schema\""));
+        assert!(manifest.contains("\"totals\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

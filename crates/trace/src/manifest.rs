@@ -1,0 +1,133 @@
+//! End-of-run manifests.
+//!
+//! A [`Manifest`] is the run's summary document: config identity, seeds,
+//! thread count, best-effort git revision, per-phase wall-clock timings
+//! and bench-comparable totals. Unlike the event stream it *does* contain
+//! timings, so `manifest.json` is not expected to be byte-identical
+//! across reruns — `events.jsonl` is.
+
+use serde::Serialize;
+
+use crate::phase::PhaseTimings;
+
+/// Summary of a traced run, serialized pretty-printed to `manifest.json`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Manifest {
+    /// Trace schema version (matches the event stream header).
+    pub schema: u32,
+    /// Experiment label.
+    pub label: String,
+    /// FNV-1a-64 of the config's canonical JSON, zero-padded hex.
+    pub config_hash: String,
+    /// Every experiment seed in the run, ascending.
+    pub seeds: Vec<u64>,
+    /// Worker threads the runner was configured with.
+    pub threads: usize,
+    /// `git describe --always --dirty` of the working tree, when available.
+    pub git_commit: Option<String>,
+    /// End-to-end wall-clock seconds for the whole run.
+    pub wall_secs: f64,
+    /// Per-phase busy seconds, canonical phase order. Overlapping phases
+    /// (simulate/eval under the pipelined runner) may sum past `wall_secs`.
+    pub phases: Vec<PhaseEntry>,
+    /// Run-wide counters comparable across benchmark runs.
+    pub totals: Totals,
+}
+
+/// One `phases` entry: a phase name and its accumulated seconds.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PhaseEntry {
+    /// Stable phase name (see `Phase::name`).
+    pub phase: &'static str,
+    /// Accumulated busy seconds.
+    pub secs: f64,
+}
+
+impl PhaseEntry {
+    /// Flattens timings into manifest entries in canonical order.
+    pub fn from_timings(timings: &PhaseTimings) -> Vec<PhaseEntry> {
+        timings
+            .iter()
+            .map(|(phase, secs)| PhaseEntry {
+                phase: phase.name(),
+                secs,
+            })
+            .collect()
+    }
+}
+
+/// Bench-comparable totals over every seed of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct Totals {
+    /// Communication rounds simulated (summed over seeds).
+    pub rounds: u64,
+    /// Rounds that were evaluated.
+    pub evals: u64,
+    /// Model transmissions attempted.
+    pub messages_sent: u64,
+    /// Transmissions lost to failure injection.
+    pub messages_dropped: u64,
+    /// Local SGD epochs run.
+    pub local_updates: u64,
+}
+
+/// FNV-1a 64-bit hash — the config fingerprint. Dependency-free and
+/// stable across platforms/versions, unlike `DefaultHasher`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    bytes.iter().fold(BASIS, |hash, &byte| {
+        (hash ^ u64::from(byte)).wrapping_mul(PRIME)
+    })
+}
+
+/// Best-effort `git describe --always --dirty` of the current working
+/// directory; `None` when git or the repository is unavailable.
+pub fn git_describe() -> Option<String> {
+    let output = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()?;
+    if !output.status.success() {
+        return None;
+    }
+    let text = String::from_utf8(output.stdout).ok()?;
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        None
+    } else {
+        Some(trimmed.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::Phase;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85dd_35c1_11c2_66b0);
+    }
+
+    #[test]
+    fn fnv1a_distinguishes_nearby_configs() {
+        assert_ne!(fnv1a(b"{\"seed\":1}"), fnv1a(b"{\"seed\":2}"));
+    }
+
+    #[test]
+    fn phase_entries_follow_canonical_order() {
+        let mut timings = PhaseTimings::new();
+        timings.add(Phase::Eval, 1.0);
+        let entries = PhaseEntry::from_timings(&timings);
+        let names: Vec<&str> = entries.iter().map(|e| e.phase).collect();
+        assert_eq!(
+            names,
+            ["partition", "topology", "simulate", "eval", "aggregate"]
+        );
+        assert_eq!(entries[3].secs, 1.0);
+    }
+}

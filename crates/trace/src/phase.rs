@@ -1,0 +1,157 @@
+//! Monotonic phase timers.
+//!
+//! An experiment run decomposes into a fixed set of [`Phase`]s; a
+//! [`PhaseTimings`] accumulates wall-clock seconds per phase via
+//! [`Instant`](std::time::Instant) (monotonic — immune to clock
+//! adjustments). Timings are *observability output only*: they are
+//! reported in the run manifest and never fed back into the simulation,
+//! so they cannot perturb experiment numbers.
+//!
+//! Under the pipelined runner, `Simulate` and `Eval` overlap in wall
+//! time; per-phase seconds measure each phase's own busy time and may sum
+//! to more than the run's wall-clock.
+
+use std::time::Instant;
+
+/// A stage of an experiment run, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Building the federation: dataset synthesis and node partitioning.
+    Partition,
+    /// Constructing the initial communication graph.
+    Topology,
+    /// Driving the discrete-event gossip simulation.
+    Simulate,
+    /// Per-round evaluation: accuracy, MIA replay, generalization error.
+    Eval,
+    /// Cross-seed aggregation during replication.
+    Aggregate,
+}
+
+impl Phase {
+    /// All phases, in canonical reporting order.
+    pub const ALL: [Phase; 5] = [
+        Phase::Partition,
+        Phase::Topology,
+        Phase::Simulate,
+        Phase::Eval,
+        Phase::Aggregate,
+    ];
+
+    /// Stable lowercase name used in manifests.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Partition => "partition",
+            Phase::Topology => "topology",
+            Phase::Simulate => "simulate",
+            Phase::Eval => "eval",
+            Phase::Aggregate => "aggregate",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Partition => 0,
+            Phase::Topology => 1,
+            Phase::Simulate => 2,
+            Phase::Eval => 3,
+            Phase::Aggregate => 4,
+        }
+    }
+}
+
+/// Accumulated seconds per [`Phase`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimings {
+    secs: [f64; 5],
+}
+
+impl PhaseTimings {
+    /// A zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `secs` to `phase`'s accumulated time.
+    pub fn add(&mut self, phase: Phase, secs: f64) {
+        self.secs[phase.index()] += secs;
+    }
+
+    /// Runs `f`, charging its wall-clock duration to `phase`.
+    pub fn time<T>(&mut self, phase: Phase, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.add(phase, start.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Accumulated seconds for `phase`.
+    pub fn get(&self, phase: Phase) -> f64 {
+        self.secs[phase.index()]
+    }
+
+    /// Sum over all phases.
+    pub fn total(&self) -> f64 {
+        self.secs.iter().sum()
+    }
+
+    /// Folds `other`'s accumulations into `self`.
+    pub fn merge(&mut self, other: &PhaseTimings) {
+        for (acc, x) in self.secs.iter_mut().zip(other.secs) {
+            *acc += x;
+        }
+    }
+
+    /// `(phase, seconds)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (Phase, f64)> + '_ {
+        Phase::ALL.iter().map(move |&p| (p, self.get(p)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get_accumulate_per_phase() {
+        let mut t = PhaseTimings::new();
+        t.add(Phase::Simulate, 1.5);
+        t.add(Phase::Simulate, 0.5);
+        t.add(Phase::Eval, 0.25);
+        assert_eq!(t.get(Phase::Simulate), 2.0);
+        assert_eq!(t.get(Phase::Eval), 0.25);
+        assert_eq!(t.get(Phase::Partition), 0.0);
+        assert_eq!(t.total(), 2.25);
+    }
+
+    #[test]
+    fn time_charges_elapsed_and_returns_value() {
+        let mut t = PhaseTimings::new();
+        let out = t.time(Phase::Topology, || 41 + 1);
+        assert_eq!(out, 42);
+        assert!(t.get(Phase::Topology) >= 0.0);
+        assert_eq!(t.get(Phase::Simulate), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_componentwise() {
+        let mut a = PhaseTimings::new();
+        a.add(Phase::Partition, 1.0);
+        let mut b = PhaseTimings::new();
+        b.add(Phase::Partition, 2.0);
+        b.add(Phase::Aggregate, 3.0);
+        a.merge(&b);
+        assert_eq!(a.get(Phase::Partition), 3.0);
+        assert_eq!(a.get(Phase::Aggregate), 3.0);
+    }
+
+    #[test]
+    fn iter_walks_canonical_order() {
+        let t = PhaseTimings::new();
+        let names: Vec<&str> = t.iter().map(|(p, _)| p.name()).collect();
+        assert_eq!(
+            names,
+            ["partition", "topology", "simulate", "eval", "aggregate"]
+        );
+    }
+}

@@ -5,8 +5,9 @@
 //! cargo run --release --example attack_playground
 //! ```
 
-use glmia_data::{DataPreset, Federation, Partition};
-use glmia_mia::{roc_curve, AttackKind, MiaEvaluator, TransferAttack};
+use glmia_core::prelude::*;
+use glmia_data::Federation;
+use glmia_mia::{roc_curve, MiaEvaluator, TransferAttack};
 use glmia_nn::{Mlp, Sgd};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -19,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Train a victim to (over)fit its shard — the situation every gossip
     // node is in between merges.
-    let config = glmia_core::ExperimentConfig::bench_scale(DataPreset::Cifar10Like);
+    let config = ExperimentConfig::bench_scale(DataPreset::Cifar10Like);
     let model_spec = config.model_spec()?;
     let mut victim = Mlp::new(&model_spec, &mut rng);
     let mut opt = Sgd::new(0.01).with_momentum(0.9).with_weight_decay(5e-4);

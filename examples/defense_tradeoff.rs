@@ -5,9 +5,7 @@
 //! cargo run --release --example defense_tradeoff
 //! ```
 
-use glmia_core::{run_experiment, AttackSurface, ExperimentConfig};
-use glmia_data::DataPreset;
-use glmia_gossip::Defense;
+use glmia_core::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let defenses: Vec<(&str, Option<Defense>)> = vec![

@@ -5,8 +5,7 @@
 //! cargo run --release --example graph_mixing
 //! ```
 
-use glmia_core::{lambda2_series, Lambda2Config};
-use glmia_gossip::TopologyMode;
+use glmia_core::prelude::*;
 use glmia_graph::Topology;
 use glmia_spectral::MixingMatrix;
 use rand::SeedableRng;

@@ -6,12 +6,10 @@
 //! cargo run --release --example protocol_comparison
 //! ```
 
-use glmia_core::{run_experiment, ExperimentConfig, ExperimentResult};
-use glmia_data::DataPreset;
-use glmia_gossip::{ProtocolKind, TopologyMode};
+use glmia_core::prelude::*;
 use glmia_metrics::pareto_front;
 
-fn run(protocol: ProtocolKind) -> Result<ExperimentResult, glmia_core::CoreError> {
+fn run(protocol: ProtocolKind) -> Result<ExperimentResult, CoreError> {
     let config = ExperimentConfig::bench_scale(DataPreset::Cifar10Like)
         .with_protocol(protocol)
         .with_topology_mode(TopologyMode::Static)

@@ -5,9 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use glmia_core::{run_experiment, ExperimentConfig};
-use glmia_data::DataPreset;
-use glmia_gossip::{ProtocolKind, TopologyMode};
+use glmia_core::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small SAMO run on the Fashion-MNIST-like task: 16 nodes on a
@@ -22,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_seed(7);
 
     println!("running: {}", config.label());
-    let result = run_experiment(&config)?;
+    let (result, trace) = run_experiment_traced(&config)?;
 
     println!("\nround  test-acc        train-acc       MIA-vuln        gen-error");
     for r in &result.rounds {
@@ -46,5 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "models sent: {} (dropped: {})",
         result.messages_sent, result.messages_dropped
     );
+
+    // The traced runner also hands back where the time went.
+    println!("\nphase timings (config {}):", trace.config_hash_hex());
+    for (phase, secs) in trace.phases().iter() {
+        println!("  {:<9} {secs:.3}s", phase.name());
+    }
     Ok(())
 }

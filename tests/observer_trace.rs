@@ -1,0 +1,194 @@
+//! End-to-end observability guarantees: the trace layer sees the same
+//! event sequence at any thread count, serializes byte-identically across
+//! same-seed reruns, and composes with other observers without changing
+//! experiment numbers.
+
+use glmia_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn quick(seed: u64) -> ExperimentConfig {
+    ExperimentConfig::quick_test(DataPreset::Cifar10Like).with_seed(seed)
+}
+
+#[test]
+fn event_sequence_is_identical_across_thread_counts() {
+    let serial = run_experiment_traced(&quick(21).with_parallelism(Parallelism::Fixed(1))).unwrap();
+    let auto = run_experiment_traced(&quick(21).with_parallelism(Parallelism::Auto)).unwrap();
+    let fixed4 = run_experiment_traced(&quick(21).with_parallelism(Parallelism::Fixed(4))).unwrap();
+    assert_eq!(serial.0, auto.0, "results are thread-count invariant");
+    assert_eq!(
+        serial.1.events(),
+        auto.1.events(),
+        "the recorded event sequence is thread-count invariant"
+    );
+    assert_eq!(serial.1.events(), fixed4.1.events());
+    assert_eq!(serial.1.totals(), auto.1.totals());
+}
+
+#[test]
+fn events_jsonl_is_byte_identical_across_reruns() {
+    let a = run_experiment_traced(&quick(22)).unwrap().1;
+    let b = run_experiment_traced(&quick(22)).unwrap().1;
+    assert_eq!(
+        a.events_jsonl(),
+        b.events_jsonl(),
+        "same-seed reruns must emit byte-identical JSONL"
+    );
+    // ... and across thread counts too: no wall-clock leaks into events.
+    let serial = run_experiment_traced(&quick(22).with_parallelism(Parallelism::Fixed(1)))
+        .unwrap()
+        .1;
+    assert_eq!(a.events_jsonl(), serial.events_jsonl());
+}
+
+#[test]
+fn different_seeds_or_configs_change_the_stream() {
+    let a = run_experiment_traced(&quick(23)).unwrap().1;
+    let b = run_experiment_traced(&quick(24)).unwrap().1;
+    assert_ne!(
+        a.events_jsonl(),
+        b.events_jsonl(),
+        "seed is part of the stream"
+    );
+    let c = run_experiment_traced(&quick(23).with_rounds(4)).unwrap().1;
+    assert_ne!(
+        a.config_hash_hex(),
+        c.config_hash_hex(),
+        "config changes change the fingerprint"
+    );
+    assert_ne!(
+        a.config_hash_hex(),
+        b.config_hash_hex(),
+        "the seed is part of the config identity"
+    );
+}
+
+#[test]
+fn trace_stream_shape_matches_schedule() {
+    let config = quick(25).with_rounds(6).with_eval_every(4);
+    let (result, trace) = run_experiment_traced(&config).unwrap();
+    // Rounds 4 and 6 are evaluated; every round is counted.
+    let evaluated: Vec<usize> = result.rounds.iter().map(|r| r.round).collect();
+    assert_eq!(evaluated, vec![4, 6]);
+    let kinds: Vec<&'static str> = trace
+        .events()
+        .iter()
+        .map(|e| match e {
+            TraceEvent::Header(_) => "header",
+            TraceEvent::Round(_) => "round",
+            TraceEvent::Eval(_) => "eval",
+        })
+        .collect();
+    assert_eq!(
+        kinds,
+        ["round", "round", "round", "round", "eval", "round", "round", "eval"],
+        "round-major interleaving: each eval follows its round"
+    );
+    let jsonl = trace.events_jsonl();
+    assert_eq!(
+        jsonl.lines().count(),
+        kinds.len() + 1,
+        "header + one line per event"
+    );
+    assert!(jsonl.lines().next().unwrap().contains("\"schema\":1"));
+}
+
+#[test]
+fn multiple_observers_watch_one_simulation() {
+    use glmia_gossip::{Observers, RoundSnapshot, SendEvent, SimObserver};
+
+    // An attacker-style accumulator (closure sink) and a metrics recorder
+    // (TraceRecorder) plus a custom progress counter all watch one run.
+    #[derive(Default)]
+    struct Progress {
+        rounds_started: usize,
+        sends: u64,
+    }
+    impl SimObserver for Progress {
+        fn on_round_start(&mut self, _round: usize, _tick: u64) {
+            self.rounds_started += 1;
+        }
+        fn on_send(&mut self, _event: SendEvent) {
+            self.sends += 1;
+        }
+    }
+
+    let config = quick(26);
+    let mut rng = StdRng::seed_from_u64(config.seed());
+    let federation = glmia_data::Federation::build(
+        &config.data_spec(),
+        config.nodes(),
+        config.train_per_node(),
+        config.test_per_node(),
+        config.partition(),
+        &mut rng,
+    )
+    .unwrap();
+    let topology =
+        glmia_graph::Topology::random_regular(config.nodes(), config.view_size(), &mut rng)
+            .unwrap();
+    let model_spec = config.model_spec().unwrap();
+    let mut sim = glmia_gossip::Simulation::new(
+        config.sim_config(),
+        &model_spec,
+        &federation,
+        topology,
+        config.seed(),
+    )
+    .unwrap();
+
+    let mut snapshots = Vec::new();
+    let sink = |s: RoundSnapshot| snapshots.push(s.round);
+    let chain = Observers::new(
+        Progress::default(),
+        Observers::new(TraceRecorder::new(), sink),
+    );
+    let chain = sim.run_observed(chain);
+    let (progress, rest) = chain.into_inner();
+    let (recorder, _sink) = rest.into_inner();
+
+    assert_eq!(progress.rounds_started, config.rounds());
+    assert_eq!(progress.sends, sim.messages_sent());
+    assert_eq!(recorder.rounds().len(), config.rounds());
+    let recorded_sends: u64 = recorder.rounds().iter().map(|r| r.sends).sum();
+    assert_eq!(
+        recorded_sends, progress.sends,
+        "both observers saw every send"
+    );
+    assert_eq!(snapshots, (1..=config.rounds()).collect::<Vec<_>>());
+}
+
+#[test]
+fn legacy_closure_callers_still_compile_and_run() {
+    // The pre-trait `run_with(FnMut(RoundSnapshot))` surface, untouched.
+    let config = quick(27);
+    let mut rng = StdRng::seed_from_u64(config.seed());
+    let federation = glmia_data::Federation::build(
+        &config.data_spec(),
+        config.nodes(),
+        config.train_per_node(),
+        config.test_per_node(),
+        config.partition(),
+        &mut rng,
+    )
+    .unwrap();
+    let topology =
+        glmia_graph::Topology::random_regular(config.nodes(), config.view_size(), &mut rng)
+            .unwrap();
+    let model_spec = config.model_spec().unwrap();
+    let mut sim = glmia_gossip::Simulation::new(
+        config.sim_config(),
+        &model_spec,
+        &federation,
+        topology,
+        config.seed(),
+    )
+    .unwrap();
+    let mut rounds = 0usize;
+    sim.run_with(|snapshot| {
+        assert_eq!(snapshot.models.len(), config.nodes());
+        rounds += 1;
+    });
+    assert_eq!(rounds, config.rounds());
+}
