@@ -16,8 +16,11 @@ pub enum ArgError {
     EmptyOptionName,
     /// The same `--key` appeared twice.
     DuplicateOption(String),
-    /// A positional token where only `--key value` pairs are allowed.
+    /// A positional token given to a subcommand that takes none.
     UnexpectedPositional(String),
+    /// A required positional argument (e.g. `analyze <trace-dir>`) was
+    /// not given.
+    MissingPositional(&'static str),
     /// A known option's value failed to parse.
     InvalidValue {
         /// The option name (without `--`).
@@ -48,6 +51,9 @@ impl fmt::Display for ArgError {
             ArgError::DuplicateOption(key) => write!(f, "option --{key} given twice"),
             ArgError::UnexpectedPositional(token) => {
                 write!(f, "unexpected positional argument '{token}'")
+            }
+            ArgError::MissingPositional(name) => {
+                write!(f, "missing required argument {name}")
             }
             ArgError::InvalidValue { key, value } => {
                 write!(f, "invalid value for --{key}: '{value}'")
@@ -108,22 +114,26 @@ impl From<String> for CliError {
     }
 }
 
-/// Parsed command line: a subcommand plus `--key value` options.
+/// Parsed command line: a subcommand, its positional arguments, and
+/// `--key value` options.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Args {
     subcommand: Option<String>,
+    positionals: Vec<String>,
     options: BTreeMap<String, String>,
 }
 
 impl Args {
     /// Parses `args` (excluding the program name). The first non-flag token
-    /// is the subcommand; the rest must be `--key value` pairs or `--flag`
-    /// (stored with an empty value).
+    /// is the subcommand; the rest are `--key value` pairs, `--flag`s
+    /// (stored with an empty value), or positional arguments. Subcommands
+    /// that take no positionals reject them via
+    /// [`reject_positionals`](Args::reject_positionals).
     ///
     /// # Errors
     ///
-    /// Returns an [`ArgError`] when a positional token appears after
-    /// options or a key is repeated.
+    /// Returns an [`ArgError`] when a key is repeated or an option name
+    /// is empty.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgError> {
         let mut parsed = Args::default();
         let mut iter = args.into_iter().peekable();
@@ -139,13 +149,51 @@ impl Args {
                 if parsed.options.insert(key.to_string(), value).is_some() {
                     return Err(ArgError::DuplicateOption(key.to_string()));
                 }
-            } else if parsed.subcommand.is_none() && parsed.options.is_empty() {
+            } else if parsed.subcommand.is_none()
+                && parsed.options.is_empty()
+                && parsed.positionals.is_empty()
+            {
                 parsed.subcommand = Some(token);
             } else {
-                return Err(ArgError::UnexpectedPositional(token));
+                parsed.positionals.push(token);
             }
         }
         Ok(parsed)
+    }
+
+    /// Positional arguments after the subcommand, in order.
+    #[must_use]
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// The `index`-th positional argument, if given.
+    #[must_use]
+    pub fn positional(&self, index: usize) -> Option<&str> {
+        self.positionals.get(index).map(String::as_str)
+    }
+
+    /// The `index`-th positional, or a usage error naming the missing
+    /// argument (e.g. `"<trace-dir>"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::MissingPositional`] when absent.
+    pub fn require_positional(&self, index: usize, name: &'static str) -> Result<&str, ArgError> {
+        self.positional(index)
+            .ok_or(ArgError::MissingPositional(name))
+    }
+
+    /// Rejects any positional arguments — for subcommands that take none.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::UnexpectedPositional`] naming the first one.
+    pub fn reject_positionals(&self) -> Result<(), ArgError> {
+        match self.positionals.first() {
+            None => Ok(()),
+            Some(token) => Err(ArgError::UnexpectedPositional(token.clone())),
+        }
     }
 
     /// The subcommand, if any.
@@ -243,11 +291,30 @@ mod tests {
     }
 
     #[test]
-    fn rejects_trailing_positionals() {
+    fn collects_positionals_in_order() {
+        let a = parse(&["analyze", "out/trace", "--format", "json", "extra"]).unwrap();
+        assert_eq!(a.subcommand(), Some("analyze"));
+        assert_eq!(a.positionals(), ["out/trace".to_string(), "extra".into()]);
+        assert_eq!(a.positional(0), Some("out/trace"));
+        assert_eq!(a.positional(2), None);
+        assert_eq!(a.require_positional(0, "<trace-dir>").unwrap(), "out/trace");
         assert_eq!(
-            parse(&["run", "--k", "1", "oops"]).unwrap_err(),
+            a.require_positional(2, "<thing>").unwrap_err(),
+            ArgError::MissingPositional("<thing>")
+        );
+    }
+
+    #[test]
+    fn commands_without_positionals_can_reject_them() {
+        let a = parse(&["run", "--k", "1", "oops"]).unwrap();
+        assert_eq!(
+            a.reject_positionals().unwrap_err(),
             ArgError::UnexpectedPositional("oops".into())
         );
+        assert!(parse(&["run", "--k", "1"])
+            .unwrap()
+            .reject_positionals()
+            .is_ok());
     }
 
     #[test]
@@ -276,6 +343,7 @@ mod tests {
             ArgError::EmptyOptionName,
             ArgError::DuplicateOption("k".into()),
             ArgError::UnexpectedPositional("x".into()),
+            ArgError::MissingPositional("<trace-dir>"),
             ArgError::UnknownOptions(vec!["typo".into()]),
             ArgError::UnknownSubcommand("zap".into()),
         ] {

@@ -1,5 +1,8 @@
 //! Subcommand implementations.
 
+use std::path::PathBuf;
+
+use glmia_core::prelude::{read_trace, RunSummary, TraceWriter};
 use glmia_core::{
     lambda2_series, run_experiment, run_experiment_traced, ExperimentConfig, Lambda2Config,
     Parallelism,
@@ -7,7 +10,7 @@ use glmia_core::{
 use glmia_data::{DataPreset, Federation, Partition};
 use glmia_gossip::{ProtocolKind, TopologyMode};
 use glmia_graph::Topology;
-use glmia_metrics::render_table;
+use glmia_metrics::{render_markdown_report, render_prometheus, render_table};
 use glmia_mia::{AttackKind, MiaEvaluator};
 use glmia_nn::{Mlp, Sgd};
 use rand::rngs::StdRng;
@@ -61,6 +64,7 @@ fn reject_unknown(args: &Args, known: &[&str]) -> Result<(), CliError> {
 
 /// `glmia run`
 pub fn run(args: &Args) -> Result<(), CliError> {
+    args.reject_positionals()?;
     reject_unknown(
         args,
         &[
@@ -76,6 +80,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
             "seed",
             "threads",
             "trace",
+            "quiet",
             "json",
             "plot",
         ],
@@ -111,14 +116,31 @@ pub fn run(args: &Args) -> Result<(), CliError> {
             .map_err(|_| format!("invalid --beta '{beta}'"))?;
         config = config.with_partition(Partition::Dirichlet { beta });
     }
+    config = config.with_progress(!args.flag("quiet"));
+    // Create the trace directory *before* running: a run that dies
+    // mid-phase still leaves a header-only events.jsonl and a manifest
+    // honestly marked `"complete": false`.
+    let writer = match args.get("trace") {
+        Some(dir) if dir.is_empty() => {
+            return Err("--trace requires a directory".to_string().into())
+        }
+        Some(dir) => Some(
+            TraceWriter::create(
+                dir,
+                config.label(),
+                config.fingerprint(),
+                config.parallelism().threads(),
+            )
+            .map_err(|e| format!("creating trace dir '{dir}': {e}"))?,
+        ),
+        None => None,
+    };
     eprintln!("running: {}", config.label());
     let (result, trace) = run_experiment_traced(&config).map_err(|e| e.to_string())?;
-    if let Some(dir) = args.get("trace") {
-        if dir.is_empty() {
-            return Err("--trace requires a directory".to_string().into());
-        }
-        trace
-            .write_to_dir(dir)
+    if let Some(writer) = writer {
+        let dir = writer.dir().display().to_string();
+        writer
+            .finish(&trace)
             .map_err(|e| format!("writing trace to '{dir}': {e}"))?;
         eprintln!("trace: {dir}/events.jsonl, {dir}/manifest.json");
     }
@@ -164,6 +186,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
 /// `glmia compare`: run the same workload under two protocol/topology
 /// settings and overlay their tradeoff curves.
 pub fn compare(args: &Args) -> Result<(), CliError> {
+    args.reject_positionals()?;
     reject_unknown(
         args,
         &[
@@ -231,8 +254,53 @@ pub fn compare(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `glmia analyze <trace-dir>`: derive per-round aggregates, histograms
+/// and the empirical mixing spectrum from a recorded trace, write
+/// `summary.json` + `report.md` back into the trace directory, and print
+/// the chosen rendering. Malformed traces are runtime failures (exit 1),
+/// not usage errors.
+pub fn analyze(args: &Args) -> Result<(), CliError> {
+    reject_unknown(args, &["format"])?;
+    let dir = PathBuf::from(args.require_positional(0, "<trace-dir>")?);
+    if let Some(extra) = args.positionals().get(1) {
+        return Err(ArgError::UnexpectedPositional(extra.clone()).into());
+    }
+    let format = args.get("format").unwrap_or("md");
+    if !matches!(format, "json" | "md" | "prometheus") {
+        return Err(ArgError::InvalidValue {
+            key: "format".into(),
+            value: format.to_string(),
+        }
+        .into());
+    }
+    let events_path = dir.join("events.jsonl");
+    let (header, events) =
+        read_trace(&events_path).map_err(|e| format!("{}: {e}", events_path.display()))?;
+    let summary = RunSummary::from_events(&header, &events);
+    // The summary is a pure function of the event stream, so these files
+    // inherit the trace's byte-identity across thread counts and reruns.
+    let json = summary.to_json_pretty();
+    let md = render_markdown_report(&summary);
+    std::fs::write(dir.join("summary.json"), &json)
+        .map_err(|e| format!("writing {}: {e}", dir.join("summary.json").display()))?;
+    std::fs::write(dir.join("report.md"), &md)
+        .map_err(|e| format!("writing {}: {e}", dir.join("report.md").display()))?;
+    match format {
+        "json" => print!("{json}"),
+        "prometheus" => print!("{}", render_prometheus(&summary)),
+        _ => print!("{md}"),
+    }
+    eprintln!(
+        "wrote {}, {}",
+        dir.join("summary.json").display(),
+        dir.join("report.md").display()
+    );
+    Ok(())
+}
+
 /// `glmia lambda2`
 pub fn lambda2(args: &Args) -> Result<(), CliError> {
+    args.reject_positionals()?;
     reject_unknown(
         args,
         &["k", "nodes", "iterations", "runs", "dynamic", "seed"],
@@ -263,6 +331,7 @@ pub fn lambda2(args: &Args) -> Result<(), CliError> {
 
 /// `glmia attack`
 pub fn attack(args: &Args) -> Result<(), CliError> {
+    args.reject_positionals()?;
     reject_unknown(args, &["dataset", "epochs", "samples", "seed"])?;
     let dataset = parse_dataset(args.get("dataset").unwrap_or("cifar10"))?;
     let epochs: usize = args.get_or("epochs", 100usize)?;
@@ -322,6 +391,7 @@ pub fn attack(args: &Args) -> Result<(), CliError> {
 
 /// `glmia topo`
 pub fn topo(args: &Args) -> Result<(), CliError> {
+    args.reject_positionals()?;
     reject_unknown(args, &["nodes", "k", "swaps", "seed"])?;
     let nodes: usize = args.get_or("nodes", 24usize)?;
     let k: usize = args.get_or("k", 4usize)?;
@@ -480,5 +550,41 @@ mod tests {
     fn compare_rejects_unknown_axis() {
         let a = args(&["compare", "--axis", "weather"]);
         assert!(compare(&a).is_err());
+    }
+
+    #[test]
+    fn run_rejects_positionals_as_usage_errors() {
+        let a = args(&["run", "--preset", "quick", "oops"]);
+        let err = run(&a).unwrap_err();
+        assert_eq!(err, ArgError::UnexpectedPositional("oops".into()).into());
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn analyze_requires_a_trace_dir() {
+        let err = analyze(&args(&["analyze"])).unwrap_err();
+        assert_eq!(err, ArgError::MissingPositional("<trace-dir>").into());
+        assert_eq!(err.exit_code(), 2, "missing operand is a usage error");
+    }
+
+    #[test]
+    fn analyze_rejects_unknown_formats_as_value_errors() {
+        let err = analyze(&args(&["analyze", "some/dir", "--format", "xml"])).unwrap_err();
+        assert_eq!(
+            err,
+            ArgError::InvalidValue {
+                key: "format".into(),
+                value: "xml".into(),
+            }
+            .into()
+        );
+        assert_eq!(err.exit_code(), 1);
+    }
+
+    #[test]
+    fn analyze_reports_missing_traces_as_runtime_failures() {
+        let err = analyze(&args(&["analyze", "/nonexistent/trace-dir"])).unwrap_err();
+        assert_eq!(err.exit_code(), 1, "unreadable trace is not a usage error");
+        assert!(err.to_string().contains("events.jsonl"), "{err}");
     }
 }

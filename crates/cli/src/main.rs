@@ -3,6 +3,7 @@
 //! ```text
 //! glmia run      --dataset cifar10 --protocol samo --dynamic --k 5 ...
 //! glmia run      --preset quick --trace out/trace
+//! glmia analyze  out/trace --format md
 //! glmia lambda2  --k 2 --nodes 150 --iterations 15 --runs 10 --dynamic
 //! glmia attack   --dataset purchase100 --epochs 100
 //! glmia topo     --nodes 24 --k 4
@@ -30,6 +31,7 @@ fn main() -> ExitCode {
     };
     let outcome = match parsed.subcommand() {
         Some("run") => commands::run(&parsed),
+        Some("analyze") => commands::analyze(&parsed),
         Some("compare") => commands::compare(&parsed),
         Some("lambda2") => commands::lambda2(&parsed),
         Some("attack") => commands::attack(&parsed),
@@ -77,8 +79,17 @@ SUBCOMMANDS:
                                                  setting, 1 = serial path)
               --trace <dir>                      write events.jsonl +
                                                  manifest.json run trace
+              --quiet                            suppress the stderr progress
+                                                 heartbeat (also off when
+                                                 stderr is not a terminal)
               --json                             emit JSON instead of a table
               --plot                             draw an ASCII tradeoff scatter
+
+    analyze   derive metrics from a recorded trace directory: per-round
+              aggregates, fan-in/staleness histograms, MIA time series and
+              the empirical mixing spectrum; writes summary.json + report.md
+              into the directory and prints the chosen format
+              glmia analyze <trace-dir> [--format json|md|prometheus]
 
     compare   run the same workload under two settings and overlay the
               privacy/utility curves on one ASCII plot

@@ -142,14 +142,19 @@ fn trace_flag_writes_jsonl_and_manifest_without_changing_results() {
 
     let events = std::fs::read_to_string(dir.join("events.jsonl")).expect("events.jsonl written");
     let header = events.lines().next().expect("non-empty event stream");
-    assert!(header.contains("\"schema\":1"), "{header}");
+    assert!(header.contains("\"schema\":2"), "{header}");
     assert!(events.lines().count() > 1, "events follow the header");
 
     let manifest: serde_json::Value = serde_json::from_str(
         &std::fs::read_to_string(dir.join("manifest.json")).expect("manifest.json written"),
     )
     .expect("valid manifest JSON");
-    assert_eq!(manifest["schema"].as_u64(), Some(1));
+    assert_eq!(manifest["schema"].as_u64(), Some(2));
+    assert_eq!(
+        manifest["complete"],
+        serde_json::Value::Bool(true),
+        "a finished run is marked complete"
+    );
     assert_eq!(
         manifest["seeds"].as_array().map(Vec::len),
         Some(1),
@@ -160,13 +165,125 @@ fn trace_flag_writes_jsonl_and_manifest_without_changing_results() {
         Some(5),
         "quick preset runs 5 rounds"
     );
-    assert_eq!(manifest["phases"].as_array().map(Vec::len), Some(5));
+    assert_eq!(manifest["phases"].as_array().map(Vec::len), Some(6));
 
     // Tracing must not perturb the experiment itself.
     let plain = glmia(&["run", "--preset", "quick", "--seed", "5", "--json"]);
     assert!(plain.status.success());
     assert_eq!(traced.stdout, plain.stdout);
 
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_renders_a_recorded_trace_in_every_format() {
+    let dir = std::env::temp_dir().join(format!("glmia-cli-analyze-{}", std::process::id()));
+    let run = glmia(&[
+        "run",
+        "--preset",
+        "quick",
+        "--seed",
+        "11",
+        "--json",
+        "--trace",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(
+        run.status.success(),
+        "{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+
+    let md = glmia(&["analyze", dir.to_str().unwrap()]);
+    assert_eq!(md.status.code(), Some(0));
+    let md_out = String::from_utf8_lossy(&md.stdout);
+    assert!(md_out.contains("# Run report:"), "{md_out}");
+    assert!(md_out.contains("## Empirical mixing spectrum"), "{md_out}");
+
+    let summary = std::fs::read_to_string(dir.join("summary.json")).expect("summary.json written");
+    assert!(!summary.is_empty());
+    let value: serde_json::Value = serde_json::from_str(&summary).expect("valid summary JSON");
+    assert_eq!(value["schema"].as_u64(), Some(2));
+    assert!(value["rounds"].as_array().is_some_and(|r| !r.is_empty()));
+    let report = std::fs::read_to_string(dir.join("report.md")).expect("report.md written");
+    assert_eq!(
+        report, md_out,
+        "printed markdown matches the written report"
+    );
+
+    let json = glmia(&["analyze", dir.to_str().unwrap(), "--format", "json"]);
+    assert_eq!(json.status.code(), Some(0));
+    assert_eq!(String::from_utf8_lossy(&json.stdout), summary);
+
+    let prom = glmia(&["analyze", dir.to_str().unwrap(), "--format", "prometheus"]);
+    assert_eq!(prom.status.code(), Some(0));
+    let prom_out = String::from_utf8_lossy(&prom.stdout);
+    assert!(
+        prom_out.contains("# TYPE glmia_rounds_total counter"),
+        "{prom_out}"
+    );
+    assert!(
+        prom_out.contains("glmia_merge_fanin_bucket{le=\"+Inf\"}"),
+        "{prom_out}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_output_is_byte_identical_across_thread_counts() {
+    let base = std::env::temp_dir().join(format!("glmia-cli-threads-{}", std::process::id()));
+    let mut summaries = Vec::new();
+    for threads in ["1", "8"] {
+        let dir = base.join(threads);
+        let run = glmia(&[
+            "run",
+            "--preset",
+            "quick",
+            "--seed",
+            "13",
+            "--threads",
+            threads,
+            "--json",
+            "--trace",
+            dir.to_str().unwrap(),
+        ]);
+        assert!(
+            run.status.success(),
+            "{}",
+            String::from_utf8_lossy(&run.stderr)
+        );
+        let analyzed = glmia(&["analyze", dir.to_str().unwrap(), "--format", "json"]);
+        assert_eq!(analyzed.status.code(), Some(0));
+        summaries.push(std::fs::read(dir.join("summary.json")).expect("summary.json written"));
+    }
+    assert_eq!(
+        summaries[0], summaries[1],
+        "summary.json is byte-identical at --threads 1 and --threads 8"
+    );
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn analyze_exits_1_on_corrupt_traces_and_2_on_usage_errors() {
+    // Missing operand and unknown options are usage errors.
+    assert_eq!(glmia(&["analyze"]).status.code(), Some(2));
+    assert_eq!(
+        glmia(&["analyze", "some/dir", "--oops"]).status.code(),
+        Some(2)
+    );
+    // A malformed trace is a runtime failure, like any bad input file.
+    let dir = std::env::temp_dir().join(format!("glmia-cli-corrupt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("events.jsonl"),
+        "{\"type\":\"Header\",\"schema\":2,\"label\":\"x\",\"config_hash\":\"00\"}\nnot json\n",
+    )
+    .unwrap();
+    let out = glmia(&["analyze", dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 2"), "error names the line: {stderr}");
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -134,6 +134,13 @@ pub struct ExperimentConfig {
     defense: Option<Defense>,
     drop_probability: f64,
     lr_schedule: LrSchedule,
+    /// Overrides the wake-interval jitter σ (in ticks). `None` keeps the
+    /// engine default (σ = 10); `Some(0.0)` makes wake times deterministic,
+    /// which turns SAMO on a static graph into exact synchronous gossip —
+    /// the regime where the empirical mixing matrix equals the analytic
+    /// `(A + I)/(k + 1)`. Part of the experiment's identity.
+    #[serde(default)]
+    wake_std_override: Option<f64>,
     seed: u64,
     /// Worker threads for the attack-replay pipeline. Excluded from
     /// serialization and equality: two runs differing only in thread count
@@ -141,12 +148,23 @@ pub struct ExperimentConfig {
     /// experiment's identity.
     #[serde(skip)]
     parallelism: Parallelism,
+    /// Disables empirical mixing-matrix reconstruction (an observability
+    /// knob: recording `W_t` costs `O(n²)` memory per round and an `O(n³)`
+    /// eigensolve per round after the run, but never touches an RNG or a
+    /// model). Excluded from identity like `parallelism`.
+    #[serde(skip)]
+    mixing_disabled: bool,
+    /// Requests the stderr progress heartbeat (suppressed anyway when
+    /// stderr is not a TTY). Pure presentation; excluded from identity.
+    #[serde(skip)]
+    progress: bool,
 }
 
-/// Equality over every field *except* `parallelism` (an execution knob, see
-/// [`Parallelism`]). The exhaustive destructuring makes this impl fail to
-/// compile when a field is added, so new knobs cannot silently escape
-/// comparison.
+/// Equality over every field *except* the execution/observability knobs
+/// `parallelism`, `mixing_disabled` and `progress` (none of which can
+/// change a result byte). The exhaustive destructuring makes this impl
+/// fail to compile when a field is added, so new knobs cannot silently
+/// escape comparison.
 impl PartialEq for ExperimentConfig {
     fn eq(&self, other: &Self) -> bool {
         let Self {
@@ -169,8 +187,11 @@ impl PartialEq for ExperimentConfig {
             defense,
             drop_probability,
             lr_schedule,
+            wake_std_override,
             seed,
             parallelism: _,
+            mixing_disabled: _,
+            progress: _,
         } = self;
         *dataset == other.dataset
             && *num_classes_override == other.num_classes_override
@@ -191,6 +212,7 @@ impl PartialEq for ExperimentConfig {
             && *defense == other.defense
             && *drop_probability == other.drop_probability
             && *lr_schedule == other.lr_schedule
+            && *wake_std_override == other.wake_std_override
             && *seed == other.seed
     }
 }
@@ -224,9 +246,12 @@ impl ExperimentConfig {
             defense: None,
             drop_probability: 0.0,
             lr_schedule: LrSchedule::Constant,
+            wake_std_override: None,
             seed: 0,
             training,
             parallelism: Parallelism::Auto,
+            mixing_disabled: false,
+            progress: false,
         }
     }
 
@@ -427,10 +452,38 @@ impl ExperimentConfig {
         self
     }
 
+    /// Overrides the wake-interval jitter σ in ticks (default: the engine's
+    /// σ = 10). `0.0` makes every node wake exactly once per round at a
+    /// deterministic tick — the synchronous-gossip limit used to validate
+    /// empirical against analytic λ₂. Checked by
+    /// [`validate`](Self::validate): must be finite and non-negative.
+    #[must_use]
+    pub fn with_wake_std(mut self, std: f64) -> Self {
+        self.wake_std_override = Some(std);
+        self
+    }
+
     /// Sets the master seed.
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enables or disables empirical mixing-matrix reconstruction in traced
+    /// runs (default: enabled). An observability knob excluded from the
+    /// config's identity; see the field docs for the cost model.
+    #[must_use]
+    pub fn with_mixing_trace(mut self, enabled: bool) -> Self {
+        self.mixing_disabled = !enabled;
+        self
+    }
+
+    /// Requests the stderr progress heartbeat (default: off; suppressed
+    /// regardless when stderr is not a TTY). Excluded from identity.
+    #[must_use]
+    pub fn with_progress(mut self, enabled: bool) -> Self {
+        self.progress = enabled;
         self
     }
 
@@ -532,6 +585,34 @@ impl ExperimentConfig {
         self.parallelism
     }
 
+    /// The wake-interval jitter override, if any.
+    #[must_use]
+    pub fn wake_std(&self) -> Option<f64> {
+        self.wake_std_override
+    }
+
+    /// Whether traced runs reconstruct empirical mixing matrices.
+    #[must_use]
+    pub fn mixing_trace(&self) -> bool {
+        !self.mixing_disabled
+    }
+
+    /// Whether the stderr progress heartbeat is requested.
+    #[must_use]
+    pub fn progress(&self) -> bool {
+        self.progress
+    }
+
+    /// FNV-1a fingerprint over the config's canonical JSON. The serialized
+    /// form excludes the execution knobs (thread count, mixing trace,
+    /// progress), so the fingerprint identifies the *experiment*, not the
+    /// execution.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let json = serde_json::to_string(self).expect("config serialization is infallible");
+        glmia_trace::fnv1a(json.as_bytes())
+    }
+
     /// Materializes the synthetic dataset spec (preset + overrides).
     #[must_use]
     pub fn data_spec(&self) -> SyntheticSpec {
@@ -578,6 +659,9 @@ impl ExperimentConfig {
         }
         if let Some(defense) = self.defense {
             sim = sim.with_defense(defense);
+        }
+        if let Some(std) = self.wake_std_override {
+            sim = sim.with_wake_distribution(100.0, std);
         }
         sim.with_lr_schedule(self.lr_schedule)
     }
@@ -680,6 +764,14 @@ impl ExperimentConfig {
                 "drop_probability",
                 format!("must lie in [0, 1), got {}", self.drop_probability),
             ));
+        }
+        if let Some(std) = self.wake_std_override {
+            if !std.is_finite() || std < 0.0 {
+                return Err(CoreError::invalid(
+                    "wake_std",
+                    format!("must be finite and non-negative, got {std}"),
+                ));
+            }
         }
         Ok(())
     }
@@ -798,12 +890,41 @@ mod tests {
             (quick().with_dropout(-0.1), "dropout"),
             (quick().with_drop_probability(1.0), "drop_probability"),
             (quick().with_drop_probability(-0.5), "drop_probability"),
+            (quick().with_wake_std(-1.0), "wake_std"),
+            (quick().with_wake_std(f64::NAN), "wake_std"),
         ];
         for (config, field) in cases {
             let err = config.validate().unwrap_err();
             assert_eq!(err.invalid_field(), Some(field), "for field {field}");
             assert!(err.to_string().starts_with("invalid config: "));
         }
+    }
+
+    #[test]
+    fn wake_std_is_part_of_identity_and_reaches_the_simulator() {
+        let base = ExperimentConfig::quick_test(DataPreset::Cifar10Like);
+        let synced = base.clone().with_wake_std(0.0);
+        assert_ne!(base, synced, "wake_std changes the experiment");
+        assert_eq!(base.sim_config().wake_std(), 10.0);
+        assert_eq!(synced.sim_config().wake_std(), 0.0);
+        assert_eq!(synced.sim_config().wake_mean(), 100.0);
+        assert_ne!(base.fingerprint(), synced.fingerprint());
+        // The override round-trips through serialization.
+        let back: ExperimentConfig =
+            serde_json::from_str(&serde_json::to_string(&synced).unwrap()).unwrap();
+        assert_eq!(back.wake_std(), Some(0.0));
+    }
+
+    #[test]
+    fn observability_knobs_do_not_change_identity() {
+        let base = ExperimentConfig::quick_test(DataPreset::Cifar10Like);
+        assert!(base.mixing_trace(), "mixing trace defaults on");
+        assert!(!base.progress(), "progress defaults off");
+        let tweaked = base.clone().with_mixing_trace(false).with_progress(true);
+        assert_eq!(base, tweaked);
+        assert_eq!(base.fingerprint(), tweaked.fingerprint());
+        assert!(!tweaked.mixing_trace());
+        assert!(tweaked.progress());
     }
 
     #[test]

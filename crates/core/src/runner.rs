@@ -28,12 +28,16 @@ use std::time::Instant;
 
 use glmia_data::Federation;
 use glmia_dist::mean_std;
-use glmia_gossip::{Observers, RoundSnapshot, Simulation};
+use glmia_gossip::{MixingMatrixObserver, Observers, RoundSnapshot, Simulation};
 use glmia_graph::Topology;
 use glmia_metrics::{accuracy, best_utility_point, generalization_error, TradeoffPoint};
 use glmia_mia::MiaEvaluator;
 use glmia_nn::Mlp;
-use glmia_trace::{fnv1a, EvalRecord, Phase, RunTrace, TraceRecorder};
+use glmia_spectral::{product_contraction, MixingMatrix, ProductContractionOptions};
+use glmia_trace::{
+    EvalRecord, MixingRecord, NodeEvalRecord, Phase, ProgressObserver, RunTrace, TopologyRecord,
+    TraceRecorder,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -260,6 +264,15 @@ pub fn run_experiment_traced(
     let topology = trace.phases_mut().time(Phase::Topology, || {
         Topology::random_regular(config.nodes(), config.view_size(), &mut rng)
     })?;
+    // Analytic anchor: λ₂ of the synchronous mixing matrix (A + I)/(k + 1)
+    // of the initial graph, recorded so `analyze` can put the empirical
+    // per-round values next to the theory they approximate.
+    let topo_record = TopologyRecord {
+        seed: config.seed(),
+        nodes: config.nodes(),
+        view_size: config.view_size(),
+        lambda2_analytic: MixingMatrix::from_regular(&topology)?.lambda2_magnitude(),
+    };
     let model_spec = config.model_spec()?;
     let mut sim = Simulation::new(
         config.sim_config(),
@@ -278,34 +291,50 @@ pub fn run_experiment_traced(
     let due = move |round: usize| round.is_multiple_of(eval_every) || round == total_rounds;
 
     let mut rounds = Vec::new();
+    let mut node_evals: Vec<NodeEvalRecord> = Vec::new();
     let mut eval_error: Option<CoreError> = None;
     let mut recorder = TraceRecorder::new();
+    let mut mixing_obs = if config.mixing_trace() {
+        MixingMatrixObserver::new(config.nodes())
+    } else {
+        MixingMatrixObserver::disabled()
+    };
+    let mut progress = ProgressObserver::with_enabled(total_rounds, config.progress());
     let mut sim_secs = 0.0_f64;
     let mut eval_secs = 0.0_f64;
     if threads <= 1 {
         // Legacy serial path: evaluate inline, no threads spawned. The
-        // recorder rides the observer chain; the closure sink keeps the
-        // pre-trait behavior.
+        // recorder, mixing reconstruction and heartbeat ride the observer
+        // chain; the closure sink keeps the pre-trait behavior.
         let run_start = Instant::now();
-        sim.run_observed(Observers::new(&mut recorder, |snapshot: RoundSnapshot| {
-            if eval_error.is_some() || !due(snapshot.round) {
-                return;
-            }
-            let eval_start = Instant::now();
-            match evaluate_round(
-                &snapshot,
-                surface,
-                &model_spec,
-                &federation,
-                &evaluator,
-                seed,
-                1,
-            ) {
-                Ok(eval) => rounds.push(eval),
-                Err(e) => eval_error = Some(e),
-            }
-            eval_secs += eval_start.elapsed().as_secs_f64();
-        }));
+        sim.run_observed(Observers::new(
+            &mut recorder,
+            Observers::new(
+                &mut mixing_obs,
+                Observers::new(&mut progress, |snapshot: RoundSnapshot| {
+                    if eval_error.is_some() || !due(snapshot.round) {
+                        return;
+                    }
+                    let eval_start = Instant::now();
+                    match evaluate_round(
+                        &snapshot,
+                        surface,
+                        &model_spec,
+                        &federation,
+                        &evaluator,
+                        seed,
+                        1,
+                    ) {
+                        Ok((eval, nodes)) => {
+                            rounds.push(eval);
+                            node_evals.extend(nodes);
+                        }
+                        Err(e) => eval_error = Some(e),
+                    }
+                    eval_secs += eval_start.elapsed().as_secs_f64();
+                }),
+            ),
+        ));
         sim_secs = run_start.elapsed().as_secs_f64() - eval_secs;
     } else {
         // Pipelined path: the simulation thread streams due snapshots over
@@ -317,16 +346,24 @@ pub fn run_experiment_traced(
         std::thread::scope(|scope| {
             let sim = &mut sim;
             let recorder = &mut recorder;
+            let mixing_obs = &mut mixing_obs;
+            let progress = &mut progress;
             let sim_secs = &mut sim_secs;
             scope.spawn(move || {
                 let run_start = Instant::now();
-                sim.run_observed(Observers::new(recorder, move |snapshot: RoundSnapshot| {
-                    if due(snapshot.round) {
-                        // The receiver only hangs up if the scope is
-                        // unwinding; finish the simulation regardless.
-                        let _ = tx.send(snapshot);
-                    }
-                }));
+                sim.run_observed(Observers::new(
+                    recorder,
+                    Observers::new(
+                        mixing_obs,
+                        Observers::new(progress, move |snapshot: RoundSnapshot| {
+                            if due(snapshot.round) {
+                                // The receiver only hangs up if the scope is
+                                // unwinding; finish the simulation regardless.
+                                let _ = tx.send(snapshot);
+                            }
+                        }),
+                    ),
+                ));
                 *sim_secs = run_start.elapsed().as_secs_f64();
             });
             for snapshot in &rx {
@@ -345,7 +382,10 @@ pub fn run_experiment_traced(
                     seed,
                     threads,
                 ) {
-                    Ok(eval) => rounds.push(eval),
+                    Ok((eval, nodes)) => {
+                        rounds.push(eval);
+                        node_evals.extend(nodes);
+                    }
                     Err(e) => eval_error = Some(e),
                 }
                 eval_secs += eval_start.elapsed().as_secs_f64();
@@ -357,6 +397,9 @@ pub fn run_experiment_traced(
     }
     trace.phases_mut().add(Phase::Simulate, sim_secs);
     trace.phases_mut().add(Phase::Eval, eval_secs);
+    let mixing_records = trace.phases_mut().time(Phase::Spectral, || {
+        mixing_lambda2_records(&mixing_obs, seed)
+    })?;
     let evals: Vec<EvalRecord> = rounds
         .iter()
         .map(|r| EvalRecord {
@@ -369,7 +412,14 @@ pub fn run_experiment_traced(
             gen_error: r.gen_error.mean,
         })
         .collect();
-    trace.add_seed_run(seed, recorder.rounds(), &evals);
+    trace.add_seed_run_full(
+        seed,
+        Some(topo_record),
+        recorder.rounds(),
+        &mixing_records,
+        &node_evals,
+        &evals,
+    );
     trace.set_wall_secs(wall_start.elapsed().as_secs_f64());
     Ok((
         ExperimentResult {
@@ -382,12 +432,70 @@ pub fn run_experiment_traced(
     ))
 }
 
-/// FNV-1a fingerprint over the config's canonical JSON. The serialized
-/// form excludes the thread-count knob, so the fingerprint identifies the
-/// *experiment*, not the execution.
+/// FNV-1a fingerprint of the experiment's identity; see
+/// [`ExperimentConfig::fingerprint`].
 pub(crate) fn config_fingerprint(config: &ExperimentConfig) -> u64 {
-    let json = serde_json::to_string(config).expect("config serialization is infallible");
-    fnv1a(json.as_bytes())
+    config.fingerprint()
+}
+
+/// The derived RNG for the spectral post-pass of one round, independent of
+/// evaluation order and thread count (same rationale as [`node_eval_rng`]).
+fn round_spectral_rng(seed: u64, round: usize) -> StdRng {
+    StdRng::seed_from_u64(splitmix64(
+        splitmix64(seed).wrapping_add(0x5bd1) ^ round as u64,
+    ))
+}
+
+/// The contraction coefficient σ₂ of one reconstructed mixing matrix:
+/// exact (Jacobi) when the matrix is symmetric, power iteration with a
+/// deterministic derived RNG otherwise.
+fn matrix_sigma(w: &MixingMatrix, rng: &mut StdRng) -> Result<f64, CoreError> {
+    if w.n() >= 2 && w.is_symmetric(1e-12) {
+        Ok(w.lambda2_magnitude())
+    } else {
+        Ok(product_contraction(
+            std::slice::from_ref(w),
+            ProductContractionOptions::default(),
+            rng,
+        )?)
+    }
+}
+
+/// Folds the per-round empirical mixing matrices into [`MixingRecord`]s:
+/// per-round λ₂(W_t) and the cumulative-product contraction
+/// σ₂(W_t ⋯ W_1), the paper's Figure 8 quantity measured on the *actual*
+/// message schedule instead of the idealized synchronous model.
+fn mixing_lambda2_records(
+    observer: &MixingMatrixObserver,
+    seed: u64,
+) -> Result<Vec<MixingRecord>, CoreError> {
+    let n = observer.nodes();
+    let matrices = observer.matrices();
+    if n < 2 || matrices.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut records = Vec::with_capacity(matrices.len());
+    let mut cumulative: Option<MixingMatrix> = None;
+    for (t, data) in matrices.iter().enumerate() {
+        let round = t + 1;
+        let w = MixingMatrix::from_vec(n, data.clone())?;
+        let product = match cumulative.take() {
+            // W* = W⁽ᵗ⁾ ⋯ W⁽¹⁾: the newest factor multiplies on the left.
+            Some(prev) => w.matmul(&prev)?,
+            None => w.clone(),
+        };
+        let mut rng = round_spectral_rng(seed, round);
+        let lambda2_round = matrix_sigma(&w, &mut rng)?;
+        let lambda2_cumulative = matrix_sigma(&product, &mut rng)?;
+        cumulative = Some(product);
+        records.push(MixingRecord {
+            seed,
+            round,
+            lambda2_round,
+            lambda2_cumulative,
+        });
+    }
+    Ok(records)
 }
 
 /// One node's slice of a round evaluation.
@@ -425,6 +533,8 @@ fn evaluate_node(
 
 /// Evaluates one snapshot: per-node utility, leakage and generalization,
 /// fanned out over at most `threads` scoped workers (serial when 1).
+/// Returns the across-node aggregate plus the per-node records (in node
+/// order) that the trace keeps for distributional analysis.
 fn evaluate_round(
     snapshot: &RoundSnapshot,
     surface: AttackSurface,
@@ -433,7 +543,7 @@ fn evaluate_round(
     evaluator: &MiaEvaluator,
     seed: u64,
     threads: usize,
-) -> Result<RoundEval, CoreError> {
+) -> Result<(RoundEval, Vec<NodeEvalRecord>), CoreError> {
     let observed: &[Vec<f32>] = match surface {
         AttackSurface::NodeModel => &snapshot.models,
         AttackSurface::SharedModel => &snapshot.shared_models,
@@ -480,22 +590,36 @@ fn evaluate_round(
     let mut vuln = Vec::with_capacity(n);
     let mut auc = Vec::with_capacity(n);
     let mut gen = Vec::with_capacity(n);
-    for eval in evals {
+    let mut records = Vec::with_capacity(n);
+    for (node, eval) in evals.into_iter().enumerate() {
         let eval = eval?;
         test_acc.push(eval.test_acc);
         train_acc.push(eval.train_acc);
         vuln.push(eval.vuln);
         auc.push(eval.auc);
         gen.push(eval.gen);
+        records.push(NodeEvalRecord {
+            seed,
+            round,
+            node,
+            test_accuracy: eval.test_acc,
+            train_accuracy: eval.train_acc,
+            mia_vulnerability: eval.vuln,
+            mia_auc: eval.auc,
+            gen_error: eval.gen,
+        });
     }
-    Ok(RoundEval {
-        round,
-        test_accuracy: Stat::of(&test_acc),
-        train_accuracy: Stat::of(&train_acc),
-        mia_vulnerability: Stat::of(&vuln),
-        mia_auc: Stat::of(&auc),
-        gen_error: Stat::of(&gen),
-    })
+    Ok((
+        RoundEval {
+            round,
+            test_accuracy: Stat::of(&test_acc),
+            train_accuracy: Stat::of(&train_acc),
+            mia_vulnerability: Stat::of(&vuln),
+            mia_auc: Stat::of(&auc),
+            gen_error: Stat::of(&gen),
+        },
+        records,
+    ))
 }
 
 #[cfg(test)]
@@ -661,5 +785,82 @@ mod tests {
         assert!(trace.phases().get(Phase::Simulate) > 0.0);
         assert!(trace.phases().get(Phase::Eval) > 0.0);
         assert!(trace.wall_secs() > 0.0);
+    }
+
+    #[test]
+    fn trace_carries_topology_mixing_and_node_records() {
+        let config = quick(15);
+        let (result, trace) = run_experiment_traced(&config).unwrap();
+        let mut topo = 0;
+        let mut mixing_rounds = Vec::new();
+        let mut node_eval_count = 0;
+        for event in trace.events() {
+            match event {
+                glmia_trace::TraceEvent::Topology(t) => {
+                    topo += 1;
+                    assert_eq!(t.nodes, config.nodes());
+                    assert_eq!(t.view_size, config.view_size());
+                    assert!((0.0..1.0).contains(&t.lambda2_analytic));
+                }
+                glmia_trace::TraceEvent::Mixing(m) => {
+                    mixing_rounds.push(m.round);
+                    // Empirical W_t is row-stochastic but (asynchrony) not
+                    // exactly doubly stochastic, so allow a little headroom
+                    // above the symmetric-case ceiling of 1.
+                    assert!((0.0..=1.1).contains(&m.lambda2_round), "{m:?}");
+                    assert!((0.0..=1.1).contains(&m.lambda2_cumulative), "{m:?}");
+                }
+                glmia_trace::TraceEvent::NodeEval(_) => node_eval_count += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(topo, 1);
+        assert_eq!(
+            mixing_rounds,
+            (1..=config.rounds()).collect::<Vec<_>>(),
+            "one mixing record per simulated round"
+        );
+        assert_eq!(node_eval_count, result.rounds.len() * config.nodes());
+        assert!(trace.phases().get(Phase::Spectral) > 0.0);
+    }
+
+    #[test]
+    fn cumulative_lambda2_contracts_over_rounds() {
+        let (_, trace) = run_experiment_traced(&quick(16).with_rounds(6)).unwrap();
+        let cumulative: Vec<f64> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                glmia_trace::TraceEvent::Mixing(m) => Some(m.lambda2_cumulative),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(cumulative.len(), 6);
+        assert!(
+            cumulative[5] <= cumulative[0] + 1e-9,
+            "product contraction must not grow: {cumulative:?}"
+        );
+    }
+
+    #[test]
+    fn disabling_the_mixing_trace_drops_only_mixing_records() {
+        let config = quick(17);
+        let (with_result, with_trace) = run_experiment_traced(&config).unwrap();
+        let (without_result, without_trace) =
+            run_experiment_traced(&config.clone().with_mixing_trace(false)).unwrap();
+        assert_eq!(
+            with_result, without_result,
+            "observability knob must not change results"
+        );
+        let count = |trace: &RunTrace| {
+            trace
+                .events()
+                .iter()
+                .filter(|e| matches!(e, glmia_trace::TraceEvent::Mixing(_)))
+                .count()
+        };
+        assert_eq!(count(&with_trace), config.rounds());
+        assert_eq!(count(&without_trace), 0);
+        assert_eq!(with_trace.totals(), without_trace.totals());
     }
 }

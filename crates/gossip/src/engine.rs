@@ -38,8 +38,12 @@ impl Eq for Event {}
 enum EventKind {
     /// Node wakes up (Algorithm 1/2 wake branch).
     Wake { node: usize },
-    /// A model arrives at `to` (receive branch).
-    Deliver { to: usize, model: Vec<f32> },
+    /// A model arrives at `to` (receive branch), sent by `from`.
+    Deliver {
+        from: usize,
+        to: usize,
+        model: Vec<f32>,
+    },
 }
 
 impl Ord for Event {
@@ -324,8 +328,8 @@ impl Simulation {
             let Reverse(event) = self.queue.pop().expect("peek returned an event");
             match event.kind {
                 EventKind::Wake { node } => self.on_wake(node, event.tick, observer),
-                EventKind::Deliver { to, model } => {
-                    self.on_deliver(to, model, event.tick, observer)
+                EventKind::Deliver { from, to, model } => {
+                    self.on_deliver(from, to, model, event.tick, observer)
                 }
             }
         }
@@ -384,6 +388,7 @@ impl Simulation {
     /// vector by value: SAMO buffers it without another copy.
     fn on_deliver<O: SimObserver>(
         &mut self,
+        from: usize,
         i: usize,
         model: Vec<f32>,
         tick: u64,
@@ -393,6 +398,7 @@ impl Simulation {
         let buffered = self.config.protocol().merges_once();
         observer.on_deliver(DeliverEvent {
             tick,
+            from,
             to: i,
             buffered,
         });
@@ -462,6 +468,7 @@ impl Simulation {
         self.schedule(
             tick + self.config.message_latency(),
             EventKind::Deliver {
+                from: i,
                 to: j,
                 model: params,
             },

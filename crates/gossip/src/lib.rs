@@ -57,6 +57,7 @@ mod config;
 mod defense;
 mod engine;
 mod error;
+mod mixing;
 mod node;
 mod observer;
 mod schedule;
@@ -66,6 +67,9 @@ pub use config::{ProtocolKind, SimConfig, TopologyMode};
 pub use defense::Defense;
 pub use engine::Simulation;
 pub use error::GossipError;
-pub use observer::{DeliverEvent, MergeEvent, Observers, SendEvent, SimObserver, UpdateEvent};
+pub use mixing::MixingMatrixObserver;
+pub use observer::{
+    DeliverEvent, MergeEvent, NoopObserver, Observers, SendEvent, SimObserver, UpdateEvent,
+};
 pub use schedule::LrSchedule;
 pub use snapshot::{NodeStats, RoundSnapshot, SimResult};

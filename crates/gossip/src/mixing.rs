@@ -1,0 +1,278 @@
+//! Empirical per-round mixing-matrix reconstruction.
+//!
+//! The paper explains membership-inference vulnerability through the
+//! spectral gap of the gossip *mixing matrix* `W_t` — the row-stochastic
+//! operator that maps round-start models to round-end models. The analytic
+//! value `(A + I) / (k + 1)` only holds for an idealized synchronous round;
+//! a real asynchronous run merges different subsets at different ticks.
+//! [`MixingMatrixObserver`] reconstructs the matrix each round actually
+//! applied, straight from the engine's deliver/merge events.
+//!
+//! # Reconstruction model
+//!
+//! Each delivered model is attributed to its *sender's round-start state*
+//! (a one-hop approximation: intra-round recursion through a sender's own
+//! earlier merges is not expanded). A merge of `m` received models at node
+//! `i` is then the elementary row operation
+//!
+//! ```text
+//! row_i ← (row_i + Σ_{j ∈ sources} e_j) / (m + 1)
+//! ```
+//!
+//! starting from the identity at the top of the round. Rows stay
+//! stochastic by construction, so the finished matrix is a valid mixing
+//! operator whose second-largest singular value is directly comparable to
+//! the analytic λ₂. Models still in flight (buffered but not yet merged)
+//! carry over to the round in which they are actually merged, exactly like
+//! the underlying buffers.
+
+use std::collections::VecDeque;
+
+use crate::observer::{DeliverEvent, MergeEvent, SimObserver};
+use crate::RoundSnapshot;
+
+/// Reconstructs the empirical mixing matrix `W_t` of every round from
+/// deliver/merge events (see the [module docs](self) for the model).
+///
+/// Attach it to a run via
+/// [`Simulation::run_observed`](crate::Simulation::run_observed) (compose
+/// with [`Observers`](crate::Observers) to keep other observers), then read
+/// the per-round matrices back with [`matrices`](Self::matrices). A
+/// [`disabled`](Self::disabled) observer ignores every event, so callers
+/// can keep one code path whether or not mixing capture is wanted.
+#[derive(Debug, Clone)]
+pub struct MixingMatrixObserver {
+    n: usize,
+    /// Current round's matrix, row-major `n × n`.
+    current: Vec<f64>,
+    /// Sender ids of buffered (not yet merged) deliveries, per node, FIFO.
+    pending: Vec<VecDeque<usize>>,
+    /// Sender id of an unbuffered delivery about to be merged pairwise.
+    immediate: Vec<Option<usize>>,
+    finished: Vec<Vec<f64>>,
+}
+
+impl MixingMatrixObserver {
+    /// An observer for an `n`-node simulation, starting from the identity.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            current: identity(n),
+            pending: vec![VecDeque::new(); n],
+            immediate: vec![None; n],
+            finished: Vec::new(),
+        }
+    }
+
+    /// An observer that records nothing (zero nodes, every hook a no-op).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::new(0)
+    }
+
+    /// Whether this observer captures anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.n > 0
+    }
+
+    /// The finished per-round matrices, row-major `n × n`, in round order.
+    #[must_use]
+    pub fn matrices(&self) -> &[Vec<f64>] {
+        &self.finished
+    }
+
+    /// Consumes the observer, returning the per-round matrices.
+    #[must_use]
+    pub fn into_matrices(self) -> Vec<Vec<f64>> {
+        self.finished
+    }
+
+    /// Node count the observer was built for.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.n
+    }
+}
+
+fn identity(n: usize) -> Vec<f64> {
+    let mut m = vec![0.0; n * n];
+    for i in 0..n {
+        m[i * n + i] = 1.0;
+    }
+    m
+}
+
+impl SimObserver for MixingMatrixObserver {
+    fn on_deliver(&mut self, event: DeliverEvent) {
+        if self.n == 0 {
+            return;
+        }
+        if event.buffered {
+            self.pending[event.to].push_back(event.from);
+        } else {
+            self.immediate[event.to] = Some(event.from);
+        }
+    }
+
+    fn on_merge(&mut self, event: MergeEvent) {
+        if self.n == 0 {
+            return;
+        }
+        let i = event.node;
+        let mut sources = Vec::with_capacity(event.models_merged);
+        if let Some(src) = self.immediate[i].take() {
+            sources.push(src);
+        } else {
+            for _ in 0..event.models_merged {
+                match self.pending[i].pop_front() {
+                    Some(src) => sources.push(src),
+                    None => break,
+                }
+            }
+        }
+        if sources.is_empty() {
+            return;
+        }
+        let n = self.n;
+        let denom = (sources.len() + 1) as f64;
+        let row = &mut self.current[i * n..(i + 1) * n];
+        for v in row.iter_mut() {
+            *v /= denom;
+        }
+        for src in sources {
+            row[src] += 1.0 / denom;
+        }
+    }
+
+    fn on_snapshot(&mut self, _snapshot: &RoundSnapshot) {
+        if self.n == 0 {
+            return;
+        }
+        let finished = std::mem::replace(&mut self.current, identity(self.n));
+        self.finished.push(finished);
+        // `pending` deliberately survives the round boundary: buffered
+        // models merge in the round their wake-up actually happens.
+    }
+}
+
+/// Lets a borrowed observer ride along in an observer chain while the
+/// caller keeps ownership for post-run readout.
+impl SimObserver for &mut MixingMatrixObserver {
+    fn on_deliver(&mut self, event: DeliverEvent) {
+        (**self).on_deliver(event);
+    }
+
+    fn on_merge(&mut self, event: MergeEvent) {
+        (**self).on_merge(event);
+    }
+
+    fn on_snapshot(&mut self, snapshot: &RoundSnapshot) {
+        (**self).on_snapshot(snapshot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(round: usize) -> RoundSnapshot {
+        RoundSnapshot {
+            round,
+            tick: round as u64 * 100,
+            models: Vec::new(),
+            shared_models: Vec::new(),
+        }
+    }
+
+    fn deliver(from: usize, to: usize, buffered: bool) -> DeliverEvent {
+        DeliverEvent {
+            tick: 1,
+            from,
+            to,
+            buffered,
+        }
+    }
+
+    fn merge(node: usize, models_merged: usize) -> MergeEvent {
+        MergeEvent {
+            tick: 2,
+            node,
+            models_merged,
+        }
+    }
+
+    #[test]
+    fn no_merges_yields_identity() {
+        let mut obs = MixingMatrixObserver::new(3);
+        obs.on_snapshot(&snapshot(1));
+        assert_eq!(obs.matrices()[0], identity(3));
+    }
+
+    #[test]
+    fn buffered_merge_averages_sources_with_self() {
+        let mut obs = MixingMatrixObserver::new(3);
+        obs.on_deliver(deliver(1, 0, true));
+        obs.on_deliver(deliver(2, 0, true));
+        obs.on_merge(merge(0, 2));
+        obs.on_snapshot(&snapshot(1));
+        let w = &obs.matrices()[0];
+        let third = 1.0 / 3.0;
+        assert_eq!(&w[0..3], &[third, third, third]);
+        assert_eq!(&w[3..6], &[0.0, 1.0, 0.0]);
+        assert_eq!(&w[6..9], &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn pairwise_merge_uses_immediate_source() {
+        let mut obs = MixingMatrixObserver::new(2);
+        obs.on_deliver(deliver(1, 0, false));
+        obs.on_merge(merge(0, 1));
+        obs.on_snapshot(&snapshot(1));
+        let w = &obs.matrices()[0];
+        assert_eq!(&w[0..2], &[0.5, 0.5]);
+        assert_eq!(&w[2..4], &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn rows_stay_stochastic_through_chained_merges() {
+        let mut obs = MixingMatrixObserver::new(4);
+        obs.on_deliver(deliver(1, 0, false));
+        obs.on_merge(merge(0, 1));
+        obs.on_deliver(deliver(2, 0, false));
+        obs.on_merge(merge(0, 1));
+        obs.on_deliver(deliver(3, 2, true));
+        obs.on_merge(merge(2, 1));
+        obs.on_snapshot(&snapshot(1));
+        let w = &obs.matrices()[0];
+        for i in 0..4 {
+            let sum: f64 = w[i * 4..(i + 1) * 4].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "row {i} sums to {sum}");
+        }
+        // Node 0 merged twice pairwise: (e0/2 + e1/2)/2 + e2/2.
+        assert_eq!(&w[0..4], &[0.25, 0.25, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn pending_deliveries_carry_across_rounds() {
+        let mut obs = MixingMatrixObserver::new(2);
+        obs.on_deliver(deliver(1, 0, true));
+        obs.on_snapshot(&snapshot(1));
+        obs.on_merge(merge(0, 1));
+        obs.on_snapshot(&snapshot(2));
+        assert_eq!(obs.matrices()[0], identity(2));
+        let w = &obs.matrices()[1];
+        assert_eq!(&w[0..2], &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn disabled_observer_records_nothing() {
+        let mut obs = MixingMatrixObserver::disabled();
+        assert!(!obs.is_enabled());
+        obs.on_deliver(deliver(0, 0, true));
+        obs.on_merge(merge(0, 1));
+        obs.on_snapshot(&snapshot(1));
+        assert!(obs.matrices().is_empty());
+    }
+}

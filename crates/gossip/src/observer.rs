@@ -75,6 +75,8 @@ pub struct SendEvent {
 pub struct DeliverEvent {
     /// Simulation tick of the delivery.
     pub tick: u64,
+    /// Sending node (origin of the delivered model).
+    pub from: usize,
     /// Receiving node.
     pub to: usize,
     /// `true` under merge-once protocols (the model was buffered for the
@@ -159,6 +161,16 @@ impl<F: FnMut(RoundSnapshot)> SimObserver for F {
         self(snapshot);
     }
 }
+
+/// An observer that ignores everything.
+///
+/// Useful as a placeholder slot in an [`Observers`] chain (a plain `()`
+/// cannot implement [`SimObserver`] because the `FnMut(RoundSnapshot)`
+/// blanket impl would conflict).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopObserver;
+
+impl SimObserver for NoopObserver {}
 
 /// Two observers watching one simulation.
 ///

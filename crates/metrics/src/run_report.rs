@@ -1,0 +1,529 @@
+//! Rendering a derived [`RunSummary`] as a human-readable Markdown run
+//! report and as Prometheus text exposition.
+//!
+//! The Markdown report keys every section to the paper figure it feeds
+//! (Figures 2–8), so a reader can go straight from a trace directory to
+//! the plot the numbers belong in. The Prometheus renderer follows the
+//! [text exposition format](https://prometheus.io/docs/instrumenting/exposition_formats/):
+//! counters for run totals, conventional `_bucket`/`_sum`/`_count` series
+//! for the fan-in and staleness histograms, and per-round gauges for the
+//! evaluation and mixing time series.
+//!
+//! Both renderers are pure functions of the summary, which is itself a
+//! pure function of the event stream — so reports inherit the trace's
+//! byte-identity across thread counts and reruns.
+
+use glmia_trace::{HistogramSummary, RunSummary};
+
+use crate::render_table;
+
+/// Renders `summary` as a Markdown run report with sections keyed to the
+/// paper's figures (see the [module docs](self)).
+#[must_use]
+pub fn render_markdown_report(summary: &RunSummary) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# Run report: {}\n\n", summary.label));
+    out.push_str(&format!(
+        "- config fingerprint: `{}`\n",
+        summary.config_hash
+    ));
+    out.push_str(&format!("- trace schema: {}\n", summary.schema));
+    out.push_str(&format!(
+        "- seeds ({}): {}\n",
+        summary.seeds.len(),
+        summary
+            .seeds
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    if let Some(topology) = &summary.topology {
+        out.push_str(&format!(
+            "- topology: {} nodes, {}-regular, analytic lambda2 = {:.6}\n",
+            topology.nodes, topology.view_size, topology.lambda2_analytic
+        ));
+    }
+    out.push('\n');
+
+    out.push_str("## Run totals\n\n");
+    out.push_str(&markdown_table(
+        &[
+            "rounds",
+            "evals",
+            "messages sent",
+            "messages dropped",
+            "local updates",
+        ],
+        &[vec![
+            summary.totals.rounds.to_string(),
+            summary.totals.evals.to_string(),
+            summary.totals.messages_sent.to_string(),
+            summary.totals.messages_dropped.to_string(),
+            summary.totals.local_updates.to_string(),
+        ]],
+    ));
+
+    out.push_str("\n## Merge fan-in (protocol mixing behavior, Figures 2-3)\n\n");
+    out.push_str(
+        "Models folded per merge: 1 for Base Gossip's pairwise merges, the \
+         buffer depth for SAMO's merge-once.\n\n",
+    );
+    out.push_str(&histogram_markdown(&summary.fan_in, "fan-in"));
+
+    out.push_str("\n## Model staleness (ticks from delivery to merge)\n\n");
+    out.push_str(
+        "Zero for merge-on-deliver protocols; buffered protocols accumulate \
+         staleness until the next wake.\n\n",
+    );
+    out.push_str(&histogram_markdown(&summary.staleness, "staleness"));
+
+    out.push_str("\n## Privacy/utility per round (Figures 2-6)\n\n");
+    out.push_str(
+        "Mean across seeds and nodes. `test acc` vs `MIA vuln` is the \
+         tradeoff of Figures 2-5; `gen error` vs `MIA vuln` is Figure 6; \
+         the round series is Figure 7's early-overfitting view.\n\n",
+    );
+    let eval_rows: Vec<Vec<String>> = summary
+        .rounds
+        .iter()
+        .filter_map(|r| {
+            r.eval.map(|eval| {
+                vec![
+                    r.round.to_string(),
+                    format!("{:.4}", eval.test_accuracy),
+                    format!("{:.4}", eval.train_accuracy),
+                    format!("{:.4}", eval.mia_vulnerability),
+                    format!("{:.4}", eval.mia_auc),
+                    format!("{:.4}", eval.gen_error),
+                ]
+            })
+        })
+        .collect();
+    out.push_str(&markdown_table(
+        &[
+            "round",
+            "test acc",
+            "train acc",
+            "MIA vuln",
+            "MIA AUC",
+            "gen error",
+        ],
+        &eval_rows,
+    ));
+
+    let mixing_rows: Vec<Vec<String>> = summary
+        .rounds
+        .iter()
+        .filter(|r| r.lambda2_round.is_some() || r.lambda2_cumulative.is_some())
+        .map(|r| {
+            let fmt = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.6}"));
+            vec![
+                r.round.to_string(),
+                fmt(r.lambda2_round),
+                fmt(r.lambda2_cumulative),
+            ]
+        })
+        .collect();
+    if !mixing_rows.is_empty() {
+        out.push_str("\n## Empirical mixing spectrum (Figure 8, section 4)\n\n");
+        out.push_str(
+            "lambda2 of the reconstructed per-round mixing matrix W_t and of \
+             the cumulative product W_t...W_1, measured on the actual \
+             asynchronous message schedule. Compare against the analytic \
+             static-graph value in the header above.\n\n",
+        );
+        out.push_str(&markdown_table(
+            &["round", "lambda2(W_t)", "lambda2(W_t...W_1)"],
+            &mixing_rows,
+        ));
+    }
+
+    if !summary.nodes.is_empty() {
+        out.push_str("\n## Per-node leakage at the final evaluation (Figure 7 spread)\n\n");
+        let node_rows: Vec<Vec<String>> = summary
+            .nodes
+            .iter()
+            .filter_map(|n| {
+                let last = n.rounds.len().checked_sub(1)?;
+                Some(vec![
+                    n.node.to_string(),
+                    n.rounds[last].to_string(),
+                    format!("{:.4}", n.test_accuracy[last]),
+                    format!("{:.4}", n.mia_vulnerability[last]),
+                    format!("{:.4}", n.mia_auc[last]),
+                    format!("{:.4}", n.gen_error[last]),
+                ])
+            })
+            .collect();
+        out.push_str(&markdown_table(
+            &[
+                "node",
+                "round",
+                "test acc",
+                "MIA vuln",
+                "MIA AUC",
+                "gen error",
+            ],
+            &node_rows,
+        ));
+    }
+    out
+}
+
+/// Renders one histogram as a Markdown table plus its quantile line.
+fn histogram_markdown(hist: &HistogramSummary, what: &str) -> String {
+    let rows: Vec<Vec<String>> = hist
+        .buckets
+        .iter()
+        .map(|b| {
+            vec![
+                b.le.map_or_else(|| "+Inf".to_string(), |le| format!("<= {le}")),
+                b.count.to_string(),
+            ]
+        })
+        .collect();
+    let mut out = markdown_table(&[what, "count"], &rows);
+    out.push_str(&format!(
+        "\ntotal {}, sum {}, p50 {}, p90 {}, p99 {}\n",
+        hist.total, hist.sum, hist.p50, hist.p90, hist.p99
+    ));
+    out
+}
+
+/// Renders a GitHub-flavored Markdown table.
+fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("| {} |\n", headers.join(" | ")));
+    out.push_str(&format!(
+        "|{}\n",
+        headers.iter().map(|_| " --- |").collect::<String>()
+    ));
+    for row in rows {
+        out.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    out
+}
+
+/// Renders `summary` in the Prometheus text exposition format: run totals
+/// as counters, histograms as conventional cumulative `_bucket` series
+/// with `_sum`/`_count`, and the per-round evaluation/mixing series as
+/// gauges labeled by round.
+#[must_use]
+pub fn render_prometheus(summary: &RunSummary) -> String {
+    let mut out = String::new();
+    let counter = |out: &mut String, name: &str, help: &str, value: u64| {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+        ));
+    };
+    counter(
+        &mut out,
+        "glmia_rounds_total",
+        "Communication rounds simulated across all seeds.",
+        summary.totals.rounds,
+    );
+    counter(
+        &mut out,
+        "glmia_evals_total",
+        "Attack-replay evaluations performed.",
+        summary.totals.evals,
+    );
+    counter(
+        &mut out,
+        "glmia_messages_sent_total",
+        "Models transmitted.",
+        summary.totals.messages_sent,
+    );
+    counter(
+        &mut out,
+        "glmia_messages_dropped_total",
+        "Models lost to failure injection.",
+        summary.totals.messages_dropped,
+    );
+    counter(
+        &mut out,
+        "glmia_local_updates_total",
+        "Local SGD epochs executed.",
+        summary.totals.local_updates,
+    );
+    prometheus_histogram(
+        &mut out,
+        "glmia_merge_fanin",
+        "Models folded per merge operation.",
+        &summary.fan_in,
+    );
+    prometheus_histogram(
+        &mut out,
+        "glmia_model_staleness_ticks",
+        "Ticks between model delivery and merge.",
+        &summary.staleness,
+    );
+
+    let gauge_header = |out: &mut String, name: &str, help: &str| {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+    };
+    if summary.rounds.iter().any(|r| r.eval.is_some()) {
+        for (name, help, field) in [
+            (
+                "glmia_test_accuracy",
+                "Mean test accuracy per evaluated round.",
+                0usize,
+            ),
+            (
+                "glmia_mia_vulnerability",
+                "Mean MIA attack accuracy per evaluated round.",
+                1,
+            ),
+            ("glmia_mia_auc", "Mean MIA AUC per evaluated round.", 2),
+            (
+                "glmia_generalization_error",
+                "Mean generalization error per evaluated round.",
+                3,
+            ),
+        ] {
+            gauge_header(&mut out, name, help);
+            for r in &summary.rounds {
+                if let Some(eval) = r.eval {
+                    let value = match field {
+                        0 => eval.test_accuracy,
+                        1 => eval.mia_vulnerability,
+                        2 => eval.mia_auc,
+                        _ => eval.gen_error,
+                    };
+                    out.push_str(&format!("{name}{{round=\"{}\"}} {value}\n", r.round));
+                }
+            }
+        }
+    }
+    if summary.rounds.iter().any(|r| r.lambda2_round.is_some()) {
+        gauge_header(
+            &mut out,
+            "glmia_lambda2_round",
+            "Empirical lambda2 of the per-round mixing matrix.",
+        );
+        for r in &summary.rounds {
+            if let Some(l2) = r.lambda2_round {
+                out.push_str(&format!(
+                    "glmia_lambda2_round{{round=\"{}\"}} {l2}\n",
+                    r.round
+                ));
+            }
+        }
+        gauge_header(
+            &mut out,
+            "glmia_lambda2_cumulative",
+            "Contraction of the cumulative mixing product up to each round.",
+        );
+        for r in &summary.rounds {
+            if let Some(l2) = r.lambda2_cumulative {
+                out.push_str(&format!(
+                    "glmia_lambda2_cumulative{{round=\"{}\"}} {l2}\n",
+                    r.round
+                ));
+            }
+        }
+    }
+    if let Some(topology) = &summary.topology {
+        gauge_header(
+            &mut out,
+            "glmia_lambda2_analytic",
+            "Analytic lambda2 of the initial static mixing matrix.",
+        );
+        out.push_str(&format!(
+            "glmia_lambda2_analytic {}\n",
+            topology.lambda2_analytic
+        ));
+    }
+    out
+}
+
+/// Writes one histogram in the conventional cumulative `le` encoding.
+fn prometheus_histogram(out: &mut String, name: &str, help: &str, hist: &HistogramSummary) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+    let mut cumulative = 0u64;
+    for bucket in &hist.buckets {
+        cumulative += bucket.count;
+        let le = bucket
+            .le
+            .map_or_else(|| "+Inf".to_string(), |le| le.to_string());
+        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+    }
+    out.push_str(&format!("{name}_sum {}\n", hist.sum));
+    out.push_str(&format!("{name}_count {}\n", hist.total));
+}
+
+/// Renders the per-round evaluation series of a [`RunSummary`] as an
+/// aligned plain-text table (the `analyze` counterpart of
+/// `ExperimentResult::summary_table`).
+#[must_use]
+pub fn render_round_table(summary: &RunSummary) -> String {
+    let rows: Vec<Vec<String>> = summary
+        .rounds
+        .iter()
+        .filter_map(|r| {
+            r.eval.map(|eval| {
+                vec![
+                    r.round.to_string(),
+                    format!("{:.4}", eval.test_accuracy),
+                    format!("{:.4}", eval.mia_vulnerability),
+                    format!("{:.4}", eval.mia_auc),
+                    format!("{:.4}", eval.gen_error),
+                ]
+            })
+        })
+        .collect();
+    render_table(
+        &["round", "test acc", "MIA vuln", "MIA AUC", "gen error"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glmia_trace::{
+        EvalRecord, HeaderRecord, MixingRecord, NodeEvalRecord, RoundCounters, RoundRecord,
+        TopologyRecord, TraceEvent, SCHEMA_VERSION,
+    };
+
+    fn sample_summary() -> RunSummary {
+        let header = HeaderRecord {
+            schema: SCHEMA_VERSION,
+            label: "report-test".into(),
+            config_hash: "00000000000000ab".into(),
+        };
+        let round = |round: usize| {
+            let mut counters = RoundCounters {
+                round,
+                tick: round as u64 * 100,
+                sends: 8,
+                delivers: 8,
+                merges: 4,
+                models_merged: 8,
+                update_epochs: 8,
+                ..RoundCounters::default()
+            };
+            counters.fanin_hist[1] = 4;
+            counters.staleness_hist[0] = 8;
+            TraceEvent::Round(RoundRecord {
+                seed: 1,
+                round: counters.round,
+                tick: counters.tick,
+                sends: counters.sends,
+                drops: counters.drops,
+                delivers: counters.delivers,
+                merges: counters.merges,
+                models_merged: counters.models_merged,
+                update_epochs: counters.update_epochs,
+                fanin_hist: counters.fanin_hist,
+                staleness_hist: counters.staleness_hist,
+                staleness_sum: counters.staleness_sum,
+            })
+        };
+        let events = vec![
+            TraceEvent::Topology(TopologyRecord {
+                seed: 1,
+                nodes: 8,
+                view_size: 2,
+                lambda2_analytic: 0.75,
+            }),
+            round(1),
+            TraceEvent::Mixing(MixingRecord {
+                seed: 1,
+                round: 1,
+                lambda2_round: 0.9,
+                lambda2_cumulative: 0.9,
+            }),
+            round(2),
+            TraceEvent::Mixing(MixingRecord {
+                seed: 1,
+                round: 2,
+                lambda2_round: 0.8,
+                lambda2_cumulative: 0.72,
+            }),
+            TraceEvent::NodeEval(NodeEvalRecord {
+                seed: 1,
+                round: 2,
+                node: 0,
+                test_accuracy: 0.5,
+                train_accuracy: 0.7,
+                mia_vulnerability: 0.6,
+                mia_auc: 0.65,
+                gen_error: 0.2,
+            }),
+            TraceEvent::Eval(EvalRecord {
+                seed: 1,
+                round: 2,
+                test_accuracy: 0.5,
+                train_accuracy: 0.7,
+                mia_vulnerability: 0.6,
+                mia_auc: 0.65,
+                gen_error: 0.2,
+            }),
+        ];
+        RunSummary::from_events(&header, &events)
+    }
+
+    #[test]
+    fn markdown_report_covers_every_section() {
+        let md = render_markdown_report(&sample_summary());
+        assert!(md.starts_with("# Run report: report-test\n"));
+        for needle in [
+            "## Run totals",
+            "## Merge fan-in",
+            "## Model staleness",
+            "## Privacy/utility per round (Figures 2-6)",
+            "## Empirical mixing spectrum (Figure 8",
+            "## Per-node leakage at the final evaluation (Figure 7",
+            "analytic lambda2 = 0.750000",
+            "| 2 | 0.5000 | 0.7000 | 0.6000 | 0.6500 | 0.2000 |",
+            "| 1 | 0.900000 | 0.900000 |",
+        ] {
+            assert!(md.contains(needle), "missing {needle:?} in:\n{md}");
+        }
+    }
+
+    #[test]
+    fn markdown_report_is_deterministic() {
+        assert_eq!(
+            render_markdown_report(&sample_summary()),
+            render_markdown_report(&sample_summary())
+        );
+    }
+
+    #[test]
+    fn prometheus_output_has_counters_histograms_and_gauges() {
+        let text = render_prometheus(&sample_summary());
+        for needle in [
+            "# TYPE glmia_rounds_total counter\nglmia_rounds_total 2\n",
+            "# TYPE glmia_merge_fanin histogram\n",
+            "glmia_merge_fanin_bucket{le=\"1\"} 0\n",
+            "glmia_merge_fanin_bucket{le=\"2\"} 8\n",
+            "glmia_merge_fanin_bucket{le=\"+Inf\"} 8\n",
+            "glmia_merge_fanin_sum 16\n",
+            "glmia_merge_fanin_count 8\n",
+            "glmia_model_staleness_ticks_bucket{le=\"0\"} 16\n",
+            "glmia_test_accuracy{round=\"2\"} 0.5\n",
+            "glmia_lambda2_round{round=\"1\"} 0.9\n",
+            "glmia_lambda2_cumulative{round=\"2\"} 0.72\n",
+            "glmia_lambda2_analytic 0.75\n",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // Histogram buckets are cumulative and monotone.
+        let buckets: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("glmia_merge_fanin_bucket"))
+            .map(|l| l.split_whitespace().last().unwrap().parse().unwrap())
+            .collect();
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn round_table_lists_evaluated_rounds_only() {
+        let table = render_round_table(&sample_summary());
+        assert_eq!(table.lines().count(), 3, "header + rule + one eval row");
+        assert!(table.contains("0.6500"));
+    }
+}

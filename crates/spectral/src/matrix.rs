@@ -167,6 +167,57 @@ impl MixingMatrix {
         out
     }
 
+    /// Computes the matrix product `self · other`.
+    ///
+    /// Used by trace analysis to accumulate the cumulative mixing product
+    /// `W* = W⁽ᵗ⁾⋯W⁽¹⁾` round by round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpectralError`] if the dimensions differ.
+    pub fn matmul(&self, other: &Self) -> Result<Self, SpectralError> {
+        if self.n != other.n {
+            return Err(SpectralError::new(format!(
+                "cannot multiply a {0}x{0} matrix by a {1}x{1} matrix",
+                self.n, other.n
+            )));
+        }
+        let n = self.n;
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            for l in 0..n {
+                let a = self.data[i * n + l];
+                if a == 0.0 {
+                    continue;
+                }
+                let row = &other.data[l * n..(l + 1) * n];
+                for (out, &b) in data[i * n..(i + 1) * n].iter_mut().zip(row) {
+                    *out += a * b;
+                }
+            }
+        }
+        Ok(Self { n, data })
+    }
+
+    /// The second-largest-*magnitude* eigenvalue `max_{i≥2} |λᵢ(W)|` of a
+    /// symmetric mixing matrix — the single-matrix contraction coefficient
+    /// σ₂ measured by [`product_contraction`](crate::product_contraction),
+    /// computed exactly with the Jacobi eigensolver.
+    ///
+    /// Differs from [`MixingMatrix::lambda2`] (the *signed* second-largest
+    /// eigenvalue) when the spectrum has a large negative tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not symmetric (within `1e-9`) or `n < 2`.
+    #[must_use]
+    pub fn lambda2_magnitude(&self) -> f64 {
+        assert!(self.n >= 2, "λ₂ requires at least a 2x2 matrix");
+        assert!(self.is_symmetric(1e-9), "λ₂ requires a symmetric matrix");
+        let eigs = crate::symmetric_eigenvalues(self);
+        eigs[1..].iter().map(|e| e.abs()).fold(0.0f64, f64::max)
+    }
+
     /// Whether all row and column sums are within `tol` of 1 and all
     /// entries are non-negative.
     #[must_use]
@@ -298,6 +349,35 @@ mod tests {
         assert!(MixingMatrix::from_vec(0, vec![]).is_err());
         assert!(MixingMatrix::from_vec(2, vec![0.0; 3]).is_err());
         assert!(MixingMatrix::from_vec(2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn matmul_matches_repeated_apply() {
+        let g = Topology::ring(6).unwrap();
+        let w = MixingMatrix::from_regular(&g).unwrap();
+        let w2 = w.matmul(&w).unwrap();
+        let v: Vec<f64> = (0..6).map(|i| i as f64 - 2.0).collect();
+        let twice = w.apply(&w.apply(&v));
+        let product = w2.apply(&v);
+        for (a, b) in twice.iter().zip(&product) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matmul_rejects_dimension_mismatch() {
+        let a = MixingMatrix::from_vec(2, vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let b = MixingMatrix::from_vec(3, vec![0.0; 9]).unwrap();
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn lambda2_magnitude_dominates_signed_lambda2() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = Topology::random_regular(20, 2, &mut rng).unwrap();
+        let w = MixingMatrix::from_regular(&g).unwrap();
+        assert!(w.lambda2_magnitude() >= w.lambda2() - 1e-12);
+        assert!(w.lambda2_magnitude() <= 1.0 + 1e-9);
     }
 
     #[test]

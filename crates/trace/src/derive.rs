@@ -1,0 +1,539 @@
+//! Derived per-round aggregates over a replayed event stream.
+//!
+//! [`RunSummary::from_events`] folds a validated trace (see
+//! [`TraceReader`](crate::TraceReader)) into the quantities the paper
+//! actually plots: message counts by kind, merge fan-in and model
+//! staleness histograms with deterministic quantiles, fleet-wide and
+//! per-node MIA/accuracy/generalization-error time series, and the
+//! empirical mixing spectrum (per-round and cumulative λ₂) next to the
+//! analytic static-graph value.
+//!
+//! The summary is a **pure function of the event stream**: aggregation
+//! order is fixed (seeds in stream order, rounds ascending), no wall-clock
+//! data is consulted, and floats serialize via `serde_json`'s shortest
+//! round-trip representation — so `summary.json` is byte-identical across
+//! thread counts and reruns, exactly like the underlying `events.jsonl`.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+use crate::events::{HeaderRecord, TraceEvent, HIST_BUCKETS, STALENESS_EDGES};
+use crate::manifest::Totals;
+
+/// One fixed histogram bucket: cumulative-style upper edge (inclusive) and
+/// the count that landed in the bucket. `le: None` is the overflow
+/// (`+Inf`) bucket — kept out of the JSON number domain deliberately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct HistogramBucket {
+    /// Inclusive upper edge; `None` means `+Inf`.
+    pub le: Option<u64>,
+    /// Observations in this bucket.
+    pub count: u64,
+}
+
+/// A fixed-bucket histogram with deterministic quantiles.
+///
+/// Quantiles are *bucket upper edges*: the reported pXX is the upper edge
+/// of the first bucket whose cumulative count reaches `ceil(q · total)`.
+/// Observations in the overflow bucket clamp to the largest finite edge,
+/// keeping every reported value a plain JSON number.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct HistogramSummary {
+    /// Buckets in ascending edge order, overflow last.
+    pub buckets: Vec<HistogramBucket>,
+    /// Total observations.
+    pub total: u64,
+    /// Exact sum of all observed values.
+    pub sum: u64,
+    /// Median (bucket upper edge).
+    pub p50: u64,
+    /// 90th percentile (bucket upper edge).
+    pub p90: u64,
+    /// 99th percentile (bucket upper edge).
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    fn build(counts: [u64; HIST_BUCKETS], values: [u64; HIST_BUCKETS], sum: u64) -> Self {
+        let total: u64 = counts.iter().sum();
+        let buckets = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| HistogramBucket {
+                le: (i + 1 < HIST_BUCKETS).then_some(values[i]),
+                count,
+            })
+            .collect();
+        let quantile = |q: f64| -> u64 {
+            if total == 0 {
+                return 0;
+            }
+            let rank = ((q * total as f64).ceil() as u64).max(1);
+            let mut cumulative = 0;
+            for (i, &count) in counts.iter().enumerate() {
+                cumulative += count;
+                if cumulative >= rank {
+                    return values[i];
+                }
+            }
+            values[HIST_BUCKETS - 1]
+        };
+        Self {
+            buckets,
+            total,
+            sum,
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+/// Initial-topology facts shared by (averaged over) every seed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TopologySummary {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// View size `k` of the k-regular graph.
+    pub view_size: usize,
+    /// Mean analytic λ₂ of `(A + I)/(k + 1)` across seeds.
+    pub lambda2_analytic: f64,
+}
+
+/// Mean evaluation metrics of one round across seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct EvalSummary {
+    /// Mean test-set accuracy.
+    pub test_accuracy: f64,
+    /// Mean train-set accuracy.
+    pub train_accuracy: f64,
+    /// Mean MIA attack accuracy (paper's vulnerability).
+    pub mia_vulnerability: f64,
+    /// Mean MIA AUC.
+    pub mia_auc: f64,
+    /// Mean generalization error.
+    pub gen_error: f64,
+}
+
+/// Aggregates of one communication round across every seed of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RoundSummary {
+    /// 1-based round index.
+    pub round: usize,
+    /// Transmissions attempted, summed across seeds.
+    pub sends: u64,
+    /// Transmissions lost to failure injection, summed across seeds.
+    pub drops: u64,
+    /// Models delivered, summed across seeds.
+    pub delivers: u64,
+    /// Merge operations, summed across seeds.
+    pub merges: u64,
+    /// Models folded into local models, summed across seeds.
+    pub models_merged: u64,
+    /// Local SGD epochs, summed across seeds.
+    pub update_epochs: u64,
+    /// Mean empirical per-round λ₂ across seeds (absent without mixing
+    /// records).
+    pub lambda2_round: Option<f64>,
+    /// Mean cumulative-product λ₂ across seeds.
+    pub lambda2_cumulative: Option<f64>,
+    /// Mean evaluation metrics (absent for rounds not due for eval).
+    pub eval: Option<EvalSummary>,
+}
+
+/// Per-node evaluation time series, averaged across seeds.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct NodeSeries {
+    /// Node index.
+    pub node: usize,
+    /// Evaluated rounds, ascending.
+    pub rounds: Vec<usize>,
+    /// Mean test accuracy per evaluated round.
+    pub test_accuracy: Vec<f64>,
+    /// Mean MIA vulnerability per evaluated round.
+    pub mia_vulnerability: Vec<f64>,
+    /// Mean MIA AUC per evaluated round.
+    pub mia_auc: Vec<f64>,
+    /// Mean generalization error per evaluated round.
+    pub gen_error: Vec<f64>,
+}
+
+/// Everything `glmia analyze` derives from one `events.jsonl`.
+///
+/// Built with [`RunSummary::from_events`]; serialized (pretty, trailing
+/// newline) by [`RunSummary::to_json_pretty`] as `summary.json`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RunSummary {
+    /// Schema version of the source stream.
+    pub schema: u32,
+    /// Experiment label from the header.
+    pub label: String,
+    /// Config fingerprint (hex) from the header.
+    pub config_hash: String,
+    /// Seeds in stream order.
+    pub seeds: Vec<u64>,
+    /// Initial topology facts (absent in streams without topology records).
+    pub topology: Option<TopologySummary>,
+    /// Run-wide totals (same semantics as the manifest's).
+    pub totals: Totals,
+    /// Merge fan-in histogram over every merge of the run.
+    pub fan_in: HistogramSummary,
+    /// Model staleness histogram (ticks from delivery to merge).
+    pub staleness: HistogramSummary,
+    /// Per-round aggregates, ascending round order.
+    pub rounds: Vec<RoundSummary>,
+    /// Per-node evaluation series, ascending node order.
+    pub nodes: Vec<NodeSeries>,
+}
+
+#[derive(Default, Clone, Copy)]
+struct RoundAcc {
+    sends: u64,
+    drops: u64,
+    delivers: u64,
+    merges: u64,
+    models_merged: u64,
+    update_epochs: u64,
+    lambda2_round: (f64, u64),
+    lambda2_cumulative: (f64, u64),
+    eval: (EvalAcc, u64),
+}
+
+#[derive(Default, Clone, Copy)]
+struct EvalAcc {
+    test_accuracy: f64,
+    train_accuracy: f64,
+    mia_vulnerability: f64,
+    mia_auc: f64,
+    gen_error: f64,
+}
+
+impl RunSummary {
+    /// Folds a validated event stream into its derived summary.
+    pub fn from_events(header: &HeaderRecord, events: &[TraceEvent]) -> Self {
+        let mut seeds = Vec::new();
+        let note_seed = |seen: &mut Vec<u64>, seed: u64| {
+            if !seen.contains(&seed) {
+                seen.push(seed);
+            }
+        };
+        let mut topo_nodes = 0usize;
+        let mut topo_view = 0usize;
+        let mut topo_lambda = (0.0f64, 0u64);
+        let mut totals = Totals::default();
+        let mut fanin = [0u64; HIST_BUCKETS];
+        let mut staleness = [0u64; HIST_BUCKETS];
+        let mut staleness_sum = 0u64;
+        let mut rounds: BTreeMap<usize, RoundAcc> = BTreeMap::new();
+        #[allow(clippy::type_complexity)]
+        let mut nodes: BTreeMap<usize, BTreeMap<usize, (EvalAcc, u64)>> = BTreeMap::new();
+
+        for event in events {
+            match event {
+                TraceEvent::Header(_) => {}
+                TraceEvent::Topology(t) => {
+                    note_seed(&mut seeds, t.seed);
+                    topo_nodes = t.nodes;
+                    topo_view = t.view_size;
+                    topo_lambda.0 += t.lambda2_analytic;
+                    topo_lambda.1 += 1;
+                }
+                TraceEvent::Round(r) => {
+                    note_seed(&mut seeds, r.seed);
+                    totals.rounds += 1;
+                    totals.messages_sent += r.sends;
+                    totals.messages_dropped += r.drops;
+                    totals.local_updates += r.update_epochs;
+                    for i in 0..HIST_BUCKETS {
+                        fanin[i] += r.fanin_hist[i];
+                        staleness[i] += r.staleness_hist[i];
+                    }
+                    staleness_sum += r.staleness_sum;
+                    let acc = rounds.entry(r.round).or_default();
+                    acc.sends += r.sends;
+                    acc.drops += r.drops;
+                    acc.delivers += r.delivers;
+                    acc.merges += r.merges;
+                    acc.models_merged += r.models_merged;
+                    acc.update_epochs += r.update_epochs;
+                }
+                TraceEvent::Mixing(m) => {
+                    let acc = rounds.entry(m.round).or_default();
+                    acc.lambda2_round.0 += m.lambda2_round;
+                    acc.lambda2_round.1 += 1;
+                    acc.lambda2_cumulative.0 += m.lambda2_cumulative;
+                    acc.lambda2_cumulative.1 += 1;
+                }
+                TraceEvent::NodeEval(n) => {
+                    let slot = nodes.entry(n.node).or_default().entry(n.round).or_default();
+                    slot.0.test_accuracy += n.test_accuracy;
+                    slot.0.train_accuracy += n.train_accuracy;
+                    slot.0.mia_vulnerability += n.mia_vulnerability;
+                    slot.0.mia_auc += n.mia_auc;
+                    slot.0.gen_error += n.gen_error;
+                    slot.1 += 1;
+                }
+                TraceEvent::Eval(e) => {
+                    totals.evals += 1;
+                    let acc = rounds.entry(e.round).or_default();
+                    acc.eval.0.test_accuracy += e.test_accuracy;
+                    acc.eval.0.train_accuracy += e.train_accuracy;
+                    acc.eval.0.mia_vulnerability += e.mia_vulnerability;
+                    acc.eval.0.mia_auc += e.mia_auc;
+                    acc.eval.0.gen_error += e.gen_error;
+                    acc.eval.1 += 1;
+                }
+            }
+        }
+
+        let mean = |sum: f64, count: u64| sum / count as f64;
+        let topology = (topo_lambda.1 > 0).then(|| TopologySummary {
+            nodes: topo_nodes,
+            view_size: topo_view,
+            lambda2_analytic: mean(topo_lambda.0, topo_lambda.1),
+        });
+        let round_summaries = rounds
+            .iter()
+            .map(|(&round, acc)| RoundSummary {
+                round,
+                sends: acc.sends,
+                drops: acc.drops,
+                delivers: acc.delivers,
+                merges: acc.merges,
+                models_merged: acc.models_merged,
+                update_epochs: acc.update_epochs,
+                lambda2_round: (acc.lambda2_round.1 > 0)
+                    .then(|| mean(acc.lambda2_round.0, acc.lambda2_round.1)),
+                lambda2_cumulative: (acc.lambda2_cumulative.1 > 0)
+                    .then(|| mean(acc.lambda2_cumulative.0, acc.lambda2_cumulative.1)),
+                eval: (acc.eval.1 > 0).then(|| EvalSummary {
+                    test_accuracy: mean(acc.eval.0.test_accuracy, acc.eval.1),
+                    train_accuracy: mean(acc.eval.0.train_accuracy, acc.eval.1),
+                    mia_vulnerability: mean(acc.eval.0.mia_vulnerability, acc.eval.1),
+                    mia_auc: mean(acc.eval.0.mia_auc, acc.eval.1),
+                    gen_error: mean(acc.eval.0.gen_error, acc.eval.1),
+                }),
+            })
+            .collect();
+        let node_series = nodes
+            .iter()
+            .map(|(&node, per_round)| {
+                let mut series = NodeSeries {
+                    node,
+                    rounds: Vec::with_capacity(per_round.len()),
+                    test_accuracy: Vec::with_capacity(per_round.len()),
+                    mia_vulnerability: Vec::with_capacity(per_round.len()),
+                    mia_auc: Vec::with_capacity(per_round.len()),
+                    gen_error: Vec::with_capacity(per_round.len()),
+                };
+                for (&round, &(acc, count)) in per_round {
+                    series.rounds.push(round);
+                    series.test_accuracy.push(mean(acc.test_accuracy, count));
+                    series
+                        .mia_vulnerability
+                        .push(mean(acc.mia_vulnerability, count));
+                    series.mia_auc.push(mean(acc.mia_auc, count));
+                    series.gen_error.push(mean(acc.gen_error, count));
+                }
+                series
+            })
+            .collect();
+
+        let fanin_values: [u64; HIST_BUCKETS] = std::array::from_fn(|i| i as u64 + 1);
+        let staleness_values: [u64; HIST_BUCKETS] = std::array::from_fn(|i| {
+            *STALENESS_EDGES
+                .get(i)
+                .unwrap_or(&STALENESS_EDGES[HIST_BUCKETS - 2])
+        });
+        let models_merged_total: u64 = rounds.values().map(|acc| acc.models_merged).sum();
+
+        Self {
+            schema: header.schema,
+            label: header.label.clone(),
+            config_hash: header.config_hash.clone(),
+            seeds,
+            topology,
+            totals,
+            fan_in: HistogramSummary::build(fanin, fanin_values, models_merged_total),
+            staleness: HistogramSummary::build(staleness, staleness_values, staleness_sum),
+            rounds: round_summaries,
+            nodes: node_series,
+        }
+    }
+
+    /// Pretty-printed `summary.json` contents (trailing newline included).
+    /// Byte-identical for identical event streams.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = serde_json::to_string_pretty(self).expect("summary serialization");
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{
+        EvalRecord, MixingRecord, NodeEvalRecord, RoundRecord, TopologyRecord, SCHEMA_VERSION,
+    };
+
+    fn header() -> HeaderRecord {
+        HeaderRecord {
+            schema: SCHEMA_VERSION,
+            label: "derive-test".into(),
+            config_hash: "0000000000000001".into(),
+        }
+    }
+
+    fn round(seed: u64, round: usize) -> RoundRecord {
+        RoundRecord {
+            seed,
+            round,
+            tick: round as u64 * 100,
+            sends: 10,
+            drops: 1,
+            delivers: 9,
+            merges: 4,
+            models_merged: 8,
+            update_epochs: 12,
+            fanin_hist: [0, 4, 0, 0, 0, 0, 0, 0, 0],
+            staleness_hist: [4, 0, 0, 4, 0, 0, 0, 0, 0],
+            staleness_sum: 200,
+        }
+    }
+
+    #[test]
+    fn per_round_counters_sum_across_seeds() {
+        let events = vec![
+            TraceEvent::Round(round(1, 1)),
+            TraceEvent::Round(round(1, 2)),
+            TraceEvent::Round(round(2, 1)),
+            TraceEvent::Round(round(2, 2)),
+        ];
+        let summary = RunSummary::from_events(&header(), &events);
+        assert_eq!(summary.seeds, vec![1, 2]);
+        assert_eq!(summary.rounds.len(), 2);
+        assert_eq!(summary.rounds[0].round, 1);
+        assert_eq!(summary.rounds[0].sends, 20, "two seeds summed");
+        assert_eq!(summary.totals.rounds, 4);
+        assert_eq!(summary.totals.messages_sent, 40);
+        assert!(summary.rounds[0].eval.is_none());
+        assert!(summary.rounds[0].lambda2_round.is_none());
+    }
+
+    #[test]
+    fn histograms_accumulate_with_quantiles() {
+        let events = vec![
+            TraceEvent::Round(round(1, 1)),
+            TraceEvent::Round(round(1, 2)),
+        ];
+        let summary = RunSummary::from_events(&header(), &events);
+        assert_eq!(summary.fan_in.total, 8, "4 merges × 2 rounds");
+        assert_eq!(summary.fan_in.sum, 16, "models merged");
+        assert_eq!(summary.fan_in.p50, 2, "all merges had fan-in 2");
+        assert_eq!(summary.fan_in.p99, 2);
+        assert_eq!(summary.staleness.total, 16);
+        assert_eq!(summary.staleness.sum, 400);
+        assert_eq!(summary.staleness.p50, 0, "half the mass at staleness 0");
+        assert_eq!(summary.staleness.p90, 50);
+        // Overflow bucket has le: None.
+        assert_eq!(summary.staleness.buckets.last().unwrap().le, None);
+        assert_eq!(summary.fan_in.buckets[1].count, 8);
+    }
+
+    #[test]
+    fn mixing_and_eval_records_average_across_seeds() {
+        let mixing = |seed, l2: f64| {
+            TraceEvent::Mixing(MixingRecord {
+                seed,
+                round: 1,
+                lambda2_round: l2,
+                lambda2_cumulative: l2 / 2.0,
+            })
+        };
+        let eval = |seed, acc: f64| {
+            TraceEvent::Eval(EvalRecord {
+                seed,
+                round: 1,
+                test_accuracy: acc,
+                train_accuracy: acc + 0.1,
+                mia_vulnerability: 0.6,
+                mia_auc: 0.62,
+                gen_error: 0.1,
+            })
+        };
+        let events = vec![
+            TraceEvent::Round(round(1, 1)),
+            mixing(1, 0.8),
+            eval(1, 0.4),
+            TraceEvent::Round(round(2, 1)),
+            mixing(2, 0.6),
+            eval(2, 0.6),
+        ];
+        let summary = RunSummary::from_events(&header(), &events);
+        let r1 = &summary.rounds[0];
+        assert!((r1.lambda2_round.unwrap() - 0.7).abs() < 1e-12);
+        assert!((r1.lambda2_cumulative.unwrap() - 0.35).abs() < 1e-12);
+        let eval = r1.eval.as_ref().unwrap();
+        assert!((eval.test_accuracy - 0.5).abs() < 1e-12);
+        assert_eq!(summary.totals.evals, 2);
+    }
+
+    #[test]
+    fn node_series_collect_per_node_trajectories() {
+        let node_eval = |seed, round, node, auc: f64| {
+            TraceEvent::NodeEval(NodeEvalRecord {
+                seed,
+                round,
+                node,
+                test_accuracy: 0.5,
+                train_accuracy: 0.6,
+                mia_vulnerability: 0.55,
+                mia_auc: auc,
+                gen_error: 0.1,
+            })
+        };
+        let events = vec![
+            TraceEvent::Round(round(1, 1)),
+            node_eval(1, 1, 0, 0.6),
+            node_eval(1, 1, 1, 0.7),
+            TraceEvent::Round(round(1, 2)),
+            node_eval(1, 2, 0, 0.65),
+            node_eval(1, 2, 1, 0.75),
+        ];
+        let summary = RunSummary::from_events(&header(), &events);
+        assert_eq!(summary.nodes.len(), 2);
+        assert_eq!(summary.nodes[0].node, 0);
+        assert_eq!(summary.nodes[0].rounds, vec![1, 2]);
+        assert_eq!(summary.nodes[0].mia_auc, vec![0.6, 0.65]);
+        assert_eq!(summary.nodes[1].mia_auc, vec![0.7, 0.75]);
+    }
+
+    #[test]
+    fn topology_summary_averages_analytic_lambda2() {
+        let topo = |seed, l2: f64| {
+            TraceEvent::Topology(TopologyRecord {
+                seed,
+                nodes: 8,
+                view_size: 2,
+                lambda2_analytic: l2,
+            })
+        };
+        let events = vec![topo(1, 0.8), topo(2, 0.6)];
+        let summary = RunSummary::from_events(&header(), &events);
+        let topology = summary.topology.unwrap();
+        assert_eq!(topology.nodes, 8);
+        assert!((topology.lambda2_analytic - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_json_is_deterministic() {
+        let events = vec![TraceEvent::Round(round(1, 1))];
+        let a = RunSummary::from_events(&header(), &events).to_json_pretty();
+        let b = RunSummary::from_events(&header(), &events).to_json_pretty();
+        assert_eq!(a, b);
+        assert!(a.ends_with('\n'));
+        assert!(a.contains("\"fan_in\""));
+    }
+}

@@ -4,39 +4,58 @@
 //! (JSONL). The first line is always a [`HeaderRecord`] carrying
 //! [`SCHEMA_VERSION`] so consumers can reject streams they do not
 //! understand; subsequent lines interleave per-round simulation counters
-//! ([`RoundRecord`]) with evaluation results ([`EvalRecord`]) in
-//! round-major order — for every round the `Round` line precedes the
-//! `Eval` line, and replicated runs are concatenated in ascending seed
-//! order.
+//! ([`RoundRecord`]) with mixing spectra ([`MixingRecord`]), per-node
+//! evaluations ([`NodeEvalRecord`]) and fleet-wide evaluation results
+//! ([`EvalRecord`]) in round-major order — for every round the `Round`
+//! line precedes that round's other lines, a seed's [`TopologyRecord`]
+//! precedes its first round, and replicated runs are concatenated in
+//! ascending seed order.
 //!
 //! Records deliberately carry **no wall-clock timestamps**: everything in
 //! the event stream is a deterministic function of the experiment config
 //! and seed, so same-seed reruns produce byte-identical JSONL. Timings
 //! live in the run manifest instead (see [`crate::Manifest`]).
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Version of the JSONL trace schema; bump on any incompatible change to
 /// the record shapes below.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added `Topology`/`Mixing`/`NodeEval` records and the merge fan-in /
+/// model-staleness histograms on [`RoundRecord`].
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Number of buckets in the fan-in and staleness histograms.
+pub const HIST_BUCKETS: usize = 9;
+
+/// Upper edges (inclusive, in ticks) of the finite staleness buckets; the
+/// ninth bucket is the `+Inf` overflow.
+pub const STALENESS_EDGES: [u64; HIST_BUCKETS - 1] = [0, 10, 25, 50, 100, 200, 400, 800];
 
 /// One line of a trace stream.
 ///
-/// Serialized internally tagged (`"type": "Header" | "Round" | "Eval"`).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+/// Serialized internally tagged (`"type": "Header" | "Topology" | "Round"
+/// | "Mixing" | "NodeEval" | "Eval"`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "type")]
 pub enum TraceEvent {
     /// First line of every stream: schema version and run identity.
     Header(HeaderRecord),
+    /// Initial communication graph of one seed (before any dynamics).
+    Topology(TopologyRecord),
     /// Per-round simulation counters for one seed.
     Round(RoundRecord),
-    /// Evaluation results for a round that was due for eval.
+    /// Per-round empirical mixing spectrum for one seed.
+    Mixing(MixingRecord),
+    /// Per-node evaluation results for a round that was due for eval.
+    NodeEval(NodeEvalRecord),
+    /// Fleet-wide evaluation results for a round that was due for eval.
     Eval(EvalRecord),
 }
 
 /// Stream identity: schema version, human-readable experiment label, and
 /// the FNV-1a hash of the canonical config JSON (hex).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HeaderRecord {
     /// Trace schema version ([`SCHEMA_VERSION`]).
     pub schema: u32,
@@ -46,8 +65,23 @@ pub struct HeaderRecord {
     pub config_hash: String,
 }
 
+/// Initial topology of one seed: the k-regular graph the run starts from,
+/// and the analytic contraction factor of its idealized synchronous mixing
+/// matrix `(A + I) / (k + 1)` (the static-graph λ₂ of `core/lambda2.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TopologyRecord {
+    /// Experiment seed this topology belongs to.
+    pub seed: u64,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// View size `k` of the k-regular graph.
+    pub view_size: usize,
+    /// Second-largest eigenvalue magnitude of the analytic mixing matrix.
+    pub lambda2_analytic: f64,
+}
+
 /// Simulation counters for one communication round of one seed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RoundRecord {
     /// Experiment seed this round belongs to.
     pub seed: u64,
@@ -67,11 +101,56 @@ pub struct RoundRecord {
     pub models_merged: u64,
     /// Local SGD epochs run across all nodes this round.
     pub update_epochs: u64,
+    /// Merge fan-in histogram: buckets for 1..=8 merged models, ninth
+    /// bucket is 9-or-more.
+    pub fanin_hist: [u64; HIST_BUCKETS],
+    /// Model staleness (merge tick − deliver tick) histogram over
+    /// [`STALENESS_EDGES`]; ninth bucket is the overflow.
+    pub staleness_hist: [u64; HIST_BUCKETS],
+    /// Sum of stalenesses in ticks (exact, for histogram `_sum` export).
+    pub staleness_sum: u64,
+}
+
+/// Per-round empirical mixing spectrum for one seed, derived from the
+/// reconstructed mixing matrix `W_t` (see `glmia_gossip`'s
+/// `MixingMatrixObserver`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MixingRecord {
+    /// Experiment seed this record belongs to.
+    pub seed: u64,
+    /// 1-based round index.
+    pub round: usize,
+    /// Contraction factor (second-largest singular value) of this round's
+    /// empirical mixing matrix `W_t`.
+    pub lambda2_round: f64,
+    /// Contraction factor of the cumulative product `W_t · … · W_1`.
+    pub lambda2_cumulative: f64,
+}
+
+/// Evaluation metrics for one node at one evaluated round of one seed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeEvalRecord {
+    /// Experiment seed this evaluation belongs to.
+    pub seed: u64,
+    /// 1-based round index that was evaluated.
+    pub round: usize,
+    /// Node index.
+    pub node: usize,
+    /// Test-set accuracy of this node's model.
+    pub test_accuracy: f64,
+    /// Train-set accuracy of this node's model.
+    pub train_accuracy: f64,
+    /// MIA attack accuracy against this node (paper's vulnerability).
+    pub mia_vulnerability: f64,
+    /// MIA AUC against this node.
+    pub mia_auc: f64,
+    /// Generalization error (train minus test accuracy) of this node.
+    pub gen_error: f64,
 }
 
 /// Evaluation metrics for one evaluated round of one seed. Field meanings
 /// match `glmia_core::RoundEval`; `gen_error` is the mean over nodes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EvalRecord {
     /// Experiment seed this evaluation belongs to.
     pub seed: u64,
@@ -103,7 +182,7 @@ mod tests {
         let line = serde_json::to_string(&event).unwrap();
         assert_eq!(
             line,
-            "{\"type\":\"Header\",\"schema\":1,\"label\":\"quick\",\
+            "{\"type\":\"Header\",\"schema\":2,\"label\":\"quick\",\
              \"config_hash\":\"00deadbeef00cafe\"}"
         );
     }
@@ -120,10 +199,52 @@ mod tests {
             merges: 9,
             models_merged: 11,
             update_epochs: 18,
+            fanin_hist: [7, 2, 0, 0, 0, 0, 0, 0, 0],
+            staleness_hist: [7, 0, 0, 0, 4, 0, 0, 0, 0],
+            staleness_sum: 320,
         };
         let a = serde_json::to_string(&TraceEvent::Round(record)).unwrap();
         let b = serde_json::to_string(&TraceEvent::Round(record)).unwrap();
         assert_eq!(a, b);
         assert!(a.starts_with("{\"type\":\"Round\",\"seed\":7,\"round\":3,"));
+        assert!(a.contains("\"fanin_hist\":[7,2,0,0,0,0,0,0,0]"));
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let events = vec![
+            TraceEvent::Header(HeaderRecord {
+                schema: SCHEMA_VERSION,
+                label: "quick".into(),
+                config_hash: "0000000000000001".into(),
+            }),
+            TraceEvent::Topology(TopologyRecord {
+                seed: 1,
+                nodes: 8,
+                view_size: 2,
+                lambda2_analytic: 0.75,
+            }),
+            TraceEvent::Mixing(MixingRecord {
+                seed: 1,
+                round: 1,
+                lambda2_round: 0.9,
+                lambda2_cumulative: 0.81,
+            }),
+            TraceEvent::NodeEval(NodeEvalRecord {
+                seed: 1,
+                round: 1,
+                node: 3,
+                test_accuracy: 0.5,
+                train_accuracy: 0.6,
+                mia_vulnerability: 0.55,
+                mia_auc: 0.58,
+                gen_error: 0.1,
+            }),
+        ];
+        for event in events {
+            let line = serde_json::to_string(&event).unwrap();
+            let back: TraceEvent = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, event);
+        }
     }
 }

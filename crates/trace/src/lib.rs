@@ -5,19 +5,29 @@
 //! on-disk run artifacts:
 //!
 //! * [`TraceRecorder`] — an observer that folds engine events (sends,
-//!   deliveries, merges, local updates) into per-round counters;
+//!   deliveries, merges, local updates) into per-round counters and
+//!   fan-in/staleness histograms;
 //! * [`PhaseTimings`] — monotonic wall-clock accumulation per run phase
 //!   (partition, topology, simulate, eval, aggregate);
 //! * [`RunTrace`] — the assembled run record, writable as a
 //!   schema-versioned JSONL event stream (`events.jsonl`) plus an
-//!   end-of-run [`Manifest`] (`manifest.json`).
+//!   end-of-run [`Manifest`] (`manifest.json`);
+//! * [`TraceWriter`] — crash-safe persistence: the manifest is finalized
+//!   (marked `"complete": false`) even when a run dies mid-phase;
+//! * [`TraceReader`] — streaming replay of `events.jsonl` with
+//!   schema-version checking and line-numbered errors;
+//! * [`RunSummary`] — per-round aggregates derived from a replayed event
+//!   stream (message counts, histograms with deterministic quantiles,
+//!   MIA/accuracy time series, empirical λ₂);
+//! * [`ProgressObserver`] — a stderr heartbeat for long interactive runs.
 //!
 //! # Determinism contract
 //!
 //! The event stream is a pure function of config and seeds: records carry
 //! simulation ticks and counters, never wall-clock times, so same-seed
 //! reruns emit **byte-identical** `events.jsonl` at any thread count.
-//! Timings (which do vary) are confined to the manifest.
+//! Derived summaries are pure functions of the stream, so they inherit the
+//! guarantee. Timings (which do vary) are confined to the manifest.
 //!
 //! # Examples
 //!
@@ -54,15 +64,29 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod derive;
 mod events;
 mod manifest;
 mod phase;
+mod progress;
+mod reader;
 mod recorder;
+mod writer;
 
-pub use events::{EvalRecord, HeaderRecord, RoundRecord, TraceEvent, SCHEMA_VERSION};
-pub use manifest::{fnv1a, git_describe, Manifest, PhaseEntry, Totals};
+pub use derive::{
+    EvalSummary, HistogramBucket, HistogramSummary, NodeSeries, RoundSummary, RunSummary,
+    TopologySummary,
+};
+pub use events::{
+    EvalRecord, HeaderRecord, MixingRecord, NodeEvalRecord, RoundRecord, TopologyRecord,
+    TraceEvent, HIST_BUCKETS, SCHEMA_VERSION, STALENESS_EDGES,
+};
+pub use manifest::{fnv1a, git_describe, git_describe_in, Manifest, PhaseEntry, Totals};
 pub use phase::{Phase, PhaseTimings};
+pub use progress::ProgressObserver;
+pub use reader::{read_trace, TraceReadError, TraceReader};
 pub use recorder::{RoundCounters, TraceRecorder};
+pub use writer::TraceWriter;
 
 use std::io;
 use std::path::Path;
@@ -70,9 +94,10 @@ use std::path::Path;
 /// The assembled trace of one experiment run (one or many seeds).
 ///
 /// Build with [`RunTrace::new`], feed each seed's recorder output through
-/// [`add_seed_run`](RunTrace::add_seed_run) (ascending seed order),
-/// accumulate timings via [`phases_mut`](RunTrace::phases_mut), then
-/// serialize with [`events_jsonl`](RunTrace::events_jsonl) /
+/// [`add_seed_run`](RunTrace::add_seed_run) or
+/// [`add_seed_run_full`](RunTrace::add_seed_run_full) (ascending seed
+/// order), accumulate timings via [`phases_mut`](RunTrace::phases_mut),
+/// then serialize with [`events_jsonl`](RunTrace::events_jsonl) /
 /// [`manifest_json`](RunTrace::manifest_json) or persist both with
 /// [`write_to_dir`](RunTrace::write_to_dir).
 #[derive(Debug, Clone, PartialEq)]
@@ -153,7 +178,30 @@ impl RunTrace {
     /// of the same round). Eval records are restamped with `seed` so a
     /// mislabeled input cannot corrupt the stream.
     pub fn add_seed_run(&mut self, seed: u64, rounds: &[RoundCounters], evals: &[EvalRecord]) {
+        self.add_seed_run_full(seed, None, rounds, &[], &[], evals);
+    }
+
+    /// Appends one seed's run with the full v2 record set: an optional
+    /// topology record (emitted before the first round), per-round mixing
+    /// spectra and per-node evaluations interleaved round-major with the
+    /// counters and fleet evaluations. All records are restamped with
+    /// `seed`.
+    pub fn add_seed_run_full(
+        &mut self,
+        seed: u64,
+        topology: Option<TopologyRecord>,
+        rounds: &[RoundCounters],
+        mixing: &[MixingRecord],
+        node_evals: &[NodeEvalRecord],
+        evals: &[EvalRecord],
+    ) {
         self.seeds.push(seed);
+        if let Some(mut topo) = topology {
+            topo.seed = seed;
+            self.events.push(TraceEvent::Topology(topo));
+        }
+        let mut pending_mixing = mixing.iter().peekable();
+        let mut pending_nodes = node_evals.iter().peekable();
         let mut pending = evals.iter().peekable();
         for counters in rounds {
             self.events.push(TraceEvent::Round(RoundRecord {
@@ -166,7 +214,26 @@ impl RunTrace {
                 merges: counters.merges,
                 models_merged: counters.models_merged,
                 update_epochs: counters.update_epochs,
+                fanin_hist: counters.fanin_hist,
+                staleness_hist: counters.staleness_hist,
+                staleness_sum: counters.staleness_sum,
             }));
+            while pending_mixing
+                .peek()
+                .is_some_and(|m| m.round <= counters.round)
+            {
+                let mut record = *pending_mixing.next().expect("peeked");
+                record.seed = seed;
+                self.events.push(TraceEvent::Mixing(record));
+            }
+            while pending_nodes
+                .peek()
+                .is_some_and(|n| n.round <= counters.round)
+            {
+                let mut record = *pending_nodes.next().expect("peeked");
+                record.seed = seed;
+                self.events.push(TraceEvent::NodeEval(record));
+            }
             while pending
                 .peek()
                 .is_some_and(|eval| eval.round <= counters.round)
@@ -179,7 +246,17 @@ impl RunTrace {
             self.totals.messages_dropped += counters.drops;
             self.totals.local_updates += counters.update_epochs;
         }
-        // Evals past the last recorded round (defensive; normally empty).
+        // Records past the last counted round (defensive; normally empty).
+        for record in pending_mixing {
+            let mut record = *record;
+            record.seed = seed;
+            self.events.push(TraceEvent::Mixing(record));
+        }
+        for record in pending_nodes {
+            let mut record = *record;
+            record.seed = seed;
+            self.events.push(TraceEvent::NodeEval(record));
+        }
         for eval in pending {
             let mut eval = *eval;
             eval.seed = seed;
@@ -226,7 +303,8 @@ impl RunTrace {
         out
     }
 
-    /// The end-of-run manifest (stamps the current git revision).
+    /// The end-of-run manifest (stamps the current git revision; marked
+    /// complete — partial manifests come from [`TraceWriter`]).
     pub fn manifest(&self) -> Manifest {
         Manifest {
             schema: SCHEMA_VERSION,
@@ -234,7 +312,8 @@ impl RunTrace {
             config_hash: self.config_hash_hex(),
             seeds: self.seeds.clone(),
             threads: self.threads,
-            git_commit: git_describe(),
+            git: git_describe(),
+            complete: true,
             wall_secs: self.wall_secs,
             phases: PhaseEntry::from_timings(&self.phases),
             totals: self.totals,
@@ -274,6 +353,7 @@ mod tests {
             merges: 5,
             models_merged: 9 + round as u64,
             update_epochs: 12,
+            ..RoundCounters::default()
         }
     }
 
@@ -289,19 +369,22 @@ mod tests {
         }
     }
 
+    fn kind(event: &TraceEvent) -> &'static str {
+        match event {
+            TraceEvent::Header(_) => "header",
+            TraceEvent::Topology(_) => "topology",
+            TraceEvent::Round(_) => "round",
+            TraceEvent::Mixing(_) => "mixing",
+            TraceEvent::NodeEval(_) => "nodeeval",
+            TraceEvent::Eval(_) => "eval",
+        }
+    }
+
     #[test]
     fn events_are_round_major_with_eval_after_its_round() {
         let mut trace = RunTrace::new("t", 1, 1);
         trace.add_seed_run(42, &[counters(1), counters(2)], &[eval(2)]);
-        let kinds: Vec<&str> = trace
-            .events()
-            .iter()
-            .map(|e| match e {
-                TraceEvent::Header(_) => "header",
-                TraceEvent::Round(_) => "round",
-                TraceEvent::Eval(_) => "eval",
-            })
-            .collect();
+        let kinds: Vec<&str> = trace.events().iter().map(kind).collect();
         assert_eq!(kinds, ["round", "round", "eval"]);
         match &trace.events()[2] {
             TraceEvent::Eval(e) => {
@@ -309,6 +392,62 @@ mod tests {
                 assert_eq!(e.seed, 42, "eval records are restamped with the seed");
             }
             other => panic!("expected eval, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_seed_run_interleaves_all_record_kinds() {
+        let mut trace = RunTrace::new("t", 1, 1);
+        let topo = TopologyRecord {
+            seed: 0,
+            nodes: 4,
+            view_size: 2,
+            lambda2_analytic: 0.5,
+        };
+        let mixing = [
+            MixingRecord {
+                seed: 0,
+                round: 1,
+                lambda2_round: 0.9,
+                lambda2_cumulative: 0.9,
+            },
+            MixingRecord {
+                seed: 0,
+                round: 2,
+                lambda2_round: 0.8,
+                lambda2_cumulative: 0.72,
+            },
+        ];
+        let node_evals = [NodeEvalRecord {
+            seed: 0,
+            round: 2,
+            node: 0,
+            test_accuracy: 0.5,
+            train_accuracy: 0.6,
+            mia_vulnerability: 0.55,
+            mia_auc: 0.58,
+            gen_error: 0.1,
+        }];
+        trace.add_seed_run_full(
+            9,
+            Some(topo),
+            &[counters(1), counters(2)],
+            &mixing,
+            &node_evals,
+            &[eval(2)],
+        );
+        let kinds: Vec<&str> = trace.events().iter().map(kind).collect();
+        assert_eq!(
+            kinds,
+            ["topology", "round", "mixing", "round", "mixing", "nodeeval", "eval"]
+        );
+        match &trace.events()[0] {
+            TraceEvent::Topology(t) => assert_eq!(t.seed, 9, "topology restamped with the seed"),
+            other => panic!("expected topology, got {other:?}"),
+        }
+        match &trace.events()[5] {
+            TraceEvent::NodeEval(n) => assert_eq!(n.seed, 9),
+            other => panic!("expected nodeeval, got {other:?}"),
         }
     }
 
@@ -338,7 +477,7 @@ mod tests {
         assert_eq!(a, b, "same inputs must serialize byte-identically");
         let first = a.lines().next().unwrap();
         assert!(first.contains("\"type\":\"Header\""));
-        assert!(first.contains("\"schema\":1"));
+        assert!(first.contains("\"schema\":2"));
         assert!(first.contains("000000000000abcd"));
         assert_eq!(a.lines().count(), 3);
     }
@@ -369,6 +508,7 @@ mod tests {
         assert_eq!(events, trace.events_jsonl());
         assert!(manifest.contains("\"schema\""));
         assert!(manifest.contains("\"totals\""));
+        assert!(manifest.contains("\"complete\": true"));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -23,8 +23,13 @@ pub struct Manifest {
     pub seeds: Vec<u64>,
     /// Worker threads the runner was configured with.
     pub threads: usize,
-    /// `git describe --always --dirty` of the working tree, when available.
-    pub git_commit: Option<String>,
+    /// `git describe --always --dirty` of the working tree; `null` when
+    /// git or the repository is unavailable (no `.git`, shallow clone).
+    pub git: Option<String>,
+    /// Whether the run finished all phases. Partial traces (run aborted
+    /// mid-phase) are finalized with `complete: false` so they remain
+    /// analyzable.
+    pub complete: bool,
     /// End-to-end wall-clock seconds for the whole run.
     pub wall_secs: f64,
     /// Per-phase busy seconds, canonical phase order. Overlapping phases
@@ -84,7 +89,17 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 /// Best-effort `git describe --always --dirty` of the current working
 /// directory; `None` when git or the repository is unavailable.
 pub fn git_describe() -> Option<String> {
+    git_describe_in(std::path::Path::new("."))
+}
+
+/// Best-effort `git describe --always --dirty` run inside `dir`; `None`
+/// when git is missing, `dir` is not a repository (or a shallow clone with
+/// nothing describable), or the output is empty — the manifest records
+/// `"git": null` in all of those cases rather than failing the run.
+pub fn git_describe_in(dir: &std::path::Path) -> Option<String> {
     let output = std::process::Command::new("git")
+        .arg("-C")
+        .arg(dir)
         .args(["describe", "--always", "--dirty"])
         .output()
         .ok()?;
@@ -119,6 +134,33 @@ mod tests {
     }
 
     #[test]
+    fn git_describe_outside_a_repo_is_none_not_an_error() {
+        let dir = std::env::temp_dir().join(format!("glmia-no-repo-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(git_describe_in(&dir), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_serializes_missing_git_as_null() {
+        let manifest = Manifest {
+            schema: 2,
+            label: "quick".into(),
+            config_hash: "0000000000000001".into(),
+            seeds: vec![1],
+            threads: 1,
+            git: None,
+            complete: false,
+            wall_secs: 0.0,
+            phases: Vec::new(),
+            totals: Totals::default(),
+        };
+        let json = serde_json::to_string(&manifest).unwrap();
+        assert!(json.contains("\"git\":null"), "{json}");
+        assert!(json.contains("\"complete\":false"), "{json}");
+    }
+
+    #[test]
     fn phase_entries_follow_canonical_order() {
         let mut timings = PhaseTimings::new();
         timings.add(Phase::Eval, 1.0);
@@ -126,7 +168,14 @@ mod tests {
         let names: Vec<&str> = entries.iter().map(|e| e.phase).collect();
         assert_eq!(
             names,
-            ["partition", "topology", "simulate", "eval", "aggregate"]
+            [
+                "partition",
+                "topology",
+                "simulate",
+                "eval",
+                "spectral",
+                "aggregate"
+            ]
         );
         assert_eq!(entries[3].secs, 1.0);
     }

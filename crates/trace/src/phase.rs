@@ -24,17 +24,20 @@ pub enum Phase {
     Simulate,
     /// Per-round evaluation: accuracy, MIA replay, generalization error.
     Eval,
+    /// Post-run spectral analysis of the empirical mixing matrices.
+    Spectral,
     /// Cross-seed aggregation during replication.
     Aggregate,
 }
 
 impl Phase {
     /// All phases, in canonical reporting order.
-    pub const ALL: [Phase; 5] = [
+    pub const ALL: [Phase; 6] = [
         Phase::Partition,
         Phase::Topology,
         Phase::Simulate,
         Phase::Eval,
+        Phase::Spectral,
         Phase::Aggregate,
     ];
 
@@ -45,6 +48,7 @@ impl Phase {
             Phase::Topology => "topology",
             Phase::Simulate => "simulate",
             Phase::Eval => "eval",
+            Phase::Spectral => "spectral",
             Phase::Aggregate => "aggregate",
         }
     }
@@ -55,7 +59,8 @@ impl Phase {
             Phase::Topology => 1,
             Phase::Simulate => 2,
             Phase::Eval => 3,
-            Phase::Aggregate => 4,
+            Phase::Spectral => 4,
+            Phase::Aggregate => 5,
         }
     }
 }
@@ -63,7 +68,7 @@ impl Phase {
 /// Accumulated seconds per [`Phase`].
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PhaseTimings {
-    secs: [f64; 5],
+    secs: [f64; 6],
 }
 
 impl PhaseTimings {
@@ -151,7 +156,14 @@ mod tests {
         let names: Vec<&str> = t.iter().map(|(p, _)| p.name()).collect();
         assert_eq!(
             names,
-            ["partition", "topology", "simulate", "eval", "aggregate"]
+            [
+                "partition",
+                "topology",
+                "simulate",
+                "eval",
+                "spectral",
+                "aggregate"
+            ]
         );
     }
 }

@@ -1,0 +1,136 @@
+//! A stderr heartbeat for long interactive runs.
+
+use std::io::{IsTerminal, Write};
+use std::time::{Duration, Instant};
+
+use glmia_gossip::{RoundSnapshot, SimObserver};
+
+/// Emits a single-line progress heartbeat to stderr at round boundaries:
+/// `round/total`, rounds per second, and an ETA.
+///
+/// The heartbeat is carriage-return rewritten in place, throttled to at
+/// most ~10 updates per second, and **suppressed entirely** when stderr is
+/// not a TTY (CI logs stay clean) or when the caller asks for quiet. It
+/// writes nothing to stdout and nothing into the trace, so it cannot
+/// perturb the determinism contract.
+#[derive(Debug)]
+pub struct ProgressObserver {
+    total_rounds: usize,
+    enabled: bool,
+    started: Instant,
+    last_emit: Option<Instant>,
+    dirty: bool,
+}
+
+impl ProgressObserver {
+    /// A heartbeat for a run of `total_rounds`, enabled only when stderr
+    /// is a terminal.
+    #[must_use]
+    pub fn new(total_rounds: usize) -> Self {
+        Self::with_enabled(total_rounds, std::io::stderr().is_terminal())
+    }
+
+    /// A heartbeat with explicit enablement (`enabled = false` for
+    /// `--quiet`); TTY suppression still applies on top.
+    #[must_use]
+    pub fn with_enabled(total_rounds: usize, enabled: bool) -> Self {
+        Self {
+            total_rounds,
+            enabled: enabled && std::io::stderr().is_terminal(),
+            started: Instant::now(),
+            last_emit: None,
+            dirty: false,
+        }
+    }
+
+    /// Whether the heartbeat will emit anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn emit(&mut self, round: usize) {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let rps = if elapsed > 0.0 {
+            round as f64 / elapsed
+        } else {
+            0.0
+        };
+        let remaining = self.total_rounds.saturating_sub(round);
+        let eta = if rps > 0.0 {
+            remaining as f64 / rps
+        } else {
+            0.0
+        };
+        let mut err = std::io::stderr().lock();
+        let _ = write!(
+            err,
+            "\rround {round}/{} | {rps:.1} rounds/s | ETA {eta:.0}s   ",
+            self.total_rounds
+        );
+        let _ = err.flush();
+        self.dirty = true;
+    }
+
+    fn finish_line(&mut self) {
+        if self.dirty {
+            let mut err = std::io::stderr().lock();
+            let _ = writeln!(err);
+            let _ = err.flush();
+            self.dirty = false;
+        }
+    }
+}
+
+impl SimObserver for ProgressObserver {
+    fn on_snapshot(&mut self, snapshot: &RoundSnapshot) {
+        if !self.enabled {
+            return;
+        }
+        let last = snapshot.round >= self.total_rounds;
+        let due = self
+            .last_emit
+            .is_none_or(|at| at.elapsed() >= Duration::from_millis(100));
+        if due || last {
+            self.emit(snapshot.round);
+            self.last_emit = Some(Instant::now());
+        }
+        if last {
+            self.finish_line();
+        }
+    }
+}
+
+/// Lets a borrowed heartbeat ride along in an observer chain.
+impl SimObserver for &mut ProgressObserver {
+    fn on_snapshot(&mut self, snapshot: &RoundSnapshot) {
+        (**self).on_snapshot(snapshot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_progress_emits_nothing_and_stays_cheap() {
+        let mut progress = ProgressObserver::with_enabled(10, false);
+        assert!(!progress.is_enabled());
+        for round in 1..=10 {
+            progress.on_snapshot(&RoundSnapshot {
+                round,
+                tick: round as u64 * 100,
+                models: Vec::new(),
+                shared_models: Vec::new(),
+            });
+        }
+        assert!(!progress.dirty);
+    }
+
+    #[test]
+    fn non_tty_stderr_suppresses_even_when_enabled() {
+        // Test harness stderr is not a terminal, so enablement is masked.
+        let progress = ProgressObserver::with_enabled(5, true);
+        assert!(!progress.is_enabled());
+    }
+}

@@ -1,0 +1,408 @@
+//! Streaming replay of `events.jsonl`.
+//!
+//! [`TraceReader`] wraps any [`BufRead`] source, eagerly validates the
+//! header line (schema version included), and then yields one
+//! [`TraceEvent`] per line. Every failure is a typed [`TraceReadError`]
+//! carrying the 1-based line number it occurred on, so a corrupted trace
+//! points straight at the offending line.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader};
+use std::path::Path;
+
+use crate::events::{HeaderRecord, TraceEvent, SCHEMA_VERSION};
+
+/// A failure while reading a trace stream. Line numbers are 1-based.
+#[derive(Debug)]
+pub enum TraceReadError {
+    /// Underlying I/O failure (opening the file or reading a line).
+    Io(io::Error),
+    /// The stream is empty or its first line is not a `Header` record.
+    MissingHeader,
+    /// A line was not valid JSON for any known record shape.
+    Malformed {
+        /// Line the parse failed on.
+        line: usize,
+        /// Parser diagnostic.
+        message: String,
+    },
+    /// The final line is missing its trailing newline — the write was cut
+    /// off mid-record, so the line cannot be trusted.
+    Truncated {
+        /// The incomplete final line.
+        line: usize,
+    },
+    /// The header declares a schema version this reader does not support.
+    UnsupportedSchema {
+        /// Line of the header (always 1).
+        line: usize,
+        /// Schema version found in the stream.
+        found: u32,
+        /// Schema version this reader supports.
+        supported: u32,
+    },
+    /// A `Round` record's index did not increase strictly within its seed.
+    OutOfOrderRound {
+        /// Line of the offending record.
+        line: usize,
+        /// Seed whose round sequence broke.
+        seed: u64,
+        /// Last round seen for this seed.
+        prev: usize,
+        /// Round found on this line.
+        found: usize,
+    },
+}
+
+impl fmt::Display for TraceReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(err) => write!(f, "trace I/O error: {err}"),
+            Self::MissingHeader => write!(f, "trace line 1: expected a Header record"),
+            Self::Malformed { line, message } => {
+                write!(f, "trace line {line}: malformed record: {message}")
+            }
+            Self::Truncated { line } => {
+                write!(f, "trace line {line}: truncated final line (no newline)")
+            }
+            Self::UnsupportedSchema {
+                line,
+                found,
+                supported,
+            } => write!(
+                f,
+                "trace line {line}: unsupported schema version {found} (reader supports {supported})"
+            ),
+            Self::OutOfOrderRound {
+                line,
+                seed,
+                prev,
+                found,
+            } => write!(
+                f,
+                "trace line {line}: out-of-order round for seed {seed}: {found} after {prev}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceReadError {
+    fn from(err: io::Error) -> Self {
+        Self::Io(err)
+    }
+}
+
+/// Streaming `events.jsonl` reader: validates the header eagerly, then
+/// yields data records one line at a time via [`Iterator`].
+///
+/// Validation performed per line: JSON shape (line-numbered
+/// [`Malformed`](TraceReadError::Malformed) errors), trailing-newline
+/// presence on the final line
+/// ([`Truncated`](TraceReadError::Truncated)), and strictly increasing
+/// `Round` indices per seed
+/// ([`OutOfOrderRound`](TraceReadError::OutOfOrderRound)).
+#[derive(Debug)]
+pub struct TraceReader<R> {
+    inner: R,
+    header: HeaderRecord,
+    /// 1-based number of the last line read.
+    line: usize,
+    last_round: BTreeMap<u64, usize>,
+    failed: bool,
+}
+
+impl TraceReader<BufReader<File>> {
+    /// Opens `events.jsonl` at `path` and validates its header.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceReadError> {
+        Self::new(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: BufRead> TraceReader<R> {
+    /// Wraps a reader and validates the first (header) line.
+    pub fn new(mut inner: R) -> Result<Self, TraceReadError> {
+        let mut first = String::new();
+        let bytes = inner.read_line(&mut first)?;
+        if bytes == 0 {
+            return Err(TraceReadError::MissingHeader);
+        }
+        if !first.ends_with('\n') {
+            return Err(TraceReadError::Truncated { line: 1 });
+        }
+        let event: TraceEvent =
+            serde_json::from_str(first.trim_end()).map_err(|err| TraceReadError::Malformed {
+                line: 1,
+                message: err.to_string(),
+            })?;
+        let TraceEvent::Header(header) = event else {
+            return Err(TraceReadError::MissingHeader);
+        };
+        if header.schema != SCHEMA_VERSION {
+            return Err(TraceReadError::UnsupportedSchema {
+                line: 1,
+                found: header.schema,
+                supported: SCHEMA_VERSION,
+            });
+        }
+        Ok(Self {
+            inner,
+            header,
+            line: 1,
+            last_round: BTreeMap::new(),
+            failed: false,
+        })
+    }
+
+    /// The validated stream header.
+    pub fn header(&self) -> &HeaderRecord {
+        &self.header
+    }
+}
+
+impl<R: BufRead> Iterator for TraceReader<R> {
+    type Item = Result<TraceEvent, TraceReadError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        let mut buf = String::new();
+        let bytes = match self.inner.read_line(&mut buf) {
+            Ok(bytes) => bytes,
+            Err(err) => {
+                self.failed = true;
+                return Some(Err(err.into()));
+            }
+        };
+        if bytes == 0 {
+            return None;
+        }
+        self.line += 1;
+        if !buf.ends_with('\n') {
+            self.failed = true;
+            return Some(Err(TraceReadError::Truncated { line: self.line }));
+        }
+        let event: TraceEvent = match serde_json::from_str(buf.trim_end()) {
+            Ok(event) => event,
+            Err(err) => {
+                self.failed = true;
+                return Some(Err(TraceReadError::Malformed {
+                    line: self.line,
+                    message: err.to_string(),
+                }));
+            }
+        };
+        match &event {
+            TraceEvent::Header(_) => {
+                self.failed = true;
+                return Some(Err(TraceReadError::Malformed {
+                    line: self.line,
+                    message: "unexpected second Header record".into(),
+                }));
+            }
+            TraceEvent::Round(round) => {
+                let prev = self.last_round.get(&round.seed).copied();
+                if let Some(prev) = prev {
+                    if round.round <= prev {
+                        self.failed = true;
+                        return Some(Err(TraceReadError::OutOfOrderRound {
+                            line: self.line,
+                            seed: round.seed,
+                            prev,
+                            found: round.round,
+                        }));
+                    }
+                }
+                self.last_round.insert(round.seed, round.round);
+            }
+            _ => {}
+        }
+        Some(Ok(event))
+    }
+}
+
+/// Reads and fully validates `events.jsonl` at `path`, returning the
+/// header and every data record.
+pub fn read_trace(
+    path: impl AsRef<Path>,
+) -> Result<(HeaderRecord, Vec<TraceEvent>), TraceReadError> {
+    let reader = TraceReader::open(path)?;
+    let header = reader.header().clone();
+    let events = reader.collect::<Result<Vec<_>, _>>()?;
+    Ok((header, events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EvalRecord, RoundCounters, RunTrace};
+    use std::io::Cursor;
+
+    fn sample_trace() -> RunTrace {
+        let mut trace = RunTrace::new("reader-test", 0xfeed, 1);
+        let rounds: Vec<RoundCounters> = (1..=3)
+            .map(|round| RoundCounters {
+                round,
+                tick: round as u64 * 100,
+                sends: 4,
+                delivers: 4,
+                merges: 2,
+                models_merged: 4,
+                ..RoundCounters::default()
+            })
+            .collect();
+        let eval = EvalRecord {
+            seed: 5,
+            round: 3,
+            test_accuracy: 0.5,
+            train_accuracy: 0.6,
+            mia_vulnerability: 0.55,
+            mia_auc: 0.58,
+            gen_error: 0.1,
+        };
+        trace.add_seed_run(5, &rounds, &[eval]);
+        trace
+    }
+
+    fn read_all(jsonl: &str) -> Result<Vec<TraceEvent>, TraceReadError> {
+        TraceReader::new(Cursor::new(jsonl.as_bytes()))?.collect()
+    }
+
+    #[test]
+    fn replays_a_written_stream_losslessly() {
+        let trace = sample_trace();
+        let jsonl = trace.events_jsonl();
+        let reader = TraceReader::new(Cursor::new(jsonl.as_bytes())).unwrap();
+        assert_eq!(reader.header().label, "reader-test");
+        assert_eq!(reader.header().schema, SCHEMA_VERSION);
+        let events: Vec<TraceEvent> = reader.map(Result::unwrap).collect();
+        assert_eq!(events, trace.events());
+    }
+
+    #[test]
+    fn empty_stream_is_missing_header() {
+        assert!(matches!(
+            TraceReader::new(Cursor::new(b"" as &[u8])).err(),
+            Some(TraceReadError::MissingHeader)
+        ));
+    }
+
+    #[test]
+    fn data_first_stream_is_missing_header() {
+        let jsonl = sample_trace().events_jsonl();
+        // Drop the header line.
+        let rest: String = jsonl.lines().skip(1).map(|l| format!("{l}\n")).collect();
+        assert!(matches!(
+            TraceReader::new(Cursor::new(rest.as_bytes())).err(),
+            Some(TraceReadError::MissingHeader)
+        ));
+    }
+
+    #[test]
+    fn unknown_schema_is_rejected_with_line_number() {
+        let jsonl = sample_trace()
+            .events_jsonl()
+            .replacen("\"schema\":2", "\"schema\":99", 1);
+        match TraceReader::new(Cursor::new(jsonl.as_bytes())).err() {
+            Some(TraceReadError::UnsupportedSchema { line, found, .. }) => {
+                assert_eq!(line, 1);
+                assert_eq!(found, 99);
+            }
+            other => panic!("expected UnsupportedSchema, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_final_line_names_its_line() {
+        let mut jsonl = sample_trace().events_jsonl();
+        let total_lines = jsonl.lines().count();
+        jsonl.truncate(jsonl.len() - 10); // chop mid-record, newline gone
+        match read_all(&jsonl).err() {
+            Some(TraceReadError::Truncated { line }) => assert_eq!(line, total_lines),
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_line_names_its_line() {
+        let jsonl = sample_trace().events_jsonl();
+        let mut lines: Vec<String> = jsonl.lines().map(String::from).collect();
+        lines[2] = "{\"type\":\"Round\",\"seed\":oops".into();
+        let broken: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        match read_all(&broken).err() {
+            Some(TraceReadError::Malformed { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_order_rounds_are_rejected_per_seed() {
+        let jsonl = sample_trace().events_jsonl();
+        let mut lines: Vec<String> = jsonl.lines().map(String::from).collect();
+        // Swap the round-2 and round-3 lines (indices 2 and 3).
+        lines.swap(2, 3);
+        let broken: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        match read_all(&broken).err() {
+            Some(TraceReadError::OutOfOrderRound {
+                line,
+                seed,
+                prev,
+                found,
+            }) => {
+                assert_eq!(line, 4);
+                assert_eq!(seed, 5);
+                assert_eq!(prev, 3);
+                assert_eq!(found, 2);
+            }
+            other => panic!("expected OutOfOrderRound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interleaved_seeds_keep_independent_round_sequences() {
+        let mut trace = RunTrace::new("multi", 1, 1);
+        let round = |round| RoundCounters {
+            round,
+            tick: round as u64 * 100,
+            ..RoundCounters::default()
+        };
+        trace.add_seed_run(1, &[round(1), round(2)], &[]);
+        trace.add_seed_run(2, &[round(1), round(2)], &[]);
+        assert!(read_all(&trace.events_jsonl()).is_ok());
+    }
+
+    #[test]
+    fn second_header_is_malformed() {
+        let jsonl = sample_trace().events_jsonl();
+        let header_line = jsonl.lines().next().unwrap();
+        let doubled = format!("{jsonl}{header_line}\n");
+        assert!(matches!(
+            read_all(&doubled).err(),
+            Some(TraceReadError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn read_trace_round_trips_via_disk() {
+        let dir = std::env::temp_dir().join(format!("glmia-reader-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = sample_trace();
+        let path = dir.join("events.jsonl");
+        std::fs::write(&path, trace.events_jsonl()).unwrap();
+        let (header, events) = read_trace(&path).unwrap();
+        assert_eq!(header.config_hash, trace.config_hash_hex());
+        assert_eq!(events, trace.events());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -2,6 +2,8 @@
 
 use glmia_gossip::{DeliverEvent, MergeEvent, RoundSnapshot, SendEvent, SimObserver, UpdateEvent};
 
+use crate::events::{HIST_BUCKETS, STALENESS_EDGES};
+
 /// Simulation counters accumulated over one communication round.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RoundCounters {
@@ -21,6 +23,21 @@ pub struct RoundCounters {
     pub models_merged: u64,
     /// Local SGD epochs run across all nodes.
     pub update_epochs: u64,
+    /// Merge fan-in histogram: buckets for 1..=8 merged models, ninth
+    /// bucket is 9-or-more.
+    pub fanin_hist: [u64; HIST_BUCKETS],
+    /// Model staleness (merge tick − deliver tick) histogram over
+    /// [`STALENESS_EDGES`]; ninth bucket is the overflow.
+    pub staleness_hist: [u64; HIST_BUCKETS],
+    /// Sum of stalenesses in ticks.
+    pub staleness_sum: u64,
+}
+
+fn staleness_bucket(staleness: u64) -> usize {
+    STALENESS_EDGES
+        .iter()
+        .position(|&edge| staleness <= edge)
+        .unwrap_or(HIST_BUCKETS - 1)
 }
 
 /// Counts engine events per round; the finished rounds are read back after
@@ -30,10 +47,18 @@ pub struct RoundCounters {
 /// ([`on_snapshot`](SimObserver::on_snapshot)), never consumes them, so it
 /// composes with any round-end sink via `glmia_gossip::Observers` — e.g.
 /// the attack surface accumulation in the core runner.
+///
+/// Besides scalar counters, the recorder derives two fixed-bucket
+/// histograms per round: merge **fan-in** (models folded per merge) and
+/// model **staleness** (ticks between a model's delivery and the merge
+/// that consumed it — zero for pairwise merges, up to a full wake period
+/// for buffered ones).
 #[derive(Debug, Clone, Default)]
 pub struct TraceRecorder {
     finished: Vec<RoundCounters>,
     current: RoundCounters,
+    /// Delivery ticks awaiting their merge, per node, FIFO.
+    pending_ticks: Vec<std::collections::VecDeque<u64>>,
 }
 
 impl TraceRecorder {
@@ -51,6 +76,14 @@ impl TraceRecorder {
     pub fn into_rounds(self) -> Vec<RoundCounters> {
         self.finished
     }
+
+    fn pending_for(&mut self, node: usize) -> &mut std::collections::VecDeque<u64> {
+        if node >= self.pending_ticks.len() {
+            self.pending_ticks
+                .resize_with(node + 1, std::collections::VecDeque::new);
+        }
+        &mut self.pending_ticks[node]
+    }
 }
 
 impl SimObserver for TraceRecorder {
@@ -59,13 +92,33 @@ impl SimObserver for TraceRecorder {
         self.current.drops += u64::from(event.dropped);
     }
 
-    fn on_deliver(&mut self, _event: DeliverEvent) {
+    fn on_deliver(&mut self, event: DeliverEvent) {
         self.current.delivers += 1;
+        // Both buffered and pairwise deliveries enqueue their tick; the
+        // pairwise merge follows immediately, yielding staleness zero.
+        self.pending_for(event.to).push_back(event.tick);
     }
 
     fn on_merge(&mut self, event: MergeEvent) {
         self.current.merges += 1;
         self.current.models_merged += event.models_merged as u64;
+        let fanin_bucket = event.models_merged.clamp(1, HIST_BUCKETS) - 1;
+        self.current.fanin_hist[fanin_bucket] += 1;
+        let queue = self.pending_for(event.node);
+        let mut stalenesses = [0u64; HIST_BUCKETS];
+        let mut staleness_total = 0u64;
+        for _ in 0..event.models_merged {
+            let Some(delivered) = queue.pop_front() else {
+                break;
+            };
+            let staleness = event.tick.saturating_sub(delivered);
+            stalenesses[staleness_bucket(staleness)] += 1;
+            staleness_total += staleness;
+        }
+        for (bucket, count) in self.current.staleness_hist.iter_mut().zip(stalenesses) {
+            *bucket += count;
+        }
+        self.current.staleness_sum += staleness_total;
     }
 
     fn on_local_update(&mut self, event: UpdateEvent) {
@@ -77,6 +130,7 @@ impl SimObserver for TraceRecorder {
         self.current.tick = snapshot.tick;
         self.finished.push(self.current);
         self.current = RoundCounters::default();
+        // `pending_ticks` survives: buffered models merge in a later round.
     }
 }
 
@@ -138,6 +192,7 @@ mod tests {
         });
         rec.on_deliver(DeliverEvent {
             tick: 15,
+            from: 0,
             to: 1,
             buffered: true,
         });
@@ -172,6 +227,12 @@ mod tests {
                 merges: 1,
                 models_merged: 3,
                 update_epochs: 2,
+                // One merge of 3 models → fan-in bucket "3".
+                fanin_hist: [0, 0, 1, 0, 0, 0, 0, 0, 0],
+                // One delivery tick was queued; staleness 90 − 15 = 75
+                // lands in the ≤100 bucket.
+                staleness_hist: [0, 0, 0, 0, 1, 0, 0, 0, 0],
+                staleness_sum: 75,
             }
         );
         assert_eq!(
@@ -179,14 +240,73 @@ mod tests {
             RoundCounters {
                 round: 2,
                 tick: 200,
-                sends: 0,
-                drops: 0,
-                delivers: 0,
-                merges: 0,
-                models_merged: 0,
                 update_epochs: 5,
+                ..RoundCounters::default()
             }
         );
+    }
+
+    #[test]
+    fn pairwise_merges_have_zero_staleness() {
+        let mut rec = TraceRecorder::new();
+        rec.on_deliver(DeliverEvent {
+            tick: 40,
+            from: 2,
+            to: 0,
+            buffered: false,
+        });
+        rec.on_merge(MergeEvent {
+            tick: 40,
+            node: 0,
+            models_merged: 1,
+        });
+        rec.on_snapshot(&snapshot(1, 100));
+        let round = rec.rounds()[0];
+        assert_eq!(round.fanin_hist[0], 1);
+        assert_eq!(round.staleness_hist[0], 1, "staleness 0 → first bucket");
+        assert_eq!(round.staleness_sum, 0);
+    }
+
+    #[test]
+    fn staleness_crosses_round_boundaries() {
+        let mut rec = TraceRecorder::new();
+        rec.on_deliver(DeliverEvent {
+            tick: 95,
+            from: 1,
+            to: 0,
+            buffered: true,
+        });
+        rec.on_snapshot(&snapshot(1, 100));
+        rec.on_merge(MergeEvent {
+            tick: 1000,
+            node: 0,
+            models_merged: 1,
+        });
+        rec.on_snapshot(&snapshot(2, 1100));
+        let round2 = rec.rounds()[1];
+        // Staleness 905 overflows every finite edge → last bucket.
+        assert_eq!(round2.staleness_hist[HIST_BUCKETS - 1], 1);
+        assert_eq!(round2.staleness_sum, 905);
+    }
+
+    #[test]
+    fn large_fanin_lands_in_overflow_bucket() {
+        let mut rec = TraceRecorder::new();
+        for _ in 0..12 {
+            rec.on_deliver(DeliverEvent {
+                tick: 10,
+                from: 1,
+                to: 0,
+                buffered: true,
+            });
+        }
+        rec.on_merge(MergeEvent {
+            tick: 20,
+            node: 0,
+            models_merged: 12,
+        });
+        rec.on_snapshot(&snapshot(1, 100));
+        assert_eq!(rec.rounds()[0].fanin_hist[HIST_BUCKETS - 1], 1);
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Crash-safe trace persistence.
+//!
+//! [`TraceWriter`] splits trace writing into *create* (before the run) and
+//! *finish* (after it): creation immediately persists the stream header
+//! and a manifest marked `"complete": false`, so a run that dies mid-phase
+//! still leaves an analyzable, honestly-labeled partial trace on disk. The
+//! `Drop` impl re-finalizes the partial manifest as a last resort; only
+//! [`finish`](TraceWriter::finish) replaces it with the full record set
+//! and `"complete": true`.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::events::{HeaderRecord, TraceEvent, SCHEMA_VERSION};
+use crate::manifest::{git_describe, Manifest, Totals};
+use crate::RunTrace;
+
+/// Writes a run's trace directory (`events.jsonl` + `manifest.json`) with
+/// crash-safe finalization semantics (see the [module docs](self)).
+#[derive(Debug)]
+pub struct TraceWriter {
+    dir: PathBuf,
+    label: String,
+    config_hash_hex: String,
+    threads: usize,
+    finished: bool,
+}
+
+impl TraceWriter {
+    /// Creates `dir` (if missing) and immediately writes a header-only
+    /// `events.jsonl` plus a manifest marked `"complete": false`.
+    pub fn create(
+        dir: impl AsRef<Path>,
+        label: impl Into<String>,
+        config_hash: u64,
+        threads: usize,
+    ) -> io::Result<Self> {
+        let writer = Self {
+            dir: dir.as_ref().to_path_buf(),
+            label: label.into(),
+            config_hash_hex: format!("{config_hash:016x}"),
+            threads,
+            finished: false,
+        };
+        std::fs::create_dir_all(&writer.dir)?;
+        let header = TraceEvent::Header(HeaderRecord {
+            schema: SCHEMA_VERSION,
+            label: writer.label.clone(),
+            config_hash: writer.config_hash_hex.clone(),
+        });
+        let mut line = serde_json::to_string(&header).expect("header serialization");
+        line.push('\n');
+        std::fs::write(writer.dir.join("events.jsonl"), line)?;
+        writer.write_partial_manifest()?;
+        Ok(writer)
+    }
+
+    /// Directory this writer persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Writes the completed trace: full `events.jsonl` and a manifest
+    /// marked `"complete": true`. Consumes the writer, disarming the
+    /// partial-finalization `Drop`.
+    pub fn finish(mut self, trace: &RunTrace) -> io::Result<()> {
+        trace.write_to_dir(&self.dir)?;
+        self.finished = true;
+        Ok(())
+    }
+
+    fn partial_manifest(&self) -> Manifest {
+        Manifest {
+            schema: SCHEMA_VERSION,
+            label: self.label.clone(),
+            config_hash: self.config_hash_hex.clone(),
+            seeds: Vec::new(),
+            threads: self.threads,
+            git: git_describe(),
+            complete: false,
+            wall_secs: 0.0,
+            phases: Vec::new(),
+            totals: Totals::default(),
+        }
+    }
+
+    fn write_partial_manifest(&self) -> io::Result<()> {
+        let mut json =
+            serde_json::to_string_pretty(&self.partial_manifest()).expect("manifest serialization");
+        json.push('\n');
+        std::fs::write(self.dir.join("manifest.json"), json)
+    }
+}
+
+impl Drop for TraceWriter {
+    /// Best-effort: a writer dropped without [`finish`](TraceWriter::finish)
+    /// (run errored mid-phase) leaves a manifest marked `"complete": false`
+    /// rather than a missing or stale one.
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = self.write_partial_manifest();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RoundCounters;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("glmia-writer-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn create_leaves_an_analyzable_partial_trace() {
+        let dir = tempdir("partial");
+        let writer = TraceWriter::create(&dir, "quick", 0xbeef, 2).unwrap();
+        // Simulate a mid-run crash: drop without finish.
+        drop(writer);
+        let events = std::fs::read_to_string(dir.join("events.jsonl")).unwrap();
+        assert!(events.ends_with('\n'));
+        let reader = crate::TraceReader::open(dir.join("events.jsonl")).unwrap();
+        assert_eq!(reader.header().label, "quick");
+        let manifest: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("manifest.json")).unwrap())
+                .unwrap();
+        assert_eq!(manifest["complete"], serde_json::Value::Bool(false));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn finish_marks_the_manifest_complete() {
+        let dir = tempdir("finish");
+        let writer = TraceWriter::create(&dir, "quick", 0xbeef, 1).unwrap();
+        let mut trace = RunTrace::new("quick", 0xbeef, 1);
+        trace.add_seed_run(
+            1,
+            &[RoundCounters {
+                round: 1,
+                tick: 100,
+                ..RoundCounters::default()
+            }],
+            &[],
+        );
+        writer.finish(&trace).unwrap();
+        let manifest: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("manifest.json")).unwrap())
+                .unwrap();
+        assert_eq!(manifest["complete"], serde_json::Value::Bool(true));
+        let events = std::fs::read_to_string(dir.join("events.jsonl")).unwrap();
+        assert_eq!(events, trace.events_jsonl());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

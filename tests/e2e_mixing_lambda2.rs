@@ -1,0 +1,65 @@
+//! Validates the empirical mixing-matrix reconstruction against the
+//! analytic spectrum: on a *synchronous* schedule over a static k-regular
+//! graph every node merges exactly its k neighbors' models each round, so
+//! the reconstructed `W_t` is the analytic `(A + I)/(k + 1)` itself and
+//! their λ₂ must agree to numerical precision — while PeerSwap dynamics
+//! rewire edges mid-run and must push the per-round spectrum away from
+//! the static value.
+
+use glmia_core::prelude::*;
+
+fn synchronous(seed: u64) -> ExperimentConfig {
+    // wake_std = 0 makes every node wake exactly once per round, turning
+    // SAMO's buffered merge into the paper's idealized synchronous round.
+    ExperimentConfig::quick_test(DataPreset::Cifar10Like)
+        .with_protocol(ProtocolKind::Samo)
+        .with_topology_mode(TopologyMode::Static)
+        .with_wake_std(0.0)
+        .with_seed(seed)
+}
+
+fn lambda2_records(trace: &RunTrace) -> (f64, Vec<(usize, f64)>) {
+    let mut analytic = None;
+    let mut rounds = Vec::new();
+    for event in trace.events() {
+        match event {
+            TraceEvent::Topology(t) => analytic = Some(t.lambda2_analytic),
+            TraceEvent::Mixing(m) => rounds.push((m.round, m.lambda2_round)),
+            _ => {}
+        }
+    }
+    (analytic.expect("trace carries a topology record"), rounds)
+}
+
+#[test]
+fn synchronous_static_schedule_reproduces_the_analytic_lambda2() {
+    let (_, trace) = run_experiment_traced(&synchronous(31)).unwrap();
+    let (analytic, rounds) = lambda2_records(&trace);
+    assert!(rounds.len() >= 3, "need a steady-state window");
+    // Round 1 absorbs start-up effects (nothing buffered before the first
+    // sends); from round 2 on each node merges exactly one model per
+    // neighbor, so the reconstructed W_t is (A + I)/(k + 1) exactly.
+    for (round, empirical) in rounds.iter().skip(1) {
+        assert!(
+            (empirical - analytic).abs() < 1e-9,
+            "round {round}: empirical λ₂ {empirical} vs analytic {analytic}"
+        );
+    }
+}
+
+#[test]
+fn peerswap_dynamics_diverge_from_the_static_spectrum() {
+    let config = synchronous(31).with_topology_mode(TopologyMode::Dynamic);
+    let (_, trace) = run_experiment_traced(&config).unwrap();
+    let (analytic, rounds) = lambda2_records(&trace);
+    let max_gap = rounds
+        .iter()
+        .skip(1)
+        .map(|(_, empirical)| (empirical - analytic).abs())
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_gap > 1e-6,
+        "PeerSwap rewires edges each round, so some W_t must leave the \
+         static spectrum (max gap {max_gap})"
+    );
+}

@@ -76,22 +76,33 @@ fn trace_stream_shape_matches_schedule() {
         .iter()
         .map(|e| match e {
             TraceEvent::Header(_) => "header",
+            TraceEvent::Topology(_) => "topology",
             TraceEvent::Round(_) => "round",
+            TraceEvent::Mixing(_) => "mixing",
+            TraceEvent::NodeEval(_) => "nodeeval",
             TraceEvent::Eval(_) => "eval",
         })
         .collect();
-    assert_eq!(
-        kinds,
-        ["round", "round", "round", "round", "eval", "round", "round", "eval"],
-        "round-major interleaving: each eval follows its round"
-    );
+    // Round-major interleaving: topology up front, then per round a Round
+    // record, its Mixing record, and (on evaluated rounds 4 and 6) one
+    // NodeEval per node followed by the across-node Eval.
+    let mut expected: Vec<&'static str> = vec!["topology"];
+    for round in 1..=6 {
+        expected.push("round");
+        expected.push("mixing");
+        if round == 4 || round == 6 {
+            expected.extend(std::iter::repeat_n("nodeeval", config.nodes()));
+            expected.push("eval");
+        }
+    }
+    assert_eq!(kinds, expected, "each round's derived records follow it");
     let jsonl = trace.events_jsonl();
     assert_eq!(
         jsonl.lines().count(),
         kinds.len() + 1,
         "header + one line per event"
     );
-    assert!(jsonl.lines().next().unwrap().contains("\"schema\":1"));
+    assert!(jsonl.lines().next().unwrap().contains("\"schema\":2"));
 }
 
 #[test]
