@@ -9,6 +9,10 @@
 //! track the perf trajectory. Determinism is asserted on the way: every
 //! thread count must produce the identical `ExperimentResult`.
 
+// Benchmarks measure wall time by definition; `Instant::now` is otherwise
+// disallowed workspace-wide via clippy.toml.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};

@@ -420,8 +420,8 @@ pub fn topo(args: &Args) -> Result<(), CliError> {
             .average_path_length
             .map_or("—".into(), |l| format!("{l:.3}")),
         stats.clustering_coefficient,
-        w.lambda2(),
-        w.spectral_gap(),
+        w.try_lambda2().map_err(|e| e.to_string())?,
+        w.try_spectral_gap().map_err(|e| e.to_string())?,
     );
     Ok(())
 }

@@ -20,6 +20,17 @@ pub enum CoreError {
         /// What constraint was violated.
         message: String,
     },
+    /// A worker thread panicked during parallel evaluation or replication.
+    ///
+    /// Surfaced as a typed error instead of re-raising the panic so the
+    /// caller (CLI, replication driver) can report which stage died and
+    /// with what message, and other seeds/rounds can still complete.
+    WorkerPanic {
+        /// The parallel stage that lost a worker, e.g. `"round evaluation"`.
+        context: &'static str,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
     /// Any other construction or execution failure.
     Message(String),
 }
@@ -27,6 +38,20 @@ pub enum CoreError {
 impl CoreError {
     pub(crate) fn new(message: impl Into<String>) -> Self {
         Self::Message(message.into())
+    }
+
+    /// Builds a [`CoreError::WorkerPanic`] from a `JoinHandle::join` error
+    /// payload, extracting the panic message when it is a string.
+    pub(crate) fn worker_panic(
+        context: &'static str,
+        payload: Box<dyn std::any::Any + Send>,
+    ) -> Self {
+        let message = payload
+            .downcast_ref::<&'static str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        Self::WorkerPanic { context, message }
     }
 
     pub(crate) fn invalid(field: &'static str, message: impl Into<String>) -> Self {
@@ -43,7 +68,7 @@ impl CoreError {
     pub fn invalid_field(&self) -> Option<&'static str> {
         match self {
             Self::InvalidConfig { field, .. } => Some(field),
-            Self::Message(_) => None,
+            Self::WorkerPanic { .. } | Self::Message(_) => None,
         }
     }
 }
@@ -53,6 +78,9 @@ impl fmt::Display for CoreError {
         match self {
             Self::InvalidConfig { field, message } => {
                 write!(f, "invalid config: {field}: {message}")
+            }
+            Self::WorkerPanic { context, message } => {
+                write!(f, "worker thread panicked during {context}: {message}")
             }
             Self::Message(message) => f.write_str(message),
         }
@@ -111,6 +139,19 @@ mod tests {
     fn wraps_substrate_errors_with_prefix() {
         let e: CoreError = glmia_data::Dataset::empty(4, 1).unwrap_err().into();
         assert!(e.to_string().starts_with("data: "));
+        assert_eq!(e.invalid_field(), None);
+    }
+
+    #[test]
+    fn worker_panic_extracts_string_payloads() {
+        let payload = std::thread::spawn(|| panic!("boom at round 3"))
+            .join()
+            .unwrap_err();
+        let e = CoreError::worker_panic("round evaluation", payload);
+        assert_eq!(
+            e.to_string(),
+            "worker thread panicked during round evaluation: boom at round 3"
+        );
         assert_eq!(e.invalid_field(), None);
     }
 

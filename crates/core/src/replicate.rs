@@ -82,6 +82,9 @@ pub fn replicate_experiment(
 /// # Errors
 ///
 /// Same contract as [`replicate_experiment`].
+// Wall timing for the run manifest; the `Instant::now` below carries its
+// own lint:allow justification.
+#[allow(clippy::disallowed_methods)]
 pub fn replicate_experiment_traced(
     config: &ExperimentConfig,
     replicas: usize,
@@ -90,7 +93,7 @@ pub fn replicate_experiment_traced(
         return Err(CoreError::new("replicas must be positive"));
     }
     config.validate()?;
-    let wall_start = Instant::now();
+    let wall_start = Instant::now(); // lint:allow(no-wall-clock, "manifest wall timing, not simulation state")
     let base_seed = config.seed();
     let seeds: Vec<u64> = (0..replicas)
         .map(|r| base_seed.wrapping_add(r as u64))
@@ -112,21 +115,43 @@ pub fn replicate_experiment_traced(
         let mut slots: Vec<Option<Result<(ExperimentResult, RunTrace), CoreError>>> =
             (0..replicas).map(|_| None).collect();
         let chunk_len = replicas.div_ceil(outer);
+        let mut worker_panic: Option<CoreError> = None;
         std::thread::scope(|scope| {
+            let mut handles = Vec::new();
             for (w, out) in slots.chunks_mut(chunk_len).enumerate() {
                 let seeds = &seeds;
-                scope.spawn(move || {
+                handles.push(scope.spawn(move || {
                     for (offset, slot) in out.iter_mut().enumerate() {
                         let seed = seeds[w * chunk_len + offset];
                         let run_config = config.clone().with_seed(seed).with_parallelism(inner);
                         *slot = Some(run_experiment_traced(&run_config));
                     }
-                });
+                }));
+            }
+            // Join manually so a panicked seed worker surfaces as a typed
+            // error (with its message) while the other seeds still finish.
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    if worker_panic.is_none() {
+                        worker_panic = Some(CoreError::worker_panic("seed replication", payload));
+                    }
+                }
             }
         });
+        if let Some(e) = worker_panic {
+            return Err(e);
+        }
         slots
             .into_iter()
-            .map(|slot| slot.expect("every replica slot is filled by exactly one worker"))
+            .map(|slot| {
+                // Unreachable once every worker joined cleanly; kept as a
+                // typed error rather than a panic.
+                slot.unwrap_or_else(|| {
+                    Err(CoreError::new(
+                        "internal: replica slot left unfilled after replication",
+                    ))
+                })
+            })
             .collect::<Result<_, _>>()?
     };
     let mut runs = Vec::with_capacity(replicas);

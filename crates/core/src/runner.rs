@@ -241,11 +241,14 @@ pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentResult, Cor
 /// # Errors
 ///
 /// Same contract as [`run_experiment`].
+// Wall timing for the run manifest; each `Instant::now` below carries its
+// own lint:allow justification.
+#[allow(clippy::disallowed_methods)]
 pub fn run_experiment_traced(
     config: &ExperimentConfig,
 ) -> Result<(ExperimentResult, RunTrace), CoreError> {
     config.validate()?;
-    let wall_start = Instant::now();
+    let wall_start = Instant::now(); // lint:allow(no-wall-clock, "manifest wall timing, not simulation state")
     let threads = config.parallelism().threads();
     let mut trace = RunTrace::new(config.label(), config_fingerprint(config), threads);
 
@@ -271,7 +274,7 @@ pub fn run_experiment_traced(
         seed: config.seed(),
         nodes: config.nodes(),
         view_size: config.view_size(),
-        lambda2_analytic: MixingMatrix::from_regular(&topology)?.lambda2_magnitude(),
+        lambda2_analytic: MixingMatrix::from_regular(&topology)?.try_lambda2_magnitude()?,
     };
     let model_spec = config.model_spec()?;
     let mut sim = Simulation::new(
@@ -306,7 +309,7 @@ pub fn run_experiment_traced(
         // Legacy serial path: evaluate inline, no threads spawned. The
         // recorder, mixing reconstruction and heartbeat ride the observer
         // chain; the closure sink keeps the pre-trait behavior.
-        let run_start = Instant::now();
+        let run_start = Instant::now(); // lint:allow(no-wall-clock, "manifest wall timing, not simulation state")
         sim.run_observed(Observers::new(
             &mut recorder,
             Observers::new(
@@ -315,7 +318,7 @@ pub fn run_experiment_traced(
                     if eval_error.is_some() || !due(snapshot.round) {
                         return;
                     }
-                    let eval_start = Instant::now();
+                    let eval_start = Instant::now(); // lint:allow(no-wall-clock, "manifest wall timing, not simulation state")
                     match evaluate_round(
                         &snapshot,
                         surface,
@@ -343,14 +346,15 @@ pub fn run_experiment_traced(
         // `rounds` is assembled exactly as the serial path would. The
         // phases overlap in wall time; each accumulates its own busy time.
         let (tx, rx) = mpsc::sync_channel::<RoundSnapshot>(PIPELINE_DEPTH);
+        let mut sim_panic: Option<CoreError> = None;
         std::thread::scope(|scope| {
             let sim = &mut sim;
             let recorder = &mut recorder;
             let mixing_obs = &mut mixing_obs;
             let progress = &mut progress;
             let sim_secs = &mut sim_secs;
-            scope.spawn(move || {
-                let run_start = Instant::now();
+            let sim_thread = scope.spawn(move || {
+                let run_start = Instant::now(); // lint:allow(no-wall-clock, "manifest wall timing, not simulation state")
                 sim.run_observed(Observers::new(
                     recorder,
                     Observers::new(
@@ -372,7 +376,7 @@ pub fn run_experiment_traced(
                     // on a full channel; the first error is what we report.
                     continue;
                 }
-                let eval_start = Instant::now();
+                let eval_start = Instant::now(); // lint:allow(no-wall-clock, "manifest wall timing, not simulation state")
                 match evaluate_round(
                     &snapshot,
                     surface,
@@ -390,7 +394,17 @@ pub fn run_experiment_traced(
                 }
                 eval_secs += eval_start.elapsed().as_secs_f64();
             }
+            // The receive loop above only ends once the sender is dropped,
+            // so the simulation thread is done (or unwound) by now; joining
+            // here converts a panic into a typed error instead of letting
+            // the scope re-raise it.
+            if let Err(payload) = sim_thread.join() {
+                sim_panic = Some(CoreError::worker_panic("pipelined simulation", payload));
+            }
         });
+        if let Some(e) = sim_panic {
+            return Err(e);
+        }
     }
     if let Some(e) = eval_error {
         return Err(e);
@@ -451,7 +465,7 @@ fn round_spectral_rng(seed: u64, round: usize) -> StdRng {
 /// deterministic derived RNG otherwise.
 fn matrix_sigma(w: &MixingMatrix, rng: &mut StdRng) -> Result<f64, CoreError> {
     if w.n() >= 2 && w.is_symmetric(1e-12) {
-        Ok(w.lambda2_magnitude())
+        Ok(w.try_lambda2_magnitude()?)
     } else {
         Ok(product_contraction(
             std::slice::from_ref(w),
@@ -561,10 +575,12 @@ fn evaluate_round(
         // disjoint &mut region; node order is preserved by construction.
         let mut slots: Vec<Option<Result<NodeEval, CoreError>>> = (0..n).map(|_| None).collect();
         let chunk_len = n.div_ceil(threads.min(n));
+        let mut worker_panic: Option<CoreError> = None;
         std::thread::scope(|scope| {
+            let mut handles = Vec::new();
             for (w, out) in slots.chunks_mut(chunk_len).enumerate() {
                 let start = w * chunk_len;
-                scope.spawn(move || {
+                handles.push(scope.spawn(move || {
                     for (offset, slot) in out.iter_mut().enumerate() {
                         let i = start + offset;
                         *slot = Some(evaluate_node(
@@ -577,12 +593,33 @@ fn evaluate_round(
                             evaluator,
                         ));
                     }
-                });
+                }));
+            }
+            // Join every worker ourselves: a panicked worker becomes a
+            // typed error with the panic message instead of a scope
+            // re-raise, and the remaining workers still finish.
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    if worker_panic.is_none() {
+                        worker_panic = Some(CoreError::worker_panic("round evaluation", payload));
+                    }
+                }
             }
         });
+        if let Some(e) = worker_panic {
+            return Err(e);
+        }
         slots
             .into_iter()
-            .map(|slot| slot.expect("every node slot is filled by exactly one worker"))
+            .map(|slot| {
+                // Unreachable once every worker joined cleanly; kept as a
+                // typed error rather than a panic.
+                slot.unwrap_or_else(|| {
+                    Err(CoreError::new(
+                        "internal: node slot left unfilled after evaluation",
+                    ))
+                })
+            })
             .collect()
     };
     let mut test_acc = Vec::with_capacity(n);

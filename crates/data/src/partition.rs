@@ -151,7 +151,7 @@ pub fn partition_dirichlet<R: Rng + ?Sized>(
             .enumerate()
             .map(|(node, &pi)| (node, pi * total as f64 - counts[node] as f64))
             .collect();
-        fracs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite fractions"));
+        fracs.sort_by(|a, b| b.1.total_cmp(&a.1));
         let mut fi = 0;
         while assigned < total {
             counts[fracs[fi % n_nodes].0] += 1;

@@ -403,8 +403,10 @@ impl Simulation {
             buffered,
         });
         if buffered {
-            // Store for the next wake-up merge (SAMO line 11).
-            self.nodes[i].buffer.push(model);
+            // Store for the next wake-up merge (SAMO line 11), keyed by
+            // sender so the merge drains in sender order (see
+            // `Node::merge_buffer`).
+            self.nodes[i].buffer.push((from, model));
         } else {
             // Pairwise aggregate + immediate local update (Base GL lines
             // 7–8).
@@ -694,7 +696,7 @@ mod tests {
     #[test]
     fn hybrid_protocols_run_and_split_mechanisms() {
         let (spec, fed, topo) = small_setup(8, 4, 20);
-        let mut results = std::collections::HashMap::new();
+        let mut results = std::collections::BTreeMap::new();
         for protocol in ProtocolKind::ALL {
             let result = Simulation::new(
                 config(protocol, TopologyMode::Static),

@@ -12,9 +12,10 @@ pub(crate) struct Node {
     pub model: Mlp,
     /// Long-lived optimizer (momentum persists across merges).
     pub opt: Sgd,
-    /// SAMO incoming-model buffer Θᵢ \ {θᵢ} — received flat parameter
-    /// vectors awaiting the next wake-up merge.
-    pub buffer: Vec<Vec<f32>>,
+    /// SAMO incoming-model buffer Θᵢ \ {θᵢ} — `(sender, flat params)`
+    /// pairs awaiting the next wake-up merge. Keyed by sender so the merge
+    /// can drain in sender order regardless of delivery interleaving.
+    pub buffer: Vec<(usize, Vec<f32>)>,
     /// Fixed wake period Δᵢ in ticks (drawn once at startup, §3.1).
     pub wake_period: u64,
     /// The most recent outgoing model copy (post-defense); `None` until the
@@ -53,13 +54,21 @@ impl Node {
     /// and its own model (SAMO line 4), clearing the buffer. No-op when the
     /// buffer is empty (|Θᵢ| = 1 in the paper's notation).
     ///
+    /// The buffer is drained in ascending sender order (stable, so repeat
+    /// sends from one sender keep arrival order). f32 addition is not
+    /// associative, so summing in raw arrival order would make the merged
+    /// model — and every downstream trace and λ₂ report — a function of
+    /// event interleaving rather than of the delivered set. Sorted drain
+    /// pins the reduction order to the data.
+    ///
     /// Returns whether a merge happened.
     pub fn merge_buffer(&mut self) -> bool {
         if self.buffer.is_empty() {
             return false;
         }
+        self.buffer.sort_by_key(|(sender, _)| *sender);
         let mut acc = self.model.flat_params();
-        for received in &self.buffer {
+        for (_, received) in &self.buffer {
             debug_assert_eq!(received.len(), acc.len());
             for (a, r) in acc.iter_mut().zip(received) {
                 *a += r;
@@ -93,5 +102,93 @@ impl Node {
             *a = (*a + r) / 2.0;
         }
         self.model.load_flat(&acc).expect("length checked above");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Node;
+    use glmia_data::Dataset;
+    use glmia_nn::{Activation, Mlp, MlpSpec, Sgd};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spec() -> MlpSpec {
+        MlpSpec::new(4, &[4], 2, Activation::Relu).expect("valid spec")
+    }
+
+    fn node(seed: u64) -> Node {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Node {
+            model: Mlp::new(&spec(), &mut rng),
+            opt: Sgd::new(0.05),
+            buffer: Vec::new(),
+            wake_period: 10,
+            last_shared: None,
+            train: Dataset::empty(4, 2).expect("valid dims"),
+            rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9),
+        }
+    }
+
+    /// f32 addition is not associative, so the SAMO merge must not depend
+    /// on the arrival interleaving of buffered models — only on the
+    /// delivered (sender, model) set. Regression test for the sorted
+    /// drain in `merge_buffer`.
+    #[test]
+    fn merge_result_is_independent_of_arrival_order() {
+        let incoming: Vec<(usize, Vec<f32>)> = (0..6u64)
+            .map(|s| {
+                let m = Mlp::new(&spec(), &mut StdRng::seed_from_u64(100 + s));
+                (s as usize, m.flat_params())
+            })
+            .collect();
+
+        let mut reversed = incoming.clone();
+        reversed.reverse();
+        let mut rotated = incoming.clone();
+        rotated.rotate_left(2);
+        let mut swapped = incoming.clone();
+        swapped.swap(1, 4);
+
+        let merged: Vec<Vec<f32>> = [incoming, reversed, rotated, swapped]
+            .into_iter()
+            .map(|order| {
+                let mut n = node(7);
+                n.buffer = order;
+                assert!(n.merge_buffer(), "non-empty buffer must merge");
+                assert!(n.buffer.is_empty(), "merge must drain the buffer");
+                n.model.flat_params()
+            })
+            .collect();
+        for other in &merged[1..] {
+            assert_eq!(
+                &merged[0], other,
+                "merged parameters must be bit-identical across arrival orders"
+            );
+        }
+    }
+
+    /// Repeat sends from one sender keep their arrival order (stable sort),
+    /// so a sender that transmits twice between wakes still merges its
+    /// copies oldest-first, deterministically.
+    #[test]
+    fn merge_keeps_arrival_order_within_a_sender() {
+        let a = Mlp::new(&spec(), &mut StdRng::seed_from_u64(201)).flat_params();
+        let b = Mlp::new(&spec(), &mut StdRng::seed_from_u64(202)).flat_params();
+        let mut first = node(11);
+        first.buffer = vec![(3, a.clone()), (3, b.clone()), (0, b.clone())];
+        assert!(first.merge_buffer());
+        let mut second = node(11);
+        second.buffer = vec![(0, b.clone()), (3, a), (3, b)];
+        assert!(second.merge_buffer());
+        assert_eq!(first.model.flat_params(), second.model.flat_params());
+    }
+
+    #[test]
+    fn empty_buffer_is_a_noop() {
+        let mut n = node(5);
+        let before = n.model.flat_params();
+        assert!(!n.merge_buffer());
+        assert_eq!(n.model.flat_params(), before);
     }
 }

@@ -38,13 +38,8 @@ pub fn pareto_front(points: &[TradeoffPoint]) -> Vec<TradeoffPoint> {
     // Sort by utility descending, vulnerability ascending as tiebreak.
     sorted.sort_by(|a, b| {
         b.utility
-            .partial_cmp(&a.utility)
-            .expect("finite utilities")
-            .then(
-                a.vulnerability
-                    .partial_cmp(&b.vulnerability)
-                    .expect("finite vulnerabilities"),
-            )
+            .total_cmp(&a.utility)
+            .then(a.vulnerability.total_cmp(&b.vulnerability))
     });
     let mut front = Vec::new();
     let mut best_vuln = f64::INFINITY;
@@ -67,13 +62,8 @@ pub fn pareto_front(points: &[TradeoffPoint]) -> Vec<TradeoffPoint> {
 pub fn best_utility_point(points: &[TradeoffPoint]) -> Option<TradeoffPoint> {
     points.iter().copied().max_by(|a, b| {
         a.utility
-            .partial_cmp(&b.utility)
-            .expect("finite utilities")
-            .then(
-                b.vulnerability
-                    .partial_cmp(&a.vulnerability)
-                    .expect("finite vulnerabilities"),
-            )
+            .total_cmp(&b.utility)
+            .then(b.vulnerability.total_cmp(&a.vulnerability))
     })
 }
 

@@ -49,7 +49,7 @@ pub fn optimal_threshold(
         .map(|&s| (s, true))
         .chain(nonmember_scores.iter().map(|&s| (s, false)))
         .collect();
-    pooled.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("validated non-NaN"));
+    pooled.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     let n_mem = member_scores.len() as f64;
     let n_non = nonmember_scores.len() as f64;
@@ -115,7 +115,7 @@ pub fn auc(member_scores: &[f64], nonmember_scores: &[f64]) -> Result<f64, MiaEr
         .map(|&s| (s, true))
         .chain(nonmember_scores.iter().map(|&s| (s, false)))
         .collect();
-    pooled.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("validated non-NaN"));
+    pooled.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut rank_sum_members = 0.0f64;
     let mut i = 0;
     while i < pooled.len() {
@@ -155,7 +155,7 @@ pub fn roc_curve(
         .map(|&s| (s, true))
         .chain(nonmember_scores.iter().map(|&s| (s, false)))
         .collect();
-    pooled.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("validated non-NaN"));
+    pooled.sort_by(|a, b| a.0.total_cmp(&b.0));
     let n_mem = member_scores.len() as f64;
     let n_non = nonmember_scores.len() as f64;
     let mut curve = vec![(0.0, 0.0)];

@@ -79,7 +79,7 @@ pub fn symmetric_eigenvalues(matrix: &MixingMatrix) -> Vec<f64> {
         }
     }
     let mut eigs: Vec<f64> = (0..n).map(|i| a[i * n + i]).collect();
-    eigs.sort_by(|x, y| y.partial_cmp(x).expect("finite eigenvalues"));
+    eigs.sort_by(|x, y| y.total_cmp(x));
     eigs
 }
 

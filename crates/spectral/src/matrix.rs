@@ -209,13 +209,38 @@ impl MixingMatrix {
     ///
     /// # Panics
     ///
-    /// Panics if the matrix is not symmetric (within `1e-9`) or `n < 2`.
+    /// Panics if the matrix is not symmetric (within `1e-9`) or `n < 2`;
+    /// [`MixingMatrix::try_lambda2_magnitude`] is the fallible form.
     #[must_use]
     pub fn lambda2_magnitude(&self) -> f64 {
-        assert!(self.n >= 2, "λ₂ requires at least a 2x2 matrix");
-        assert!(self.is_symmetric(1e-9), "λ₂ requires a symmetric matrix");
+        self.try_lambda2_magnitude()
+            .expect("caller promised a symmetric matrix with n >= 2")
+    }
+
+    /// Fallible form of [`MixingMatrix::lambda2_magnitude`], for callers
+    /// whose matrix comes from data (empirical reconstructions, configs)
+    /// rather than from a constructor that already guarantees symmetry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpectralError`] if the matrix is not symmetric (within
+    /// `1e-9`) or `n < 2`.
+    pub fn try_lambda2_magnitude(&self) -> Result<f64, SpectralError> {
+        self.spectral_preconditions()?;
         let eigs = crate::symmetric_eigenvalues(self);
-        eigs[1..].iter().map(|e| e.abs()).fold(0.0f64, f64::max)
+        Ok(eigs[1..].iter().map(|e| e.abs()).fold(0.0f64, f64::max))
+    }
+
+    /// λ₂'s preconditions as a typed error: the Jacobi solver needs a
+    /// symmetric matrix and a second eigenvalue to exist.
+    fn spectral_preconditions(&self) -> Result<(), SpectralError> {
+        if self.n < 2 {
+            return Err(SpectralError::new("λ₂ requires at least a 2x2 matrix"));
+        }
+        if !self.is_symmetric(1e-9) {
+            return Err(SpectralError::new("λ₂ requires a symmetric matrix"));
+        }
+        Ok(())
     }
 
     /// Whether all row and column sums are within `tol` of 1 and all
@@ -258,13 +283,24 @@ impl MixingMatrix {
     ///
     /// # Panics
     ///
-    /// Panics if the matrix is not symmetric (within `1e-9`) or `n < 2`.
+    /// Panics if the matrix is not symmetric (within `1e-9`) or `n < 2`;
+    /// [`MixingMatrix::try_lambda2`] is the fallible form.
     #[must_use]
     pub fn lambda2(&self) -> f64 {
-        assert!(self.n >= 2, "λ₂ requires at least a 2x2 matrix");
-        assert!(self.is_symmetric(1e-9), "λ₂ requires a symmetric matrix");
+        self.try_lambda2()
+            .expect("caller promised a symmetric matrix with n >= 2")
+    }
+
+    /// Fallible form of [`MixingMatrix::lambda2`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpectralError`] if the matrix is not symmetric (within
+    /// `1e-9`) or `n < 2`.
+    pub fn try_lambda2(&self) -> Result<f64, SpectralError> {
+        self.spectral_preconditions()?;
         let eigs = crate::symmetric_eigenvalues(self);
-        eigs[1]
+        Ok(eigs[1])
     }
 
     /// The spectral gap `1 − λ₂(W)`.
@@ -275,6 +311,15 @@ impl MixingMatrix {
     #[must_use]
     pub fn spectral_gap(&self) -> f64 {
         1.0 - self.lambda2()
+    }
+
+    /// Fallible form of [`MixingMatrix::spectral_gap`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MixingMatrix::try_lambda2`].
+    pub fn try_spectral_gap(&self) -> Result<f64, SpectralError> {
+        Ok(1.0 - self.try_lambda2()?)
     }
 }
 
@@ -378,6 +423,19 @@ mod tests {
         let w = MixingMatrix::from_regular(&g).unwrap();
         assert!(w.lambda2_magnitude() >= w.lambda2() - 1e-12);
         assert!(w.lambda2_magnitude() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn try_lambda2_rejects_bad_matrices_with_typed_errors() {
+        let tiny = MixingMatrix::from_vec(1, vec![1.0]).unwrap();
+        assert!(tiny.try_lambda2().is_err());
+        assert!(tiny.try_lambda2_magnitude().is_err());
+        assert!(tiny.try_spectral_gap().is_err());
+        let asym = MixingMatrix::from_vec(2, vec![1.0, 0.0, 0.5, 0.5]).unwrap();
+        assert!(asym.try_lambda2().is_err());
+        let good = MixingMatrix::from_vec(2, vec![0.5, 0.5, 0.5, 0.5]).unwrap();
+        assert_eq!(good.try_lambda2().unwrap(), good.lambda2());
+        assert_eq!(good.try_spectral_gap().unwrap(), good.spectral_gap());
     }
 
     #[test]

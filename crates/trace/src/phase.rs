@@ -11,6 +11,11 @@
 //! time; per-phase seconds measure each phase's own busy time and may sum
 //! to more than the run's wall-clock.
 
+// This module is the sanctioned wall-clock consumer (lint.toml
+// `no-wall-clock` allowlist); the workspace otherwise disallows
+// `Instant::now` via clippy.toml.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 /// A stage of an experiment run, in execution order.

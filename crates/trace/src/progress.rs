@@ -1,5 +1,10 @@
 //! A stderr heartbeat for long interactive runs.
 
+// The heartbeat's whole purpose is wall time (lint.toml `no-wall-clock`
+// allowlist); the workspace otherwise disallows `Instant::now` via
+// clippy.toml.
+#![allow(clippy::disallowed_methods)]
+
 use std::io::{IsTerminal, Write};
 use std::time::{Duration, Instant};
 

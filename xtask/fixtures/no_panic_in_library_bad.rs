@@ -1,0 +1,15 @@
+//! Fixture: panicking library code (bad).
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn checked(flag: bool) {
+    if !flag {
+        panic!("flag must be set");
+    }
+}
+
+pub fn last(xs: &[u32]) -> u32 {
+    *xs.last().expect("")
+}

@@ -1,0 +1,15 @@
+//! Fixture: justified expects and test-only unwraps (ok).
+
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().expect("caller guarantees xs is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn head_works() {
+        assert_eq!(super::head(&[1]), 1);
+        let v: Result<u32, ()> = Ok(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

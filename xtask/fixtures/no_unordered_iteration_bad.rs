@@ -1,0 +1,15 @@
+//! Fixture: hash collections in a determinism-critical crate (bad).
+
+pub fn build() -> Vec<usize> {
+    let map = std::collections::HashMap::<usize, f32>::new();
+    let mut out: Vec<usize> = map.keys().copied().collect();
+    out.sort_unstable();
+    let mut seen = Vec::new();
+    let set = std::collections::HashSet::<usize>::new();
+    for k in &set {
+        seen.push(*k);
+    }
+    let other: std::collections::HashMap<String, u64> = Default::default();
+    let _ = (seen, other);
+    out
+}

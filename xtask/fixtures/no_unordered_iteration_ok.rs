@@ -1,0 +1,9 @@
+//! Fixture: ordered collections only (ok).
+
+pub fn build() -> Vec<usize> {
+    let map = std::collections::BTreeMap::<usize, f32>::new();
+    let mut out: Vec<usize> = map.keys().copied().collect();
+    let set = std::collections::BTreeSet::<usize>::new();
+    out.extend(set.iter().copied());
+    out
+}

@@ -1,0 +1,14 @@
+//! Fixture: OS-entropy randomness (bad).
+
+/// Draws from the thread-local RNG.
+pub fn draw() -> u64 {
+    let mut rng = rand::thread_rng();
+    let x: u64 = rng.gen();
+    x
+}
+pub fn quick() -> f64 { rand::random::<f64>() }
+
+/// Entropy-seeded generator.
+pub fn entropy() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::from_entropy()
+}

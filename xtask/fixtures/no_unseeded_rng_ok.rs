@@ -1,0 +1,8 @@
+//! Fixture: seed-derived randomness only (ok).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn rng_for(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,10 @@
+//! Fixture: wall-clock reads outside the allowlist (bad).
+
+/// Reads the monotonic clock.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn epoch() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,7 @@
+//! Fixture: no wall-clock reads, or justified ones (ok).
+
+pub fn timed() -> u64 {
+    // lint:allow(no-wall-clock, "operator-facing wall timing only")
+    let start = std::time::Instant::now();
+    start.elapsed().as_millis() as u64
+}

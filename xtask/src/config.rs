@@ -1,0 +1,142 @@
+//! `lint.toml` — the per-rule allowlist configuration.
+//!
+//! The linter is dependency-free, so it reads a deliberately small TOML
+//! subset: `[section]` headers and `key = ["string", ...]` arrays (plus
+//! `#` comments and blank lines). Anything else is a configuration error
+//! with a line number, so typos fail loudly instead of silently relaxing
+//! a rule.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed `lint.toml`: section → key → list of strings.
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    sections: BTreeMap<String, BTreeMap<String, Vec<String>>>,
+}
+
+/// A configuration parse failure (line-numbered).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line of the offending entry.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl LintConfig {
+    /// Parses the TOML subset described in the module docs.
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        let mut sections: BTreeMap<String, BTreeMap<String, Vec<String>>> = BTreeMap::new();
+        let mut current: Option<String> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+                let name = name.trim();
+                if name.is_empty() {
+                    return Err(ConfigError {
+                        line: line_no,
+                        message: "empty section name".to_string(),
+                    });
+                }
+                sections.entry(name.to_string()).or_default();
+                current = Some(name.to_string());
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ConfigError {
+                    line: line_no,
+                    message: format!("expected `key = [..]` or `[section]`, got `{line}`"),
+                });
+            };
+            let Some(section) = current.clone() else {
+                return Err(ConfigError {
+                    line: line_no,
+                    message: "key outside any [section]".to_string(),
+                });
+            };
+            let values = parse_string_array(value.trim()).map_err(|message| ConfigError {
+                line: line_no,
+                message,
+            })?;
+            sections
+                .entry(section)
+                .or_default()
+                .insert(key.trim().to_string(), values);
+        }
+        Ok(Self { sections })
+    }
+
+    /// The string list at `[section] key`, empty when absent.
+    pub fn list(&self, section: &str, key: &str) -> &[String] {
+        self.sections
+            .get(section)
+            .and_then(|s| s.get(key))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether `[section]` exists at all.
+    pub fn has_section(&self, section: &str) -> bool {
+        self.sections.contains_key(section)
+    }
+}
+
+/// Parses `["a", "b"]` (trailing comma tolerated, single line).
+fn parse_string_array(value: &str) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|r| r.strip_suffix(']'))
+        .ok_or_else(|| format!("expected a `[\"...\"]` string array, got `{value}`"))?;
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue; // trailing comma
+        }
+        let unquoted = item
+            .strip_prefix('"')
+            .and_then(|r| r.strip_suffix('"'))
+            .ok_or_else(|| format!("array items must be double-quoted strings, got `{item}`"))?;
+        out.push(unquoted.to_string());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_keys_and_comments() {
+        let cfg = LintConfig::parse(
+            "# top comment\n[no-wall-clock]\nallow-files = [\"a.rs\", \"b.rs\",]\n\n[other]\ncrates = []\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.list("no-wall-clock", "allow-files"), ["a.rs", "b.rs"]);
+        assert!(cfg.has_section("other"));
+        assert!(cfg.list("other", "crates").is_empty());
+        assert!(cfg.list("missing", "missing").is_empty());
+    }
+
+    #[test]
+    fn rejects_bare_keys_and_unquoted_items() {
+        let err = LintConfig::parse("allow = [\"a\"]\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = LintConfig::parse("[s]\nallow = [a]\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = LintConfig::parse("[s]\nallow = yes\n").unwrap_err();
+        assert!(err.message.contains("string array"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Build tooling for the glmia workspace, driven via `cargo xtask <task>`.
+//!
+//! The only task today is `lint`: a determinism & soundness static-analysis
+//! pass enforcing repo-specific rules the stock toolchain cannot express
+//! (see DESIGN.md §8). It is deliberately dependency-free — a lexical
+//! scanner over masked source text rather than a `syn` AST walk — so it
+//! builds and runs even when no crate registry is reachable.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod rules;
+pub mod scanner;
+pub mod walk;
+
+use std::path::Path;
+
+use config::LintConfig;
+use rules::Diagnostic;
+
+/// Lints the workspace rooted at `root`, reading `lint.toml` from
+/// `config_path` when given (error if missing), else from `root/lint.toml`
+/// when present, else built-in defaults.
+///
+/// Returns the sorted diagnostics; an `Err` is an environment problem
+/// (unreadable tree, malformed configuration), not a lint finding.
+pub fn lint_root(root: &Path, config_path: Option<&Path>) -> Result<Vec<Diagnostic>, String> {
+    let cfg = load_config(root, config_path)?;
+    let files = walk::scan_workspace(root)
+        .map_err(|e| format!("failed to scan {}: {e}", root.display()))?;
+    if files.is_empty() {
+        return Err(format!(
+            "no Rust sources found under {} — is --root pointing at the workspace?",
+            root.display()
+        ));
+    }
+    Ok(rules::lint_files(&files, &cfg))
+}
+
+fn load_config(root: &Path, config_path: Option<&Path>) -> Result<LintConfig, String> {
+    let path = match config_path {
+        Some(p) => p.to_path_buf(),
+        None => {
+            let default = root.join("lint.toml");
+            if !default.is_file() {
+                return Ok(LintConfig::default());
+            }
+            default
+        }
+    };
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    LintConfig::parse(&text).map_err(|e| e.to_string())
+}

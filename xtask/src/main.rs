@@ -1,0 +1,100 @@
+//! `cargo xtask` — workspace build tooling. See `cargo xtask help`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+cargo xtask <task>
+
+Tasks:
+  lint    run the determinism & soundness static-analysis pass
+
+lint options:
+  --root <DIR>      workspace root to scan (default: parent of the xtask
+                    manifest under cargo, else the current directory)
+  --config <FILE>   lint.toml to use (default: <root>/lint.toml if present)
+  --list-rules      print the rule table and exit
+
+Exit codes: 0 clean, 1 findings, 2 usage or configuration error.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown task `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut config: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--list-rules" => {
+                for rule in xtask::rules::RULES {
+                    println!("{:<24} {}", rule.name, squash(rule.summary));
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match iter.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage_error("--root requires a directory"),
+            },
+            "--config" => match iter.next() {
+                Some(v) => config = Some(PathBuf::from(v)),
+                None => return usage_error("--config requires a file"),
+            },
+            other => return usage_error(&format!("unknown lint option `{other}`")),
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+    match xtask::lint_root(&root, config.as_deref()) {
+        Ok(diags) if diags.is_empty() => {
+            println!("xtask lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                eprintln!("{d}\n");
+            }
+            eprintln!("xtask lint: {} finding(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(message) => {
+            eprintln!("xtask lint: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Under cargo, the workspace root is the parent of the xtask manifest;
+/// otherwise fall back to the invocation directory.
+fn default_root() -> PathBuf {
+    match option_env!("CARGO_MANIFEST_DIR") {
+        Some(dir) => {
+            let manifest = PathBuf::from(dir);
+            manifest.parent().map(PathBuf::from).unwrap_or(manifest)
+        }
+        None => PathBuf::from("."),
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("xtask lint: {message}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Collapses the multi-line rule summaries for single-line display.
+fn squash(text: &str) -> String {
+    text.split_whitespace().collect::<Vec<_>>().join(" ")
+}

@@ -1,0 +1,571 @@
+//! The determinism & soundness rules and their matching engine.
+//!
+//! Each rule scans the masked token stream of a [`ScannedFile`] (comments
+//! and literals already blanked) for patterns the stock toolchain cannot
+//! reject, and reports [`Diagnostic`]s. Findings are suppressed by a
+//! `// lint:allow(rule, "reason")` on the same line or alone on the line
+//! above — the reason string is mandatory, so every exemption documents
+//! itself.
+
+use std::path::PathBuf;
+
+use crate::config::LintConfig;
+use crate::scanner::{FileKind, ScannedFile};
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+    /// What was found.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "error[{}]: {}", self.rule, self.message)?;
+        writeln!(f, "  --> {}:{}", self.path.display(), self.line)?;
+        write!(f, "   |  {}", self.snippet)
+    }
+}
+
+/// A rule's registry entry.
+pub struct Rule {
+    /// Stable kebab-case name (used in `lint:allow` and `lint.toml`).
+    pub name: &'static str,
+    /// One-line description for `--list-rules`.
+    pub summary: &'static str,
+}
+
+/// Every rule the pass knows, in reporting order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "no-unordered-iteration",
+        summary: "determinism-critical crates must not name HashMap/HashSet: \
+                  their iteration order is per-process hash order and can \
+                  leak into merges, traces and reports",
+    },
+    Rule {
+        name: "no-wall-clock",
+        summary: "Instant::now/SystemTime::now only in the timing allowlist: \
+                  wall-clock reads in simulation or analysis code break rerun \
+                  byte-identity",
+    },
+    Rule {
+        name: "no-unseeded-rng",
+        summary: "thread_rng/rand::random/from_entropy/OsRng are banned \
+                  everywhere: all randomness derives from the experiment seed",
+    },
+    Rule {
+        name: "no-panic-in-library",
+        summary: "library code must not unwrap()/panic!/todo!/unimplemented! \
+                  outside #[cfg(test)]; .expect(\"non-empty reason\") is the \
+                  sanctioned, self-justifying form",
+    },
+    Rule {
+        name: "malformed-allow",
+        summary: "a lint:allow comment must name a known rule and carry a \
+                  non-empty justification",
+    },
+];
+
+/// Default determinism-critical crates for `no-unordered-iteration`.
+const DEFAULT_RESTRICTED: &[&str] = &["core", "gossip", "metrics", "trace"];
+
+/// Default wall-clock allowlist (phase timers and the stderr heartbeat are
+/// the two places whose *purpose* is wall time).
+const DEFAULT_CLOCK_FILES: &[&str] = &["crates/trace/src/phase.rs", "crates/trace/src/progress.rs"];
+
+/// Runs every rule over `files`, returning diagnostics sorted by
+/// `(path, line, rule)` so output (and CI failures) are deterministic.
+pub fn lint_files(files: &[ScannedFile], cfg: &LintConfig) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in files {
+        check_allows(file, &mut diags);
+        no_unordered_iteration(file, cfg, &mut diags);
+        no_wall_clock(file, cfg, &mut diags);
+        no_unseeded_rng(file, &mut diags);
+        no_panic_in_library(file, cfg, &mut diags);
+    }
+    diags.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    diags
+}
+
+/// Reports malformed allow comments and allows naming unknown rules.
+fn check_allows(file: &ScannedFile, diags: &mut Vec<Diagnostic>) {
+    for bad in &file.bad_allows {
+        push(
+            diags,
+            "malformed-allow",
+            file,
+            bad.line,
+            bad.problem.clone(),
+        );
+    }
+    for allow in &file.allows {
+        if !RULES.iter().any(|r| r.name == allow.rule) {
+            push(
+                diags,
+                "malformed-allow",
+                file,
+                allow.line,
+                format!(
+                    "lint:allow names unknown rule `{}` (see `cargo xtask lint --list-rules`)",
+                    allow.rule
+                ),
+            );
+        }
+    }
+}
+
+fn no_unordered_iteration(file: &ScannedFile, cfg: &LintConfig, diags: &mut Vec<Diagnostic>) {
+    const RULE: &str = "no-unordered-iteration";
+    if file.kind != FileKind::Src {
+        return;
+    }
+    let restricted = cfg.list(RULE, "restricted-crates");
+    let is_restricted = match &file.crate_name {
+        Some(name) if !restricted.is_empty() => restricted.iter().any(|c| c == name),
+        Some(name) => DEFAULT_RESTRICTED.contains(&name.as_str()),
+        None => false,
+    };
+    if !is_restricted {
+        return;
+    }
+    for ty in ["HashMap", "HashSet"] {
+        for off in ident_occurrences(&file.masked, ty) {
+            let line = file.line_of(off);
+            if file.is_allowed(RULE, line) {
+                continue;
+            }
+            push(
+                diags,
+                RULE,
+                file,
+                line,
+                format!(
+                    "`{ty}` in determinism-critical crate `{}`: hash iteration \
+                     order is arbitrary and can reach merges, traces or \
+                     reports — use BTreeMap/BTreeSet or a Vec keyed by index",
+                    file.crate_name.as_deref().unwrap_or("?"),
+                ),
+            );
+        }
+    }
+}
+
+fn no_wall_clock(file: &ScannedFile, cfg: &LintConfig, diags: &mut Vec<Diagnostic>) {
+    const RULE: &str = "no-wall-clock";
+    if file.kind != FileKind::Src {
+        return;
+    }
+    let configured = cfg.list(RULE, "allow-files");
+    let path = file.path.to_string_lossy().replace('\\', "/");
+    let allowed_file = if configured.is_empty() {
+        DEFAULT_CLOCK_FILES.contains(&path.as_str())
+    } else {
+        configured.iter().any(|f| f == &path)
+    };
+    if allowed_file {
+        return;
+    }
+    for call in ["Instant::now", "SystemTime::now"] {
+        for off in path_occurrences(&file.masked, call) {
+            let line = file.line_of(off);
+            if file.is_allowed(RULE, line) {
+                continue;
+            }
+            push(
+                diags,
+                RULE,
+                file,
+                line,
+                format!(
+                    "`{call}()` outside the wall-clock allowlist: timing belongs \
+                     in glmia-trace phase timers; annotate observability-only \
+                     reads with lint:allow"
+                ),
+            );
+        }
+    }
+}
+
+fn no_unseeded_rng(file: &ScannedFile, diags: &mut Vec<Diagnostic>) {
+    const RULE: &str = "no-unseeded-rng";
+    let idents = ["thread_rng", "from_entropy", "OsRng"];
+    let paths = ["rand::random"];
+    let mut hits: Vec<(usize, &str)> = Vec::new();
+    for ident in idents {
+        hits.extend(
+            ident_occurrences(&file.masked, ident)
+                .into_iter()
+                .map(|o| (o, ident)),
+        );
+    }
+    for p in paths {
+        hits.extend(
+            path_occurrences(&file.masked, p)
+                .into_iter()
+                .map(|o| (o, p)),
+        );
+    }
+    for (off, what) in hits {
+        let line = file.line_of(off);
+        if file.is_allowed(RULE, line) {
+            continue;
+        }
+        push(
+            diags,
+            RULE,
+            file,
+            line,
+            format!(
+                "`{what}` draws OS entropy: every RNG must derive from the \
+                 experiment seed (StdRng::seed_from_u64 or a SplitMix64 chain)"
+            ),
+        );
+    }
+}
+
+fn no_panic_in_library(file: &ScannedFile, cfg: &LintConfig, diags: &mut Vec<Diagnostic>) {
+    const RULE: &str = "no-panic-in-library";
+    if file.kind != FileKind::Src {
+        return;
+    }
+    let crates = cfg.list(RULE, "crates");
+    match &file.crate_name {
+        Some(name) if !crates.is_empty() && !crates.iter().any(|c| c == name) => return,
+        None => return,
+        _ => {}
+    }
+    let report = |off: usize, message: String, diags: &mut Vec<Diagnostic>| {
+        let line = file.line_of(off);
+        if file.in_test_span(line) || file.is_allowed(RULE, line) {
+            return;
+        }
+        push(diags, RULE, file, line, message);
+    };
+    for off in method_occurrences(&file.masked, "unwrap") {
+        report(
+            off,
+            "`.unwrap()` in library code: return a typed error, or use \
+             `.expect(\"why this cannot fail\")` to document the invariant"
+                .to_string(),
+            diags,
+        );
+    }
+    for mac in ["panic", "todo", "unimplemented"] {
+        for off in macro_occurrences(&file.masked, mac) {
+            report(
+                off,
+                format!("`{mac}!` in library code: surface a typed error instead"),
+                diags,
+            );
+        }
+    }
+    for off in method_occurrences(&file.masked, "expect") {
+        if expect_message_is_empty(file, off) {
+            report(
+                off,
+                "`.expect(\"\")` carries no justification: state why the \
+                 value cannot be absent"
+                    .to_string(),
+                diags,
+            );
+        }
+    }
+}
+
+fn push(
+    diags: &mut Vec<Diagnostic>,
+    rule: &'static str,
+    file: &ScannedFile,
+    line: usize,
+    message: String,
+) {
+    diags.push(Diagnostic {
+        rule,
+        path: file.path.clone(),
+        line,
+        message,
+        snippet: file.line_text(line).to_string(),
+    });
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Byte offsets of `ident` as a standalone identifier in `masked`.
+fn ident_occurrences(masked: &str, ident: &str) -> Vec<usize> {
+    let bytes = masked.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(found) = masked[from..].find(ident) {
+        let at = from + found;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let after = at + ident.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + ident.len();
+    }
+    out
+}
+
+/// Byte offsets of a `a::b` path pattern with identifier boundaries on
+/// both ends (e.g. `Instant::now`, `rand::random`).
+fn path_occurrences(masked: &str, path: &str) -> Vec<usize> {
+    let bytes = masked.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(found) = masked[from..].find(path) {
+        let at = from + found;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let after = at + path.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + path.len();
+    }
+    out
+}
+
+/// Occurrences of `.<method>` (method-call position).
+fn method_occurrences(masked: &str, method: &str) -> Vec<usize> {
+    let bytes = masked.as_bytes();
+    ident_occurrences(masked, method)
+        .into_iter()
+        .filter(|&at| {
+            bytes[..at]
+                .iter()
+                .rev()
+                .find(|b| !b.is_ascii_whitespace())
+                .is_some_and(|&b| b == b'.')
+        })
+        .collect()
+}
+
+/// Occurrences of `<name>!` (macro invocation position).
+fn macro_occurrences(masked: &str, name: &str) -> Vec<usize> {
+    let bytes = masked.as_bytes();
+    ident_occurrences(masked, name)
+        .into_iter()
+        .filter(|&at| {
+            bytes[at + name.len()..]
+                .iter()
+                .find(|b| !b.is_ascii_whitespace())
+                .is_some_and(|&b| b == b'!')
+        })
+        .collect()
+}
+
+/// Whether the `.expect(` at masked offset `off` passes an empty (or
+/// whitespace-only) string literal. Non-literal arguments are not judged.
+fn expect_message_is_empty(file: &ScannedFile, off: usize) -> bool {
+    let bytes = file.source.as_bytes();
+    let mut i = off + "expect".len();
+    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'(') {
+        return false;
+    }
+    i += 1;
+    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'"') {
+        return false;
+    }
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'"' => break,
+            _ => j += 1,
+        }
+    }
+    file.source[i + 1..j.min(file.source.len())]
+        .trim()
+        .is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(path: &str, src: &str) -> ScannedFile {
+        let crate_name = path
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .map(str::to_string);
+        let kind = if path.contains("/src/") {
+            FileKind::Src
+        } else {
+            FileKind::Tests
+        };
+        ScannedFile::new(PathBuf::from(path), crate_name, kind, src.to_string())
+    }
+
+    fn lint_one(path: &str, src: &str) -> Vec<Diagnostic> {
+        lint_files(&[scan(path, src)], &LintConfig::default())
+    }
+
+    fn fixture(name: &str) -> &'static str {
+        match name {
+            "no_unordered_iteration_ok" => include_str!("../fixtures/no_unordered_iteration_ok.rs"),
+            "no_unordered_iteration_bad" => {
+                include_str!("../fixtures/no_unordered_iteration_bad.rs")
+            }
+            "no_wall_clock_ok" => include_str!("../fixtures/no_wall_clock_ok.rs"),
+            "no_wall_clock_bad" => include_str!("../fixtures/no_wall_clock_bad.rs"),
+            "no_unseeded_rng_ok" => include_str!("../fixtures/no_unseeded_rng_ok.rs"),
+            "no_unseeded_rng_bad" => include_str!("../fixtures/no_unseeded_rng_bad.rs"),
+            "no_panic_in_library_ok" => include_str!("../fixtures/no_panic_in_library_ok.rs"),
+            "no_panic_in_library_bad" => include_str!("../fixtures/no_panic_in_library_bad.rs"),
+            other => panic!("unknown fixture {other}"),
+        }
+    }
+
+    #[test]
+    fn unordered_iteration_fixture_pair() {
+        let clean = lint_one(
+            "crates/gossip/src/fixture.rs",
+            fixture("no_unordered_iteration_ok"),
+        );
+        assert_eq!(clean, Vec::new(), "ok fixture must lint clean");
+        let diags = lint_one(
+            "crates/gossip/src/fixture.rs",
+            fixture("no_unordered_iteration_bad"),
+        );
+        assert_eq!(diags.len(), 3, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == "no-unordered-iteration"));
+        assert!(diags.iter().all(|d| d.path.ends_with("fixture.rs")));
+        assert_eq!(
+            diags.iter().map(|d| d.line).collect::<Vec<_>>(),
+            vec![4, 8, 12]
+        );
+    }
+
+    #[test]
+    fn unordered_iteration_ignores_unrestricted_crates() {
+        let diags = lint_one(
+            "crates/nn/src/fixture.rs",
+            fixture("no_unordered_iteration_bad"),
+        );
+        assert!(diags.is_empty(), "nn is not a restricted crate: {diags:?}");
+    }
+
+    #[test]
+    fn wall_clock_fixture_pair() {
+        let clean = lint_one("crates/core/src/fixture.rs", fixture("no_wall_clock_ok"));
+        assert_eq!(clean, Vec::new());
+        let diags = lint_one("crates/core/src/fixture.rs", fixture("no_wall_clock_bad"));
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == "no-wall-clock"));
+        assert_eq!(diags[0].line, 5);
+        assert_eq!(diags[1].line, 9);
+    }
+
+    #[test]
+    fn wall_clock_allowlisted_file_is_exempt() {
+        let diags = lint_one("crates/trace/src/phase.rs", fixture("no_wall_clock_bad"));
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unseeded_rng_fixture_pair() {
+        let clean = lint_one("crates/dist/src/fixture.rs", fixture("no_unseeded_rng_ok"));
+        assert_eq!(clean, Vec::new());
+        let diags = lint_one("crates/dist/src/fixture.rs", fixture("no_unseeded_rng_bad"));
+        assert_eq!(diags.len(), 3, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == "no-unseeded-rng"));
+        assert_eq!(
+            diags.iter().map(|d| d.line).collect::<Vec<_>>(),
+            vec![5, 9, 13]
+        );
+    }
+
+    #[test]
+    fn unseeded_rng_applies_to_tests_too() {
+        let diags = lint_one(
+            "crates/dist/tests/fixture.rs",
+            fixture("no_unseeded_rng_bad"),
+        );
+        assert_eq!(diags.len(), 3, "rng rule covers test code: {diags:?}");
+    }
+
+    #[test]
+    fn panic_fixture_pair() {
+        let clean = lint_one(
+            "crates/mia/src/fixture.rs",
+            fixture("no_panic_in_library_ok"),
+        );
+        assert_eq!(clean, Vec::new());
+        let diags = lint_one(
+            "crates/mia/src/fixture.rs",
+            fixture("no_panic_in_library_bad"),
+        );
+        assert_eq!(diags.len(), 3, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == "no-panic-in-library"));
+        assert_eq!(
+            diags.iter().map(|d| d.line).collect::<Vec<_>>(),
+            vec![4, 9, 14]
+        );
+        assert!(diags[0].message.contains("unwrap"));
+        assert!(diags[1].message.contains("panic"));
+        assert!(diags[2].message.contains("expect"));
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_and_without_reports() {
+        let src = "fn f() {\n    let t = std::time::Instant::now(); // lint:allow(no-wall-clock, \"bench timing\")\n}\n";
+        assert!(lint_one("crates/core/src/f.rs", src).is_empty());
+        let src =
+            "fn f() {\n    let t = std::time::Instant::now(); // lint:allow(no-wall-clock)\n}\n";
+        let diags = lint_one("crates/core/src/f.rs", src);
+        assert_eq!(diags.len(), 2, "{diags:?}"); // the finding + the malformed allow
+        assert!(diags.iter().any(|d| d.rule == "malformed-allow"));
+        assert!(diags.iter().any(|d| d.rule == "no-wall-clock"));
+    }
+
+    #[test]
+    fn allow_naming_unknown_rule_is_reported() {
+        let diags = lint_one(
+            "crates/core/src/f.rs",
+            "// lint:allow(no-such-rule, \"oops\")\nfn f() {}\n",
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "malformed-allow");
+        assert!(diags[0].message.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn tokens_inside_strings_and_comments_do_not_fire() {
+        let src = "fn f() -> &'static str {\n    // thread_rng() would be bad\n    \"rand::random HashMap Instant::now\"\n}\n";
+        assert!(lint_one("crates/gossip/src/f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn diagnostics_are_sorted_and_display_cleanly() {
+        let diags = lint_one(
+            "crates/gossip/src/fixture.rs",
+            fixture("no_unordered_iteration_bad"),
+        );
+        let mut sorted = diags.clone();
+        sorted.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+        assert_eq!(diags, sorted);
+        let rendered = diags[0].to_string();
+        assert!(rendered.starts_with("error[no-unordered-iteration]"));
+        assert!(rendered.contains("fixture.rs:4"));
+    }
+}

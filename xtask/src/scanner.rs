@@ -1,0 +1,504 @@
+//! Lexical preprocessing of Rust sources for the lint rules.
+//!
+//! Rules match tokens on a *masked* copy of each file: comments and
+//! string/char literals are blanked out (byte-for-byte, newlines kept), so
+//! a `thread_rng` inside a doc example or an error message never trips a
+//! rule. The scanner also extracts the `// lint:allow(rule, "reason")`
+//! escape hatches and the line spans of `#[cfg(test)]` blocks, which the
+//! no-panic rule exempts.
+
+use std::path::PathBuf;
+
+/// Where a file sits in the workspace; rules scope themselves by kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `crates/<name>/src/**` — library or binary source.
+    Src,
+    /// `crates/<name>/tests/**` or the workspace-level `tests/` dir.
+    Tests,
+    /// `crates/<name>/benches/**`.
+    Benches,
+    /// The workspace-level `examples/` dir.
+    Examples,
+}
+
+/// A `// lint:allow(rule, "reason")` escape hatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// The rule being allowed.
+    pub rule: String,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Whether the comment is alone on its line (then it covers the next
+    /// line instead of its own).
+    pub standalone: bool,
+}
+
+/// A malformed escape hatch, reported as a diagnostic in its own right.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadAllow {
+    /// 1-based line of the malformed comment.
+    pub line: usize,
+    /// What is wrong with it.
+    pub problem: String,
+}
+
+/// One preprocessed source file.
+#[derive(Debug, Clone)]
+pub struct ScannedFile {
+    /// Workspace-relative path (`/`-separated).
+    pub path: PathBuf,
+    /// The crate directory name under `crates/`, when applicable.
+    pub crate_name: Option<String>,
+    /// Which tree the file belongs to.
+    pub kind: FileKind,
+    /// Original source text.
+    pub source: String,
+    /// Source with comments and string/char literals blanked to spaces.
+    pub masked: String,
+    /// Parsed escape hatches.
+    pub allows: Vec<Allow>,
+    /// Malformed escape hatches.
+    pub bad_allows: Vec<BadAllow>,
+    /// Inclusive 1-based line spans of `#[cfg(test)]` items.
+    pub test_spans: Vec<(usize, usize)>,
+}
+
+impl ScannedFile {
+    /// Preprocesses `source` as the file at `path`.
+    pub fn new(path: PathBuf, crate_name: Option<String>, kind: FileKind, source: String) -> Self {
+        let (masked, comments) = mask(&source);
+        let (allows, bad_allows) = parse_allows(&comments);
+        let test_spans = find_test_spans(&masked);
+        Self {
+            path,
+            crate_name,
+            kind,
+            source,
+            masked,
+            allows,
+            bad_allows,
+            test_spans,
+        }
+    }
+
+    /// The 1-based line containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        1 + self.source[..offset.min(self.source.len())]
+            .bytes()
+            .filter(|&b| b == b'\n')
+            .count()
+    }
+
+    /// The trimmed text of 1-based `line`.
+    pub fn line_text(&self, line: usize) -> &str {
+        self.source
+            .lines()
+            .nth(line.saturating_sub(1))
+            .unwrap_or("")
+            .trim()
+    }
+
+    /// Whether `line` falls inside a `#[cfg(test)]` item.
+    pub fn in_test_span(&self, line: usize) -> bool {
+        self.test_spans
+            .iter()
+            .any(|&(start, end)| start <= line && line <= end)
+    }
+
+    /// Whether a finding of `rule` on `line` is covered by an escape
+    /// hatch: a trailing allow on the same line, or a standalone allow on
+    /// the line directly above.
+    pub fn is_allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows.iter().any(|a| {
+            a.rule == rule
+                && ((a.line == line && !a.standalone) || (a.standalone && a.line + 1 == line))
+        })
+    }
+}
+
+/// A line comment captured during masking.
+#[derive(Debug, Clone)]
+struct Comment {
+    /// 1-based line of the `//`.
+    line: usize,
+    /// Text after the `//`, up to the newline.
+    text: String,
+    /// Whether anything other than whitespace precedes the `//` on its line.
+    trailing: bool,
+}
+
+/// Blanks comments and string/char literals, preserving byte offsets and
+/// newlines, and collects line comments for allow parsing.
+fn mask(source: &str) -> (String, Vec<Comment>) {
+    let bytes = source.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut line_has_code = false;
+    let mut i = 0usize;
+
+    // Pushes `n` bytes of blank space, preserving any newlines in `src`.
+    fn blank(out: &mut Vec<u8>, src: &[u8], line: &mut usize) {
+        for &b in src {
+            if b == b'\n' {
+                out.push(b'\n');
+                *line += 1;
+            } else {
+                out.push(b' ');
+            }
+        }
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        if b == b'/' && next == Some(b'/') {
+            // Line comment (also covers /// and //! doc comments).
+            let end = source[i..].find('\n').map_or(bytes.len(), |n| i + n);
+            comments.push(Comment {
+                line,
+                text: source[i + 2..end].to_string(),
+                trailing: line_has_code,
+            });
+            blank(&mut out, &bytes[i..end], &mut line);
+            i = end;
+        } else if b == b'/' && next == Some(b'*') {
+            // Block comment, possibly nested.
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < bytes.len() && depth > 0 {
+                if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+                    depth += 1;
+                    j += 2;
+                } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            blank(&mut out, &bytes[i..j], &mut line);
+            i = j;
+        } else if b == b'"' {
+            let j = skip_string(bytes, i);
+            blank(&mut out, &bytes[i..j], &mut line);
+            i = j;
+        } else if is_raw_string_start(bytes, i) {
+            let j = skip_raw_string(bytes, i);
+            blank(&mut out, &bytes[i..j], &mut line);
+            i = j;
+        } else if b == b'b' && next == Some(b'"') {
+            let j = skip_string(bytes, i + 1);
+            blank(&mut out, &bytes[i..j], &mut line);
+            i = j;
+        } else if b == b'\'' {
+            if let Some(j) = char_literal_end(bytes, i) {
+                blank(&mut out, &bytes[i..j], &mut line);
+                i = j;
+            } else {
+                // A lifetime; copy the quote through.
+                out.push(b);
+                line_has_code = true;
+                i += 1;
+            }
+        } else {
+            if b == b'\n' {
+                line += 1;
+                line_has_code = false;
+            } else if !b.is_ascii_whitespace() {
+                line_has_code = true;
+            }
+            out.push(b);
+            i += 1;
+        }
+    }
+    // Masking only ever replaces bytes with ASCII spaces or keeps them, so
+    // the result is valid UTF-8 iff the input was (and the input is a &str).
+    let masked = String::from_utf8(out).unwrap_or_default();
+    (masked, comments)
+}
+
+/// Byte index one past the closing quote of the plain string starting at
+/// `bytes[start] == b'"'`.
+fn skip_string(bytes: &[u8], start: usize) -> usize {
+    let mut j = start + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Whether `bytes[i..]` starts a raw (or raw-byte) string literal.
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let rest = &bytes[i..];
+    let rest = match rest {
+        [b'b', b'r', ..] => &rest[2..],
+        [b'r', ..] => &rest[1..],
+        _ => return false,
+    };
+    // Preceded by an identifier character? Then this `r` is part of a
+    // larger identifier like `for` — not a literal prefix.
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return false;
+    }
+    let hashes = rest.iter().take_while(|&&b| b == b'#').count();
+    rest.get(hashes) == Some(&b'"')
+}
+
+/// Byte index one past the closing delimiter of the raw string at `i`.
+fn skip_raw_string(bytes: &[u8], i: usize) -> usize {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    j += 1; // the `r`
+    let hashes = bytes[j..].iter().take_while(|&&b| b == b'#').count();
+    j += hashes + 1; // hashes and the opening quote
+    while j < bytes.len() {
+        if bytes[j] == b'"'
+            && bytes[j + 1..].len() >= hashes
+            && bytes[j + 1..j + 1 + hashes].iter().all(|&b| b == b'#')
+        {
+            return j + 1 + hashes;
+        }
+        j += 1;
+    }
+    j
+}
+
+/// If a char literal starts at `bytes[i] == b'\''`, the index one past its
+/// closing quote; `None` when the quote introduces a lifetime instead.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    match bytes.get(i + 1) {
+        Some(b'\\') => {
+            // Escaped char: scan to the closing quote.
+            let mut j = i + 2;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'\\' => j += 2,
+                    b'\'' => return Some(j + 1),
+                    b'\n' => return None,
+                    _ => j += 1,
+                }
+            }
+            None
+        }
+        Some(&c) if c != b'\'' => {
+            // `'x'` is a char literal; `'x` followed by anything else is a
+            // lifetime. The scalar after the quote spans 1–4 bytes.
+            let scalar_len = match c {
+                _ if c < 0x80 => 1,
+                _ if c < 0xE0 => 2,
+                _ if c < 0xF0 => 3,
+                _ => 4,
+            };
+            let close = i + 1 + scalar_len;
+            (bytes.get(close) == Some(&b'\'')).then_some(close + 1)
+        }
+        _ => None,
+    }
+}
+
+/// Extracts well-formed and malformed `lint:allow` hatches from comments.
+fn parse_allows(comments: &[Comment]) -> (Vec<Allow>, Vec<BadAllow>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for comment in comments {
+        // The marker is `lint:allow(` with the paren attached, so prose
+        // *mentioning* lint:allow (docs, this comment) is not a hatch.
+        let Some(start) = comment.text.find("lint:allow(") else {
+            continue;
+        };
+        let rest = &comment.text[start + "lint:allow(".len()..];
+        let Some(inner) = rest.rfind(')').map(|end| &rest[..end]) else {
+            bad.push(BadAllow {
+                line: comment.line,
+                problem: "expected `lint:allow(<rule>, \"<reason>\")`".to_string(),
+            });
+            continue;
+        };
+        let (rule, reason) = match inner.split_once(',') {
+            Some((rule, reason)) => (rule.trim(), reason.trim()),
+            None => (inner.trim(), ""),
+        };
+        let reason = reason.trim_matches('"').trim();
+        if rule.is_empty() || reason.is_empty() {
+            bad.push(BadAllow {
+                line: comment.line,
+                problem: format!(
+                    "lint:allow({}) needs a non-empty rule and justification, \
+                     e.g. lint:allow(no-wall-clock, \"observability timing\")",
+                    inner.trim()
+                ),
+            });
+            continue;
+        }
+        allows.push(Allow {
+            line: comment.line,
+            rule: rule.to_string(),
+            reason: reason.to_string(),
+            standalone: !comment.trailing,
+        });
+    }
+    (allows, bad)
+}
+
+/// Inclusive 1-based line spans of `#[cfg(test)]` items in masked text.
+fn find_test_spans(masked: &str) -> Vec<(usize, usize)> {
+    const NEEDLE: &str = "#[cfg(test)]";
+    let bytes = masked.as_bytes();
+    let mut spans = Vec::new();
+    let mut from = 0usize;
+    while let Some(found) = masked[from..].find(NEEDLE) {
+        let attr_at = from + found;
+        let start_line = 1 + masked[..attr_at].bytes().filter(|&b| b == b'\n').count();
+        // The attribute's item body is the next balanced `{ ... }` block;
+        // stop early at `;` (e.g. `#[cfg(test)] use ...;` has no body).
+        let mut j = attr_at + NEEDLE.len();
+        let mut open = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => {
+                    open = Some(j);
+                    break;
+                }
+                b';' => break,
+                _ => j += 1,
+            }
+        }
+        let end = if let Some(open_at) = open {
+            let mut depth = 0usize;
+            let mut k = open_at;
+            loop {
+                if k >= bytes.len() {
+                    break k;
+                }
+                match bytes[k] {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break k + 1;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+        } else {
+            j
+        };
+        let end_line = 1 + masked[..end.min(masked.len())]
+            .bytes()
+            .filter(|&b| b == b'\n')
+            .count();
+        spans.push((start_line, end_line));
+        from = end.max(attr_at + NEEDLE.len());
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> ScannedFile {
+        ScannedFile::new(
+            PathBuf::from("crates/demo/src/lib.rs"),
+            Some("demo".to_string()),
+            FileKind::Src,
+            src.to_string(),
+        )
+    }
+
+    #[test]
+    fn masks_line_and_doc_comments() {
+        let f = scan("let x = 1; // thread_rng here\n/// Instant::now()\nfn f() {}\n");
+        assert!(!f.masked.contains("thread_rng"));
+        assert!(!f.masked.contains("Instant::now"));
+        assert!(f.masked.contains("fn f"));
+        assert_eq!(f.masked.len(), f.source.len());
+    }
+
+    #[test]
+    fn masks_nested_block_comments() {
+        let f = scan("/* outer /* HashMap */ still comment */ fn g() {}\n");
+        assert!(!f.masked.contains("HashMap"));
+        assert!(f.masked.contains("fn g"));
+    }
+
+    #[test]
+    fn masks_strings_and_raw_strings() {
+        let f = scan(
+            "let a = \"thread_rng\"; let b = r#\"SystemTime::now \"quoted\"\"#; let c = HashMap::new();\n",
+        );
+        assert!(!f.masked.contains("thread_rng"));
+        assert!(!f.masked.contains("SystemTime"));
+        assert!(f.masked.contains("HashMap"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let f = scan("let s = \"a\\\"b thread_rng\"; let t = unwrap;\n");
+        assert!(!f.masked.contains("thread_rng"));
+        assert!(f.masked.contains("unwrap"));
+    }
+
+    #[test]
+    fn char_literals_masked_lifetimes_kept() {
+        let f = scan("fn f<'a>(x: &'a str) -> char { let c = '\\''; let d = 'x'; d }\n");
+        assert!(f.masked.contains("<'a>"));
+        assert!(f.masked.contains("&'a str"));
+        assert!(!f.masked.contains("'x'"));
+    }
+
+    #[test]
+    fn newlines_survive_masking_so_lines_align() {
+        let f = scan("let a = \"line\nline\"; /* c\nc */ fn h() {}\n");
+        assert_eq!(
+            f.source.matches('\n').count(),
+            f.masked.matches('\n').count()
+        );
+        assert_eq!(f.line_of(f.masked.find("fn h").unwrap()), 3);
+    }
+
+    #[test]
+    fn parses_trailing_and_standalone_allows() {
+        let f = scan(
+            "// lint:allow(no-wall-clock, \"timing the run\")\nlet t = 1;\nlet u = 2; // lint:allow(no-unseeded-rng, \"fixture\")\n",
+        );
+        assert_eq!(f.allows.len(), 2);
+        assert!(f.allows[0].standalone);
+        assert_eq!(f.allows[0].rule, "no-wall-clock");
+        assert_eq!(f.allows[0].reason, "timing the run");
+        assert!(!f.allows[1].standalone);
+        assert!(f.is_allowed("no-wall-clock", 2));
+        assert!(f.is_allowed("no-unseeded-rng", 3));
+        assert!(!f.is_allowed("no-wall-clock", 3));
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed() {
+        let f = scan("let x = 1; // lint:allow(no-wall-clock)\n");
+        assert!(f.allows.is_empty());
+        assert_eq!(f.bad_allows.len(), 1);
+        assert_eq!(f.bad_allows[0].line, 1);
+    }
+
+    #[test]
+    fn cfg_test_spans_cover_the_module() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { panic!(\"x\") }\n}\nfn after() {}\n";
+        let f = scan(src);
+        assert_eq!(f.test_spans, vec![(2, 6)]);
+        assert!(f.in_test_span(5));
+        assert!(!f.in_test_span(1));
+        assert!(!f.in_test_span(7));
+    }
+}

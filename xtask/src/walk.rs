@@ -1,0 +1,87 @@
+//! Workspace traversal: find every Rust source the lint pass covers.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::scanner::{FileKind, ScannedFile};
+
+/// Collects and preprocesses every `.rs` file under the workspace's
+/// `crates/*/{src,tests,benches}`, `tests/` and `examples/` trees, in
+/// deterministic (sorted) path order.
+///
+/// The `xtask/` tree itself is deliberately out of scope: it is build
+/// tooling, not part of the simulator's determinism surface.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<ScannedFile>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for crate_dir in sorted_dirs(&crates_dir)? {
+            let crate_name = crate_dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned());
+            for (sub, kind) in [
+                ("src", FileKind::Src),
+                ("tests", FileKind::Tests),
+                ("benches", FileKind::Benches),
+            ] {
+                collect(
+                    root,
+                    &crate_dir.join(sub),
+                    crate_name.clone(),
+                    kind,
+                    &mut files,
+                )?;
+            }
+        }
+    }
+    collect(root, &root.join("tests"), None, FileKind::Tests, &mut files)?;
+    collect(
+        root,
+        &root.join("examples"),
+        None,
+        FileKind::Examples,
+        &mut files,
+    )?;
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(files)
+}
+
+/// Immediate subdirectories of `dir`, sorted by name.
+fn sorted_dirs(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut dirs: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    Ok(dirs)
+}
+
+/// Recursively scans `.rs` files under `dir` (no-op when absent).
+fn collect(
+    root: &Path,
+    dir: &Path,
+    crate_name: Option<String>,
+    kind: FileKind,
+    out: &mut Vec<ScannedFile>,
+) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect(root, &path, crate_name.clone(), kind, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let source = fs::read_to_string(&path)?;
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            out.push(ScannedFile::new(rel, crate_name.clone(), kind, source));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! Workspace-level acceptance test: the current tree lints clean.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    if let Some(dir) = option_env!("CARGO_MANIFEST_DIR") {
+        if let Some(parent) = PathBuf::from(dir).parent() {
+            return parent.to_path_buf();
+        }
+    }
+    // Fallback when built outside cargo: walk up to the lint.toml.
+    let mut dir = std::env::current_dir().expect("current directory is readable");
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return dir;
+        }
+        assert!(dir.pop(), "workspace root (lint.toml) not found above cwd");
+    }
+}
+
+#[test]
+fn cargo_xtask_lint_is_clean_on_the_current_tree() {
+    let root = workspace_root();
+    let diags = xtask::lint_root(&root, None).expect("workspace scans and lint.toml parses");
+    assert!(
+        diags.is_empty(),
+        "`cargo xtask lint` must exit 0 on the committed tree; findings:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
