@@ -75,17 +75,25 @@ impl std::error::Error for ArgError {}
 pub enum CliError {
     /// The command line itself was wrong.
     Arg(ArgError),
+    /// An input file exists and was readable but is not a valid trace
+    /// (malformed JSON, truncated tail, unsupported schema, non-finite
+    /// floats, out-of-order rounds). Exits `2` like usage errors: the
+    /// *invocation* named bad input, distinguishing it from transient
+    /// runtime failures so scripts can tell the two apart.
+    CorruptTrace(String),
     /// The command ran and failed.
     Failure(String),
 }
 
 impl CliError {
     /// The process exit code this error warrants: `2` for usage errors
-    /// (unknown subcommand/option, malformed syntax), `1` otherwise.
+    /// (unknown subcommand/option, malformed syntax) and corrupt trace
+    /// input, `1` otherwise.
     #[must_use]
     pub fn exit_code(&self) -> u8 {
         match self {
             CliError::Arg(e) if e.is_usage() => 2,
+            CliError::CorruptTrace(_) => 2,
             _ => 1,
         }
     }
@@ -95,6 +103,7 @@ impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CliError::Arg(e) => e.fmt(f),
+            CliError::CorruptTrace(message) => write!(f, "corrupt trace: {message}"),
             CliError::Failure(message) => f.write_str(message),
         }
     }
@@ -351,6 +360,9 @@ mod tests {
             assert_eq!(CliError::from(err).exit_code(), 2);
         }
         assert_eq!(CliError::Failure("boom".into()).exit_code(), 1);
+        let corrupt = CliError::CorruptTrace("trace line 3: bad".into());
+        assert_eq!(corrupt.exit_code(), 2, "corrupt input is not transient");
+        assert_eq!(corrupt.to_string(), "corrupt trace: trace line 3: bad");
     }
 
     #[test]

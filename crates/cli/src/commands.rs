@@ -2,13 +2,13 @@
 
 use std::path::PathBuf;
 
-use glmia_core::prelude::{read_trace, RunSummary, TraceWriter};
+use glmia_core::prelude::{read_trace, RunSummary, TraceReadError, TraceWriter};
 use glmia_core::{
     lambda2_series, run_experiment, run_experiment_traced, ExperimentConfig, Lambda2Config,
     Parallelism,
 };
 use glmia_data::{DataPreset, Federation, Partition};
-use glmia_gossip::{ProtocolKind, TopologyMode};
+use glmia_gossip::{ChurnConfig, FaultPlan, LatencyDist, ProtocolKind, TopologyMode};
 use glmia_graph::Topology;
 use glmia_metrics::{render_markdown_report, render_prometheus, render_table};
 use glmia_mia::{AttackKind, MiaEvaluator};
@@ -83,6 +83,9 @@ pub fn run(args: &Args) -> Result<(), CliError> {
             "quiet",
             "json",
             "plot",
+            "churn",
+            "latency-dist",
+            "drop",
         ],
     )?;
     let dataset = parse_dataset(args.get("dataset").unwrap_or("cifar10"))?;
@@ -116,6 +119,23 @@ pub fn run(args: &Args) -> Result<(), CliError> {
             .map_err(|_| format!("invalid --beta '{beta}'"))?;
         config = config.with_partition(Partition::Dirichlet { beta });
     }
+    // Fault-injection knobs compose into one plan; an empty plan is
+    // normalized away so fault-free invocations stay byte-identical.
+    let mut fault = FaultPlan::none();
+    if args.get("churn").is_some() {
+        fault = fault.with_churn(ChurnConfig::new(args.get_or("churn", 0.0f64)?));
+    }
+    if let Some(spec) = args.get("latency-dist") {
+        let dist: LatencyDist = spec.parse().map_err(|_| ArgError::InvalidValue {
+            key: "latency-dist".into(),
+            value: spec.to_string(),
+        })?;
+        fault = fault.with_latency(dist);
+    }
+    if args.get("drop").is_some() {
+        fault = fault.with_link_drop(args.get_or("drop", 0.0f64)?);
+    }
+    config = config.with_fault_plan(fault);
     config = config.with_progress(!args.flag("quiet"));
     // Create the trace directory *before* running: a run that dies
     // mid-phase still leaves a header-only events.jsonl and a manifest
@@ -257,8 +277,11 @@ pub fn compare(args: &Args) -> Result<(), CliError> {
 /// `glmia analyze <trace-dir>`: derive per-round aggregates, histograms
 /// and the empirical mixing spectrum from a recorded trace, write
 /// `summary.json` + `report.md` back into the trace directory, and print
-/// the chosen rendering. Malformed traces are runtime failures (exit 1),
-/// not usage errors.
+/// the chosen rendering. A trace that cannot be *read* (missing file,
+/// I/O failure) is a runtime failure (exit 1); a trace that reads but is
+/// *corrupt* — malformed JSON, truncated tail, unsupported schema,
+/// non-finite floats, out-of-order rounds — exits 2 so scripts can tell
+/// bad input from transient failures.
 pub fn analyze(args: &Args) -> Result<(), CliError> {
     reject_unknown(args, &["format"])?;
     let dir = PathBuf::from(args.require_positional(0, "<trace-dir>")?);
@@ -274,8 +297,10 @@ pub fn analyze(args: &Args) -> Result<(), CliError> {
         .into());
     }
     let events_path = dir.join("events.jsonl");
-    let (header, events) =
-        read_trace(&events_path).map_err(|e| format!("{}: {e}", events_path.display()))?;
+    let (header, events) = read_trace(&events_path).map_err(|e| match e {
+        TraceReadError::Io(_) => CliError::Failure(format!("{}: {e}", events_path.display())),
+        corrupt => CliError::CorruptTrace(format!("{}: {corrupt}", events_path.display())),
+    })?;
     let summary = RunSummary::from_events(&header, &events);
     // The summary is a pure function of the event stream, so these files
     // inherit the trace's byte-identity across thread counts and reruns.
@@ -579,6 +604,40 @@ mod tests {
             .into()
         );
         assert_eq!(err.exit_code(), 1);
+    }
+
+    #[test]
+    fn run_rejects_malformed_fault_flags_as_value_errors() {
+        let a = args(&["run", "--latency-dist", "poisson:4"]);
+        let err = run(&a).unwrap_err();
+        assert_eq!(
+            err,
+            ArgError::InvalidValue {
+                key: "latency-dist".into(),
+                value: "poisson:4".into(),
+            }
+            .into()
+        );
+        assert_eq!(err.exit_code(), 1);
+        let a = args(&["run", "--churn", "lots"]);
+        assert_eq!(run(&a).unwrap_err().exit_code(), 1);
+        // Out-of-range values survive parsing but fail config validation.
+        let a = args(&["run", "--preset", "quick", "--churn", "1.5"]);
+        let err = run(&a).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        assert!(err.to_string().contains("churn rate"), "{err}");
+    }
+
+    #[test]
+    fn analyze_reports_corrupt_traces_with_exit_2() {
+        let dir =
+            std::env::temp_dir().join(format!("glmia-cli-unit-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("events.jsonl"), "{\"schema\":2,\"tool\":\"x\"").unwrap();
+        let err = analyze(&args(&["analyze", dir.to_str().unwrap()])).unwrap_err();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(err.exit_code(), 2, "corrupt input is exit 2: {err}");
+        assert!(err.to_string().starts_with("corrupt trace: "), "{err}");
     }
 
     #[test]

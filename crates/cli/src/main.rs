@@ -10,7 +10,8 @@
 //! ```
 //!
 //! Exit codes: `0` success, `1` runtime failure or bad option value,
-//! `2` usage error (unknown subcommand/option, malformed syntax).
+//! `2` usage error (unknown subcommand/option, malformed syntax) or
+//! corrupt trace input.
 
 mod args;
 mod commands;
@@ -79,6 +80,14 @@ SUBCOMMANDS:
                                                  setting, 1 = serial path)
               --trace <dir>                      write events.jsonl +
                                                  manifest.json run trace
+              --churn <rate>                     per-round crash probability
+                                                 per node (downtime 50-200
+                                                 ticks, silent rejoin)
+              --latency-dist <spec>              per-link delivery latency:
+                                                 fixed:TICKS, uniform:MIN:MAX
+                                                 or straggler:BASE:TAIL:PROB
+              --drop <mean>                      per-link drop probability,
+                                                 drawn per link around <mean>
               --quiet                            suppress the stderr progress
                                                  heartbeat (also off when
                                                  stderr is not a terminal)
@@ -112,6 +121,7 @@ SUBCOMMANDS:
 EXIT CODES:
     0  success
     1  runtime failure or invalid option value
-    2  usage error (unknown subcommand, unknown option, malformed syntax)"
+    2  usage error (unknown subcommand, unknown option, malformed syntax)
+       or corrupt trace input (malformed / truncated / unsupported schema)"
     );
 }

@@ -265,14 +265,20 @@ fn analyze_output_is_byte_identical_across_thread_counts() {
 }
 
 #[test]
-fn analyze_exits_1_on_corrupt_traces_and_2_on_usage_errors() {
+fn analyze_exits_2_on_corrupt_traces_and_usage_errors_but_1_on_io() {
     // Missing operand and unknown options are usage errors.
     assert_eq!(glmia(&["analyze"]).status.code(), Some(2));
     assert_eq!(
         glmia(&["analyze", "some/dir", "--oops"]).status.code(),
         Some(2)
     );
-    // A malformed trace is a runtime failure, like any bad input file.
+    // A missing trace is a runtime (I/O) failure: exit 1.
+    assert_eq!(
+        glmia(&["analyze", "/nonexistent/trace-dir"]).status.code(),
+        Some(1)
+    );
+    // A trace that reads but is corrupt names the line and exits 2, so
+    // scripts can tell bad input from transient failures.
     let dir = std::env::temp_dir().join(format!("glmia-cli-corrupt-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     std::fs::write(
@@ -281,9 +287,63 @@ fn analyze_exits_1_on_corrupt_traces_and_2_on_usage_errors() {
     )
     .unwrap();
     let out = glmia(&["analyze", dir.to_str().unwrap()]);
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(2));
     let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("corrupt trace"), "{stderr}");
     assert!(stderr.contains("line 2"), "error names the line: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fault_injected_runs_trace_and_analyze_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("glmia-cli-fault-{}", std::process::id()));
+    let run = glmia(&[
+        "run",
+        "--preset",
+        "quick",
+        "--seed",
+        "7",
+        "--churn",
+        "0.3",
+        "--latency-dist",
+        "uniform:1:5",
+        "--drop",
+        "0.05",
+        "--json",
+        "--trace",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(
+        run.status.success(),
+        "{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    // With churn at 0.3 per node-round over 8 nodes x 5 rounds the seeded
+    // schedule contains crashes, so the stream declares the fault schema.
+    let events = std::fs::read_to_string(dir.join("events.jsonl")).expect("events.jsonl written");
+    let header = events.lines().next().expect("non-empty event stream");
+    assert!(header.contains("\"schema\":3"), "{header}");
+    assert!(events.contains("\"type\":\"Fault\""), "fault records present");
+
+    let analyzed = glmia(&["analyze", dir.to_str().unwrap(), "--format", "json"]);
+    assert_eq!(
+        analyzed.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&analyzed.stderr)
+    );
+    let summary: serde_json::Value = serde_json::from_str(
+        &std::fs::read_to_string(dir.join("summary.json")).expect("summary.json written"),
+    )
+    .expect("valid summary JSON");
+    assert!(
+        summary["faults"]["crashes"].as_u64().unwrap_or(0) > 0,
+        "fault summary reports the crashes: {summary}"
+    );
+    assert!(
+        summary["faults"]["mean_availability"].as_f64().unwrap_or(2.0) < 1.0,
+        "downtime shows up as availability below 1: {summary}"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -1,7 +1,7 @@
 //! Experiment configuration covering every knob the paper varies.
 
 use glmia_data::{DataPreset, Partition, SyntheticSpec};
-use glmia_gossip::{Defense, LrSchedule, ProtocolKind, SimConfig, TopologyMode};
+use glmia_gossip::{Defense, FaultPlan, LrSchedule, ProtocolKind, SimConfig, TopologyMode};
 use glmia_mia::AttackKind;
 use glmia_nn::MlpSpec;
 use serde::{Deserialize, Serialize};
@@ -141,6 +141,13 @@ pub struct ExperimentConfig {
     /// `(A + I)/(k + 1)`. Part of the experiment's identity.
     #[serde(default)]
     wake_std_override: Option<f64>,
+    /// Fault-injection plan: node churn, per-link latency heterogeneity,
+    /// per-link drops. Part of the experiment's identity, but absent (and
+    /// skipped in serialization) for fault-free runs so their config JSON —
+    /// and hence fingerprint — is byte-identical to before the knob
+    /// existed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    fault: Option<FaultPlan>,
     seed: u64,
     /// Worker threads for the attack-replay pipeline. Excluded from
     /// serialization and equality: two runs differing only in thread count
@@ -188,6 +195,7 @@ impl PartialEq for ExperimentConfig {
             drop_probability,
             lr_schedule,
             wake_std_override,
+            fault,
             seed,
             parallelism: _,
             mixing_disabled: _,
@@ -213,6 +221,7 @@ impl PartialEq for ExperimentConfig {
             && *drop_probability == other.drop_probability
             && *lr_schedule == other.lr_schedule
             && *wake_std_override == other.wake_std_override
+            && *fault == other.fault
             && *seed == other.seed
     }
 }
@@ -247,6 +256,7 @@ impl ExperimentConfig {
             drop_probability: 0.0,
             lr_schedule: LrSchedule::Constant,
             wake_std_override: None,
+            fault: None,
             seed: 0,
             training,
             parallelism: Parallelism::Auto,
@@ -463,6 +473,23 @@ impl ExperimentConfig {
         self
     }
 
+    /// Attaches a fault-injection plan (node churn, per-link latency,
+    /// per-link drops). An *inert* plan ([`FaultPlan::is_inert`]) is
+    /// normalized away so it cannot perturb the config's identity or
+    /// fingerprint. Checked by [`validate`](Self::validate) against the
+    /// plan's own constraints.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = if plan.is_inert() { None } else { Some(plan) };
+        self
+    }
+
+    /// The attached fault plan, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
     /// Sets the master seed.
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
@@ -663,6 +690,9 @@ impl ExperimentConfig {
         if let Some(std) = self.wake_std_override {
             sim = sim.with_wake_distribution(100.0, std);
         }
+        if let Some(plan) = self.fault {
+            sim = sim.with_fault_plan(plan);
+        }
         sim.with_lr_schedule(self.lr_schedule)
     }
 
@@ -772,6 +802,10 @@ impl ExperimentConfig {
                     format!("must be finite and non-negative, got {std}"),
                 ));
             }
+        }
+        if let Some(plan) = &self.fault {
+            plan.validate()
+                .map_err(|e| CoreError::invalid("fault", e.to_string()))?;
         }
         Ok(())
     }
@@ -913,6 +947,47 @@ mod tests {
         let back: ExperimentConfig =
             serde_json::from_str(&serde_json::to_string(&synced).unwrap()).unwrap();
         assert_eq!(back.wake_std(), Some(0.0));
+    }
+
+    #[test]
+    fn fault_plan_is_part_of_identity_and_reaches_the_simulator() {
+        use glmia_gossip::{ChurnConfig, LatencyDist};
+        let base = ExperimentConfig::quick_test(DataPreset::Cifar10Like);
+        let plan = FaultPlan::none()
+            .with_churn(ChurnConfig::new(0.05))
+            .with_latency(LatencyDist::Fixed { ticks: 3 });
+        let faulty = base.clone().with_fault_plan(plan);
+        assert_ne!(base, faulty, "a fault plan changes the experiment");
+        assert_ne!(base.fingerprint(), faulty.fingerprint());
+        assert_eq!(faulty.sim_config().fault_plan(), Some(&plan));
+        assert_eq!(base.sim_config().fault_plan(), None);
+        // The plan round-trips through serialization.
+        let back: ExperimentConfig =
+            serde_json::from_str(&serde_json::to_string(&faulty).unwrap()).unwrap();
+        assert_eq!(back.fault_plan(), Some(&plan));
+    }
+
+    #[test]
+    fn inert_fault_plans_are_normalized_away() {
+        let base = ExperimentConfig::quick_test(DataPreset::Cifar10Like);
+        let inert = base.clone().with_fault_plan(FaultPlan::none());
+        assert_eq!(base, inert, "an inert plan is no plan");
+        assert_eq!(base.fingerprint(), inert.fingerprint());
+        assert_eq!(inert.fault_plan(), None);
+        // Fault-free configs serialize without any fault key at all, so
+        // their canonical JSON (and fingerprint) is unchanged from before
+        // the knob existed.
+        assert!(!serde_json::to_string(&base).unwrap().contains("fault"));
+    }
+
+    #[test]
+    fn invalid_fault_plans_are_named_by_validate() {
+        use glmia_gossip::ChurnConfig;
+        let bad = ExperimentConfig::quick_test(DataPreset::Cifar10Like)
+            .with_fault_plan(FaultPlan::none().with_churn(ChurnConfig::new(1.5)));
+        let err = bad.validate().unwrap_err();
+        assert_eq!(err.invalid_field(), Some("fault"));
+        assert!(err.to_string().contains("churn rate"));
     }
 
     #[test]

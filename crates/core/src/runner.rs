@@ -430,6 +430,7 @@ pub fn run_experiment_traced(
         seed,
         Some(topo_record),
         recorder.rounds(),
+        recorder.fault_records(),
         &mixing_records,
         &node_evals,
         &evals,

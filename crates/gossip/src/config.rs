@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{Defense, LrSchedule};
+use crate::{Defense, FaultPlan, GossipError, LrSchedule};
 
 /// Which gossip-learning protocol the nodes run.
 ///
@@ -121,6 +121,8 @@ pub struct SimConfig {
     weight_decay: f32,
     defense: Option<Defense>,
     lr_schedule: LrSchedule,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    fault: Option<FaultPlan>,
 }
 
 impl SimConfig {
@@ -143,45 +145,31 @@ impl SimConfig {
             weight_decay: 5e-4,
             defense: None,
             lr_schedule: LrSchedule::Constant,
+            fault: None,
         }
     }
 
-    /// Sets the number of communication rounds to simulate.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `rounds == 0`.
+    /// Sets the number of communication rounds to simulate. Must be
+    /// positive (checked by [`validate`](Self::validate)).
     #[must_use]
     pub fn with_rounds(mut self, rounds: usize) -> Self {
-        assert!(rounds > 0, "rounds must be positive");
         self.rounds = rounds;
         self
     }
 
-    /// Sets the number of ticks per communication round.
-    ///
-    /// # Panics
-    ///
-    /// Panics if zero.
+    /// Sets the number of ticks per communication round. Must be positive
+    /// (checked by [`validate`](Self::validate)).
     #[must_use]
     pub fn with_ticks_per_round(mut self, ticks: u64) -> Self {
-        assert!(ticks > 0, "ticks_per_round must be positive");
         self.ticks_per_round = ticks;
         self
     }
 
-    /// Sets the wake-period distribution `N(mean, std²)` in ticks.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `mean <= 0` or `std < 0`.
+    /// Sets the wake-period distribution `N(mean, std²)` in ticks. The
+    /// mean must be positive and the std non-negative (checked by
+    /// [`validate`](Self::validate)).
     #[must_use]
     pub fn with_wake_distribution(mut self, mean: f64, std: f64) -> Self {
-        assert!(mean > 0.0 && mean.is_finite(), "wake mean must be positive");
-        assert!(
-            std >= 0.0 && std.is_finite(),
-            "wake std must be non-negative"
-        );
         self.wake_mean = mean;
         self.wake_std = std;
         self
@@ -195,80 +183,50 @@ impl SimConfig {
     }
 
     /// Sets the probability that a sent model is silently dropped
-    /// (failure injection).
-    ///
-    /// # Panics
-    ///
-    /// Panics if outside `[0, 1)`.
+    /// (failure injection). Must be in `[0, 1)` (checked by
+    /// [`validate`](Self::validate)).
     #[must_use]
     pub fn with_drop_probability(mut self, p: f64) -> Self {
-        assert!(
-            (0.0..1.0).contains(&p),
-            "drop probability must be in [0, 1)"
-        );
         self.drop_probability = p;
         self
     }
 
-    /// Sets the number of local epochs run per update (Table 2).
-    ///
-    /// # Panics
-    ///
-    /// Panics if zero.
+    /// Sets the number of local epochs run per update (Table 2). Must be
+    /// positive (checked by [`validate`](Self::validate)).
     #[must_use]
     pub fn with_local_epochs(mut self, epochs: usize) -> Self {
-        assert!(epochs > 0, "local_epochs must be positive");
         self.local_epochs = epochs;
         self
     }
 
-    /// Sets the minibatch size for local SGD.
-    ///
-    /// # Panics
-    ///
-    /// Panics if zero.
+    /// Sets the minibatch size for local SGD. Must be positive (checked
+    /// by [`validate`](Self::validate)).
     #[must_use]
     pub fn with_batch_size(mut self, batch: usize) -> Self {
-        assert!(batch > 0, "batch_size must be positive");
         self.batch_size = batch;
         self
     }
 
-    /// Sets the SGD learning rate.
-    ///
-    /// # Panics
-    ///
-    /// Panics if non-positive or not finite.
+    /// Sets the SGD learning rate. Must be finite and positive (checked
+    /// by [`validate`](Self::validate)).
     #[must_use]
     pub fn with_learning_rate(mut self, lr: f32) -> Self {
-        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
         self.learning_rate = lr;
         self
     }
 
-    /// Sets the SGD momentum.
-    ///
-    /// # Panics
-    ///
-    /// Panics if outside `[0, 1)`.
+    /// Sets the SGD momentum. Must be in `[0, 1)` (checked by
+    /// [`validate`](Self::validate)).
     #[must_use]
     pub fn with_momentum(mut self, momentum: f32) -> Self {
-        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
         self.momentum = momentum;
         self
     }
 
-    /// Sets the SGD weight decay.
-    ///
-    /// # Panics
-    ///
-    /// Panics if negative or not finite.
+    /// Sets the SGD weight decay. Must be finite and non-negative
+    /// (checked by [`validate`](Self::validate)).
     #[must_use]
     pub fn with_weight_decay(mut self, wd: f32) -> Self {
-        assert!(
-            wd.is_finite() && wd >= 0.0,
-            "weight decay must be non-negative"
-        );
         self.weight_decay = wd;
         self
     }
@@ -286,6 +244,61 @@ impl SimConfig {
     pub fn with_lr_schedule(mut self, schedule: LrSchedule) -> Self {
         self.lr_schedule = schedule;
         self
+    }
+
+    /// Attaches a fault-injection plan (node churn, per-link latency,
+    /// per-link drops). An [inert](FaultPlan::is_inert) plan leaves the
+    /// run byte-identical to one with no plan at all.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Checks every field against its documented constraint, returning
+    /// the first violation. Called by
+    /// [`Simulation::new`](crate::Simulation::new), so a bad config is
+    /// reported as a typed error before any work starts rather than as a
+    /// setter panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GossipError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), GossipError> {
+        if self.rounds == 0 {
+            return Err(GossipError::new("rounds must be positive"));
+        }
+        if self.ticks_per_round == 0 {
+            return Err(GossipError::new("ticks_per_round must be positive"));
+        }
+        if !(self.wake_mean > 0.0) || !self.wake_mean.is_finite() {
+            return Err(GossipError::new("wake mean must be positive"));
+        }
+        if !(self.wake_std >= 0.0) || !self.wake_std.is_finite() {
+            return Err(GossipError::new("wake std must be non-negative"));
+        }
+        if !self.drop_probability.is_finite() || !(0.0..1.0).contains(&self.drop_probability) {
+            return Err(GossipError::new("drop probability must be in [0, 1)"));
+        }
+        if self.local_epochs == 0 {
+            return Err(GossipError::new("local_epochs must be positive"));
+        }
+        if self.batch_size == 0 {
+            return Err(GossipError::new("batch_size must be positive"));
+        }
+        if !self.learning_rate.is_finite() || self.learning_rate <= 0.0 {
+            return Err(GossipError::new("learning rate must be positive"));
+        }
+        if !self.momentum.is_finite() || !(0.0..1.0).contains(&self.momentum) {
+            return Err(GossipError::new("momentum must be in [0, 1)"));
+        }
+        if !self.weight_decay.is_finite() || self.weight_decay < 0.0 {
+            return Err(GossipError::new("weight decay must be non-negative"));
+        }
+        if let Some(plan) = &self.fault {
+            plan.validate()?;
+        }
+        Ok(())
     }
 
     /// The protocol.
@@ -377,11 +390,18 @@ impl SimConfig {
     pub fn lr_schedule(&self) -> LrSchedule {
         self.lr_schedule
     }
+
+    /// The attached fault plan, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{ChurnConfig, LatencyDist};
 
     #[test]
     fn defaults_match_paper() {
@@ -419,15 +439,71 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "rounds must be positive")]
-    fn zero_rounds_panics() {
-        let _ = SimConfig::new(ProtocolKind::Samo, TopologyMode::Static).with_rounds(0);
+    fn zero_rounds_is_a_validation_error() {
+        let err = SimConfig::new(ProtocolKind::Samo, TopologyMode::Static)
+            .with_rounds(0)
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("rounds must be positive"));
     }
 
     #[test]
-    #[should_panic(expected = "drop probability must be in [0, 1)")]
-    fn bad_drop_probability_panics() {
-        let _ = SimConfig::new(ProtocolKind::Samo, TopologyMode::Static).with_drop_probability(1.0);
+    fn bad_drop_probability_is_a_validation_error() {
+        let err = SimConfig::new(ProtocolKind::Samo, TopologyMode::Static)
+            .with_drop_probability(1.0)
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("drop probability must be in [0, 1)"));
+    }
+
+    #[test]
+    fn validate_reports_the_first_violation_of_each_field() {
+        let base = || SimConfig::new(ProtocolKind::Samo, TopologyMode::Static);
+        let cases: Vec<(SimConfig, &str)> = vec![
+            (base().with_ticks_per_round(0), "ticks_per_round"),
+            (base().with_wake_distribution(0.0, 1.0), "wake mean"),
+            (base().with_wake_distribution(100.0, -1.0), "wake std"),
+            (base().with_drop_probability(f64::NAN), "drop probability"),
+            (base().with_local_epochs(0), "local_epochs"),
+            (base().with_batch_size(0), "batch_size"),
+            (base().with_learning_rate(0.0), "learning rate"),
+            (base().with_momentum(1.0), "momentum"),
+            (base().with_weight_decay(-1.0), "weight decay"),
+            (
+                base().with_fault_plan(FaultPlan::none().with_link_drop(2.0)),
+                "link drop",
+            ),
+        ];
+        for (config, needle) in cases {
+            let err = config.validate().unwrap_err().to_string();
+            assert!(err.contains(needle), "{needle:?} missing from {err:?}");
+        }
+    }
+
+    #[test]
+    fn valid_configs_pass_validation() {
+        assert!(SimConfig::new(ProtocolKind::Samo, TopologyMode::Static)
+            .validate()
+            .is_ok());
+        assert!(SimConfig::new(ProtocolKind::BaseGossip, TopologyMode::Dynamic)
+            .with_fault_plan(
+                FaultPlan::none()
+                    .with_churn(ChurnConfig::new(0.1))
+                    .with_latency(LatencyDist::Uniform { min: 1, max: 8 })
+                    .with_link_drop(0.05)
+            )
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn fault_plan_round_trips_through_the_builder() {
+        let plan = FaultPlan::none().with_churn(ChurnConfig::new(0.2));
+        let c = SimConfig::new(ProtocolKind::Samo, TopologyMode::Static).with_fault_plan(plan);
+        assert_eq!(c.fault_plan(), Some(&plan));
+        assert!(SimConfig::new(ProtocolKind::Samo, TopologyMode::Static)
+            .fault_plan()
+            .is_none());
     }
 
     #[test]

@@ -10,8 +10,11 @@ use glmia_nn::{Mlp, MlpSpec, Sgd};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::fault::FaultState;
 use crate::node::Node;
-use crate::observer::{DeliverEvent, MergeEvent, SendEvent, SimObserver, UpdateEvent};
+use crate::observer::{
+    DeliverEvent, FaultEvent, FaultKind, MergeEvent, SendEvent, SimObserver, UpdateEvent,
+};
 use crate::{
     GossipError, NodeStats, ProtocolKind, RoundSnapshot, SimConfig, SimResult, TopologyMode,
 };
@@ -44,6 +47,10 @@ enum EventKind {
         to: usize,
         model: Vec<f32>,
     },
+    /// Fault injection: `node` goes down (churn schedule).
+    Crash { node: usize },
+    /// Fault injection: `node` silently rejoins with its pre-crash state.
+    Recover { node: usize },
 }
 
 impl Ord for Event {
@@ -77,6 +84,10 @@ pub struct Simulation {
     messages_dropped: u64,
     local_updates: u64,
     node_stats: Vec<NodeStats>,
+    /// Compiled fault schedule; `None` when the config carries no plan or
+    /// an inert one, in which case every fault code path is skipped and
+    /// the run is byte-identical to the pre-fault engine.
+    fault: Option<FaultState>,
 }
 
 impl Simulation {
@@ -88,7 +99,8 @@ impl Simulation {
     ///
     /// # Errors
     ///
-    /// Returns [`GossipError`] if the topology size differs from the
+    /// Returns [`GossipError`] if the config fails
+    /// [`SimConfig::validate`], the topology size differs from the
     /// federation size, the federation is empty, or a node's training shard
     /// does not match the model input width.
     pub fn new(
@@ -98,6 +110,7 @@ impl Simulation {
         topology: Topology,
         seed: u64,
     ) -> Result<Self, GossipError> {
+        config.validate()?;
         let n = federation.len();
         if n == 0 {
             return Err(GossipError::new("federation has no nodes"));
@@ -137,6 +150,17 @@ impl Simulation {
             });
         }
 
+        // Compile the fault plan (if any) from the same experiment seed,
+        // via an independent SplitMix64-derived stream: building it draws
+        // nothing from `master` or the node RNGs, and an absent or inert
+        // plan leaves the event queue and every RNG stream untouched.
+        let fault = config
+            .fault_plan()
+            .filter(|plan| !plan.is_inert())
+            .map(|plan| {
+                FaultState::build(plan, n, config.rounds(), config.ticks_per_round(), seed)
+            });
+
         let mut sim = Self {
             config,
             topology,
@@ -147,12 +171,29 @@ impl Simulation {
             messages_sent: 0,
             messages_dropped: 0,
             local_updates: 0,
+            fault,
         };
         // First wake of node i lands after one full period, staggering the
         // network naturally.
         for i in 0..n {
             let first = sim.nodes[i].wake_period;
             sim.schedule(first, EventKind::Wake { node: i });
+        }
+        // Churn transitions are ordinary queue events, totally ordered with
+        // wakes and deliveries by (tick, seq).
+        let churn: Vec<(u64, u64, usize)> = sim
+            .fault
+            .iter()
+            .flat_map(|f| {
+                f.schedules
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(i, iv)| iv.iter().map(move |&(c, r)| (c, r, i)))
+            })
+            .collect();
+        for (crash, recover, i) in churn {
+            sim.schedule(crash, EventKind::Crash { node: i });
+            sim.schedule(recover, EventKind::Recover { node: i });
         }
         Ok(sim)
     }
@@ -199,6 +240,18 @@ impl Simulation {
     #[must_use]
     pub fn local_updates(&self) -> u64 {
         self.local_updates
+    }
+
+    /// Models currently in transit (scheduled deliveries not yet
+    /// processed). After a run this counts messages sent in the final
+    /// ticks whose delivery falls past the horizon; together with the
+    /// delivered and dropped counts it conserves `messages_sent` exactly.
+    #[must_use]
+    pub fn messages_in_flight(&self) -> u64 {
+        self.queue
+            .iter()
+            .filter(|entry| matches!(entry.0.kind, EventKind::Deliver { .. }))
+            .count() as u64
     }
 
     /// Per-node activity counters so far.
@@ -331,6 +384,8 @@ impl Simulation {
                 EventKind::Deliver { from, to, model } => {
                     self.on_deliver(from, to, model, event.tick, observer)
                 }
+                EventKind::Crash { node } => self.on_crash(node, event.tick, observer),
+                EventKind::Recover { node } => self.on_recover(node, event.tick, observer),
             }
         }
     }
@@ -341,8 +396,55 @@ impl Simulation {
         self.queue.push(Reverse(Event { tick, seq, kind }));
     }
 
+    /// Fault injection: `i` crashes. It keeps its model, optimizer state
+    /// and buffer (silent-rejoin semantics) but stops waking, sending and
+    /// merging until its recover event fires.
+    fn on_crash<O: SimObserver>(&mut self, i: usize, tick: u64, observer: &mut O) {
+        if let Some(fault) = self.fault.as_mut() {
+            fault.down[i] = true;
+        }
+        observer.on_fault(FaultEvent {
+            tick,
+            node: i,
+            kind: FaultKind::Crash,
+            peer: None,
+        });
+    }
+
+    /// Fault injection: `i` rejoins with its pre-crash state. If its wake
+    /// chain was broken (a wake fired while it was down), restart it one
+    /// wake period after the recovery.
+    fn on_recover<O: SimObserver>(&mut self, i: usize, tick: u64, observer: &mut O) {
+        let mut rearm = false;
+        if let Some(fault) = self.fault.as_mut() {
+            fault.down[i] = false;
+            if !fault.wake_armed[i] {
+                fault.wake_armed[i] = true;
+                rearm = true;
+            }
+        }
+        observer.on_fault(FaultEvent {
+            tick,
+            node: i,
+            kind: FaultKind::Recover,
+            peer: None,
+        });
+        if rearm {
+            let next = tick + self.nodes[i].wake_period;
+            self.schedule(next, EventKind::Wake { node: i });
+        }
+    }
+
     /// Wake branch of Algorithms 1 and 2.
     fn on_wake<O: SimObserver>(&mut self, i: usize, tick: u64, observer: &mut O) {
+        // A downed node does not wake: swallow the event and disarm the
+        // wake chain so recovery knows to restart it.
+        if let Some(fault) = self.fault.as_mut() {
+            if fault.down[i] {
+                fault.wake_armed[i] = false;
+                return;
+            }
+        }
         // Dynamic topologies: swap with a random neighbor before anything
         // else (§2.4).
         self.node_stats[i].wakes += 1;
@@ -394,6 +496,18 @@ impl Simulation {
         tick: u64,
         observer: &mut O,
     ) {
+        // Models addressed to a downed node are discarded: the crashed
+        // process is not there to receive them.
+        if self.fault.as_ref().is_some_and(|f| f.down[i]) {
+            self.messages_dropped += 1;
+            observer.on_fault(FaultEvent {
+                tick,
+                node: i,
+                kind: FaultKind::DeliveryDropped,
+                peer: Some(from),
+            });
+            return;
+        }
         self.node_stats[i].received += 1;
         let buffered = self.config.protocol().merges_once();
         observer.on_deliver(DeliverEvent {
@@ -450,8 +564,11 @@ impl Simulation {
     fn send_model<O: SimObserver>(&mut self, i: usize, j: usize, tick: u64, observer: &mut O) {
         self.messages_sent += 1;
         self.node_stats[i].sent += 1;
-        let drop = self.config.drop_probability() > 0.0
-            && self.nodes[i].rng.gen_bool(self.config.drop_probability());
+        let drop_probability = match &self.fault {
+            Some(fault) => fault.link_drop_probability(i, j, self.config.drop_probability()),
+            None => self.config.drop_probability(),
+        };
+        let drop = drop_probability > 0.0 && self.nodes[i].rng.gen_bool(drop_probability);
         observer.on_send(SendEvent {
             tick,
             from: i,
@@ -467,8 +584,12 @@ impl Simulation {
             defense.apply(&mut params, &mut self.nodes[i].rng);
         }
         self.nodes[i].last_shared = Some(params.clone());
+        let latency = match &self.fault {
+            Some(fault) => fault.link_latency(i, j, self.config.message_latency()),
+            None => self.config.message_latency(),
+        };
         self.schedule(
-            tick + self.config.message_latency(),
+            tick + latency,
             EventKind::Deliver {
                 from: i,
                 to: j,
@@ -985,6 +1106,241 @@ mod tests {
         }
         mk().run_observed(Sink(&mut via_observed));
         assert_eq!(via_with, via_observed);
+    }
+
+    #[test]
+    fn inert_fault_plan_is_byte_identical_to_no_plan() {
+        use crate::FaultPlan;
+        let (spec, fed, topo) = small_setup(6, 2, 30);
+        let plain = Simulation::new(
+            config(ProtocolKind::Samo, TopologyMode::Dynamic),
+            &spec,
+            &fed,
+            topo.clone(),
+            73,
+        )
+        .unwrap()
+        .run();
+        let with_inert_plan = Simulation::new(
+            config(ProtocolKind::Samo, TopologyMode::Dynamic).with_fault_plan(FaultPlan::none()),
+            &spec,
+            &fed,
+            topo,
+            73,
+        )
+        .unwrap()
+        .run();
+        assert_eq!(plain, with_inert_plan);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_construction() {
+        let (spec, fed, topo) = small_setup(6, 2, 31);
+        let bad = config(ProtocolKind::Samo, TopologyMode::Static).with_drop_probability(1.5);
+        let err = Simulation::new(bad, &spec, &fed, topo, 0).unwrap_err();
+        assert!(err.to_string().contains("drop probability"));
+    }
+
+    #[test]
+    fn churn_suppresses_crashed_node_activity() {
+        use crate::{ChurnConfig, FaultPlan};
+        use std::collections::BTreeSet;
+
+        /// Tracks down intervals from fault events and records any
+        /// send/merge/update attributed to a currently-down node.
+        #[derive(Default)]
+        struct ChurnWatch {
+            down: BTreeSet<usize>,
+            crashes: u64,
+            recovers: u64,
+            offline_drops: u64,
+            violations: Vec<String>,
+        }
+        impl SimObserver for ChurnWatch {
+            fn on_send(&mut self, event: SendEvent) {
+                if self.down.contains(&event.from) {
+                    self.violations.push(format!("send from down {}", event.from));
+                }
+            }
+            fn on_merge(&mut self, event: MergeEvent) {
+                if self.down.contains(&event.node) {
+                    self.violations.push(format!("merge at down {}", event.node));
+                }
+            }
+            fn on_local_update(&mut self, event: UpdateEvent) {
+                if self.down.contains(&event.node) {
+                    self.violations.push(format!("update at down {}", event.node));
+                }
+            }
+            fn on_fault(&mut self, event: FaultEvent) {
+                match event.kind {
+                    FaultKind::Crash => {
+                        self.crashes += 1;
+                        self.down.insert(event.node);
+                    }
+                    FaultKind::Recover => {
+                        self.recovers += 1;
+                        self.down.remove(&event.node);
+                    }
+                    FaultKind::DeliveryDropped => {
+                        self.offline_drops += 1;
+                        assert!(
+                            self.down.contains(&event.node),
+                            "delivery dropped at an up node"
+                        );
+                        assert!(event.peer.is_some(), "offline drop must name the sender");
+                    }
+                }
+            }
+        }
+
+        let (spec, fed, topo) = small_setup(8, 4, 32);
+        let cfg = SimConfig::new(ProtocolKind::Samo, TopologyMode::Static)
+            .with_rounds(8)
+            .with_local_epochs(1)
+            .with_batch_size(4)
+            .with_fault_plan(
+                FaultPlan::none().with_churn(ChurnConfig::new(0.5).with_downtime(60, 180)),
+            );
+        let mut sim = Simulation::new(cfg, &spec, &fed, topo, 79).unwrap();
+        let watch = sim.run_observed(ChurnWatch::default());
+        assert!(watch.crashes > 0, "rate 0.5 over 8 rounds must crash");
+        assert!(watch.recovers <= watch.crashes);
+        assert_eq!(watch.violations, Vec::<String>::new());
+        assert!(
+            watch.offline_drops > 0,
+            "SAMO at this churn level should lose deliveries to downed nodes"
+        );
+        assert!(sim.messages_dropped() >= watch.offline_drops);
+    }
+
+    #[test]
+    fn churn_runs_conserve_messages_exactly() {
+        use crate::{ChurnConfig, FaultPlan};
+        let (spec, fed, topo) = small_setup(8, 4, 33);
+        let cfg = config(ProtocolKind::Samo, TopologyMode::Static).with_fault_plan(
+            FaultPlan::none()
+                .with_churn(ChurnConfig::new(0.4))
+                .with_link_drop(0.1),
+        );
+        let mut sim = Simulation::new(cfg, &spec, &fed, topo, 83).unwrap();
+        let result = sim.run();
+        let received: u64 = result.node_stats.iter().map(|s| s.received).sum();
+        assert_eq!(
+            result.messages_sent,
+            received + result.messages_dropped + sim.messages_in_flight(),
+            "sent must equal delivered + dropped + in flight"
+        );
+    }
+
+    #[test]
+    fn crashed_nodes_freeze_and_rejoin_with_their_pre_crash_model() {
+        use crate::{ChurnConfig, FaultPlan};
+
+        /// Records every fault transition plus the full model snapshots, so
+        /// the silent-rejoin freeze can be checked after the run.
+        #[derive(Default)]
+        struct FreezeWatch {
+            faults: Vec<FaultEvent>,
+            snaps: Vec<RoundSnapshot>,
+        }
+        impl SimObserver for FreezeWatch {
+            fn on_fault(&mut self, event: FaultEvent) {
+                self.faults.push(event);
+            }
+            fn on_snapshot(&mut self, snapshot: &RoundSnapshot) {
+                self.snaps.push(snapshot.clone());
+            }
+        }
+
+        let (spec, fed, topo) = small_setup(6, 2, 34);
+        let rounds = 6u64;
+        let cfg = SimConfig::new(ProtocolKind::Samo, TopologyMode::Static)
+            .with_rounds(rounds as usize)
+            .with_local_epochs(1)
+            .with_batch_size(4)
+            .with_fault_plan(FaultPlan::none().with_churn(
+                // High crash rate with multi-round downtime, so down windows
+                // span several round boundaries.
+                ChurnConfig::new(0.9).with_downtime(350, 400),
+            ));
+        let mut sim = Simulation::new(cfg, &spec, &fed, topo, 89).unwrap();
+        let watch = sim.run_observed(FreezeWatch::default());
+        assert_eq!(watch.snaps.len(), rounds as usize);
+
+        // Rebuild each node's down windows from the event stream; a missing
+        // recover means the node stayed down to the horizon.
+        let horizon = rounds * 100;
+        let mut down_windows: Vec<(usize, u64, u64)> = Vec::new();
+        let mut open: std::collections::BTreeMap<usize, u64> = std::collections::BTreeMap::new();
+        for event in &watch.faults {
+            match event.kind {
+                FaultKind::Crash => {
+                    open.insert(event.node, event.tick);
+                }
+                FaultKind::Recover => {
+                    let crash = open.remove(&event.node).expect("recover without crash");
+                    down_windows.push((event.node, crash, event.tick));
+                }
+                FaultKind::DeliveryDropped => {}
+            }
+        }
+        for (node, crash) in open {
+            down_windows.push((node, crash, horizon + 1));
+        }
+        assert!(!down_windows.is_empty(), "rate 0.9 must crash someone");
+
+        // A downed node neither trains nor merges, so its model must be
+        // bit-identical across any two snapshots falling inside one window.
+        let mut frozen_pairs = 0;
+        for &(node, crash, recover) in &down_windows {
+            let inside: Vec<&RoundSnapshot> = watch
+                .snaps
+                .iter()
+                .filter(|s| s.tick > crash && s.tick < recover)
+                .collect();
+            for pair in inside.windows(2) {
+                frozen_pairs += 1;
+                assert_eq!(
+                    pair[0].models[node], pair[1].models[node],
+                    "node {node} changed while down in ({crash}, {recover})"
+                );
+            }
+        }
+        assert!(
+            frozen_pairs > 0,
+            "downtime of 350+ ticks must span at least two snapshots"
+        );
+    }
+
+    #[test]
+    fn fixed_link_latency_overrides_the_global_value_in_runs() {
+        use crate::{FaultPlan, LatencyDist};
+        let (spec, fed, topo) = small_setup(6, 2, 35);
+        let fast = Simulation::new(
+            config(ProtocolKind::Samo, TopologyMode::Static),
+            &spec,
+            &fed,
+            topo.clone(),
+            97,
+        )
+        .unwrap()
+        .run();
+        // Every link beyond the horizon: nothing is ever delivered.
+        let stalled = Simulation::new(
+            config(ProtocolKind::Samo, TopologyMode::Static).with_fault_plan(
+                FaultPlan::none().with_latency(LatencyDist::Fixed { ticks: 10_000 }),
+            ),
+            &spec,
+            &fed,
+            topo,
+            97,
+        )
+        .unwrap()
+        .run();
+        assert!(fast.local_updates > 0);
+        assert_eq!(stalled.local_updates, 0, "nothing delivered, nothing merged");
+        assert_eq!(stalled.messages_dropped, 0);
     }
 
     #[test]

@@ -1,0 +1,597 @@
+//! Deterministic fault injection: node churn, heterogeneous link latency,
+//! and per-link drop probabilities.
+//!
+//! A [`FaultPlan`] describes the *adverse network* a run should face. It is
+//! attached to a [`SimConfig`](crate::SimConfig) via
+//! [`with_fault_plan`](crate::SimConfig::with_fault_plan) and compiled at
+//! simulation start into a fixed, seed-derived schedule:
+//!
+//! * **Churn** — each node carries its own crash/recover timeline, drawn
+//!   from a per-node RNG derived from the experiment seed with the same
+//!   SplitMix64 chain the evaluation layer uses. A downed node neither
+//!   wakes, sends, nor merges; models addressed to it are dropped; it
+//!   rejoins silently with its pre-crash model and buffer.
+//! * **Link latency** — every directed link gets its *own* delivery
+//!   latency drawn once from a [`LatencyDist`] (fixed, uniform jitter, or
+//!   a straggler tail), replacing the single global `message_latency`.
+//! * **Link drops** — every directed link gets its own drop probability,
+//!   drawn uniformly from `[0, 2·mean)` so the configured mean is the
+//!   network-wide average loss rate.
+//!
+//! Everything is a pure function of `(plan, seed)`: link parameters come
+//! from a keyed SplitMix64 hash of the endpoints and consume no runtime
+//! randomness, and churn timelines are precomputed before the first event
+//! fires. A plan where every knob is off ([`FaultPlan::is_inert`]) draws
+//! no random numbers and schedules no events, so runs with an inert plan
+//! are byte-identical to runs with no plan at all.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::GossipError;
+
+/// Domain-separation salt for the churn schedule RNG stream.
+const CHURN_SALT: u64 = 0xC4A5_4E00_F417_0001;
+/// Domain-separation salt for per-link latency hashing.
+const LINK_LATENCY_SALT: u64 = 0xC4A5_4E00_F417_0002;
+/// Domain-separation salt for per-link drop-probability hashing.
+const LINK_DROP_SALT: u64 = 0xC4A5_4E00_F417_0003;
+
+/// The SplitMix64 finalizer (same constants as the evaluation-RNG
+/// derivation in `glmia-core`), used to key fault randomness off the
+/// experiment seed without touching any simulation RNG stream.
+pub(crate) fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform value in `[0, 1)` keyed by `(salt, from, to)`.
+fn link_unit(salt: u64, from: usize, to: usize) -> f64 {
+    let key = ((from as u64) << 32) ^ (to as u64) ^ salt;
+    (splitmix64(key) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Node churn: how often nodes crash and how long they stay down.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Probability that an up node crashes during any given round.
+    rate: f64,
+    /// Shortest downtime in ticks (inclusive).
+    min_down_ticks: u64,
+    /// Longest downtime in ticks (inclusive).
+    max_down_ticks: u64,
+}
+
+impl ChurnConfig {
+    /// Churn at `rate` crashes per node per round, with downtime drawn
+    /// uniformly from half a round to two rounds (50–200 ticks at the
+    /// paper's 100-tick rounds).
+    #[must_use]
+    pub fn new(rate: f64) -> Self {
+        Self {
+            rate,
+            min_down_ticks: 50,
+            max_down_ticks: 200,
+        }
+    }
+
+    /// Sets the downtime range in ticks (inclusive on both ends).
+    #[must_use]
+    pub fn with_downtime(mut self, min_ticks: u64, max_ticks: u64) -> Self {
+        self.min_down_ticks = min_ticks;
+        self.max_down_ticks = max_ticks;
+        self
+    }
+
+    /// Per-round crash probability.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Shortest downtime in ticks.
+    #[must_use]
+    pub fn min_down_ticks(&self) -> u64 {
+        self.min_down_ticks
+    }
+
+    /// Longest downtime in ticks.
+    #[must_use]
+    pub fn max_down_ticks(&self) -> u64 {
+        self.max_down_ticks
+    }
+}
+
+/// Per-link delivery-latency model. Each directed link draws its latency
+/// *once* from the distribution (keyed off the experiment seed), so a slow
+/// link is consistently slow — the heterogeneity real gossip deployments
+/// see, rather than per-message noise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LatencyDist {
+    /// Every link delivers in exactly `ticks` ticks.
+    Fixed {
+        /// Delivery latency in ticks.
+        ticks: u64,
+    },
+    /// Link latency uniform in `[min, max]` ticks.
+    Uniform {
+        /// Fastest link latency (inclusive).
+        min: u64,
+        /// Slowest link latency (inclusive).
+        max: u64,
+    },
+    /// Most links deliver in `base` ticks; a `tail_prob` fraction are
+    /// stragglers delivering in `tail` ticks.
+    Straggler {
+        /// Latency of a normal link.
+        base: u64,
+        /// Latency of a straggler link.
+        tail: u64,
+        /// Fraction of links that are stragglers, in `[0, 1]`.
+        tail_prob: f64,
+    },
+}
+
+impl LatencyDist {
+    /// The latency of the directed link `from → to` under this
+    /// distribution, keyed by `salt` (a seed-derived value).
+    fn link_latency(&self, salt: u64, from: usize, to: usize) -> u64 {
+        match *self {
+            LatencyDist::Fixed { ticks } => ticks,
+            LatencyDist::Uniform { min, max } => {
+                let span = max.saturating_sub(min).saturating_add(1);
+                min + (link_unit(salt, from, to) * span as f64) as u64
+            }
+            LatencyDist::Straggler {
+                base,
+                tail,
+                tail_prob,
+            } => {
+                if link_unit(salt, from, to) < tail_prob {
+                    tail
+                } else {
+                    base
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for LatencyDist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LatencyDist::Fixed { ticks } => write!(f, "fixed:{ticks}"),
+            LatencyDist::Uniform { min, max } => write!(f, "uniform:{min}:{max}"),
+            LatencyDist::Straggler {
+                base,
+                tail,
+                tail_prob,
+            } => write!(f, "straggler:{base}:{tail}:{tail_prob}"),
+        }
+    }
+}
+
+/// Parses the compact colon-separated spec the CLI uses, the inverse of
+/// [`Display`](std::fmt::Display): `fixed:TICKS`, `uniform:MIN:MAX`, or
+/// `straggler:BASE:TAIL:PROB`.
+impl std::str::FromStr for LatencyDist {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        fn num<T: std::str::FromStr>(part: &str, what: &str) -> Result<T, String> {
+            part.parse()
+                .map_err(|_| format!("invalid {what} '{part}' in latency spec"))
+        }
+        let parts: Vec<&str> = s.split(':').collect();
+        match parts.as_slice() {
+            ["fixed", ticks] => Ok(LatencyDist::Fixed {
+                ticks: num(ticks, "tick count")?,
+            }),
+            ["uniform", min, max] => Ok(LatencyDist::Uniform {
+                min: num(min, "minimum")?,
+                max: num(max, "maximum")?,
+            }),
+            ["straggler", base, tail, prob] => Ok(LatencyDist::Straggler {
+                base: num(base, "base latency")?,
+                tail: num(tail, "tail latency")?,
+                tail_prob: num(prob, "tail probability")?,
+            }),
+            _ => Err(format!(
+                "invalid latency spec '{s}' (expected fixed:TICKS, uniform:MIN:MAX \
+                 or straggler:BASE:TAIL:PROB)"
+            )),
+        }
+    }
+}
+
+/// A declarative fault model for one run: churn, link latency, link drops.
+///
+/// The default plan ([`FaultPlan::none`]) is *inert*: attaching it changes
+/// nothing about a run, byte for byte.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    churn: Option<ChurnConfig>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    latency: Option<LatencyDist>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    link_drop: Option<f64>,
+}
+
+impl FaultPlan {
+    /// A plan with every fault knob off (inert).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Enables node churn.
+    #[must_use]
+    pub fn with_churn(mut self, churn: ChurnConfig) -> Self {
+        self.churn = Some(churn);
+        self
+    }
+
+    /// Replaces the global message latency with a per-link distribution.
+    #[must_use]
+    pub fn with_latency(mut self, latency: LatencyDist) -> Self {
+        self.latency = Some(latency);
+        self
+    }
+
+    /// Enables per-link drops with the given mean probability: each
+    /// directed link's own probability is drawn uniformly from
+    /// `[0, 2·mean)` (capped below 1).
+    #[must_use]
+    pub fn with_link_drop(mut self, mean_probability: f64) -> Self {
+        self.link_drop = Some(mean_probability);
+        self
+    }
+
+    /// The churn configuration, if any.
+    #[must_use]
+    pub fn churn(&self) -> Option<&ChurnConfig> {
+        self.churn.as_ref()
+    }
+
+    /// The link-latency distribution, if any.
+    #[must_use]
+    pub fn latency(&self) -> Option<&LatencyDist> {
+        self.latency.as_ref()
+    }
+
+    /// The mean per-link drop probability, if any.
+    #[must_use]
+    pub fn link_drop(&self) -> Option<f64> {
+        self.link_drop
+    }
+
+    /// Whether every fault knob is off. An inert plan is a true no-op:
+    /// the engine treats it exactly like no plan at all.
+    #[must_use]
+    pub fn is_inert(&self) -> bool {
+        self.churn.is_none() && self.latency.is_none() && self.link_drop.is_none()
+    }
+
+    /// Checks every knob against its documented constraint, returning the
+    /// first violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GossipError`] naming the offending knob.
+    pub fn validate(&self) -> Result<(), GossipError> {
+        if let Some(churn) = &self.churn {
+            if !churn.rate.is_finite() || !(0.0..1.0).contains(&churn.rate) {
+                return Err(GossipError::new("churn rate must be in [0, 1)"));
+            }
+            if churn.min_down_ticks == 0 {
+                return Err(GossipError::new("churn downtime must be at least one tick"));
+            }
+            if churn.min_down_ticks > churn.max_down_ticks {
+                return Err(GossipError::new(
+                    "churn downtime range must satisfy min <= max",
+                ));
+            }
+        }
+        if let Some(LatencyDist::Uniform { min, max }) = &self.latency {
+            if min > max {
+                return Err(GossipError::new(
+                    "uniform latency range must satisfy min <= max",
+                ));
+            }
+        }
+        if let Some(LatencyDist::Straggler { tail_prob, .. }) = &self.latency {
+            if !tail_prob.is_finite() || !(0.0..=1.0).contains(tail_prob) {
+                return Err(GossipError::new(
+                    "straggler tail probability must be in [0, 1]",
+                ));
+            }
+        }
+        if let Some(p) = self.link_drop {
+            if !p.is_finite() || !(0.0..1.0).contains(&p) {
+                return Err(GossipError::new(
+                    "mean link drop probability must be in [0, 1)",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The compiled, per-run form of a [`FaultPlan`]: fixed churn timelines
+/// plus seed-derived link parameters. Built once at simulation start.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultState {
+    /// Whether each node is currently crashed.
+    pub down: Vec<bool>,
+    /// Whether each node has a pending wake event in the queue. A wake
+    /// that fires while its node is down is swallowed (disarming the
+    /// chain); recovery re-arms it.
+    pub wake_armed: Vec<bool>,
+    /// Per-node `(crash_tick, recover_tick)` intervals, ascending and
+    /// disjoint.
+    pub schedules: Vec<Vec<(u64, u64)>>,
+    latency: Option<LatencyDist>,
+    link_drop: Option<f64>,
+    latency_salt: u64,
+    drop_salt: u64,
+}
+
+impl FaultState {
+    /// Compiles `plan` for an `n`-node run of `rounds × ticks_per_round`
+    /// ticks. Churn timelines come from per-node RNGs seeded by a
+    /// SplitMix64 chain over `seed`, so they are independent of every
+    /// other random stream in the simulation.
+    pub fn build(plan: &FaultPlan, n: usize, rounds: usize, ticks_per_round: u64, seed: u64) -> Self {
+        let horizon = rounds as u64 * ticks_per_round;
+        let schedules = match plan.churn() {
+            Some(churn) => (0..n)
+                .map(|i| churn_schedule(churn, i, rounds, ticks_per_round, horizon, seed))
+                .collect(),
+            None => vec![Vec::new(); n],
+        };
+        Self {
+            down: vec![false; n],
+            wake_armed: vec![true; n],
+            schedules,
+            latency: plan.latency().copied(),
+            link_drop: plan.link_drop(),
+            latency_salt: splitmix64(seed ^ LINK_LATENCY_SALT),
+            drop_salt: splitmix64(seed ^ LINK_DROP_SALT),
+        }
+    }
+
+    /// Delivery latency of the directed link `from → to`; falls back to
+    /// the global latency when no distribution is configured.
+    pub fn link_latency(&self, from: usize, to: usize, global: u64) -> u64 {
+        match &self.latency {
+            Some(dist) => dist.link_latency(self.latency_salt, from, to),
+            None => global,
+        }
+    }
+
+    /// Drop probability of the directed link `from → to`; falls back to
+    /// the global probability when per-link drops are not configured.
+    pub fn link_drop_probability(&self, from: usize, to: usize, global: f64) -> f64 {
+        match self.link_drop {
+            Some(mean) => (2.0 * mean * link_unit(self.drop_salt, from, to)).min(0.999),
+            None => global,
+        }
+    }
+}
+
+/// One node's crash/recover timeline: walk the rounds, crashing an up
+/// node with probability `rate` at a uniform tick inside the round, for a
+/// uniform downtime in `[min_down, max_down]` ticks.
+fn churn_schedule(
+    churn: &ChurnConfig,
+    node: usize,
+    rounds: usize,
+    ticks_per_round: u64,
+    horizon: u64,
+    seed: u64,
+) -> Vec<(u64, u64)> {
+    let mut rng = StdRng::seed_from_u64(splitmix64(
+        splitmix64(seed ^ CHURN_SALT).wrapping_add(node as u64),
+    ));
+    let mut intervals = Vec::new();
+    let mut up_from = 0u64;
+    for round in 0..rounds as u64 {
+        let start = round * ticks_per_round;
+        if start < up_from {
+            // Still down when this round begins; no fresh crash roll.
+            continue;
+        }
+        if rng.gen_bool(churn.rate) {
+            let crash = start + rng.gen_range(0..ticks_per_round);
+            let down = rng.gen_range(churn.min_down_ticks..=churn.max_down_ticks);
+            let recover = crash.saturating_add(down);
+            if crash >= horizon {
+                break;
+            }
+            intervals.push((crash, recover));
+            up_from = recover;
+        }
+    }
+    intervals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert_and_valid() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_inert());
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn any_knob_makes_the_plan_active() {
+        assert!(!FaultPlan::none().with_churn(ChurnConfig::new(0.1)).is_inert());
+        assert!(!FaultPlan::none()
+            .with_latency(LatencyDist::Fixed { ticks: 5 })
+            .is_inert());
+        assert!(!FaultPlan::none().with_link_drop(0.1).is_inert());
+    }
+
+    #[test]
+    fn validate_names_each_violation() {
+        let bad_rate = FaultPlan::none().with_churn(ChurnConfig::new(1.5));
+        assert!(bad_rate.validate().unwrap_err().to_string().contains("churn rate"));
+        let bad_downtime =
+            FaultPlan::none().with_churn(ChurnConfig::new(0.1).with_downtime(10, 5));
+        assert!(bad_downtime
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("min <= max"));
+        let zero_downtime =
+            FaultPlan::none().with_churn(ChurnConfig::new(0.1).with_downtime(0, 5));
+        assert!(zero_downtime
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("at least one tick"));
+        let bad_uniform = FaultPlan::none().with_latency(LatencyDist::Uniform { min: 9, max: 2 });
+        assert!(bad_uniform
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("uniform latency"));
+        let bad_tail = FaultPlan::none().with_latency(LatencyDist::Straggler {
+            base: 1,
+            tail: 50,
+            tail_prob: 1.5,
+        });
+        assert!(bad_tail
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("tail probability"));
+        let bad_drop = FaultPlan::none().with_link_drop(1.0);
+        assert!(bad_drop
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("link drop"));
+    }
+
+    #[test]
+    fn churn_schedules_are_seed_deterministic_and_disjoint() {
+        let churn = ChurnConfig::new(0.5).with_downtime(20, 120);
+        let a = churn_schedule(&churn, 3, 20, 100, 2000, 77);
+        let b = churn_schedule(&churn, 3, 20, 100, 2000, 77);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "rate 0.5 over 20 rounds should crash");
+        for w in a.windows(2) {
+            assert!(w[0].1 <= w[1].0, "intervals must be disjoint: {a:?}");
+        }
+        for &(crash, recover) in &a {
+            assert!(crash < recover);
+            assert!(recover - crash >= 20 && recover - crash <= 120);
+        }
+        let other_node = churn_schedule(&churn, 4, 20, 100, 2000, 77);
+        let other_seed = churn_schedule(&churn, 3, 20, 100, 2000, 78);
+        assert_ne!(a, other_node, "per-node streams must differ");
+        assert_ne!(a, other_seed, "seeds must move the schedule");
+    }
+
+    #[test]
+    fn link_latency_is_per_link_and_in_range() {
+        let plan = FaultPlan::none().with_latency(LatencyDist::Uniform { min: 2, max: 9 });
+        let state = FaultState::build(&plan, 16, 10, 100, 42);
+        let mut seen = std::collections::BTreeSet::new();
+        for from in 0..16 {
+            for to in 0..16 {
+                let l = state.link_latency(from, to, 1);
+                assert!((2..=9).contains(&l), "latency {l} out of range");
+                seen.insert(l);
+                assert_eq!(l, state.link_latency(from, to, 1), "must be stable");
+            }
+        }
+        assert!(seen.len() > 1, "links must be heterogeneous");
+    }
+
+    #[test]
+    fn straggler_links_are_a_minority() {
+        let plan = FaultPlan::none().with_latency(LatencyDist::Straggler {
+            base: 1,
+            tail: 80,
+            tail_prob: 0.1,
+        });
+        let state = FaultState::build(&plan, 24, 10, 100, 7);
+        let slow = (0..24)
+            .flat_map(|i| (0..24).map(move |j| (i, j)))
+            .filter(|&(i, j)| state.link_latency(i, j, 1) == 80)
+            .count();
+        assert!(slow > 0, "some links must straggle");
+        assert!(slow < 24 * 24 / 3, "stragglers must be a minority: {slow}");
+    }
+
+    #[test]
+    fn link_drop_probabilities_average_near_the_mean() {
+        let plan = FaultPlan::none().with_link_drop(0.2);
+        let state = FaultState::build(&plan, 24, 10, 100, 9);
+        let probs: Vec<f64> = (0..24)
+            .flat_map(|i| (0..24).map(move |j| (i, j)))
+            .map(|(i, j)| state.link_drop_probability(i, j, 0.0))
+            .collect();
+        for &p in &probs {
+            assert!((0.0..1.0).contains(&p));
+        }
+        let mean = probs.iter().sum::<f64>() / probs.len() as f64;
+        assert!((mean - 0.2).abs() < 0.05, "mean link drop was {mean}");
+    }
+
+    #[test]
+    fn fixed_latency_overrides_the_global_value() {
+        let plan = FaultPlan::none().with_latency(LatencyDist::Fixed { ticks: 7 });
+        let state = FaultState::build(&plan, 4, 10, 100, 3);
+        assert_eq!(state.link_latency(0, 1, 1), 7);
+        let no_latency = FaultPlan::none().with_link_drop(0.1);
+        let state = FaultState::build(&no_latency, 4, 10, 100, 3);
+        assert_eq!(state.link_latency(0, 1, 5), 5, "falls back to global");
+    }
+
+    #[test]
+    fn latency_dist_display_round_trips_the_cli_syntax() {
+        assert_eq!(LatencyDist::Fixed { ticks: 3 }.to_string(), "fixed:3");
+        assert_eq!(
+            LatencyDist::Uniform { min: 1, max: 9 }.to_string(),
+            "uniform:1:9"
+        );
+        assert_eq!(
+            LatencyDist::Straggler {
+                base: 1,
+                tail: 50,
+                tail_prob: 0.05
+            }
+            .to_string(),
+            "straggler:1:50:0.05"
+        );
+    }
+
+    #[test]
+    fn latency_dist_parses_its_own_display_form() {
+        for dist in [
+            LatencyDist::Fixed { ticks: 3 },
+            LatencyDist::Uniform { min: 1, max: 9 },
+            LatencyDist::Straggler {
+                base: 1,
+                tail: 50,
+                tail_prob: 0.05,
+            },
+        ] {
+            let parsed: LatencyDist = dist.to_string().parse().expect("display form parses");
+            assert_eq!(parsed, dist);
+        }
+        for bad in ["fixed", "fixed:x", "uniform:3", "straggler:1:2", "poisson:4", ""] {
+            assert!(bad.parse::<LatencyDist>().is_err(), "'{bad}' must not parse");
+        }
+    }
+}

@@ -20,9 +20,11 @@
 //!
 //! The simulator records a [`RoundSnapshot`] of every node's model at each
 //! round boundary — the observation stream of the paper's omniscient
-//! attacker (§2.6) — and supports message-drop failure injection and a
+//! attacker (§2.6) — and supports message-drop failure injection, a
 //! Gaussian model-perturbation [`Defense`] (an extension toward the DP-style
-//! mitigations discussed in §6.2).
+//! mitigations discussed in §6.2), and a deterministic [`FaultPlan`] for
+//! adverse networks: node churn with silent rejoin, heterogeneous per-link
+//! latency, and per-link drop probabilities (see [`fault`](crate::FaultPlan)).
 //!
 //! # Examples
 //!
@@ -57,6 +59,7 @@ mod config;
 mod defense;
 mod engine;
 mod error;
+mod fault;
 mod mixing;
 mod node;
 mod observer;
@@ -67,9 +70,11 @@ pub use config::{ProtocolKind, SimConfig, TopologyMode};
 pub use defense::Defense;
 pub use engine::Simulation;
 pub use error::GossipError;
+pub use fault::{ChurnConfig, FaultPlan, LatencyDist};
 pub use mixing::MixingMatrixObserver;
 pub use observer::{
-    DeliverEvent, MergeEvent, NoopObserver, Observers, SendEvent, SimObserver, UpdateEvent,
+    DeliverEvent, FaultEvent, FaultKind, MergeEvent, NoopObserver, Observers, SendEvent,
+    SimObserver, UpdateEvent,
 };
 pub use schedule::LrSchedule;
 pub use snapshot::{NodeStats, RoundSnapshot, SimResult};

@@ -96,6 +96,34 @@ pub struct MergeEvent {
     pub models_merged: usize,
 }
 
+/// A fault-injection transition at `node` (see
+/// [`FaultPlan`](crate::FaultPlan)): a crash, a recovery, or a model
+/// dropped because its destination was down when it arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Simulation tick of the transition.
+    pub tick: u64,
+    /// The node that crashed, recovered, or lost an incoming model.
+    pub node: usize,
+    /// What happened.
+    pub kind: FaultKind,
+    /// The sender of the lost model for
+    /// [`FaultKind::DeliveryDropped`]; `None` otherwise.
+    pub peer: Option<usize>,
+}
+
+/// The kind of a [`FaultEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The node went down: it stops waking, sending, and merging.
+    Crash,
+    /// The node came back up with its pre-crash model (silent rejoin).
+    Recover,
+    /// A model arrived at a downed node and was discarded. Counts toward
+    /// the run's dropped-message total alongside in-transit drops.
+    DeliveryDropped,
+}
+
 /// A local SGD update at `node` (post-merge training).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UpdateEvent {
@@ -137,6 +165,13 @@ pub trait SimObserver {
 
     /// A node ran local SGD epochs.
     fn on_local_update(&mut self, event: UpdateEvent) {
+        let _ = event;
+    }
+
+    /// A fault-injection transition fired (crash, recovery, or a delivery
+    /// discarded at a downed node). Never called when the run has no
+    /// active [`FaultPlan`](crate::FaultPlan).
+    fn on_fault(&mut self, event: FaultEvent) {
         let _ = event;
     }
 
@@ -225,6 +260,11 @@ impl<A: SimObserver, B: SimObserver> SimObserver for Observers<A, B> {
         self.second.on_local_update(event);
     }
 
+    fn on_fault(&mut self, event: FaultEvent) {
+        self.first.on_fault(event);
+        self.second.on_fault(event);
+    }
+
     fn on_snapshot(&mut self, snapshot: &RoundSnapshot) {
         self.first.on_snapshot(snapshot);
         self.second.on_snapshot(snapshot);
@@ -247,6 +287,7 @@ mod tests {
         delivers: u64,
         merges: u64,
         epochs: u64,
+        faults: u64,
         snapshots_seen: usize,
     }
 
@@ -266,6 +307,9 @@ mod tests {
         }
         fn on_local_update(&mut self, event: UpdateEvent) {
             self.epochs += event.epochs;
+        }
+        fn on_fault(&mut self, _event: FaultEvent) {
+            self.faults += 1;
         }
         fn on_snapshot(&mut self, _snapshot: &RoundSnapshot) {
             self.snapshots_seen += 1;
@@ -322,12 +366,19 @@ mod tests {
                 to: 1,
                 dropped: true,
             });
+            pair.on_fault(FaultEvent {
+                tick: 4,
+                node: 0,
+                kind: FaultKind::Crash,
+                peer: None,
+            });
             pair.on_snapshot(&snapshot(1));
             pair.on_round_end(snapshot(1));
             let (recorder, _) = pair.into_inner();
             assert_eq!(recorder.starts, vec![1]);
             assert_eq!(recorder.sends, 1);
             assert_eq!(recorder.drops, 1);
+            assert_eq!(recorder.faults, 1);
             assert_eq!(recorder.snapshots_seen, 1);
         }
         assert_eq!(rounds, vec![1]);

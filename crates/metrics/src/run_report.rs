@@ -64,6 +64,47 @@ pub fn render_markdown_report(summary: &RunSummary) -> String {
         ]],
     ));
 
+    if let Some(faults) = &summary.faults {
+        out.push_str("\n## Fault injection\n\n");
+        out.push_str(
+            "Node churn and link faults observed during the run. Availability \
+             is the fraction of node-ticks spent up in each round's window; \
+             offline drops are deliveries lost to a crashed receiver.\n\n",
+        );
+        out.push_str(&markdown_table(
+            &["crashes", "recoveries", "offline drops", "mean availability"],
+            &[vec![
+                faults.crashes.to_string(),
+                faults.recoveries.to_string(),
+                faults.offline_drops.to_string(),
+                faults
+                    .mean_availability
+                    .map_or_else(|| "-".to_string(), |a| format!("{a:.4}")),
+            ]],
+        ));
+        let fault_rows: Vec<Vec<String>> = summary
+            .rounds
+            .iter()
+            .filter(|r| r.availability.is_some() || r.fault_drops.is_some())
+            .map(|r| {
+                vec![
+                    r.round.to_string(),
+                    r.availability
+                        .map_or_else(|| "-".to_string(), |a| format!("{a:.4}")),
+                    r.fault_drops
+                        .map_or_else(|| "-".to_string(), |d| d.to_string()),
+                ]
+            })
+            .collect();
+        if !fault_rows.is_empty() {
+            out.push('\n');
+            out.push_str(&markdown_table(
+                &["round", "availability", "fault drops"],
+                &fault_rows,
+            ));
+        }
+    }
+
     out.push_str("\n## Merge fan-in (protocol mixing behavior, Figures 2-3)\n\n");
     out.push_str(
         "Models folded per merge: 1 for Base Gossip's pairwise merges, the \
@@ -324,6 +365,38 @@ pub fn render_prometheus(summary: &RunSummary) -> String {
             }
         }
     }
+    if let Some(faults) = &summary.faults {
+        counter(
+            &mut out,
+            "glmia_fault_crashes_total",
+            "Node crashes injected by the fault plan.",
+            faults.crashes,
+        );
+        counter(
+            &mut out,
+            "glmia_fault_recoveries_total",
+            "Node recoveries (silent rejoins).",
+            faults.recoveries,
+        );
+        counter(
+            &mut out,
+            "glmia_fault_offline_drops_total",
+            "Deliveries lost to a crashed receiver.",
+            faults.offline_drops,
+        );
+        if summary.rounds.iter().any(|r| r.availability.is_some()) {
+            gauge_header(
+                &mut out,
+                "glmia_node_availability",
+                "Fraction of node-ticks spent up in each round's window.",
+            );
+            for r in &summary.rounds {
+                if let Some(a) = r.availability {
+                    out.push_str(&format!("glmia_node_availability{{round=\"{}\"}} {a}\n", r.round));
+                }
+            }
+        }
+    }
     if let Some(topology) = &summary.topology {
         gauge_header(
             &mut out,
@@ -383,8 +456,8 @@ pub fn render_round_table(summary: &RunSummary) -> String {
 mod tests {
     use super::*;
     use glmia_trace::{
-        EvalRecord, HeaderRecord, MixingRecord, NodeEvalRecord, RoundCounters, RoundRecord,
-        TopologyRecord, TraceEvent, SCHEMA_VERSION,
+        EvalRecord, FaultRecord, FaultRecordKind, HeaderRecord, MixingRecord, NodeEvalRecord,
+        RoundCounters, RoundRecord, TopologyRecord, TraceEvent, SCHEMA_VERSION,
     };
 
     fn sample_summary() -> RunSummary {
@@ -465,6 +538,54 @@ mod tests {
         RunSummary::from_events(&header, &events)
     }
 
+    fn faulty_summary() -> RunSummary {
+        let header = HeaderRecord {
+            schema: glmia_trace::FAULT_SCHEMA_VERSION,
+            label: "fault-report-test".into(),
+            config_hash: "00000000000000ab".into(),
+        };
+        let fault = |round: usize, tick: u64, kind: FaultRecordKind, peer: Option<usize>| {
+            TraceEvent::Fault(FaultRecord {
+                seed: 1,
+                round,
+                tick,
+                node: 3,
+                kind,
+                peer,
+            })
+        };
+        let round = |round: usize| {
+            TraceEvent::Round(RoundRecord {
+                seed: 1,
+                round,
+                tick: round as u64 * 100,
+                sends: 8,
+                drops: if round == 2 { 1 } else { 0 },
+                delivers: 8,
+                merges: 4,
+                models_merged: 8,
+                update_epochs: 8,
+                fanin_hist: RoundCounters::default().fanin_hist,
+                staleness_hist: RoundCounters::default().staleness_hist,
+                staleness_sum: 0,
+            })
+        };
+        let events = vec![
+            TraceEvent::Topology(TopologyRecord {
+                seed: 1,
+                nodes: 8,
+                view_size: 2,
+                lambda2_analytic: 0.75,
+            }),
+            round(1),
+            fault(1, 50, FaultRecordKind::Crash, None),
+            round(2),
+            fault(2, 150, FaultRecordKind::Recover, None),
+            fault(2, 160, FaultRecordKind::Drop, Some(1)),
+        ];
+        RunSummary::from_events(&header, &events)
+    }
+
     #[test]
     fn markdown_report_covers_every_section() {
         let md = render_markdown_report(&sample_summary());
@@ -481,6 +602,40 @@ mod tests {
             "| 1 | 0.900000 | 0.900000 |",
         ] {
             assert!(md.contains(needle), "missing {needle:?} in:\n{md}");
+        }
+    }
+
+    #[test]
+    fn fault_free_reports_render_no_fault_section() {
+        let md = render_markdown_report(&sample_summary());
+        assert!(!md.contains("Fault injection"), "{md}");
+        assert!(!md.contains("availability"), "{md}");
+        let prom = render_prometheus(&sample_summary());
+        assert!(!prom.contains("glmia_fault_"), "{prom}");
+        assert!(!prom.contains("glmia_node_availability"), "{prom}");
+    }
+
+    #[test]
+    fn fault_section_reports_churn_and_availability() {
+        let md = render_markdown_report(&faulty_summary());
+        for needle in [
+            "## Fault injection",
+            "| crashes | recoveries | offline drops | mean availability |",
+            "| 1 | 1 | 1 | 0.9375 |",
+            "| round | availability | fault drops |",
+            "| 1 | 0.9375 | 0 |",
+            "| 2 | 0.9375 | 1 |",
+        ] {
+            assert!(md.contains(needle), "missing {needle:?} in:\n{md}");
+        }
+        let prom = render_prometheus(&faulty_summary());
+        for needle in [
+            "# TYPE glmia_fault_crashes_total counter\nglmia_fault_crashes_total 1\n",
+            "glmia_fault_recoveries_total 1\n",
+            "glmia_fault_offline_drops_total 1\n",
+            "glmia_node_availability{round=\"1\"} 0.9375\n",
+        ] {
+            assert!(prom.contains(needle), "missing {needle:?} in:\n{prom}");
         }
     }
 

@@ -18,7 +18,7 @@ use std::collections::BTreeMap;
 
 use serde::Serialize;
 
-use crate::events::{HeaderRecord, TraceEvent, HIST_BUCKETS, STALENESS_EDGES};
+use crate::events::{FaultRecordKind, HeaderRecord, TraceEvent, HIST_BUCKETS, STALENESS_EDGES};
 use crate::manifest::Totals;
 
 /// One fixed histogram bucket: cumulative-style upper edge (inclusive) and
@@ -101,6 +101,23 @@ pub struct TopologySummary {
     pub lambda2_analytic: f64,
 }
 
+/// Fault-injection aggregates of a whole run. Only present for streams
+/// that carry `Fault` records — fault-free summaries omit every fault
+/// field, keeping their `summary.json` bytes unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FaultSummary {
+    /// Crash transitions across all seeds.
+    pub crashes: u64,
+    /// Recover transitions across all seeds.
+    pub recoveries: u64,
+    /// Deliveries discarded because the receiver was down.
+    pub offline_drops: u64,
+    /// Mean per-round availability (fraction of node-ticks up); absent
+    /// when the stream has no topology record to supply the node count.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub mean_availability: Option<f64>,
+}
+
 /// Mean evaluation metrics of one round across seeds.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct EvalSummary {
@@ -140,6 +157,15 @@ pub struct RoundSummary {
     pub lambda2_cumulative: Option<f64>,
     /// Mean evaluation metrics (absent for rounds not due for eval).
     pub eval: Option<EvalSummary>,
+    /// Deliveries dropped at downed nodes this round, summed across seeds
+    /// (omitted entirely for fault-free streams).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub fault_drops: Option<u64>,
+    /// Fraction of node-ticks the fleet was up this round (omitted for
+    /// fault-free streams, or when no topology record supplies the node
+    /// count).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub availability: Option<f64>,
 }
 
 /// Per-node evaluation time series, averaged across seeds.
@@ -177,6 +203,9 @@ pub struct RunSummary {
     pub topology: Option<TopologySummary>,
     /// Run-wide totals (same semantics as the manifest's).
     pub totals: Totals,
+    /// Fault-injection aggregates (omitted for fault-free streams).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub faults: Option<FaultSummary>,
     /// Merge fan-in histogram over every merge of the run.
     pub fan_in: HistogramSummary,
     /// Model staleness histogram (ticks from delivery to merge).
@@ -195,6 +224,7 @@ struct RoundAcc {
     merges: u64,
     models_merged: u64,
     update_epochs: u64,
+    fault_drops: u64,
     lambda2_round: (f64, u64),
     lambda2_cumulative: (f64, u64),
     eval: (EvalAcc, u64),
@@ -228,6 +258,15 @@ impl RunSummary {
         let mut rounds: BTreeMap<usize, RoundAcc> = BTreeMap::new();
         #[allow(clippy::type_complexity)]
         let mut nodes: BTreeMap<usize, BTreeMap<usize, (EvalAcc, u64)>> = BTreeMap::new();
+        // Fault bookkeeping: down intervals reconstructed from crash /
+        // recover pairs (an unmatched crash runs to its seed's horizon).
+        let mut fault_crashes = 0u64;
+        let mut fault_recoveries = 0u64;
+        let mut fault_offline_drops = 0u64;
+        let mut open_crashes: BTreeMap<(u64, usize), u64> = BTreeMap::new();
+        let mut down_intervals: Vec<(u64, u64)> = Vec::new();
+        let mut seed_horizon: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut ticks_per_round = 0u64;
 
         for event in events {
             match event {
@@ -241,6 +280,11 @@ impl RunSummary {
                 }
                 TraceEvent::Round(r) => {
                     note_seed(&mut seeds, r.seed);
+                    if ticks_per_round == 0 && r.round > 0 {
+                        ticks_per_round = r.tick / r.round as u64;
+                    }
+                    let horizon = seed_horizon.entry(r.seed).or_insert(0);
+                    *horizon = (*horizon).max(r.tick);
                     totals.rounds += 1;
                     totals.messages_sent += r.sends;
                     totals.messages_dropped += r.drops;
@@ -257,6 +301,25 @@ impl RunSummary {
                     acc.merges += r.merges;
                     acc.models_merged += r.models_merged;
                     acc.update_epochs += r.update_epochs;
+                }
+                TraceEvent::Fault(f) => {
+                    note_seed(&mut seeds, f.seed);
+                    match f.kind {
+                        FaultRecordKind::Crash => {
+                            fault_crashes += 1;
+                            open_crashes.insert((f.seed, f.node), f.tick);
+                        }
+                        FaultRecordKind::Recover => {
+                            fault_recoveries += 1;
+                            if let Some(start) = open_crashes.remove(&(f.seed, f.node)) {
+                                down_intervals.push((start, f.tick));
+                            }
+                        }
+                        FaultRecordKind::Drop => {
+                            fault_offline_drops += 1;
+                            rounds.entry(f.round).or_default().fault_drops += 1;
+                        }
+                    }
                 }
                 TraceEvent::Mixing(m) => {
                     let acc = rounds.entry(m.round).or_default();
@@ -287,13 +350,41 @@ impl RunSummary {
             }
         }
 
+        // Close crash windows that never recovered at their seed's horizon.
+        for (&(seed, _node), &start) in &open_crashes {
+            let horizon = seed_horizon.get(&seed).copied().unwrap_or(start);
+            down_intervals.push((start, horizon.max(start)));
+        }
+        let has_faults = fault_crashes + fault_recoveries + fault_offline_drops > 0;
+        let seeds_with_rounds = seed_horizon.len() as u64;
+
         let mean = |sum: f64, count: u64| sum / count as f64;
         let topology = (topo_lambda.1 > 0).then(|| TopologySummary {
             nodes: topo_nodes,
             view_size: topo_view,
             lambda2_analytic: mean(topo_lambda.0, topo_lambda.1),
         });
-        let round_summaries = rounds
+        // Availability of one round: 1 − (downed node-ticks overlapping the
+        // round window) / (total node-ticks of the window across seeds).
+        let availability_for = |round: usize| -> Option<f64> {
+            if !has_faults
+                || topo_nodes == 0
+                || ticks_per_round == 0
+                || seeds_with_rounds == 0
+                || round == 0
+            {
+                return None;
+            }
+            let start = (round as u64 - 1) * ticks_per_round;
+            let end = round as u64 * ticks_per_round;
+            let down: u64 = down_intervals
+                .iter()
+                .map(|&(s, e)| e.min(end).saturating_sub(s.max(start)))
+                .sum();
+            let capacity = seeds_with_rounds * topo_nodes as u64 * ticks_per_round;
+            Some(1.0 - down as f64 / capacity as f64)
+        };
+        let round_summaries: Vec<RoundSummary> = rounds
             .iter()
             .map(|(&round, acc)| RoundSummary {
                 round,
@@ -314,8 +405,23 @@ impl RunSummary {
                     mia_auc: mean(acc.eval.0.mia_auc, acc.eval.1),
                     gen_error: mean(acc.eval.0.gen_error, acc.eval.1),
                 }),
+                fault_drops: has_faults.then_some(acc.fault_drops),
+                availability: availability_for(round),
             })
             .collect();
+        let faults = has_faults.then(|| {
+            let per_round: Vec<f64> = round_summaries
+                .iter()
+                .filter_map(|r| r.availability)
+                .collect();
+            FaultSummary {
+                crashes: fault_crashes,
+                recoveries: fault_recoveries,
+                offline_drops: fault_offline_drops,
+                mean_availability: (!per_round.is_empty())
+                    .then(|| per_round.iter().sum::<f64>() / per_round.len() as f64),
+            }
+        });
         let node_series = nodes
             .iter()
             .map(|(&node, per_round)| {
@@ -355,6 +461,7 @@ impl RunSummary {
             seeds,
             topology,
             totals,
+            faults,
             fan_in: HistogramSummary::build(fanin, fanin_values, models_merged_total),
             staleness: HistogramSummary::build(staleness, staleness_values, staleness_sum),
             rounds: round_summaries,
@@ -525,6 +632,87 @@ mod tests {
         let topology = summary.topology.unwrap();
         assert_eq!(topology.nodes, 8);
         assert!((topology.lambda2_analytic - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_records_aggregate_into_availability() {
+        use crate::events::{FaultRecord, FaultRecordKind};
+        let fault = |round, tick, node, kind, peer| {
+            TraceEvent::Fault(FaultRecord {
+                seed: 1,
+                round,
+                tick,
+                node,
+                kind,
+                peer,
+            })
+        };
+        let events = vec![
+            TraceEvent::Topology(TopologyRecord {
+                seed: 1,
+                nodes: 4,
+                view_size: 2,
+                lambda2_analytic: 0.5,
+            }),
+            TraceEvent::Round(round(1, 1)),
+            fault(1, 50, 2, FaultRecordKind::Crash, None),
+            fault(1, 80, 2, FaultRecordKind::Drop, Some(0)),
+            TraceEvent::Round(round(1, 2)),
+            fault(2, 150, 2, FaultRecordKind::Recover, None),
+        ];
+        let summary = RunSummary::from_events(&header(), &events);
+        let faults = summary.faults.unwrap();
+        assert_eq!(faults.crashes, 1);
+        assert_eq!(faults.recoveries, 1);
+        assert_eq!(faults.offline_drops, 1);
+        // Node 2 is down over (50, 150): 50 of the 4 × 100 node-ticks of
+        // each round window.
+        let r1 = &summary.rounds[0];
+        assert_eq!(r1.fault_drops, Some(1));
+        assert!((r1.availability.unwrap() - 0.875).abs() < 1e-12);
+        let r2 = &summary.rounds[1];
+        assert_eq!(r2.fault_drops, Some(0));
+        assert!((r2.availability.unwrap() - 0.875).abs() < 1e-12);
+        assert!((faults.mean_availability.unwrap() - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unmatched_crashes_run_to_the_seed_horizon() {
+        use crate::events::{FaultRecord, FaultRecordKind};
+        let events = vec![
+            TraceEvent::Topology(TopologyRecord {
+                seed: 1,
+                nodes: 4,
+                view_size: 2,
+                lambda2_analytic: 0.5,
+            }),
+            TraceEvent::Round(round(1, 1)),
+            TraceEvent::Round(round(1, 2)),
+            TraceEvent::Fault(FaultRecord {
+                seed: 1,
+                round: 2,
+                tick: 150,
+                node: 0,
+                kind: FaultRecordKind::Crash,
+                peer: None,
+            }),
+        ];
+        let summary = RunSummary::from_events(&header(), &events);
+        // The crash never recovers: down (150, 200 = horizon).
+        assert!((summary.rounds[0].availability.unwrap() - 1.0).abs() < 1e-12);
+        assert!((summary.rounds[1].availability.unwrap() - 0.875).abs() < 1e-12);
+        assert_eq!(summary.faults.unwrap().recoveries, 0);
+    }
+
+    #[test]
+    fn fault_free_summaries_omit_fault_fields_entirely() {
+        let events = vec![TraceEvent::Round(round(1, 1))];
+        let summary = RunSummary::from_events(&header(), &events);
+        assert!(summary.faults.is_none());
+        assert!(summary.rounds[0].fault_drops.is_none());
+        let json = summary.to_json_pretty();
+        assert!(!json.contains("fault"), "no fault keys in fault-free JSON");
+        assert!(!json.contains("availability"));
     }
 
     #[test]

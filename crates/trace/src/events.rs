@@ -25,6 +25,13 @@ use serde::{Deserialize, Serialize};
 /// model-staleness histograms on [`RoundRecord`].
 pub const SCHEMA_VERSION: u32 = 2;
 
+/// Schema version declared by streams that contain [`FaultRecord`] lines
+/// (deterministic fault injection: churn and offline-delivery drops).
+///
+/// Fault-free streams keep declaring [`SCHEMA_VERSION`] so their bytes are
+/// unchanged from before fault injection existed; readers accept both.
+pub const FAULT_SCHEMA_VERSION: u32 = 3;
+
 /// Number of buckets in the fan-in and staleness histograms.
 pub const HIST_BUCKETS: usize = 9;
 
@@ -35,7 +42,7 @@ pub const STALENESS_EDGES: [u64; HIST_BUCKETS - 1] = [0, 10, 25, 50, 100, 200, 4
 /// One line of a trace stream.
 ///
 /// Serialized internally tagged (`"type": "Header" | "Topology" | "Round"
-/// | "Mixing" | "NodeEval" | "Eval"`).
+/// | "Fault" | "Mixing" | "NodeEval" | "Eval"`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "type")]
 pub enum TraceEvent {
@@ -45,6 +52,8 @@ pub enum TraceEvent {
     Topology(TopologyRecord),
     /// Per-round simulation counters for one seed.
     Round(RoundRecord),
+    /// A fault-injection transition for one seed (schema v3 streams only).
+    Fault(FaultRecord),
     /// Per-round empirical mixing spectrum for one seed.
     Mixing(MixingRecord),
     /// Per-node evaluation results for a round that was due for eval.
@@ -111,7 +120,43 @@ pub struct RoundRecord {
     pub staleness_sum: u64,
 }
 
-/// Per-round empirical mixing spectrum for one seed, derived from the
+/// A fault-injection transition observed during one seed's run: a node
+/// crash, a silent-rejoin recovery, or a model discarded because its
+/// destination was down on arrival. Present only in streams whose header
+/// declares [`FAULT_SCHEMA_VERSION`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// Experiment seed this transition belongs to.
+    pub seed: u64,
+    /// 1-based round the transition fell in (stamped at the closing round
+    /// boundary).
+    pub round: usize,
+    /// Simulation tick of the transition.
+    pub tick: u64,
+    /// The node that crashed, recovered, or lost an incoming model.
+    pub node: usize,
+    /// What happened.
+    pub kind: FaultRecordKind,
+    /// Sender of the lost model for [`FaultRecordKind::Drop`]; `None`
+    /// otherwise.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub peer: Option<usize>,
+}
+
+/// The kind of a [`FaultRecord`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FaultRecordKind {
+    /// The node went down (stops waking, sending, merging).
+    Crash,
+    /// The node came back up with its pre-crash model.
+    Recover,
+    /// A model arrived at a downed node and was discarded. Counted in the
+    /// round's `drops` alongside in-transit losses.
+    Drop,
+}
+
+/// Empirical mixing spectrum of one round: contraction factors of the
 /// reconstructed mixing matrix `W_t` (see `glmia_gossip`'s
 /// `MixingMatrixObserver`).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -208,6 +253,39 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.starts_with("{\"type\":\"Round\",\"seed\":7,\"round\":3,"));
         assert!(a.contains("\"fanin_hist\":[7,2,0,0,0,0,0,0,0]"));
+    }
+
+    #[test]
+    fn fault_record_serializes_compactly_and_round_trips() {
+        let drop = TraceEvent::Fault(FaultRecord {
+            seed: 3,
+            round: 2,
+            tick: 154,
+            node: 5,
+            kind: FaultRecordKind::Drop,
+            peer: Some(1),
+        });
+        let line = serde_json::to_string(&drop).unwrap();
+        assert_eq!(
+            line,
+            "{\"type\":\"Fault\",\"seed\":3,\"round\":2,\"tick\":154,\
+             \"node\":5,\"kind\":\"drop\",\"peer\":1}"
+        );
+        let crash = TraceEvent::Fault(FaultRecord {
+            seed: 3,
+            round: 1,
+            tick: 42,
+            node: 0,
+            kind: FaultRecordKind::Crash,
+            peer: None,
+        });
+        let line = serde_json::to_string(&crash).unwrap();
+        assert!(!line.contains("peer"), "absent peer is omitted: {line}");
+        for event in [drop, crash] {
+            let line = serde_json::to_string(&event).unwrap();
+            let back: TraceEvent = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, event);
+        }
     }
 
     #[test]

@@ -74,12 +74,13 @@ mod recorder;
 mod writer;
 
 pub use derive::{
-    EvalSummary, HistogramBucket, HistogramSummary, NodeSeries, RoundSummary, RunSummary,
-    TopologySummary,
+    EvalSummary, FaultSummary, HistogramBucket, HistogramSummary, NodeSeries, RoundSummary,
+    RunSummary, TopologySummary,
 };
 pub use events::{
-    EvalRecord, HeaderRecord, MixingRecord, NodeEvalRecord, RoundRecord, TopologyRecord,
-    TraceEvent, HIST_BUCKETS, SCHEMA_VERSION, STALENESS_EDGES,
+    EvalRecord, FaultRecord, FaultRecordKind, HeaderRecord, MixingRecord, NodeEvalRecord,
+    RoundRecord, TopologyRecord, TraceEvent, FAULT_SCHEMA_VERSION, HIST_BUCKETS, SCHEMA_VERSION,
+    STALENESS_EDGES,
 };
 pub use manifest::{fnv1a, git_describe, git_describe_in, Manifest, PhaseEntry, Totals};
 pub use phase::{Phase, PhaseTimings};
@@ -178,19 +179,24 @@ impl RunTrace {
     /// of the same round). Eval records are restamped with `seed` so a
     /// mislabeled input cannot corrupt the stream.
     pub fn add_seed_run(&mut self, seed: u64, rounds: &[RoundCounters], evals: &[EvalRecord]) {
-        self.add_seed_run_full(seed, None, rounds, &[], &[], evals);
+        self.add_seed_run_full(seed, None, rounds, &[], &[], &[], evals);
     }
 
-    /// Appends one seed's run with the full v2 record set: an optional
-    /// topology record (emitted before the first round), per-round mixing
-    /// spectra and per-node evaluations interleaved round-major with the
-    /// counters and fleet evaluations. All records are restamped with
-    /// `seed`.
+    /// Appends one seed's run with the full record set: an optional
+    /// topology record (emitted before the first round), per-round fault
+    /// transitions, mixing spectra and per-node evaluations interleaved
+    /// round-major with the counters and fleet evaluations. All records are
+    /// restamped with `seed`.
+    ///
+    /// A non-empty `faults` slice upgrades the stream's declared schema to
+    /// [`FAULT_SCHEMA_VERSION`]; fault-free runs keep emitting
+    /// [`SCHEMA_VERSION`] byte-identically.
     pub fn add_seed_run_full(
         &mut self,
         seed: u64,
         topology: Option<TopologyRecord>,
         rounds: &[RoundCounters],
+        faults: &[FaultRecord],
         mixing: &[MixingRecord],
         node_evals: &[NodeEvalRecord],
         evals: &[EvalRecord],
@@ -200,6 +206,7 @@ impl RunTrace {
             topo.seed = seed;
             self.events.push(TraceEvent::Topology(topo));
         }
+        let mut pending_faults = faults.iter().peekable();
         let mut pending_mixing = mixing.iter().peekable();
         let mut pending_nodes = node_evals.iter().peekable();
         let mut pending = evals.iter().peekable();
@@ -218,6 +225,14 @@ impl RunTrace {
                 staleness_hist: counters.staleness_hist,
                 staleness_sum: counters.staleness_sum,
             }));
+            while pending_faults
+                .peek()
+                .is_some_and(|f| f.round <= counters.round)
+            {
+                let mut record = *pending_faults.next().expect("peeked");
+                record.seed = seed;
+                self.events.push(TraceEvent::Fault(record));
+            }
             while pending_mixing
                 .peek()
                 .is_some_and(|m| m.round <= counters.round)
@@ -247,6 +262,11 @@ impl RunTrace {
             self.totals.local_updates += counters.update_epochs;
         }
         // Records past the last counted round (defensive; normally empty).
+        for record in pending_faults {
+            let mut record = *record;
+            record.seed = seed;
+            self.events.push(TraceEvent::Fault(record));
+        }
         for record in pending_mixing {
             let mut record = *record;
             record.seed = seed;
@@ -280,9 +300,24 @@ impl RunTrace {
         self.totals.local_updates += other.totals.local_updates;
     }
 
+    /// The schema version this trace declares: [`FAULT_SCHEMA_VERSION`]
+    /// when any fault record is present, the baseline [`SCHEMA_VERSION`]
+    /// otherwise — so fault-free streams keep their exact historical bytes.
+    pub fn schema(&self) -> u32 {
+        if self
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Fault(_)))
+        {
+            FAULT_SCHEMA_VERSION
+        } else {
+            SCHEMA_VERSION
+        }
+    }
+
     fn header(&self) -> TraceEvent {
         TraceEvent::Header(HeaderRecord {
-            schema: SCHEMA_VERSION,
+            schema: self.schema(),
             label: self.label.clone(),
             config_hash: self.config_hash_hex(),
         })
@@ -307,7 +342,7 @@ impl RunTrace {
     /// complete — partial manifests come from [`TraceWriter`]).
     pub fn manifest(&self) -> Manifest {
         Manifest {
-            schema: SCHEMA_VERSION,
+            schema: self.schema(),
             label: self.label.clone(),
             config_hash: self.config_hash_hex(),
             seeds: self.seeds.clone(),
@@ -374,9 +409,21 @@ mod tests {
             TraceEvent::Header(_) => "header",
             TraceEvent::Topology(_) => "topology",
             TraceEvent::Round(_) => "round",
+            TraceEvent::Fault(_) => "fault",
             TraceEvent::Mixing(_) => "mixing",
             TraceEvent::NodeEval(_) => "nodeeval",
             TraceEvent::Eval(_) => "eval",
+        }
+    }
+
+    fn fault(round: usize, tick: u64, kind: FaultRecordKind) -> FaultRecord {
+        FaultRecord {
+            seed: 0,
+            round,
+            tick,
+            node: 1,
+            kind,
+            peer: None,
         }
     }
 
@@ -432,6 +479,7 @@ mod tests {
             9,
             Some(topo),
             &[counters(1), counters(2)],
+            &[fault(2, 130, FaultRecordKind::Crash)],
             &mixing,
             &node_evals,
             &[eval(2)],
@@ -439,16 +487,52 @@ mod tests {
         let kinds: Vec<&str> = trace.events().iter().map(kind).collect();
         assert_eq!(
             kinds,
-            ["topology", "round", "mixing", "round", "mixing", "nodeeval", "eval"]
+            ["topology", "round", "mixing", "round", "fault", "mixing", "nodeeval", "eval"]
         );
         match &trace.events()[0] {
             TraceEvent::Topology(t) => assert_eq!(t.seed, 9, "topology restamped with the seed"),
             other => panic!("expected topology, got {other:?}"),
         }
-        match &trace.events()[5] {
+        match &trace.events()[4] {
+            TraceEvent::Fault(f) => {
+                assert_eq!(f.seed, 9, "fault records are restamped with the seed");
+                assert_eq!(f.round, 2, "the fault follows its round record");
+            }
+            other => panic!("expected fault, got {other:?}"),
+        }
+        match &trace.events()[6] {
             TraceEvent::NodeEval(n) => assert_eq!(n.seed, 9),
             other => panic!("expected nodeeval, got {other:?}"),
         }
+        assert_eq!(trace.schema(), FAULT_SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn fault_free_traces_keep_the_baseline_schema() {
+        let mut trace = RunTrace::new("t", 1, 1);
+        trace.add_seed_run(7, &[counters(1)], &[eval(1)]);
+        assert_eq!(trace.schema(), SCHEMA_VERSION);
+        assert!(trace.events_jsonl().contains("\"schema\":2"));
+        assert_eq!(trace.manifest().schema, SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn fault_records_upgrade_the_declared_schema() {
+        let mut trace = RunTrace::new("t", 1, 1);
+        trace.add_seed_run_full(
+            7,
+            None,
+            &[counters(1)],
+            &[fault(1, 40, FaultRecordKind::Crash)],
+            &[],
+            &[],
+            &[],
+        );
+        assert_eq!(trace.schema(), FAULT_SCHEMA_VERSION);
+        let jsonl = trace.events_jsonl();
+        assert!(jsonl.lines().next().unwrap().contains("\"schema\":3"));
+        assert!(jsonl.contains("\"type\":\"Fault\""));
+        assert_eq!(trace.manifest().schema, FAULT_SCHEMA_VERSION);
     }
 
     #[test]

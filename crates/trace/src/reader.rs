@@ -12,7 +12,7 @@ use std::fs::File;
 use std::io::{self, BufRead, BufReader};
 use std::path::Path;
 
-use crate::events::{HeaderRecord, TraceEvent, SCHEMA_VERSION};
+use crate::events::{HeaderRecord, TraceEvent, FAULT_SCHEMA_VERSION, SCHEMA_VERSION};
 
 /// A failure while reading a trace stream. Line numbers are 1-based.
 #[derive(Debug)]
@@ -40,8 +40,16 @@ pub enum TraceReadError {
         line: usize,
         /// Schema version found in the stream.
         found: u32,
-        /// Schema version this reader supports.
+        /// Highest schema version this reader supports.
         supported: u32,
+    },
+    /// A float field parsed to an infinity or NaN (e.g. an out-of-range
+    /// literal like `1e999`), which no well-formed writer emits.
+    NonFiniteValue {
+        /// Line of the offending record.
+        line: usize,
+        /// Name of the non-finite field.
+        field: &'static str,
     },
     /// A `Round` record's index did not increase strictly within its seed.
     OutOfOrderRound {
@@ -75,6 +83,9 @@ impl fmt::Display for TraceReadError {
                 f,
                 "trace line {line}: unsupported schema version {found} (reader supports {supported})"
             ),
+            Self::NonFiniteValue { line, field } => {
+                write!(f, "trace line {line}: non-finite value in field `{field}`")
+            }
             Self::OutOfOrderRound {
                 line,
                 seed,
@@ -109,8 +120,9 @@ impl From<io::Error> for TraceReadError {
 /// Validation performed per line: JSON shape (line-numbered
 /// [`Malformed`](TraceReadError::Malformed) errors), trailing-newline
 /// presence on the final line
-/// ([`Truncated`](TraceReadError::Truncated)), and strictly increasing
-/// `Round` indices per seed
+/// ([`Truncated`](TraceReadError::Truncated)), finite float fields
+/// ([`NonFiniteValue`](TraceReadError::NonFiniteValue)), and strictly
+/// increasing `Round` indices per seed
 /// ([`OutOfOrderRound`](TraceReadError::OutOfOrderRound)).
 #[derive(Debug)]
 pub struct TraceReader<R> {
@@ -148,11 +160,13 @@ impl<R: BufRead> TraceReader<R> {
         let TraceEvent::Header(header) = event else {
             return Err(TraceReadError::MissingHeader);
         };
-        if header.schema != SCHEMA_VERSION {
+        // Both the fault-free baseline and the fault-extended schema are
+        // readable; anything else is from a writer this reader predates.
+        if header.schema != SCHEMA_VERSION && header.schema != FAULT_SCHEMA_VERSION {
             return Err(TraceReadError::UnsupportedSchema {
                 line: 1,
                 found: header.schema,
-                supported: SCHEMA_VERSION,
+                supported: FAULT_SCHEMA_VERSION,
             });
         }
         Ok(Self {
@@ -167,6 +181,40 @@ impl<R: BufRead> TraceReader<R> {
     /// The validated stream header.
     pub fn header(&self) -> &HeaderRecord {
         &self.header
+    }
+}
+
+/// The first non-finite float field of `event`, if any. JSON itself cannot
+/// spell `NaN`, but out-of-range literals like `1e999` parse to infinity,
+/// so corrupted streams are caught here rather than poisoning summaries.
+fn non_finite_field(event: &TraceEvent) -> Option<&'static str> {
+    fn first_bad(fields: &[(&'static str, f64)]) -> Option<&'static str> {
+        fields
+            .iter()
+            .find(|(_, value)| !value.is_finite())
+            .map(|(name, _)| *name)
+    }
+    match event {
+        TraceEvent::Topology(t) => first_bad(&[("lambda2_analytic", t.lambda2_analytic)]),
+        TraceEvent::Mixing(m) => first_bad(&[
+            ("lambda2_round", m.lambda2_round),
+            ("lambda2_cumulative", m.lambda2_cumulative),
+        ]),
+        TraceEvent::NodeEval(e) => first_bad(&[
+            ("test_accuracy", e.test_accuracy),
+            ("train_accuracy", e.train_accuracy),
+            ("mia_vulnerability", e.mia_vulnerability),
+            ("mia_auc", e.mia_auc),
+            ("gen_error", e.gen_error),
+        ]),
+        TraceEvent::Eval(e) => first_bad(&[
+            ("test_accuracy", e.test_accuracy),
+            ("train_accuracy", e.train_accuracy),
+            ("mia_vulnerability", e.mia_vulnerability),
+            ("mia_auc", e.mia_auc),
+            ("gen_error", e.gen_error),
+        ]),
+        TraceEvent::Header(_) | TraceEvent::Round(_) | TraceEvent::Fault(_) => None,
     }
 }
 
@@ -203,6 +251,13 @@ impl<R: BufRead> Iterator for TraceReader<R> {
                 }));
             }
         };
+        if let Some(field) = non_finite_field(&event) {
+            self.failed = true;
+            return Some(Err(TraceReadError::NonFiniteValue {
+                line: self.line,
+                field,
+            }));
+        }
         match &event {
             TraceEvent::Header(_) => {
                 self.failed = true;
@@ -320,6 +375,71 @@ mod tests {
                 assert_eq!(found, 99);
             }
             other => panic!("expected UnsupportedSchema, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_schema_streams_replay_losslessly() {
+        use crate::{FaultRecord, FaultRecordKind};
+        let mut trace = RunTrace::new("fault-test", 0xbeef, 1);
+        let rounds = [
+            RoundCounters {
+                round: 1,
+                tick: 100,
+                sends: 3,
+                drops: 1,
+                ..RoundCounters::default()
+            },
+            RoundCounters {
+                round: 2,
+                tick: 200,
+                sends: 3,
+                ..RoundCounters::default()
+            },
+        ];
+        let faults = [
+            FaultRecord {
+                seed: 0,
+                round: 1,
+                tick: 40,
+                node: 2,
+                kind: FaultRecordKind::Crash,
+                peer: None,
+            },
+            FaultRecord {
+                seed: 0,
+                round: 2,
+                tick: 170,
+                node: 2,
+                kind: FaultRecordKind::Recover,
+                peer: None,
+            },
+        ];
+        trace.add_seed_run_full(5, None, &rounds, &faults, &[], &[], &[]);
+        let jsonl = trace.events_jsonl();
+        let reader = TraceReader::new(Cursor::new(jsonl.as_bytes())).unwrap();
+        assert_eq!(reader.header().schema, FAULT_SCHEMA_VERSION);
+        let events: Vec<TraceEvent> = reader.map(Result::unwrap).collect();
+        assert_eq!(events, trace.events());
+    }
+
+    #[test]
+    fn non_finite_float_fields_are_rejected_with_field_name() {
+        let jsonl = sample_trace().events_jsonl();
+        // The Eval record is the last line; blow up its gen_error field.
+        let broken = jsonl.replacen("\"gen_error\":0.1", "\"gen_error\":1e999", 1);
+        assert_ne!(broken, jsonl, "substitution must hit");
+        let total_lines = broken.lines().count();
+        // Depending on the JSON parser's overflow policy `1e999` either
+        // parses to infinity (caught by the finite check) or is rejected as
+        // out of range (Malformed); both are typed, line-numbered errors.
+        match read_all(&broken).err() {
+            Some(TraceReadError::NonFiniteValue { line, field }) => {
+                assert_eq!(line, total_lines);
+                assert_eq!(field, "gen_error");
+            }
+            Some(TraceReadError::Malformed { line, .. }) => assert_eq!(line, total_lines),
+            other => panic!("expected a typed per-line error, got {other:?}"),
         }
     }
 

@@ -1,8 +1,11 @@
 //! A [`SimObserver`] that folds engine events into per-round counters.
 
-use glmia_gossip::{DeliverEvent, MergeEvent, RoundSnapshot, SendEvent, SimObserver, UpdateEvent};
+use glmia_gossip::{
+    DeliverEvent, FaultEvent, FaultKind, MergeEvent, RoundSnapshot, SendEvent, SimObserver,
+    UpdateEvent,
+};
 
-use crate::events::{HIST_BUCKETS, STALENESS_EDGES};
+use crate::events::{FaultRecord, FaultRecordKind, HIST_BUCKETS, STALENESS_EDGES};
 
 /// Simulation counters accumulated over one communication round.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -59,6 +62,12 @@ pub struct TraceRecorder {
     current: RoundCounters,
     /// Delivery ticks awaiting their merge, per node, FIFO.
     pending_ticks: Vec<std::collections::VecDeque<u64>>,
+    /// Fault transitions stamped with their round; stays empty for
+    /// fault-free runs, keeping their serialized trace byte-identical.
+    finished_faults: Vec<FaultRecord>,
+    /// Fault transitions of the in-progress round, awaiting their round
+    /// stamp at the next snapshot.
+    current_faults: Vec<FaultRecord>,
 }
 
 impl TraceRecorder {
@@ -75,6 +84,16 @@ impl TraceRecorder {
     /// Consumes the recorder, returning the completed rounds.
     pub fn into_rounds(self) -> Vec<RoundCounters> {
         self.finished
+    }
+
+    /// Fault transitions (crash / recover / offline delivery drop) of every
+    /// completed round, in event order. Empty for fault-free runs.
+    ///
+    /// The `seed` field is a placeholder zero; the trace assembly
+    /// ([`RunTrace::add_seed_run_full`](crate::RunTrace::add_seed_run_full))
+    /// restamps it, exactly as it does for round counters.
+    pub fn fault_records(&self) -> &[FaultRecord] {
+        &self.finished_faults
     }
 
     fn pending_for(&mut self, node: usize) -> &mut std::collections::VecDeque<u64> {
@@ -125,11 +144,37 @@ impl SimObserver for TraceRecorder {
         self.current.update_epochs += event.epochs;
     }
 
+    fn on_fault(&mut self, event: FaultEvent) {
+        let kind = match event.kind {
+            FaultKind::Crash => FaultRecordKind::Crash,
+            FaultKind::Recover => FaultRecordKind::Recover,
+            FaultKind::DeliveryDropped => {
+                // A model discarded at a downed receiver is a drop like any
+                // other: fold it into the round counter so `drops` totals
+                // keep matching the engine's `messages_dropped`.
+                self.current.drops += 1;
+                FaultRecordKind::Drop
+            }
+        };
+        self.current_faults.push(FaultRecord {
+            seed: 0, // restamped by the trace assembly
+            round: 0, // stamped at the round boundary below
+            tick: event.tick,
+            node: event.node,
+            kind,
+            peer: event.peer,
+        });
+    }
+
     fn on_snapshot(&mut self, snapshot: &RoundSnapshot) {
         self.current.round = snapshot.round;
         self.current.tick = snapshot.tick;
         self.finished.push(self.current);
         self.current = RoundCounters::default();
+        for fault in &mut self.current_faults {
+            fault.round = snapshot.round;
+        }
+        self.finished_faults.append(&mut self.current_faults);
         // `pending_ticks` survives: buffered models merge in a later round.
     }
 }
@@ -155,6 +200,10 @@ impl SimObserver for &mut TraceRecorder {
 
     fn on_local_update(&mut self, event: UpdateEvent) {
         (**self).on_local_update(event);
+    }
+
+    fn on_fault(&mut self, event: FaultEvent) {
+        (**self).on_fault(event);
     }
 
     fn on_snapshot(&mut self, snapshot: &RoundSnapshot) {
@@ -307,6 +356,65 @@ mod tests {
         });
         rec.on_snapshot(&snapshot(1, 100));
         assert_eq!(rec.rounds()[0].fanin_hist[HIST_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn fault_events_are_stamped_with_their_round() {
+        let mut rec = TraceRecorder::new();
+        rec.on_fault(FaultEvent {
+            tick: 37,
+            node: 2,
+            kind: FaultKind::Crash,
+            peer: None,
+        });
+        rec.on_fault(FaultEvent {
+            tick: 60,
+            node: 2,
+            kind: FaultKind::DeliveryDropped,
+            peer: Some(4),
+        });
+        rec.on_snapshot(&snapshot(1, 100));
+        rec.on_fault(FaultEvent {
+            tick: 150,
+            node: 2,
+            kind: FaultKind::Recover,
+            peer: None,
+        });
+        rec.on_snapshot(&snapshot(2, 200));
+
+        let faults = rec.fault_records();
+        assert_eq!(faults.len(), 3);
+        assert_eq!(
+            faults[0],
+            FaultRecord {
+                seed: 0,
+                round: 1,
+                tick: 37,
+                node: 2,
+                kind: FaultRecordKind::Crash,
+                peer: None,
+            }
+        );
+        assert_eq!(faults[1].kind, FaultRecordKind::Drop);
+        assert_eq!(faults[1].peer, Some(4));
+        assert_eq!(faults[2].round, 2);
+        assert_eq!(faults[2].kind, FaultRecordKind::Recover);
+        // The offline drop counts toward the round's drop counter.
+        assert_eq!(rec.rounds()[0].drops, 1);
+        assert_eq!(rec.rounds()[1].drops, 0);
+    }
+
+    #[test]
+    fn fault_free_runs_record_no_fault_records() {
+        let mut rec = TraceRecorder::new();
+        rec.on_send(SendEvent {
+            tick: 1,
+            from: 0,
+            to: 1,
+            dropped: false,
+        });
+        rec.on_snapshot(&snapshot(1, 100));
+        assert!(rec.fault_records().is_empty());
     }
 
     #[test]

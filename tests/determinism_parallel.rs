@@ -8,7 +8,7 @@ use glmia_core::{
     replicate_experiment, run_experiment, ExperimentConfig, ExperimentResult, Parallelism,
 };
 use glmia_data::DataPreset;
-use glmia_gossip::{ProtocolKind, TopologyMode};
+use glmia_gossip::{ChurnConfig, FaultPlan, LatencyDist, ProtocolKind, TopologyMode};
 use proptest::prelude::*;
 
 fn config(seed: u64) -> ExperimentConfig {
@@ -82,6 +82,54 @@ fn eval_schedule_thinning_survives_parallelism() {
     let rounds: Vec<usize> = parallel.rounds.iter().map(|r| r.round).collect();
     assert_eq!(rounds, vec![3, 6, 7]);
     assert_eq!(serial, parallel);
+}
+
+#[test]
+fn fault_injected_runs_are_thread_count_invariant() {
+    // Fault schedules and per-link RNG streams are derived from the seed,
+    // never from evaluation order, so a churn + latency + drop scenario
+    // must stay bit-identical from 1 thread to 8.
+    let faulty = |p: Parallelism| {
+        run_experiment(
+            &config(906)
+                .with_fault_plan(
+                    FaultPlan::none()
+                        .with_churn(ChurnConfig::new(0.3).with_downtime(40, 160))
+                        .with_latency(LatencyDist::Uniform { min: 1, max: 7 })
+                        .with_link_drop(0.1),
+                )
+                .with_parallelism(p),
+        )
+        .unwrap()
+    };
+    let serial = faulty(Parallelism::Fixed(1));
+    for threads in [2, 8] {
+        let parallel = faulty(Parallelism::Fixed(threads));
+        assert_eq!(serial, parallel, "{threads}-thread faulty run diverged");
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap(),
+            "{threads}-thread faulty run serialized differently"
+        );
+    }
+}
+
+#[test]
+fn inert_fault_plans_do_not_change_results() {
+    // `with_fault_plan(FaultPlan::none())` is normalized away in the
+    // config, so results — and their bytes — match a plain run exactly.
+    let plain = run_at(907, Parallelism::Fixed(4));
+    let inert = run_experiment(
+        &config(907)
+            .with_fault_plan(FaultPlan::none())
+            .with_parallelism(Parallelism::Fixed(4)),
+    )
+    .unwrap();
+    assert_eq!(plain, inert);
+    assert_eq!(
+        serde_json::to_string(&plain).unwrap(),
+        serde_json::to_string(&inert).unwrap(),
+    );
 }
 
 #[test]

@@ -1,0 +1,75 @@
+//! Golden-file regression test for the `analyze` derivation pipeline.
+//!
+//! A hand-written schema-3 fixture trace under `tests/fixtures/golden/`
+//! is derived into `summary.json` + `report.md` exactly the way
+//! `glmia analyze` does it, and the bytes are compared against committed
+//! golden copies. Any byte drift in the summary derivation or the
+//! Markdown renderer fails here first, with a regeneration escape hatch
+//! (`GLMIA_UPDATE_GOLDEN=1`) for intentional changes.
+
+use std::path::PathBuf;
+
+use glmia_core::prelude::{read_trace, RunSummary};
+use glmia_metrics::render_markdown_report;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/golden")
+}
+
+fn derive_outputs() -> (String, String) {
+    let events_path = fixture_dir().join("events.jsonl");
+    let (header, events) = read_trace(&events_path)
+        .unwrap_or_else(|e| panic!("fixture trace must read cleanly: {e}"));
+    let summary = RunSummary::from_events(&header, &events);
+    (summary.to_json_pretty(), render_markdown_report(&summary))
+}
+
+#[test]
+fn fixture_trace_derives_the_expected_fault_aggregates() {
+    // Semantic floor independent of the golden bytes: node 2 is down
+    // ticks 50-150 of a 4-node run with 100-tick rounds, so both round
+    // windows lose 50 node-ticks of 400: availability 0.875.
+    let (json, md) = derive_outputs();
+    let value: serde_json::Value = serde_json::from_str(&json).expect("summary is valid JSON");
+    assert_eq!(value["schema"].as_u64(), Some(3));
+    assert_eq!(value["faults"]["crashes"].as_u64(), Some(1));
+    assert_eq!(value["faults"]["recoveries"].as_u64(), Some(1));
+    assert_eq!(value["faults"]["offline_drops"].as_u64(), Some(1));
+    assert_eq!(value["faults"]["mean_availability"].as_f64(), Some(0.875));
+    assert_eq!(value["rounds"][0]["availability"].as_f64(), Some(0.875));
+    assert_eq!(value["rounds"][1]["availability"].as_f64(), Some(0.875));
+    assert_eq!(value["rounds"][0]["fault_drops"].as_u64(), Some(1));
+    assert_eq!(value["rounds"][1]["fault_drops"].as_u64(), Some(0));
+    assert!(md.contains("## Fault injection"), "{md}");
+    assert!(md.contains("| 1 | 1 | 1 | 0.8750 |"), "{md}");
+}
+
+#[test]
+fn derivation_is_deterministic() {
+    let (json_a, md_a) = derive_outputs();
+    let (json_b, md_b) = derive_outputs();
+    assert_eq!(json_a, json_b);
+    assert_eq!(md_a, md_b);
+}
+
+#[test]
+fn analyze_outputs_match_the_golden_files_byte_for_byte() {
+    let (json, md) = derive_outputs();
+    let dir = fixture_dir();
+    let update = std::env::var_os("GLMIA_UPDATE_GOLDEN").is_some();
+    for (name, fresh) in [("summary.json", &json), ("report.md", &md)] {
+        let path = dir.join(name);
+        if update || !path.exists() {
+            std::fs::write(&path, fresh).unwrap_or_else(|e| panic!("writing {name}: {e}"));
+            eprintln!("golden_analyze: wrote {} — commit it", path.display());
+            continue;
+        }
+        let golden =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {name}: {e}"));
+        assert_eq!(
+            fresh, &golden,
+            "{name} drifted from the golden copy; if the change is \
+             intentional, regenerate with GLMIA_UPDATE_GOLDEN=1 and commit"
+        );
+    }
+}

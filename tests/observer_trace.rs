@@ -78,6 +78,7 @@ fn trace_stream_shape_matches_schedule() {
             TraceEvent::Header(_) => "header",
             TraceEvent::Topology(_) => "topology",
             TraceEvent::Round(_) => "round",
+            TraceEvent::Fault(_) => "fault",
             TraceEvent::Mixing(_) => "mixing",
             TraceEvent::NodeEval(_) => "nodeeval",
             TraceEvent::Eval(_) => "eval",

@@ -221,3 +221,178 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Fault-injection invariants: the simulator under an arbitrary (valid)
+// FaultPlan still conserves messages exactly, keeps crashed nodes silent,
+// and treats an inert plan as literally no plan.
+// ---------------------------------------------------------------------------
+
+mod fault {
+    use super::*;
+    use glmia_data::{FeatureKind, Federation, Partition, SyntheticSpec};
+    use glmia_gossip::{
+        ChurnConfig, FaultEvent, FaultKind, FaultPlan, LatencyDist, MergeEvent, ProtocolKind,
+        SendEvent, SimConfig, SimObserver, Simulation, TopologyMode, UpdateEvent,
+    };
+    use glmia_nn::{Activation, MlpSpec};
+    use std::collections::BTreeSet;
+
+    fn setup(n: usize, k: usize, seed: u64) -> (MlpSpec, Federation, Topology) {
+        let spec = SyntheticSpec::new(3, 6, FeatureKind::Gaussian)
+            .unwrap()
+            .with_class_separation(1.5);
+        let fed = Federation::build(
+            &spec,
+            n,
+            12,
+            6,
+            Partition::Iid,
+            &mut StdRng::seed_from_u64(seed),
+        )
+        .unwrap();
+        let topo = Topology::random_regular(n, k, &mut StdRng::seed_from_u64(seed + 1)).unwrap();
+        let model_spec = MlpSpec::new(6, &[8], 3, Activation::Relu).unwrap();
+        (model_spec, fed, topo)
+    }
+
+    /// An arbitrary *valid* fault plan: any subset of the three knobs.
+    fn fault_plan() -> impl Strategy<Value = FaultPlan> {
+        let churn = proptest::option::of((0.05f64..0.7, 20u64..60, 60u64..240))
+            .prop_map(|c| c.map(|(rate, lo, hi)| ChurnConfig::new(rate).with_downtime(lo, hi)));
+        let latency = proptest::option::of(prop_oneof![
+            (1u64..10).prop_map(|ticks| LatencyDist::Fixed { ticks }),
+            (1u64..5, 5u64..30).prop_map(|(min, max)| LatencyDist::Uniform { min, max }),
+            (1u64..5, 20u64..80, 0.0f64..0.5).prop_map(|(base, tail, tail_prob)| {
+                LatencyDist::Straggler { base, tail, tail_prob }
+            }),
+        ]);
+        let drop = proptest::option::of(0.0f64..0.45);
+        (churn, latency, drop).prop_map(|(churn, latency, drop)| {
+            let mut plan = FaultPlan::none();
+            if let Some(c) = churn {
+                plan = plan.with_churn(c);
+            }
+            if let Some(l) = latency {
+                plan = plan.with_latency(l);
+            }
+            if let Some(d) = drop {
+                plan = plan.with_link_drop(d);
+            }
+            plan
+        })
+    }
+
+    fn sim_params() -> impl Strategy<Value = (usize, usize)> {
+        (4usize..9, 2usize..4).prop_filter("k < n and n*k even", |&(n, k)| {
+            k < n && (n * k) % 2 == 0
+        })
+    }
+
+    /// Flags any activity at a node the fault stream says is down.
+    #[derive(Default)]
+    struct Silence {
+        down: BTreeSet<usize>,
+        violations: Vec<String>,
+    }
+    impl SimObserver for Silence {
+        fn on_send(&mut self, event: SendEvent) {
+            if self.down.contains(&event.from) {
+                self.violations.push(format!("send from down node {}", event.from));
+            }
+        }
+        fn on_merge(&mut self, event: MergeEvent) {
+            if self.down.contains(&event.node) {
+                self.violations.push(format!("merge at down node {}", event.node));
+            }
+        }
+        fn on_local_update(&mut self, event: UpdateEvent) {
+            if self.down.contains(&event.node) {
+                self.violations.push(format!("update at down node {}", event.node));
+            }
+        }
+        fn on_fault(&mut self, event: FaultEvent) {
+            match event.kind {
+                FaultKind::Crash => {
+                    self.down.insert(event.node);
+                }
+                FaultKind::Recover => {
+                    self.down.remove(&event.node);
+                }
+                FaultKind::DeliveryDropped => {
+                    if !self.down.contains(&event.node) {
+                        self.violations
+                            .push(format!("offline drop at up node {}", event.node));
+                    }
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        #[test]
+        fn faulty_runs_conserve_messages_exactly(
+            (n, k) in sim_params(),
+            plan in fault_plan(),
+            seed in 0u64..500,
+        ) {
+            let (spec, fed, topo) = setup(n, k, seed);
+            let cfg = SimConfig::new(ProtocolKind::Samo, TopologyMode::Static)
+                .with_rounds(4)
+                .with_local_epochs(1)
+                .with_batch_size(4)
+                .with_fault_plan(plan);
+            let mut sim = Simulation::new(cfg, &spec, &fed, topo, seed).unwrap();
+            let result = sim.run();
+            let received: u64 = result.node_stats.iter().map(|s| s.received).sum();
+            prop_assert_eq!(
+                result.messages_sent,
+                received + result.messages_dropped + sim.messages_in_flight(),
+                "sent must equal delivered + dropped + in flight"
+            );
+        }
+
+        #[test]
+        fn crashed_nodes_are_silent_while_down(
+            (n, k) in sim_params(),
+            rate in 0.2f64..0.8,
+            seed in 0u64..500,
+        ) {
+            let (spec, fed, topo) = setup(n, k, seed);
+            let cfg = SimConfig::new(ProtocolKind::Samo, TopologyMode::Static)
+                .with_rounds(5)
+                .with_local_epochs(1)
+                .with_batch_size(4)
+                .with_fault_plan(FaultPlan::none().with_churn(
+                    ChurnConfig::new(rate).with_downtime(40, 160),
+                ));
+            let mut sim = Simulation::new(cfg, &spec, &fed, topo, seed).unwrap();
+            let watch = sim.run_observed(Silence::default());
+            prop_assert_eq!(watch.violations, Vec::<String>::new());
+        }
+
+        #[test]
+        fn inert_fault_plans_are_byte_identical_to_no_plan(
+            (n, k) in sim_params(),
+            seed in 0u64..500,
+        ) {
+            let base_cfg = || SimConfig::new(ProtocolKind::Samo, TopologyMode::Static)
+                .with_rounds(3)
+                .with_local_epochs(1)
+                .with_batch_size(4);
+            let run = |cfg: SimConfig| {
+                let (spec, fed, topo) = setup(n, k, seed);
+                Simulation::new(cfg, &spec, &fed, topo, seed).unwrap().run()
+            };
+            let plain = run(base_cfg());
+            let inert = run(base_cfg().with_fault_plan(FaultPlan::none()));
+            prop_assert_eq!(&plain, &inert);
+            // Byte identity, not just structural equality.
+            let a = serde_json::to_string(&plain).unwrap();
+            let b = serde_json::to_string(&inert).unwrap();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

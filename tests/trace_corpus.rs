@@ -1,0 +1,103 @@
+//! Malformed-trace corpus: every corrupted `events.jsonl` under
+//! `tests/fixtures/corpus/` must fail with a *typed*, line-numbered
+//! [`TraceReadError`] — never a panic, never a silently partial parse.
+//! The CLI-level contract (corrupt trace → `glmia analyze` exit 2) is
+//! covered by `crates/cli/tests/cli_e2e.rs`.
+
+use std::path::PathBuf;
+
+use glmia_core::prelude::{read_trace, TraceReadError};
+
+fn corpus(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/corpus").join(name)
+}
+
+#[test]
+fn truncated_final_line_is_rejected_with_its_line_number() {
+    let err = read_trace(corpus("truncated.jsonl")).unwrap_err();
+    assert!(
+        matches!(err, TraceReadError::Truncated { line: 3 }),
+        "{err:?}"
+    );
+    assert_eq!(
+        err.to_string(),
+        "trace line 3: truncated final line (no newline)"
+    );
+}
+
+#[test]
+fn unknown_schema_is_rejected_at_the_header() {
+    let err = read_trace(corpus("unknown_schema.jsonl")).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            TraceReadError::UnsupportedSchema {
+                line: 1,
+                found: 99,
+                supported: 3,
+            }
+        ),
+        "{err:?}"
+    );
+    assert!(err.to_string().contains("unsupported schema version 99"));
+}
+
+#[test]
+fn non_finite_floats_are_rejected_with_line_and_context() {
+    // `1e999` overflows f64. Depending on serde_json's float handling it
+    // surfaces either as a number-out-of-range parse error (Malformed) or
+    // parses to infinity and trips the reader's finiteness check
+    // (NonFiniteValue). Both are typed, line-numbered rejections.
+    let err = read_trace(corpus("non_finite.jsonl")).unwrap_err();
+    match err {
+        TraceReadError::NonFiniteValue { line, field } => {
+            assert_eq!(line, 2);
+            assert_eq!(field, "lambda2_round");
+        }
+        TraceReadError::Malformed { line, .. } => assert_eq!(line, 2),
+        other => panic!("expected NonFiniteValue or Malformed, got {other:?}"),
+    }
+}
+
+#[test]
+fn out_of_order_rounds_are_rejected_with_both_indices() {
+    let err = read_trace(corpus("out_of_order.jsonl")).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            TraceReadError::OutOfOrderRound {
+                line: 3,
+                seed: 1,
+                prev: 2,
+                found: 1,
+            }
+        ),
+        "{err:?}"
+    );
+    assert_eq!(
+        err.to_string(),
+        "trace line 3: out-of-order round for seed 1: 1 after 2"
+    );
+}
+
+#[test]
+fn non_json_lines_are_rejected_as_malformed() {
+    let err = read_trace(corpus("not_json.jsonl")).unwrap_err();
+    assert!(
+        matches!(err, TraceReadError::Malformed { line: 2, .. }),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn streams_without_a_header_are_rejected() {
+    let err = read_trace(corpus("missing_header.jsonl")).unwrap_err();
+    assert!(matches!(err, TraceReadError::MissingHeader), "{err:?}");
+    assert_eq!(err.to_string(), "trace line 1: expected a Header record");
+}
+
+#[test]
+fn missing_files_surface_as_io_errors() {
+    let err = read_trace(corpus("does_not_exist.jsonl")).unwrap_err();
+    assert!(matches!(err, TraceReadError::Io(_)), "{err:?}");
+}
