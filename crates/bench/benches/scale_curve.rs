@@ -1,0 +1,150 @@
+//! Scale curve: end-to-end gossip + sparse spectral throughput as the node
+//! count grows from the paper's 150 to 10,000+.
+//!
+//! Each grid point builds a federation, simulates SAMO gossip with the
+//! mixing-matrix observer attached, and runs the full sparse spectral
+//! pipeline (analytic λ₂ anchor, per-round empirical λ₂, cumulative-product
+//! contraction) — everything the trace pipeline computes per run except the
+//! MIA replay, whose cost scales with evaluation budget rather than with
+//! graph size. Nothing on this path materializes an `n × n` matrix, which
+//! is what makes the 10k-node point feasible at all: the dense pipeline's
+//! mixing capture alone would need 0.8 GB per round there.
+//!
+//! Emits `target/bench-results/BENCH_scale.json`; the committed copy at the
+//! repository root is the gate CI's scale smoke job compares against (>20%
+//! throughput regression on the reduced grid fails the job). Override the
+//! grid with `GLMIA_SCALE_GRID=150,600` (comma-separated node counts).
+
+// Benchmarks measure wall time by definition; `Instant::now` is otherwise
+// disallowed workspace-wide via clippy.toml.
+#![allow(clippy::disallowed_methods)]
+
+use std::time::Instant;
+
+use glmia_bench::output::emit_json;
+use glmia_data::{DataPreset, Federation, Partition};
+use glmia_gossip::{MixingMatrixObserver, ProtocolKind, SimConfig, Simulation, TopologyMode};
+use glmia_graph::Topology;
+use glmia_nn::{Activation, MlpSpec};
+use glmia_spectral::{product_contraction_seeded, ProductContractionOptions, SparseMixingMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Node counts swept by default: paper scale up to the 10k acceptance
+/// point. `GLMIA_SCALE_GRID` (comma-separated) overrides, e.g. the CI smoke
+/// job's reduced grid.
+const DEFAULT_GRID: &[usize] = &[150, 600, 2500, 10_000];
+/// Communication rounds per point — enough for buffered merges, cumulative
+/// products and stale-node snapshots to all occur, small enough that the
+/// 10k point stays in seconds.
+const ROUNDS: usize = 3;
+const VIEW_SIZE: usize = 4;
+const SEED: u64 = 23;
+
+fn grid() -> Vec<usize> {
+    match std::env::var("GLMIA_SCALE_GRID") {
+        Ok(raw) => raw
+            .split(',')
+            .map(|tok| {
+                tok.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("GLMIA_SCALE_GRID entry {tok:?} is not a number"))
+            })
+            .collect(),
+        Err(_) => DEFAULT_GRID.to_vec(),
+    }
+}
+
+/// One grid point, timed phase by phase.
+fn run_point(nodes: usize) -> serde_json::Value {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    // Tiny shards and model: the sweep measures how the engine, observer
+    // and spectral pipeline scale with n, not SGD throughput.
+    let data_spec = DataPreset::FashionMnistLike
+        .spec()
+        .with_num_classes(3)
+        .with_input_dim(8);
+    let model_spec = MlpSpec::new(8, &[8], 3, Activation::Relu).expect("valid model spec");
+    let federation =
+        Federation::build(&data_spec, nodes, 4, 2, Partition::Iid, &mut rng).expect("federation");
+    let topology = Topology::random_regular(nodes, VIEW_SIZE, &mut rng).expect("topology");
+
+    let t_analytic = Instant::now();
+    let analytic = SparseMixingMatrix::from_regular(&topology)
+        .expect("sparse mixing matrix")
+        .lambda2_magnitude_seeded(ProductContractionOptions::deterministic(), SEED)
+        .expect("analytic lambda2");
+    let analytic_secs = t_analytic.elapsed().as_secs_f64();
+
+    let config = SimConfig::new(ProtocolKind::Samo, TopologyMode::Static)
+        .with_rounds(ROUNDS)
+        .with_local_epochs(1)
+        .with_batch_size(4);
+    let mut sim =
+        Simulation::new(config, &model_spec, &federation, topology, SEED).expect("simulation");
+    let mut observer = MixingMatrixObserver::new(nodes);
+    let t_sim = Instant::now();
+    sim.run_observed(&mut observer);
+    let sim_secs = t_sim.elapsed().as_secs_f64();
+
+    let matrices = observer.matrices();
+    let max_nnz = matrices
+        .iter()
+        .map(SparseMixingMatrix::nnz)
+        .max()
+        .unwrap_or(0);
+    let opts = ProductContractionOptions::deterministic();
+    let t_spectral = Instant::now();
+    let mut lambda2_rounds = Vec::with_capacity(matrices.len());
+    for w in matrices {
+        lambda2_rounds.push(
+            product_contraction_seeded(std::slice::from_ref(w), opts, SEED)
+                .expect("per-round lambda2"),
+        );
+    }
+    let cumulative =
+        product_contraction_seeded(matrices, opts, SEED).expect("cumulative contraction");
+    let spectral_secs = t_spectral.elapsed().as_secs_f64();
+
+    let total_secs = analytic_secs + sim_secs + spectral_secs;
+    let node_rounds_per_sec = (nodes * ROUNDS) as f64 / total_secs;
+    eprintln!(
+        "[scale] n={nodes}: sim {sim_secs:.3}s, spectral {spectral_secs:.3}s, \
+         analytic {analytic_secs:.3}s, {node_rounds_per_sec:.0} node·rounds/s, \
+         max nnz {max_nnz} (dense would be {})",
+        nodes * nodes
+    );
+    serde_json::json!({
+        "nodes": nodes,
+        "rounds": ROUNDS,
+        "view_size": VIEW_SIZE,
+        "messages_sent": sim.messages_sent(),
+        "sim_secs": sim_secs,
+        "spectral_secs": spectral_secs,
+        "analytic_lambda2_secs": analytic_secs,
+        "total_secs": total_secs,
+        "node_rounds_per_sec": node_rounds_per_sec,
+        "lambda2_analytic": analytic,
+        "lambda2_round_final": lambda2_rounds.last().copied(),
+        "lambda2_cumulative": cumulative,
+        "max_matrix_nnz": max_nnz,
+    })
+}
+
+fn main() {
+    let points: Vec<serde_json::Value> = grid().into_iter().map(run_point).collect();
+    emit_json(
+        "BENCH_scale",
+        &serde_json::json!({
+            "bench": "scale_curve",
+            "workload": {
+                "protocol": "samo",
+                "rounds": ROUNDS,
+                "view_size": VIEW_SIZE,
+                "train_per_node": 4,
+                "model": "8-[8]-3",
+            },
+            "points": points,
+        }),
+    );
+}

@@ -1,7 +1,7 @@
 //! The §4 spectral experiment: λ₂(W*) versus iterations (Figure 8).
 
 use glmia_graph::Topology;
-use glmia_spectral::{product_contraction, MixingMatrix, ProductContractionOptions};
+use glmia_spectral::{product_contraction_seeded, ProductContractionOptions, SparseMixingMatrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -82,12 +82,15 @@ pub fn lambda2_series(config: &Lambda2Config) -> Result<Lambda2Series, CoreError
     for _ in 0..config.runs {
         let mut rng = StdRng::seed_from_u64(master.gen());
         let base = Topology::random_regular(config.nodes, config.view_size, &mut rng)?;
-        let mut sequence: Vec<MixingMatrix> = Vec::with_capacity(config.iterations);
+        // CSR factors: the growing product is never materialized, so a run
+        // costs O(T² · n·(k+1)) matvec work and O(T · n·(k+1)) memory
+        // instead of the dense path's O(T · n²).
+        let mut sequence: Vec<SparseMixingMatrix> = Vec::with_capacity(config.iterations);
         let mut values = Vec::with_capacity(config.iterations);
         let mut topo = base;
         for t in 0..config.iterations {
-            sequence.push(MixingMatrix::from_regular(&topo)?);
-            values.push(product_contraction(&sequence, opts, &mut rng)?);
+            sequence.push(SparseMixingMatrix::from_regular(&topo)?);
+            values.push(product_contraction_seeded(&sequence, opts, rng.gen())?);
             if config.mode == glmia_gossip::TopologyMode::Dynamic && t + 1 < config.iterations {
                 topo = permute_topology(&topo, &mut rng);
             }

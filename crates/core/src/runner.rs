@@ -24,6 +24,7 @@
 //! which spawns no threads at all.
 
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::Instant;
 
 use glmia_data::Federation;
@@ -33,7 +34,7 @@ use glmia_graph::Topology;
 use glmia_metrics::{accuracy, best_utility_point, generalization_error, TradeoffPoint};
 use glmia_mia::MiaEvaluator;
 use glmia_nn::Mlp;
-use glmia_spectral::{product_contraction, MixingMatrix, ProductContractionOptions};
+use glmia_spectral::{product_contraction_seeded, ProductContractionOptions, SparseMixingMatrix};
 use glmia_trace::{
     EvalRecord, MixingRecord, NodeEvalRecord, Phase, ProgressObserver, RunTrace, TopologyRecord,
     TraceRecorder,
@@ -269,12 +270,15 @@ pub fn run_experiment_traced(
     })?;
     // Analytic anchor: λ₂ of the synchronous mixing matrix (A + I)/(k + 1)
     // of the initial graph, recorded so `analyze` can put the empirical
-    // per-round values next to the theory they approximate.
+    // per-round values next to the theory they approximate. Computed via
+    // the sparse deterministic path — the dense Jacobi oracle is O(n³) and
+    // would dominate the whole run beyond a few thousand nodes.
     let topo_record = TopologyRecord {
         seed: config.seed(),
         nodes: config.nodes(),
         view_size: config.view_size(),
-        lambda2_analytic: MixingMatrix::from_regular(&topology)?.try_lambda2_magnitude()?,
+        lambda2_analytic: SparseMixingMatrix::from_regular(&topology)?
+            .lambda2_magnitude_seeded(ProductContractionOptions::deterministic(), config.seed())?,
     };
     let model_spec = config.model_spec()?;
     let mut sim = Simulation::new(
@@ -296,6 +300,7 @@ pub fn run_experiment_traced(
     let mut rounds = Vec::new();
     let mut node_evals: Vec<NodeEvalRecord> = Vec::new();
     let mut eval_error: Option<CoreError> = None;
+    let mut eval_cache = NodeEvalCache::default();
     let mut recorder = TraceRecorder::new();
     let mut mixing_obs = if config.mixing_trace() {
         MixingMatrixObserver::new(config.nodes())
@@ -327,6 +332,7 @@ pub fn run_experiment_traced(
                         &evaluator,
                         seed,
                         1,
+                        &mut eval_cache,
                     ) {
                         Ok((eval, nodes)) => {
                             rounds.push(eval);
@@ -385,6 +391,7 @@ pub fn run_experiment_traced(
                     &evaluator,
                     seed,
                     threads,
+                    &mut eval_cache,
                 ) {
                     Ok((eval, nodes)) => {
                         rounds.push(eval);
@@ -453,33 +460,24 @@ pub(crate) fn config_fingerprint(config: &ExperimentConfig) -> u64 {
     config.fingerprint()
 }
 
-/// The derived RNG for the spectral post-pass of one round, independent of
-/// evaluation order and thread count (same rationale as [`node_eval_rng`]).
-fn round_spectral_rng(seed: u64, round: usize) -> StdRng {
-    StdRng::seed_from_u64(splitmix64(
-        splitmix64(seed).wrapping_add(0x5bd1) ^ round as u64,
-    ))
-}
-
-/// The contraction coefficient σ₂ of one reconstructed mixing matrix:
-/// exact (Jacobi) when the matrix is symmetric, power iteration with a
-/// deterministic derived RNG otherwise.
-fn matrix_sigma(w: &MixingMatrix, rng: &mut StdRng) -> Result<f64, CoreError> {
-    if w.n() >= 2 && w.is_symmetric(1e-12) {
-        Ok(w.try_lambda2_magnitude()?)
-    } else {
-        Ok(product_contraction(
-            std::slice::from_ref(w),
-            ProductContractionOptions::default(),
-            rng,
-        )?)
-    }
+/// The derived seed for the spectral post-pass of one round, independent of
+/// evaluation order and thread count (same SplitMix64 chain the old
+/// RNG-based derivation used; the constant keeps the stream disjoint from
+/// [`node_eval_rng`]).
+fn round_spectral_seed(seed: u64, round: usize) -> u64 {
+    splitmix64(splitmix64(seed).wrapping_add(0x5bd1) ^ round as u64)
 }
 
 /// Folds the per-round empirical mixing matrices into [`MixingRecord`]s:
 /// per-round λ₂(W_t) and the cumulative-product contraction
 /// σ₂(W_t ⋯ W_1), the paper's Figure 8 quantity measured on the *actual*
 /// message schedule instead of the idealized synchronous model.
+///
+/// Everything runs through the sparse seeded path: the per-round value is
+/// the contraction of one CSR factor, and the cumulative value applies the
+/// whole prefix `[W₁ … W_t]` factor-by-factor inside the power iteration,
+/// so no `n × n` product matrix is ever materialized — per-round cost is
+/// `O(iters · t · nnz)` instead of the dense path's `O(n³)` matmul + Jacobi.
 fn mixing_lambda2_records(
     observer: &MixingMatrixObserver,
     seed: u64,
@@ -489,20 +487,17 @@ fn mixing_lambda2_records(
     if n < 2 || matrices.is_empty() {
         return Ok(Vec::new());
     }
+    let opts = ProductContractionOptions::deterministic();
     let mut records = Vec::with_capacity(matrices.len());
-    let mut cumulative: Option<MixingMatrix> = None;
-    for (t, data) in matrices.iter().enumerate() {
+    for (t, w) in matrices.iter().enumerate() {
         let round = t + 1;
-        let w = MixingMatrix::from_vec(n, data.clone())?;
-        let product = match cumulative.take() {
-            // W* = W⁽ᵗ⁾ ⋯ W⁽¹⁾: the newest factor multiplies on the left.
-            Some(prev) => w.matmul(&prev)?,
-            None => w.clone(),
-        };
-        let mut rng = round_spectral_rng(seed, round);
-        let lambda2_round = matrix_sigma(&w, &mut rng)?;
-        let lambda2_cumulative = matrix_sigma(&product, &mut rng)?;
-        cumulative = Some(product);
+        let round_seed = round_spectral_seed(seed, round);
+        let lambda2_round = product_contraction_seeded(std::slice::from_ref(w), opts, round_seed)?;
+        // W* = W⁽ᵗ⁾ ⋯ W⁽¹⁾: the slice is in round order, and the forward
+        // sweep applies W₁ first. A second derived seed keeps the two
+        // iterations' start vectors independent.
+        let lambda2_cumulative =
+            product_contraction_seeded(&matrices[..=t], opts, splitmix64(round_seed))?;
         records.push(MixingRecord {
             seed,
             round,
@@ -514,12 +509,47 @@ fn mixing_lambda2_records(
 }
 
 /// One node's slice of a round evaluation.
+#[derive(Clone, Copy)]
 struct NodeEval {
     test_acc: f64,
     train_acc: f64,
     vuln: f64,
     auc: f64,
     gen: f64,
+}
+
+/// Per-node memo of the last evaluated model, keyed by `Arc` identity.
+///
+/// Snapshots share each node's parameter allocation across rounds while the
+/// model is unchanged (see [`RoundSnapshot::models`]), so pointer equality
+/// certifies byte-identity and the attacker's scores can be reused instead
+/// of re-running the full MIA replay. Nodes in a gossip round that neither
+/// woke nor merged are common at scale — this turns their evaluation into a
+/// pointer compare. Reuse is exact for the model-derived quantities; only
+/// the per-`(seed, round, node)` attack-sampling draw is reused along with
+/// them, which is the same score the attacker would publish for an
+/// unchanged model.
+#[derive(Default)]
+struct NodeEvalCache {
+    entries: Vec<Option<(Arc<[f32]>, NodeEval)>>,
+}
+
+impl NodeEvalCache {
+    /// The memoized evaluation for node `i`, if `flat` is the very
+    /// allocation that produced it.
+    fn lookup(&self, i: usize, flat: &Arc<[f32]>) -> Option<NodeEval> {
+        match self.entries.get(i)? {
+            Some((prev, eval)) if Arc::ptr_eq(prev, flat) => Some(*eval),
+            _ => None,
+        }
+    }
+
+    fn store(&mut self, i: usize, flat: &Arc<[f32]>, eval: NodeEval) {
+        if self.entries.len() <= i {
+            self.entries.resize_with(i + 1, || None);
+        }
+        self.entries[i] = Some((Arc::clone(flat), eval));
+    }
 }
 
 /// Reconstructs and attacks one node's observed model, using the node's
@@ -550,6 +580,11 @@ fn evaluate_node(
 /// fanned out over at most `threads` scoped workers (serial when 1).
 /// Returns the across-node aggregate plus the per-node records (in node
 /// order) that the trace keeps for distributional analysis.
+///
+/// Nodes whose observed model is pointer-identical to what `cache` last
+/// scored are skipped entirely (see [`NodeEvalCache`]); only the remaining
+/// nodes fan out to the worker pool. Cache hits cannot depend on worker
+/// scheduling, so the thread-count determinism contract is unchanged.
 fn evaluate_round(
     snapshot: &RoundSnapshot,
     surface: AttackSurface,
@@ -558,32 +593,52 @@ fn evaluate_round(
     evaluator: &MiaEvaluator,
     seed: u64,
     threads: usize,
+    cache: &mut NodeEvalCache,
 ) -> Result<(RoundEval, Vec<NodeEvalRecord>), CoreError> {
-    let observed: &[Vec<f32>] = match surface {
+    let observed: &[Arc<[f32]>] = match surface {
         AttackSurface::NodeModel => &snapshot.models,
         AttackSurface::SharedModel => &snapshot.shared_models,
     };
     let n = observed.len();
     let round = snapshot.round;
-    let evals: Vec<Result<NodeEval, CoreError>> = if threads <= 1 || n < 2 {
-        observed
+    let mut evals: Vec<Option<NodeEval>> = (0..n).map(|_| None).collect();
+    let mut missing: Vec<usize> = Vec::new();
+    for (i, flat) in observed.iter().enumerate() {
+        match cache.lookup(i, flat) {
+            Some(eval) => evals[i] = Some(eval),
+            None => missing.push(i),
+        }
+    }
+    let fresh: Vec<Result<NodeEval, CoreError>> = if threads <= 1 || missing.len() < 2 {
+        missing
             .iter()
-            .enumerate()
-            .map(|(i, flat)| evaluate_node(flat, i, round, seed, model_spec, federation, evaluator))
+            .map(|&i| {
+                evaluate_node(
+                    &observed[i],
+                    i,
+                    round,
+                    seed,
+                    model_spec,
+                    federation,
+                    evaluator,
+                )
+            })
             .collect()
     } else {
         // Index-addressed slots + contiguous chunks give each worker a
         // disjoint &mut region; node order is preserved by construction.
-        let mut slots: Vec<Option<Result<NodeEval, CoreError>>> = (0..n).map(|_| None).collect();
-        let chunk_len = n.div_ceil(threads.min(n));
+        let m = missing.len();
+        let mut slots: Vec<Option<Result<NodeEval, CoreError>>> = (0..m).map(|_| None).collect();
+        let chunk_len = m.div_ceil(threads.min(m));
         let mut worker_panic: Option<CoreError> = None;
+        let missing = &missing;
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (w, out) in slots.chunks_mut(chunk_len).enumerate() {
                 let start = w * chunk_len;
                 handles.push(scope.spawn(move || {
                     for (offset, slot) in out.iter_mut().enumerate() {
-                        let i = start + offset;
+                        let i = missing[start + offset];
                         *slot = Some(evaluate_node(
                             &observed[i],
                             i,
@@ -623,6 +678,11 @@ fn evaluate_round(
             })
             .collect()
     };
+    for (&i, result) in missing.iter().zip(fresh) {
+        let eval = result?;
+        cache.store(i, &observed[i], eval);
+        evals[i] = Some(eval);
+    }
     let mut test_acc = Vec::with_capacity(n);
     let mut train_acc = Vec::with_capacity(n);
     let mut vuln = Vec::with_capacity(n);
@@ -630,7 +690,7 @@ fn evaluate_round(
     let mut gen = Vec::with_capacity(n);
     let mut records = Vec::with_capacity(n);
     for (node, eval) in evals.into_iter().enumerate() {
-        let eval = eval?;
+        let eval = eval.expect("every node is either cached or freshly evaluated");
         test_acc.push(eval.test_acc);
         train_acc.push(eval.train_acc);
         vuln.push(eval.vuln);

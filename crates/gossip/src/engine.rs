@@ -2,6 +2,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use glmia_data::Federation;
 use glmia_dist::Normal;
@@ -41,11 +42,14 @@ impl Eq for Event {}
 enum EventKind {
     /// Node wakes up (Algorithm 1/2 wake branch).
     Wake { node: usize },
-    /// A model arrives at `to` (receive branch), sent by `from`.
+    /// A model arrives at `to` (receive branch), sent by `from`. The
+    /// payload is shared (`Arc`) with the sender's `last_shared` copy and
+    /// with every other in-flight delivery of the same transmission, so
+    /// fan-out never clones a parameter vector.
     Deliver {
         from: usize,
         to: usize,
-        model: Vec<f32>,
+        model: Arc<[f32]>,
     },
     /// Fault injection: `node` goes down (churn schedule).
     Crash { node: usize },
@@ -137,17 +141,15 @@ impl Simulation {
                 )));
             }
             let period = wake_dist.sample(&mut master).round().max(1.0) as u64;
-            nodes.push(Node {
-                model: theta0.clone(),
-                opt: Sgd::new(config.learning_rate())
+            nodes.push(Node::new(
+                theta0.clone(),
+                Sgd::new(config.learning_rate())
                     .with_momentum(config.momentum())
                     .with_weight_decay(config.weight_decay()),
-                buffer: Vec::new(),
-                last_shared: None,
-                wake_period: period,
-                train: data.train.clone(),
-                rng: StdRng::seed_from_u64(master.gen()),
-            });
+                period,
+                data.train.clone(),
+                StdRng::seed_from_u64(master.gen()),
+            ));
         }
 
         // Compile the fault plan (if any) from the same experiment seed,
@@ -272,15 +274,23 @@ impl Simulation {
 
     /// Runs the configured number of rounds, recording one
     /// [`RoundSnapshot`] per round.
+    ///
+    /// The per-node counters are *moved* into the result (not cloned):
+    /// after `run` returns, [`node_stats`](Self::node_stats) restarts from
+    /// zero and counts activity since this run only.
     pub fn run(&mut self) -> SimResult {
         let mut snapshots = Vec::with_capacity(self.config.rounds());
         self.run_with(|snap| snapshots.push(snap));
+        let node_stats = std::mem::replace(
+            &mut self.node_stats,
+            vec![NodeStats::default(); self.nodes.len()],
+        );
         SimResult {
             snapshots,
             messages_sent: self.messages_sent,
             messages_dropped: self.messages_dropped,
             local_updates: self.local_updates,
-            node_stats: self.node_stats.clone(),
+            node_stats,
         }
     }
 
@@ -349,19 +359,27 @@ impl Simulation {
             let horizon = round as u64 * ticks_per_round;
             observer.on_round_start(round, horizon - ticks_per_round);
             self.process_until(horizon, &mut observer);
+            // Snapshots share storage with the nodes' cached flat params:
+            // a node whose model did not change since the last capture (or
+            // last send) contributes the same `Arc` again instead of a
+            // fresh copy, which also lets downstream evaluation dedup
+            // unchanged models by pointer identity.
+            let mut models = Vec::with_capacity(self.nodes.len());
+            let mut shared_models = Vec::with_capacity(self.nodes.len());
+            for node in &mut self.nodes {
+                let current = node.flat_snapshot();
+                shared_models.push(
+                    node.last_shared
+                        .clone()
+                        .unwrap_or_else(|| Arc::clone(&current)),
+                );
+                models.push(current);
+            }
             let snapshot = RoundSnapshot {
                 round,
                 tick: horizon,
-                models: self.nodes.iter().map(|n| n.model.flat_params()).collect(),
-                shared_models: self
-                    .nodes
-                    .iter()
-                    .map(|n| {
-                        n.last_shared
-                            .clone()
-                            .unwrap_or_else(|| n.model.flat_params())
-                    })
-                    .collect(),
+                models,
+                shared_models,
             };
             observer.on_snapshot(&snapshot);
             observer.on_round_end(snapshot);
@@ -492,7 +510,7 @@ impl Simulation {
         &mut self,
         from: usize,
         i: usize,
-        model: Vec<f32>,
+        model: Arc<[f32]>,
         tick: u64,
         observer: &mut O,
     ) {
@@ -579,11 +597,22 @@ impl Simulation {
             self.messages_dropped += 1;
             return;
         }
-        let mut params = self.nodes[i].model.flat_params();
-        if let Some(defense) = self.config.defense().copied() {
-            defense.apply(&mut params, &mut self.nodes[i].rng);
-        }
-        self.nodes[i].last_shared = Some(params.clone());
+        let payload: Arc<[f32]> = match self.config.defense().copied() {
+            Some(defense) => {
+                // Defended sends stay per-transmission: each neighbor gets
+                // an independently noised copy, matching the threat model
+                // (an attacker never observes two identically-noised
+                // copies) and the RNG draw sequence of the dense path.
+                let mut params = self.nodes[i].model.flat_params();
+                defense.apply(&mut params, &mut self.nodes[i].rng);
+                Arc::from(params)
+            }
+            // Undefended fan-out shares one immutable snapshot across all
+            // k sends of a wake (the model does not change between them),
+            // so a send costs an `Arc` bump instead of a parameter copy.
+            None => self.nodes[i].flat_snapshot(),
+        };
+        self.nodes[i].last_shared = Some(Arc::clone(&payload));
         let latency = match &self.fault {
             Some(fault) => fault.link_latency(i, j, self.config.message_latency()),
             None => self.config.message_latency(),
@@ -593,7 +622,7 @@ impl Simulation {
             EventKind::Deliver {
                 from: i,
                 to: j,
-                model: params,
+                model: payload,
             },
         );
     }
@@ -733,7 +762,7 @@ mod tests {
         .unwrap();
         let initial = sim.node_model(0).flat_params();
         let result = sim.run();
-        assert_ne!(result.final_snapshot().models[0], initial);
+        assert_ne!(result.final_snapshot().models[0][..], initial[..]);
     }
 
     #[test]
@@ -1159,17 +1188,20 @@ mod tests {
         impl SimObserver for ChurnWatch {
             fn on_send(&mut self, event: SendEvent) {
                 if self.down.contains(&event.from) {
-                    self.violations.push(format!("send from down {}", event.from));
+                    self.violations
+                        .push(format!("send from down {}", event.from));
                 }
             }
             fn on_merge(&mut self, event: MergeEvent) {
                 if self.down.contains(&event.node) {
-                    self.violations.push(format!("merge at down {}", event.node));
+                    self.violations
+                        .push(format!("merge at down {}", event.node));
                 }
             }
             fn on_local_update(&mut self, event: UpdateEvent) {
                 if self.down.contains(&event.node) {
-                    self.violations.push(format!("update at down {}", event.node));
+                    self.violations
+                        .push(format!("update at down {}", event.node));
                 }
             }
             fn on_fault(&mut self, event: FaultEvent) {
@@ -1339,7 +1371,10 @@ mod tests {
         .unwrap()
         .run();
         assert!(fast.local_updates > 0);
-        assert_eq!(stalled.local_updates, 0, "nothing delivered, nothing merged");
+        assert_eq!(
+            stalled.local_updates, 0,
+            "nothing delivered, nothing merged"
+        );
         assert_eq!(stalled.messages_dropped, 0);
     }
 

@@ -25,8 +25,19 @@
 //! the analytic λ₂. Models still in flight (buffered but not yet merged)
 //! carry over to the round in which they are actually merged, exactly like
 //! the underlying buffers.
+//!
+//! # Sparsity
+//!
+//! Row `i` only ever gains a column for a node whose model `i` merged, so a
+//! round's matrix has O(merges) nonzeros, not `n²`. The observer therefore
+//! keeps each row as a sorted `(column, value)` list and finishes rounds
+//! into [`SparseMixingMatrix`] (CSR), which the spectral pipeline consumes
+//! without ever materializing a dense `n × n` buffer — the change that
+//! lets mixing capture scale to tens of thousands of nodes.
 
 use std::collections::VecDeque;
+
+use glmia_spectral::SparseMixingMatrix;
 
 use crate::observer::{DeliverEvent, MergeEvent, SimObserver};
 use crate::RoundSnapshot;
@@ -43,13 +54,14 @@ use crate::RoundSnapshot;
 #[derive(Debug, Clone)]
 pub struct MixingMatrixObserver {
     n: usize,
-    /// Current round's matrix, row-major `n × n`.
-    current: Vec<f64>,
+    /// Current round's matrix as sorted sparse rows: `current[i]` holds the
+    /// `(column, value)` entries of row `i`, columns strictly increasing.
+    current: Vec<Vec<(usize, f64)>>,
     /// Sender ids of buffered (not yet merged) deliveries, per node, FIFO.
     pending: Vec<VecDeque<usize>>,
     /// Sender id of an unbuffered delivery about to be merged pairwise.
     immediate: Vec<Option<usize>>,
-    finished: Vec<Vec<f64>>,
+    finished: Vec<SparseMixingMatrix>,
 }
 
 impl MixingMatrixObserver {
@@ -58,7 +70,7 @@ impl MixingMatrixObserver {
     pub fn new(n: usize) -> Self {
         Self {
             n,
-            current: identity(n),
+            current: identity_rows(n),
             pending: vec![VecDeque::new(); n],
             immediate: vec![None; n],
             finished: Vec::new(),
@@ -77,15 +89,15 @@ impl MixingMatrixObserver {
         self.n > 0
     }
 
-    /// The finished per-round matrices, row-major `n × n`, in round order.
+    /// The finished per-round matrices (CSR), in round order.
     #[must_use]
-    pub fn matrices(&self) -> &[Vec<f64>] {
+    pub fn matrices(&self) -> &[SparseMixingMatrix] {
         &self.finished
     }
 
     /// Consumes the observer, returning the per-round matrices.
     #[must_use]
-    pub fn into_matrices(self) -> Vec<Vec<f64>> {
+    pub fn into_matrices(self) -> Vec<SparseMixingMatrix> {
         self.finished
     }
 
@@ -96,12 +108,9 @@ impl MixingMatrixObserver {
     }
 }
 
-fn identity(n: usize) -> Vec<f64> {
-    let mut m = vec![0.0; n * n];
-    for i in 0..n {
-        m[i * n + i] = 1.0;
-    }
-    m
+/// Identity as sparse rows: `row_i = [(i, 1.0)]`.
+fn identity_rows(n: usize) -> Vec<Vec<(usize, f64)>> {
+    (0..n).map(|i| vec![(i, 1.0)]).collect()
 }
 
 impl SimObserver for MixingMatrixObserver {
@@ -135,14 +144,18 @@ impl SimObserver for MixingMatrixObserver {
         if sources.is_empty() {
             return;
         }
-        let n = self.n;
         let denom = (sources.len() + 1) as f64;
-        let row = &mut self.current[i * n..(i + 1) * n];
-        for v in row.iter_mut() {
+        let row = &mut self.current[i];
+        for (_, v) in row.iter_mut() {
             *v /= denom;
         }
+        // Repeat senders accumulate, new senders insert at their sorted
+        // position — rows stay sorted so finishing into CSR is a move.
         for src in sources {
-            row[src] += 1.0 / denom;
+            match row.binary_search_by_key(&src, |&(j, _)| j) {
+                Ok(pos) => row[pos].1 += 1.0 / denom,
+                Err(pos) => row.insert(pos, (src, 1.0 / denom)),
+            }
         }
     }
 
@@ -150,7 +163,9 @@ impl SimObserver for MixingMatrixObserver {
         if self.n == 0 {
             return;
         }
-        let finished = std::mem::replace(&mut self.current, identity(self.n));
+        let rows = std::mem::replace(&mut self.current, identity_rows(self.n));
+        let finished = SparseMixingMatrix::from_sorted_rows(self.n, rows)
+            .expect("observer rows are sorted, in range and duplicate-free by construction");
         self.finished.push(finished);
         // `pending` deliberately survives the round boundary: buffered
         // models merge in the round their wake-up actually happens.
@@ -203,11 +218,32 @@ mod tests {
         }
     }
 
+    /// Dense row-major copy of a finished matrix, for assertions.
+    fn dense(w: &SparseMixingMatrix) -> Vec<f64> {
+        let n = w.n();
+        let mut out = vec![0.0; n * n];
+        for i in 0..n {
+            for (j, v) in w.row(i) {
+                out[i * n + j] = v;
+            }
+        }
+        out
+    }
+
+    fn identity(n: usize) -> Vec<f64> {
+        let mut m = vec![0.0; n * n];
+        for i in 0..n {
+            m[i * n + i] = 1.0;
+        }
+        m
+    }
+
     #[test]
     fn no_merges_yields_identity() {
         let mut obs = MixingMatrixObserver::new(3);
         obs.on_snapshot(&snapshot(1));
-        assert_eq!(obs.matrices()[0], identity(3));
+        assert_eq!(dense(&obs.matrices()[0]), identity(3));
+        assert_eq!(obs.matrices()[0].nnz(), 3, "identity stores n entries");
     }
 
     #[test]
@@ -217,7 +253,7 @@ mod tests {
         obs.on_deliver(deliver(2, 0, true));
         obs.on_merge(merge(0, 2));
         obs.on_snapshot(&snapshot(1));
-        let w = &obs.matrices()[0];
+        let w = dense(&obs.matrices()[0]);
         let third = 1.0 / 3.0;
         assert_eq!(&w[0..3], &[third, third, third]);
         assert_eq!(&w[3..6], &[0.0, 1.0, 0.0]);
@@ -230,7 +266,7 @@ mod tests {
         obs.on_deliver(deliver(1, 0, false));
         obs.on_merge(merge(0, 1));
         obs.on_snapshot(&snapshot(1));
-        let w = &obs.matrices()[0];
+        let w = dense(&obs.matrices()[0]);
         assert_eq!(&w[0..2], &[0.5, 0.5]);
         assert_eq!(&w[2..4], &[0.0, 1.0]);
     }
@@ -245,7 +281,7 @@ mod tests {
         obs.on_deliver(deliver(3, 2, true));
         obs.on_merge(merge(2, 1));
         obs.on_snapshot(&snapshot(1));
-        let w = &obs.matrices()[0];
+        let w = dense(&obs.matrices()[0]);
         for i in 0..4 {
             let sum: f64 = w[i * 4..(i + 1) * 4].iter().sum();
             assert!((sum - 1.0).abs() < 1e-12, "row {i} sums to {sum}");
@@ -255,15 +291,41 @@ mod tests {
     }
 
     #[test]
+    fn repeat_sender_in_one_merge_accumulates() {
+        // Two buffered copies from the same sender merged at once must
+        // accumulate into a single column entry, not a duplicate.
+        let mut obs = MixingMatrixObserver::new(2);
+        obs.on_deliver(deliver(1, 0, true));
+        obs.on_deliver(deliver(1, 0, true));
+        obs.on_merge(merge(0, 2));
+        obs.on_snapshot(&snapshot(1));
+        let w = &obs.matrices()[0];
+        let third = 1.0 / 3.0;
+        assert!((w.get(0, 0) - third).abs() < 1e-15);
+        assert!((w.get(0, 1) - 2.0 * third).abs() < 1e-15);
+        assert_eq!(w.nnz(), 3);
+    }
+
+    #[test]
     fn pending_deliveries_carry_across_rounds() {
         let mut obs = MixingMatrixObserver::new(2);
         obs.on_deliver(deliver(1, 0, true));
         obs.on_snapshot(&snapshot(1));
         obs.on_merge(merge(0, 1));
         obs.on_snapshot(&snapshot(2));
-        assert_eq!(obs.matrices()[0], identity(2));
-        let w = &obs.matrices()[1];
+        assert_eq!(dense(&obs.matrices()[0]), identity(2));
+        let w = dense(&obs.matrices()[1]);
         assert_eq!(&w[0..2], &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn matrices_stay_sparse_under_sparse_activity() {
+        // 100 nodes, one pairwise merge: nnz must be n + 1, not n².
+        let mut obs = MixingMatrixObserver::new(100);
+        obs.on_deliver(deliver(7, 3, false));
+        obs.on_merge(merge(3, 1));
+        obs.on_snapshot(&snapshot(1));
+        assert_eq!(obs.matrices()[0].nnz(), 101);
     }
 
     #[test]

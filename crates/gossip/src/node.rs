@@ -1,5 +1,7 @@
 //! Per-node simulation state.
 
+use std::sync::Arc;
+
 use glmia_data::Dataset;
 use glmia_nn::{Mlp, Sgd};
 use rand::rngs::StdRng;
@@ -15,19 +17,74 @@ pub(crate) struct Node {
     /// SAMO incoming-model buffer Θᵢ \ {θᵢ} — `(sender, flat params)`
     /// pairs awaiting the next wake-up merge. Keyed by sender so the merge
     /// can drain in sender order regardless of delivery interleaving.
-    pub buffer: Vec<(usize, Vec<f32>)>,
+    /// Payloads are shared (`Arc`) with the sender's outgoing copy, so
+    /// buffering a delivery never clones a parameter vector.
+    pub buffer: Vec<(usize, Arc<[f32]>)>,
     /// Fixed wake period Δᵢ in ticks (drawn once at startup, §3.1).
     pub wake_period: u64,
     /// The most recent outgoing model copy (post-defense); `None` until the
-    /// node first sends.
-    pub last_shared: Option<Vec<f32>>,
+    /// node first sends. Shares storage with every in-flight copy of the
+    /// same transmission.
+    pub last_shared: Option<Arc<[f32]>>,
     /// Local training shard Dᵢ,train.
     pub train: Dataset,
     /// Node-private RNG: neighbor choice, shuffling, defense noise, drops.
     pub rng: StdRng,
+    /// Monotone model version: bumped on every parameter mutation (local
+    /// update, buffer merge, pairwise merge). Downstream consumers use it —
+    /// via the [`flat_snapshot`](Node::flat_snapshot) cache's `Arc`
+    /// identity — to skip re-processing models that have not changed.
+    pub version: u64,
+    /// Flat-parameter snapshot cache: `(version, params)` of the last
+    /// [`flat_snapshot`](Node::flat_snapshot) call. While the version is
+    /// unchanged every send and round snapshot reuses this one allocation.
+    snapshot: Option<(u64, Arc<[f32]>)>,
+    /// Pooled merge scratch: one long-lived buffer per node reused by every
+    /// merge instead of allocating a parameter vector per merge.
+    scratch: Vec<f32>,
 }
 
 impl Node {
+    /// A fresh node around `model`; version 0, empty buffer, cold caches.
+    pub fn new(model: Mlp, opt: Sgd, wake_period: u64, train: Dataset, rng: StdRng) -> Self {
+        Self {
+            model,
+            opt,
+            buffer: Vec::new(),
+            wake_period,
+            last_shared: None,
+            train,
+            rng,
+            version: 0,
+            snapshot: None,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Records a parameter mutation: bumps the version and drops the stale
+    /// snapshot cache.
+    fn touch(&mut self) {
+        self.version += 1;
+        self.snapshot = None;
+    }
+
+    /// The node's current flat parameters as a shared, immutable snapshot.
+    ///
+    /// Cached per [`version`](Node::version): repeated calls between
+    /// mutations (the SAMO fan-out sends the same model to `k` neighbors;
+    /// round snapshots capture idle nodes over and over) return clones of
+    /// one `Arc` instead of copying the parameter vector each time.
+    pub fn flat_snapshot(&mut self) -> Arc<[f32]> {
+        if let Some((version, params)) = &self.snapshot {
+            if *version == self.version {
+                return Arc::clone(params);
+            }
+        }
+        let params: Arc<[f32]> = self.model.flat_params().into();
+        self.snapshot = Some((self.version, Arc::clone(&params)));
+        params
+    }
+
     /// Runs `local_epochs` epochs of mini-batch SGD on the node's shard.
     /// Returns how many epochs ran (0 when the shard is empty).
     ///
@@ -47,6 +104,7 @@ impl Node {
                 &mut self.rng,
             );
         }
+        self.touch();
         local_epochs as u64
     }
 
@@ -67,10 +125,11 @@ impl Node {
             return false;
         }
         self.buffer.sort_by_key(|(sender, _)| *sender);
-        let mut acc = self.model.flat_params();
+        let mut acc = std::mem::take(&mut self.scratch);
+        self.model.flat_params_into(&mut acc);
         for (_, received) in &self.buffer {
             debug_assert_eq!(received.len(), acc.len());
-            for (a, r) in acc.iter_mut().zip(received) {
+            for (a, r) in acc.iter_mut().zip(received.iter()) {
                 *a += r;
             }
         }
@@ -81,7 +140,9 @@ impl Node {
         self.model
             .load_flat(&acc)
             .expect("buffered models share the node's parameter count");
+        self.scratch = acc;
         self.buffer.clear();
+        self.touch();
         true
     }
 
@@ -92,7 +153,8 @@ impl Node {
     ///
     /// Panics if the received vector length mismatches the model.
     pub fn merge_pairwise(&mut self, received: &[f32]) {
-        let mut acc = self.model.flat_params();
+        let mut acc = std::mem::take(&mut self.scratch);
+        self.model.flat_params_into(&mut acc);
         assert_eq!(
             received.len(),
             acc.len(),
@@ -102,12 +164,14 @@ impl Node {
             *a = (*a + r) / 2.0;
         }
         self.model.load_flat(&acc).expect("length checked above");
+        self.scratch = acc;
+        self.touch();
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::Node;
+    use super::{Arc, Node};
     use glmia_data::Dataset;
     use glmia_nn::{Activation, Mlp, MlpSpec, Sgd};
     use rand::rngs::StdRng;
@@ -119,15 +183,13 @@ mod tests {
 
     fn node(seed: u64) -> Node {
         let mut rng = StdRng::seed_from_u64(seed);
-        Node {
-            model: Mlp::new(&spec(), &mut rng),
-            opt: Sgd::new(0.05),
-            buffer: Vec::new(),
-            wake_period: 10,
-            last_shared: None,
-            train: Dataset::empty(4, 2).expect("valid dims"),
-            rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9),
-        }
+        Node::new(
+            Mlp::new(&spec(), &mut rng),
+            Sgd::new(0.05),
+            10,
+            Dataset::empty(4, 2).expect("valid dims"),
+            StdRng::seed_from_u64(seed ^ 0x9e37_79b9),
+        )
     }
 
     /// f32 addition is not associative, so the SAMO merge must not depend
@@ -136,10 +198,10 @@ mod tests {
     /// drain in `merge_buffer`.
     #[test]
     fn merge_result_is_independent_of_arrival_order() {
-        let incoming: Vec<(usize, Vec<f32>)> = (0..6u64)
+        let incoming: Vec<(usize, Arc<[f32]>)> = (0..6u64)
             .map(|s| {
                 let m = Mlp::new(&spec(), &mut StdRng::seed_from_u64(100 + s));
-                (s as usize, m.flat_params())
+                (s as usize, m.flat_params().into())
             })
             .collect();
 
@@ -173,13 +235,21 @@ mod tests {
     /// copies oldest-first, deterministically.
     #[test]
     fn merge_keeps_arrival_order_within_a_sender() {
-        let a = Mlp::new(&spec(), &mut StdRng::seed_from_u64(201)).flat_params();
-        let b = Mlp::new(&spec(), &mut StdRng::seed_from_u64(202)).flat_params();
+        let a: Arc<[f32]> = Mlp::new(&spec(), &mut StdRng::seed_from_u64(201))
+            .flat_params()
+            .into();
+        let b: Arc<[f32]> = Mlp::new(&spec(), &mut StdRng::seed_from_u64(202))
+            .flat_params()
+            .into();
         let mut first = node(11);
-        first.buffer = vec![(3, a.clone()), (3, b.clone()), (0, b.clone())];
+        first.buffer = vec![
+            (3, Arc::clone(&a)),
+            (3, Arc::clone(&b)),
+            (0, Arc::clone(&b)),
+        ];
         assert!(first.merge_buffer());
         let mut second = node(11);
-        second.buffer = vec![(0, b.clone()), (3, a), (3, b)];
+        second.buffer = vec![(0, Arc::clone(&b)), (3, a), (3, b)];
         assert!(second.merge_buffer());
         assert_eq!(first.model.flat_params(), second.model.flat_params());
     }
@@ -190,5 +260,48 @@ mod tests {
         let before = n.model.flat_params();
         assert!(!n.merge_buffer());
         assert_eq!(n.model.flat_params(), before);
+    }
+
+    /// The flat-snapshot cache hands out one shared allocation until a
+    /// mutation bumps the version, then refreshes.
+    #[test]
+    fn flat_snapshot_is_shared_until_a_mutation() {
+        let mut n = node(9);
+        let first = n.flat_snapshot();
+        let second = n.flat_snapshot();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "unchanged model must reuse the snapshot allocation"
+        );
+        assert_eq!(&first[..], &n.model.flat_params()[..]);
+
+        let peer: Arc<[f32]> = Mlp::new(&spec(), &mut StdRng::seed_from_u64(300))
+            .flat_params()
+            .into();
+        let version_before = n.version;
+        n.merge_pairwise(&peer);
+        assert!(n.version > version_before, "merges must bump the version");
+        let third = n.flat_snapshot();
+        assert!(
+            !Arc::ptr_eq(&first, &third),
+            "mutation must invalidate the cached snapshot"
+        );
+        assert_eq!(&third[..], &n.model.flat_params()[..]);
+    }
+
+    /// Buffer merges bump the version exactly once, and no-op merges not
+    /// at all — the monotone counter downstream dedup relies on.
+    #[test]
+    fn version_counts_mutations_monotonically() {
+        let mut n = node(13);
+        assert_eq!(n.version, 0);
+        assert!(!n.merge_buffer());
+        assert_eq!(n.version, 0, "no-op merge must not bump");
+        let m: Arc<[f32]> = Mlp::new(&spec(), &mut StdRng::seed_from_u64(301))
+            .flat_params()
+            .into();
+        n.buffer = vec![(1, m)];
+        assert!(n.merge_buffer());
+        assert_eq!(n.version, 1);
     }
 }

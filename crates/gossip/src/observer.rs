@@ -320,8 +320,8 @@ mod tests {
         RoundSnapshot {
             round,
             tick: round as u64 * 100,
-            models: vec![vec![0.0]],
-            shared_models: vec![vec![0.0]],
+            models: vec![vec![0.0].into()],
+            shared_models: vec![vec![0.0].into()],
         }
     }
 

@@ -1,5 +1,7 @@
 //! Round snapshots: the omniscient attacker's observations.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 /// All node models captured at one round boundary — what the paper's
@@ -12,14 +14,17 @@ pub struct RoundSnapshot {
     /// The simulation tick at capture time.
     pub tick: u64,
     /// Flat parameter vectors, one per node (index = node id) — each
-    /// node's *internal* current model θᵢ.
-    pub models: Vec<Vec<f32>>,
+    /// node's *internal* current model θᵢ. Shared (`Arc`) with the engine's
+    /// per-node snapshot cache: a node that did not change between rounds
+    /// contributes the same allocation to consecutive snapshots, and
+    /// pointer equality certifies the model is byte-identical.
+    pub models: Vec<Arc<[f32]>>,
     /// The most recent model each node *transmitted*, after any
     /// [`Defense`](crate::Defense) was applied; equals the internal model
     /// for nodes that have not sent yet. This is the surface a
     /// network-eavesdropping attacker actually observes, and the only one a
     /// share-perturbation defense can protect.
-    pub shared_models: Vec<Vec<f32>>,
+    pub shared_models: Vec<Arc<[f32]>>,
 }
 
 /// Per-node activity counters over a whole run.

@@ -224,10 +224,20 @@ impl Mlp {
     #[must_use]
     pub fn flat_params(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.num_params());
-        for layer in &self.layers {
-            layer.store_flat(&mut out);
-        }
+        self.flat_params_into(&mut out);
         out
+    }
+
+    /// Writes the flattened parameters into `out`, reusing its allocation.
+    /// `out` is cleared first; afterwards `out.len() == num_params()`.
+    /// Lets hot paths (gossip merges, repeated snapshots) keep one scratch
+    /// buffer instead of allocating a parameter vector per call.
+    pub fn flat_params_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.num_params());
+        for layer in &self.layers {
+            layer.store_flat(out);
+        }
     }
 
     /// Overwrites all parameters from a flat vector.

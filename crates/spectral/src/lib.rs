@@ -20,7 +20,11 @@
 //! * [`product_contraction`] — the contraction coefficient
 //!   `σ₂(W⁽ᵀ⁾⋯W⁽¹⁾)` of a matrix sequence, computed by power iteration on
 //!   the consensus-orthogonal subspace without materializing the product.
-//!   For a single symmetric `W` this equals `|λ₂(W)|`.
+//!   For a single symmetric `W` this equals `|λ₂(W)|`;
+//! * [`SparseMixingMatrix`] + [`product_contraction_seeded`] — the
+//!   scalable CSR path: `O(nnz)` storage, deterministic seeded power
+//!   iteration, and implicit cumulative products for large `n`. The dense
+//!   Jacobi spectrum stays as the small-n oracle.
 //!
 //! # Examples
 //!
@@ -44,9 +48,13 @@ mod jacobi;
 mod matrix;
 mod mixing_time;
 mod power;
+mod sparse;
 
 pub use error::SpectralError;
 pub use jacobi::symmetric_eigenvalues;
 pub use matrix::MixingMatrix;
 pub use mixing_time::{compare_mixing_bounds, mixing_time, MixingBoundComparison};
-pub use power::{product_contraction, ProductContractionOptions};
+pub use power::{
+    product_contraction, product_contraction_seeded, MixingOp, ProductContractionOptions,
+};
+pub use sparse::SparseMixingMatrix;

@@ -4,7 +4,7 @@ use rand::Rng;
 
 use crate::{MixingMatrix, SpectralError};
 
-/// Options for [`product_contraction`].
+/// Options for [`product_contraction`] / [`product_contraction_seeded`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProductContractionOptions {
     /// Maximum power-iteration steps.
@@ -19,6 +19,50 @@ impl Default for ProductContractionOptions {
             max_iters: 300,
             tol: 1e-10,
         }
+    }
+}
+
+impl ProductContractionOptions {
+    /// The fixed iteration/tolerance contract of the deterministic sparse
+    /// spectral path: enough iterations for graphs with small spectral gaps
+    /// (large rings) to converge within `1e-9` of the exact eigenvalue, and
+    /// a tolerance tight enough that the stopping test — not the budget —
+    /// normally ends the iteration. Changing these constants changes every
+    /// recorded λ₂ bit pattern, so they are part of the trace contract.
+    #[must_use]
+    pub fn deterministic() -> Self {
+        Self {
+            max_iters: 100_000,
+            tol: 1e-15,
+        }
+    }
+}
+
+/// A mixing operator: anything that can apply itself (and its transpose) to
+/// a vector. Power iteration only needs matrix–vector products, so both the
+/// dense [`MixingMatrix`] and the sparse
+/// [`SparseMixingMatrix`](crate::SparseMixingMatrix) implement this and
+/// share one contraction core.
+pub trait MixingOp {
+    /// Matrix dimension (the operator maps `ℝⁿ → ℝⁿ`).
+    fn n(&self) -> usize;
+    /// Computes `W·v` into `out` (both length `n`).
+    fn apply_into(&self, v: &[f64], out: &mut [f64]);
+    /// Computes `Wᵀ·v` into `out` (both length `n`).
+    fn apply_transpose_into(&self, v: &[f64], out: &mut [f64]);
+}
+
+impl MixingOp for MixingMatrix {
+    fn n(&self) -> usize {
+        MixingMatrix::n(self)
+    }
+
+    fn apply_into(&self, v: &[f64], out: &mut [f64]) {
+        out.copy_from_slice(&self.apply(v));
+    }
+
+    fn apply_transpose_into(&self, v: &[f64], out: &mut [f64]) {
+        out.copy_from_slice(&self.apply_transpose(v));
     }
 }
 
@@ -38,7 +82,8 @@ impl Default for ProductContractionOptions {
 /// The product is never materialized: power iteration runs on
 /// `P (W*)ᵀ (W*) P` (with `P` the mean-removal projector) using one forward
 /// and one reverse sweep of matrix–vector products per step, so a length-`T`
-/// sequence of `n × n` matrices costs `O(iters · T · n²)`.
+/// sequence of `n × n` matrices costs `O(iters · T · n²)` dense, or
+/// `O(iters · T · nnz)` through the sparse path.
 ///
 /// # Errors
 ///
@@ -66,23 +111,80 @@ pub fn product_contraction<R: Rng + ?Sized>(
     opts: ProductContractionOptions,
     rng: &mut R,
 ) -> Result<f64, SpectralError> {
-    let Some(first) = matrices.first() else {
+    let n = validated_dimension(matrices)?;
+    if n == 1 {
+        return Ok(0.0);
+    }
+    let v: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    contraction_core(matrices, opts, v)
+}
+
+/// Deterministic variant of [`product_contraction`]: the start vector is
+/// derived from `seed` by a SplitMix64 stream instead of a caller-supplied
+/// RNG, so identical `(operators, opts, seed)` give bit-identical results
+/// on every run, platform thread count, and call site. This is the entry
+/// point the trace pipeline records λ₂ through.
+///
+/// Works on any [`MixingOp`] — pass a slice of
+/// [`SparseMixingMatrix`](crate::SparseMixingMatrix) to evaluate the
+/// implicit cumulative product `W⁽ᵗ⁾⋯W⁽¹⁾` without ever materializing a
+/// dense `n × n` matrix.
+///
+/// # Errors
+///
+/// Returns [`SpectralError`] if `ops` is empty or dimensions are
+/// inconsistent.
+pub fn product_contraction_seeded<M: MixingOp>(
+    ops: &[M],
+    opts: ProductContractionOptions,
+    seed: u64,
+) -> Result<f64, SpectralError> {
+    let n = validated_dimension(ops)?;
+    if n == 1 {
+        return Ok(0.0);
+    }
+    let mut state = seed;
+    let v: Vec<f64> = (0..n).map(|_| splitmix_unit(&mut state)).collect();
+    contraction_core(ops, opts, v)
+}
+
+fn validated_dimension<M: MixingOp>(ops: &[M]) -> Result<usize, SpectralError> {
+    let Some(first) = ops.first() else {
         return Err(SpectralError::new(
             "product contraction requires at least one matrix",
         ));
     };
     let n = first.n();
-    if matrices.iter().any(|m| m.n() != n) {
+    if ops.iter().any(|m| m.n() != n) {
         return Err(SpectralError::new(
             "all matrices in the product must have the same dimension",
         ));
     }
-    if n == 1 {
-        return Ok(0.0);
-    }
+    Ok(n)
+}
 
-    // Random start vector, projected off the consensus direction.
-    let mut v: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+/// SplitMix64 step mapped to a uniform draw in `[-1, 1)`.
+fn splitmix_unit(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    // 53 mantissa bits → uniform in [0, 1), then shift to [-1, 1).
+    let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+    2.0 * unit - 1.0
+}
+
+/// Power iteration on `P (W*)ᵀ (W*) P` from the given start vector, with
+/// two ping-pong scratch buffers shared across all sweeps — no allocation
+/// inside the iteration loop for operators whose `apply_into` is in-place
+/// (the sparse path).
+fn contraction_core<M: MixingOp>(
+    ops: &[M],
+    opts: ProductContractionOptions,
+    mut v: Vec<f64>,
+) -> Result<f64, SpectralError> {
+    let n = v.len();
     project_off_ones(&mut v);
     if normalize(&mut v) == 0.0 {
         // Degenerate draw (probability zero, but stay safe).
@@ -93,27 +195,30 @@ pub fn product_contraction<R: Rng + ?Sized>(
         normalize(&mut v);
     }
 
+    let mut a = vec![0.0; n];
+    let mut b = vec![0.0; n];
     let mut prev_sigma_sq = f64::INFINITY;
     for _ in 0..opts.max_iters {
-        // u = W* v (apply W⁽¹⁾ first).
-        let mut u = v.clone();
-        for m in matrices {
-            u = m.apply(&u);
+        // a = W* v (apply W⁽¹⁾ first).
+        a.copy_from_slice(&v);
+        for m in ops {
+            m.apply_into(&a, &mut b);
+            std::mem::swap(&mut a, &mut b);
         }
-        // w = (W*)ᵀ u (reverse order, transposed factors).
-        let mut w = u;
-        for m in matrices.iter().rev() {
-            w = m.apply_transpose(&w);
+        // a = (W*)ᵀ (W* v) (reverse order, transposed factors).
+        for m in ops.iter().rev() {
+            m.apply_transpose_into(&a, &mut b);
+            std::mem::swap(&mut a, &mut b);
         }
-        project_off_ones(&mut w);
-        // Rayleigh quotient of (W*)ᵀW* at v is vᵀw since ‖v‖ = 1.
-        let sigma_sq: f64 = v.iter().zip(&w).map(|(a, b)| a * b).sum();
-        if normalize(&mut w) == 0.0 {
+        project_off_ones(&mut a);
+        // Rayleigh quotient of (W*)ᵀW* at v is vᵀa since ‖v‖ = 1.
+        let sigma_sq: f64 = v.iter().zip(&a).map(|(x, y)| x * y).sum();
+        if normalize(&mut a) == 0.0 {
             // W* annihilated the whole orthogonal subspace (e.g. complete
             // graph): contraction is exactly 0.
             return Ok(0.0);
         }
-        v = w;
+        std::mem::swap(&mut v, &mut a);
         if (sigma_sq - prev_sigma_sq).abs() <= opts.tol * sigma_sq.abs().max(1e-300) {
             return Ok(sigma_sq.max(0.0).sqrt());
         }
@@ -159,6 +264,8 @@ mod tests {
     #[test]
     fn empty_sequence_errors() {
         assert!(product_contraction(&[], opts(), &mut rng(0)).is_err());
+        let empty: &[MixingMatrix] = &[];
+        assert!(product_contraction_seeded(empty, opts(), 0).is_err());
     }
 
     #[test]
@@ -182,6 +289,35 @@ mod tests {
             (sigma - expected).abs() < 1e-6,
             "sigma {sigma} vs {expected}"
         );
+    }
+
+    #[test]
+    fn seeded_matches_jacobi_tightly() {
+        let mut r = rng(9);
+        let g = Topology::random_regular(24, 4, &mut r).unwrap();
+        let w = MixingMatrix::from_regular(&g).unwrap();
+        let eigs = crate::symmetric_eigenvalues(&w);
+        let expected = eigs[1..].iter().map(|e| e.abs()).fold(0.0f64, f64::max);
+        let sigma = product_contraction_seeded(
+            std::slice::from_ref(&w),
+            ProductContractionOptions::deterministic(),
+            3,
+        )
+        .unwrap();
+        assert!(
+            (sigma - expected).abs() < 1e-9,
+            "sigma {sigma} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn seeded_is_bitwise_deterministic() {
+        let g = Topology::ring(12).unwrap();
+        let w = MixingMatrix::from_regular(&g).unwrap();
+        let opts = ProductContractionOptions::deterministic();
+        let a = product_contraction_seeded(std::slice::from_ref(&w), opts, 17).unwrap();
+        let b = product_contraction_seeded(std::slice::from_ref(&w), opts, 17).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
     }
 
     #[test]
@@ -251,7 +387,8 @@ mod tests {
     #[test]
     fn one_by_one_matrix_contracts_to_zero() {
         let w = MixingMatrix::from_vec(1, vec![1.0]).unwrap();
-        let sigma = product_contraction(&[w], opts(), &mut rng(6)).unwrap();
+        let sigma = product_contraction(&[w.clone()], opts(), &mut rng(6)).unwrap();
         assert_eq!(sigma, 0.0);
+        assert_eq!(product_contraction_seeded(&[w], opts(), 0).unwrap(), 0.0);
     }
 }

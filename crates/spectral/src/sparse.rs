@@ -1,0 +1,486 @@
+//! Sparse (CSR) mixing matrices for large-n spectral analysis.
+//!
+//! Gossip mixing matrices have one nonzero per neighbour plus the diagonal,
+//! so a k-regular graph on `n` nodes stores `n·(k+1)` entries instead of
+//! `n²`. All spectral quantities the pipeline needs — single-round λ₂ and
+//! the cumulative-product contraction σ₂(W⁽ᵗ⁾⋯W⁽¹⁾) — are computed from
+//! matrix–vector products only, so nothing ever materializes a dense `n × n`
+//! matrix (see [`product_contraction_seeded`](crate::product_contraction_seeded)).
+//!
+//! The dense [`MixingMatrix`](crate::MixingMatrix) path with its exact
+//! Jacobi eigensolver remains the small-n oracle; this module is the
+//! scalable path and is validated against the oracle in tests to `1e-9`.
+
+use glmia_graph::Topology;
+
+use crate::power::{product_contraction_seeded, MixingOp, ProductContractionOptions};
+use crate::{MixingMatrix, SpectralError};
+
+/// A sparse `n × n` gossip mixing matrix in compressed-sparse-row form.
+///
+/// Rows are stored with column indices in strictly increasing order, which
+/// fixes the floating-point accumulation order of every matrix–vector
+/// product: results are bit-identical across runs and thread counts.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_graph::Topology;
+/// use glmia_spectral::{MixingMatrix, ProductContractionOptions, SparseMixingMatrix};
+///
+/// let g = Topology::ring(64)?;
+/// let sparse = SparseMixingMatrix::from_regular(&g)?;
+/// let dense = MixingMatrix::from_regular(&g)?;
+/// assert_eq!(sparse.nnz(), 64 * 3);
+/// let opts = ProductContractionOptions::deterministic();
+/// let l2_sparse = sparse.lambda2_magnitude_seeded(opts, 42)?;
+/// let l2_dense = dense.lambda2_magnitude();
+/// assert!((l2_sparse - l2_dense).abs() < 1e-9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseMixingMatrix {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl SparseMixingMatrix {
+    /// Builds the uniform-weight mixing matrix of a k-regular topology:
+    /// `W = (A + I) / (k + 1)`, stored sparsely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpectralError`] if the topology is empty or not regular.
+    pub fn from_regular(topology: &Topology) -> Result<Self, SpectralError> {
+        let n = topology.len();
+        if n == 0 {
+            return Err(SpectralError::new("topology has no nodes"));
+        }
+        let k = topology.degree(0);
+        if !topology.is_regular(k) {
+            return Err(SpectralError::new(
+                "topology is not regular; use SparseMixingMatrix::metropolis for general graphs",
+            ));
+        }
+        let w = 1.0 / (k as f64 + 1.0);
+        let mut rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut row: Vec<(usize, f64)> = Vec::with_capacity(k + 1);
+            row.push((i, w));
+            for &j in topology.view(i) {
+                row.push((j, w));
+            }
+            row.sort_unstable_by_key(|&(j, _)| j);
+            rows.push(row);
+        }
+        Self::from_sorted_rows(n, rows)
+    }
+
+    /// Builds Metropolis–Hastings weights for an arbitrary topology, stored
+    /// sparsely: `W_{ij} = 1 / (1 + max(dᵢ, dⱼ))` for edges, diagonal
+    /// absorbs the remainder. Symmetric and doubly stochastic for any graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpectralError`] if the topology is empty.
+    pub fn metropolis(topology: &Topology) -> Result<Self, SpectralError> {
+        let n = topology.len();
+        if n == 0 {
+            return Err(SpectralError::new("topology has no nodes"));
+        }
+        let mut rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut off_diag = 0.0;
+            let mut row: Vec<(usize, f64)> = Vec::with_capacity(topology.degree(i) + 1);
+            for &j in topology.view(i) {
+                let w = 1.0 / (1.0 + topology.degree(i).max(topology.degree(j)) as f64);
+                row.push((j, w));
+                off_diag += w;
+            }
+            row.push((i, 1.0 - off_diag));
+            row.sort_unstable_by_key(|&(j, _)| j);
+            rows.push(row);
+        }
+        Self::from_sorted_rows(n, rows)
+    }
+
+    /// Builds a matrix from per-row `(column, value)` entries, e.g. the
+    /// empirical rows recorded by the gossip `MixingMatrixObserver`.
+    ///
+    /// Entries within a row may arrive in any order; they are sorted by
+    /// column. Exact-zero values are kept (callers decide what to record),
+    /// so `nnz` reflects the input faithfully.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpectralError`] if `rows.len() != n`, `n == 0`, a column
+    /// index is out of range, or a row contains duplicate columns.
+    pub fn from_sorted_rows(n: usize, rows: Vec<Vec<(usize, f64)>>) -> Result<Self, SpectralError> {
+        if n == 0 {
+            return Err(SpectralError::new("matrix must have at least one row"));
+        }
+        if rows.len() != n {
+            return Err(SpectralError::new(format!(
+                "expected {n} rows, got {}",
+                rows.len()
+            )));
+        }
+        let nnz = rows.iter().map(Vec::len).sum();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        row_ptr.push(0);
+        for mut row in rows {
+            row.sort_unstable_by_key(|&(j, _)| j);
+            for window in row.windows(2) {
+                if window[0].0 == window[1].0 {
+                    return Err(SpectralError::new(format!(
+                        "duplicate column {} in sparse row",
+                        window[0].0
+                    )));
+                }
+            }
+            for (j, v) in row {
+                if j >= n {
+                    return Err(SpectralError::new(format!(
+                        "column index {j} out of range for a {n}x{n} matrix"
+                    )));
+                }
+                col_idx.push(j);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Ok(Self {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Converts a dense matrix, dropping exact zeros.
+    #[must_use]
+    pub fn from_dense(dense: &MixingMatrix) -> Self {
+        let n = dense.n();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for row in dense.as_slice().chunks_exact(n) {
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    col_idx.push(j);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Self {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Materializes the dense equivalent — only for small-n oracle checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpectralError`] if the dense buffer would be degenerate
+    /// (never happens for `n ≥ 1`, which the constructors guarantee).
+    pub fn to_dense(&self) -> Result<MixingMatrix, SpectralError> {
+        let mut data = vec![0.0; self.n * self.n];
+        for i in 0..self.n {
+            for (j, v) in self.row(i) {
+                data[i * self.n + j] = v;
+            }
+        }
+        MixingMatrix::from_vec(self.n, data)
+    }
+
+    /// Matrix dimension.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored entries.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The entry at `(i, j)` (0 if not stored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        match self.col_idx[lo..hi].binary_search(&j) {
+            Ok(pos) => self.values[lo + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates over the stored `(column, value)` entries of row `i`,
+    /// columns in increasing order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(i < self.n, "row index out of bounds");
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&j, &v)| (j, v))
+    }
+
+    /// Computes `W·v` into a fresh vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != n`.
+    #[must_use]
+    pub fn apply(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.n];
+        self.apply_into(v, &mut out);
+        out
+    }
+
+    /// Whether all row and column sums are within `tol` of 1 and all
+    /// stored entries are non-negative.
+    #[must_use]
+    pub fn is_doubly_stochastic(&self, tol: f64) -> bool {
+        if self.values.iter().any(|&x| x < -tol) {
+            return false;
+        }
+        let mut col_sums = vec![0.0; self.n];
+        for i in 0..self.n {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            let row: f64 = self.values[lo..hi].iter().sum();
+            if (row - 1.0).abs() > tol {
+                return false;
+            }
+            for (&j, &v) in self.col_idx[lo..hi].iter().zip(&self.values[lo..hi]) {
+                col_sums[j] += v;
+            }
+        }
+        col_sums.iter().all(|&c| (c - 1.0).abs() <= tol)
+    }
+
+    /// Whether the matrix is symmetric within `tol`.
+    #[must_use]
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        for i in 0..self.n {
+            for (j, v) in self.row(i) {
+                if (v - self.get(j, i)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The second-largest-*magnitude* eigenvalue `max_{i≥2} |λᵢ(W)|` of a
+    /// symmetric doubly-stochastic mixing matrix, computed by deterministic
+    /// deflated power iteration: the consensus eigenvector `𝟙` is projected
+    /// off, the start vector is derived from `seed` (SplitMix64), and the
+    /// iteration runs under the fixed `opts` contract — identical inputs
+    /// give bit-identical results on every run and thread count.
+    ///
+    /// This is the scalable counterpart of the dense Jacobi oracle
+    /// [`MixingMatrix::lambda2_magnitude`]; agreement is within `1e-9` for
+    /// graphs with a non-degenerate spectral gap (validated in tests up to
+    /// `n = 512`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpectralError`] if `n < 2`.
+    pub fn lambda2_magnitude_seeded(
+        &self,
+        opts: ProductContractionOptions,
+        seed: u64,
+    ) -> Result<f64, SpectralError> {
+        if self.n < 2 {
+            return Err(SpectralError::new("λ₂ requires at least a 2x2 matrix"));
+        }
+        product_contraction_seeded(std::slice::from_ref(self), opts, seed)
+    }
+}
+
+impl MixingOp for SparseMixingMatrix {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn apply_into(&self, v: &[f64], out: &mut [f64]) {
+        assert_eq!(v.len(), self.n, "vector length mismatch");
+        assert_eq!(out.len(), self.n, "output length mismatch");
+        for (i, o) in out.iter_mut().enumerate() {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            *o = self.col_idx[lo..hi]
+                .iter()
+                .zip(&self.values[lo..hi])
+                .map(|(&j, &w)| w * v[j])
+                .sum();
+        }
+    }
+
+    fn apply_transpose_into(&self, v: &[f64], out: &mut [f64]) {
+        assert_eq!(v.len(), self.n, "vector length mismatch");
+        assert_eq!(out.len(), self.n, "output length mismatch");
+        out.fill(0.0);
+        for (i, &x) in v.iter().enumerate() {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            for (&j, &w) in self.col_idx[lo..hi].iter().zip(&self.values[lo..hi]) {
+                out[j] += w * x;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn seeded_opts() -> ProductContractionOptions {
+        ProductContractionOptions::deterministic()
+    }
+
+    #[test]
+    fn from_regular_matches_dense_entries() {
+        let g = Topology::ring(8).unwrap();
+        let sparse = SparseMixingMatrix::from_regular(&g).unwrap();
+        let dense = MixingMatrix::from_regular(&g).unwrap();
+        for i in 0..8 {
+            for j in 0..8 {
+                assert_eq!(sparse.get(i, j), dense.get(i, j), "entry ({i},{j})");
+            }
+        }
+        assert_eq!(sparse.nnz(), 8 * 3);
+    }
+
+    #[test]
+    fn metropolis_matches_dense_entries() {
+        let g = Topology::from_views(vec![vec![1, 2], vec![0], vec![0]]).unwrap();
+        let sparse = SparseMixingMatrix::metropolis(&g).unwrap();
+        let dense = MixingMatrix::metropolis(&g).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(sparse.get(i, j), dense.get(i, j), "entry ({i},{j})");
+            }
+        }
+        assert!(sparse.is_symmetric(1e-12));
+        assert!(sparse.is_doubly_stochastic(1e-9));
+    }
+
+    #[test]
+    fn from_sorted_rows_validates() {
+        assert!(SparseMixingMatrix::from_sorted_rows(0, vec![]).is_err());
+        assert!(SparseMixingMatrix::from_sorted_rows(2, vec![vec![(0, 1.0)]]).is_err());
+        assert!(
+            SparseMixingMatrix::from_sorted_rows(2, vec![vec![(2, 1.0)], vec![(1, 1.0)]]).is_err()
+        );
+        assert!(SparseMixingMatrix::from_sorted_rows(
+            2,
+            vec![vec![(0, 0.5), (0, 0.5)], vec![(1, 1.0)]]
+        )
+        .is_err());
+        let ok = SparseMixingMatrix::from_sorted_rows(
+            2,
+            vec![vec![(1, 0.5), (0, 0.5)], vec![(0, 0.5), (1, 0.5)]],
+        )
+        .unwrap();
+        assert_eq!(ok.get(0, 1), 0.5);
+        assert_eq!(ok.nnz(), 4);
+    }
+
+    #[test]
+    fn dense_round_trip_preserves_matrix() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = Topology::random_regular(24, 4, &mut rng).unwrap();
+        let dense = MixingMatrix::from_regular(&g).unwrap();
+        let sparse = SparseMixingMatrix::from_dense(&dense);
+        assert_eq!(sparse.to_dense().unwrap(), dense);
+        assert_eq!(sparse.nnz(), 24 * 5);
+    }
+
+    #[test]
+    fn apply_matches_dense_apply() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = Topology::random_regular(20, 4, &mut rng).unwrap();
+        let dense = MixingMatrix::from_regular(&g).unwrap();
+        let sparse = SparseMixingMatrix::from_regular(&g).unwrap();
+        let v: Vec<f64> = (0..20).map(|i| (i as f64) - 9.5).collect();
+        let a = dense.apply(&v);
+        let b = sparse.apply(&v);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-15);
+        }
+        let mut at = vec![0.0; 20];
+        sparse.apply_transpose_into(&v, &mut at);
+        let dt = dense.apply_transpose(&v);
+        for (x, y) in dt.iter().zip(&at) {
+            assert!((x - y).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn seeded_lambda2_matches_jacobi_on_ring() {
+        let g = Topology::ring(32).unwrap();
+        let sparse = SparseMixingMatrix::from_regular(&g).unwrap();
+        let dense = MixingMatrix::from_regular(&g).unwrap();
+        let l2 = sparse.lambda2_magnitude_seeded(seeded_opts(), 7).unwrap();
+        assert!(
+            (l2 - dense.lambda2_magnitude()).abs() < 1e-9,
+            "sparse {l2} vs dense {}",
+            dense.lambda2_magnitude()
+        );
+    }
+
+    #[test]
+    fn seeded_lambda2_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = Topology::random_regular(64, 6, &mut rng).unwrap();
+        let sparse = SparseMixingMatrix::from_regular(&g).unwrap();
+        let a = sparse.lambda2_magnitude_seeded(seeded_opts(), 99).unwrap();
+        let b = sparse.lambda2_magnitude_seeded(seeded_opts(), 99).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn seeded_lambda2_rejects_tiny_matrices() {
+        let m = SparseMixingMatrix::from_sorted_rows(1, vec![vec![(0, 1.0)]]).unwrap();
+        assert!(m.lambda2_magnitude_seeded(seeded_opts(), 0).is_err());
+    }
+
+    #[test]
+    fn stochasticity_checks_detect_violations() {
+        let bad = SparseMixingMatrix::from_sorted_rows(
+            2,
+            vec![vec![(0, 0.7), (1, 0.5)], vec![(0, 0.3), (1, 0.5)]],
+        )
+        .unwrap();
+        assert!(!bad.is_doubly_stochastic(1e-9));
+        let asym =
+            SparseMixingMatrix::from_sorted_rows(2, vec![vec![(0, 0.5), (1, 0.5)], vec![(1, 1.0)]])
+                .unwrap();
+        assert!(!asym.is_symmetric(1e-9));
+    }
+}

@@ -48,6 +48,25 @@ fn synchronous_static_schedule_reproduces_the_analytic_lambda2() {
 }
 
 #[test]
+fn spectral_records_are_thread_count_invariant() {
+    // The whole spectral phase — sparse per-round λ₂ and the implicit
+    // cumulative contraction — runs on seed-derived start vectors, so the
+    // recorded bit patterns must not change with evaluation parallelism.
+    let serial = synchronous(33).with_parallelism(Parallelism::Fixed(1));
+    let (_, base) = run_experiment_traced(&serial).unwrap();
+    let base_events = serde_json::to_string(base.events()).unwrap();
+    for threads in [2, 8] {
+        let config = synchronous(33).with_parallelism(Parallelism::Fixed(threads));
+        let (_, trace) = run_experiment_traced(&config).unwrap();
+        assert_eq!(
+            base_events,
+            serde_json::to_string(trace.events()).unwrap(),
+            "{threads}-thread trace events diverged from serial"
+        );
+    }
+}
+
+#[test]
 fn peerswap_dynamics_diverge_from_the_static_spectrum() {
     let config = synchronous(31).with_topology_mode(TopologyMode::Dynamic);
     let (_, trace) = run_experiment_traced(&config).unwrap();

@@ -1,0 +1,15 @@
+//! Bad: float reductions fed by hash-order iteration. Each one re-rounds
+//! differently per process because float addition is not associative.
+use std::collections::{HashMap, HashSet};
+
+pub fn total(weights: &HashMap<usize, f64>) -> f64 {
+    weights.values().sum::<f64>()
+}
+
+pub fn scale(levels: &HashSet<u32>) -> f32 {
+    levels.iter().map(|&v| 1.0 + v as f32).product::<f32>()
+}
+
+pub fn accumulate(map: &HashMap<usize, f32>) -> f32 {
+    map.values().fold(0.0, |acc, v| acc + v)
+}

@@ -1,0 +1,18 @@
+//! Ok: reductions that stay deterministic. Integer sums are exact in any
+//! order; ordered containers iterate the same way every run; and the
+//! sanctioned float pattern projects into a Vec and sorts before reducing.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn count(map: &HashMap<usize, u64>) -> u64 {
+    map.values().sum::<u64>()
+}
+
+pub fn ordered_total(map: &BTreeMap<usize, f64>) -> f64 {
+    map.values().sum::<f64>()
+}
+
+pub fn sorted_total(map: &HashMap<usize, f64>) -> f64 {
+    let mut entries: Vec<(usize, f64)> = map.iter().map(|(&k, &v)| (k, v)).collect();
+    entries.sort_by_key(|&(k, _)| k);
+    entries.into_iter().map(|(_, v)| v).sum::<f64>()
+}

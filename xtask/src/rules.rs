@@ -69,6 +69,13 @@ pub const RULES: &[Rule] = &[
                   sanctioned, self-justifying form",
     },
     Rule {
+        name: "float-reduction-over-unordered-containers",
+        summary: "float sums/products/folds within reach of a HashMap/HashSet \
+                  are banned in every crate: float addition is not associative, \
+                  so hash iteration order changes the rounded result — iterate \
+                  a sorted projection instead",
+    },
+    Rule {
         name: "malformed-allow",
         summary: "a lint:allow comment must name a known rule and carry a \
                   non-empty justification",
@@ -92,6 +99,7 @@ pub fn lint_files(files: &[ScannedFile], cfg: &LintConfig) -> Vec<Diagnostic> {
         no_wall_clock(file, cfg, &mut diags);
         no_unseeded_rng(file, &mut diags);
         no_panic_in_library(file, cfg, &mut diags);
+        float_reduction_over_unordered(file, &mut diags);
     }
     diags.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     diags
@@ -282,6 +290,93 @@ fn no_panic_in_library(file: &ScannedFile, cfg: &LintConfig, diags: &mut Vec<Dia
     }
 }
 
+/// Flags float reductions (`.sum`/`.product`/`.fold`) whose surrounding
+/// statement span also names `HashMap` or `HashSet`.
+///
+/// The restricted crates ban the containers outright
+/// ([`no_unordered_iteration`]); everywhere else they are legal — but a
+/// float reduction fed by hash-order iteration silently re-rounds per
+/// process, because float addition is not associative. A token scanner
+/// cannot type the receiver chain, so the span heuristic is: from the
+/// previous `;` (which reaches back through the enclosing signature or
+/// binding, where the container type is usually spelled) to the next `;`.
+/// Only spans with float evidence (`f32`/`f64` tokens or a float literal)
+/// fire — integer reductions are exact in any order. Ordered containers
+/// (`BTreeMap`) never match; a deliberate order-insensitive reduction over
+/// a hash container documents itself with `lint:allow`.
+fn float_reduction_over_unordered(file: &ScannedFile, diags: &mut Vec<Diagnostic>) {
+    const RULE: &str = "float-reduction-over-unordered-containers";
+    if file.kind != FileKind::Src {
+        return;
+    }
+    let masked = &file.masked;
+    for method in ["sum", "product", "fold"] {
+        for off in method_occurrences(masked, method) {
+            let span = &masked[span_start(masked, off)..span_end(masked, off)];
+            let container = ["HashMap", "HashSet"]
+                .into_iter()
+                .find(|c| !ident_occurrences(span, c).is_empty());
+            let Some(container) = container else { continue };
+            if !span_has_float_evidence(span) {
+                continue;
+            }
+            let line = file.line_of(off);
+            if file.is_allowed(RULE, line) {
+                continue;
+            }
+            push(
+                diags,
+                RULE,
+                file,
+                line,
+                format!(
+                    "`.{method}` over floats within reach of `{container}`: hash \
+                     iteration order varies per process and float accumulation \
+                     is order-sensitive, so the rounded result drifts across \
+                     reruns — collect into a Vec, sort by key, then reduce"
+                ),
+            );
+        }
+    }
+}
+
+/// Backward statement-ish boundary for the float-reduction rule: just
+/// after the previous `;`, or just after a `}` that ends its line (an item
+/// or block boundary — a closure's `}` inside a chain is followed by `)`
+/// or `.`, not a newline, so chains spanning closures stay in one span).
+/// Reaching back through the enclosing signature is deliberate: that is
+/// where the container type of the receiver is usually spelled.
+fn span_start(masked: &str, off: usize) -> usize {
+    let bytes = masked.as_bytes();
+    (0..off)
+        .rev()
+        .find(|&i| bytes[i] == b';' || (bytes[i] == b'}' && bytes.get(i + 1) == Some(&b'\n')))
+        .map_or(0, |i| i + 1)
+}
+
+/// Forward twin of [`span_start`]: up to the next `;` or line-ending `}`.
+fn span_end(masked: &str, off: usize) -> usize {
+    let bytes = masked.as_bytes();
+    (off..masked.len())
+        .find(|&i| bytes[i] == b';' || (bytes[i] == b'}' && bytes.get(i + 1) == Some(&b'\n')))
+        .unwrap_or(masked.len())
+}
+
+/// Whether a masked span mentions `f32`/`f64` or contains a float literal
+/// (`digit.digit` with no identifier byte immediately before).
+fn span_has_float_evidence(span: &str) -> bool {
+    if !ident_occurrences(span, "f32").is_empty() || !ident_occurrences(span, "f64").is_empty() {
+        return true;
+    }
+    let bytes = span.as_bytes();
+    bytes.windows(3).enumerate().any(|(i, w)| {
+        w[0].is_ascii_digit()
+            && w[1] == b'.'
+            && w[2].is_ascii_digit()
+            && (i == 0 || !is_ident_byte(bytes[i - 1]) || bytes[i - 1].is_ascii_digit())
+    })
+}
+
 fn push(
     diags: &mut Vec<Diagnostic>,
     rule: &'static str,
@@ -432,6 +527,8 @@ mod tests {
             "no_unseeded_rng_bad" => include_str!("../fixtures/no_unseeded_rng_bad.rs"),
             "no_panic_in_library_ok" => include_str!("../fixtures/no_panic_in_library_ok.rs"),
             "no_panic_in_library_bad" => include_str!("../fixtures/no_panic_in_library_bad.rs"),
+            "float_reduction_ok" => include_str!("../fixtures/float_reduction_ok.rs"),
+            "float_reduction_bad" => include_str!("../fixtures/float_reduction_bad.rs"),
             other => panic!("unknown fixture {other}"),
         }
     }
@@ -524,6 +621,57 @@ mod tests {
         assert!(diags[0].message.contains("unwrap"));
         assert!(diags[1].message.contains("panic"));
         assert!(diags[2].message.contains("expect"));
+    }
+
+    #[test]
+    fn float_reduction_fixture_pair() {
+        // nn is NOT in the no-unordered-iteration restricted set, so the
+        // diagnostics below are this rule's alone.
+        let clean = lint_one("crates/nn/src/fixture.rs", fixture("float_reduction_ok"));
+        assert_eq!(clean, Vec::new(), "ok fixture must lint clean");
+        let diags = lint_one("crates/nn/src/fixture.rs", fixture("float_reduction_bad"));
+        assert_eq!(diags.len(), 3, "{diags:?}");
+        assert!(diags
+            .iter()
+            .all(|d| d.rule == "float-reduction-over-unordered-containers"));
+        assert_eq!(
+            diags.iter().map(|d| d.line).collect::<Vec<_>>(),
+            vec![6, 10, 14]
+        );
+        assert!(diags[0].message.contains("sum"));
+        assert!(diags[1].message.contains("product"));
+        assert!(diags[2].message.contains("fold"));
+        assert!(diags[0].message.contains("HashMap"));
+        assert!(diags[1].message.contains("HashSet"));
+    }
+
+    #[test]
+    fn float_reduction_applies_on_top_of_restricted_crates() {
+        // In a restricted crate the same source also trips the container
+        // ban; both rules report, each at its own line.
+        let diags = lint_one(
+            "crates/gossip/src/fixture.rs",
+            fixture("float_reduction_bad"),
+        );
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == "float-reduction-over-unordered-containers"));
+        assert!(diags.iter().any(|d| d.rule == "no-unordered-iteration"));
+    }
+
+    #[test]
+    fn float_reduction_skips_test_and_bench_files() {
+        let diags = lint_one("crates/nn/tests/fixture.rs", fixture("float_reduction_bad"));
+        assert!(
+            diags.is_empty(),
+            "rule covers library sources only: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn float_reduction_allow_suppresses_with_reason() {
+        let src = "use std::collections::HashMap;\nfn f(m: &HashMap<u8, f64>) -> f64 {\n    // lint:allow(float-reduction-over-unordered-containers, \"sum feeds an order-insensitive count\")\n    m.values().sum::<f64>()\n}\n";
+        assert!(lint_one("crates/nn/src/f.rs", src).is_empty());
     }
 
     #[test]
