@@ -1,0 +1,127 @@
+//! Offline API-compatible stand-in for `criterion` (subset).
+//!
+//! Runs each registered benchmark closure a handful of times and reports
+//! wall-clock means to stderr. No statistics, warm-up, or HTML reports —
+//! just enough to compile and smoke-run the workspace benches offline.
+
+use std::time::Instant;
+
+const STUB_ITERS: u32 = 3;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _crit: self,
+        }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        run_one(&id.into(), &mut f);
+    }
+}
+
+/// A named group of benchmarks (settings are accepted and ignored).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _crit: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count (ignored by the stub).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, &mut f);
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, f: &mut F) {
+    let mut b = Bencher { elapsed_ns: 0 };
+    let wall = Instant::now();
+    f(&mut b);
+    eprintln!(
+        "bench {id}: ~{} ns/iter (stub, {} iters, wall {:?})",
+        b.elapsed_ns / u128::from(STUB_ITERS.max(1)),
+        STUB_ITERS,
+        wall.elapsed()
+    );
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Time `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..STUB_ITERS {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos();
+    }
+
+    /// Time `routine` with per-iteration inputs from `setup`.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..STUB_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed_ns += start.elapsed().as_nanos();
+        }
+    }
+}
+
+/// Input-size hint for `iter_batched` (ignored by the stub).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Registers a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the registered groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,330 @@
+//! Offline API-compatible stand-in for `proptest` (subset).
+//!
+//! Implements the strategy combinators and macros this workspace uses as a
+//! simple seeded random-case runner: every `proptest!` test runs its
+//! configured number of cases with deterministic per-(test, case) seeds.
+//! No shrinking — a failing case panics with the plain assert message.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform};
+
+/// Strategy trait: deterministic seeded generation of test values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Keep only values passing `pred` (regenerates until one passes).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> FilterStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterStrategy {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// Type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn Fn(&mut StdRng) -> V>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for MapStrategy<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct FilterStrategy<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for FilterStrategy<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 10000 candidates: {}", self.whence);
+    }
+}
+
+impl<T: SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T: SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+/// Constant strategy.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $t:ident),+)),*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Rng, StdRng, Strategy};
+
+    /// A `Vec` strategy with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.start..self.size.end);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{Rng, StdRng, Strategy};
+
+    /// 50/50 `Some`/`None` over `inner`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            if rng.gen_bool(0.5) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Union of same-valued strategies (the `prop_oneof!` backend).
+pub struct Union<V>(pub Vec<BoxedStrategy<V>>);
+
+impl<V> Union<V> {
+    /// Build from boxed alternatives.
+    #[must_use]
+    pub fn new(alternatives: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!alternatives.is_empty(), "prop_oneof! needs alternatives");
+        Self(alternatives)
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        let idx = rng.gen_range(0..self.0.len());
+        self.0[idx].generate(rng)
+    }
+}
+
+/// Test-runner plumbing used by the generated code.
+pub mod test_runner {
+    /// Run configuration (subset of proptest's).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Config {
+        /// Number of cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 32 }
+        }
+    }
+
+    /// Marker for a `prop_assume!` rejection (case silently skipped).
+    #[derive(Debug)]
+    pub struct Rejection;
+
+    /// Deterministic per-(test, case) seed.
+    #[must_use]
+    pub fn case_seed(test_name: &str, case: u64) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h.wrapping_add(case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Deterministic per-(test, case) RNG.
+    #[must_use]
+    pub fn rng_for(test_name: &str, case: u64) -> rand::rngs::StdRng {
+        <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(case_seed(test_name, case))
+    }
+}
+
+/// Prelude, as in real proptest.
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        Strategy,
+    };
+}
+
+/// Defines seeded random-case tests (stub of proptest's runner macro).
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                for __case in 0..u64::from(__config.cases) {
+                    let mut __rng =
+                        $crate::test_runner::rng_for(stringify!($name), __case);
+                    let ( $($pat,)+ ) = (
+                        $($crate::Strategy::generate(&($strat), &mut __rng),)+
+                    );
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::Rejection> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    // A rejection (prop_assume!) just skips the case.
+                    drop(__outcome);
+                }
+            }
+        )*
+    };
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@run ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Stub of proptest's `prop_assert!`: plain assert (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Stub of proptest's `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Stub of proptest's `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Stub of proptest's `prop_assume!`: reject the case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::Rejection);
+        }
+    };
+}
+
+/// Stub of proptest's `prop_oneof!`: uniform union of alternatives.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($s)),+])
+    };
+}

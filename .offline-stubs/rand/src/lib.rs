@@ -1,0 +1,218 @@
+//! Offline API-compatible stand-in for the `rand` crate (subset).
+//!
+//! Local development containers for this repo have no registry access, so
+//! this stub mirrors the exact subset of the rand 0.8 API the workspace
+//! uses. The RNG is a SplitMix64 counter generator: deterministic per seed
+//! and statistically fine for the simulator's purposes, but the *values*
+//! differ from the real `StdRng` (ChaCha12). Never commit artifacts
+//! generated under this stub.
+
+/// Core source of randomness: 64-bit outputs.
+pub trait RngCore {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+    /// Next raw 32-bit value.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+    /// Construct from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+    /// Construct from a `u64` convenience seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Sampling helpers layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniformly random value of a supported primitive type.
+    fn gen<T: Generable>(&mut self) -> T {
+        T::generate(self.next_u64())
+    }
+
+    /// A uniform draw from a half-open or inclusive range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types `Rng::gen` can produce.
+pub trait Generable {
+    /// Map one raw 64-bit draw to the type.
+    fn generate(raw: u64) -> Self;
+}
+
+macro_rules! generable_int {
+    ($($t:ty),*) => {$(
+        impl Generable for $t {
+            fn generate(raw: u64) -> Self { raw as $t }
+        }
+    )*};
+}
+generable_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Generable for bool {
+    fn generate(raw: u64) -> Self {
+        raw & 1 == 1
+    }
+}
+
+impl Generable for f64 {
+    fn generate(raw: u64) -> Self {
+        (raw >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Generable for f32 {
+    fn generate(raw: u64) -> Self {
+        (raw >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+/// Types with uniform range sampling.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_between(lo: Self, hi: Self, inclusive: bool, raw: u64) -> Self;
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample_between(lo: Self, hi: Self, inclusive: bool, raw: u64) -> Self {
+                let span = if inclusive {
+                    (hi as i128 - lo as i128) + 1
+                } else {
+                    hi as i128 - lo as i128
+                };
+                assert!(span > 0, "empty range in gen_range");
+                lo.wrapping_add((raw as i128).rem_euclid(span) as $t)
+            }
+        }
+    )*};
+}
+sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between(lo: Self, hi: Self, _inclusive: bool, raw: u64) -> Self {
+                assert!(lo <= hi, "empty range in gen_range");
+                let unit = (raw >> 11) as $t / (1u64 << 53) as $t;
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+sample_uniform_float!(f32, f64);
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(self.start, self.end, false, rng.next_u64())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(*self.start(), *self.end(), true, rng.next_u64())
+    }
+}
+
+/// Named RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Offline stand-in for rand's `StdRng`: SplitMix64.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut state = 0u64;
+            for (i, b) in seed.iter().enumerate() {
+                state ^= u64::from(*b) << ((i % 8) * 8);
+            }
+            Self { state }
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            Self {
+                state: state.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x1234_5678_9abc_def0,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: usize = r.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: f64 = r.gen_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&y));
+            let z: u64 = r.gen_range(5..=5);
+            assert_eq!(z, 5);
+        }
+    }
+}

@@ -1,0 +1,521 @@
+//! Offline API-compatible stand-in for `serde` (subset).
+//!
+//! Registry access is unavailable in local dev containers, so this stub
+//! implements the subset of serde the workspace uses through a simplified
+//! value-tree data model: `Serialize` lowers to [`__Value`], `Deserialize`
+//! lifts from it, and the derive macros in the sibling `serde_derive` stub
+//! generate those impls directly (no `Serializer`/`Deserializer` visitors).
+//! `serde_json` (stubbed next door) prints/parses that value tree with
+//! serde_json-compatible formatting.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Simplified JSON-like value tree (the stub's entire data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum __Value {
+    /// JSON null.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer too large for `i64`.
+    U64(u64),
+    /// Floating point number.
+    F64(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<__Value>),
+    /// JSON object (insertion-ordered).
+    Object(__Map),
+}
+
+/// Insertion-ordered string-keyed map.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct __Map {
+    entries: Vec<(String, __Value)>,
+}
+
+impl __Map {
+    /// Empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends or replaces `key`.
+    pub fn insert(&mut self, key: impl Into<String>, value: __Value) {
+        let key = key.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.entries.push((key, value));
+        }
+    }
+
+    /// Inserts `key` as the first entry (used for `#[serde(tag)]`).
+    pub fn insert_front(&mut self, key: impl Into<String>, value: __Value) {
+        self.entries.insert(0, (key.into(), value));
+    }
+
+    /// Looks up `key`.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&__Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Whether `key` is present.
+    #[must_use]
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &__Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterates keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+}
+
+impl __Value {
+    /// Borrow as object map.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&__Map> {
+        match self {
+            __Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<__Value>> {
+        match self {
+            __Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrow as string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            __Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As u64 if a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            __Value::I64(x) if x >= 0 => Some(x as u64),
+            __Value::U64(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// As i64 if an in-range integer.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            __Value::I64(x) => Some(x),
+            __Value::U64(x) => i64::try_from(x).ok(),
+            _ => None,
+        }
+    }
+
+    /// As f64 for any number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            __Value::I64(x) => Some(x as f64),
+            __Value::U64(x) => Some(x as f64),
+            __Value::F64(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// As bool.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            __Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is null.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, __Value::Null)
+    }
+
+    /// Object/array member lookup (non-panicking; `Null` when absent).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&__Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Expect an object, with a type name for the error message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] if the value is not an object.
+    pub fn __expect_object(&self, ty: &str) -> Result<&__Map, DeError> {
+        self.as_object()
+            .ok_or_else(|| DeError(format!("expected a JSON object for {ty}")))
+    }
+}
+
+impl std::fmt::Display for __Value {
+    /// Compact JSON, matching `serde_json::to_string` formatting.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            __Value::Null => f.write_str("null"),
+            __Value::Bool(b) => write!(f, "{b}"),
+            __Value::I64(i) => write!(f, "{i}"),
+            __Value::U64(u) => write!(f, "{u}"),
+            __Value::F64(x) => {
+                if !x.is_finite() {
+                    f.write_str("null")
+                } else if x.fract() == 0.0 && x.abs() < 1e16 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            __Value::String(s) => {
+                f.write_str("\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => f.write_str("\\\"")?,
+                        '\\' => f.write_str("\\\\")?,
+                        '\n' => f.write_str("\\n")?,
+                        '\t' => f.write_str("\\t")?,
+                        '\r' => f.write_str("\\r")?,
+                        '\u{8}' => f.write_str("\\b")?,
+                        '\u{c}' => f.write_str("\\f")?,
+                        c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                f.write_str("\"")
+            }
+            __Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            __Value::Object(map) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{}:{v}", __Value::String(k.clone()))?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+static NULL_VALUE: __Value = __Value::Null;
+
+impl std::ops::Index<&str> for __Value {
+    type Output = __Value;
+    fn index(&self, key: &str) -> &__Value {
+        self.get(key).unwrap_or(&NULL_VALUE)
+    }
+}
+
+impl std::ops::Index<usize> for __Value {
+    type Output = __Value;
+    fn index(&self, idx: usize) -> &__Value {
+        self.as_array()
+            .and_then(|a| a.get(idx))
+            .unwrap_or(&NULL_VALUE)
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that lower to the stub value tree.
+pub trait Serialize {
+    /// Lower `self` into a [`__Value`].
+    fn __serde_to_value(&self) -> __Value;
+}
+
+/// Types that lift from the stub value tree.
+pub trait Deserialize<'de>: Sized {
+    /// Lift a value of `Self` out of `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] if the shape does not match.
+    fn __serde_from_value(v: &__Value) -> Result<Self, DeError>;
+}
+
+/// Owned-deserializable marker, as in real serde.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// `de` module mirror for `serde::de::DeserializeOwned` imports.
+pub mod de {
+    pub use super::{DeError, DeserializeOwned};
+}
+
+/// Field fallback used by the derive: a missing field deserializes as if
+/// it were `null` (so `Option` lifts to `None`), otherwise errors.
+///
+/// # Errors
+///
+/// Returns [`DeError`] naming the missing field.
+pub fn __missing_field<T: DeserializeOwned>(name: &str) -> Result<T, DeError> {
+    T::__serde_from_value(&__Value::Null).map_err(|_| DeError(format!("missing field `{name}`")))
+}
+
+// ---- primitive impls ----
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn __serde_to_value(&self) -> __Value {
+                let wide = *self as i128;
+                if let Ok(x) = i64::try_from(wide) { __Value::I64(x) } else { __Value::U64(*self as u64) }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn __serde_from_value(v: &__Value) -> Result<Self, DeError> {
+                match *v {
+                    __Value::I64(x) => <$t>::try_from(x).map_err(|_| DeError(format!("integer {x} out of range"))),
+                    __Value::U64(x) => <$t>::try_from(x).map_err(|_| DeError(format!("integer {x} out of range"))),
+                    _ => Err(DeError(concat!("expected integer for ", stringify!($t)).into())),
+                }
+            }
+        }
+    )*};
+}
+ser_de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn __serde_to_value(&self) -> __Value {
+                __Value::F64(f64::from(*self))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn __serde_from_value(v: &__Value) -> Result<Self, DeError> {
+                v.as_f64()
+                    .map(|x| x as $t)
+                    .ok_or_else(|| DeError(concat!("expected number for ", stringify!($t)).into()))
+            }
+        }
+    )*};
+}
+ser_de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn __serde_to_value(&self) -> __Value {
+        __Value::Bool(*self)
+    }
+}
+impl<'de> Deserialize<'de> for bool {
+    fn __serde_from_value(v: &__Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError("expected bool".into()))
+    }
+}
+
+impl Serialize for String {
+    fn __serde_to_value(&self) -> __Value {
+        __Value::String(self.clone())
+    }
+}
+impl<'de> Deserialize<'de> for String {
+    fn __serde_from_value(v: &__Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError("expected string".into()))
+    }
+}
+
+impl Serialize for str {
+    fn __serde_to_value(&self) -> __Value {
+        __Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn __serde_to_value(&self) -> __Value {
+        (**self).__serde_to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn __serde_to_value(&self) -> __Value {
+        __Value::Array(self.iter().map(Serialize::__serde_to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn __serde_to_value(&self) -> __Value {
+        self.as_slice().__serde_to_value()
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn __serde_from_value(v: &__Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError("expected array".into()))?
+            .iter()
+            .map(T::__serde_from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn __serde_to_value(&self) -> __Value {
+        self.as_slice().__serde_to_value()
+    }
+}
+impl<'de, T: Deserialize<'de> + fmt::Debug, const N: usize> Deserialize<'de> for [T; N] {
+    fn __serde_from_value(v: &__Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Deserialize::__serde_from_value(v)?;
+        <[T; N]>::try_from(items).map_err(|_| DeError(format!("expected array of length {N}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn __serde_to_value(&self) -> __Value {
+        match self {
+            Some(x) => x.__serde_to_value(),
+            None => __Value::Null,
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn __serde_from_value(v: &__Value) -> Result<Self, DeError> {
+        match v {
+            __Value::Null => Ok(None),
+            other => T::__serde_from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn __serde_to_value(&self) -> __Value {
+        (**self).__serde_to_value()
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn __serde_from_value(v: &__Value) -> Result<Self, DeError> {
+        T::__serde_from_value(v).map(Box::new)
+    }
+}
+
+// "rc"-feature impls (the stub always provides them).
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn __serde_to_value(&self) -> __Value {
+        (**self).__serde_to_value()
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Arc<T> {
+    fn __serde_from_value(v: &__Value) -> Result<Self, DeError> {
+        T::__serde_from_value(v).map(Arc::new)
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Arc<[T]> {
+    fn __serde_from_value(v: &__Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Deserialize::__serde_from_value(v)?;
+        Ok(items.into())
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($n:tt $t:ident),+)),*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn __serde_to_value(&self) -> __Value {
+                __Value::Array(vec![$(self.$n.__serde_to_value()),+])
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn __serde_from_value(v: &__Value) -> Result<Self, DeError> {
+                let a = v.as_array().ok_or_else(|| DeError("expected tuple array".into()))?;
+                Ok(($($t::__serde_from_value(
+                    a.get($n).ok_or_else(|| DeError("tuple too short".into()))?
+                )?,)+))
+            }
+        }
+    )*};
+}
+ser_de_tuple!((0 A), (0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
+
+impl<K: fmt::Display + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn __serde_to_value(&self) -> __Value {
+        let mut m = __Map::new();
+        for (k, v) in self {
+            m.insert(k.to_string(), v.__serde_to_value());
+        }
+        __Value::Object(m)
+    }
+}
+
+impl<K: fmt::Display, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn __serde_to_value(&self) -> __Value {
+        let mut m = __Map::new();
+        for (k, v) in self {
+            m.insert(k.to_string(), v.__serde_to_value());
+        }
+        __Value::Object(m)
+    }
+}
+
+impl Serialize for __Value {
+    fn __serde_to_value(&self) -> __Value {
+        self.clone()
+    }
+}
+impl<'de> Deserialize<'de> for __Value {
+    fn __serde_from_value(v: &__Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,587 @@
+//! Offline stand-in for `serde_derive`: hand-rolled (syn-free) derives that
+//! generate the simplified `__serde_to_value` / `__serde_from_value` impls
+//! of the sibling `serde` stub. Supports the attribute subset this
+//! workspace uses: `default`, `skip`, `skip_serializing_if`, `rename_all =
+//! "snake_case"`, `tag = "..."`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+// ---- model ----
+
+#[derive(Default, Clone)]
+struct ContainerAttrs {
+    tag: Option<String>,
+    rename_all: Option<String>,
+}
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    default: bool,
+    skip: bool,
+    skip_serializing_if: Option<String>,
+}
+
+#[derive(Clone)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(#[allow(dead_code)] usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (name, attrs, shape) = match parse_item(&tokens) {
+        Ok(x) => x,
+        Err(e) => return error(&e),
+    };
+    let code = if serialize {
+        gen_serialize(&name, &attrs, &shape)
+    } else {
+        gen_deserialize(&name, &attrs, &shape)
+    };
+    match code.parse() {
+        Ok(ts) => ts,
+        Err(e) => error(&format!("stub serde_derive emitted bad code: {e}")),
+    }
+}
+
+// ---- parsing ----
+
+type ParseResult = Result<(String, ContainerAttrs, Shape), String>;
+
+fn parse_item(tokens: &[TokenTree]) -> ParseResult {
+    let mut i = 0;
+    let mut container = ContainerAttrs::default();
+    // Outer attributes.
+    loop {
+        let Some(tt) = tokens.get(i) else {
+            return Err("unexpected end of derive input".into());
+        };
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    read_serde_attr_group(g, |key, val| match (key, val) {
+                        ("tag", Some(v)) => container.tag = Some(v.to_string()),
+                        ("rename_all", Some(v)) => container.rename_all = Some(v.to_string()),
+                        _ => {}
+                    });
+                    i += 2;
+                } else {
+                    return Err("malformed attribute".into());
+                }
+            }
+            _ => break,
+        }
+    }
+    // Visibility.
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other}")),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected type name, got {other}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err("stub serde_derive does not support generic types".into());
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(&g.stream().into_iter().collect::<Vec<_>>())?;
+                Ok((name, container, Shape::Struct(fields)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_items(&g.stream().into_iter().collect::<Vec<_>>());
+                Ok((name, container, Shape::TupleStruct(arity)))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Ok((name, container, Shape::UnitStruct))
+            }
+            other => Err(format!("unexpected struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(&g.stream().into_iter().collect::<Vec<_>>())?;
+                Ok((name, container, Shape::Enum(variants)))
+            }
+            other => Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => Err(format!("expected struct or enum, got {other}")),
+    }
+}
+
+/// If the bracketed attribute group is `serde(...)`, feed its `key` /
+/// `key = "value"` directives to `sink`.
+fn read_serde_attr_group(
+    group: &proc_macro::Group,
+    mut sink: impl FnMut(&str, Option<&str>),
+) {
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    let [TokenTree::Ident(head), TokenTree::Group(args)] = &inner[..] else {
+        return;
+    };
+    if head.to_string() != "serde" || args.delimiter() != Delimiter::Parenthesis {
+        return;
+    }
+    let parts: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < parts.len() {
+        let TokenTree::Ident(key) = &parts[j] else {
+            j += 1;
+            continue;
+        };
+        let key = key.to_string();
+        if matches!(parts.get(j + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            if let Some(TokenTree::Literal(lit)) = parts.get(j + 2) {
+                let raw = lit.to_string();
+                let val = raw.trim_matches('"');
+                sink(&key, Some(val));
+            }
+            j += 3;
+        } else {
+            sink(&key, None);
+            j += 1;
+        }
+        // Skip the separating comma, if any.
+        if matches!(parts.get(j), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            j += 1;
+        }
+    }
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut attrs = FieldAttrs::default();
+        // Field attributes.
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                read_serde_attr_group(g, |key, val| match (key, val) {
+                    ("default", None) => attrs.default = true,
+                    ("skip", None) => attrs.skip = true,
+                    ("skip_serializing_if", Some(v)) => {
+                        attrs.skip_serializing_if = Some(v.to_string());
+                    }
+                    _ => {}
+                });
+                i += 2;
+            } else {
+                return Err("malformed field attribute".into());
+            }
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        // Visibility.
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, got {other}")),
+        };
+        i += 1;
+        if !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        i += 1;
+        // Skip the type: advance to the next comma at angle-bracket depth 0.
+        let mut angle: i32 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, attrs });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Variant attributes (ignored beyond skipping).
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other}")),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                let arity = count_top_level_items(&g.stream().into_iter().collect::<Vec<_>>());
+                if arity == 1 {
+                    VariantKind::Newtype
+                } else {
+                    VariantKind::Tuple(arity)
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                )?)
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+/// Number of comma-separated items at angle-depth 0 (tuple/variant arity).
+fn count_top_level_items(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle: i32 = 0;
+    let mut items = 1;
+    for tt in tokens {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => items += 1,
+            _ => {}
+        }
+    }
+    items
+}
+
+fn rename(container: &ContainerAttrs, ident: &str) -> String {
+    match container.rename_all.as_deref() {
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, c) in ident.chars().enumerate() {
+                if c.is_ascii_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.push(c.to_ascii_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        _ => ident.to_string(),
+    }
+}
+
+// ---- codegen ----
+
+fn gen_field_inserts(fields: &[Field], container: &ContainerAttrs, access: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        if f.attrs.skip {
+            continue;
+        }
+        let key = rename(container, &f.name);
+        let expr = format!("{access}{}", f.name);
+        let insert = format!(
+            "__m.insert({key:?}, ::serde::Serialize::__serde_to_value(&{expr}));"
+        );
+        if let Some(pred) = &f.attrs.skip_serializing_if {
+            out.push_str(&format!("if !({pred})(&{expr}) {{ {insert} }}\n"));
+        } else {
+            out.push_str(&insert);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn gen_field_reads(fields: &[Field], container: &ContainerAttrs, map: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let key = rename(container, &f.name);
+        if f.attrs.skip {
+            out.push_str(&format!(
+                "{}: ::core::default::Default::default(),\n",
+                f.name
+            ));
+            continue;
+        }
+        let fallback = if f.attrs.default {
+            "::core::default::Default::default()".to_string()
+        } else {
+            format!("::serde::__missing_field({key:?})?")
+        };
+        out.push_str(&format!(
+            "{}: match {map}.get({key:?}) {{ \
+               ::core::option::Option::Some(__x) => ::serde::Deserialize::__serde_from_value(__x)?, \
+               ::core::option::Option::None => {fallback}, \
+             }},\n",
+            f.name
+        ));
+    }
+    out
+}
+
+fn gen_serialize(name: &str, container: &ContainerAttrs, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Struct(fields) => format!(
+            "let mut __m = ::serde::__Map::new();\n{}::serde::__Value::Object(__m)",
+            gen_field_inserts(fields, container, "self.")
+        ),
+        Shape::TupleStruct(1) => {
+            "::serde::Serialize::__serde_to_value(&self.0)".to_string()
+        }
+        Shape::TupleStruct(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::__serde_to_value(&self.{i})"))
+                .collect();
+            format!("::serde::__Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::__Value::Null".to_string(),
+        Shape::Enum(variants) => gen_enum_serialize(name, container, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+           fn __serde_to_value(&self) -> ::serde::__Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_enum_serialize(name: &str, container: &ContainerAttrs, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = rename(container, &v.name);
+        match (&v.kind, &container.tag) {
+            (VariantKind::Unit, None) => arms.push_str(&format!(
+                "{name}::{} => ::serde::__Value::String({vname:?}.to_string()),\n",
+                v.name
+            )),
+            (VariantKind::Unit, Some(tag)) => arms.push_str(&format!(
+                "{name}::{} => {{ let mut __m = ::serde::__Map::new(); \
+                 __m.insert({tag:?}, ::serde::__Value::String({vname:?}.to_string())); \
+                 ::serde::__Value::Object(__m) }},\n",
+                v.name
+            )),
+            (VariantKind::Newtype, None) => arms.push_str(&format!(
+                "{name}::{}(__inner) => {{ let mut __m = ::serde::__Map::new(); \
+                 __m.insert({vname:?}, ::serde::Serialize::__serde_to_value(__inner)); \
+                 ::serde::__Value::Object(__m) }},\n",
+                v.name
+            )),
+            (VariantKind::Newtype, Some(tag)) => arms.push_str(&format!(
+                "{name}::{}(__inner) => {{ \
+                 match ::serde::Serialize::__serde_to_value(__inner) {{ \
+                   ::serde::__Value::Object(mut __m) => {{ \
+                     __m.insert_front({tag:?}, ::serde::__Value::String({vname:?}.to_string())); \
+                     ::serde::__Value::Object(__m) }}, \
+                   _ => panic!(\"internally tagged newtype variant must wrap a map\"), \
+                 }} }},\n",
+                v.name
+            )),
+            (VariantKind::Struct(fields), tag) => {
+                let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let inserts = gen_field_inserts(fields, container, "");
+                let finish = match tag {
+                    None => format!(
+                        "let mut __outer = ::serde::__Map::new(); \
+                         __outer.insert({vname:?}, ::serde::__Value::Object(__m)); \
+                         ::serde::__Value::Object(__outer)"
+                    ),
+                    Some(tag) => format!(
+                        "__m.insert_front({tag:?}, ::serde::__Value::String({vname:?}.to_string())); \
+                         ::serde::__Value::Object(__m)"
+                    ),
+                };
+                arms.push_str(&format!(
+                    "{name}::{} {{ {} }} => {{ let mut __m = ::serde::__Map::new();\n{inserts}{finish} }},\n",
+                    v.name,
+                    binds.join(", ")
+                ));
+            }
+            (VariantKind::Tuple(_), _) => arms.push_str(&format!(
+                "{name}::{}(..) => panic!(\"stub serde_derive: tuple variants unsupported\"),\n",
+                v.name
+            )),
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+fn gen_deserialize(name: &str, container: &ContainerAttrs, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Struct(fields) => format!(
+            "let __m = __v.__expect_object({name:?})?;\n\
+             ::core::result::Result::Ok({name} {{\n{}}})",
+            gen_field_reads(fields, container, "__m")
+        ),
+        Shape::TupleStruct(1) => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::__serde_from_value(__v)?))"
+        ),
+        Shape::TupleStruct(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::__serde_from_value(\
+                         __a.get({i}).ok_or_else(|| ::serde::DeError(\"tuple too short\".into()))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __a = __v.as_array().ok_or_else(|| ::serde::DeError(\"expected array\".into()))?;\n\
+                 ::core::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::core::result::Result::Ok({name})"),
+        Shape::Enum(variants) => gen_enum_deserialize(name, container, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+           fn __serde_from_value(__v: &::serde::__Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, container: &ContainerAttrs, variants: &[Variant]) -> String {
+    if let Some(tag) = &container.tag {
+        let mut arms = String::new();
+        for v in variants {
+            let vname = rename(container, &v.name);
+            match &v.kind {
+                VariantKind::Unit => arms.push_str(&format!(
+                    "{vname:?} => ::core::result::Result::Ok({name}::{}),\n",
+                    v.name
+                )),
+                VariantKind::Newtype => arms.push_str(&format!(
+                    "{vname:?} => ::core::result::Result::Ok({name}::{}(\
+                     ::serde::Deserialize::__serde_from_value(__v)?)),\n",
+                    v.name
+                )),
+                VariantKind::Struct(fields) => arms.push_str(&format!(
+                    "{vname:?} => ::core::result::Result::Ok({name}::{} {{\n{}}}),\n",
+                    v.name,
+                    gen_field_reads(fields, container, "__m")
+                )),
+                VariantKind::Tuple(_) => arms.push_str(&format!(
+                    "{vname:?} => ::core::result::Result::Err(::serde::DeError(\
+                     \"stub serde_derive: tuple variants unsupported\".into())),\n"
+                )),
+            }
+        }
+        return format!(
+            "let __m = __v.__expect_object({name:?})?;\n\
+             let __tag = __m.get({tag:?}).and_then(::serde::__Value::as_str)\
+                 .ok_or_else(|| ::serde::DeError(format!(\"missing tag `{{}}`\", {tag:?})))?;\n\
+             match __tag {{\n{arms}\
+               __other => ::core::result::Result::Err(::serde::DeError(\
+                 format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+             }}"
+        );
+    }
+    // Externally tagged (serde default).
+    let mut str_arms = String::new();
+    let mut map_arms = String::new();
+    for v in variants {
+        let vname = rename(container, &v.name);
+        match &v.kind {
+            VariantKind::Unit => str_arms.push_str(&format!(
+                "{vname:?} => ::core::result::Result::Ok({name}::{}),\n",
+                v.name
+            )),
+            VariantKind::Newtype => map_arms.push_str(&format!(
+                "{vname:?} => ::core::result::Result::Ok({name}::{}(\
+                 ::serde::Deserialize::__serde_from_value(__inner)?)),\n",
+                v.name
+            )),
+            VariantKind::Struct(fields) => map_arms.push_str(&format!(
+                "{vname:?} => {{ let __m = __inner.__expect_object({name:?})?; \
+                 ::core::result::Result::Ok({name}::{} {{\n{}}}) }},\n",
+                v.name,
+                gen_field_reads(fields, container, "__m")
+            )),
+            VariantKind::Tuple(_) => map_arms.push_str(&format!(
+                "{vname:?} => ::core::result::Result::Err(::serde::DeError(\
+                 \"stub serde_derive: tuple variants unsupported\".into())),\n"
+            )),
+        }
+    }
+    format!(
+        "match __v {{\n\
+           ::serde::__Value::String(__s) => match __s.as_str() {{\n{str_arms}\
+             __other => ::core::result::Result::Err(::serde::DeError(\
+               format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+           }},\n\
+           ::serde::__Value::Object(__map) => {{\n\
+             let (__k, __inner) = __map.iter().next()\
+               .ok_or_else(|| ::serde::DeError(\"empty enum object\".into()))?;\n\
+             match __k.as_str() {{\n{map_arms}\
+               __other => ::core::result::Result::Err(::serde::DeError(\
+                 format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+             }}\n\
+           }},\n\
+           _ => ::core::result::Result::Err(::serde::DeError(\
+             \"expected string or object for enum\".into())),\n\
+         }}"
+    )
+}

@@ -1,0 +1,497 @@
+//! Offline API-compatible stand-in for `serde_json` (subset).
+//!
+//! Prints and parses the `serde` stub's value tree with serde_json-style
+//! formatting: compact `to_string`, 2-space-indented `to_string_pretty`,
+//! shortest-roundtrip-ish floats (integral floats keep a trailing `.0`).
+
+use std::fmt;
+
+pub use serde::__Map as Map;
+pub use serde::__Value as Value;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Self::new(e.0)
+    }
+}
+
+/// Result alias, as in real serde_json.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes to compact JSON.
+///
+/// # Errors
+///
+/// Never fails in the stub (signature parity with serde_json).
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.__serde_to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes to pretty JSON (2-space indent).
+///
+/// # Errors
+///
+/// Never fails in the stub (signature parity with serde_json).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.__serde_to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses a value from a JSON string.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or shape mismatch.
+pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T> {
+    let value = parse_value(s)?;
+    T::__serde_from_value(&value).map_err(Error::from)
+}
+
+/// Converts any serializable value into a [`Value`] (used by `json!`).
+#[must_use]
+pub fn __to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.__serde_to_value()
+}
+
+// ---- printer ----
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(x) => out.push_str(&x.to_string()),
+        Value::U64(x) => out.push_str(&x.to_string()),
+        Value::F64(x) => write_f64(out, *x),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..(width * depth) {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+    } else if x == x.trunc() && x.abs() < 1e16 {
+        out.push_str(&format!("{x:.1}"));
+    } else {
+        out.push_str(&format!("{x}"));
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parser ----
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(Error::new(format!("invalid token at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => {
+                self.eat_keyword("null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.eat_keyword("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.eat_keyword("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(Error::new(format!("bad array at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut map = Map::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    self.skip_ws();
+                    let val = self.value()?;
+                    map.insert(key, val);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(map));
+                        }
+                        _ => return Err(Error::new(format!("bad object at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(Error::new(format!("unexpected byte at {}", self.pos))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::new("invalid utf8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xd800..0xdc00).contains(&hi) {
+                                self.eat(b'\\')?;
+                                self.eat(b'u')?;
+                                let lo = self.hex4()?;
+                                0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid \\u escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::new(format!("bad escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+        let s = std::str::from_utf8(slice).map_err(|_| Error::new("bad \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| Error::new("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("bad number"))?;
+        if !is_float {
+            if let Ok(x) = text.parse::<i64>() {
+                return Ok(Value::I64(x));
+            }
+            if let Ok(x) = text.parse::<u64>() {
+                return Ok(Value::U64(x));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("bad number `{text}`")))
+    }
+}
+
+// ---- json! macro ----
+
+/// Builds a [`Value`] from JSON-like syntax (subset of serde_json's).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        let mut __items: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json_array_inner!(__items; $($tt)*);
+        $crate::Value::Array(__items)
+    }};
+    ({ $($tt:tt)* }) => {{
+        let mut __m = $crate::Map::new();
+        $crate::json_object_inner!(__m; $($tt)*);
+        $crate::Value::Object(__m)
+    }};
+    ($other:expr) => { $crate::__to_value(&$other) };
+}
+
+/// Internal muncher for `json!` object bodies.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_inner {
+    ($m:ident;) => {};
+    ($m:ident; ,) => {};
+    ($m:ident; $key:literal : null $(, $($rest:tt)*)?) => {
+        $m.insert($key, $crate::Value::Null);
+        $crate::json_object_inner!($m; $($($rest)*)?);
+    };
+    ($m:ident; $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $m.insert($key, $crate::json!({ $($inner)* }));
+        $crate::json_object_inner!($m; $($($rest)*)?);
+    };
+    ($m:ident; $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $m.insert($key, $crate::json!([ $($inner)* ]));
+        $crate::json_object_inner!($m; $($($rest)*)?);
+    };
+    ($m:ident; $key:literal : $val:expr , $($rest:tt)*) => {
+        $m.insert($key, $crate::__to_value(&$val));
+        $crate::json_object_inner!($m; $($rest)*);
+    };
+    ($m:ident; $key:literal : $val:expr) => {
+        $m.insert($key, $crate::__to_value(&$val));
+    };
+}
+
+/// Internal muncher for `json!` array bodies.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_inner {
+    ($items:ident;) => {};
+    ($items:ident; ,) => {};
+    ($items:ident; null $(, $($rest:tt)*)?) => {
+        $items.push($crate::Value::Null);
+        $crate::json_array_inner!($items; $($($rest)*)?);
+    };
+    ($items:ident; { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!({ $($inner)* }));
+        $crate::json_array_inner!($items; $($($rest)*)?);
+    };
+    ($items:ident; [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!([ $($inner)* ]));
+        $crate::json_array_inner!($items; $($($rest)*)?);
+    };
+    ($items:ident; $val:expr , $($rest:tt)*) => {
+        $items.push($crate::__to_value(&$val));
+        $crate::json_array_inner!($items; $($rest)*);
+    };
+    ($items:ident; $val:expr) => {
+        $items.push($crate::__to_value(&$val));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_compact_and_pretty() {
+        let v = json!({"a": 1, "b": [1.5, true, null], "c": {"d": "x\"y"}});
+        let compact = to_string(&v).unwrap();
+        assert_eq!(compact, r#"{"a":1,"b":[1.5,true,null],"c":{"d":"x\"y"}}"#);
+        let back: Value = from_str(&compact).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back2: Value = from_str(&pretty).unwrap();
+        assert_eq!(back2, v);
+    }
+
+    #[test]
+    fn integral_floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&0.875f64).unwrap(), "0.875");
+        assert_eq!(to_string(&3u64).unwrap(), "3");
+    }
+
+    #[test]
+    fn expressions_in_json_macro() {
+        let x = 4;
+        let v = json!({"sum": x + 1, "list": [x, x * 2]});
+        assert_eq!(to_string(&v).unwrap(), r#"{"sum":5,"list":[4,8]}"#);
+    }
+}
