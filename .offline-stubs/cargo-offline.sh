@@ -1,0 +1,15 @@
+#!/bin/sh
+# Run cargo against the committed .offline-stubs crates when the crates-io
+# registry is unreachable. Usage: .offline-stubs/cargo-offline.sh test -q
+set -e
+cd "$(dirname "$0")/.."
+sub="$1"
+shift
+exec cargo "$sub" --offline \
+  --config 'patch.crates-io.rand.path=".offline-stubs/rand"' \
+  --config 'patch.crates-io.serde.path=".offline-stubs/serde"' \
+  --config 'patch.crates-io.serde_derive.path=".offline-stubs/serde_derive"' \
+  --config 'patch.crates-io.serde_json.path=".offline-stubs/serde_json"' \
+  --config 'patch.crates-io.proptest.path=".offline-stubs/proptest"' \
+  --config 'patch.crates-io.criterion.path=".offline-stubs/criterion"' \
+  "$@"

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use glmia_graph::Topology;
-use glmia_mia::modified_prediction_entropy;
+use glmia_mia::AttackKind;
 use glmia_nn::{Activation, Matrix, Mlp, MlpSpec, Sgd};
 use glmia_spectral::MixingMatrix;
 use rand::rngs::StdRng;
@@ -62,7 +62,7 @@ fn bench_mpe(c: &mut Criterion) {
         *p /= total;
     }
     c.bench_function("mpe_100_classes", |bench| {
-        bench.iter(|| std::hint::black_box(modified_prediction_entropy(&probs, 42)))
+        bench.iter(|| std::hint::black_box(AttackKind::Mpe.score(&probs, 42)))
     });
 }
 

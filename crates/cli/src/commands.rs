@@ -8,10 +8,10 @@ use glmia_core::{
     Parallelism,
 };
 use glmia_data::{DataPreset, Federation, Partition};
-use glmia_gossip::{ChurnConfig, FaultPlan, LatencyDist, ProtocolKind, TopologyMode};
+use glmia_gossip::{ChurnConfig, Defense, FaultPlan, LatencyDist, ProtocolKind, TopologyMode};
 use glmia_graph::Topology;
 use glmia_metrics::{render_markdown_report, render_prometheus, render_table};
-use glmia_mia::{AttackKind, MiaEvaluator};
+use glmia_mia::{AttackKind, AttackerModel, MiaEvaluator};
 use glmia_nn::{Mlp, Sgd};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -86,6 +86,8 @@ pub fn run(args: &Args) -> Result<(), CliError> {
             "churn",
             "latency-dist",
             "drop",
+            "attacker",
+            "defense",
         ],
     )?;
     let dataset = parse_dataset(args.get("dataset").unwrap_or("cifar10"))?;
@@ -136,6 +138,23 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         fault = fault.with_link_drop(args.get_or("drop", 0.0f64)?);
     }
     config = config.with_fault_plan(fault);
+    // Threat-model knobs: both use the colon grammar (`neighbors:3,7`,
+    // `gaussian:0.1`) and are validated again, against the node count, by
+    // `ExperimentConfig::validate` inside the runner.
+    if let Some(spec) = args.get("attacker") {
+        let attacker: AttackerModel = spec.parse().map_err(|_| ArgError::InvalidValue {
+            key: "attacker".into(),
+            value: spec.to_string(),
+        })?;
+        config = config.with_attacker(attacker);
+    }
+    if let Some(spec) = args.get("defense") {
+        let defense: Defense = spec.parse().map_err(|_| ArgError::InvalidValue {
+            key: "defense".into(),
+            value: spec.to_string(),
+        })?;
+        config = config.with_defense(defense);
+    }
     config = config.with_progress(!args.flag("quiet"));
     // Create the trace directory *before* running: a run that dies
     // mid-phase still leaves a header-only events.jsonl and a manifest

@@ -88,6 +88,14 @@ SUBCOMMANDS:
                                                  or straggler:BASE:TAIL:PROB
               --drop <mean>                      per-link drop probability,
                                                  drawn per link around <mean>
+              --attacker <spec>                  threat model: omniscient,
+                                                 neighbors:3,7 (passive
+                                                 observers) or coalition:0..8
+                                                 (colluding members); index
+                                                 lists take N and A..B items
+              --defense <spec>                   shared-model defense:
+                                                 gaussian:STD, mask:FRAC or
+                                                 clip:LIMIT
               --quiet                            suppress the stderr progress
                                                  heartbeat (also off when
                                                  stderr is not a terminal)

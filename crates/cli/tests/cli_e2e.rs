@@ -323,7 +323,10 @@ fn fault_injected_runs_trace_and_analyze_end_to_end() {
     let events = std::fs::read_to_string(dir.join("events.jsonl")).expect("events.jsonl written");
     let header = events.lines().next().expect("non-empty event stream");
     assert!(header.contains("\"schema\":3"), "{header}");
-    assert!(events.contains("\"type\":\"Fault\""), "fault records present");
+    assert!(
+        events.contains("\"type\":\"Fault\""),
+        "fault records present"
+    );
 
     let analyzed = glmia(&["analyze", dir.to_str().unwrap(), "--format", "json"]);
     assert_eq!(
@@ -341,9 +344,106 @@ fn fault_injected_runs_trace_and_analyze_end_to_end() {
         "fault summary reports the crashes: {summary}"
     );
     assert!(
-        summary["faults"]["mean_availability"].as_f64().unwrap_or(2.0) < 1.0,
+        summary["faults"]["mean_availability"]
+            .as_f64()
+            .unwrap_or(2.0)
+            < 1.0,
         "downtime shows up as availability below 1: {summary}"
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn threat_model_runs_trace_and_analyze_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("glmia-cli-threat-{}", std::process::id()));
+    let run = glmia(&[
+        "run",
+        "--preset",
+        "quick",
+        "--seed",
+        "19",
+        "--attacker",
+        "neighbors:0,1",
+        "--defense",
+        "clip:0.5",
+        "--json",
+        "--trace",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(
+        run.status.success(),
+        "{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    // A restricted attacker (or a defense) promotes the stream to the
+    // threat schema and emits a Threat record carrying both descriptors.
+    let events = std::fs::read_to_string(dir.join("events.jsonl")).expect("events.jsonl written");
+    let header = events.lines().next().expect("non-empty event stream");
+    assert!(header.contains("\"schema\":4"), "{header}");
+    assert!(
+        events.contains("\"type\":\"Threat\""),
+        "threat record present"
+    );
+    assert!(
+        events.contains("\"attacker\":\"neighbors:0..2\""),
+        "{events}"
+    );
+    assert!(events.contains("\"defense\":\"clip:0.5\""), "{events}");
+
+    let analyzed = glmia(&["analyze", dir.to_str().unwrap(), "--format", "json"]);
+    assert_eq!(
+        analyzed.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&analyzed.stderr)
+    );
+    let summary: serde_json::Value = serde_json::from_str(
+        &std::fs::read_to_string(dir.join("summary.json")).expect("summary.json written"),
+    )
+    .expect("valid summary JSON");
+    assert_eq!(
+        summary["threat"]["attacker"].as_str(),
+        Some("neighbors:0..2")
+    );
+    assert_eq!(summary["threat"]["defense"].as_str(), Some("clip:0.5"));
+    let report = std::fs::read_to_string(dir.join("report.md")).expect("report.md written");
+    assert!(report.contains("## Threat model"), "{report}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn invalid_threat_specs_exit_with_code_1() {
+    let out = glmia(&["run", "--attacker", "fancy"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid value for --attacker"));
+    let out = glmia(&["run", "--defense", "nope:1"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid value for --defense"));
+    // Well-formed but out of range for the preset's 8 nodes: rejected by
+    // config validation, naming the field.
+    let out = glmia(&["run", "--preset", "quick", "--attacker", "neighbors:99"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("attacker"));
+}
+
+#[test]
+fn analyze_exits_2_on_malformed_threat_records() {
+    let dir = std::env::temp_dir().join(format!("glmia-cli-badthreat-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    // Schema-4 header, then a Threat record whose `attacker` is a number:
+    // a typed corrupt-trace rejection, same contract as every other kind.
+    std::fs::write(
+        dir.join("events.jsonl"),
+        "{\"type\":\"Header\",\"schema\":4,\"label\":\"x\",\"config_hash\":\"00\"}\n\
+         {\"type\":\"Threat\",\"seed\":1,\"attacker\":42,\"observed_nodes\":2,\"nodes\":8,\"observations\":10}\n",
+    )
+    .unwrap();
+    let out = glmia(&["analyze", dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("corrupt trace"), "{stderr}");
+    assert!(stderr.contains("line 2"), "error names the line: {stderr}");
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -2,7 +2,7 @@
 
 use glmia_data::{DataPreset, Partition, SyntheticSpec};
 use glmia_gossip::{Defense, FaultPlan, LrSchedule, ProtocolKind, SimConfig, TopologyMode};
-use glmia_mia::AttackKind;
+use glmia_mia::{AttackKind, AttackerModel};
 use glmia_nn::MlpSpec;
 use serde::{Deserialize, Serialize};
 
@@ -148,6 +148,13 @@ pub struct ExperimentConfig {
     /// existed.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     fault: Option<FaultPlan>,
+    /// Who the adversary is: which nodes' model snapshots the attack may
+    /// observe. Part of the experiment's identity, but absent (and skipped
+    /// in serialization) for the default omniscient attacker so that
+    /// omniscient config JSON — and hence fingerprint — is byte-identical
+    /// to before the knob existed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    attacker: Option<AttackerModel>,
     seed: u64,
     /// Worker threads for the attack-replay pipeline. Excluded from
     /// serialization and equality: two runs differing only in thread count
@@ -196,6 +203,7 @@ impl PartialEq for ExperimentConfig {
             lr_schedule,
             wake_std_override,
             fault,
+            attacker,
             seed,
             parallelism: _,
             mixing_disabled: _,
@@ -222,6 +230,7 @@ impl PartialEq for ExperimentConfig {
             && *lr_schedule == other.lr_schedule
             && *wake_std_override == other.wake_std_override
             && *fault == other.fault
+            && *attacker == other.attacker
             && *seed == other.seed
     }
 }
@@ -257,6 +266,7 @@ impl ExperimentConfig {
             lr_schedule: LrSchedule::Constant,
             wake_std_override: None,
             fault: None,
+            attacker: None,
             seed: 0,
             training,
             parallelism: Parallelism::Auto,
@@ -488,6 +498,35 @@ impl ExperimentConfig {
     #[must_use]
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.fault.as_ref()
+    }
+
+    /// Sets the attacker model: which nodes' model snapshots the MIA may
+    /// observe. The default *omniscient* attacker (the paper's §2.6 threat
+    /// model) is normalized away so it cannot perturb the config's identity
+    /// or fingerprint; restricted attackers are canonicalized
+    /// ([`AttackerModel::normalized`]) so equivalent specs compare and hash
+    /// equal. Checked by [`validate`](Self::validate) against the node
+    /// count.
+    #[must_use]
+    pub fn with_attacker(mut self, attacker: AttackerModel) -> Self {
+        self.attacker = if attacker.is_omniscient() {
+            None
+        } else {
+            Some(attacker.normalized())
+        };
+        self
+    }
+
+    /// The attacker model (`None` means the default omniscient attacker).
+    #[must_use]
+    pub fn attacker(&self) -> Option<&AttackerModel> {
+        self.attacker.as_ref()
+    }
+
+    /// The attached defense, if any.
+    #[must_use]
+    pub fn defense(&self) -> Option<&Defense> {
+        self.defense.as_ref()
     }
 
     /// Sets the master seed.
@@ -807,6 +846,16 @@ impl ExperimentConfig {
             plan.validate()
                 .map_err(|e| CoreError::invalid("fault", e.to_string()))?;
         }
+        if let Some(defense) = &self.defense {
+            defense
+                .validate()
+                .map_err(|e| CoreError::invalid("defense", e.to_string()))?;
+        }
+        if let Some(attacker) = &self.attacker {
+            attacker
+                .validate(self.n_nodes)
+                .map_err(|e| CoreError::invalid("attacker", e.to_string()))?;
+        }
         Ok(())
     }
 
@@ -978,6 +1027,76 @@ mod tests {
         // their canonical JSON (and fingerprint) is unchanged from before
         // the knob existed.
         assert!(!serde_json::to_string(&base).unwrap().contains("fault"));
+    }
+
+    #[test]
+    fn attacker_is_part_of_identity_and_canonicalized() {
+        let base = ExperimentConfig::quick_test(DataPreset::Cifar10Like);
+        let restricted = base.clone().with_attacker(AttackerModel::Coalition {
+            members: vec![2, 0, 1, 1],
+        });
+        assert_ne!(
+            base, restricted,
+            "a restricted attacker changes the experiment"
+        );
+        assert_ne!(base.fingerprint(), restricted.fingerprint());
+        assert_eq!(
+            restricted.attacker(),
+            Some(&AttackerModel::Coalition {
+                members: vec![0, 1, 2]
+            }),
+            "members are sorted and deduped"
+        );
+        // Equivalent specs land on the same canonical form and fingerprint.
+        let same = base.clone().with_attacker(AttackerModel::Coalition {
+            members: vec![1, 2, 0],
+        });
+        assert_eq!(restricted, same);
+        assert_eq!(restricted.fingerprint(), same.fingerprint());
+        // The attacker round-trips through serialization.
+        let back: ExperimentConfig =
+            serde_json::from_str(&serde_json::to_string(&restricted).unwrap()).unwrap();
+        assert_eq!(back.attacker(), restricted.attacker());
+    }
+
+    #[test]
+    fn omniscient_attackers_are_normalized_away() {
+        let base = ExperimentConfig::quick_test(DataPreset::Cifar10Like);
+        let explicit = base.clone().with_attacker(AttackerModel::Omniscient);
+        assert_eq!(base, explicit, "the omniscient attacker is the default");
+        assert_eq!(base.fingerprint(), explicit.fingerprint());
+        assert_eq!(explicit.attacker(), None);
+        // Omniscient configs serialize without any attacker key at all, so
+        // their canonical JSON (and fingerprint) is unchanged from before
+        // the knob existed.
+        assert!(!serde_json::to_string(&base).unwrap().contains("attacker"));
+    }
+
+    #[test]
+    fn invalid_attackers_and_defenses_are_named_by_validate() {
+        let quick = || ExperimentConfig::quick_test(DataPreset::Cifar10Like);
+        // quick_test has 8 nodes; node 8 is out of range.
+        let bad = quick().with_attacker(AttackerModel::PassiveNeighbors { observers: vec![8] });
+        let err = bad.validate().unwrap_err();
+        assert_eq!(err.invalid_field(), Some("attacker"));
+        // A coalition of every node leaves nothing to attack.
+        let bad = quick().with_attacker(AttackerModel::Coalition {
+            members: (0..8).collect(),
+        });
+        assert_eq!(
+            bad.validate().unwrap_err().invalid_field(),
+            Some("attacker")
+        );
+        let bad = quick().with_defense(Defense::RandomMask { fraction: 1.0 });
+        let err = bad.validate().unwrap_err();
+        assert_eq!(err.invalid_field(), Some("defense"));
+        assert!(err.to_string().contains("mask fraction"));
+        // Valid attacker/defense combinations pass.
+        quick()
+            .with_attacker(AttackerModel::PassiveNeighbors { observers: vec![3] })
+            .with_defense(Defense::Clipping { limit: 1.0 })
+            .validate()
+            .unwrap();
     }
 
     #[test]

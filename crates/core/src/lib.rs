@@ -75,7 +75,7 @@ pub mod prelude {
     };
     pub use glmia_data::{DataPreset, Partition};
     pub use glmia_gossip::{Defense, LrSchedule, ProtocolKind, TopologyMode};
-    pub use glmia_mia::AttackKind;
+    pub use glmia_mia::{Attack, AttackKind, AttackerModel, AttackerView};
     pub use glmia_trace::{
         read_trace, Phase, RunSummary, RunTrace, TraceEvent, TraceReadError, TraceReader,
         TraceRecorder, TraceWriter,

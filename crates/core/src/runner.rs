@@ -1,5 +1,6 @@
-//! The end-to-end experiment runner: simulate, then replay the omniscient
-//! attacker over every recorded round.
+//! The end-to-end experiment runner: simulate, then replay the configured
+//! attacker ([`AttackerModel`], omniscient by default) over every recorded
+//! round, scoring only the nodes that threat model observes.
 //!
 //! # Parallel evaluation & determinism
 //!
@@ -32,12 +33,12 @@ use glmia_dist::mean_std;
 use glmia_gossip::{MixingMatrixObserver, Observers, RoundSnapshot, Simulation};
 use glmia_graph::Topology;
 use glmia_metrics::{accuracy, best_utility_point, generalization_error, TradeoffPoint};
-use glmia_mia::MiaEvaluator;
+use glmia_mia::{AttackerModel, MiaEvaluator};
 use glmia_nn::Mlp;
 use glmia_spectral::{product_contraction_seeded, ProductContractionOptions, SparseMixingMatrix};
 use glmia_trace::{
-    EvalRecord, MixingRecord, NodeEvalRecord, Phase, ProgressObserver, RunTrace, TopologyRecord,
-    TraceRecorder,
+    EvalRecord, MixingRecord, NodeEvalRecord, Phase, ProgressObserver, RunTrace, ThreatRecord,
+    TopologyRecord, TraceRecorder,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -280,6 +281,24 @@ pub fn run_experiment_traced(
         lambda2_analytic: SparseMixingMatrix::from_regular(&topology)?
             .lambda2_magnitude_seeded(ProductContractionOptions::deterministic(), config.seed())?,
     };
+    // The attacker's vantage is fixed against the initial topology: a
+    // restricted adversary only ever scores the nodes its observers (or
+    // coalition members) are adjacent to at round zero, even when PeerSwap
+    // rewires the views later. `None` means omniscient — every node.
+    let observed_set: Option<Vec<usize>> = match config.attacker() {
+        Some(attacker) => {
+            let views: Vec<&[usize]> = (0..config.nodes()).map(|i| topology.view(i)).collect();
+            let observed = attacker.observed_nodes(&views);
+            if observed.is_empty() {
+                return Err(CoreError::invalid(
+                    "attacker",
+                    format!("attacker '{attacker}' observes no nodes on this topology"),
+                ));
+            }
+            Some(observed)
+        }
+        None => None,
+    };
     let model_spec = config.model_spec()?;
     let mut sim = Simulation::new(
         config.sim_config(),
@@ -291,6 +310,7 @@ pub fn run_experiment_traced(
     )?;
 
     let evaluator = MiaEvaluator::new(config.attack());
+    let observed_ref: Option<&[usize]> = observed_set.as_deref();
     let seed = config.seed();
     let surface = config.attack_surface();
     let eval_every = config.eval_every();
@@ -330,6 +350,7 @@ pub fn run_experiment_traced(
                         &model_spec,
                         &federation,
                         &evaluator,
+                        observed_ref,
                         seed,
                         1,
                         &mut eval_cache,
@@ -389,6 +410,7 @@ pub fn run_experiment_traced(
                     &model_spec,
                     &federation,
                     &evaluator,
+                    observed_ref,
                     seed,
                     threads,
                     &mut eval_cache,
@@ -433,9 +455,27 @@ pub fn run_experiment_traced(
             gen_error: r.gen_error.mean,
         })
         .collect();
+    // A Threat record is emitted only when the run actually deviates from
+    // the paper's baseline threat model (restricted attacker or an active
+    // defense); omniscient undefended runs keep their schema-2/3 bytes.
+    let threat_record = (config.attacker().is_some() || config.defense().is_some()).then(|| {
+        let observed_nodes = observed_set.as_ref().map_or(config.nodes(), Vec::len);
+        ThreatRecord {
+            seed,
+            attacker: config.attacker().map_or_else(
+                || AttackerModel::Omniscient.to_string(),
+                ToString::to_string,
+            ),
+            defense: config.defense().map(ToString::to_string),
+            observed_nodes,
+            nodes: config.nodes(),
+            observations: node_evals.len() as u64,
+        }
+    });
     trace.add_seed_run_full(
         seed,
         Some(topo_record),
+        threat_record,
         recorder.rounds(),
         recorder.fault_records(),
         &mixing_records,
@@ -581,16 +621,23 @@ fn evaluate_node(
 /// Returns the across-node aggregate plus the per-node records (in node
 /// order) that the trace keeps for distributional analysis.
 ///
+/// `observed_set` restricts the attack to the nodes a non-omniscient
+/// [`AttackerModel`] can actually see: only those nodes are reconstructed,
+/// scored, recorded and aggregated. `None` (omniscient) evaluates every
+/// node — the exact legacy path, byte for byte.
+///
 /// Nodes whose observed model is pointer-identical to what `cache` last
 /// scored are skipped entirely (see [`NodeEvalCache`]); only the remaining
 /// nodes fan out to the worker pool. Cache hits cannot depend on worker
 /// scheduling, so the thread-count determinism contract is unchanged.
+#[allow(clippy::too_many_arguments)]
 fn evaluate_round(
     snapshot: &RoundSnapshot,
     surface: AttackSurface,
     model_spec: &glmia_nn::MlpSpec,
     federation: &Federation,
     evaluator: &MiaEvaluator,
+    observed_set: Option<&[usize]>,
     seed: u64,
     threads: usize,
     cache: &mut NodeEvalCache,
@@ -601,10 +648,14 @@ fn evaluate_round(
     };
     let n = observed.len();
     let round = snapshot.round;
+    let targets: Vec<usize> = match observed_set {
+        Some(set) => set.to_vec(),
+        None => (0..n).collect(),
+    };
     let mut evals: Vec<Option<NodeEval>> = (0..n).map(|_| None).collect();
     let mut missing: Vec<usize> = Vec::new();
-    for (i, flat) in observed.iter().enumerate() {
-        match cache.lookup(i, flat) {
+    for &i in &targets {
+        match cache.lookup(i, &observed[i]) {
             Some(eval) => evals[i] = Some(eval),
             None => missing.push(i),
         }
@@ -683,14 +734,15 @@ fn evaluate_round(
         cache.store(i, &observed[i], eval);
         evals[i] = Some(eval);
     }
-    let mut test_acc = Vec::with_capacity(n);
-    let mut train_acc = Vec::with_capacity(n);
-    let mut vuln = Vec::with_capacity(n);
-    let mut auc = Vec::with_capacity(n);
-    let mut gen = Vec::with_capacity(n);
-    let mut records = Vec::with_capacity(n);
-    for (node, eval) in evals.into_iter().enumerate() {
-        let eval = eval.expect("every node is either cached or freshly evaluated");
+    let m = targets.len();
+    let mut test_acc = Vec::with_capacity(m);
+    let mut train_acc = Vec::with_capacity(m);
+    let mut vuln = Vec::with_capacity(m);
+    let mut auc = Vec::with_capacity(m);
+    let mut gen = Vec::with_capacity(m);
+    let mut records = Vec::with_capacity(m);
+    for &node in &targets {
+        let eval = evals[node].expect("every observed node is either cached or freshly evaluated");
         test_acc.push(eval.test_acc);
         train_acc.push(eval.train_acc);
         vuln.push(eval.vuln);
@@ -920,6 +972,115 @@ mod tests {
         );
         assert_eq!(node_eval_count, result.rounds.len() * config.nodes());
         assert!(trace.phases().get(Phase::Spectral) > 0.0);
+    }
+
+    #[test]
+    fn restricted_attacker_scores_only_observed_nodes() {
+        let attacker = AttackerModel::PassiveNeighbors { observers: vec![0] };
+        let config = quick(18).with_attacker(attacker);
+        let (result, trace) = run_experiment_traced(&config).unwrap();
+        // Observer 0's vantage in a 2-regular graph: exactly its 2 neighbors.
+        let threat = trace
+            .events()
+            .iter()
+            .find_map(|e| match e {
+                glmia_trace::TraceEvent::Threat(t) => Some(t.clone()),
+                _ => None,
+            })
+            .expect("restricted run emits a threat record");
+        assert_eq!(threat.attacker, "neighbors:0");
+        assert_eq!(threat.defense, None);
+        assert_eq!(threat.nodes, config.nodes());
+        assert_eq!(threat.observed_nodes, config.view_size());
+        let node_evals: Vec<&glmia_trace::NodeEvalRecord> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                glmia_trace::TraceEvent::NodeEval(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            node_evals.len(),
+            result.rounds.len() * threat.observed_nodes,
+            "only observed nodes are scored"
+        );
+        assert_eq!(threat.observations, node_evals.len() as u64);
+        let scored: std::collections::BTreeSet<usize> = node_evals.iter().map(|r| r.node).collect();
+        assert_eq!(scored.len(), threat.observed_nodes);
+        assert!(!scored.contains(&0), "observers never observe themselves");
+        assert_eq!(trace.schema(), glmia_trace::THREAT_SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn omniscient_attacker_is_identity_inert() {
+        let base = quick(19);
+        let explicit = quick(19).with_attacker(AttackerModel::Omniscient);
+        let (base_result, base_trace) = run_experiment_traced(&base).unwrap();
+        let (explicit_result, explicit_trace) = run_experiment_traced(&explicit).unwrap();
+        assert_eq!(base_result, explicit_result);
+        assert_eq!(base_trace.schema(), glmia_trace::SCHEMA_VERSION);
+        assert_eq!(explicit_trace.schema(), glmia_trace::SCHEMA_VERSION);
+        assert_eq!(
+            serde_json::to_string(base_trace.events()).unwrap(),
+            serde_json::to_string(explicit_trace.events()).unwrap(),
+            "an explicit omniscient attacker must not change a single byte"
+        );
+    }
+
+    #[test]
+    fn defended_runs_emit_a_threat_record_with_the_omniscient_attacker() {
+        use glmia_gossip::Defense;
+        let config = quick(20).with_defense(Defense::Clipping { limit: 1.0 });
+        let (_, trace) = run_experiment_traced(&config).unwrap();
+        let threat = trace
+            .events()
+            .iter()
+            .find_map(|e| match e {
+                glmia_trace::TraceEvent::Threat(t) => Some(t.clone()),
+                _ => None,
+            })
+            .expect("defended run emits a threat record");
+        assert_eq!(threat.attacker, "omniscient");
+        assert_eq!(threat.defense.as_deref(), Some("clip:1"));
+        assert_eq!(threat.observed_nodes, config.nodes());
+        assert_eq!(trace.schema(), glmia_trace::THREAT_SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn coalition_attacker_restricts_and_round_trips_through_the_trace() {
+        let attacker = AttackerModel::Coalition {
+            members: vec![0, 1, 2],
+        };
+        let config = quick(21).with_attacker(attacker.clone());
+        let (result, trace) = run_experiment_traced(&config).unwrap();
+        let threat = trace
+            .events()
+            .iter()
+            .find_map(|e| match e {
+                glmia_trace::TraceEvent::Threat(t) => Some(t.clone()),
+                _ => None,
+            })
+            .expect("coalition run emits a threat record");
+        assert_eq!(threat.attacker, attacker.to_string());
+        assert_eq!(
+            threat.attacker.parse::<AttackerModel>().unwrap(),
+            attacker.normalized()
+        );
+        assert!(
+            threat.observed_nodes < config.nodes(),
+            "members are excluded"
+        );
+        let scored: std::collections::BTreeSet<usize> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                glmia_trace::TraceEvent::NodeEval(r) => Some(r.node),
+                _ => None,
+            })
+            .collect();
+        assert!(scored.is_disjoint(&[0, 1, 2].into_iter().collect()));
+        assert_eq!(result.rounds.len(), config.rounds());
     }
 
     #[test]

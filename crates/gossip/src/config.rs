@@ -453,7 +453,9 @@ mod tests {
             .with_drop_probability(1.0)
             .validate()
             .unwrap_err();
-        assert!(err.to_string().contains("drop probability must be in [0, 1)"));
+        assert!(err
+            .to_string()
+            .contains("drop probability must be in [0, 1)"));
     }
 
     #[test]
@@ -485,15 +487,17 @@ mod tests {
         assert!(SimConfig::new(ProtocolKind::Samo, TopologyMode::Static)
             .validate()
             .is_ok());
-        assert!(SimConfig::new(ProtocolKind::BaseGossip, TopologyMode::Dynamic)
-            .with_fault_plan(
-                FaultPlan::none()
-                    .with_churn(ChurnConfig::new(0.1))
-                    .with_latency(LatencyDist::Uniform { min: 1, max: 8 })
-                    .with_link_drop(0.05)
-            )
-            .validate()
-            .is_ok());
+        assert!(
+            SimConfig::new(ProtocolKind::BaseGossip, TopologyMode::Dynamic)
+                .with_fault_plan(
+                    FaultPlan::none()
+                        .with_churn(ChurnConfig::new(0.1))
+                        .with_latency(LatencyDist::Uniform { min: 1, max: 8 })
+                        .with_link_drop(0.05)
+                )
+                .validate()
+                .is_ok()
+        );
     }
 
     #[test]

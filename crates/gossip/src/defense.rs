@@ -4,6 +4,8 @@ use glmia_dist::Normal;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::GossipError;
+
 /// A perturbation applied to every model a node *sends* (its own stored
 /// model is untouched).
 ///
@@ -11,6 +13,20 @@ use serde::{Deserialize, Serialize};
 /// surveys in §6.2 (local-DP-style noise injection); they let the benchmark
 /// harness quantify the privacy/utility shift a defense buys on top of the
 /// architectural factors the paper studies.
+///
+/// Each defense has a compact colon-separated spec used by the CLI and
+/// trace records: `gaussian:STD`, `mask:FRAC`, or `clip:LIMIT`.
+/// [`Display`](std::fmt::Display) emits it and [`FromStr`](std::str::FromStr)
+/// parses it back:
+///
+/// ```
+/// use glmia_gossip::Defense;
+///
+/// let defense: Defense = "gaussian:0.1".parse()?;
+/// assert_eq!(defense, Defense::GaussianNoise { std: 0.1 });
+/// assert_eq!(defense.to_string(), "gaussian:0.1");
+/// # Ok::<(), String>(())
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Defense {
     /// Adds IID Gaussian noise `N(0, std²)` to every shared parameter — the
@@ -25,15 +41,58 @@ pub enum Defense {
         /// Fraction of parameters zeroed, in `[0, 1)`.
         fraction: f64,
     },
+    /// Clamps every shared parameter to `[-limit, limit]` — the norm-bounding
+    /// step of DP-SGD-style pipelines, here applied per-coordinate to the
+    /// outgoing model. Deterministic: draws no randomness.
+    Clipping {
+        /// Per-coordinate magnitude bound, strictly positive.
+        limit: f64,
+    },
 }
 
 impl Defense {
+    /// Checks the defense parameters without applying anything, for config
+    /// validation paths that must not panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GossipError`] naming the offending parameter when the noise
+    /// std is negative or non-finite, the mask fraction is outside `[0, 1)`,
+    /// or the clipping limit is not strictly positive and finite.
+    pub fn validate(&self) -> Result<(), GossipError> {
+        match *self {
+            Defense::GaussianNoise { std } => {
+                if !(std >= 0.0 && std.is_finite()) {
+                    return Err(GossipError::new(format!(
+                        "noise std must be non-negative and finite, got {std}"
+                    )));
+                }
+            }
+            Defense::RandomMask { fraction } => {
+                if !(0.0..1.0).contains(&fraction) {
+                    return Err(GossipError::new(format!(
+                        "mask fraction must be in [0, 1), got {fraction}"
+                    )));
+                }
+            }
+            Defense::Clipping { limit } => {
+                if !(limit > 0.0 && limit.is_finite()) {
+                    return Err(GossipError::new(format!(
+                        "clipping limit must be positive and finite, got {limit}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Applies the defense in place to an outgoing flat parameter vector.
     ///
     /// # Panics
     ///
     /// Panics if parameters are invalid (negative noise std, fraction
-    /// outside `[0, 1)`).
+    /// outside `[0, 1)`, non-positive clipping limit); [`Defense::validate`]
+    /// checks the same conditions without panicking.
     pub fn apply<R: Rng + ?Sized>(&self, params: &mut [f32], rng: &mut R) {
         match *self {
             Defense::GaussianNoise { std } => {
@@ -60,6 +119,16 @@ impl Defense {
                     }
                 }
             }
+            Defense::Clipping { limit } => {
+                assert!(
+                    limit > 0.0 && limit.is_finite(),
+                    "clipping limit must be positive"
+                );
+                let bound = limit as f32;
+                for p in params {
+                    *p = p.clamp(-bound, bound);
+                }
+            }
         }
     }
 }
@@ -67,9 +136,43 @@ impl Defense {
 impl std::fmt::Display for Defense {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Defense::GaussianNoise { std } => write!(f, "gaussian-noise(σ={std})"),
-            Defense::RandomMask { fraction } => write!(f, "random-mask({fraction})"),
+            Defense::GaussianNoise { std } => write!(f, "gaussian:{std}"),
+            Defense::RandomMask { fraction } => write!(f, "mask:{fraction}"),
+            Defense::Clipping { limit } => write!(f, "clip:{limit}"),
         }
+    }
+}
+
+/// Parses the compact colon-separated spec the CLI uses, the inverse of
+/// [`Display`](std::fmt::Display): `gaussian:STD`, `mask:FRAC`, or
+/// `clip:LIMIT`. Parsed values are validated, so a successfully parsed
+/// defense never panics in [`Defense::apply`].
+impl std::str::FromStr for Defense {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        fn num(part: &str, what: &str) -> Result<f64, String> {
+            part.parse()
+                .map_err(|_| format!("invalid {what} '{part}' in defense spec"))
+        }
+        let defense = match s.split_once(':') {
+            Some(("gaussian", std)) => Defense::GaussianNoise {
+                std: num(std, "noise std")?,
+            },
+            Some(("mask", fraction)) => Defense::RandomMask {
+                fraction: num(fraction, "mask fraction")?,
+            },
+            Some(("clip", limit)) => Defense::Clipping {
+                limit: num(limit, "clipping limit")?,
+            },
+            _ => {
+                return Err(format!(
+                    "invalid defense spec '{s}' (expected gaussian:STD, mask:FRAC or clip:LIMIT)"
+                ))
+            }
+        };
+        defense.validate().map_err(|e| e.to_string())?;
+        Ok(defense)
     }
 }
 
@@ -109,20 +212,86 @@ mod tests {
     }
 
     #[test]
+    fn clipping_clamps_and_draws_no_randomness() {
+        let mut params = vec![-3.0f32, -0.5, 0.0, 0.5, 3.0];
+        let mut r = rng(4);
+        let before = r.clone();
+        Defense::Clipping { limit: 1.0 }.apply(&mut params, &mut r);
+        assert_eq!(params, vec![-1.0, -0.5, 0.0, 0.5, 1.0]);
+        // The RNG is untouched: clipping must not shift downstream draws.
+        assert_eq!(r.gen::<u64>(), before.clone().gen::<u64>());
+    }
+
+    #[test]
     #[should_panic(expected = "mask fraction must be in [0, 1)")]
     fn bad_mask_fraction_panics() {
         Defense::RandomMask { fraction: 1.0 }.apply(&mut [1.0], &mut rng(3));
     }
 
     #[test]
-    fn display_names() {
+    #[should_panic(expected = "clipping limit must be positive")]
+    fn bad_clip_limit_panics() {
+        Defense::Clipping { limit: 0.0 }.apply(&mut [1.0], &mut rng(5));
+    }
+
+    #[test]
+    fn validate_mirrors_the_apply_preconditions() {
+        assert!(Defense::GaussianNoise { std: 0.0 }.validate().is_ok());
+        assert!(Defense::RandomMask { fraction: 0.99 }.validate().is_ok());
+        assert!(Defense::Clipping { limit: 0.5 }.validate().is_ok());
+        for bad in [
+            Defense::GaussianNoise { std: -1.0 },
+            Defense::GaussianNoise { std: f64::NAN },
+            Defense::RandomMask { fraction: 1.0 },
+            Defense::RandomMask { fraction: -0.1 },
+            Defense::Clipping { limit: 0.0 },
+            Defense::Clipping {
+                limit: f64::INFINITY,
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} should fail validation");
+        }
+    }
+
+    #[test]
+    fn display_emits_the_cli_grammar() {
         assert_eq!(
             Defense::GaussianNoise { std: 0.1 }.to_string(),
-            "gaussian-noise(σ=0.1)"
+            "gaussian:0.1"
         );
         assert_eq!(
             Defense::RandomMask { fraction: 0.5 }.to_string(),
-            "random-mask(0.5)"
+            "mask:0.5"
         );
+        assert_eq!(Defense::Clipping { limit: 2.5 }.to_string(), "clip:2.5");
+    }
+
+    #[test]
+    fn display_round_trips_through_fromstr() {
+        for defense in [
+            Defense::GaussianNoise { std: 0.25 },
+            Defense::RandomMask { fraction: 0.125 },
+            Defense::Clipping { limit: 1.5 },
+        ] {
+            let reparsed: Defense = defense.to_string().parse().unwrap();
+            assert_eq!(reparsed, defense);
+        }
+    }
+
+    #[test]
+    fn fromstr_rejects_malformed_and_invalid_specs() {
+        for bad in [
+            "",
+            "gaussian",
+            "gaussian:",
+            "gaussian:x",
+            "gaussian:-1",
+            "mask:1.0",
+            "clip:0",
+            "clip:abc",
+            "laplace:0.1",
+        ] {
+            assert!(bad.parse::<Defense>().is_err(), "'{bad}' should not parse");
+        }
     }
 }

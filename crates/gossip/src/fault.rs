@@ -345,7 +345,13 @@ impl FaultState {
     /// ticks. Churn timelines come from per-node RNGs seeded by a
     /// SplitMix64 chain over `seed`, so they are independent of every
     /// other random stream in the simulation.
-    pub fn build(plan: &FaultPlan, n: usize, rounds: usize, ticks_per_round: u64, seed: u64) -> Self {
+    pub fn build(
+        plan: &FaultPlan,
+        n: usize,
+        rounds: usize,
+        ticks_per_round: u64,
+        seed: u64,
+    ) -> Self {
         let horizon = rounds as u64 * ticks_per_round;
         let schedules = match plan.churn() {
             Some(churn) => (0..n)
@@ -432,7 +438,9 @@ mod tests {
 
     #[test]
     fn any_knob_makes_the_plan_active() {
-        assert!(!FaultPlan::none().with_churn(ChurnConfig::new(0.1)).is_inert());
+        assert!(!FaultPlan::none()
+            .with_churn(ChurnConfig::new(0.1))
+            .is_inert());
         assert!(!FaultPlan::none()
             .with_latency(LatencyDist::Fixed { ticks: 5 })
             .is_inert());
@@ -442,16 +450,18 @@ mod tests {
     #[test]
     fn validate_names_each_violation() {
         let bad_rate = FaultPlan::none().with_churn(ChurnConfig::new(1.5));
-        assert!(bad_rate.validate().unwrap_err().to_string().contains("churn rate"));
-        let bad_downtime =
-            FaultPlan::none().with_churn(ChurnConfig::new(0.1).with_downtime(10, 5));
+        assert!(bad_rate
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("churn rate"));
+        let bad_downtime = FaultPlan::none().with_churn(ChurnConfig::new(0.1).with_downtime(10, 5));
         assert!(bad_downtime
             .validate()
             .unwrap_err()
             .to_string()
             .contains("min <= max"));
-        let zero_downtime =
-            FaultPlan::none().with_churn(ChurnConfig::new(0.1).with_downtime(0, 5));
+        let zero_downtime = FaultPlan::none().with_churn(ChurnConfig::new(0.1).with_downtime(0, 5));
         assert!(zero_downtime
             .validate()
             .unwrap_err()
@@ -590,8 +600,18 @@ mod tests {
             let parsed: LatencyDist = dist.to_string().parse().expect("display form parses");
             assert_eq!(parsed, dist);
         }
-        for bad in ["fixed", "fixed:x", "uniform:3", "straggler:1:2", "poisson:4", ""] {
-            assert!(bad.parse::<LatencyDist>().is_err(), "'{bad}' must not parse");
+        for bad in [
+            "fixed",
+            "fixed:x",
+            "uniform:3",
+            "straggler:1:2",
+            "poisson:4",
+            "",
+        ] {
+            assert!(
+                bad.parse::<LatencyDist>().is_err(),
+                "'{bad}' must not parse"
+            );
         }
     }
 }

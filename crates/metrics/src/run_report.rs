@@ -64,6 +64,35 @@ pub fn render_markdown_report(summary: &RunSummary) -> String {
         ]],
     ));
 
+    if let Some(threat) = &summary.threat {
+        out.push_str("\n## Threat model (section 6.2)\n\n");
+        out.push_str(
+            "Which (round, node) snapshots the adversary observed, and any \
+             active defense applied to shared models. `observed nodes` is \
+             the mean size of the attacker's vantage across seeds; \
+             `observations` counts the per-node attack replays it ran.\n\n",
+        );
+        out.push_str(&markdown_table(
+            &[
+                "attacker",
+                "defense",
+                "observed nodes",
+                "of nodes",
+                "observations",
+            ],
+            &[vec![
+                format!("`{}`", threat.attacker),
+                threat
+                    .defense
+                    .as_ref()
+                    .map_or_else(|| "-".to_string(), |d| format!("`{d}`")),
+                format!("{:.1}", threat.mean_observed_nodes),
+                threat.nodes.to_string(),
+                threat.observations.to_string(),
+            ]],
+        ));
+    }
+
     if let Some(faults) = &summary.faults {
         out.push_str("\n## Fault injection\n\n");
         out.push_str(
@@ -72,7 +101,12 @@ pub fn render_markdown_report(summary: &RunSummary) -> String {
              offline drops are deliveries lost to a crashed receiver.\n\n",
         );
         out.push_str(&markdown_table(
-            &["crashes", "recoveries", "offline drops", "mean availability"],
+            &[
+                "crashes",
+                "recoveries",
+                "offline drops",
+                "mean availability",
+            ],
             &[vec![
                 faults.crashes.to_string(),
                 faults.recoveries.to_string(),
@@ -392,10 +426,32 @@ pub fn render_prometheus(summary: &RunSummary) -> String {
             );
             for r in &summary.rounds {
                 if let Some(a) = r.availability {
-                    out.push_str(&format!("glmia_node_availability{{round=\"{}\"}} {a}\n", r.round));
+                    out.push_str(&format!(
+                        "glmia_node_availability{{round=\"{}\"}} {a}\n",
+                        r.round
+                    ));
                 }
             }
         }
+    }
+    if let Some(threat) = &summary.threat {
+        counter(
+            &mut out,
+            "glmia_threat_observations_total",
+            "Per-node attack replays the configured attacker scored.",
+            threat.observations,
+        );
+        gauge_header(
+            &mut out,
+            "glmia_threat_observed_nodes",
+            "Mean number of nodes inside the attacker's vantage.",
+        );
+        out.push_str(&format!(
+            "glmia_threat_observed_nodes{{attacker=\"{}\",defense=\"{}\"}} {}\n",
+            threat.attacker,
+            threat.defense.as_deref().unwrap_or("none"),
+            threat.mean_observed_nodes
+        ));
     }
     if let Some(topology) = &summary.topology {
         gauge_header(
@@ -584,6 +640,58 @@ mod tests {
             fault(2, 160, FaultRecordKind::Drop, Some(1)),
         ];
         RunSummary::from_events(&header, &events)
+    }
+
+    fn threat_summary() -> RunSummary {
+        let header = HeaderRecord {
+            schema: glmia_trace::THREAT_SCHEMA_VERSION,
+            label: "threat-report-test".into(),
+            config_hash: "00000000000000ab".into(),
+        };
+        let events = vec![
+            TraceEvent::Topology(TopologyRecord {
+                seed: 1,
+                nodes: 8,
+                view_size: 2,
+                lambda2_analytic: 0.75,
+            }),
+            TraceEvent::Threat(glmia_trace::ThreatRecord {
+                seed: 1,
+                attacker: "neighbors:0,3".into(),
+                defense: Some("gaussian:0.1".into()),
+                observed_nodes: 4,
+                nodes: 8,
+                observations: 20,
+            }),
+        ];
+        RunSummary::from_events(&header, &events)
+    }
+
+    #[test]
+    fn threat_section_reports_attacker_defense_and_observations() {
+        let md = render_markdown_report(&threat_summary());
+        for needle in [
+            "## Threat model (section 6.2)",
+            "| attacker | defense | observed nodes | of nodes | observations |",
+            "| `neighbors:0,3` | `gaussian:0.1` | 4.0 | 8 | 20 |",
+        ] {
+            assert!(md.contains(needle), "missing {needle:?} in:\n{md}");
+        }
+        let prom = render_prometheus(&threat_summary());
+        for needle in [
+            "# TYPE glmia_threat_observations_total counter\nglmia_threat_observations_total 20\n",
+            "glmia_threat_observed_nodes{attacker=\"neighbors:0,3\",defense=\"gaussian:0.1\"} 4\n",
+        ] {
+            assert!(prom.contains(needle), "missing {needle:?} in:\n{prom}");
+        }
+    }
+
+    #[test]
+    fn threat_free_reports_render_no_threat_section() {
+        let md = render_markdown_report(&sample_summary());
+        assert!(!md.contains("Threat model"), "{md}");
+        let prom = render_prometheus(&sample_summary());
+        assert!(!prom.contains("glmia_threat_"), "{prom}");
     }
 
     #[test]

@@ -5,7 +5,8 @@ use glmia_nn::Mlp;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::{auc, modified_prediction_entropy, optimal_threshold, prediction_entropy, MiaError};
+use crate::mpe::{entropy_score, mpe_score};
+use crate::{Attack, MiaError, ScorePools};
 
 /// The membership score a model+sample pair is reduced to. Lower score =
 /// more member-like for every kind.
@@ -37,11 +38,24 @@ impl AttackKind {
     ///
     /// Panics if `probs` is empty or (for label-aware kinds) `label` is out
     /// of range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use glmia_mia::AttackKind;
+    ///
+    /// // MPE (Eq. 3): confidently correct → 0, confidently wrong → large.
+    /// assert!(AttackKind::Mpe.score(&[1.0, 0.0], 0) < 1e-9);
+    /// assert!(AttackKind::Mpe.score(&[1.0, 0.0], 1) > 10.0);
+    /// // Plain entropy is label-free: uniform output maximizes it.
+    /// let uniform = AttackKind::Entropy.score(&[0.25; 4], 0);
+    /// assert!((uniform - (4.0f64).ln()).abs() < 1e-9);
+    /// ```
     #[must_use]
     pub fn score(self, probs: &[f32], label: usize) -> f64 {
         match self {
-            AttackKind::Mpe => modified_prediction_entropy(probs, label),
-            AttackKind::Entropy => prediction_entropy(probs),
+            AttackKind::Mpe => mpe_score(probs, label),
+            AttackKind::Entropy => entropy_score(probs),
             AttackKind::Confidence => {
                 let max = probs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
                 -f64::from(max)
@@ -146,8 +160,9 @@ impl MiaEvaluator {
         let n = members.len().min(nonmembers.len());
         let member_scores = subsample(self.kind.score_dataset(model, members)?, n, rng);
         let nonmember_scores = subsample(self.kind.score_dataset(model, nonmembers)?, n, rng);
-        let report = optimal_threshold(&member_scores, &nonmember_scores)?;
-        let auc = auc(&member_scores, &nonmember_scores)?;
+        let pools = ScorePools::new(&member_scores, &nonmember_scores);
+        let report = pools.optimal_threshold()?;
+        let auc = pools.auc()?;
         Ok(MiaResult {
             attack_accuracy: report.accuracy,
             auc,
@@ -219,7 +234,7 @@ impl MiaEvaluator {
             let auc = if m.is_empty() || nm.is_empty() {
                 None
             } else {
-                Some(crate::auc(&m, &nm)?)
+                Some(ScorePools::new(&m, &nm).auc()?)
             };
             out.push(ClassLeakage {
                 class,
@@ -229,6 +244,30 @@ impl MiaEvaluator {
             });
         }
         Ok(out)
+    }
+}
+
+/// The oracle-threshold family implements [`Attack`] so it can run against
+/// an [`AttackerView`](crate::AttackerView) next to the transfer attack in
+/// threat-matrix sweeps.
+impl Attack for MiaEvaluator {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            AttackKind::Mpe => "mpe-oracle",
+            AttackKind::Entropy => "entropy-oracle",
+            AttackKind::Confidence => "confidence-oracle",
+            AttackKind::Loss => "loss-oracle",
+        }
+    }
+
+    fn attack_model(
+        &self,
+        model: &Mlp,
+        members: &Dataset,
+        nonmembers: &Dataset,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<MiaResult, MiaError> {
+        self.evaluate(model, members, nonmembers, rng)
     }
 }
 

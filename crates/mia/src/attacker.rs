@@ -1,0 +1,702 @@
+//! Threat models: who observes which model snapshots, and the [`Attack`]
+//! trait every attack implements against that view.
+//!
+//! The paper's §2.6 adversary is *omniscient* — it recovers the current
+//! model of every node after every round. The related work grades that
+//! assumption: El Mrini et al. attack from individual and colluding curious
+//! neighbors, and Koskela & Kulkarni show gossip-averaging privacy shifts
+//! with the observer set. [`AttackerModel`] captures the three regimes:
+//!
+//! * [`AttackerModel::Omniscient`] — every node observed (the paper);
+//! * [`AttackerModel::PassiveNeighbors`] — a set of honest-but-curious
+//!   observer nodes, each seeing the models its direct neighbors share with
+//!   it (so the observed set is the union of the observers' neighborhoods);
+//! * [`AttackerModel::Coalition`] — colluding members pooling their
+//!   neighborhoods, attacking every *outside* node any member can see (the
+//!   members' own models are excluded — they are the attacker's).
+//!
+//! An [`AttackerView`] is one evaluated round as the adversary sees it:
+//! the per-node `Arc<[f32]>` parameter snapshots the simulation already
+//! shares zero-copy, restricted to the observed set. Attacks never touch
+//! raw snapshots directly; they go through the view, which returns `None`
+//! for unobserved nodes.
+
+use std::sync::Arc;
+
+use glmia_data::Dataset;
+use glmia_nn::{Mlp, MlpSpec};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::{MiaError, MiaResult};
+
+/// Which (round, node) model snapshots the adversary observes.
+///
+/// The node-index lists use the flag grammar `neighbors:3,7` /
+/// `coalition:0..8` (comma-separated indices and half-open `a..b` ranges);
+/// [`std::fmt::Display`] emits the canonical form and
+/// [`std::str::FromStr`] parses it back, so the value round-trips through
+/// CLI flags and trace records.
+///
+/// # Examples
+///
+/// ```
+/// use glmia_mia::AttackerModel;
+///
+/// let attacker: AttackerModel = "coalition:0..3,5".parse()?;
+/// assert_eq!(
+///     attacker,
+///     AttackerModel::Coalition { members: vec![0, 1, 2, 5] }
+/// );
+/// assert_eq!(attacker.to_string(), "coalition:0..3,5");
+/// assert_eq!("omniscient".parse::<AttackerModel>()?, AttackerModel::Omniscient);
+/// # Ok::<(), glmia_mia::MiaError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AttackerModel {
+    /// The paper's worst case: every node's model is observed every
+    /// evaluated round.
+    #[default]
+    Omniscient,
+    /// Honest-but-curious observer nodes; the adversary sees exactly the
+    /// models delivered to them, i.e. the union of the observers'
+    /// neighborhoods (observers may observe each other, never themselves).
+    PassiveNeighbors {
+        /// Node indices of the passive observers.
+        observers: Vec<usize>,
+    },
+    /// A colluding coalition pooling its members' neighborhoods and
+    /// attacking every observed *non-member* node.
+    Coalition {
+        /// Node indices of the colluding members.
+        members: Vec<usize>,
+    },
+}
+
+impl AttackerModel {
+    /// Whether this is the omniscient (paper) attacker — the identity-inert
+    /// default.
+    #[must_use]
+    pub fn is_omniscient(&self) -> bool {
+        matches!(self, AttackerModel::Omniscient)
+    }
+
+    /// Canonical form: node lists sorted and deduplicated. [`Display`]
+    /// (std::fmt::Display) and the config identity both use this form, so
+    /// `neighbors:7,3,3` and `neighbors:3,7` describe the same experiment.
+    #[must_use]
+    pub fn normalized(self) -> Self {
+        let canon = |mut v: Vec<usize>| {
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        match self {
+            AttackerModel::Omniscient => AttackerModel::Omniscient,
+            AttackerModel::PassiveNeighbors { observers } => AttackerModel::PassiveNeighbors {
+                observers: canon(observers),
+            },
+            AttackerModel::Coalition { members } => AttackerModel::Coalition {
+                members: canon(members),
+            },
+        }
+    }
+
+    /// Validates the threat model against a node count: lists must be
+    /// non-empty, every index in range, and a coalition must leave at least
+    /// one non-member to attack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiaError`] describing the first violation.
+    pub fn validate(&self, nodes: usize) -> Result<(), MiaError> {
+        let check = |role: &str, list: &[usize]| -> Result<(), MiaError> {
+            if list.is_empty() {
+                return Err(MiaError::new(format!(
+                    "{role} list must name at least one node"
+                )));
+            }
+            if let Some(&bad) = list.iter().find(|&&i| i >= nodes) {
+                return Err(MiaError::new(format!(
+                    "{role} index {bad} out of range for {nodes} nodes"
+                )));
+            }
+            Ok(())
+        };
+        match self {
+            AttackerModel::Omniscient => Ok(()),
+            AttackerModel::PassiveNeighbors { observers } => check("observer", observers),
+            AttackerModel::Coalition { members } => {
+                check("coalition member", members)?;
+                let mut seen = vec![false; nodes];
+                for &m in members {
+                    seen[m] = true;
+                }
+                if seen.iter().all(|&s| s) {
+                    return Err(MiaError::new(
+                        "coalition covers every node, leaving nothing to attack",
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The set of node indices this attacker observes, given each node's
+    /// sorted neighbor list (index `i` holds the neighbors of node `i`).
+    /// Returned sorted and deduplicated. Out-of-range indices in the
+    /// attacker's lists are ignored (they are rejected by
+    /// [`validate`](Self::validate) long before this runs).
+    ///
+    /// The observation set is fixed at the *initial* topology: under
+    /// PeerSwap dynamics the engine rewires views over time, but the
+    /// attacker's vantage is defined by where it sits when the run starts.
+    #[must_use]
+    pub fn observed_nodes(&self, neighbors: &[&[usize]]) -> Vec<usize> {
+        let n = neighbors.len();
+        let mut mask = vec![false; n];
+        match self {
+            AttackerModel::Omniscient => return (0..n).collect(),
+            AttackerModel::PassiveNeighbors { observers } => {
+                for &o in observers {
+                    if let Some(view) = neighbors.get(o) {
+                        for &v in *view {
+                            if v < n {
+                                mask[v] = true;
+                            }
+                        }
+                    }
+                }
+            }
+            AttackerModel::Coalition { members } => {
+                for &m in members {
+                    if let Some(view) = neighbors.get(m) {
+                        for &v in *view {
+                            if v < n {
+                                mask[v] = true;
+                            }
+                        }
+                    }
+                }
+                for &m in members {
+                    if m < n {
+                        mask[m] = false;
+                    }
+                }
+            }
+        }
+        mask.iter()
+            .enumerate()
+            .filter_map(|(i, &observed)| observed.then_some(i))
+            .collect()
+    }
+}
+
+/// Encodes a node-index set as the flag grammar: maximal consecutive runs
+/// become half-open `a..b` ranges, everything else single indices.
+fn format_indices(indices: &[usize], f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+    let mut canon = indices.to_vec();
+    canon.sort_unstable();
+    canon.dedup();
+    let mut i = 0;
+    let mut first = true;
+    while i < canon.len() {
+        let mut j = i;
+        while j + 1 < canon.len() && canon[j + 1] == canon[j] + 1 {
+            j += 1;
+        }
+        if !first {
+            f.write_str(",")?;
+        }
+        first = false;
+        if j > i {
+            write!(f, "{}..{}", canon[i], canon[j] + 1)?;
+        } else {
+            write!(f, "{}", canon[i])?;
+        }
+        i = j + 1;
+    }
+    Ok(())
+}
+
+/// Parses the node-index grammar: comma-separated indices and half-open
+/// `a..b` ranges. Returns a sorted, deduplicated list.
+fn parse_indices(spec: &str) -> Result<Vec<usize>, MiaError> {
+    let mut out = Vec::new();
+    for token in spec.split(',') {
+        let token = token.trim();
+        if token.is_empty() {
+            return Err(MiaError::new(format!("empty node index in {spec:?}")));
+        }
+        if let Some((lo, hi)) = token.split_once("..") {
+            let lo: usize = lo
+                .trim()
+                .parse()
+                .map_err(|_| MiaError::new(format!("invalid range start in {token:?}")))?;
+            let hi: usize = hi
+                .trim()
+                .parse()
+                .map_err(|_| MiaError::new(format!("invalid range end in {token:?}")))?;
+            if lo >= hi {
+                return Err(MiaError::new(format!(
+                    "empty range {token:?} (use a..b with a < b)"
+                )));
+            }
+            out.extend(lo..hi);
+        } else {
+            out.push(
+                token
+                    .parse()
+                    .map_err(|_| MiaError::new(format!("invalid node index {token:?}")))?,
+            );
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
+
+impl std::fmt::Display for AttackerModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttackerModel::Omniscient => f.write_str("omniscient"),
+            AttackerModel::PassiveNeighbors { observers } => {
+                f.write_str("neighbors:")?;
+                format_indices(observers, f)
+            }
+            AttackerModel::Coalition { members } => {
+                f.write_str("coalition:")?;
+                format_indices(members, f)
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for AttackerModel {
+    type Err = MiaError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s == "omniscient" {
+            return Ok(AttackerModel::Omniscient);
+        }
+        if let Some(spec) = s.strip_prefix("neighbors:") {
+            return Ok(AttackerModel::PassiveNeighbors {
+                observers: parse_indices(spec)?,
+            });
+        }
+        if let Some(spec) = s.strip_prefix("coalition:") {
+            return Ok(AttackerModel::Coalition {
+                members: parse_indices(spec)?,
+            });
+        }
+        Err(MiaError::new(format!(
+            "invalid attacker {s:?} (expected omniscient, neighbors:<nodes> or coalition:<nodes>)"
+        )))
+    }
+}
+
+/// One evaluated round as the adversary sees it: the per-node parameter
+/// snapshots (shared zero-copy with the simulation), restricted to the
+/// attacker's observed set. [`model`](Self::model) returns `None` for
+/// unobserved nodes, so an [`Attack`] physically cannot score a model the
+/// threat model says the adversary never captured.
+#[derive(Debug, Clone)]
+pub struct AttackerView<'a> {
+    round: usize,
+    spec: &'a MlpSpec,
+    models: &'a [Arc<[f32]>],
+    /// `None` means omniscient: every node observed.
+    observed: Option<Vec<bool>>,
+}
+
+impl<'a> AttackerView<'a> {
+    /// An omniscient view: every node's snapshot observed.
+    #[must_use]
+    pub fn omniscient(round: usize, spec: &'a MlpSpec, models: &'a [Arc<[f32]>]) -> Self {
+        Self {
+            round,
+            spec,
+            models,
+            observed: None,
+        }
+    }
+
+    /// A view restricted to `observed_nodes` (indices outside the snapshot
+    /// are ignored) — typically the output of
+    /// [`AttackerModel::observed_nodes`].
+    #[must_use]
+    pub fn restricted(
+        round: usize,
+        spec: &'a MlpSpec,
+        models: &'a [Arc<[f32]>],
+        observed_nodes: &[usize],
+    ) -> Self {
+        let mut mask = vec![false; models.len()];
+        for &i in observed_nodes {
+            if i < mask.len() {
+                mask[i] = true;
+            }
+        }
+        Self {
+            round,
+            spec,
+            models,
+            observed: Some(mask),
+        }
+    }
+
+    /// The 1-based communication round this view snapshots.
+    #[must_use]
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Total nodes in the snapshot (observed or not).
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.models.len()
+    }
+
+    /// The architecture every snapshot decodes to.
+    #[must_use]
+    pub fn model_spec(&self) -> &'a MlpSpec {
+        self.spec
+    }
+
+    /// Whether the adversary observes `node`'s model this round.
+    #[must_use]
+    pub fn is_observed(&self, node: usize) -> bool {
+        node < self.models.len() && self.observed.as_ref().is_none_or(|mask| mask[node])
+    }
+
+    /// The flat parameter snapshot of `node`, or `None` when the node is
+    /// outside the observed set (or the snapshot).
+    #[must_use]
+    pub fn model(&self, node: usize) -> Option<&'a [f32]> {
+        self.is_observed(node).then(|| &*self.models[node])
+    }
+
+    /// The observed node indices, ascending.
+    #[must_use]
+    pub fn observed_nodes(&self) -> Vec<usize> {
+        (0..self.models.len())
+            .filter(|&i| self.is_observed(i))
+            .collect()
+    }
+
+    /// How many nodes the adversary observes this round.
+    #[must_use]
+    pub fn observed_count(&self) -> usize {
+        match &self.observed {
+            None => self.models.len(),
+            Some(mask) => mask.iter().filter(|&&b| b).count(),
+        }
+    }
+}
+
+/// A membership inference attack run against an [`AttackerView`].
+///
+/// This is the crate's canonical entry point (replacing the deprecated
+/// free-function API): [`MiaEvaluator`](crate::MiaEvaluator) implements it
+/// for the oracle-threshold family (MPE, entropy, confidence, loss) and
+/// [`TransferAttack`](crate::TransferAttack) for the calibrated-threshold
+/// attack. The trait is object-safe — sweeps can hold `Box<dyn Attack>`
+/// per matrix cell.
+pub trait Attack {
+    /// A short stable name for tables and trace records (e.g.
+    /// `"mpe-oracle"`, `"transfer"`).
+    fn name(&self) -> &'static str;
+
+    /// Attacks an already-reconstructed victim model with member pool
+    /// `members` and non-member pool `nonmembers`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiaError`] if either pool is empty or mismatches the
+    /// model.
+    fn attack_model(
+        &self,
+        model: &Mlp,
+        members: &Dataset,
+        nonmembers: &Dataset,
+        rng: &mut dyn RngCore,
+    ) -> Result<MiaResult, MiaError>;
+
+    /// Attacks one node of an attacker view: reconstructs the observed
+    /// snapshot and delegates to [`attack_model`](Self::attack_model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiaError`] if the node is outside the observed set, the
+    /// snapshot does not decode under the view's model spec, or the pools
+    /// are invalid.
+    fn attack(
+        &self,
+        view: &AttackerView<'_>,
+        node: usize,
+        members: &Dataset,
+        nonmembers: &Dataset,
+        rng: &mut dyn RngCore,
+    ) -> Result<MiaResult, MiaError> {
+        let flat = view.model(node).ok_or_else(|| {
+            MiaError::new(format!(
+                "attacker does not observe node {node} in round {}",
+                view.round()
+            ))
+        })?;
+        let model = Mlp::from_flat(view.model_spec(), flat)
+            .map_err(|e| MiaError::new(format!("snapshot mismatch for node {node}: {e}")))?;
+        self.attack_model(&model, members, nonmembers, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttackKind, MiaEvaluator, TransferAttack};
+    use glmia_data::{FeatureKind, SyntheticSpec};
+    use glmia_nn::Activation;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn neighbors(observers: Vec<usize>) -> AttackerModel {
+        AttackerModel::PassiveNeighbors { observers }
+    }
+
+    fn coalition(members: Vec<usize>) -> AttackerModel {
+        AttackerModel::Coalition { members }
+    }
+
+    #[test]
+    fn display_emits_canonical_grammar() {
+        assert_eq!(AttackerModel::Omniscient.to_string(), "omniscient");
+        assert_eq!(neighbors(vec![3, 7]).to_string(), "neighbors:3,7");
+        assert_eq!(coalition((0..8).collect()).to_string(), "coalition:0..8");
+        // Runs and singles mix; unsorted input is canonicalized on render.
+        assert_eq!(neighbors(vec![5, 2, 1, 5]).to_string(), "neighbors:1..3,5");
+        assert_eq!(coalition(vec![4, 2]).to_string(), "coalition:2,4");
+    }
+
+    #[test]
+    fn from_str_accepts_ranges_and_lists() {
+        assert_eq!(
+            "omniscient".parse::<AttackerModel>().unwrap(),
+            AttackerModel::Omniscient
+        );
+        assert_eq!(
+            "neighbors:3,7".parse::<AttackerModel>().unwrap(),
+            neighbors(vec![3, 7])
+        );
+        assert_eq!(
+            "coalition:0..8".parse::<AttackerModel>().unwrap(),
+            coalition((0..8).collect())
+        );
+        assert_eq!(
+            "neighbors: 2 , 0..2 ".parse::<AttackerModel>().unwrap(),
+            neighbors(vec![0, 1, 2])
+        );
+    }
+
+    #[test]
+    fn from_str_rejects_malformed_specs() {
+        for bad in [
+            "",
+            "almighty",
+            "neighbors:",
+            "neighbors:x",
+            "neighbors:1,,2",
+            "coalition:5..5",
+            "coalition:9..3",
+            "coalition:1..x",
+            "coalition",
+        ] {
+            assert!(bad.parse::<AttackerModel>().is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn display_from_str_round_trips() {
+        for spec in [
+            "omniscient",
+            "neighbors:3,7",
+            "neighbors:0..4,9",
+            "coalition:0..8",
+            "coalition:1,3,5..9",
+        ] {
+            let parsed: AttackerModel = spec.parse().unwrap();
+            assert_eq!(parsed.to_string(), spec, "canonical spec must round-trip");
+            let reparsed: AttackerModel = parsed.to_string().parse().unwrap();
+            assert_eq!(parsed, reparsed);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn any_index_set_round_trips_through_the_grammar(
+            indices in proptest::collection::vec(0usize..64, 1..12),
+            as_coalition in 0usize..2,
+        ) {
+            let model = if as_coalition == 1 {
+                coalition(indices.clone())
+            } else {
+                neighbors(indices.clone())
+            };
+            let canonical = model.clone().normalized();
+            let reparsed: AttackerModel = model.to_string().parse().unwrap();
+            prop_assert_eq!(reparsed, canonical);
+        }
+    }
+
+    #[test]
+    fn normalized_sorts_and_dedups() {
+        assert_eq!(
+            neighbors(vec![7, 3, 3, 1]).normalized(),
+            neighbors(vec![1, 3, 7])
+        );
+        assert_eq!(
+            AttackerModel::Omniscient.normalized(),
+            AttackerModel::Omniscient
+        );
+    }
+
+    #[test]
+    fn validate_checks_ranges_and_nonempty_lists() {
+        assert!(AttackerModel::Omniscient.validate(2).is_ok());
+        assert!(neighbors(vec![0, 7]).validate(8).is_ok());
+        assert!(neighbors(vec![]).validate(8).is_err());
+        assert!(neighbors(vec![8]).validate(8).is_err());
+        assert!(coalition(vec![0]).validate(8).is_ok());
+        assert!(coalition((0..8).collect()).validate(8).is_err());
+        assert!(coalition(vec![9]).validate(8).is_err());
+    }
+
+    /// A 6-cycle: node i's neighbors are i±1 mod 6.
+    fn ring6() -> Vec<Vec<usize>> {
+        (0..6usize)
+            .map(|i| {
+                let mut v = vec![(i + 5) % 6, (i + 1) % 6];
+                v.sort_unstable();
+                v
+            })
+            .collect()
+    }
+
+    fn views(owned: &[Vec<usize>]) -> Vec<&[usize]> {
+        owned.iter().map(Vec::as_slice).collect()
+    }
+
+    #[test]
+    fn omniscient_observes_every_node() {
+        let ring = ring6();
+        assert_eq!(
+            AttackerModel::Omniscient.observed_nodes(&views(&ring)),
+            vec![0, 1, 2, 3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn passive_neighbors_observe_their_neighborhood_union() {
+        let ring = ring6();
+        // Node 0 sees 1 and 5; node 3 sees 2 and 4.
+        assert_eq!(
+            neighbors(vec![0, 3]).observed_nodes(&views(&ring)),
+            vec![1, 2, 4, 5]
+        );
+        // Adjacent observers observe each other, never themselves.
+        assert_eq!(
+            neighbors(vec![0, 1]).observed_nodes(&views(&ring)),
+            vec![0, 1, 2, 5]
+        );
+    }
+
+    #[test]
+    fn coalition_excludes_its_own_members() {
+        let ring = ring6();
+        // Members 0 and 1 pool {1,5} ∪ {0,2}, then drop themselves.
+        assert_eq!(
+            coalition(vec![0, 1]).observed_nodes(&views(&ring)),
+            vec![2, 5]
+        );
+    }
+
+    #[test]
+    fn restricted_view_hides_unobserved_models() {
+        let spec = MlpSpec::new(4, &[4], 3, Activation::Relu).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let models: Vec<Arc<[f32]>> = (0..4)
+            .map(|_| Arc::from(Mlp::new(&spec, &mut rng).flat_params().into_boxed_slice()))
+            .collect();
+        let view = AttackerView::restricted(2, &spec, &models, &[1, 3]);
+        assert_eq!(view.round(), 2);
+        assert_eq!(view.nodes(), 4);
+        assert_eq!(view.observed_count(), 2);
+        assert_eq!(view.observed_nodes(), vec![1, 3]);
+        assert!(view.model(0).is_none());
+        assert!(view.model(1).is_some());
+        assert!(view.model(4).is_none(), "out of range is unobserved");
+        let omni = AttackerView::omniscient(2, &spec, &models);
+        assert_eq!(omni.observed_count(), 4);
+        assert!(omni.model(0).is_some());
+    }
+
+    #[test]
+    fn attack_through_the_view_matches_direct_evaluation() {
+        let data_spec = SyntheticSpec::new(3, 6, FeatureKind::Gaussian).unwrap();
+        let world = data_spec.sample_world(&mut StdRng::seed_from_u64(2));
+        let train = world.sample(16, &mut StdRng::seed_from_u64(3));
+        let test = world.sample(16, &mut StdRng::seed_from_u64(4));
+        let spec = MlpSpec::new(6, &[8], 3, Activation::Relu).unwrap();
+        let model = Mlp::new(&spec, &mut StdRng::seed_from_u64(5));
+        let models: Vec<Arc<[f32]>> = vec![Arc::from(model.flat_params().into_boxed_slice())];
+        let view = AttackerView::omniscient(1, &spec, &models);
+        let evaluator = MiaEvaluator::new(AttackKind::Mpe);
+        let via_view = evaluator
+            .attack(&view, 0, &train, &test, &mut StdRng::seed_from_u64(6))
+            .unwrap();
+        let direct = evaluator
+            .evaluate(&model, &train, &test, &mut StdRng::seed_from_u64(6))
+            .unwrap();
+        assert_eq!(via_view, direct, "view routing must not change a result");
+    }
+
+    #[test]
+    fn attacking_an_unobserved_node_errors() {
+        let spec = MlpSpec::new(4, &[4], 3, Activation::Relu).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let models: Vec<Arc<[f32]>> =
+            vec![Arc::from(Mlp::new(&spec, &mut rng).flat_params().into_boxed_slice()); 2];
+        let view = AttackerView::restricted(1, &spec, &models, &[1]);
+        let data_spec = SyntheticSpec::new(3, 4, FeatureKind::Gaussian).unwrap();
+        let world = data_spec.sample_world(&mut rng);
+        let pool = world.sample(8, &mut rng);
+        let err = MiaEvaluator::new(AttackKind::Mpe)
+            .attack(&view, 0, &pool, &pool, &mut rng)
+            .unwrap_err();
+        assert!(err.to_string().contains("does not observe node 0"));
+    }
+
+    #[test]
+    fn attack_trait_is_object_safe_and_named() {
+        let attacks: Vec<Box<dyn Attack>> = vec![
+            Box::new(MiaEvaluator::new(AttackKind::Mpe)),
+            Box::new(TransferAttack::calibrate(AttackKind::Mpe, &[0.1, 0.2], &[0.8, 0.9]).unwrap()),
+        ];
+        let names: Vec<&str> = attacks.iter().map(|a| a.name()).collect();
+        assert_eq!(names, vec!["mpe-oracle", "transfer"]);
+    }
+
+    #[test]
+    fn serde_round_trips_the_threat_model() {
+        for model in [
+            AttackerModel::Omniscient,
+            neighbors(vec![3, 7]),
+            coalition(vec![0, 1, 2]),
+        ] {
+            let json = serde_json::to_string(&model).unwrap();
+            let back: AttackerModel = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, model);
+        }
+    }
+}

@@ -8,7 +8,9 @@ use std::fmt;
 /// # Examples
 ///
 /// ```
-/// let err = glmia_mia::optimal_threshold(&[], &[0.5]).unwrap_err();
+/// use glmia_mia::ScorePools;
+///
+/// let err = ScorePools::new(&[], &[0.5]).optimal_threshold().unwrap_err();
 /// assert!(err.to_string().contains("empty"));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]

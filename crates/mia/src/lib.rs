@@ -15,10 +15,21 @@
 //!
 //! Every attack maps a sample to a real-valued *score* where **lower means
 //! more member-like**; the attack predicts "member" when the score is below
-//! a threshold. [`optimal_threshold`] sweeps all thresholds and returns the
-//! accuracy-maximizing one — the paper's upper-bound attacker, which makes
-//! the resulting accuracy (Eq. 6) a worst-case privacy assessment rather
-//! than a deployable attack.
+//! a threshold. [`ScorePools::optimal_threshold`] sweeps all thresholds and
+//! returns the accuracy-maximizing one — the paper's upper-bound attacker,
+//! which makes the resulting accuracy (Eq. 6) a worst-case privacy
+//! assessment rather than a deployable attack.
+//!
+//! # Threat models
+//!
+//! The paper's adversary is omniscient, but the crate grades the threat
+//! surface: an [`AttackerModel`] (omniscient, passive neighbor set, or
+//! colluding coalition) determines which nodes' snapshots an
+//! [`AttackerView`] exposes, and every attack — the oracle-threshold
+//! family ([`MiaEvaluator`]) and the calibrated [`TransferAttack`] —
+//! implements the [`Attack`] trait against that view. See the
+//! [`attacker`](crate::attacker) module docs for the observation
+//! semantics.
 //!
 //! # Examples
 //!
@@ -47,13 +58,18 @@
 #![warn(missing_docs)]
 
 mod attack;
+pub mod attacker;
 mod error;
 mod mpe;
 mod threshold;
 mod transfer;
 
 pub use attack::{AttackKind, ClassLeakage, MiaEvaluator, MiaResult};
+pub use attacker::{Attack, AttackerModel, AttackerView};
 pub use error::MiaError;
+#[allow(deprecated)]
 pub use mpe::{modified_prediction_entropy, prediction_entropy};
-pub use threshold::{auc, optimal_threshold, roc_curve, ThresholdReport};
+#[allow(deprecated)]
+pub use threshold::{auc, optimal_threshold, roc_curve};
+pub use threshold::{ScorePools, ThresholdReport};
 pub use transfer::TransferAttack;

@@ -18,19 +18,7 @@ const LOG_FLOOR: f64 = 1e-12;
 /// # Panics
 ///
 /// Panics if `probs` is empty or `label >= probs.len()`.
-///
-/// # Examples
-///
-/// ```
-/// use glmia_mia::modified_prediction_entropy;
-///
-/// // Confidently correct: zero.
-/// assert!(modified_prediction_entropy(&[1.0, 0.0], 0) < 1e-9);
-/// // Confidently wrong: large.
-/// assert!(modified_prediction_entropy(&[1.0, 0.0], 1) > 10.0);
-/// ```
-#[must_use]
-pub fn modified_prediction_entropy(probs: &[f32], label: usize) -> f64 {
+pub(crate) fn mpe_score(probs: &[f32], label: usize) -> f64 {
     assert!(!probs.is_empty(), "probability vector must be non-empty");
     assert!(
         label < probs.len(),
@@ -55,18 +43,7 @@ pub fn modified_prediction_entropy(probs: &[f32], label: usize) -> f64 {
 /// # Panics
 ///
 /// Panics if `probs` is empty.
-///
-/// # Examples
-///
-/// ```
-/// use glmia_mia::prediction_entropy;
-///
-/// assert!(prediction_entropy(&[1.0, 0.0]) < 1e-9);
-/// let uniform = prediction_entropy(&[0.25; 4]);
-/// assert!((uniform - (4.0f64).ln()).abs() < 1e-9);
-/// ```
-#[must_use]
-pub fn prediction_entropy(probs: &[f32]) -> f64 {
+pub(crate) fn entropy_score(probs: &[f32]) -> f64 {
     assert!(!probs.is_empty(), "probability vector must be non-empty");
     probs
         .iter()
@@ -81,35 +58,57 @@ pub fn prediction_entropy(probs: &[f32]) -> f64 {
         .sum()
 }
 
+/// The Modified Prediction Entropy of one softmax output (Eq. 3).
+///
+/// # Panics
+///
+/// Panics if `probs` is empty or `label >= probs.len()`.
+#[deprecated(note = "use `AttackKind::Mpe.score(probs, label)` instead")]
+#[must_use]
+pub fn modified_prediction_entropy(probs: &[f32], label: usize) -> f64 {
+    mpe_score(probs, label)
+}
+
+/// Plain prediction entropy `−Σ p·log p` of one softmax output.
+///
+/// # Panics
+///
+/// Panics if `probs` is empty.
+#[deprecated(note = "use `AttackKind::Entropy.score(probs, label)` instead")]
+#[must_use]
+pub fn prediction_entropy(probs: &[f32]) -> f64 {
+    entropy_score(probs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn mpe_zero_iff_confidently_correct() {
-        assert!(modified_prediction_entropy(&[0.0, 1.0, 0.0], 1) < 1e-9);
-        assert!(modified_prediction_entropy(&[0.5, 0.5], 0) > 0.1);
+        assert!(mpe_score(&[0.0, 1.0, 0.0], 1) < 1e-9);
+        assert!(mpe_score(&[0.5, 0.5], 0) > 0.1);
     }
 
     #[test]
     fn mpe_confidently_wrong_exceeds_uncertain() {
-        let wrong = modified_prediction_entropy(&[0.99, 0.01], 1);
-        let unsure = modified_prediction_entropy(&[0.5, 0.5], 1);
+        let wrong = mpe_score(&[0.99, 0.01], 1);
+        let unsure = mpe_score(&[0.5, 0.5], 1);
         assert!(wrong > unsure);
     }
 
     #[test]
     fn mpe_is_monotone_in_true_label_confidence() {
-        let low = modified_prediction_entropy(&[0.6, 0.4], 0);
-        let high = modified_prediction_entropy(&[0.9, 0.1], 0);
+        let low = mpe_score(&[0.6, 0.4], 0);
+        let high = mpe_score(&[0.9, 0.1], 0);
         assert!(high < low);
     }
 
     #[test]
     fn mpe_is_finite_on_degenerate_inputs() {
-        let m = modified_prediction_entropy(&[0.0, 1.0], 0);
+        let m = mpe_score(&[0.0, 1.0], 0);
         assert!(m.is_finite());
-        let m = modified_prediction_entropy(&[1.0, 0.0], 1);
+        let m = mpe_score(&[1.0, 0.0], 1);
         assert!(m.is_finite());
     }
 
@@ -118,33 +117,43 @@ mod tests {
         // P = [0.7, 0.3], y = 0:
         // M = -(1-0.7)ln(0.7) - 0.3·ln(1-0.3)
         let expected = -(0.3f64) * (0.7f64).ln() - 0.3 * (0.7f64).ln();
-        let m = modified_prediction_entropy(&[0.7, 0.3], 0);
+        let m = mpe_score(&[0.7, 0.3], 0);
         assert!((m - expected).abs() < 1e-6, "{m} vs {expected}");
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn mpe_label_out_of_range_panics() {
-        let _ = modified_prediction_entropy(&[1.0], 1);
+        let _ = mpe_score(&[1.0], 1);
     }
 
     #[test]
     #[should_panic(expected = "non-empty")]
     fn mpe_empty_panics() {
-        let _ = modified_prediction_entropy(&[], 0);
+        let _ = mpe_score(&[], 0);
     }
 
     #[test]
     fn entropy_is_maximal_at_uniform() {
-        let uniform = prediction_entropy(&[0.25; 4]);
-        let skewed = prediction_entropy(&[0.7, 0.1, 0.1, 0.1]);
+        let uniform = entropy_score(&[0.25; 4]);
+        let skewed = entropy_score(&[0.7, 0.1, 0.1, 0.1]);
         assert!(uniform > skewed);
     }
 
     #[test]
     fn entropy_nonnegative() {
         for probs in [&[1.0f32, 0.0][..], &[0.3, 0.7], &[0.2, 0.2, 0.6]] {
-            assert!(prediction_entropy(probs) >= 0.0);
+            assert!(entropy_score(probs) >= 0.0);
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_internal_scores() {
+        assert_eq!(
+            modified_prediction_entropy(&[0.7, 0.3], 0),
+            mpe_score(&[0.7, 0.3], 0)
+        );
+        assert_eq!(prediction_entropy(&[0.25; 4]), entropy_score(&[0.25; 4]));
     }
 }

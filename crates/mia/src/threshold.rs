@@ -1,4 +1,4 @@
-//! Oracle threshold selection, AUC and ROC utilities.
+//! Oracle threshold selection, AUC and ROC utilities over score pools.
 
 use crate::MiaError;
 
@@ -16,199 +16,272 @@ pub struct ThresholdReport {
     pub fpr: f64,
 }
 
-/// Sweeps every candidate threshold over the pooled scores and returns the
-/// accuracy-maximizing one — the paper's worst-case attacker, which uses the
-/// victim's own member/non-member scores to pick `τ̃` (§2.5).
+/// A member/non-member pair of membership-score pools — the canonical entry
+/// point for threshold sweeps, AUC and ROC curves.
 ///
-/// Scores follow the crate convention: lower = more member-like. With equal
-/// pool sizes the returned accuracy is always ≥ 0.5 because the sweep
-/// includes the degenerate all-member and all-non-member thresholds.
-///
-/// # Errors
-///
-/// Returns [`MiaError`] if either pool is empty or any score is NaN.
+/// Scores follow the crate convention: **lower = more member-like**. The
+/// pools borrow their slices, so building one is free; every method
+/// validates that both pools are non-empty and NaN-free before computing.
 ///
 /// # Examples
 ///
 /// ```
-/// use glmia_mia::optimal_threshold;
+/// use glmia_mia::ScorePools;
 ///
 /// // Members score low, non-members high: perfectly separable.
-/// let report = optimal_threshold(&[0.1, 0.2], &[0.8, 0.9])?;
-/// assert_eq!(report.accuracy, 1.0);
+/// let pools = ScorePools::new(&[0.1, 0.2], &[0.8, 0.9]);
+/// assert_eq!(pools.optimal_threshold()?.accuracy, 1.0);
+/// assert_eq!(pools.auc()?, 1.0);
 /// # Ok::<(), glmia_mia::MiaError>(())
 /// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ScorePools<'a> {
+    members: &'a [f64],
+    nonmembers: &'a [f64],
+}
+
+impl<'a> ScorePools<'a> {
+    /// Pairs a member score pool with a non-member score pool.
+    #[must_use]
+    pub fn new(members: &'a [f64], nonmembers: &'a [f64]) -> Self {
+        Self {
+            members,
+            nonmembers,
+        }
+    }
+
+    /// The member scores.
+    #[must_use]
+    pub fn members(&self) -> &'a [f64] {
+        self.members
+    }
+
+    /// The non-member scores.
+    #[must_use]
+    pub fn nonmembers(&self) -> &'a [f64] {
+        self.nonmembers
+    }
+
+    /// Sweeps every candidate threshold over the pooled scores and returns
+    /// the accuracy-maximizing one — the paper's worst-case attacker, which
+    /// uses the victim's own member/non-member scores to pick `τ̃` (§2.5).
+    ///
+    /// With equal pool sizes the returned accuracy is always ≥ 0.5 because
+    /// the sweep includes the degenerate all-member and all-non-member
+    /// thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiaError`] if either pool is empty or any score is NaN.
+    pub fn optimal_threshold(&self) -> Result<ThresholdReport, MiaError> {
+        self.validate()?;
+        // Pool (score, is_member), sorted ascending by score.
+        let mut pooled = self.pooled();
+        pooled.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+        let n_mem = self.members.len() as f64;
+        let n_non = self.nonmembers.len() as f64;
+        let total = n_mem + n_non;
+
+        // Threshold below every score: nothing flagged as member.
+        let mut best = ThresholdReport {
+            threshold: f64::NEG_INFINITY,
+            accuracy: n_non / total,
+            tpr: 0.0,
+            fpr: 0.0,
+        };
+        let mut tp = 0.0;
+        let mut fp = 0.0;
+        let mut i = 0;
+        while i < pooled.len() {
+            // Advance over ties so a threshold always includes every equal
+            // score.
+            let score = pooled[i].0;
+            while i < pooled.len() && pooled[i].0 == score {
+                if pooled[i].1 {
+                    tp += 1.0;
+                } else {
+                    fp += 1.0;
+                }
+                i += 1;
+            }
+            let tn = n_non - fp;
+            let accuracy = (tp + tn) / total;
+            if accuracy > best.accuracy {
+                best = ThresholdReport {
+                    threshold: score,
+                    accuracy,
+                    tpr: tp / n_mem,
+                    fpr: fp / n_non,
+                };
+            }
+        }
+        Ok(best)
+    }
+
+    /// Area under the ROC curve: the probability that a random member
+    /// scores *lower* than a random non-member (ties count half) — the
+    /// threshold-independent leakage measure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiaError`] if either pool is empty or any score is NaN.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use glmia_mia::ScorePools;
+    ///
+    /// // Perfect separation → AUC 1; identical scores → AUC 0.5.
+    /// assert_eq!(ScorePools::new(&[0.0], &[1.0]).auc()?, 1.0);
+    /// assert_eq!(ScorePools::new(&[0.5], &[0.5]).auc()?, 0.5);
+    /// # Ok::<(), glmia_mia::MiaError>(())
+    /// ```
+    pub fn auc(&self) -> Result<f64, MiaError> {
+        self.validate()?;
+        // Rank-based (Mann–Whitney U) computation with tie correction.
+        let mut pooled = self.pooled();
+        pooled.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut rank_sum_members = 0.0f64;
+        let mut i = 0;
+        while i < pooled.len() {
+            let mut j = i;
+            while j < pooled.len() && pooled[j].0 == pooled[i].0 {
+                j += 1;
+            }
+            // Average rank for the tie group (1-based ranks).
+            let avg_rank = (i + 1 + j) as f64 / 2.0;
+            for item in &pooled[i..j] {
+                if item.1 {
+                    rank_sum_members += avg_rank;
+                }
+            }
+            i = j;
+        }
+        let n_mem = self.members.len() as f64;
+        let n_non = self.nonmembers.len() as f64;
+        // U = rank_sum − n(n+1)/2 counts (nonmember > member) pairs.
+        let u = rank_sum_members - n_mem * (n_mem + 1.0) / 2.0;
+        Ok(1.0 - u / (n_mem * n_non))
+    }
+
+    /// The ROC curve as `(fpr, tpr)` points, one per distinct threshold,
+    /// starting at `(0, 0)` and ending at `(1, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiaError`] if either pool is empty or any score is NaN.
+    pub fn roc_curve(&self) -> Result<Vec<(f64, f64)>, MiaError> {
+        self.validate()?;
+        let mut pooled = self.pooled();
+        pooled.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let n_mem = self.members.len() as f64;
+        let n_non = self.nonmembers.len() as f64;
+        let mut curve = vec![(0.0, 0.0)];
+        let mut tp = 0.0;
+        let mut fp = 0.0;
+        let mut i = 0;
+        while i < pooled.len() {
+            let score = pooled[i].0;
+            while i < pooled.len() && pooled[i].0 == score {
+                if pooled[i].1 {
+                    tp += 1.0;
+                } else {
+                    fp += 1.0;
+                }
+                i += 1;
+            }
+            curve.push((fp / n_non, tp / n_mem));
+        }
+        Ok(curve)
+    }
+
+    fn pooled(&self) -> Vec<(f64, bool)> {
+        self.members
+            .iter()
+            .map(|&s| (s, true))
+            .chain(self.nonmembers.iter().map(|&s| (s, false)))
+            .collect()
+    }
+
+    fn validate(&self) -> Result<(), MiaError> {
+        if self.members.is_empty() || self.nonmembers.is_empty() {
+            return Err(MiaError::new(
+                "score pools must be non-empty (member and non-member)",
+            ));
+        }
+        if self
+            .members
+            .iter()
+            .chain(self.nonmembers)
+            .any(|s| s.is_nan())
+        {
+            return Err(MiaError::new("scores must not contain NaN"));
+        }
+        Ok(())
+    }
+}
+
+/// Accuracy-maximizing threshold over two score pools.
+///
+/// # Errors
+///
+/// Returns [`MiaError`] if either pool is empty or any score is NaN.
+#[deprecated(note = "use `ScorePools::new(members, nonmembers).optimal_threshold()` instead")]
 pub fn optimal_threshold(
     member_scores: &[f64],
     nonmember_scores: &[f64],
 ) -> Result<ThresholdReport, MiaError> {
-    validate(member_scores, nonmember_scores)?;
-    // Pool (score, is_member), sorted ascending by score.
-    let mut pooled: Vec<(f64, bool)> = member_scores
-        .iter()
-        .map(|&s| (s, true))
-        .chain(nonmember_scores.iter().map(|&s| (s, false)))
-        .collect();
-    pooled.sort_by(|a, b| a.0.total_cmp(&b.0));
-
-    let n_mem = member_scores.len() as f64;
-    let n_non = nonmember_scores.len() as f64;
-    let total = n_mem + n_non;
-
-    // Threshold below every score: nothing flagged as member.
-    let mut best = ThresholdReport {
-        threshold: f64::NEG_INFINITY,
-        accuracy: n_non / total,
-        tpr: 0.0,
-        fpr: 0.0,
-    };
-    let mut tp = 0.0;
-    let mut fp = 0.0;
-    let mut i = 0;
-    while i < pooled.len() {
-        // Advance over ties so a threshold always includes every equal
-        // score.
-        let score = pooled[i].0;
-        while i < pooled.len() && pooled[i].0 == score {
-            if pooled[i].1 {
-                tp += 1.0;
-            } else {
-                fp += 1.0;
-            }
-            i += 1;
-        }
-        let tn = n_non - fp;
-        let accuracy = (tp + tn) / total;
-        if accuracy > best.accuracy {
-            best = ThresholdReport {
-                threshold: score,
-                accuracy,
-                tpr: tp / n_mem,
-                fpr: fp / n_non,
-            };
-        }
-    }
-    Ok(best)
+    ScorePools::new(member_scores, nonmember_scores).optimal_threshold()
 }
 
-/// Area under the ROC curve: the probability that a random member scores
-/// *lower* than a random non-member (ties count half) — the
-/// threshold-independent leakage measure.
+/// Area under the ROC curve of two score pools.
 ///
 /// # Errors
 ///
 /// Returns [`MiaError`] if either pool is empty or any score is NaN.
-///
-/// # Examples
-///
-/// ```
-/// // Perfect separation → AUC 1; identical scores → AUC 0.5.
-/// assert_eq!(glmia_mia::auc(&[0.0], &[1.0])?, 1.0);
-/// assert_eq!(glmia_mia::auc(&[0.5], &[0.5])?, 0.5);
-/// # Ok::<(), glmia_mia::MiaError>(())
-/// ```
+#[deprecated(note = "use `ScorePools::new(members, nonmembers).auc()` instead")]
 pub fn auc(member_scores: &[f64], nonmember_scores: &[f64]) -> Result<f64, MiaError> {
-    validate(member_scores, nonmember_scores)?;
-    // Rank-based (Mann–Whitney U) computation with tie correction.
-    let mut pooled: Vec<(f64, bool)> = member_scores
-        .iter()
-        .map(|&s| (s, true))
-        .chain(nonmember_scores.iter().map(|&s| (s, false)))
-        .collect();
-    pooled.sort_by(|a, b| a.0.total_cmp(&b.0));
-    let mut rank_sum_members = 0.0f64;
-    let mut i = 0;
-    while i < pooled.len() {
-        let mut j = i;
-        while j < pooled.len() && pooled[j].0 == pooled[i].0 {
-            j += 1;
-        }
-        // Average rank for the tie group (1-based ranks).
-        let avg_rank = (i + 1 + j) as f64 / 2.0;
-        for item in &pooled[i..j] {
-            if item.1 {
-                rank_sum_members += avg_rank;
-            }
-        }
-        i = j;
-    }
-    let n_mem = member_scores.len() as f64;
-    let n_non = nonmember_scores.len() as f64;
-    // U = rank_sum − n(n+1)/2 counts (nonmember > member) pairs.
-    let u = rank_sum_members - n_mem * (n_mem + 1.0) / 2.0;
-    Ok(1.0 - u / (n_mem * n_non))
+    ScorePools::new(member_scores, nonmember_scores).auc()
 }
 
-/// The ROC curve as `(fpr, tpr)` points, one per distinct threshold,
-/// starting at `(0, 0)` and ending at `(1, 1)`.
+/// ROC curve of two score pools.
 ///
 /// # Errors
 ///
 /// Returns [`MiaError`] if either pool is empty or any score is NaN.
+#[deprecated(note = "use `ScorePools::new(members, nonmembers).roc_curve()` instead")]
 pub fn roc_curve(
     member_scores: &[f64],
     nonmember_scores: &[f64],
 ) -> Result<Vec<(f64, f64)>, MiaError> {
-    validate(member_scores, nonmember_scores)?;
-    let mut pooled: Vec<(f64, bool)> = member_scores
-        .iter()
-        .map(|&s| (s, true))
-        .chain(nonmember_scores.iter().map(|&s| (s, false)))
-        .collect();
-    pooled.sort_by(|a, b| a.0.total_cmp(&b.0));
-    let n_mem = member_scores.len() as f64;
-    let n_non = nonmember_scores.len() as f64;
-    let mut curve = vec![(0.0, 0.0)];
-    let mut tp = 0.0;
-    let mut fp = 0.0;
-    let mut i = 0;
-    while i < pooled.len() {
-        let score = pooled[i].0;
-        while i < pooled.len() && pooled[i].0 == score {
-            if pooled[i].1 {
-                tp += 1.0;
-            } else {
-                fp += 1.0;
-            }
-            i += 1;
-        }
-        curve.push((fp / n_non, tp / n_mem));
-    }
-    Ok(curve)
-}
-
-fn validate(member_scores: &[f64], nonmember_scores: &[f64]) -> Result<(), MiaError> {
-    if member_scores.is_empty() || nonmember_scores.is_empty() {
-        return Err(MiaError::new(
-            "score pools must be non-empty (member and non-member)",
-        ));
-    }
-    if member_scores
-        .iter()
-        .chain(nonmember_scores)
-        .any(|s| s.is_nan())
-    {
-        return Err(MiaError::new("scores must not contain NaN"));
-    }
-    Ok(())
+    ScorePools::new(member_scores, nonmember_scores).roc_curve()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn optimal(members: &[f64], nonmembers: &[f64]) -> Result<ThresholdReport, MiaError> {
+        ScorePools::new(members, nonmembers).optimal_threshold()
+    }
+
+    fn auc_of(members: &[f64], nonmembers: &[f64]) -> Result<f64, MiaError> {
+        ScorePools::new(members, nonmembers).auc()
+    }
+
     #[test]
     fn rejects_empty_or_nan() {
-        assert!(optimal_threshold(&[], &[1.0]).is_err());
-        assert!(optimal_threshold(&[1.0], &[]).is_err());
-        assert!(optimal_threshold(&[f64::NAN], &[1.0]).is_err());
-        assert!(auc(&[], &[1.0]).is_err());
-        assert!(roc_curve(&[1.0], &[f64::NAN]).is_err());
+        assert!(optimal(&[], &[1.0]).is_err());
+        assert!(optimal(&[1.0], &[]).is_err());
+        assert!(optimal(&[f64::NAN], &[1.0]).is_err());
+        assert!(auc_of(&[], &[1.0]).is_err());
+        assert!(ScorePools::new(&[1.0], &[f64::NAN]).roc_curve().is_err());
     }
 
     #[test]
     fn perfect_separation_gives_accuracy_one() {
-        let r = optimal_threshold(&[0.0, 0.1, 0.2], &[1.0, 1.1, 1.2]).unwrap();
+        let r = optimal(&[0.0, 0.1, 0.2], &[1.0, 1.1, 1.2]).unwrap();
         assert_eq!(r.accuracy, 1.0);
         assert_eq!(r.tpr, 1.0);
         assert_eq!(r.fpr, 0.0);
@@ -218,7 +291,7 @@ mod tests {
     #[test]
     fn identical_pools_give_chance_accuracy() {
         let scores = [0.5, 0.5, 0.5, 0.5];
-        let r = optimal_threshold(&scores, &scores).unwrap();
+        let r = optimal(&scores, &scores).unwrap();
         assert!((r.accuracy - 0.5).abs() < 1e-12);
     }
 
@@ -226,42 +299,44 @@ mod tests {
     fn balanced_accuracy_is_at_least_half() {
         // Even with inverted scores (members high), the degenerate
         // thresholds guarantee ≥ 0.5 on balanced pools.
-        let r = optimal_threshold(&[1.0, 2.0], &[0.0, 0.1]).unwrap();
+        let r = optimal(&[1.0, 2.0], &[0.0, 0.1]).unwrap();
         assert!(r.accuracy >= 0.5);
     }
 
     #[test]
     fn unbalanced_pools_respect_base_rate() {
         // 1 member vs 3 non-members, inseparable: best is all-non-member.
-        let r = optimal_threshold(&[0.5], &[0.5, 0.5, 0.5]).unwrap();
+        let r = optimal(&[0.5], &[0.5, 0.5, 0.5]).unwrap();
         assert!((r.accuracy - 0.75).abs() < 1e-12);
     }
 
     #[test]
     fn threshold_includes_tied_scores() {
         // Members at 0.3 and one non-member also at 0.3.
-        let r = optimal_threshold(&[0.3, 0.3, 0.3], &[0.3, 0.9, 1.0]).unwrap();
+        let r = optimal(&[0.3, 0.3, 0.3], &[0.3, 0.9, 1.0]).unwrap();
         // τ = 0.3: tp = 3, fp = 1 → acc = 5/6.
         assert!((r.accuracy - 5.0 / 6.0).abs() < 1e-12);
     }
 
     #[test]
     fn auc_extremes_and_symmetry() {
-        assert_eq!(auc(&[0.0, 0.1], &[1.0, 2.0]).unwrap(), 1.0);
-        assert_eq!(auc(&[1.0, 2.0], &[0.0, 0.1]).unwrap(), 0.0);
-        let a = auc(&[0.1, 0.5], &[0.3, 0.7]).unwrap();
-        let b = auc(&[0.3, 0.7], &[0.1, 0.5]).unwrap();
+        assert_eq!(auc_of(&[0.0, 0.1], &[1.0, 2.0]).unwrap(), 1.0);
+        assert_eq!(auc_of(&[1.0, 2.0], &[0.0, 0.1]).unwrap(), 0.0);
+        let a = auc_of(&[0.1, 0.5], &[0.3, 0.7]).unwrap();
+        let b = auc_of(&[0.3, 0.7], &[0.1, 0.5]).unwrap();
         assert!((a + b - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn auc_handles_ties() {
-        assert_eq!(auc(&[0.5, 0.5], &[0.5, 0.5]).unwrap(), 0.5);
+        assert_eq!(auc_of(&[0.5, 0.5], &[0.5, 0.5]).unwrap(), 0.5);
     }
 
     #[test]
     fn roc_starts_at_origin_ends_at_one_one() {
-        let curve = roc_curve(&[0.1, 0.4], &[0.3, 0.9]).unwrap();
+        let curve = ScorePools::new(&[0.1, 0.4], &[0.3, 0.9])
+            .roc_curve()
+            .unwrap();
         assert_eq!(*curve.first().unwrap(), (0.0, 0.0));
         assert_eq!(*curve.last().unwrap(), (1.0, 1.0));
         // Monotone non-decreasing in both coordinates.
@@ -274,12 +349,30 @@ mod tests {
     fn auc_matches_trapezoid_of_roc() {
         let members = [0.1, 0.2, 0.35, 0.6];
         let nonmembers = [0.3, 0.5, 0.7, 0.9];
-        let curve = roc_curve(&members, &nonmembers).unwrap();
+        let pools = ScorePools::new(&members, &nonmembers);
+        let curve = pools.roc_curve().unwrap();
         let mut area = 0.0;
         for w in curve.windows(2) {
             area += (w[1].0 - w[0].0) * (w[1].1 + w[0].1) / 2.0;
         }
-        let a = auc(&members, &nonmembers).unwrap();
+        let a = pools.auc().unwrap();
         assert!((a - area).abs() < 1e-12, "auc {a} vs trapezoid {area}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_pools_api() {
+        let members = [0.1, 0.2];
+        let nonmembers = [0.8, 0.9];
+        let pools = ScorePools::new(&members, &nonmembers);
+        assert_eq!(
+            optimal_threshold(&members, &nonmembers).unwrap(),
+            pools.optimal_threshold().unwrap()
+        );
+        assert_eq!(auc(&members, &nonmembers).unwrap(), pools.auc().unwrap());
+        assert_eq!(
+            roc_curve(&members, &nonmembers).unwrap(),
+            pools.roc_curve().unwrap()
+        );
     }
 }

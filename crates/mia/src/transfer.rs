@@ -11,7 +11,7 @@ use glmia_data::Dataset;
 use glmia_nn::Mlp;
 use rand::Rng;
 
-use crate::{auc, AttackKind, MiaError, MiaResult, ThresholdReport};
+use crate::{Attack, AttackKind, MiaError, MiaResult, ScorePools, ThresholdReport};
 
 /// A membership attack whose threshold is calibrated on auxiliary data and
 /// then applied unchanged to the victim.
@@ -49,7 +49,8 @@ impl TransferAttack {
         aux_member_scores: &[f64],
         aux_nonmember_scores: &[f64],
     ) -> Result<Self, MiaError> {
-        let calibration = crate::optimal_threshold(aux_member_scores, aux_nonmember_scores)?;
+        let calibration =
+            ScorePools::new(aux_member_scores, aux_nonmember_scores).optimal_threshold()?;
         Ok(Self {
             kind,
             threshold: calibration.threshold,
@@ -137,11 +138,30 @@ impl TransferAttack {
         let nm = subsample(self.kind.score_dataset(victim, nonmembers)?, n, rng);
         Ok(MiaResult {
             attack_accuracy: self.accuracy(&m, &nm),
-            auc: auc(&m, &nm)?,
+            auc: ScorePools::new(&m, &nm).auc()?,
             threshold: self.threshold,
             n_members: n,
             n_nonmembers: n,
         })
+    }
+}
+
+/// The calibrated-threshold attack implements [`Attack`] so it can run
+/// against an [`AttackerView`](crate::AttackerView) next to the oracle
+/// family in threat-matrix sweeps.
+impl Attack for TransferAttack {
+    fn name(&self) -> &'static str {
+        "transfer"
+    }
+
+    fn attack_model(
+        &self,
+        model: &Mlp,
+        members: &Dataset,
+        nonmembers: &Dataset,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<MiaResult, MiaError> {
+        self.evaluate(model, members, nonmembers, rng)
     }
 }
 
@@ -187,7 +207,8 @@ mod tests {
         let victim_n = [0.5, 0.55, 1.0];
         let transfer = TransferAttack::calibrate(AttackKind::Mpe, &aux_m, &aux_n).unwrap();
         let transferred = transfer.accuracy(&victim_m, &victim_n);
-        let oracle = crate::optimal_threshold(&victim_m, &victim_n)
+        let oracle = ScorePools::new(&victim_m, &victim_n)
+            .optimal_threshold()
             .unwrap()
             .accuracy;
         assert!(transferred <= oracle + 1e-12);

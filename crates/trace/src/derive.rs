@@ -118,6 +118,24 @@ pub struct FaultSummary {
     pub mean_availability: Option<f64>,
 }
 
+/// Threat-model aggregates of a whole run. Only present for streams that
+/// carry `Threat` records — threat-free summaries omit every threat field,
+/// keeping their `summary.json` bytes unchanged.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ThreatSummary {
+    /// Canonical attacker spec shared by every seed.
+    pub attacker: String,
+    /// Canonical defense spec, absent when no defense was active.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub defense: Option<String>,
+    /// Total nodes in the run.
+    pub nodes: usize,
+    /// Mean number of nodes the attacker observed, across seeds.
+    pub mean_observed_nodes: f64,
+    /// Total model snapshots exposed to the attacker across all seeds.
+    pub observations: u64,
+}
+
 /// Mean evaluation metrics of one round across seeds.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct EvalSummary {
@@ -206,6 +224,9 @@ pub struct RunSummary {
     /// Fault-injection aggregates (omitted for fault-free streams).
     #[serde(skip_serializing_if = "Option::is_none")]
     pub faults: Option<FaultSummary>,
+    /// Threat-model aggregates (omitted for threat-free streams).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub threat: Option<ThreatSummary>,
     /// Merge fan-in histogram over every merge of the run.
     pub fan_in: HistogramSummary,
     /// Model staleness histogram (ticks from delivery to merge).
@@ -263,6 +284,13 @@ impl RunSummary {
         let mut fault_crashes = 0u64;
         let mut fault_recoveries = 0u64;
         let mut fault_offline_drops = 0u64;
+        // Threat bookkeeping: one record per seed; the attacker/defense
+        // descriptors are config-derived, so every seed carries the same.
+        let mut threat_attacker: Option<String> = None;
+        let mut threat_defense: Option<String> = None;
+        let mut threat_nodes = 0usize;
+        let mut threat_observed = (0u64, 0u64);
+        let mut threat_observations = 0u64;
         let mut open_crashes: BTreeMap<(u64, usize), u64> = BTreeMap::new();
         let mut down_intervals: Vec<(u64, u64)> = Vec::new();
         let mut seed_horizon: BTreeMap<u64, u64> = BTreeMap::new();
@@ -277,6 +305,15 @@ impl RunSummary {
                     topo_view = t.view_size;
                     topo_lambda.0 += t.lambda2_analytic;
                     topo_lambda.1 += 1;
+                }
+                TraceEvent::Threat(t) => {
+                    note_seed(&mut seeds, t.seed);
+                    threat_attacker = Some(t.attacker.clone());
+                    threat_defense.clone_from(&t.defense);
+                    threat_nodes = t.nodes;
+                    threat_observed.0 += t.observed_nodes as u64;
+                    threat_observed.1 += 1;
+                    threat_observations += t.observations;
                 }
                 TraceEvent::Round(r) => {
                     note_seed(&mut seeds, r.seed);
@@ -422,6 +459,13 @@ impl RunSummary {
                     .then(|| per_round.iter().sum::<f64>() / per_round.len() as f64),
             }
         });
+        let threat = threat_attacker.map(|attacker| ThreatSummary {
+            attacker,
+            defense: threat_defense,
+            nodes: threat_nodes,
+            mean_observed_nodes: mean(threat_observed.0 as f64, threat_observed.1),
+            observations: threat_observations,
+        });
         let node_series = nodes
             .iter()
             .map(|(&node, per_round)| {
@@ -462,6 +506,7 @@ impl RunSummary {
             topology,
             totals,
             faults,
+            threat,
             fan_in: HistogramSummary::build(fanin, fanin_values, models_merged_total),
             staleness: HistogramSummary::build(staleness, staleness_values, staleness_sum),
             rounds: round_summaries,
@@ -713,6 +758,46 @@ mod tests {
         let json = summary.to_json_pretty();
         assert!(!json.contains("fault"), "no fault keys in fault-free JSON");
         assert!(!json.contains("availability"));
+    }
+
+    #[test]
+    fn threat_records_aggregate_across_seeds() {
+        use crate::events::ThreatRecord;
+        let threat = |seed| {
+            TraceEvent::Threat(ThreatRecord {
+                seed,
+                attacker: "coalition:0..2".into(),
+                defense: Some("gaussian:0.1".into()),
+                observed_nodes: 3,
+                nodes: 8,
+                observations: 6,
+            })
+        };
+        let events = vec![
+            threat(1),
+            TraceEvent::Round(round(1, 1)),
+            threat(2),
+            TraceEvent::Round(round(2, 1)),
+        ];
+        let summary = RunSummary::from_events(&header(), &events);
+        let threat = summary.threat.unwrap();
+        assert_eq!(threat.attacker, "coalition:0..2");
+        assert_eq!(threat.defense.as_deref(), Some("gaussian:0.1"));
+        assert_eq!(threat.nodes, 8);
+        assert!((threat.mean_observed_nodes - 3.0).abs() < 1e-12);
+        assert_eq!(threat.observations, 12, "summed across both seeds");
+        assert_eq!(summary.seeds, vec![1, 2]);
+    }
+
+    #[test]
+    fn threat_free_summaries_omit_threat_fields_entirely() {
+        let events = vec![TraceEvent::Round(round(1, 1))];
+        let summary = RunSummary::from_events(&header(), &events);
+        assert!(summary.threat.is_none());
+        let json = summary.to_json_pretty();
+        assert!(!json.contains("threat"), "no threat keys: {json}");
+        assert!(!json.contains("attacker"));
+        assert!(!json.contains("defense"));
     }
 
     #[test]

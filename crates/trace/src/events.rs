@@ -32,6 +32,14 @@ pub const SCHEMA_VERSION: u32 = 2;
 /// unchanged from before fault injection existed; readers accept both.
 pub const FAULT_SCHEMA_VERSION: u32 = 3;
 
+/// Schema version declared by streams that contain [`ThreatRecord`] lines
+/// (a restricted attacker model and/or an active defense).
+///
+/// Runs under the default omniscient attacker with no defense emit no
+/// threat record and keep their schema-2 (or, with faults, schema-3) bytes
+/// unchanged; readers accept all three versions.
+pub const THREAT_SCHEMA_VERSION: u32 = 4;
+
 /// Number of buckets in the fan-in and staleness histograms.
 pub const HIST_BUCKETS: usize = 9;
 
@@ -41,8 +49,8 @@ pub const STALENESS_EDGES: [u64; HIST_BUCKETS - 1] = [0, 10, 25, 50, 100, 200, 4
 
 /// One line of a trace stream.
 ///
-/// Serialized internally tagged (`"type": "Header" | "Topology" | "Round"
-/// | "Fault" | "Mixing" | "NodeEval" | "Eval"`).
+/// Serialized internally tagged (`"type": "Header" | "Topology" | "Threat"
+/// | "Round" | "Fault" | "Mixing" | "NodeEval" | "Eval"`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "type")]
 pub enum TraceEvent {
@@ -50,6 +58,8 @@ pub enum TraceEvent {
     Header(HeaderRecord),
     /// Initial communication graph of one seed (before any dynamics).
     Topology(TopologyRecord),
+    /// Threat-model descriptor for one seed (schema v4 streams only).
+    Threat(ThreatRecord),
     /// Per-round simulation counters for one seed.
     Round(RoundRecord),
     /// A fault-injection transition for one seed (schema v3 streams only).
@@ -154,6 +164,30 @@ pub enum FaultRecordKind {
     /// A model arrived at a downed node and was discarded. Counted in the
     /// round's `drops` alongside in-transit losses.
     Drop,
+}
+
+/// Threat-model descriptor for one seed: which attacker observed the run,
+/// what defense perturbed outgoing models, and how many (round, node) model
+/// snapshots the attacker's observed set exposed. Present only in streams
+/// whose header declares [`THREAT_SCHEMA_VERSION`] — i.e. when the attacker
+/// is not the default omniscient one, or a defense is active.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreatRecord {
+    /// Experiment seed this descriptor belongs to.
+    pub seed: u64,
+    /// Canonical attacker spec (`omniscient`, `neighbors:…`, `coalition:…`).
+    pub attacker: String,
+    /// Canonical defense spec (`gaussian:…`, `mask:…`, `clip:…`); omitted
+    /// when no defense is active.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub defense: Option<String>,
+    /// Nodes the attacker's observed set covers at the initial topology.
+    pub observed_nodes: usize,
+    /// Total nodes in the run.
+    pub nodes: usize,
+    /// Model snapshots exposed to the attacker across the run
+    /// (observed nodes × evaluated rounds).
+    pub observations: u64,
 }
 
 /// Empirical mixing spectrum of one round: contraction factors of the
@@ -282,6 +316,43 @@ mod tests {
         let line = serde_json::to_string(&crash).unwrap();
         assert!(!line.contains("peer"), "absent peer is omitted: {line}");
         for event in [drop, crash] {
+            let line = serde_json::to_string(&event).unwrap();
+            let back: TraceEvent = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, event);
+        }
+    }
+
+    #[test]
+    fn threat_record_serializes_compactly_and_round_trips() {
+        let with_defense = TraceEvent::Threat(ThreatRecord {
+            seed: 11,
+            attacker: "coalition:0..3".into(),
+            defense: Some("gaussian:0.1".into()),
+            observed_nodes: 5,
+            nodes: 8,
+            observations: 20,
+        });
+        let line = serde_json::to_string(&with_defense).unwrap();
+        assert_eq!(
+            line,
+            "{\"type\":\"Threat\",\"seed\":11,\"attacker\":\"coalition:0..3\",\
+             \"defense\":\"gaussian:0.1\",\"observed_nodes\":5,\"nodes\":8,\
+             \"observations\":20}"
+        );
+        let without_defense = TraceEvent::Threat(ThreatRecord {
+            seed: 11,
+            attacker: "neighbors:3,7".into(),
+            defense: None,
+            observed_nodes: 4,
+            nodes: 8,
+            observations: 16,
+        });
+        let line = serde_json::to_string(&without_defense).unwrap();
+        assert!(
+            !line.contains("defense"),
+            "absent defense is omitted: {line}"
+        );
+        for event in [with_defense, without_defense] {
             let line = serde_json::to_string(&event).unwrap();
             let back: TraceEvent = serde_json::from_str(&line).unwrap();
             assert_eq!(back, event);

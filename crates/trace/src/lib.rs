@@ -75,12 +75,12 @@ mod writer;
 
 pub use derive::{
     EvalSummary, FaultSummary, HistogramBucket, HistogramSummary, NodeSeries, RoundSummary,
-    RunSummary, TopologySummary,
+    RunSummary, ThreatSummary, TopologySummary,
 };
 pub use events::{
     EvalRecord, FaultRecord, FaultRecordKind, HeaderRecord, MixingRecord, NodeEvalRecord,
-    RoundRecord, TopologyRecord, TraceEvent, FAULT_SCHEMA_VERSION, HIST_BUCKETS, SCHEMA_VERSION,
-    STALENESS_EDGES,
+    RoundRecord, ThreatRecord, TopologyRecord, TraceEvent, FAULT_SCHEMA_VERSION, HIST_BUCKETS,
+    SCHEMA_VERSION, STALENESS_EDGES, THREAT_SCHEMA_VERSION,
 };
 pub use manifest::{fnv1a, git_describe, git_describe_in, Manifest, PhaseEntry, Totals};
 pub use phase::{Phase, PhaseTimings};
@@ -179,22 +179,26 @@ impl RunTrace {
     /// of the same round). Eval records are restamped with `seed` so a
     /// mislabeled input cannot corrupt the stream.
     pub fn add_seed_run(&mut self, seed: u64, rounds: &[RoundCounters], evals: &[EvalRecord]) {
-        self.add_seed_run_full(seed, None, rounds, &[], &[], &[], evals);
+        self.add_seed_run_full(seed, None, None, rounds, &[], &[], &[], evals);
     }
 
     /// Appends one seed's run with the full record set: an optional
-    /// topology record (emitted before the first round), per-round fault
-    /// transitions, mixing spectra and per-node evaluations interleaved
-    /// round-major with the counters and fleet evaluations. All records are
-    /// restamped with `seed`.
+    /// topology record (emitted before the first round), an optional
+    /// threat-model descriptor (emitted right after the topology),
+    /// per-round fault transitions, mixing spectra and per-node evaluations
+    /// interleaved round-major with the counters and fleet evaluations. All
+    /// records are restamped with `seed`.
     ///
-    /// A non-empty `faults` slice upgrades the stream's declared schema to
-    /// [`FAULT_SCHEMA_VERSION`]; fault-free runs keep emitting
-    /// [`SCHEMA_VERSION`] byte-identically.
+    /// A threat record upgrades the stream's declared schema to
+    /// [`THREAT_SCHEMA_VERSION`]; a non-empty `faults` slice (without one)
+    /// upgrades it to [`FAULT_SCHEMA_VERSION`]; runs with neither keep
+    /// emitting [`SCHEMA_VERSION`] byte-identically.
+    #[allow(clippy::too_many_arguments)]
     pub fn add_seed_run_full(
         &mut self,
         seed: u64,
         topology: Option<TopologyRecord>,
+        threat: Option<ThreatRecord>,
         rounds: &[RoundCounters],
         faults: &[FaultRecord],
         mixing: &[MixingRecord],
@@ -205,6 +209,10 @@ impl RunTrace {
         if let Some(mut topo) = topology {
             topo.seed = seed;
             self.events.push(TraceEvent::Topology(topo));
+        }
+        if let Some(mut threat) = threat {
+            threat.seed = seed;
+            self.events.push(TraceEvent::Threat(threat));
         }
         let mut pending_faults = faults.iter().peekable();
         let mut pending_mixing = mixing.iter().peekable();
@@ -300,11 +308,19 @@ impl RunTrace {
         self.totals.local_updates += other.totals.local_updates;
     }
 
-    /// The schema version this trace declares: [`FAULT_SCHEMA_VERSION`]
-    /// when any fault record is present, the baseline [`SCHEMA_VERSION`]
-    /// otherwise — so fault-free streams keep their exact historical bytes.
+    /// The schema version this trace declares: [`THREAT_SCHEMA_VERSION`]
+    /// when any threat record is present, [`FAULT_SCHEMA_VERSION`] when any
+    /// fault record is (and no threat record), the baseline
+    /// [`SCHEMA_VERSION`] otherwise — so threat-free, fault-free streams
+    /// keep their exact historical bytes.
     pub fn schema(&self) -> u32 {
         if self
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Threat(_)))
+        {
+            THREAT_SCHEMA_VERSION
+        } else if self
             .events
             .iter()
             .any(|e| matches!(e, TraceEvent::Fault(_)))
@@ -408,6 +424,7 @@ mod tests {
         match event {
             TraceEvent::Header(_) => "header",
             TraceEvent::Topology(_) => "topology",
+            TraceEvent::Threat(_) => "threat",
             TraceEvent::Round(_) => "round",
             TraceEvent::Fault(_) => "fault",
             TraceEvent::Mixing(_) => "mixing",
@@ -478,6 +495,14 @@ mod tests {
         trace.add_seed_run_full(
             9,
             Some(topo),
+            Some(ThreatRecord {
+                seed: 0,
+                attacker: "coalition:0..2".into(),
+                defense: None,
+                observed_nodes: 2,
+                nodes: 4,
+                observations: 2,
+            }),
             &[counters(1), counters(2)],
             &[fault(2, 130, FaultRecordKind::Crash)],
             &mixing,
@@ -487,24 +512,31 @@ mod tests {
         let kinds: Vec<&str> = trace.events().iter().map(kind).collect();
         assert_eq!(
             kinds,
-            ["topology", "round", "mixing", "round", "fault", "mixing", "nodeeval", "eval"]
+            [
+                "topology", "threat", "round", "mixing", "round", "fault", "mixing", "nodeeval",
+                "eval"
+            ]
         );
         match &trace.events()[0] {
             TraceEvent::Topology(t) => assert_eq!(t.seed, 9, "topology restamped with the seed"),
             other => panic!("expected topology, got {other:?}"),
         }
-        match &trace.events()[4] {
+        match &trace.events()[1] {
+            TraceEvent::Threat(t) => assert_eq!(t.seed, 9, "threat restamped with the seed"),
+            other => panic!("expected threat, got {other:?}"),
+        }
+        match &trace.events()[5] {
             TraceEvent::Fault(f) => {
                 assert_eq!(f.seed, 9, "fault records are restamped with the seed");
                 assert_eq!(f.round, 2, "the fault follows its round record");
             }
             other => panic!("expected fault, got {other:?}"),
         }
-        match &trace.events()[6] {
+        match &trace.events()[7] {
             TraceEvent::NodeEval(n) => assert_eq!(n.seed, 9),
             other => panic!("expected nodeeval, got {other:?}"),
         }
-        assert_eq!(trace.schema(), FAULT_SCHEMA_VERSION);
+        assert_eq!(trace.schema(), THREAT_SCHEMA_VERSION);
     }
 
     #[test]
@@ -522,6 +554,7 @@ mod tests {
         trace.add_seed_run_full(
             7,
             None,
+            None,
             &[counters(1)],
             &[fault(1, 40, FaultRecordKind::Crash)],
             &[],
@@ -533,6 +566,39 @@ mod tests {
         assert!(jsonl.lines().next().unwrap().contains("\"schema\":3"));
         assert!(jsonl.contains("\"type\":\"Fault\""));
         assert_eq!(trace.manifest().schema, FAULT_SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn threat_records_take_schema_precedence_over_faults() {
+        let threat = ThreatRecord {
+            seed: 0,
+            attacker: "neighbors:1".into(),
+            defense: Some("clip:1".into()),
+            observed_nodes: 2,
+            nodes: 4,
+            observations: 2,
+        };
+        let mut trace = RunTrace::new("t", 1, 1);
+        trace.add_seed_run_full(
+            7,
+            None,
+            Some(threat.clone()),
+            &[counters(1)],
+            &[fault(1, 40, FaultRecordKind::Crash)],
+            &[],
+            &[],
+            &[],
+        );
+        assert_eq!(trace.schema(), THREAT_SCHEMA_VERSION);
+        let jsonl = trace.events_jsonl();
+        assert!(jsonl.lines().next().unwrap().contains("\"schema\":4"));
+        assert!(jsonl.contains("\"type\":\"Threat\""));
+        assert_eq!(trace.manifest().schema, THREAT_SCHEMA_VERSION);
+
+        // A threat record alone also declares schema 4.
+        let mut trace = RunTrace::new("t", 1, 1);
+        trace.add_seed_run_full(7, None, Some(threat), &[counters(1)], &[], &[], &[], &[]);
+        assert_eq!(trace.schema(), THREAT_SCHEMA_VERSION);
     }
 
     #[test]

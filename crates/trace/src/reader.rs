@@ -12,7 +12,9 @@ use std::fs::File;
 use std::io::{self, BufRead, BufReader};
 use std::path::Path;
 
-use crate::events::{HeaderRecord, TraceEvent, FAULT_SCHEMA_VERSION, SCHEMA_VERSION};
+use crate::events::{
+    HeaderRecord, TraceEvent, FAULT_SCHEMA_VERSION, SCHEMA_VERSION, THREAT_SCHEMA_VERSION,
+};
 
 /// A failure while reading a trace stream. Line numbers are 1-based.
 #[derive(Debug)]
@@ -160,13 +162,16 @@ impl<R: BufRead> TraceReader<R> {
         let TraceEvent::Header(header) = event else {
             return Err(TraceReadError::MissingHeader);
         };
-        // Both the fault-free baseline and the fault-extended schema are
+        // The baseline, fault-extended, and threat-extended schemas are all
         // readable; anything else is from a writer this reader predates.
-        if header.schema != SCHEMA_VERSION && header.schema != FAULT_SCHEMA_VERSION {
+        if header.schema != SCHEMA_VERSION
+            && header.schema != FAULT_SCHEMA_VERSION
+            && header.schema != THREAT_SCHEMA_VERSION
+        {
             return Err(TraceReadError::UnsupportedSchema {
                 line: 1,
                 found: header.schema,
-                supported: FAULT_SCHEMA_VERSION,
+                supported: THREAT_SCHEMA_VERSION,
             });
         }
         Ok(Self {
@@ -214,7 +219,10 @@ fn non_finite_field(event: &TraceEvent) -> Option<&'static str> {
             ("mia_auc", e.mia_auc),
             ("gen_error", e.gen_error),
         ]),
-        TraceEvent::Header(_) | TraceEvent::Round(_) | TraceEvent::Fault(_) => None,
+        TraceEvent::Header(_)
+        | TraceEvent::Threat(_)
+        | TraceEvent::Round(_)
+        | TraceEvent::Fault(_) => None,
     }
 }
 
@@ -415,10 +423,36 @@ mod tests {
                 peer: None,
             },
         ];
-        trace.add_seed_run_full(5, None, &rounds, &faults, &[], &[], &[]);
+        trace.add_seed_run_full(5, None, None, &rounds, &faults, &[], &[], &[]);
         let jsonl = trace.events_jsonl();
         let reader = TraceReader::new(Cursor::new(jsonl.as_bytes())).unwrap();
         assert_eq!(reader.header().schema, FAULT_SCHEMA_VERSION);
+        let events: Vec<TraceEvent> = reader.map(Result::unwrap).collect();
+        assert_eq!(events, trace.events());
+    }
+
+    #[test]
+    fn threat_schema_streams_replay_losslessly() {
+        use crate::ThreatRecord;
+        let mut trace = RunTrace::new("threat-test", 0xcafe, 1);
+        let rounds = [RoundCounters {
+            round: 1,
+            tick: 100,
+            sends: 3,
+            ..RoundCounters::default()
+        }];
+        let threat = ThreatRecord {
+            seed: 0,
+            attacker: "neighbors:0,2".into(),
+            defense: Some("mask:0.25".into()),
+            observed_nodes: 3,
+            nodes: 6,
+            observations: 3,
+        };
+        trace.add_seed_run_full(5, None, Some(threat), &rounds, &[], &[], &[], &[]);
+        let jsonl = trace.events_jsonl();
+        let reader = TraceReader::new(Cursor::new(jsonl.as_bytes())).unwrap();
+        assert_eq!(reader.header().schema, THREAT_SCHEMA_VERSION);
         let events: Vec<TraceEvent> = reader.map(Result::unwrap).collect();
         assert_eq!(events, trace.events());
     }

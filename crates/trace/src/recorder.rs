@@ -157,7 +157,7 @@ impl SimObserver for TraceRecorder {
             }
         };
         self.current_faults.push(FaultRecord {
-            seed: 0, // restamped by the trace assembly
+            seed: 0,  // restamped by the trace assembly
             round: 0, // stamped at the round boundary below
             tick: event.tick,
             node: event.node,

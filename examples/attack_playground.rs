@@ -7,7 +7,7 @@
 
 use glmia_core::prelude::*;
 use glmia_data::Federation;
-use glmia_mia::{roc_curve, MiaEvaluator, TransferAttack};
+use glmia_mia::{MiaEvaluator, ScorePools, TransferAttack};
 use glmia_nn::{Mlp, Sgd};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -110,7 +110,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A coarse ASCII ROC for the MPE attack.
     let members = AttackKind::Mpe.score_dataset(&victim, &victim_data.train)?;
     let nonmembers = AttackKind::Mpe.score_dataset(&victim, &victim_data.test)?;
-    let roc = roc_curve(&members, &nonmembers)?;
+    let roc = ScorePools::new(&members, &nonmembers).roc_curve()?;
     println!("\nMPE ROC (fpr → tpr):");
     for target in [0.0, 0.1, 0.25, 0.5, 0.75] {
         if let Some((fpr, tpr)) = roc.iter().find(|(f, _)| *f >= target) {

@@ -4,11 +4,13 @@
 //! and results are reassembled in round/node order (see
 //! `glmia_core::runner` module docs).
 
+use glmia_core::prelude::AttackerModel;
 use glmia_core::{
-    replicate_experiment, run_experiment, ExperimentConfig, ExperimentResult, Parallelism,
+    replicate_experiment, run_experiment, run_experiment_traced, ExperimentConfig,
+    ExperimentResult, Parallelism,
 };
 use glmia_data::DataPreset;
-use glmia_gossip::{ChurnConfig, FaultPlan, LatencyDist, ProtocolKind, TopologyMode};
+use glmia_gossip::{ChurnConfig, Defense, FaultPlan, LatencyDist, ProtocolKind, TopologyMode};
 use proptest::prelude::*;
 
 fn config(seed: u64) -> ExperimentConfig {
@@ -133,6 +135,41 @@ fn inert_fault_plans_do_not_change_results() {
 }
 
 #[test]
+fn coalition_attacker_under_churn_is_thread_count_invariant() {
+    // The full threat matrix composed with fault injection: a colluding
+    // coalition's restricted vantage, a defended shared surface and node
+    // churn must all stay bit-identical from 1 thread to 8 — the observed
+    // set is fixed up front and per-node RNGs are derived, never streamed.
+    let threat = |p: Parallelism| {
+        run_experiment_traced(
+            &config(908)
+                .with_attacker(AttackerModel::Coalition {
+                    members: vec![0, 3],
+                })
+                .with_defense(Defense::GaussianNoise { std: 0.05 })
+                .with_fault_plan(
+                    FaultPlan::none().with_churn(ChurnConfig::new(0.3).with_downtime(40, 160)),
+                )
+                .with_parallelism(p),
+        )
+        .unwrap()
+    };
+    let (serial_result, serial_trace) = threat(Parallelism::Fixed(1));
+    for threads in [2, 8] {
+        let (parallel_result, parallel_trace) = threat(Parallelism::Fixed(threads));
+        assert_eq!(
+            serial_result, parallel_result,
+            "{threads}-thread coalition run diverged"
+        );
+        assert_eq!(
+            serde_json::to_string(serial_trace.events()).unwrap(),
+            serde_json::to_string(parallel_trace.events()).unwrap(),
+            "{threads}-thread coalition trace serialized differently"
+        );
+    }
+}
+
+#[test]
 fn errors_surface_identically_under_parallelism() {
     // 8 nodes with view size 9 is infeasible at any thread count.
     for p in [Parallelism::Fixed(1), Parallelism::Fixed(4)] {
@@ -153,5 +190,25 @@ proptest! {
         let serial = run_at(seed, Parallelism::Fixed(1));
         let parallel = run_at(seed, Parallelism::Fixed(threads));
         prop_assert_eq!(serial, parallel);
+    }
+
+    /// Property: the inert threat model — an explicit omniscient attacker
+    /// and no defense — is normalized away entirely, so the trace stream
+    /// is byte-identical to one from a config that never set the fields.
+    #[test]
+    fn inert_threat_models_leave_traces_byte_identical(
+        seed in 0u64..1_000_000,
+    ) {
+        let (bare_result, bare_trace) =
+            run_experiment_traced(&config(seed)).unwrap();
+        let (inert_result, inert_trace) = run_experiment_traced(
+            &config(seed).with_attacker(AttackerModel::Omniscient),
+        )
+        .unwrap();
+        prop_assert_eq!(bare_result, inert_result);
+        prop_assert_eq!(
+            serde_json::to_string(bare_trace.events()).unwrap(),
+            serde_json::to_string(inert_trace.events()).unwrap()
+        );
     }
 }

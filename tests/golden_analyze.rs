@@ -1,6 +1,6 @@
 //! Golden-file regression test for the `analyze` derivation pipeline.
 //!
-//! A hand-written schema-3 fixture trace under `tests/fixtures/golden/`
+//! A hand-written schema-4 fixture trace under `tests/fixtures/golden/`
 //! is derived into `summary.json` + `report.md` exactly the way
 //! `glmia analyze` does it, and the bytes are compared against committed
 //! golden copies. Any byte drift in the summary derivation or the
@@ -18,8 +18,8 @@ fn fixture_dir() -> PathBuf {
 
 fn derive_outputs() -> (String, String) {
     let events_path = fixture_dir().join("events.jsonl");
-    let (header, events) = read_trace(&events_path)
-        .unwrap_or_else(|e| panic!("fixture trace must read cleanly: {e}"));
+    let (header, events) =
+        read_trace(&events_path).unwrap_or_else(|e| panic!("fixture trace must read cleanly: {e}"));
     let summary = RunSummary::from_events(&header, &events);
     (summary.to_json_pretty(), render_markdown_report(&summary))
 }
@@ -31,7 +31,11 @@ fn fixture_trace_derives_the_expected_fault_aggregates() {
     // windows lose 50 node-ticks of 400: availability 0.875.
     let (json, md) = derive_outputs();
     let value: serde_json::Value = serde_json::from_str(&json).expect("summary is valid JSON");
-    assert_eq!(value["schema"].as_u64(), Some(3));
+    assert_eq!(value["schema"].as_u64(), Some(4));
+    assert_eq!(value["threat"]["attacker"].as_str(), Some("omniscient"));
+    assert_eq!(value["threat"]["defense"].as_str(), Some("gaussian:0.05"));
+    assert_eq!(value["threat"]["observations"].as_u64(), Some(4));
+    assert!(md.contains("## Threat model"), "{md}");
     assert_eq!(value["faults"]["crashes"].as_u64(), Some(1));
     assert_eq!(value["faults"]["recoveries"].as_u64(), Some(1));
     assert_eq!(value["faults"]["offline_drops"].as_u64(), Some(1));

@@ -77,6 +77,7 @@ fn trace_stream_shape_matches_schedule() {
         .map(|e| match e {
             TraceEvent::Header(_) => "header",
             TraceEvent::Topology(_) => "topology",
+            TraceEvent::Threat(_) => "threat",
             TraceEvent::Round(_) => "round",
             TraceEvent::Fault(_) => "fault",
             TraceEvent::Mixing(_) => "mixing",

@@ -2,7 +2,7 @@
 
 use glmia_data::{partition_dirichlet, partition_iid, FeatureKind, SyntheticSpec};
 use glmia_graph::Topology;
-use glmia_mia::{auc, optimal_threshold};
+use glmia_mia::ScorePools;
 use glmia_nn::{softmax_rows, Matrix};
 use glmia_spectral::{product_contraction, MixingMatrix, ProductContractionOptions};
 use proptest::prelude::*;
@@ -79,10 +79,11 @@ proptest! {
     ) {
         let members: Vec<f64> = scores.iter().map(|s| s.0).collect();
         let nonmembers: Vec<f64> = scores.iter().map(|s| s.1).collect();
-        let report = optimal_threshold(&members, &nonmembers).unwrap();
+        let pools = ScorePools::new(&members, &nonmembers);
+        let report = pools.optimal_threshold().unwrap();
         prop_assert!((0.5..=1.0).contains(&report.accuracy),
             "balanced oracle accuracy must be in [0.5, 1], got {}", report.accuracy);
-        let a = auc(&members, &nonmembers).unwrap();
+        let a = pools.auc().unwrap();
         prop_assert!((0.0..=1.0).contains(&a));
     }
 
@@ -130,15 +131,15 @@ proptest! {
         probs in proptest::collection::vec(0.0f32..1.0, 2..20),
         label_pick in 0usize..1000,
     ) {
-        use glmia_mia::{modified_prediction_entropy, prediction_entropy};
+        use glmia_mia::AttackKind;
         // Normalize to a distribution.
         let total: f32 = probs.iter().sum::<f32>().max(1e-6);
         let probs: Vec<f32> = probs.iter().map(|p| p / total).collect();
         let label = label_pick % probs.len();
-        let mpe = modified_prediction_entropy(&probs, label);
+        let mpe = AttackKind::Mpe.score(&probs, label);
         prop_assert!(mpe.is_finite());
         prop_assert!(mpe >= 0.0);
-        let h = prediction_entropy(&probs);
+        let h = AttackKind::Entropy.score(&probs, label);
         prop_assert!(h.is_finite());
         prop_assert!(h >= -1e-9);
         prop_assert!(h <= (probs.len() as f64).ln() + 1e-6);
@@ -197,7 +198,10 @@ proptest! {
         let victim_n: Vec<f64> = scores.iter().map(|s| s.3).collect();
         let transfer = TransferAttack::calibrate(AttackKind::Mpe, &aux_m, &aux_n).unwrap();
         let transferred = transfer.accuracy(&victim_m, &victim_n);
-        let oracle = optimal_threshold(&victim_m, &victim_n).unwrap().accuracy;
+        let oracle = ScorePools::new(&victim_m, &victim_n)
+            .optimal_threshold()
+            .unwrap()
+            .accuracy;
         prop_assert!(transferred <= oracle + 1e-12,
             "transferred {transferred} beat oracle {oracle}");
     }
@@ -264,7 +268,11 @@ mod fault {
             (1u64..10).prop_map(|ticks| LatencyDist::Fixed { ticks }),
             (1u64..5, 5u64..30).prop_map(|(min, max)| LatencyDist::Uniform { min, max }),
             (1u64..5, 20u64..80, 0.0f64..0.5).prop_map(|(base, tail, tail_prob)| {
-                LatencyDist::Straggler { base, tail, tail_prob }
+                LatencyDist::Straggler {
+                    base,
+                    tail,
+                    tail_prob,
+                }
             }),
         ]);
         let drop = proptest::option::of(0.0f64..0.45);
@@ -284,9 +292,8 @@ mod fault {
     }
 
     fn sim_params() -> impl Strategy<Value = (usize, usize)> {
-        (4usize..9, 2usize..4).prop_filter("k < n and n*k even", |&(n, k)| {
-            k < n && (n * k) % 2 == 0
-        })
+        (4usize..9, 2usize..4)
+            .prop_filter("k < n and n*k even", |&(n, k)| k < n && (n * k) % 2 == 0)
     }
 
     /// Flags any activity at a node the fault stream says is down.
@@ -298,17 +305,20 @@ mod fault {
     impl SimObserver for Silence {
         fn on_send(&mut self, event: SendEvent) {
             if self.down.contains(&event.from) {
-                self.violations.push(format!("send from down node {}", event.from));
+                self.violations
+                    .push(format!("send from down node {}", event.from));
             }
         }
         fn on_merge(&mut self, event: MergeEvent) {
             if self.down.contains(&event.node) {
-                self.violations.push(format!("merge at down node {}", event.node));
+                self.violations
+                    .push(format!("merge at down node {}", event.node));
             }
         }
         fn on_local_update(&mut self, event: UpdateEvent) {
             if self.down.contains(&event.node) {
-                self.violations.push(format!("update at down node {}", event.node));
+                self.violations
+                    .push(format!("update at down node {}", event.node));
             }
         }
         fn on_fault(&mut self, event: FaultEvent) {

@@ -9,7 +9,9 @@ use std::path::PathBuf;
 use glmia_core::prelude::{read_trace, TraceReadError};
 
 fn corpus(name: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/corpus").join(name)
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures/corpus")
+        .join(name)
 }
 
 #[test]
@@ -34,7 +36,7 @@ fn unknown_schema_is_rejected_at_the_header() {
             TraceReadError::UnsupportedSchema {
                 line: 1,
                 found: 99,
-                supported: 3,
+                supported: 4,
             }
         ),
         "{err:?}"
@@ -77,6 +79,18 @@ fn out_of_order_rounds_are_rejected_with_both_indices() {
     assert_eq!(
         err.to_string(),
         "trace line 3: out-of-order round for seed 1: 1 after 2"
+    );
+}
+
+#[test]
+fn malformed_threat_records_are_rejected_with_their_line() {
+    // Schema-4 header, then a Threat record whose `attacker` field is a
+    // number instead of a descriptor string — a typed, line-numbered
+    // rejection, exactly like every other corrupt record kind.
+    let err = read_trace(corpus("bad_threat.jsonl")).unwrap_err();
+    assert!(
+        matches!(err, TraceReadError::Malformed { line: 2, .. }),
+        "{err:?}"
     );
 }
 
