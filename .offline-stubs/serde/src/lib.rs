@@ -499,6 +499,17 @@ impl<K: fmt::Display + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
     }
 }
 
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<String, V> {
+    fn __serde_from_value(v: &__Value) -> Result<Self, DeError> {
+        let map = v
+            .as_object()
+            .ok_or_else(|| DeError("expected object for map".into()))?;
+        map.iter()
+            .map(|(k, val)| Ok((k.clone(), V::__serde_from_value(val)?)))
+            .collect()
+    }
+}
+
 impl<K: fmt::Display, V: Serialize, S> Serialize for HashMap<K, V, S> {
     fn __serde_to_value(&self) -> __Value {
         let mut m = __Map::new();

@@ -1,0 +1,133 @@
+//! Telemetry overhead: the cost of live instrumentation on the gossip hot
+//! path, measured as the relative slowdown of the `scale_curve` simulation
+//! phase with a telemetry registry installed (counters firing on every
+//! send/deliver/merge, the per-round observer draining at each barrier)
+//! versus the inert default.
+//!
+//! The hot-path contract is that disabled telemetry is free (no registry
+//! installed → every instrument is a branch on an empty thread-local) and
+//! enabled telemetry stays under **3%** on the 2500-node `scale_curve`
+//! point — the gate CI enforces against the committed `BENCH_telemetry.json`.
+//!
+//! Emits `target/bench-results/BENCH_telemetry.json`. Override the grid
+//! with `GLMIA_TELEMETRY_GRID=150,600` (comma-separated node counts) and
+//! the repetitions per point with `GLMIA_TELEMETRY_REPS` (min-of-N wall
+//! time, default 3).
+
+// Benchmarks measure wall time by definition; `Instant::now` is otherwise
+// disallowed workspace-wide via clippy.toml.
+#![allow(clippy::disallowed_methods)]
+
+use std::time::Instant;
+
+use glmia_bench::output::emit_json;
+use glmia_data::{DataPreset, Federation, Partition};
+use glmia_gossip::{ProtocolKind, SimConfig, Simulation, TopologyMode};
+use glmia_graph::Topology;
+use glmia_nn::{Activation, MlpSpec};
+use glmia_telemetry::Telemetry;
+use glmia_trace::TelemetryObserver;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Node counts swept by default: the `scale_curve` grid up to its 2500-node
+/// acceptance point (10k adds minutes for no extra signal — overhead is
+/// already per-event at 2500).
+const DEFAULT_GRID: &[usize] = &[150, 600, 2500];
+const ROUNDS: usize = 3;
+const VIEW_SIZE: usize = 4;
+const SEED: u64 = 23;
+
+fn grid() -> Vec<usize> {
+    match std::env::var("GLMIA_TELEMETRY_GRID") {
+        Ok(raw) => raw
+            .split(',')
+            .map(|tok| {
+                tok.trim().parse().unwrap_or_else(|_| {
+                    panic!("GLMIA_TELEMETRY_GRID entry {tok:?} is not a number")
+                })
+            })
+            .collect(),
+        Err(_) => DEFAULT_GRID.to_vec(),
+    }
+}
+
+fn reps() -> usize {
+    std::env::var("GLMIA_TELEMETRY_REPS")
+        .ok()
+        .and_then(|raw| raw.parse().ok())
+        .unwrap_or(3)
+}
+
+/// One timed simulation identical to `scale_curve`'s sim phase; when
+/// `telemetry` is set, the registry is installed on this thread and the
+/// per-round observer drains at each barrier, exactly as a `--telemetry`
+/// run would.
+fn sim_secs(nodes: usize, telemetry: Option<&Telemetry>) -> f64 {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let data_spec = DataPreset::FashionMnistLike
+        .spec()
+        .with_num_classes(3)
+        .with_input_dim(8);
+    let model_spec = MlpSpec::new(8, &[8], 3, Activation::Relu).expect("valid model spec");
+    let federation =
+        Federation::build(&data_spec, nodes, 4, 2, Partition::Iid, &mut rng).expect("federation");
+    let topology = Topology::random_regular(nodes, VIEW_SIZE, &mut rng).expect("topology");
+    let config = SimConfig::new(ProtocolKind::Samo, TopologyMode::Static)
+        .with_rounds(ROUNDS)
+        .with_local_epochs(1)
+        .with_batch_size(4);
+    let mut sim =
+        Simulation::new(config, &model_spec, &federation, topology, SEED).expect("simulation");
+    let _scope = telemetry.map(Telemetry::enter);
+    let mut observer = TelemetryObserver::new(telemetry.cloned());
+    let t = Instant::now();
+    sim.run_observed(&mut observer);
+    t.elapsed().as_secs_f64()
+}
+
+/// One grid point: min-of-N wall time with telemetry off and on,
+/// interleaved so drift hits both arms equally.
+fn run_point(nodes: usize, reps: usize) -> serde_json::Value {
+    let mut off = f64::INFINITY;
+    let mut on = f64::INFINITY;
+    for _ in 0..reps {
+        off = off.min(sim_secs(nodes, None));
+        let telemetry = Telemetry::new();
+        on = on.min(sim_secs(nodes, Some(&telemetry)));
+    }
+    let overhead_frac = (on - off) / off;
+    eprintln!(
+        "[telemetry] n={nodes}: off {off:.4}s, on {on:.4}s, overhead {:.2}%",
+        overhead_frac * 100.0
+    );
+    serde_json::json!({
+        "nodes": nodes,
+        "rounds": ROUNDS,
+        "view_size": VIEW_SIZE,
+        "off_secs": off,
+        "on_secs": on,
+        "overhead_frac": overhead_frac,
+    })
+}
+
+fn main() {
+    let reps = reps();
+    let points: Vec<serde_json::Value> = grid().into_iter().map(|n| run_point(n, reps)).collect();
+    emit_json(
+        "BENCH_telemetry",
+        &serde_json::json!({
+            "bench": "telemetry_overhead",
+            "workload": {
+                "protocol": "samo",
+                "rounds": ROUNDS,
+                "view_size": VIEW_SIZE,
+                "train_per_node": 4,
+                "model": "8-[8]-3",
+                "reps": reps,
+            },
+            "gate": { "max_overhead_frac": 0.03 },
+            "points": points,
+        }),
+    );
+}

@@ -2,7 +2,7 @@
 
 use std::path::PathBuf;
 
-use glmia_core::prelude::{read_trace, RunSummary, TraceReadError, TraceWriter};
+use glmia_core::prelude::{read_trace, PerfSummary, RunSummary, TraceReadError, TraceWriter};
 use glmia_core::{
     lambda2_series, run_experiment, run_experiment_traced, ExperimentConfig, Lambda2Config,
     Parallelism,
@@ -88,6 +88,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
             "drop",
             "attacker",
             "defense",
+            "telemetry",
         ],
     )?;
     let dataset = parse_dataset(args.get("dataset").unwrap_or("cifar10"))?;
@@ -156,13 +157,12 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         config = config.with_defense(defense);
     }
     config = config.with_progress(!args.flag("quiet"));
+    config = config.with_telemetry(args.flag("telemetry"));
     // Create the trace directory *before* running: a run that dies
     // mid-phase still leaves a header-only events.jsonl and a manifest
     // honestly marked `"complete": false`.
     let writer = match args.get("trace") {
-        Some(dir) if dir.is_empty() => {
-            return Err("--trace requires a directory".to_string().into())
-        }
+        Some("") => return Err("--trace requires a directory".to_string().into()),
         Some(dir) => Some(
             TraceWriter::create(
                 dir,
@@ -178,10 +178,14 @@ pub fn run(args: &Args) -> Result<(), CliError> {
     let (result, trace) = run_experiment_traced(&config).map_err(|e| e.to_string())?;
     if let Some(writer) = writer {
         let dir = writer.dir().display().to_string();
+        let telemetry_written = trace.has_telemetry();
         writer
             .finish(&trace)
             .map_err(|e| format!("writing trace to '{dir}': {e}"))?;
         eprintln!("trace: {dir}/events.jsonl, {dir}/manifest.json");
+        if telemetry_written {
+            eprintln!("telemetry: {dir}/telemetry.jsonl, {dir}/profile.json");
+        }
     }
     if args.flag("json") {
         let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
@@ -320,7 +324,16 @@ pub fn analyze(args: &Args) -> Result<(), CliError> {
         TraceReadError::Io(_) => CliError::Failure(format!("{}: {e}", events_path.display())),
         corrupt => CliError::CorruptTrace(format!("{}: {corrupt}", events_path.display())),
     })?;
-    let summary = RunSummary::from_events(&header, &events);
+    let mut summary = RunSummary::from_events(&header, &events);
+    // Telemetry artifacts are an optional side-channel: when the run wrote
+    // a `telemetry.jsonl` (and usually a `profile.json`) next to the event
+    // stream, fold them into the summary's Performance section. Their
+    // absence — or a malformed side-stream — leaves the summary exactly as
+    // a telemetry-off run would produce it.
+    if let Ok(stream) = std::fs::read_to_string(dir.join("telemetry.jsonl")) {
+        let profile = std::fs::read_to_string(dir.join("profile.json")).ok();
+        summary.perf = PerfSummary::from_artifacts(&stream, profile.as_deref());
+    }
     // The summary is a pure function of the event stream, so these files
     // inherit the trace's byte-identity across thread counts and reruns.
     let json = summary.to_json_pretty();

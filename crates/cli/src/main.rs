@@ -20,6 +20,14 @@ use std::process::ExitCode;
 
 use args::{ArgError, Args, CliError};
 
+/// With `--features telemetry-alloc`, every allocation in the binary flows
+/// through the counting allocator so `--telemetry` runs report heap
+/// traffic in `profile.json`. The default build keeps the system allocator
+/// untouched.
+#[cfg(feature = "telemetry-alloc")]
+#[global_allocator]
+static ALLOC: glmia_telemetry::CountingAllocator = glmia_telemetry::CountingAllocator;
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let parsed = match Args::parse(argv) {
@@ -96,6 +104,12 @@ SUBCOMMANDS:
               --defense <spec>                   shared-model defense:
                                                  gaussian:STD, mask:FRAC or
                                                  clip:LIMIT
+              --telemetry                        record runtime telemetry:
+                                                 telemetry.jsonl + profile.json
+                                                 beside the trace (with --trace)
+                                                 and a live stderr dashboard;
+                                                 off by default, and off means
+                                                 byte-identical traces
               --quiet                            suppress the stderr progress
                                                  heartbeat (also off when
                                                  stderr is not a terminal)

@@ -172,13 +172,19 @@ pub struct ExperimentConfig {
     /// stderr is not a TTY). Pure presentation; excluded from identity.
     #[serde(skip)]
     progress: bool,
+    /// Enables the runtime telemetry subsystem: counter registry, span
+    /// profiler, `telemetry.jsonl` side-stream and `profile.json`.
+    /// Observability only — never feeds back into the simulation — so it
+    /// is excluded from identity like the other execution knobs.
+    #[serde(skip)]
+    telemetry: bool,
 }
 
 /// Equality over every field *except* the execution/observability knobs
-/// `parallelism`, `mixing_disabled` and `progress` (none of which can
-/// change a result byte). The exhaustive destructuring makes this impl
-/// fail to compile when a field is added, so new knobs cannot silently
-/// escape comparison.
+/// `parallelism`, `mixing_disabled`, `progress` and `telemetry` (none of
+/// which can change a result byte). The exhaustive destructuring makes
+/// this impl fail to compile when a field is added, so new knobs cannot
+/// silently escape comparison.
 impl PartialEq for ExperimentConfig {
     fn eq(&self, other: &Self) -> bool {
         let Self {
@@ -208,6 +214,7 @@ impl PartialEq for ExperimentConfig {
             parallelism: _,
             mixing_disabled: _,
             progress: _,
+            telemetry: _,
         } = self;
         *dataset == other.dataset
             && *num_classes_override == other.num_classes_override
@@ -272,6 +279,7 @@ impl ExperimentConfig {
             parallelism: Parallelism::Auto,
             mixing_disabled: false,
             progress: false,
+            telemetry: false,
         }
     }
 
@@ -553,6 +561,16 @@ impl ExperimentConfig {
         self
     }
 
+    /// Enables the runtime telemetry subsystem (default: off). Adds the
+    /// `telemetry.jsonl` side-stream and `profile.json` to the run's
+    /// artifacts; `events.jsonl` stays byte-identical either way.
+    /// Excluded from identity.
+    #[must_use]
+    pub fn with_telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
+    }
+
     /// Sets the attack-replay worker-thread budget (default: all cores).
     /// Results are bit-identical at any setting; see [`Parallelism`].
     #[must_use]
@@ -667,6 +685,12 @@ impl ExperimentConfig {
     #[must_use]
     pub fn progress(&self) -> bool {
         self.progress
+    }
+
+    /// Whether the runtime telemetry subsystem is enabled.
+    #[must_use]
+    pub fn telemetry(&self) -> bool {
+        self.telemetry
     }
 
     /// FNV-1a fingerprint over the config's canonical JSON. The serialized
@@ -1114,11 +1138,17 @@ mod tests {
         let base = ExperimentConfig::quick_test(DataPreset::Cifar10Like);
         assert!(base.mixing_trace(), "mixing trace defaults on");
         assert!(!base.progress(), "progress defaults off");
-        let tweaked = base.clone().with_mixing_trace(false).with_progress(true);
+        assert!(!base.telemetry(), "telemetry defaults off");
+        let tweaked = base
+            .clone()
+            .with_mixing_trace(false)
+            .with_progress(true)
+            .with_telemetry(true);
         assert_eq!(base, tweaked);
         assert_eq!(base.fingerprint(), tweaked.fingerprint());
         assert!(!tweaked.mixing_trace());
         assert!(tweaked.progress());
+        assert!(tweaked.telemetry());
     }
 
     #[test]

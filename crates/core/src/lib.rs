@@ -77,7 +77,7 @@ pub mod prelude {
     pub use glmia_gossip::{Defense, LrSchedule, ProtocolKind, TopologyMode};
     pub use glmia_mia::{Attack, AttackKind, AttackerModel, AttackerView};
     pub use glmia_trace::{
-        read_trace, Phase, RunSummary, RunTrace, TraceEvent, TraceReadError, TraceReader,
-        TraceRecorder, TraceWriter,
+        read_trace, PerfSummary, Phase, RunSummary, RunTrace, TraceEvent, TraceReadError,
+        TraceReader, TraceRecorder, TraceWriter,
     };
 }

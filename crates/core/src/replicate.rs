@@ -2,9 +2,8 @@
 //! and aggregate, giving the error bars the paper reports over repeated
 //! runs.
 
-use std::time::Instant;
-
 use glmia_dist::mean_std;
+use glmia_telemetry::clock;
 use glmia_trace::{Phase, RunTrace};
 use serde::{Deserialize, Serialize};
 
@@ -82,9 +81,6 @@ pub fn replicate_experiment(
 /// # Errors
 ///
 /// Same contract as [`replicate_experiment`].
-// Wall timing for the run manifest; the `Instant::now` below carries its
-// own lint:allow justification.
-#[allow(clippy::disallowed_methods)]
 pub fn replicate_experiment_traced(
     config: &ExperimentConfig,
     replicas: usize,
@@ -93,7 +89,7 @@ pub fn replicate_experiment_traced(
         return Err(CoreError::new("replicas must be positive"));
     }
     config.validate()?;
-    let wall_start = Instant::now(); // lint:allow(no-wall-clock, "manifest wall timing, not simulation state")
+    let wall_start = clock::now();
     let base_seed = config.seed();
     let seeds: Vec<u64> = (0..replicas)
         .map(|r| base_seed.wrapping_add(r as u64))
@@ -165,7 +161,7 @@ pub fn replicate_experiment_traced(
     let rounds = trace
         .phases_mut()
         .time(Phase::Aggregate, || aggregate_rounds(&runs))?;
-    trace.set_wall_secs(wall_start.elapsed().as_secs_f64());
+    trace.set_wall_secs(wall_start.elapsed_secs());
     Ok((
         ReplicatedResult {
             config: config.clone(),

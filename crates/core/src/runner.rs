@@ -26,7 +26,6 @@
 
 use std::sync::mpsc;
 use std::sync::Arc;
-use std::time::Instant;
 
 use glmia_data::Federation;
 use glmia_dist::mean_std;
@@ -36,9 +35,10 @@ use glmia_metrics::{accuracy, best_utility_point, generalization_error, Tradeoff
 use glmia_mia::{AttackerModel, MiaEvaluator};
 use glmia_nn::Mlp;
 use glmia_spectral::{product_contraction_seeded, ProductContractionOptions, SparseMixingMatrix};
+use glmia_telemetry::{clock, count, span, Instrument, Telemetry};
 use glmia_trace::{
-    EvalRecord, MixingRecord, NodeEvalRecord, Phase, ProgressObserver, RunTrace, ThreatRecord,
-    TopologyRecord, TraceRecorder,
+    EvalRecord, MixingRecord, NodeEvalRecord, Phase, ProgressObserver, RunTrace, TelemetryObserver,
+    ThreatRecord, TopologyRecord, TraceRecorder,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -243,20 +243,24 @@ pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentResult, Cor
 /// # Errors
 ///
 /// Same contract as [`run_experiment`].
-// Wall timing for the run manifest; each `Instant::now` below carries its
-// own lint:allow justification.
-#[allow(clippy::disallowed_methods)]
 pub fn run_experiment_traced(
     config: &ExperimentConfig,
 ) -> Result<(ExperimentResult, RunTrace), CoreError> {
     config.validate()?;
-    let wall_start = Instant::now(); // lint:allow(no-wall-clock, "manifest wall timing, not simulation state")
+    let wall_start = clock::now();
     let threads = config.parallelism().threads();
     let mut trace = RunTrace::new(config.label(), config_fingerprint(config), threads);
+    // One registry per run, installed on this thread for its duration and
+    // re-entered on the simulation and evaluation workers. `None` keeps
+    // every instrument a no-op and the trace byte-identical to pre-telemetry
+    // runs.
+    let telemetry = config.telemetry().then(Telemetry::new);
+    let _telemetry_scope = telemetry.as_ref().map(Telemetry::enter);
 
     let mut rng = StdRng::seed_from_u64(config.seed());
     let data_spec = config.data_spec();
     let federation = trace.phases_mut().time(Phase::Partition, || {
+        let _span = span("partition");
         Federation::build(
             &data_spec,
             config.nodes(),
@@ -267,6 +271,7 @@ pub fn run_experiment_traced(
         )
     })?;
     let topology = trace.phases_mut().time(Phase::Topology, || {
+        let _span = span("topology");
         Topology::random_regular(config.nodes(), config.view_size(), &mut rng)
     })?;
     // Analytic anchor: λ₂ of the synchronous mixing matrix (A + I)/(k + 1)
@@ -328,44 +333,53 @@ pub fn run_experiment_traced(
         MixingMatrixObserver::disabled()
     };
     let mut progress = ProgressObserver::with_enabled(total_rounds, config.progress());
+    // Drains the per-round counter deltas at each round barrier; inert (and
+    // record-free) when the run has no telemetry handle.
+    let mut telemetry_obs = TelemetryObserver::new(telemetry.clone());
     let mut sim_secs = 0.0_f64;
     let mut eval_secs = 0.0_f64;
     if threads <= 1 {
         // Legacy serial path: evaluate inline, no threads spawned. The
         // recorder, mixing reconstruction and heartbeat ride the observer
         // chain; the closure sink keeps the pre-trait behavior.
-        let run_start = Instant::now(); // lint:allow(no-wall-clock, "manifest wall timing, not simulation state")
+        let run_start = clock::now();
+        let _sim_span = span("simulate");
         sim.run_observed(Observers::new(
-            &mut recorder,
+            &mut telemetry_obs,
             Observers::new(
-                &mut mixing_obs,
-                Observers::new(&mut progress, |snapshot: RoundSnapshot| {
-                    if eval_error.is_some() || !due(snapshot.round) {
-                        return;
-                    }
-                    let eval_start = Instant::now(); // lint:allow(no-wall-clock, "manifest wall timing, not simulation state")
-                    match evaluate_round(
-                        &snapshot,
-                        surface,
-                        &model_spec,
-                        &federation,
-                        &evaluator,
-                        observed_ref,
-                        seed,
-                        1,
-                        &mut eval_cache,
-                    ) {
-                        Ok((eval, nodes)) => {
-                            rounds.push(eval);
-                            node_evals.extend(nodes);
+                &mut recorder,
+                Observers::new(
+                    &mut mixing_obs,
+                    Observers::new(&mut progress, |snapshot: RoundSnapshot| {
+                        if eval_error.is_some() || !due(snapshot.round) {
+                            return;
                         }
-                        Err(e) => eval_error = Some(e),
-                    }
-                    eval_secs += eval_start.elapsed().as_secs_f64();
-                }),
+                        let eval_start = clock::now();
+                        let _span = span("eval");
+                        match evaluate_round(
+                            &snapshot,
+                            surface,
+                            &model_spec,
+                            &federation,
+                            &evaluator,
+                            observed_ref,
+                            seed,
+                            1,
+                            &mut eval_cache,
+                        ) {
+                            Ok((eval, nodes)) => {
+                                rounds.push(eval);
+                                node_evals.extend(nodes);
+                            }
+                            Err(e) => eval_error = Some(e),
+                        }
+                        eval_secs += eval_start.elapsed_secs();
+                    }),
+                ),
             ),
         ));
-        sim_secs = run_start.elapsed().as_secs_f64() - eval_secs;
+        drop(_sim_span);
+        sim_secs = run_start.elapsed_secs() - eval_secs;
     } else {
         // Pipelined path: the simulation thread streams due snapshots over
         // a bounded channel while this thread replays the attack on them
@@ -379,23 +393,32 @@ pub fn run_experiment_traced(
             let recorder = &mut recorder;
             let mixing_obs = &mut mixing_obs;
             let progress = &mut progress;
+            let telemetry_obs = &mut telemetry_obs;
             let sim_secs = &mut sim_secs;
+            let sim_telemetry = telemetry.clone();
             let sim_thread = scope.spawn(move || {
-                let run_start = Instant::now(); // lint:allow(no-wall-clock, "manifest wall timing, not simulation state")
+                // Re-enter the run's registry on this thread so the engine's
+                // instruments (and the per-round drain) keep recording.
+                let _scope = sim_telemetry.as_ref().map(Telemetry::enter);
+                let _span = span("simulate");
+                let run_start = clock::now();
                 sim.run_observed(Observers::new(
-                    recorder,
+                    telemetry_obs,
                     Observers::new(
-                        mixing_obs,
-                        Observers::new(progress, move |snapshot: RoundSnapshot| {
-                            if due(snapshot.round) {
-                                // The receiver only hangs up if the scope is
-                                // unwinding; finish the simulation regardless.
-                                let _ = tx.send(snapshot);
-                            }
-                        }),
+                        recorder,
+                        Observers::new(
+                            mixing_obs,
+                            Observers::new(progress, move |snapshot: RoundSnapshot| {
+                                if due(snapshot.round) {
+                                    // The receiver only hangs up if the scope is
+                                    // unwinding; finish the simulation regardless.
+                                    let _ = tx.send(snapshot);
+                                }
+                            }),
+                        ),
                     ),
                 ));
-                *sim_secs = run_start.elapsed().as_secs_f64();
+                *sim_secs = run_start.elapsed_secs();
             });
             for snapshot in &rx {
                 if eval_error.is_some() {
@@ -403,7 +426,8 @@ pub fn run_experiment_traced(
                     // on a full channel; the first error is what we report.
                     continue;
                 }
-                let eval_start = Instant::now(); // lint:allow(no-wall-clock, "manifest wall timing, not simulation state")
+                let eval_start = clock::now();
+                let _span = span("eval");
                 match evaluate_round(
                     &snapshot,
                     surface,
@@ -421,7 +445,7 @@ pub fn run_experiment_traced(
                     }
                     Err(e) => eval_error = Some(e),
                 }
-                eval_secs += eval_start.elapsed().as_secs_f64();
+                eval_secs += eval_start.elapsed_secs();
             }
             // The receive loop above only ends once the sender is dropped,
             // so the simulation thread is done (or unwound) by now; joining
@@ -441,6 +465,7 @@ pub fn run_experiment_traced(
     trace.phases_mut().add(Phase::Simulate, sim_secs);
     trace.phases_mut().add(Phase::Eval, eval_secs);
     let mixing_records = trace.phases_mut().time(Phase::Spectral, || {
+        let _span = span("spectral");
         mixing_lambda2_records(&mixing_obs, seed)
     })?;
     let evals: Vec<EvalRecord> = rounds
@@ -482,7 +507,12 @@ pub fn run_experiment_traced(
         &node_evals,
         &evals,
     );
-    trace.set_wall_secs(wall_start.elapsed().as_secs_f64());
+    trace.set_wall_secs(wall_start.elapsed_secs());
+    if let Some(telemetry) = &telemetry {
+        trace.add_seed_telemetry(seed, telemetry_obs.into_records());
+        trace.set_telemetry_totals(telemetry.counters().to_map());
+        trace.set_profile(glmia_telemetry::profile(telemetry));
+    }
     Ok((
         ExperimentResult {
             config: config.clone(),
@@ -654,10 +684,17 @@ fn evaluate_round(
     };
     let mut evals: Vec<Option<NodeEval>> = (0..n).map(|_| None).collect();
     let mut missing: Vec<usize> = Vec::new();
+    count(Instrument::RunnerEvals, 1);
     for &i in &targets {
         match cache.lookup(i, &observed[i]) {
-            Some(eval) => evals[i] = Some(eval),
-            None => missing.push(i),
+            Some(eval) => {
+                count(Instrument::MiaEvalCacheHits, 1);
+                evals[i] = Some(eval);
+            }
+            None => {
+                count(Instrument::MiaEvalCacheMisses, 1);
+                missing.push(i);
+            }
         }
     }
     let fresh: Vec<Result<NodeEval, CoreError>> = if threads <= 1 || missing.len() < 2 {
@@ -683,11 +720,17 @@ fn evaluate_round(
         let chunk_len = m.div_ceil(threads.min(m));
         let mut worker_panic: Option<CoreError> = None;
         let missing = &missing;
+        // Workers inherit the calling thread's registry (if any) so the
+        // MIA-side instruments keep counting off-thread; counters are
+        // commutative atomics, so totals stay thread-count independent.
+        let worker_telemetry = Telemetry::current();
+        let worker_telemetry = worker_telemetry.as_ref();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (w, out) in slots.chunks_mut(chunk_len).enumerate() {
                 let start = w * chunk_len;
                 handles.push(scope.spawn(move || {
+                    let _scope = worker_telemetry.map(Telemetry::enter);
                     for (offset, slot) in out.iter_mut().enumerate() {
                         let i = missing[start + offset];
                         *slot = Some(evaluate_node(

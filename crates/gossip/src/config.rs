@@ -271,10 +271,10 @@ impl SimConfig {
         if self.ticks_per_round == 0 {
             return Err(GossipError::new("ticks_per_round must be positive"));
         }
-        if !(self.wake_mean > 0.0) || !self.wake_mean.is_finite() {
+        if self.wake_mean <= 0.0 || !self.wake_mean.is_finite() {
             return Err(GossipError::new("wake mean must be positive"));
         }
-        if !(self.wake_std >= 0.0) || !self.wake_std.is_finite() {
+        if self.wake_std < 0.0 || !self.wake_std.is_finite() {
             return Err(GossipError::new("wake std must be non-negative"));
         }
         if !self.drop_probability.is_finite() || !(0.0..1.0).contains(&self.drop_probability) {

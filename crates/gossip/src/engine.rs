@@ -8,6 +8,7 @@ use glmia_data::Federation;
 use glmia_dist::Normal;
 use glmia_graph::Topology;
 use glmia_nn::{Mlp, MlpSpec, Sgd};
+use glmia_telemetry::{count, gauge_set, observe, Gauge, Histogram, Instrument};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -381,6 +382,7 @@ impl Simulation {
                 models,
                 shared_models,
             };
+            count(Instrument::RunnerRounds, 1);
             observer.on_snapshot(&snapshot);
             observer.on_round_end(snapshot);
         }
@@ -397,6 +399,10 @@ impl Simulation {
             .is_some_and(|Reverse(event)| event.tick <= horizon)
         {
             let Reverse(event) = self.queue.pop().expect("peek returned an event");
+            count(Instrument::RunnerEvents, 1);
+            let depth = self.queue.len() as u64;
+            gauge_set(Gauge::QueueDepth, depth);
+            observe(Histogram::QueueDepth, depth);
             match event.kind {
                 EventKind::Wake { node } => self.on_wake(node, event.tick, observer),
                 EventKind::Deliver { from, to, model } => {
@@ -476,6 +482,7 @@ impl Simulation {
         let buffered = self.nodes[i].buffer.len();
         if protocol.merges_once() && self.nodes[i].merge_buffer() {
             self.node_stats[i].merges += 1;
+            count(Instrument::GossipMerges, 1);
             observer.on_merge(MergeEvent {
                 tick,
                 node: i,
@@ -518,6 +525,7 @@ impl Simulation {
         // process is not there to receive them.
         if self.fault.as_ref().is_some_and(|f| f.down[i]) {
             self.messages_dropped += 1;
+            count(Instrument::GossipDrops, 1);
             observer.on_fault(FaultEvent {
                 tick,
                 node: i,
@@ -527,6 +535,7 @@ impl Simulation {
             return;
         }
         self.node_stats[i].received += 1;
+        count(Instrument::GossipDelivers, 1);
         let buffered = self.config.protocol().merges_once();
         observer.on_deliver(DeliverEvent {
             tick,
@@ -544,6 +553,7 @@ impl Simulation {
             // 7–8).
             self.nodes[i].merge_pairwise(&model);
             self.node_stats[i].merges += 1;
+            count(Instrument::GossipMerges, 1);
             observer.on_merge(MergeEvent {
                 tick,
                 node: i,
@@ -582,6 +592,7 @@ impl Simulation {
     fn send_model<O: SimObserver>(&mut self, i: usize, j: usize, tick: u64, observer: &mut O) {
         self.messages_sent += 1;
         self.node_stats[i].sent += 1;
+        count(Instrument::GossipSends, 1);
         let drop_probability = match &self.fault {
             Some(fault) => fault.link_drop_probability(i, j, self.config.drop_probability()),
             None => self.config.drop_probability(),
@@ -595,6 +606,7 @@ impl Simulation {
         });
         if drop {
             self.messages_dropped += 1;
+            count(Instrument::GossipDrops, 1);
             return;
         }
         let payload: Arc<[f32]> = match self.config.defense().copied() {

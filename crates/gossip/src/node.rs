@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use glmia_data::Dataset;
 use glmia_nn::{Mlp, Sgd};
+use glmia_telemetry::{count, Instrument};
 use rand::rngs::StdRng;
 
 /// One gossip participant: its current model, optimizer state, SAMO buffer
@@ -77,9 +78,11 @@ impl Node {
     pub fn flat_snapshot(&mut self) -> Arc<[f32]> {
         if let Some((version, params)) = &self.snapshot {
             if *version == self.version {
+                count(Instrument::GossipSnapshotHits, 1);
                 return Arc::clone(params);
             }
         }
+        count(Instrument::GossipSnapshotMisses, 1);
         let params: Arc<[f32]> = self.model.flat_params().into();
         self.snapshot = Some((self.version, Arc::clone(&params)));
         params

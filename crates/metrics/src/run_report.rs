@@ -243,6 +243,52 @@ pub fn render_markdown_report(summary: &RunSummary) -> String {
             &node_rows,
         ));
     }
+
+    if let Some(perf) = &summary.perf {
+        out.push_str("\n## Performance (runtime telemetry)\n\n");
+        out.push_str(
+            "Instrument totals from the run's telemetry side-stream. These \
+             counters are deterministic: identical runs produce identical \
+             totals at any thread count.\n\n",
+        );
+        let counter_rows: Vec<Vec<String>> = perf
+            .counters
+            .iter()
+            .map(|(name, value)| vec![format!("`{name}`"), value.to_string()])
+            .collect();
+        out.push_str(&markdown_table(&["instrument", "total"], &counter_rows));
+        if let Some(profile) = &perf.profile {
+            if !profile.spans.is_empty() {
+                out.push_str(
+                    "\nPer-phase span tree from `profile.json`. `self` excludes \
+                     time spent in child spans; seconds are wall-clock and vary \
+                     across machines and thread counts.\n\n",
+                );
+                let span_rows: Vec<Vec<String>> = profile
+                    .spans
+                    .iter()
+                    .map(|s| {
+                        vec![
+                            format!("`{}`", s.path),
+                            s.count.to_string(),
+                            format!("{:.3}", s.total_secs),
+                            format!("{:.3}", s.self_secs),
+                        ]
+                    })
+                    .collect();
+                out.push_str(&markdown_table(
+                    &["span", "count", "total s", "self s"],
+                    &span_rows,
+                ));
+            }
+            if profile.alloc_accounting {
+                out.push_str(&format!(
+                    "\nheap traffic: {} allocations ({} bytes), {} frees\n",
+                    profile.alloc.allocs, profile.alloc.bytes, profile.alloc.deallocs
+                ));
+            }
+        }
+    }
     out
 }
 
@@ -463,6 +509,33 @@ pub fn render_prometheus(summary: &RunSummary) -> String {
             "glmia_lambda2_analytic {}\n",
             topology.lambda2_analytic
         ));
+    }
+    if let Some(perf) = &summary.perf {
+        for (name, value) in &perf.counters {
+            counter(
+                &mut out,
+                &format!("glmia_telemetry_{name}_total"),
+                "Runtime telemetry instrument total for the whole run.",
+                *value,
+            );
+        }
+        if let Some(profile) = perf.profile.as_ref().filter(|p| !p.spans.is_empty()) {
+            gauge_header(
+                &mut out,
+                "glmia_telemetry_span_seconds",
+                "Wall seconds per profiler span (total includes child spans).",
+            );
+            for s in &profile.spans {
+                out.push_str(&format!(
+                    "glmia_telemetry_span_seconds{{span=\"{}\",kind=\"total\"}} {}\n",
+                    s.path, s.total_secs
+                ));
+                out.push_str(&format!(
+                    "glmia_telemetry_span_seconds{{span=\"{}\",kind=\"self\"}} {}\n",
+                    s.path, s.self_secs
+                ));
+            }
+        }
     }
     out
 }
@@ -788,5 +861,115 @@ mod tests {
         let table = render_round_table(&sample_summary());
         assert_eq!(table.lines().count(), 3, "header + rule + one eval row");
         assert!(table.contains("0.6500"));
+    }
+
+    fn perf_summary() -> RunSummary {
+        use glmia_trace::{AllocTotals, PerfSummary, Profile, SpanNode};
+        let mut summary = sample_summary();
+        let mut counters = std::collections::BTreeMap::new();
+        counters.insert("gossip_sends".to_string(), 64u64);
+        counters.insert("runner_rounds".to_string(), 2u64);
+        summary.perf = Some(PerfSummary {
+            counters,
+            profile: Some(Profile {
+                spans: vec![
+                    SpanNode {
+                        path: "simulate".into(),
+                        count: 1,
+                        total_secs: 2.5,
+                        self_secs: 1.5,
+                        allocs: 0,
+                        alloc_bytes: 0,
+                    },
+                    SpanNode {
+                        path: "simulate/eval".into(),
+                        count: 2,
+                        total_secs: 1.0,
+                        self_secs: 1.0,
+                        allocs: 0,
+                        alloc_bytes: 0,
+                    },
+                ],
+                counters: std::collections::BTreeMap::new(),
+                histogram_edges: vec![1, 2],
+                queue_depth_buckets: vec![0, 0, 0],
+                alloc: AllocTotals::default(),
+                alloc_accounting: false,
+            }),
+        });
+        summary
+    }
+
+    #[test]
+    fn perf_section_renders_counters_and_span_tree() {
+        let md = render_markdown_report(&perf_summary());
+        for needle in [
+            "## Performance (runtime telemetry)",
+            "| `gossip_sends` | 64 |",
+            "| `runner_rounds` | 2 |",
+            "| `simulate` | 1 | 2.500 | 1.500 |",
+            "| `simulate/eval` | 2 | 1.000 | 1.000 |",
+        ] {
+            assert!(md.contains(needle), "missing {needle:?} in:\n{md}");
+        }
+        let prom = render_prometheus(&perf_summary());
+        for needle in [
+            "# TYPE glmia_telemetry_gossip_sends_total counter\nglmia_telemetry_gossip_sends_total 64\n",
+            "glmia_telemetry_runner_rounds_total 2\n",
+            "glmia_telemetry_span_seconds{span=\"simulate\",kind=\"total\"} 2.5\n",
+            "glmia_telemetry_span_seconds{span=\"simulate/eval\",kind=\"self\"} 1\n",
+        ] {
+            assert!(prom.contains(needle), "missing {needle:?} in:\n{prom}");
+        }
+    }
+
+    #[test]
+    fn perf_free_reports_render_no_performance_section() {
+        let md = render_markdown_report(&sample_summary());
+        assert!(!md.contains("## Performance"), "{md}");
+        let prom = render_prometheus(&sample_summary());
+        assert!(!prom.contains("glmia_telemetry_"), "{prom}");
+    }
+
+    /// Exposition-format conformance guard: every sample line belongs to a
+    /// `glmia_`-prefixed family that previously declared `# HELP` and
+    /// `# TYPE`, across every optional section at once.
+    #[test]
+    fn every_prometheus_family_is_prefixed_and_declared() {
+        let mut declared: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        for summary in [
+            sample_summary(),
+            faulty_summary(),
+            threat_summary(),
+            perf_summary(),
+        ] {
+            for line in render_prometheus(&summary).lines() {
+                if let Some(rest) = line.strip_prefix("# HELP ") {
+                    let family = rest.split_whitespace().next().unwrap();
+                    assert!(family.starts_with("glmia_"), "unprefixed family: {line}");
+                    declared.insert(family.to_string());
+                    continue;
+                }
+                if let Some(rest) = line.strip_prefix("# TYPE ") {
+                    let family = rest.split_whitespace().next().unwrap();
+                    assert!(
+                        declared.contains(family),
+                        "TYPE without preceding HELP: {line}"
+                    );
+                    continue;
+                }
+                let name = line.split(['{', ' ']).next().unwrap().to_string();
+                assert!(name.starts_with("glmia_"), "unprefixed metric: {line}");
+                let family = name
+                    .strip_suffix("_bucket")
+                    .or_else(|| name.strip_suffix("_sum"))
+                    .or_else(|| name.strip_suffix("_count"))
+                    .unwrap_or(&name);
+                assert!(
+                    declared.contains(family) || declared.contains(&name),
+                    "sample without HELP/TYPE declaration: {line}"
+                );
+            }
+        }
     }
 }

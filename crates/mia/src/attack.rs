@@ -77,6 +77,7 @@ impl AttackKind {
         let probs = model
             .predict_proba(data.features())
             .map_err(|e| MiaError::new(format!("model/dataset mismatch: {e}")))?;
+        glmia_telemetry::count(glmia_telemetry::Instrument::MiaScores, data.len() as u64);
         Ok(data
             .labels()
             .iter()

@@ -397,8 +397,8 @@ impl<'a> AttackerView<'a> {
 
 /// A membership inference attack run against an [`AttackerView`].
 ///
-/// This is the crate's canonical entry point (replacing the deprecated
-/// free-function API): [`MiaEvaluator`](crate::MiaEvaluator) implements it
+/// This is the crate's canonical entry point:
+/// [`MiaEvaluator`](crate::MiaEvaluator) implements it
 /// for the oracle-threshold family (MPE, entropy, confidence, loss) and
 /// [`TransferAttack`](crate::TransferAttack) for the calibrated-threshold
 /// attack. The trait is object-safe — sweeps can hold `Box<dyn Attack>`

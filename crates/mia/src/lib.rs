@@ -67,9 +67,5 @@ mod transfer;
 pub use attack::{AttackKind, ClassLeakage, MiaEvaluator, MiaResult};
 pub use attacker::{Attack, AttackerModel, AttackerView};
 pub use error::MiaError;
-#[allow(deprecated)]
-pub use mpe::{modified_prediction_entropy, prediction_entropy};
-#[allow(deprecated)]
-pub use threshold::{auc, optimal_threshold, roc_curve};
 pub use threshold::{ScorePools, ThresholdReport};
 pub use transfer::TransferAttack;

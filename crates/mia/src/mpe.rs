@@ -58,28 +58,6 @@ pub(crate) fn entropy_score(probs: &[f32]) -> f64 {
         .sum()
 }
 
-/// The Modified Prediction Entropy of one softmax output (Eq. 3).
-///
-/// # Panics
-///
-/// Panics if `probs` is empty or `label >= probs.len()`.
-#[deprecated(note = "use `AttackKind::Mpe.score(probs, label)` instead")]
-#[must_use]
-pub fn modified_prediction_entropy(probs: &[f32], label: usize) -> f64 {
-    mpe_score(probs, label)
-}
-
-/// Plain prediction entropy `−Σ p·log p` of one softmax output.
-///
-/// # Panics
-///
-/// Panics if `probs` is empty.
-#[deprecated(note = "use `AttackKind::Entropy.score(probs, label)` instead")]
-#[must_use]
-pub fn prediction_entropy(probs: &[f32]) -> f64 {
-    entropy_score(probs)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,15 +123,5 @@ mod tests {
         for probs in [&[1.0f32, 0.0][..], &[0.3, 0.7], &[0.2, 0.2, 0.6]] {
             assert!(entropy_score(probs) >= 0.0);
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_the_internal_scores() {
-        assert_eq!(
-            modified_prediction_entropy(&[0.7, 0.3], 0),
-            mpe_score(&[0.7, 0.3], 0)
-        );
-        assert_eq!(prediction_entropy(&[0.25; 4]), entropy_score(&[0.25; 4]));
     }
 }

@@ -222,42 +222,6 @@ impl<'a> ScorePools<'a> {
     }
 }
 
-/// Accuracy-maximizing threshold over two score pools.
-///
-/// # Errors
-///
-/// Returns [`MiaError`] if either pool is empty or any score is NaN.
-#[deprecated(note = "use `ScorePools::new(members, nonmembers).optimal_threshold()` instead")]
-pub fn optimal_threshold(
-    member_scores: &[f64],
-    nonmember_scores: &[f64],
-) -> Result<ThresholdReport, MiaError> {
-    ScorePools::new(member_scores, nonmember_scores).optimal_threshold()
-}
-
-/// Area under the ROC curve of two score pools.
-///
-/// # Errors
-///
-/// Returns [`MiaError`] if either pool is empty or any score is NaN.
-#[deprecated(note = "use `ScorePools::new(members, nonmembers).auc()` instead")]
-pub fn auc(member_scores: &[f64], nonmember_scores: &[f64]) -> Result<f64, MiaError> {
-    ScorePools::new(member_scores, nonmember_scores).auc()
-}
-
-/// ROC curve of two score pools.
-///
-/// # Errors
-///
-/// Returns [`MiaError`] if either pool is empty or any score is NaN.
-#[deprecated(note = "use `ScorePools::new(members, nonmembers).roc_curve()` instead")]
-pub fn roc_curve(
-    member_scores: &[f64],
-    nonmember_scores: &[f64],
-) -> Result<Vec<(f64, f64)>, MiaError> {
-    ScorePools::new(member_scores, nonmember_scores).roc_curve()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,22 +321,5 @@ mod tests {
         }
         let a = pools.auc().unwrap();
         assert!((a - area).abs() < 1e-12, "auc {a} vs trapezoid {area}");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_the_pools_api() {
-        let members = [0.1, 0.2];
-        let nonmembers = [0.8, 0.9];
-        let pools = ScorePools::new(&members, &nonmembers);
-        assert_eq!(
-            optimal_threshold(&members, &nonmembers).unwrap(),
-            pools.optimal_threshold().unwrap()
-        );
-        assert_eq!(auc(&members, &nonmembers).unwrap(), pools.auc().unwrap());
-        assert_eq!(
-            roc_curve(&members, &nonmembers).unwrap(),
-            pools.roc_curve().unwrap()
-        );
     }
 }

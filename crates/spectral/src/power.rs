@@ -1,5 +1,6 @@
 //! Contraction coefficient of mixing-matrix products by power iteration.
 
+use glmia_telemetry::{count, Instrument};
 use rand::Rng;
 
 use crate::{MixingMatrix, SpectralError};
@@ -199,6 +200,8 @@ fn contraction_core<M: MixingOp>(
     let mut b = vec![0.0; n];
     let mut prev_sigma_sq = f64::INFINITY;
     for _ in 0..opts.max_iters {
+        count(Instrument::SpectralSweeps, 1);
+        count(Instrument::SpectralMatvecs, 2 * ops.len() as u64);
         // a = W* v (apply W⁽¹⁾ first).
         a.copy_from_slice(&v);
         for m in ops {
@@ -387,7 +390,7 @@ mod tests {
     #[test]
     fn one_by_one_matrix_contracts_to_zero() {
         let w = MixingMatrix::from_vec(1, vec![1.0]).unwrap();
-        let sigma = product_contraction(&[w.clone()], opts(), &mut rng(6)).unwrap();
+        let sigma = product_contraction(std::slice::from_ref(&w), opts(), &mut rng(6)).unwrap();
         assert_eq!(sigma, 0.0);
         assert_eq!(product_contraction_seeded(&[w], opts(), 0).unwrap(), 0.0);
     }

@@ -153,6 +153,10 @@ impl SparseMixingMatrix {
             }
             row_ptr.push(col_idx.len());
         }
+        glmia_telemetry::count(
+            glmia_telemetry::Instrument::SpectralNnz,
+            values.len() as u64,
+        );
         Ok(Self {
             n,
             row_ptr,
@@ -178,6 +182,10 @@ impl SparseMixingMatrix {
             }
             row_ptr.push(col_idx.len());
         }
+        glmia_telemetry::count(
+            glmia_telemetry::Instrument::SpectralNnz,
+            values.len() as u64,
+        );
         Self {
             n,
             row_ptr,

@@ -1,0 +1,54 @@
+//! The workspace's single sanctioned wall-clock access point.
+//!
+//! Every other crate is barred from calling `Instant::now` directly — by
+//! clippy's `disallowed_methods` and by the xtask `no-wall-clock` lint,
+//! whose allowlist names exactly this file. Instrumented code asks for a
+//! [`Tick`] instead, which keeps all wall-clock reads funneled through one
+//! audited shim: timings stay observability output only and can never leak
+//! into simulation state.
+//!
+//! [`Tick`] wraps a monotonic [`Instant`], so readings are immune to
+//! system clock adjustments.
+
+use std::time::{Duration, Instant};
+
+/// An opaque monotonic timestamp taken via [`now`].
+#[derive(Debug, Clone, Copy)]
+pub struct Tick(Instant);
+
+/// The current monotonic time.
+///
+/// This is the only place in the workspace allowed to call
+/// `Instant::now`.
+#[must_use]
+#[allow(clippy::disallowed_methods)]
+pub fn now() -> Tick {
+    Tick(Instant::now())
+}
+
+impl Tick {
+    /// Time elapsed since this tick was taken.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+
+    /// Seconds elapsed since this tick was taken.
+    #[must_use]
+    pub fn elapsed_secs(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_are_monotonic_and_elapsed_is_nonnegative() {
+        let a = now();
+        let secs = a.elapsed_secs();
+        assert!(secs >= 0.0);
+        assert!(a.elapsed() >= Duration::ZERO);
+    }
+}

@@ -1,0 +1,176 @@
+//! End-of-run exporters: the `profile.json` payload and process helpers.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::alloc::{self, AllocTotals};
+use crate::registry::{Histogram, Telemetry, HISTOGRAM_EDGES};
+
+/// One node of the span profile: a slash-joined path with its entry
+/// count, total and self wall time, and (when the counting allocator is
+/// installed) attributed heap traffic.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct SpanNode {
+    /// Slash-joined span path, e.g. `simulate/round`.
+    pub path: String,
+    /// Times the span was entered.
+    pub count: u64,
+    /// Total wall seconds (self + children), summed across threads.
+    pub total_secs: f64,
+    /// Wall seconds not attributed to any child span.
+    pub self_secs: f64,
+    /// Heap allocations during the span (0 without `telemetry-alloc`).
+    pub allocs: u64,
+    /// Heap bytes during the span (0 without `telemetry-alloc`).
+    pub alloc_bytes: u64,
+}
+
+/// The `profile.json` document: span tree, counter totals, histogram
+/// buckets and allocation accounting for one run.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Profile {
+    /// Span statistics sorted by path (parents precede children).
+    pub spans: Vec<SpanNode>,
+    /// Final counter totals, name-sorted.
+    pub counters: BTreeMap<String, u64>,
+    /// Upper bucket edges shared by the histograms below.
+    pub histogram_edges: Vec<u64>,
+    /// Scheduler queue-depth histogram (one count per edge + overflow).
+    pub queue_depth_buckets: Vec<u64>,
+    /// Run-level allocation totals (zeros without `telemetry-alloc`).
+    pub alloc: AllocTotals,
+    /// Whether this build compiled the counting allocator in.
+    pub alloc_accounting: bool,
+}
+
+/// Builds the span report from a registry: paths sorted, self time
+/// derived as total minus the sum of direct children.
+#[must_use]
+pub fn span_report(telemetry: &Telemetry) -> Vec<SpanNode> {
+    let spans = telemetry.inner().lock_spans();
+    let mut nodes: Vec<SpanNode> = spans
+        .iter()
+        .map(|(path, stat)| SpanNode {
+            path: path.clone(),
+            count: stat.count,
+            total_secs: stat.total_secs,
+            self_secs: stat.total_secs,
+            allocs: stat.allocs,
+            alloc_bytes: stat.alloc_bytes,
+        })
+        .collect();
+    // BTreeMap iteration is path-sorted already; derive self time by
+    // charging each direct child's total against its parent.
+    let child_totals: Vec<(String, f64)> = spans
+        .iter()
+        .filter_map(|(path, stat)| {
+            path.rsplit_once('/')
+                .map(|(parent, _)| (parent.to_string(), stat.total_secs))
+        })
+        .collect();
+    drop(spans);
+    for (parent, child_total) in child_totals {
+        if let Some(node) = nodes.iter_mut().find(|n| n.path == parent) {
+            node.self_secs = (node.self_secs - child_total).max(0.0);
+        }
+    }
+    nodes
+}
+
+/// Assembles the full `profile.json` payload from a registry.
+#[must_use]
+pub fn profile(telemetry: &Telemetry) -> Profile {
+    Profile {
+        spans: span_report(telemetry),
+        counters: telemetry.counters().to_map(),
+        histogram_edges: HISTOGRAM_EDGES.to_vec(),
+        queue_depth_buckets: telemetry.histogram(Histogram::QueueDepth).to_vec(),
+        alloc: alloc::totals(),
+        alloc_accounting: alloc::accounting_compiled(),
+    }
+}
+
+/// The process's current resident set size in bytes, read from
+/// `/proc/self/statm` (`None` off Linux or when unreadable). This is a
+/// point-in-time OS statistic, not a clock — safe for dashboard display.
+#[must_use]
+pub fn rss_bytes() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let resident_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(resident_pages * 4096)
+}
+
+/// `bytes` rendered with a binary-unit suffix for dashboard lines.
+#[must_use]
+pub fn format_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 4] = ["B", "KiB", "MiB", "GiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{count, observe, Instrument, HISTOGRAM_BUCKETS};
+
+    #[test]
+    fn profile_round_trips_through_json() {
+        let telemetry = Telemetry::new();
+        {
+            let _g = telemetry.enter();
+            count(Instrument::GossipSends, 3);
+            observe(Histogram::QueueDepth, 2);
+            let _span = crate::span("simulate");
+        }
+        let p = profile(&telemetry);
+        assert_eq!(p.counters["gossip_sends"], 3);
+        assert_eq!(p.queue_depth_buckets.len(), HISTOGRAM_BUCKETS);
+        assert_eq!(p.histogram_edges, HISTOGRAM_EDGES.to_vec());
+        let json = serde_json::to_string(&p).expect("profile serializes");
+        let back: Profile = serde_json::from_str(&json).expect("profile deserializes");
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children_only() {
+        let telemetry = Telemetry::new();
+        {
+            let _g = telemetry.enter();
+            let _outer = crate::span("eval");
+            {
+                let _inner = crate::span("mia");
+            }
+        }
+        let report = span_report(&telemetry);
+        let outer = report.iter().find(|n| n.path == "eval").expect("outer");
+        let inner = report.iter().find(|n| n.path == "eval/mia").expect("inner");
+        assert!(outer.total_secs >= inner.total_secs);
+        assert!((outer.self_secs - (outer.total_secs - inner.total_secs)).abs() < 1e-9);
+        assert_eq!(inner.self_secs, inner.total_secs);
+    }
+
+    #[test]
+    fn rss_reads_on_linux() {
+        if cfg!(target_os = "linux") {
+            let rss = rss_bytes().expect("procfs present");
+            assert!(rss > 0);
+        }
+    }
+
+    #[test]
+    fn byte_formatting_scales_units() {
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(2048), "2.0 KiB");
+        assert_eq!(format_bytes(5 * 1024 * 1024), "5.0 MiB");
+    }
+}

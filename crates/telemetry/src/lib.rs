@@ -1,0 +1,42 @@
+//! Runtime telemetry for the glmia workspace.
+//!
+//! Four pieces, all designed around one invariant — *telemetry must never
+//! perturb experiment results*:
+//!
+//! 1. **Metrics registry** ([`Telemetry`], [`Instrument`], [`count`],
+//!    [`gauge_set`], [`observe`]): lock-free counters/gauges/histograms
+//!    recording logical work (messages, matvecs, scores). Instrumented
+//!    crates call free functions that resolve a thread-local handle; when
+//!    none is installed every call is a branch and nothing else, and the
+//!    produced traces are byte-identical to an uninstrumented build.
+//! 2. **Span profiler** ([`span`]): hierarchical wall-time regions
+//!    (`simulate` → `simulate/round` → …) folded into a per-path
+//!    self/total tree, exported via [`profile`] to `profile.json`.
+//! 3. **Allocation accounting** ([`CountingAllocator`], behind the
+//!    `telemetry-alloc` feature): an opt-in counting global allocator that
+//!    attributes allocs/bytes to the active span.
+//! 4. **Clock shim** ([`clock`]): the workspace's only sanctioned
+//!    `Instant::now` call site, enforced by the xtask `no-wall-clock`
+//!    lint's allowlist.
+//!
+//! Determinism contract: counter values are pure functions of the
+//! simulated run and thread-invariant once workers join; wall-clock span
+//! data never enters the byte-compared `telemetry.jsonl`/`events.jsonl`
+//! streams, only `profile.json`.
+
+pub mod clock;
+
+mod alloc;
+mod export;
+mod registry;
+mod spans;
+
+#[cfg(feature = "telemetry-alloc")]
+pub use alloc::CountingAllocator;
+pub use alloc::{accounting_compiled, AllocTotals};
+pub use export::{format_bytes, profile, rss_bytes, span_report, Profile, SpanNode};
+pub use registry::{
+    count, gauge_set, is_active, observe, CounterSnapshot, Gauge, Histogram, Instrument, Telemetry,
+    TelemetryScope, HISTOGRAM_BUCKETS, HISTOGRAM_EDGES,
+};
+pub use spans::{span, SpanGuard};

@@ -1,0 +1,561 @@
+//! The low-overhead metrics registry.
+//!
+//! A [`Telemetry`] handle owns a fixed table of atomic instruments —
+//! monotonic counters, a last/max gauge pair, and fixed-bucket histograms
+//! — shared by every thread that [`enter`](Telemetry::enter)s it. The hot
+//! path is lock-free: recording is one thread-local lookup plus one
+//! relaxed atomic RMW, and when no handle is installed the free functions
+//! cost a thread-local read and a branch.
+//!
+//! Instrumented crates never see the handle. They call the free functions
+//! ([`count`], [`gauge_max`], [`observe`]) which resolve the current
+//! thread's installed handle; the runner installs one scope guard per
+//! participating thread. This keeps instrumentation signature-free: the
+//! gossip engine, the spectral kernels and the attack evaluator need no
+//! telemetry parameter threaded through them.
+//!
+//! Determinism: counters record *logical* work (messages, matvecs,
+//! scores), never wall time, so their totals are a pure function of the
+//! simulated run — identical at any thread count once every worker has
+//! joined. Per-round snapshots drained at round barriers are restricted by
+//! the caller to instruments only touched on the simulation thread, which
+//! makes the periodic stream thread-count invariant too.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use crate::spans::SpanStat;
+
+/// Every named counter instrument, grouped by subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instrument {
+    /// Models handed to the transport by the gossip engine.
+    GossipSends,
+    /// Models delivered to a recipient's buffer or merge path.
+    GossipDelivers,
+    /// Buffered-model merges applied at node wake-ups.
+    GossipMerges,
+    /// Models dropped by failure injection.
+    GossipDrops,
+    /// Sends served from the shared flat-snapshot cache (`Arc` clone).
+    GossipSnapshotHits,
+    /// Sends that had to materialize a fresh flat snapshot.
+    GossipSnapshotMisses,
+    /// Scheduler events processed by the discrete-event loop.
+    RunnerEvents,
+    /// Simulated rounds completed.
+    RunnerRounds,
+    /// Evaluated rounds (attack replays) completed.
+    RunnerEvals,
+    /// Sparse/dense mixing-matrix applications inside power iterations.
+    SpectralMatvecs,
+    /// Power-iteration sweeps (one forward + transpose pass per sweep).
+    SpectralSweeps,
+    /// Nonzeros of mixing matrices materialized for spectral analysis.
+    SpectralNnz,
+    /// Membership-inference scores computed (member + non-member samples).
+    MiaScores,
+    /// Node evaluations served from the pointer-identity eval cache.
+    MiaEvalCacheHits,
+    /// Node evaluations that ran the full attack replay.
+    MiaEvalCacheMisses,
+}
+
+impl Instrument {
+    /// Number of counter instruments.
+    pub const COUNT: usize = 15;
+
+    /// All instruments, in canonical reporting order.
+    pub const ALL: [Instrument; Self::COUNT] = [
+        Instrument::GossipSends,
+        Instrument::GossipDelivers,
+        Instrument::GossipMerges,
+        Instrument::GossipDrops,
+        Instrument::GossipSnapshotHits,
+        Instrument::GossipSnapshotMisses,
+        Instrument::RunnerEvents,
+        Instrument::RunnerRounds,
+        Instrument::RunnerEvals,
+        Instrument::SpectralMatvecs,
+        Instrument::SpectralSweeps,
+        Instrument::SpectralNnz,
+        Instrument::MiaScores,
+        Instrument::MiaEvalCacheHits,
+        Instrument::MiaEvalCacheMisses,
+    ];
+
+    /// Stable snake_case name used in `telemetry.jsonl`, `profile.json`
+    /// and the prometheus exposition (prefixed `glmia_telemetry_` there).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Instrument::GossipSends => "gossip_sends",
+            Instrument::GossipDelivers => "gossip_delivers",
+            Instrument::GossipMerges => "gossip_merges",
+            Instrument::GossipDrops => "gossip_drops",
+            Instrument::GossipSnapshotHits => "gossip_snapshot_hits",
+            Instrument::GossipSnapshotMisses => "gossip_snapshot_misses",
+            Instrument::RunnerEvents => "runner_events",
+            Instrument::RunnerRounds => "runner_rounds",
+            Instrument::RunnerEvals => "runner_evals",
+            Instrument::SpectralMatvecs => "spectral_matvecs",
+            Instrument::SpectralSweeps => "spectral_sweeps",
+            Instrument::SpectralNnz => "spectral_nnz",
+            Instrument::MiaScores => "mia_scores",
+            Instrument::MiaEvalCacheHits => "mia_eval_cache_hits",
+            Instrument::MiaEvalCacheMisses => "mia_eval_cache_misses",
+        }
+    }
+
+    /// One-line help text for the prometheus exposition.
+    #[must_use]
+    pub fn help(self) -> &'static str {
+        match self {
+            Instrument::GossipSends => "Models handed to the transport by the gossip engine",
+            Instrument::GossipDelivers => "Models delivered to a recipient",
+            Instrument::GossipMerges => "Buffered-model merges applied at wake-ups",
+            Instrument::GossipDrops => "Models dropped by failure injection",
+            Instrument::GossipSnapshotHits => "Sends served from the shared snapshot cache",
+            Instrument::GossipSnapshotMisses => "Sends that materialized a fresh snapshot",
+            Instrument::RunnerEvents => "Scheduler events processed",
+            Instrument::RunnerRounds => "Simulated rounds completed",
+            Instrument::RunnerEvals => "Evaluated rounds completed",
+            Instrument::SpectralMatvecs => "Mixing-matrix applications in power iterations",
+            Instrument::SpectralSweeps => "Power-iteration sweeps",
+            Instrument::SpectralNnz => "Nonzeros of materialized mixing matrices",
+            Instrument::MiaScores => "Membership-inference scores computed",
+            Instrument::MiaEvalCacheHits => "Node evaluations served from the eval cache",
+            Instrument::MiaEvalCacheMisses => "Node evaluations that ran the full replay",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Instrument::GossipSends => 0,
+            Instrument::GossipDelivers => 1,
+            Instrument::GossipMerges => 2,
+            Instrument::GossipDrops => 3,
+            Instrument::GossipSnapshotHits => 4,
+            Instrument::GossipSnapshotMisses => 5,
+            Instrument::RunnerEvents => 6,
+            Instrument::RunnerRounds => 7,
+            Instrument::RunnerEvals => 8,
+            Instrument::SpectralMatvecs => 9,
+            Instrument::SpectralSweeps => 10,
+            Instrument::SpectralNnz => 11,
+            Instrument::MiaScores => 12,
+            Instrument::MiaEvalCacheHits => 13,
+            Instrument::MiaEvalCacheMisses => 14,
+        }
+    }
+}
+
+/// Gauge instruments: a last-written value plus a running maximum that the
+/// round barrier can drain and reset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gauge {
+    /// Depth of the discrete-event scheduler queue.
+    QueueDepth,
+}
+
+impl Gauge {
+    /// Number of gauge instruments.
+    pub const COUNT: usize = 1;
+
+    /// Stable snake_case name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::QueueDepth => "queue_depth",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Gauge::QueueDepth => 0,
+        }
+    }
+}
+
+/// Fixed-bucket histogram instruments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Histogram {
+    /// Scheduler queue depth sampled at every processed event.
+    QueueDepth,
+}
+
+impl Histogram {
+    /// Number of histogram instruments.
+    pub const COUNT: usize = 1;
+
+    /// Stable snake_case name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Histogram::QueueDepth => "queue_depth",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Histogram::QueueDepth => 0,
+        }
+    }
+}
+
+/// Upper bucket edges (inclusive) shared by every histogram instrument;
+/// values above the last edge land in an overflow bucket.
+pub const HISTOGRAM_EDGES: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, 256];
+
+/// Buckets per histogram: one per edge plus the overflow bucket.
+pub const HISTOGRAM_BUCKETS: usize = HISTOGRAM_EDGES.len() + 1;
+
+fn bucket_of(value: u64) -> usize {
+    HISTOGRAM_EDGES
+        .iter()
+        .position(|&edge| value <= edge)
+        .unwrap_or(HISTOGRAM_EDGES.len())
+}
+
+/// The shared instrument table behind a [`Telemetry`] handle.
+pub(crate) struct Inner {
+    counters: [AtomicU64; Instrument::COUNT],
+    gauge_last: [AtomicU64; Gauge::COUNT],
+    gauge_max: [AtomicU64; Gauge::COUNT],
+    histograms: [[AtomicU64; HISTOGRAM_BUCKETS]; Histogram::COUNT],
+    pub(crate) spans: Mutex<BTreeMap<String, SpanStat>>,
+}
+
+impl Inner {
+    /// Locks the span table, recovering from poison: span statistics are
+    /// plain accumulators, so a panicked recorder leaves them merely
+    /// incomplete, never inconsistent.
+    pub(crate) fn lock_spans(&self) -> MutexGuard<'_, BTreeMap<String, SpanStat>> {
+        self.spans.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn new() -> Self {
+        Self {
+            counters: [const { AtomicU64::new(0) }; Instrument::COUNT],
+            gauge_last: [const { AtomicU64::new(0) }; Gauge::COUNT],
+            gauge_max: [const { AtomicU64::new(0) }; Gauge::COUNT],
+            histograms: [[const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS]; Histogram::COUNT],
+            spans: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
+thread_local! {
+    pub(crate) static CURRENT: RefCell<Option<Arc<Inner>>> = const { RefCell::new(None) };
+}
+
+/// Adds `n` to `instrument` on the current thread's installed handle;
+/// no-op when telemetry is off.
+#[inline]
+pub fn count(instrument: Instrument, n: u64) {
+    CURRENT.with(|current| {
+        if let Some(inner) = current.borrow().as_deref() {
+            inner.counters[instrument.index()].fetch_add(n, Ordering::Relaxed);
+        }
+    });
+}
+
+/// Records `value` on `gauge` (last value + running maximum); no-op when
+/// telemetry is off.
+#[inline]
+pub fn gauge_set(gauge: Gauge, value: u64) {
+    CURRENT.with(|current| {
+        if let Some(inner) = current.borrow().as_deref() {
+            inner.gauge_last[gauge.index()].store(value, Ordering::Relaxed);
+            inner.gauge_max[gauge.index()].fetch_max(value, Ordering::Relaxed);
+        }
+    });
+}
+
+/// Adds an observation to `histogram`'s fixed buckets; no-op when
+/// telemetry is off.
+#[inline]
+pub fn observe(histogram: Histogram, value: u64) {
+    CURRENT.with(|current| {
+        if let Some(inner) = current.borrow().as_deref() {
+            inner.histograms[histogram.index()][bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        }
+    });
+}
+
+/// Whether a telemetry handle is installed on the current thread.
+#[must_use]
+pub fn is_active() -> bool {
+    CURRENT.with(|current| current.borrow().is_some())
+}
+
+/// A point-in-time reading of every counter instrument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSnapshot {
+    values: [u64; Instrument::COUNT],
+}
+
+impl CounterSnapshot {
+    /// The snapshot's value for `instrument`.
+    #[must_use]
+    pub fn get(&self, instrument: Instrument) -> u64 {
+        self.values[instrument.index()]
+    }
+
+    /// Per-instrument difference `self - earlier` (saturating).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        let mut values = [0u64; Instrument::COUNT];
+        for (i, slot) in values.iter_mut().enumerate() {
+            *slot = self.values[i].saturating_sub(earlier.values[i]);
+        }
+        CounterSnapshot { values }
+    }
+
+    /// `(name, value)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (Instrument, u64)> + '_ {
+        Instrument::ALL.iter().map(move |&i| (i, self.get(i)))
+    }
+
+    /// The snapshot as a name-keyed sorted map.
+    #[must_use]
+    pub fn to_map(&self) -> BTreeMap<String, u64> {
+        self.iter()
+            .map(|(i, v)| (i.name().to_string(), v))
+            .collect()
+    }
+}
+
+/// A shared, cloneable telemetry registry.
+///
+/// Cloning is cheap (`Arc`); every clone records into the same instrument
+/// table. Install it on a thread with [`enter`](Telemetry::enter).
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Arc<Inner>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry").finish_non_exhaustive()
+    }
+}
+
+impl Telemetry {
+    /// A fresh registry with every instrument at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner::new()),
+        }
+    }
+
+    /// Installs this registry as the current thread's recording target
+    /// until the returned guard drops. Guards nest; the previous target is
+    /// restored on drop. The guard must stay on the thread that created it
+    /// (it is `!Send` by construction).
+    #[must_use]
+    pub fn enter(&self) -> TelemetryScope {
+        let prev = CURRENT.with(|current| current.borrow_mut().replace(Arc::clone(&self.inner)));
+        TelemetryScope {
+            prev,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// The handle installed on the current thread, if any. Lets code that
+    /// spawns workers re-enter the caller's registry inside each worker
+    /// without plumbing a handle through every call signature.
+    #[must_use]
+    pub fn current() -> Option<Self> {
+        CURRENT.with(|current| {
+            current.borrow().as_ref().map(|inner| Self {
+                inner: Arc::clone(inner),
+            })
+        })
+    }
+
+    /// Reads every counter at once.
+    #[must_use]
+    pub fn counters(&self) -> CounterSnapshot {
+        let mut values = [0u64; Instrument::COUNT];
+        for (i, slot) in values.iter_mut().enumerate() {
+            *slot = self.inner.counters[i].load(Ordering::Relaxed);
+        }
+        CounterSnapshot { values }
+    }
+
+    /// A single counter's current value.
+    #[must_use]
+    pub fn counter(&self, instrument: Instrument) -> u64 {
+        self.inner.counters[instrument.index()].load(Ordering::Relaxed)
+    }
+
+    /// The gauge's last-written value.
+    #[must_use]
+    pub fn gauge(&self, gauge: Gauge) -> u64 {
+        self.inner.gauge_last[gauge.index()].load(Ordering::Relaxed)
+    }
+
+    /// Drains the gauge's running maximum, resetting it to zero — the
+    /// round barrier's per-round high-water read.
+    #[must_use]
+    pub fn take_gauge_max(&self, gauge: Gauge) -> u64 {
+        self.inner.gauge_max[gauge.index()].swap(0, Ordering::Relaxed)
+    }
+
+    /// The histogram's bucket counts (one per [`HISTOGRAM_EDGES`] entry
+    /// plus the overflow bucket).
+    #[must_use]
+    pub fn histogram(&self, histogram: Histogram) -> [u64; HISTOGRAM_BUCKETS] {
+        let mut out = [0u64; HISTOGRAM_BUCKETS];
+        for (slot, bucket) in out
+            .iter_mut()
+            .zip(&self.inner.histograms[histogram.index()])
+        {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    pub(crate) fn inner(&self) -> &Arc<Inner> {
+        &self.inner
+    }
+}
+
+/// Guard returned by [`Telemetry::enter`]; restores the thread's previous
+/// recording target on drop.
+pub struct TelemetryScope {
+    prev: Option<Arc<Inner>>,
+    // Keeps the guard on its creating thread: restoring the previous
+    // handle on a different thread would corrupt both threads' state.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for TelemetryScope {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CURRENT.with(|current| *current.borrow_mut() = prev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_functions_are_inert_without_a_handle() {
+        assert!(!is_active());
+        count(Instrument::GossipSends, 5);
+        gauge_set(Gauge::QueueDepth, 9);
+        observe(Histogram::QueueDepth, 3);
+        // Nothing to assert against — the point is no panic and no state.
+        assert!(!is_active());
+    }
+
+    #[test]
+    fn counts_land_on_the_entered_handle() {
+        let telemetry = Telemetry::new();
+        {
+            let _guard = telemetry.enter();
+            assert!(is_active());
+            count(Instrument::GossipSends, 2);
+            count(Instrument::GossipSends, 3);
+            count(Instrument::MiaScores, 7);
+        }
+        assert!(!is_active());
+        assert_eq!(telemetry.counter(Instrument::GossipSends), 5);
+        assert_eq!(telemetry.counter(Instrument::MiaScores), 7);
+        assert_eq!(telemetry.counter(Instrument::GossipDrops), 0);
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let outer = Telemetry::new();
+        let inner = Telemetry::new();
+        let _o = outer.enter();
+        {
+            let _i = inner.enter();
+            count(Instrument::RunnerRounds, 1);
+        }
+        count(Instrument::RunnerRounds, 10);
+        assert_eq!(inner.counter(Instrument::RunnerRounds), 1);
+        assert_eq!(outer.counter(Instrument::RunnerRounds), 10);
+    }
+
+    #[test]
+    fn deltas_subtract_snapshots() {
+        let telemetry = Telemetry::new();
+        let _g = telemetry.enter();
+        count(Instrument::GossipSends, 4);
+        let before = telemetry.counters();
+        count(Instrument::GossipSends, 6);
+        let delta = telemetry.counters().delta_since(&before);
+        assert_eq!(delta.get(Instrument::GossipSends), 6);
+        assert_eq!(delta.get(Instrument::GossipMerges), 0);
+    }
+
+    #[test]
+    fn gauge_max_drains_to_zero() {
+        let telemetry = Telemetry::new();
+        let _g = telemetry.enter();
+        gauge_set(Gauge::QueueDepth, 3);
+        gauge_set(Gauge::QueueDepth, 11);
+        gauge_set(Gauge::QueueDepth, 5);
+        assert_eq!(telemetry.gauge(Gauge::QueueDepth), 5);
+        assert_eq!(telemetry.take_gauge_max(Gauge::QueueDepth), 11);
+        assert_eq!(telemetry.take_gauge_max(Gauge::QueueDepth), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_free_and_fixed() {
+        let telemetry = Telemetry::new();
+        let _g = telemetry.enter();
+        observe(Histogram::QueueDepth, 0); // <= 1
+        observe(Histogram::QueueDepth, 1); // <= 1
+        observe(Histogram::QueueDepth, 2); // <= 2
+        observe(Histogram::QueueDepth, 1000); // overflow
+        let buckets = telemetry.histogram(Histogram::QueueDepth);
+        assert_eq!(buckets[0], 2);
+        assert_eq!(buckets[1], 1);
+        assert_eq!(buckets[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(buckets.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn cross_thread_totals_sum_once_joined() {
+        let telemetry = Telemetry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let handle = telemetry.clone();
+                scope.spawn(move || {
+                    let _g = handle.enter();
+                    for _ in 0..1000 {
+                        count(Instrument::SpectralMatvecs, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(telemetry.counter(Instrument::SpectralMatvecs), 4000);
+    }
+
+    #[test]
+    fn snapshot_map_is_name_sorted_and_complete() {
+        let telemetry = Telemetry::new();
+        let map = telemetry.counters().to_map();
+        assert_eq!(map.len(), Instrument::COUNT);
+        let names: Vec<&str> = map.keys().map(String::as_str).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+}

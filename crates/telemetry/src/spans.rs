@@ -1,0 +1,154 @@
+//! The hierarchical span profiler.
+//!
+//! `span("round")` opens a region charged to the current thread's span
+//! stack; nested spans build slash-joined paths (`simulate/round/…`).
+//! When the guard drops, the elapsed wall time (read through the
+//! [`clock`](crate::clock) shim) is folded into the installed
+//! [`Telemetry`](crate::Telemetry) handle's span table. With no handle
+//! installed a span is a no-op that never touches the clock.
+//!
+//! Span timings are wall-clock and therefore *not* deterministic; they are
+//! exported only through `profile.json`, never through the byte-identity
+//! checked `telemetry.jsonl` / `events.jsonl` streams.
+//!
+//! Each thread has its own stack, so concurrently profiled threads fold
+//! into the same path table without interleaving; the per-path totals are
+//! busy time summed across threads.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::clock::{self, Tick};
+use crate::registry::{Inner, CURRENT};
+
+/// Accumulated statistics for one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct SpanStat {
+    /// Times the span was entered.
+    pub count: u64,
+    /// Total wall seconds across all entries (self + children).
+    pub total_secs: f64,
+    /// Heap allocations attributed to the span (0 unless the
+    /// `telemetry-alloc` counting allocator is installed).
+    pub allocs: u64,
+    /// Heap bytes attributed to the span.
+    pub alloc_bytes: u64,
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Opens a profiling span named `name` on the current thread.
+///
+/// Drop the returned guard to close the span; guards must drop in LIFO
+/// order (the natural result of holding them in scope). Returns an inert
+/// guard when no telemetry handle is installed.
+#[must_use]
+pub fn span(name: &'static str) -> SpanGuard {
+    let inner = CURRENT.with(|current| current.borrow().as_ref().map(Arc::clone));
+    let Some(inner) = inner else {
+        return SpanGuard { active: None };
+    };
+    let path = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        stack.push(name);
+        stack.join("/")
+    });
+    let alloc_mark = crate::alloc::mark();
+    SpanGuard {
+        active: Some(ActiveSpan {
+            inner,
+            path,
+            start: clock::now(),
+            alloc_mark,
+        }),
+    }
+}
+
+struct ActiveSpan {
+    inner: Arc<Inner>,
+    path: String,
+    start: Tick,
+    alloc_mark: (u64, u64),
+}
+
+/// Guard for an open span; folds elapsed time into the registry on drop.
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let secs = active.start.elapsed_secs();
+        let (allocs, alloc_bytes) = crate::alloc::since(active.alloc_mark);
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        let mut spans = active.inner.lock_spans();
+        let stat = spans.entry(active.path).or_default();
+        stat.count += 1;
+        stat.total_secs += secs;
+        stat.allocs += allocs;
+        stat.alloc_bytes += alloc_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    #[test]
+    fn spans_are_inert_without_a_handle() {
+        let guard = span("orphan");
+        drop(guard);
+        SPAN_STACK.with(|stack| assert!(stack.borrow().is_empty()));
+    }
+
+    #[test]
+    fn nested_spans_build_slash_paths() {
+        let telemetry = Telemetry::new();
+        {
+            let _g = telemetry.enter();
+            let _outer = span("simulate");
+            {
+                let _inner = span("round");
+            }
+            {
+                let _inner = span("round");
+            }
+        }
+        let report = crate::export::span_report(&telemetry);
+        let paths: Vec<&str> = report.iter().map(|n| n.path.as_str()).collect();
+        assert_eq!(paths, ["simulate", "simulate/round"]);
+        let round = &report[1];
+        assert_eq!(round.count, 2);
+        assert!(round.total_secs >= 0.0);
+        let outer = &report[0];
+        assert_eq!(outer.count, 1);
+        assert!(outer.total_secs >= round.total_secs);
+        // Self time excludes the nested rounds.
+        assert!(outer.self_secs <= outer.total_secs);
+    }
+
+    #[test]
+    fn sibling_spans_do_not_nest() {
+        let telemetry = Telemetry::new();
+        {
+            let _g = telemetry.enter();
+            {
+                let _a = span("partition");
+            }
+            {
+                let _b = span("topology");
+            }
+        }
+        let report = crate::export::span_report(&telemetry);
+        let paths: Vec<&str> = report.iter().map(|n| n.path.as_str()).collect();
+        assert_eq!(paths, ["partition", "topology"]);
+    }
+}

@@ -18,8 +18,53 @@ use std::collections::BTreeMap;
 
 use serde::Serialize;
 
+use glmia_telemetry::Profile;
+
 use crate::events::{FaultRecordKind, HeaderRecord, TraceEvent, HIST_BUCKETS, STALENESS_EDGES};
 use crate::manifest::Totals;
+
+/// Performance aggregates attached to a summary when the run carried
+/// telemetry (a `telemetry.jsonl` side-stream and, usually, a
+/// `profile.json`). The counter totals inherit the side-stream's
+/// determinism guarantee; the span profile carries wall-clock seconds and
+/// does **not** — summaries of telemetry-on runs are reproducible in
+/// every field except `perf.profile`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PerfSummary {
+    /// Final value of every instrument, name-sorted (from the telemetry
+    /// side-stream's totals line).
+    pub counters: BTreeMap<String, u64>,
+    /// Span tree, allocation accounting and histograms from
+    /// `profile.json`; absent when only the side-stream was found.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub profile: Option<Profile>,
+}
+
+impl PerfSummary {
+    /// Rebuilds the performance aggregates from a trace directory's
+    /// telemetry artifacts: the `telemetry.jsonl` side-stream (its totals
+    /// line supplies the counters) and, optionally, `profile.json`.
+    ///
+    /// The side-stream is best-effort by design — a malformed or
+    /// totals-free stream yields `None` and the summary simply omits its
+    /// Performance section, mirroring a telemetry-off run.
+    #[must_use]
+    pub fn from_artifacts(telemetry_jsonl: &str, profile_json: Option<&str>) -> Option<Self> {
+        let mut counters: Option<BTreeMap<String, u64>> = None;
+        for line in telemetry_jsonl.lines().filter(|l| !l.trim().is_empty()) {
+            match serde_json::from_str::<crate::events::TelemetryEvent>(line) {
+                Ok(crate::events::TelemetryEvent::TelemetryTotals(totals)) => {
+                    counters = Some(totals.counters);
+                }
+                Ok(_) => {}
+                Err(_) => return None,
+            }
+        }
+        let counters = counters?;
+        let profile = profile_json.and_then(|json| serde_json::from_str::<Profile>(json).ok());
+        Some(Self { counters, profile })
+    }
+}
 
 /// One fixed histogram bucket: cumulative-style upper edge (inclusive) and
 /// the count that landed in the bucket. `le: None` is the overflow
@@ -235,6 +280,10 @@ pub struct RunSummary {
     pub rounds: Vec<RoundSummary>,
     /// Per-node evaluation series, ascending node order.
     pub nodes: Vec<NodeSeries>,
+    /// Performance aggregates (omitted for telemetry-off runs, keeping
+    /// their `summary.json` bytes unchanged).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub perf: Option<PerfSummary>,
 }
 
 #[derive(Default, Clone, Copy)]
@@ -511,6 +560,7 @@ impl RunSummary {
             staleness: HistogramSummary::build(staleness, staleness_values, staleness_sum),
             rounds: round_summaries,
             nodes: node_series,
+            perf: None,
         }
     }
 

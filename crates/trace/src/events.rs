@@ -16,6 +16,8 @@
 //! and seed, so same-seed reruns produce byte-identical JSONL. Timings
 //! live in the run manifest instead (see [`crate::Manifest`]).
 
+use std::collections::BTreeMap;
+
 use serde::{Deserialize, Serialize};
 
 /// Version of the JSONL trace schema; bump on any incompatible change to
@@ -39,6 +41,18 @@ pub const FAULT_SCHEMA_VERSION: u32 = 3;
 /// threat record and keep their schema-2 (or, with faults, schema-3) bytes
 /// unchanged; readers accept all three versions.
 pub const THREAT_SCHEMA_VERSION: u32 = 4;
+
+/// Schema version of the telemetry side-stream (`telemetry.jsonl`).
+///
+/// Telemetry records live in their **own file** next to `events.jsonl`,
+/// never inside it: runs with telemetry disabled write no telemetry file
+/// and keep their `events.jsonl` bytes — and declared schema — unchanged.
+/// The side-stream is deterministic by construction: per-round records
+/// drain only simulation-thread counters (commutative sums at round
+/// barriers), so same-seed reruns emit byte-identical `telemetry.jsonl`
+/// at any thread count. Wall-clock span timings go to `profile.json`
+/// instead, which carries no determinism guarantee.
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 5;
 
 /// Number of buckets in the fan-in and staleness histograms.
 pub const HIST_BUCKETS: usize = 9;
@@ -247,6 +261,72 @@ pub struct EvalRecord {
     pub gen_error: f64,
 }
 
+/// One line of the `telemetry.jsonl` side-stream (schema
+/// [`TELEMETRY_SCHEMA_VERSION`]): a header, per-round counter deltas, and
+/// one end-of-run totals line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type")]
+pub enum TelemetryEvent {
+    /// First line: schema version and run identity.
+    TelemetryHeader(TelemetryHeaderRecord),
+    /// Per-round deltas of the simulation-thread instruments.
+    TelemetryRound(TelemetryRoundRecord),
+    /// Final line: run-wide totals of every instrument (including the
+    /// worker-thread ones that cannot be attributed to a round
+    /// deterministically).
+    TelemetryTotals(TelemetryTotalsRecord),
+}
+
+/// Identity line of a telemetry side-stream; mirrors [`HeaderRecord`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetryHeaderRecord {
+    /// Telemetry schema version ([`TELEMETRY_SCHEMA_VERSION`]).
+    pub schema: u32,
+    /// Experiment label.
+    pub label: String,
+    /// FNV-1a-64 of the config's canonical JSON, zero-padded hex.
+    pub config_hash: String,
+}
+
+/// Deltas of the simulation-thread instruments over one round. Only
+/// counters incremented on the simulation thread appear here — they are
+/// exact per-round values regardless of how many evaluation workers run,
+/// which is what keeps the side-stream byte-identical across thread
+/// counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetryRoundRecord {
+    /// Experiment seed this round belongs to.
+    pub seed: u64,
+    /// 1-based round index.
+    pub round: usize,
+    /// Gossip sends this round.
+    pub sends: u64,
+    /// Gossip deliveries this round.
+    pub delivers: u64,
+    /// Merge operations this round.
+    pub merges: u64,
+    /// Messages dropped this round.
+    pub drops: u64,
+    /// Flat-snapshot cache hits this round.
+    pub snapshot_hits: u64,
+    /// Flat-snapshot cache misses this round.
+    pub snapshot_misses: u64,
+    /// Engine events processed this round.
+    pub events: u64,
+    /// Maximum scheduler queue depth observed this round.
+    pub queue_depth_max: u64,
+}
+
+/// Run-wide final totals of every instrument, name-keyed. Includes
+/// worker-thread instruments (MIA scores, eval-cache hits, spectral
+/// matvecs): their totals are commutative atomic sums, so they are
+/// thread-count-invariant even though per-round attribution is not.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetryTotalsRecord {
+    /// Final value of every instrument, in name order.
+    pub counters: BTreeMap<String, u64>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,6 +435,45 @@ mod tests {
         for event in [with_defense, without_defense] {
             let line = serde_json::to_string(&event).unwrap();
             let back: TraceEvent = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, event);
+        }
+    }
+
+    #[test]
+    fn telemetry_events_serialize_deterministically_and_round_trip() {
+        let round = TelemetryEvent::TelemetryRound(TelemetryRoundRecord {
+            seed: 7,
+            round: 2,
+            sends: 12,
+            delivers: 11,
+            merges: 9,
+            drops: 1,
+            snapshot_hits: 30,
+            snapshot_misses: 12,
+            events: 44,
+            queue_depth_max: 5,
+        });
+        let line = serde_json::to_string(&round).unwrap();
+        assert_eq!(
+            line,
+            "{\"type\":\"TelemetryRound\",\"seed\":7,\"round\":2,\"sends\":12,\
+             \"delivers\":11,\"merges\":9,\"drops\":1,\"snapshot_hits\":30,\
+             \"snapshot_misses\":12,\"events\":44,\"queue_depth_max\":5}"
+        );
+        let totals = TelemetryEvent::TelemetryTotals(TelemetryTotalsRecord {
+            counters: [("gossip_sends".to_string(), 12u64)].into_iter().collect(),
+        });
+        let header = TelemetryEvent::TelemetryHeader(TelemetryHeaderRecord {
+            schema: TELEMETRY_SCHEMA_VERSION,
+            label: "quick".into(),
+            config_hash: "0000000000000001".into(),
+        });
+        assert!(serde_json::to_string(&header)
+            .unwrap()
+            .contains("\"schema\":5"));
+        for event in [round, totals, header] {
+            let line = serde_json::to_string(&event).unwrap();
+            let back: TelemetryEvent = serde_json::from_str(&line).unwrap();
             assert_eq!(back, event);
         }
     }

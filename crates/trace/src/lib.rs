@@ -19,7 +19,11 @@
 //! * [`RunSummary`] — per-round aggregates derived from a replayed event
 //!   stream (message counts, histograms with deterministic quantiles,
 //!   MIA/accuracy time series, empirical λ₂);
-//! * [`ProgressObserver`] — a stderr heartbeat for long interactive runs.
+//! * [`ProgressObserver`] — a stderr live dashboard for long interactive
+//!   runs (rounds/s, events/s, ETA, RSS);
+//! * [`TelemetryObserver`] — drains the telemetry metrics registry at
+//!   round barriers into the deterministic `telemetry.jsonl` side-stream
+//!   (schema [`TELEMETRY_SCHEMA_VERSION`]).
 //!
 //! # Determinism contract
 //!
@@ -71,24 +75,31 @@ mod phase;
 mod progress;
 mod reader;
 mod recorder;
+mod telemetry;
 mod writer;
 
 pub use derive::{
-    EvalSummary, FaultSummary, HistogramBucket, HistogramSummary, NodeSeries, RoundSummary,
-    RunSummary, ThreatSummary, TopologySummary,
+    EvalSummary, FaultSummary, HistogramBucket, HistogramSummary, NodeSeries, PerfSummary,
+    RoundSummary, RunSummary, ThreatSummary, TopologySummary,
 };
 pub use events::{
     EvalRecord, FaultRecord, FaultRecordKind, HeaderRecord, MixingRecord, NodeEvalRecord,
-    RoundRecord, ThreatRecord, TopologyRecord, TraceEvent, FAULT_SCHEMA_VERSION, HIST_BUCKETS,
-    SCHEMA_VERSION, STALENESS_EDGES, THREAT_SCHEMA_VERSION,
+    RoundRecord, TelemetryEvent, TelemetryHeaderRecord, TelemetryRoundRecord,
+    TelemetryTotalsRecord, ThreatRecord, TopologyRecord, TraceEvent, FAULT_SCHEMA_VERSION,
+    HIST_BUCKETS, SCHEMA_VERSION, STALENESS_EDGES, TELEMETRY_SCHEMA_VERSION, THREAT_SCHEMA_VERSION,
 };
 pub use manifest::{fnv1a, git_describe, git_describe_in, Manifest, PhaseEntry, Totals};
 pub use phase::{Phase, PhaseTimings};
 pub use progress::ProgressObserver;
 pub use reader::{read_trace, TraceReadError, TraceReader};
 pub use recorder::{RoundCounters, TraceRecorder};
+pub use telemetry::TelemetryObserver;
 pub use writer::TraceWriter;
+// Re-exported so summary/report consumers can name the profile types
+// without depending on glmia-telemetry directly.
+pub use glmia_telemetry::{AllocTotals, Profile, SpanNode};
 
+use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 
@@ -111,6 +122,9 @@ pub struct RunTrace {
     phases: PhaseTimings,
     totals: Totals,
     wall_secs: f64,
+    telemetry_rounds: Vec<TelemetryRoundRecord>,
+    telemetry_totals: Option<TelemetryTotalsRecord>,
+    profile: Option<Profile>,
 }
 
 impl RunTrace {
@@ -126,6 +140,9 @@ impl RunTrace {
             phases: PhaseTimings::new(),
             totals: Totals::default(),
             wall_secs: 0.0,
+            telemetry_rounds: Vec::new(),
+            telemetry_totals: None,
+            profile: None,
         }
     }
 
@@ -294,9 +311,43 @@ impl RunTrace {
         self.totals.evals += evals.len() as u64;
     }
 
+    /// Appends one seed's per-round telemetry records (restamped with
+    /// `seed`), in the same ascending-seed discipline as
+    /// [`add_seed_run_full`](RunTrace::add_seed_run_full).
+    pub fn add_seed_telemetry(&mut self, seed: u64, rounds: Vec<TelemetryRoundRecord>) {
+        self.telemetry_rounds
+            .extend(rounds.into_iter().map(|mut r| {
+                r.seed = seed;
+                r
+            }));
+    }
+
+    /// Records the run-wide final counter totals for the telemetry
+    /// side-stream's closing line.
+    pub fn set_telemetry_totals(&mut self, counters: BTreeMap<String, u64>) {
+        self.telemetry_totals = Some(TelemetryTotalsRecord { counters });
+    }
+
+    /// Attaches the end-of-run span/alloc profile (written as
+    /// `profile.json`; wall-clock timings, so excluded from every
+    /// byte-identity guarantee).
+    pub fn set_profile(&mut self, profile: Profile) {
+        self.profile = Some(profile);
+    }
+
+    /// The attached profile, if any.
+    pub fn profile(&self) -> Option<&Profile> {
+        self.profile.as_ref()
+    }
+
+    /// Whether this trace carries any telemetry payload.
+    pub fn has_telemetry(&self) -> bool {
+        !self.telemetry_rounds.is_empty() || self.telemetry_totals.is_some()
+    }
+
     /// Folds `other` into `self`: events are appended in `other`'s order,
-    /// totals and phase timings are summed. Callers merge in ascending
-    /// seed order to keep the stream deterministic.
+    /// totals, phase timings and telemetry payloads are summed. Callers
+    /// merge in ascending seed order to keep the stream deterministic.
     pub fn merge(&mut self, other: RunTrace) {
         self.seeds.extend(other.seeds);
         self.events.extend(other.events);
@@ -306,6 +357,20 @@ impl RunTrace {
         self.totals.messages_sent += other.totals.messages_sent;
         self.totals.messages_dropped += other.totals.messages_dropped;
         self.totals.local_updates += other.totals.local_updates;
+        self.telemetry_rounds.extend(other.telemetry_rounds);
+        if let Some(theirs) = other.telemetry_totals {
+            let ours = self
+                .telemetry_totals
+                .get_or_insert_with(|| TelemetryTotalsRecord {
+                    counters: BTreeMap::new(),
+                });
+            for (name, value) in theirs.counters {
+                *ours.counters.entry(name).or_insert(0) += value;
+            }
+        }
+        if self.profile.is_none() {
+            self.profile = other.profile;
+        }
     }
 
     /// The schema version this trace declares: [`THREAT_SCHEMA_VERSION`]
@@ -354,6 +419,45 @@ impl RunTrace {
         out
     }
 
+    /// The telemetry side-stream (`telemetry.jsonl`): header, per-round
+    /// counter deltas, and the final totals line. `None` when the run
+    /// carried no telemetry, so telemetry-off runs write no file at all.
+    /// Byte-identical across same-seed reruns at any thread count — the
+    /// per-round records drain only simulation-thread counters and the
+    /// totals are commutative sums.
+    pub fn telemetry_jsonl(&self) -> Option<String> {
+        if !self.has_telemetry() {
+            return None;
+        }
+        let mut out = String::new();
+        let mut push = |event: &TelemetryEvent| {
+            out.push_str(&serde_json::to_string(event).expect("telemetry record serialization"));
+            out.push('\n');
+        };
+        push(&TelemetryEvent::TelemetryHeader(TelemetryHeaderRecord {
+            schema: TELEMETRY_SCHEMA_VERSION,
+            label: self.label.clone(),
+            config_hash: self.config_hash_hex(),
+        }));
+        for record in &self.telemetry_rounds {
+            push(&TelemetryEvent::TelemetryRound(*record));
+        }
+        if let Some(totals) = &self.telemetry_totals {
+            push(&TelemetryEvent::TelemetryTotals(totals.clone()));
+        }
+        Some(out)
+    }
+
+    /// Pretty-printed `profile.json` contents (`None` when no profile is
+    /// attached).
+    pub fn profile_json(&self) -> Option<String> {
+        self.profile.as_ref().map(|p| {
+            let mut out = serde_json::to_string_pretty(p).expect("profile serialization");
+            out.push('\n');
+            out
+        })
+    }
+
     /// The end-of-run manifest (stamps the current git revision; marked
     /// complete — partial manifests come from [`TraceWriter`]).
     pub fn manifest(&self) -> Manifest {
@@ -380,12 +484,20 @@ impl RunTrace {
     }
 
     /// Writes `events.jsonl` and `manifest.json` under `dir` (created if
-    /// missing).
+    /// missing), plus `telemetry.jsonl` and `profile.json` when the run
+    /// carried telemetry. Telemetry-off runs emit exactly the historical
+    /// two files.
     pub fn write_to_dir(&self, dir: impl AsRef<Path>) -> io::Result<()> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
         std::fs::write(dir.join("events.jsonl"), self.events_jsonl())?;
         std::fs::write(dir.join("manifest.json"), self.manifest_json())?;
+        if let Some(telemetry) = self.telemetry_jsonl() {
+            std::fs::write(dir.join("telemetry.jsonl"), telemetry)?;
+        }
+        if let Some(profile) = self.profile_json() {
+            std::fs::write(dir.join("profile.json"), profile)?;
+        }
         Ok(())
     }
 }

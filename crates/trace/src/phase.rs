@@ -1,22 +1,17 @@
 //! Monotonic phase timers.
 //!
 //! An experiment run decomposes into a fixed set of [`Phase`]s; a
-//! [`PhaseTimings`] accumulates wall-clock seconds per phase via
-//! [`Instant`](std::time::Instant) (monotonic — immune to clock
-//! adjustments). Timings are *observability output only*: they are
-//! reported in the run manifest and never fed back into the simulation,
-//! so they cannot perturb experiment numbers.
+//! [`PhaseTimings`] accumulates wall-clock seconds per phase via the
+//! telemetry clock shim ([`glmia_telemetry::clock`] — monotonic, immune
+//! to clock adjustments). Timings are *observability output only*: they
+//! are reported in the run manifest and never fed back into the
+//! simulation, so they cannot perturb experiment numbers.
 //!
 //! Under the pipelined runner, `Simulate` and `Eval` overlap in wall
 //! time; per-phase seconds measure each phase's own busy time and may sum
 //! to more than the run's wall-clock.
 
-// This module is the sanctioned wall-clock consumer (lint.toml
-// `no-wall-clock` allowlist); the workspace otherwise disallows
-// `Instant::now` via clippy.toml.
-#![allow(clippy::disallowed_methods)]
-
-use std::time::Instant;
+use glmia_telemetry::clock;
 
 /// A stage of an experiment run, in execution order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -89,9 +84,9 @@ impl PhaseTimings {
 
     /// Runs `f`, charging its wall-clock duration to `phase`.
     pub fn time<T>(&mut self, phase: Phase, f: impl FnOnce() -> T) -> T {
-        let start = Instant::now();
+        let start = clock::now();
         let out = f();
-        self.add(phase, start.elapsed().as_secs_f64());
+        self.add(phase, start.elapsed_secs());
         out
     }
 

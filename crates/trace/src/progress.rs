@@ -1,63 +1,68 @@
 //! A stderr heartbeat for long interactive runs.
 
-// The heartbeat's whole purpose is wall time (lint.toml `no-wall-clock`
-// allowlist); the workspace otherwise disallows `Instant::now` via
-// clippy.toml.
-#![allow(clippy::disallowed_methods)]
-
 use std::io::{IsTerminal, Write};
-use std::time::{Duration, Instant};
 
-use glmia_gossip::{RoundSnapshot, SimObserver};
+use glmia_telemetry::clock::{self, Tick};
+use glmia_telemetry::{format_bytes, rss_bytes};
 
-/// Emits a single-line progress heartbeat to stderr at round boundaries:
-/// `round/total`, rounds per second, and an ETA.
+use glmia_gossip::{DeliverEvent, MergeEvent, RoundSnapshot, SendEvent, SimObserver, UpdateEvent};
+
+/// Emits a single-line live dashboard to stderr at round boundaries:
+/// `round/total`, rounds per second, engine events per second, an ETA,
+/// and the process's resident set size.
 ///
-/// The heartbeat is carriage-return rewritten in place, throttled to at
-/// most ~10 updates per second, and **suppressed entirely** when stderr is
-/// not a TTY (CI logs stay clean) or when the caller asks for quiet. It
+/// The dashboard line is carriage-return rewritten in place, throttled to
+/// at most ~10 updates per second, and **suppressed entirely** when stderr
+/// is not a TTY (CI logs stay clean) or when the caller asks for quiet. It
 /// writes nothing to stdout and nothing into the trace, so it cannot
 /// perturb the determinism contract.
 #[derive(Debug)]
 pub struct ProgressObserver {
     total_rounds: usize,
     enabled: bool,
-    started: Instant,
-    last_emit: Option<Instant>,
+    started: Tick,
+    last_emit: Option<Tick>,
+    events: u64,
     dirty: bool,
 }
 
 impl ProgressObserver {
-    /// A heartbeat for a run of `total_rounds`, enabled only when stderr
+    /// A dashboard for a run of `total_rounds`, enabled only when stderr
     /// is a terminal.
     #[must_use]
     pub fn new(total_rounds: usize) -> Self {
         Self::with_enabled(total_rounds, std::io::stderr().is_terminal())
     }
 
-    /// A heartbeat with explicit enablement (`enabled = false` for
+    /// A dashboard with explicit enablement (`enabled = false` for
     /// `--quiet`); TTY suppression still applies on top.
     #[must_use]
     pub fn with_enabled(total_rounds: usize, enabled: bool) -> Self {
         Self {
             total_rounds,
             enabled: enabled && std::io::stderr().is_terminal(),
-            started: Instant::now(),
+            started: clock::now(),
             last_emit: None,
+            events: 0,
             dirty: false,
         }
     }
 
-    /// Whether the heartbeat will emit anything.
+    /// Whether the dashboard will emit anything.
     #[must_use]
     pub fn is_enabled(&self) -> bool {
         self.enabled
     }
 
     fn emit(&mut self, round: usize) {
-        let elapsed = self.started.elapsed().as_secs_f64();
+        let elapsed = self.started.elapsed_secs();
         let rps = if elapsed > 0.0 {
             round as f64 / elapsed
+        } else {
+            0.0
+        };
+        let eps = if elapsed > 0.0 {
+            self.events as f64 / elapsed
         } else {
             0.0
         };
@@ -67,10 +72,11 @@ impl ProgressObserver {
         } else {
             0.0
         };
+        let rss = rss_bytes().map_or_else(|| "n/a".to_string(), format_bytes);
         let mut err = std::io::stderr().lock();
         let _ = write!(
             err,
-            "\rround {round}/{} | {rps:.1} rounds/s | ETA {eta:.0}s   ",
+            "\rround {round}/{} | {rps:.1} rounds/s | {eps:.0} events/s | ETA {eta:.0}s | RSS {rss}   ",
             self.total_rounds
         );
         let _ = err.flush();
@@ -88,17 +94,31 @@ impl ProgressObserver {
 }
 
 impl SimObserver for ProgressObserver {
+    fn on_send(&mut self, _event: SendEvent) {
+        self.events += u64::from(self.enabled);
+    }
+
+    fn on_deliver(&mut self, _event: DeliverEvent) {
+        self.events += u64::from(self.enabled);
+    }
+
+    fn on_merge(&mut self, _event: MergeEvent) {
+        self.events += u64::from(self.enabled);
+    }
+
+    fn on_local_update(&mut self, _event: UpdateEvent) {
+        self.events += u64::from(self.enabled);
+    }
+
     fn on_snapshot(&mut self, snapshot: &RoundSnapshot) {
         if !self.enabled {
             return;
         }
         let last = snapshot.round >= self.total_rounds;
-        let due = self
-            .last_emit
-            .is_none_or(|at| at.elapsed() >= Duration::from_millis(100));
+        let due = self.last_emit.is_none_or(|at| at.elapsed_secs() >= 0.1);
         if due || last {
             self.emit(snapshot.round);
-            self.last_emit = Some(Instant::now());
+            self.last_emit = Some(clock::now());
         }
         if last {
             self.finish_line();
@@ -106,8 +126,24 @@ impl SimObserver for ProgressObserver {
     }
 }
 
-/// Lets a borrowed heartbeat ride along in an observer chain.
+/// Lets a borrowed dashboard ride along in an observer chain.
 impl SimObserver for &mut ProgressObserver {
+    fn on_send(&mut self, event: SendEvent) {
+        (**self).on_send(event);
+    }
+
+    fn on_deliver(&mut self, event: DeliverEvent) {
+        (**self).on_deliver(event);
+    }
+
+    fn on_merge(&mut self, event: MergeEvent) {
+        (**self).on_merge(event);
+    }
+
+    fn on_local_update(&mut self, event: UpdateEvent) {
+        (**self).on_local_update(event);
+    }
+
     fn on_snapshot(&mut self, snapshot: &RoundSnapshot) {
         (**self).on_snapshot(snapshot);
     }
@@ -130,6 +166,7 @@ mod tests {
             });
         }
         assert!(!progress.dirty);
+        assert_eq!(progress.events, 0, "disabled dashboard skips counting");
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! An observer that drains telemetry counters at round barriers.
+
+use glmia_telemetry::{CounterSnapshot, Gauge, Instrument, Telemetry};
+
+use glmia_gossip::{RoundSnapshot, SimObserver};
+
+use crate::events::TelemetryRoundRecord;
+
+/// Folds the telemetry registry's simulation-thread counters into one
+/// [`TelemetryRoundRecord`] per round.
+///
+/// At every round snapshot the observer reads the registry, subtracts the
+/// previous barrier's snapshot, and records the deltas of the gossip and
+/// runner instruments plus the round's queue-depth high-water mark. Only
+/// counters incremented on the simulation thread are drained per-round —
+/// worker-thread instruments (MIA scores, eval caches, spectral matvecs)
+/// land in the end-of-run totals instead — so the resulting side-stream
+/// is byte-identical at any thread count.
+///
+/// Construct with `None` for telemetry-off runs: the observer then does
+/// nothing at all, keeping the hot path free of branches on record
+/// storage.
+#[derive(Debug, Default)]
+pub struct TelemetryObserver {
+    telemetry: Option<Telemetry>,
+    last: CounterSnapshot,
+    records: Vec<TelemetryRoundRecord>,
+}
+
+impl TelemetryObserver {
+    /// An observer draining `telemetry` (or inert when `None`).
+    #[must_use]
+    pub fn new(telemetry: Option<Telemetry>) -> Self {
+        let last = telemetry
+            .as_ref()
+            .map(Telemetry::counters)
+            .unwrap_or_default();
+        Self {
+            telemetry,
+            last,
+            records: Vec::new(),
+        }
+    }
+
+    /// Per-round records drained so far (seed stamped as 0; the trace
+    /// assembly restamps them).
+    #[must_use]
+    pub fn records(&self) -> &[TelemetryRoundRecord] {
+        &self.records
+    }
+
+    /// Consumes the observer, yielding its per-round records.
+    #[must_use]
+    pub fn into_records(self) -> Vec<TelemetryRoundRecord> {
+        self.records
+    }
+}
+
+impl SimObserver for TelemetryObserver {
+    fn on_snapshot(&mut self, snapshot: &RoundSnapshot) {
+        let Some(telemetry) = &self.telemetry else {
+            return;
+        };
+        let now = telemetry.counters();
+        let delta = now.delta_since(&self.last);
+        self.records.push(TelemetryRoundRecord {
+            seed: 0,
+            round: snapshot.round,
+            sends: delta.get(Instrument::GossipSends),
+            delivers: delta.get(Instrument::GossipDelivers),
+            merges: delta.get(Instrument::GossipMerges),
+            drops: delta.get(Instrument::GossipDrops),
+            snapshot_hits: delta.get(Instrument::GossipSnapshotHits),
+            snapshot_misses: delta.get(Instrument::GossipSnapshotMisses),
+            events: delta.get(Instrument::RunnerEvents),
+            queue_depth_max: telemetry.take_gauge_max(Gauge::QueueDepth),
+        });
+        self.last = now;
+    }
+}
+
+/// Lets a borrowed observer ride along in an observer chain.
+impl SimObserver for &mut TelemetryObserver {
+    fn on_snapshot(&mut self, snapshot: &RoundSnapshot) {
+        (**self).on_snapshot(snapshot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glmia_telemetry::{count, gauge_set};
+
+    fn snap(round: usize) -> RoundSnapshot {
+        RoundSnapshot {
+            round,
+            tick: round as u64 * 100,
+            models: Vec::new(),
+            shared_models: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn inert_without_a_telemetry_handle() {
+        let mut obs = TelemetryObserver::new(None);
+        obs.on_snapshot(&snap(1));
+        assert!(obs.records().is_empty());
+    }
+
+    #[test]
+    fn drains_per_round_deltas_and_queue_high_water() {
+        let telemetry = Telemetry::new();
+        let mut obs = TelemetryObserver::new(Some(telemetry.clone()));
+        let _scope = telemetry.enter();
+
+        count(Instrument::GossipSends, 4);
+        count(Instrument::GossipDelivers, 3);
+        count(Instrument::RunnerEvents, 9);
+        gauge_set(Gauge::QueueDepth, 7);
+        gauge_set(Gauge::QueueDepth, 2);
+        obs.on_snapshot(&snap(1));
+
+        count(Instrument::GossipSends, 2);
+        gauge_set(Gauge::QueueDepth, 3);
+        obs.on_snapshot(&snap(2));
+
+        let records = obs.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].round, 1);
+        assert_eq!(records[0].sends, 4);
+        assert_eq!(records[0].delivers, 3);
+        assert_eq!(records[0].events, 9);
+        assert_eq!(records[0].queue_depth_max, 7);
+        assert_eq!(records[1].sends, 2, "second round sees only its delta");
+        assert_eq!(records[1].delivers, 0);
+        assert_eq!(
+            records[1].queue_depth_max, 3,
+            "gauge max resets at each barrier"
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! The telemetry subsystem's two determinism contracts:
+//!
+//! 1. **Inertness when off** — a run without `with_telemetry(true)` is
+//!    byte-identical to a pre-telemetry run: same results, same
+//!    `events.jsonl` bytes, and no telemetry artifacts at all.
+//! 2. **Thread-count independence when on** — the `telemetry.jsonl`
+//!    side-stream is byte-identical at any thread count, because per-round
+//!    records drain only simulation-thread instruments at round barriers
+//!    and the totals line sums commutative atomics.
+//!
+//! Only `profile.json` (wall-clock spans) is exempt from reproducibility.
+
+use glmia_core::{run_experiment_traced, ExperimentConfig, Parallelism};
+use glmia_data::DataPreset;
+use glmia_gossip::{ProtocolKind, TopologyMode};
+use glmia_trace::{RunSummary, RunTrace};
+use proptest::prelude::*;
+
+fn config(seed: u64) -> ExperimentConfig {
+    ExperimentConfig::quick_test(DataPreset::FashionMnistLike)
+        .with_protocol(ProtocolKind::Samo)
+        .with_topology_mode(TopologyMode::Dynamic)
+        .with_seed(seed)
+}
+
+fn run(seed: u64, telemetry: bool, threads: usize) -> (String, RunTrace) {
+    let (result, trace) = run_experiment_traced(
+        &config(seed)
+            .with_telemetry(telemetry)
+            .with_parallelism(Parallelism::Fixed(threads)),
+    )
+    .unwrap();
+    (serde_json::to_string(&result).unwrap(), trace)
+}
+
+#[test]
+fn telemetry_off_runs_write_no_artifacts() {
+    let (_, trace) = run(300, false, 2);
+    assert!(!trace.has_telemetry());
+    assert!(trace.telemetry_jsonl().is_none());
+    assert!(trace.profile_json().is_none());
+    let dir = std::env::temp_dir().join(format!("glmia-tel-off-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    trace.write_to_dir(&dir).unwrap();
+    assert!(dir.join("events.jsonl").exists());
+    assert!(
+        !dir.join("telemetry.jsonl").exists(),
+        "inert run grew a side-stream"
+    );
+    assert!(
+        !dir.join("profile.json").exists(),
+        "inert run grew a profile"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn telemetry_on_runs_write_both_artifacts() {
+    let (_, trace) = run(301, true, 2);
+    assert!(trace.has_telemetry());
+    let stream = trace.telemetry_jsonl().unwrap();
+    assert!(stream.starts_with("{\"type\":\"TelemetryHeader\",\"schema\":5,"));
+    assert!(stream.contains("\"type\":\"TelemetryTotals\""));
+    assert!(trace.profile_json().is_some());
+}
+
+#[test]
+fn telemetry_side_stream_is_byte_identical_across_thread_counts() {
+    let (result_1, trace_1) = run(302, true, 1);
+    let stream_1 = trace_1.telemetry_jsonl().unwrap();
+    for threads in [2, 8] {
+        let (result_n, trace_n) = run(302, true, threads);
+        assert_eq!(result_1, result_n, "{threads}-thread results diverged");
+        assert_eq!(
+            stream_1,
+            trace_n.telemetry_jsonl().unwrap(),
+            "{threads}-thread telemetry.jsonl diverged from serial"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Property: for arbitrary seeds, flipping telemetry on changes
+    /// neither the results nor a single byte of `events.jsonl`, and the
+    /// derived summary of the event stream (what `analyze` serializes)
+    /// is byte-identical too.
+    #[test]
+    fn telemetry_is_inert_for_results_events_and_summaries(
+        seed in 0u64..1_000_000,
+        threads in 1usize..4,
+    ) {
+        let (off_result, off_trace) = run(seed, false, threads);
+        let (on_result, on_trace) = run(seed, true, threads);
+        prop_assert_eq!(off_result, on_result);
+        prop_assert_eq!(off_trace.events_jsonl(), on_trace.events_jsonl());
+        let summary = |trace: &RunTrace| {
+            let header = serde_json::from_str(
+                trace.events_jsonl().lines().next().unwrap(),
+            )
+            .unwrap();
+            RunSummary::from_events(&header, trace.events()).to_json_pretty()
+        };
+        prop_assert_eq!(summary(&off_trace), summary(&on_trace));
+    }
+
+    /// Property: the side-stream's determinism holds for arbitrary seeds,
+    /// not just the pinned ones above.
+    #[test]
+    fn any_seed_side_stream_is_thread_count_invariant(
+        seed in 0u64..1_000_000,
+    ) {
+        let (_, serial) = run(seed, true, 1);
+        let (_, parallel) = run(seed, true, 3);
+        prop_assert_eq!(
+            serial.telemetry_jsonl().unwrap(),
+            parallel.telemetry_jsonl().unwrap()
+        );
+    }
+}

@@ -85,9 +85,10 @@ pub const RULES: &[Rule] = &[
 /// Default determinism-critical crates for `no-unordered-iteration`.
 const DEFAULT_RESTRICTED: &[&str] = &["core", "gossip", "metrics", "trace"];
 
-/// Default wall-clock allowlist (phase timers and the stderr heartbeat are
-/// the two places whose *purpose* is wall time).
-const DEFAULT_CLOCK_FILES: &[&str] = &["crates/trace/src/phase.rs", "crates/trace/src/progress.rs"];
+/// Default wall-clock allowlist: the telemetry clock shim is the one
+/// sanctioned `Instant::now` site — phase timers, the progress heartbeat
+/// and run manifests all read time through `glmia_telemetry::clock`.
+const DEFAULT_CLOCK_FILES: &[&str] = &["crates/telemetry/src/clock.rs"];
 
 /// Runs every rule over `files`, returning diagnostics sorted by
 /// `(path, line, rule)` so output (and CI failures) are deterministic.
@@ -575,8 +576,14 @@ mod tests {
 
     #[test]
     fn wall_clock_allowlisted_file_is_exempt() {
-        let diags = lint_one("crates/trace/src/phase.rs", fixture("no_wall_clock_bad"));
+        let diags = lint_one(
+            "crates/telemetry/src/clock.rs",
+            fixture("no_wall_clock_bad"),
+        );
         assert!(diags.is_empty(), "{diags:?}");
+        // The pre-telemetry allowlist entries no longer get a pass.
+        let diags = lint_one("crates/trace/src/phase.rs", fixture("no_wall_clock_bad"));
+        assert!(!diags.is_empty(), "stale allowlist entry still exempt");
     }
 
     #[test]
