@@ -44,7 +44,8 @@ pub const fn accounting_compiled() -> bool {
 mod imp {
     use std::alloc::{GlobalAlloc, Layout, System};
     use std::cell::Cell;
-    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use crate::sync::{AtomicU64, Ordering};
 
     use super::AllocTotals;
 

@@ -28,8 +28,11 @@ pub mod clock;
 
 mod alloc;
 mod export;
+#[cfg(loom)]
+pub mod loom;
 mod registry;
 mod spans;
+mod sync;
 
 #[cfg(feature = "telemetry-alloc")]
 pub use alloc::CountingAllocator;

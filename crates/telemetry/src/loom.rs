@@ -1,0 +1,334 @@
+//! A minimal, vendored loom-style model checker (compiled only under
+//! `RUSTFLAGS="--cfg loom"`).
+//!
+//! The build is offline and dependency-free, so instead of the `loom`
+//! crate this module vendors the core of its technique: exhaustive
+//! depth-first exploration of thread interleavings via *replay*. Every
+//! atomic operation issued through [`crate::sync`] is a scheduling point;
+//! at each point the checker picks which ready thread runs next. One
+//! execution of the model closure follows one schedule. After it
+//! completes, the recorded decision tape is backtracked to the deepest
+//! choice with an untried alternative and the closure runs again,
+//! replaying the common prefix — until the whole schedule tree has been
+//! visited.
+//!
+//! Threads are real OS threads serialized by a token: exactly one modeled
+//! thread executes at any moment, and the token is handed off at
+//! scheduling points under a `Mutex`/`Condvar`. That keeps the modeled
+//! code's thread-locals (the registry's `CURRENT` scope) faithful while
+//! making the interleaving deterministic and replayable.
+//!
+//! ## Scope
+//!
+//! The checker explores **sequentially-consistent** interleavings. Weak
+//! orderings (`Ordering::Relaxed` reorderings, store buffering) are not
+//! modeled — the shim in [`crate::sync`] upgrades every access to
+//! `SeqCst`. For the telemetry registry this is the property that
+//! matters: its protocol is commutative (`fetch_add` totals, `fetch_max`
+//! high-water marks, `swap(0)` drains), so the bugs worth finding are
+//! lost updates and torn read-modify-write sequences under arbitrary
+//! interleaving, which SC exploration covers exhaustively. See
+//! DESIGN.md §8 for the methodology note.
+//!
+//! ## Requirements on model closures
+//!
+//! * Deterministic apart from scheduling: no wall clock, no ambient RNG
+//!   (the workspace lint enforces this everywhere anyway).
+//! * Every thread spawned with [`thread::spawn`] must be joined before
+//!   the closure returns; the checker asserts this.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Backstop on executions per model, so an accidentally huge schedule
+/// space fails fast instead of hanging CI.
+const MAX_EXECUTIONS: usize = 250_000;
+
+/// `State::current` value while no thread holds the token (all finished).
+const NO_THREAD: usize = usize::MAX;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    /// Eligible to be scheduled.
+    Ready,
+    /// Parked in [`thread::JoinHandle::join`] until the tid finishes.
+    Blocked(usize),
+    Finished,
+}
+
+/// One scheduling decision: which of the `alternatives` ready threads
+/// (by position in the ready list, ascending tid) received the token.
+#[derive(Clone, Copy)]
+struct Choice {
+    selected: usize,
+    alternatives: usize,
+}
+
+struct State {
+    /// Per-tid status; tid 0 is the model closure itself.
+    status: Vec<Status>,
+    /// Tid currently holding the execution token.
+    current: usize,
+    /// Decision tape: `..prefix` replays the previous execution, the rest
+    /// is recorded fresh (always picking alternative 0, i.e. lowest tid).
+    tape: Vec<Choice>,
+    prefix: usize,
+    step: usize,
+    /// First panic captured from a spawned modeled thread.
+    panicked: Option<String>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+thread_local! {
+    /// The model run this thread participates in, and its tid.
+    static CONTEXT: RefCell<Option<(Arc<Shared>, usize)>> = const { RefCell::new(None) };
+}
+
+fn lock(shared: &Shared) -> MutexGuard<'_, State> {
+    shared
+        .state
+        .lock()
+        .expect("model scheduler state poisoned by a panicked modeled thread")
+}
+
+/// Runs `f` once per schedule until every interleaving of its atomic
+/// operations (and joins) has been explored. Panics from the closure or
+/// any modeled thread propagate, failing the enclosing test with the
+/// schedule that exposed them.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let mut tape: Vec<Choice> = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        executions += 1;
+        assert!(
+            executions <= MAX_EXECUTIONS,
+            "model: schedule space exceeds {MAX_EXECUTIONS} executions — shrink the model"
+        );
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                status: vec![Status::Ready],
+                current: 0,
+                prefix: tape.len(),
+                tape,
+                step: 0,
+                panicked: None,
+            }),
+            cv: Condvar::new(),
+        });
+        CONTEXT.with(|ctx| *ctx.borrow_mut() = Some((Arc::clone(&shared), 0)));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f));
+        CONTEXT.with(|ctx| *ctx.borrow_mut() = None);
+        let (recorded, child_panic, unjoined) = {
+            let mut st = lock(&shared);
+            let unjoined = st.status.iter().skip(1).any(|s| *s != Status::Finished);
+            (std::mem::take(&mut st.tape), st.panicked.take(), unjoined)
+        };
+        if let Err(payload) = outcome {
+            std::panic::resume_unwind(payload);
+        }
+        if let Some(msg) = child_panic {
+            // lint:allow(no-panic-in-library, "a modeled thread's panic must fail the enclosing test")
+            panic!("model: spawned thread panicked: {msg}");
+        }
+        assert!(
+            !unjoined,
+            "model: closure returned with unjoined spawned threads"
+        );
+        // Depth-first backtrack: drop exhausted trailing choices, advance
+        // the deepest one with an untried alternative, replay that prefix.
+        tape = recorded;
+        while let Some(last) = tape.last() {
+            if last.selected + 1 < last.alternatives {
+                break;
+            }
+            tape.pop();
+        }
+        match tape.last_mut() {
+            Some(last) => last.selected += 1,
+            None => return, // schedule tree exhausted
+        }
+    }
+}
+
+/// A scheduling point: hands the token to the tape's next chosen thread
+/// (possibly the caller) and blocks until the caller is scheduled again.
+/// No-op on threads outside a `model` run, so code compiled with
+/// `--cfg loom` still works in ordinary tests.
+///
+/// The [`crate::sync`] shims call this before every atomic access; it is
+/// public so tests can also build hand-instrumented models (e.g. the
+/// lost-update self-test in `tests/loom_registry.rs`).
+pub fn yield_point() {
+    let ctx = CONTEXT.with(|c| c.borrow().clone());
+    let Some((shared, me)) = ctx else { return };
+    schedule_next(&shared, me, Status::Ready);
+    wait_for_token(&shared, me);
+}
+
+/// Records `me`'s new status, picks the next thread per the decision
+/// tape, and hands it the token. A finishing thread wakes its joiners
+/// first so they are schedulable again.
+fn schedule_next(shared: &Shared, me: usize, me_status: Status) {
+    let mut st = lock(shared);
+    st.status[me] = me_status;
+    if me_status == Status::Finished {
+        for status in st.status.iter_mut() {
+            if *status == Status::Blocked(me) {
+                *status = Status::Ready;
+            }
+        }
+    }
+    let ready: Vec<usize> = st
+        .status
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| **s == Status::Ready)
+        .map(|(tid, _)| tid)
+        .collect();
+    if ready.is_empty() {
+        let all_finished = st.status.iter().all(|s| *s == Status::Finished);
+        st.current = NO_THREAD;
+        drop(st);
+        shared.cv.notify_all();
+        assert!(
+            all_finished,
+            "model: deadlock — every live thread is blocked on a join"
+        );
+        return;
+    }
+    let step = st.step;
+    st.step += 1;
+    let pick = if step < st.prefix {
+        let choice = st.tape[step];
+        debug_assert_eq!(
+            choice.alternatives,
+            ready.len(),
+            "model closures must be deterministic apart from scheduling"
+        );
+        choice.selected
+    } else {
+        st.tape.push(Choice {
+            selected: 0,
+            alternatives: ready.len(),
+        });
+        0
+    };
+    st.current = ready[pick];
+    drop(st);
+    shared.cv.notify_all();
+}
+
+fn wait_for_token(shared: &Shared, me: usize) {
+    let mut st = lock(shared);
+    while st.current != me {
+        st = shared
+            .cv
+            .wait(st)
+            .expect("model scheduler state poisoned while parked");
+    }
+}
+
+fn current_context() -> (Arc<Shared>, usize) {
+    CONTEXT
+        .with(|c| c.borrow().clone())
+        .expect("loom::thread used outside loom::model")
+}
+
+/// Modeled threads: a `std::thread`-shaped API whose spawned threads are
+/// scheduled by the model checker instead of the OS.
+pub mod thread {
+    use super::{current_context, lock, schedule_next, wait_for_token, Arc, Mutex, Status};
+
+    /// Handle to a modeled thread; join it before the model closure
+    /// returns.
+    pub struct JoinHandle<T> {
+        tid: usize,
+        result: Arc<Mutex<Option<T>>>,
+    }
+
+    /// Spawns a modeled thread. It becomes schedulable immediately but
+    /// runs only when the decision tape hands it the token; the spawning
+    /// thread keeps running (spawn itself is not a branch point).
+    pub fn spawn<T, G>(g: G) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        G: FnOnce() -> T + Send + 'static,
+    {
+        let (shared, _me) = current_context();
+        let tid = {
+            let mut st = lock(&shared);
+            st.status.push(Status::Ready);
+            st.status.len() - 1
+        };
+        let result = Arc::new(Mutex::new(None));
+        let thread_result = Arc::clone(&result);
+        let thread_shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            super::CONTEXT.with(|c| *c.borrow_mut() = Some((Arc::clone(&thread_shared), tid)));
+            wait_for_token(&thread_shared, tid);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(g));
+            match outcome {
+                Ok(value) => {
+                    *thread_result
+                        .lock()
+                        .expect("modeled-thread result slot poisoned") = Some(value);
+                }
+                Err(payload) => {
+                    let msg = super::panic_message(payload.as_ref());
+                    lock(&thread_shared).panicked.get_or_insert(msg);
+                }
+            }
+            schedule_next(&thread_shared, tid, Status::Finished);
+        });
+        JoinHandle { tid, result }
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Blocks (as a scheduling point) until the thread finishes, then
+        /// returns its value. Panics if the modeled thread panicked,
+        /// propagating its message.
+        pub fn join(self) -> T {
+            let (shared, me) = current_context();
+            loop {
+                {
+                    let st = lock(&shared);
+                    if st.status[self.tid] == Status::Finished {
+                        break;
+                    }
+                }
+                schedule_next(&shared, me, Status::Blocked(self.tid));
+                wait_for_token(&shared, me);
+            }
+            let value = self
+                .result
+                .lock()
+                .expect("modeled-thread result slot poisoned")
+                .take();
+            match value {
+                Some(v) => v,
+                None => {
+                    let msg = lock(&shared).panicked.take().unwrap_or_default();
+                    // lint:allow(no-panic-in-library, "join propagates the modeled thread's panic")
+                    panic!("model: joined thread panicked: {msg}");
+                }
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -24,8 +24,9 @@
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use crate::sync::{AtomicU64, Ordering};
 
 use crate::spans::SpanStat;
 

@@ -1,0 +1,69 @@
+//! Atomic-type indirection for concurrency model checking.
+//!
+//! Normal builds re-export `std::sync::atomic` unchanged, so the registry
+//! and the counting allocator compile to exactly the code they always did.
+//! Under `RUSTFLAGS="--cfg loom"` the same names resolve to shims that
+//! insert a [`crate::loom`] scheduling point before every operation, which
+//! lets `loom::model` exhaustively interleave the atomic accesses of the
+//! modeled threads (see `tests/loom_registry.rs`). Outside a `model` run —
+//! e.g. the regular unit tests compiled with the cfg active — the
+//! scheduling points are no-ops and the shims behave like plain atomics.
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::{AtomicU64, Ordering};
+
+#[cfg(loom)]
+pub(crate) use shim::AtomicU64;
+#[cfg(loom)]
+pub(crate) use std::sync::atomic::Ordering;
+
+#[cfg(loom)]
+mod shim {
+    use std::sync::atomic::Ordering;
+
+    /// `AtomicU64` with a model-checker scheduling point before every
+    /// access.
+    ///
+    /// The shim executes every operation under `Ordering::SeqCst`
+    /// regardless of the ordering the call site names: the vendored
+    /// checker explores sequentially-consistent interleavings only. That
+    /// is sound for the registry's protocol because its correctness
+    /// argument is commutativity (`fetch_add`/`fetch_max` tolerate any
+    /// interleaving), not ordering — see DESIGN.md §8.
+    pub(crate) struct AtomicU64 {
+        inner: std::sync::atomic::AtomicU64,
+    }
+
+    impl AtomicU64 {
+        pub(crate) const fn new(value: u64) -> Self {
+            Self {
+                inner: std::sync::atomic::AtomicU64::new(value),
+            }
+        }
+
+        pub(crate) fn load(&self, _order: Ordering) -> u64 {
+            crate::loom::yield_point();
+            self.inner.load(Ordering::SeqCst)
+        }
+
+        pub(crate) fn store(&self, value: u64, _order: Ordering) {
+            crate::loom::yield_point();
+            self.inner.store(value, Ordering::SeqCst);
+        }
+
+        pub(crate) fn swap(&self, value: u64, _order: Ordering) -> u64 {
+            crate::loom::yield_point();
+            self.inner.swap(value, Ordering::SeqCst)
+        }
+
+        pub(crate) fn fetch_add(&self, value: u64, _order: Ordering) -> u64 {
+            crate::loom::yield_point();
+            self.inner.fetch_add(value, Ordering::SeqCst)
+        }
+
+        pub(crate) fn fetch_max(&self, value: u64, _order: Ordering) -> u64 {
+            crate::loom::yield_point();
+            self.inner.fetch_max(value, Ordering::SeqCst)
+        }
+    }
+}

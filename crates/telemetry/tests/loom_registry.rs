@@ -1,0 +1,195 @@
+//! Model-checked concurrency properties of the telemetry registry.
+//!
+//! Compiled and run only under `RUSTFLAGS="--cfg loom"`:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p glmia-telemetry --test loom_registry
+//! ```
+//!
+//! Each test hands a closure to [`glmia_telemetry::loom::model`], which
+//! executes it once per interleaving of the registry's atomic operations
+//! (the shims in `src/sync.rs` make every atomic access a scheduling
+//! point). The assertions therefore hold on *every* schedule, not just
+//! the ones the OS happens to produce — this is what the lint config's
+//! `atomic-ordering-audit` exemption for `registry.rs`/`alloc.rs` cites
+//! as evidence that `Ordering::Relaxed` is safe there.
+//!
+//! Models are deliberately tiny (2 threads, 1–2 operations each): the
+//! schedule tree grows factorially, and the protocol's commutativity
+//! arguments don't get stronger with more identical operations.
+#![cfg(loom)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use glmia_telemetry::loom::{model, thread, yield_point};
+use glmia_telemetry::{
+    count, gauge_set, observe, Gauge, Histogram, Instrument, Telemetry, HISTOGRAM_BUCKETS,
+};
+
+/// Self-test of the vendored checker: a naive load-then-store counter
+/// (the bug `fetch_add` exists to prevent) MUST be caught. If the checker
+/// ever stops exploring the interleaving where both threads read 0 before
+/// either writes, every other model in this file is vacuous.
+#[test]
+fn checker_finds_the_lost_update_in_a_naive_counter() {
+    let outcome = std::panic::catch_unwind(|| {
+        model(|| {
+            let cell = Arc::new(AtomicU64::new(0));
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let cell = Arc::clone(&cell);
+                    thread::spawn(move || {
+                        yield_point();
+                        let seen = cell.load(Ordering::SeqCst);
+                        yield_point();
+                        cell.store(seen + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for worker in workers {
+                worker.join();
+            }
+            assert_eq!(cell.load(Ordering::SeqCst), 2);
+        });
+    });
+    assert!(
+        outcome.is_err(),
+        "checker missed the lost-update schedule — exploration is broken"
+    );
+}
+
+/// Concurrent `count()` increments commute: no interleaving of the
+/// per-thread `fetch_add`s loses an update, so the joined total is exact.
+#[test]
+fn counter_increments_are_never_lost() {
+    model(|| {
+        let telemetry = Telemetry::new();
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let telemetry = telemetry.clone();
+                thread::spawn(move || {
+                    let _scope = telemetry.enter();
+                    count(Instrument::GossipSends, 1);
+                    count(Instrument::GossipSends, 1);
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join();
+        }
+        assert_eq!(telemetry.counter(Instrument::GossipSends), 4);
+    });
+}
+
+/// `gauge_set` is a `store` (last value) plus a `fetch_max` (high-water
+/// mark). On every schedule the maximum is the global maximum, and the
+/// last value is one of the written values — never a torn third value.
+#[test]
+fn gauge_max_is_the_global_maximum_on_every_schedule() {
+    model(|| {
+        let telemetry = Telemetry::new();
+        let writers: Vec<_> = [3u64, 11u64]
+            .into_iter()
+            .map(|value| {
+                let telemetry = telemetry.clone();
+                thread::spawn(move || {
+                    let _scope = telemetry.enter();
+                    gauge_set(Gauge::QueueDepth, value);
+                })
+            })
+            .collect();
+        for writer in writers {
+            writer.join();
+        }
+        let last = telemetry.gauge(Gauge::QueueDepth);
+        assert!(last == 3 || last == 11, "torn gauge last-value: {last}");
+        assert_eq!(telemetry.take_gauge_max(Gauge::QueueDepth), 11);
+        // The drain is a `swap(0)`: after the barrier read the running
+        // maximum restarts from zero on every schedule.
+        assert_eq!(telemetry.take_gauge_max(Gauge::QueueDepth), 0);
+    });
+}
+
+/// Histogram observations are conserved: every recorded value lands in
+/// exactly one bucket, and concurrent `fetch_add`s on the same bucket
+/// array never lose a count.
+#[test]
+fn histogram_observations_are_conserved() {
+    model(|| {
+        let telemetry = Telemetry::new();
+        // 1 falls in the first bucket, 300 is past every edge (256) and
+        // lands in the overflow bucket — distinct slots, so the test also
+        // catches an interleaving that routes a value to the wrong bucket.
+        let observers: Vec<_> = [1u64, 300u64]
+            .into_iter()
+            .map(|value| {
+                let telemetry = telemetry.clone();
+                thread::spawn(move || {
+                    let _scope = telemetry.enter();
+                    observe(Histogram::QueueDepth, value);
+                })
+            })
+            .collect();
+        for observer in observers {
+            observer.join();
+        }
+        let buckets = telemetry.histogram(Histogram::QueueDepth);
+        assert_eq!(buckets.iter().sum::<u64>(), 2);
+        assert_eq!(buckets[0], 1);
+        assert_eq!(buckets[HISTOGRAM_BUCKETS - 1], 1);
+    });
+}
+
+/// Thread-local scope isolation: two threads entered into *different*
+/// registries never cross-record, on any schedule.
+#[test]
+fn scopes_on_different_threads_do_not_cross_record() {
+    model(|| {
+        let first = Telemetry::new();
+        let second = Telemetry::new();
+        let spawn_counter = |telemetry: Telemetry, n: u64| {
+            thread::spawn(move || {
+                let _scope = telemetry.enter();
+                count(Instrument::RunnerRounds, n);
+            })
+        };
+        let a = spawn_counter(first.clone(), 1);
+        let b = spawn_counter(second.clone(), 10);
+        a.join();
+        b.join();
+        assert_eq!(first.counter(Instrument::RunnerRounds), 1);
+        assert_eq!(second.counter(Instrument::RunnerRounds), 10);
+    });
+}
+
+/// Scope enter/exit nesting restores the previous recording target, and
+/// the restore on one thread is invisible to a concurrently recording
+/// thread sharing the outer registry.
+#[test]
+fn nested_scope_exit_restores_outer_registry() {
+    model(|| {
+        let outer = Telemetry::new();
+        let inner = Telemetry::new();
+        let peer = {
+            let outer = outer.clone();
+            thread::spawn(move || {
+                let _scope = outer.enter();
+                count(Instrument::GossipMerges, 1);
+            })
+        };
+        {
+            let _outer_scope = outer.enter();
+            count(Instrument::GossipMerges, 1);
+            {
+                let _inner_scope = inner.enter();
+                count(Instrument::GossipMerges, 100);
+            }
+            // Inner scope dropped: recording lands in `outer` again.
+            count(Instrument::GossipMerges, 1);
+        }
+        peer.join();
+        assert_eq!(outer.counter(Instrument::GossipMerges), 3);
+        assert_eq!(inner.counter(Instrument::GossipMerges), 100);
+    });
+}

@@ -144,7 +144,7 @@ mod tests {
     #[test]
     fn manifest_serializes_missing_git_as_null() {
         let manifest = Manifest {
-            schema: 2,
+            schema: crate::events::SCHEMA_VERSION,
             label: "quick".into(),
             config_hash: "0000000000000001".into(),
             seeds: vec![1],

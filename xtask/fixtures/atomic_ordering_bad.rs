@@ -1,0 +1,15 @@
+//! Fixture: unaudited orderings on a hot path (bad).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn read(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed)
+}
+
+pub fn fence_everything(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::SeqCst)
+}

@@ -1,0 +1,15 @@
+//! Fixture: audited orderings (ok when scanned as an allowlisted
+//! instrument file).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Commutative counter bump: Relaxed is sound here and the file is in the
+/// `relaxed-files` allowlist backed by a loom model.
+pub fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Acquire/Release edges are always acceptable.
+pub fn read(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Acquire)
+}

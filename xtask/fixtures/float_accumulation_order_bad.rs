@@ -1,0 +1,21 @@
+//! Bad: float reductions fed by sources with no pinned order. Each one
+//! re-rounds differently per process (hash order, directory order)
+//! because float addition is not associative.
+use std::collections::{HashMap, HashSet};
+
+pub fn total(weights: &HashMap<u32, f64>) -> f64 {
+    weights.values().sum::<f64>()
+}
+
+pub fn scale(levels: &HashSet<u64>) -> f32 {
+    levels.iter().map(|&v| 1.0 + v as f32).product::<f32>()
+}
+
+pub fn fold_weights(m: &HashMap<u32, f64>) -> f64 {
+    m.values().fold(0.0, |acc, v| acc + v)
+}
+
+/// Directory iteration order is filesystem-dependent.
+pub fn disk_total(dir: &std::path::Path) -> f64 {
+    std::fs::read_dir(dir).into_iter().flatten().flatten().map(|e| e.metadata().map(|m| m.len() as f64).unwrap_or(0.0)).sum::<f64>()
+}

@@ -1,0 +1,29 @@
+//! Ok: reductions whose accumulation order is pinned (or exact). Integer
+//! sums are exact in any order; a sorted projection pins float order; the
+//! CSR sorted-row invariant pins it within a single expression; and a
+//! deliberate order-insensitive reduction documents itself.
+use std::collections::HashMap;
+
+/// Sorted projection first: accumulation order is pinned.
+pub fn total(m: &HashMap<u32, f64>) -> f64 {
+    let mut vals: Vec<f64> = m.values().copied().collect();
+    vals.sort_unstable_by(f64::total_cmp);
+    vals.iter().sum::<f64>()
+}
+
+/// The CSR constructor's sorted-row invariant pins row order even though
+/// the reduction itself runs over an unordered parallel iterator.
+pub fn csr_norm(w: &[(u32, f64)]) -> f64 {
+    Csr::from_sorted_rows(w).values().par_iter().map(|v| v * 0.5).sum::<f64>()
+}
+
+/// Integer accumulation is exact in any order.
+pub fn count(m: &HashMap<u32, u64>) -> u64 {
+    m.values().sum::<u64>()
+}
+
+/// A deliberate order-insensitive reduction, excused with a reason.
+pub fn rough_mean(m: &HashMap<u32, f64>) -> f64 {
+    // lint:allow(float-accumulation-order, "mean feeds the progress display only, never a trace")
+    m.values().sum::<f64>() / m.len() as f64
+}

@@ -1,0 +1,13 @@
+//! Fixture: real banned calls surrounded by the same tricky syntax the
+//! ok twin uses as camouflage (bad).
+
+pub fn tricky() -> u64 {
+    let decoy = r#"thread_rng() in a raw string is inert"#;
+    let real = rand::thread_rng().gen::<u64>();
+    let quote = '"';
+    let x: f64 = rand::random();
+    let lifetime: &'static str = decoy;
+    let e = rand::rngs::StdRng::from_entropy().gen::<u64>();
+    let _ = (quote, lifetime, x);
+    real ^ e
+}

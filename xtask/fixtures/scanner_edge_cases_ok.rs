@@ -1,0 +1,16 @@
+//! Fixture: banned names hidden where only a real lexer can see they are
+//! inert — nested block comments, raw strings with `#` delimiters, char
+//! literals holding `"` and `/`, and lifetimes that look like chars (ok).
+
+/* nested /* thread_rng() inside a nested block comment */ still commented */
+
+/// Doc examples are comments too: `rand::random::<f64>()`.
+pub fn tricky() -> String {
+    let quote = '"';
+    let slash = '/';
+    let url = "https://example.invalid/not-a-comment";
+    let raw = r#"thread_rng() and "quoted" OsRng"#;
+    let deeper = r##"from_entropy() with a # and "# inside"##;
+    let lifetime: &'static str = raw;
+    format!("{quote}{slash}{url}{lifetime}{deeper}")
+}

@@ -1,0 +1,28 @@
+//! Fixture: hardcoded schema versions (bad).
+
+pub struct Header { pub schema: u32 }
+
+/// Writes a trace header.
+pub fn header() -> Header {
+    Header {
+        // Hardcoded: keeps compiling when the central const moves on.
+        schema: 2,
+    }
+}
+
+pub fn check(h: &Header) -> bool {
+    h.schema == 2
+}
+
+pub fn reversed(h: &Header) -> bool {
+    // A literal on the left is drift all the same.
+    3 != h.schema
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn roundtrip() {
+        assert_eq!(super::header().schema, 2);
+    }
+}

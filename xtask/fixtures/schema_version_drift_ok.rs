@@ -1,0 +1,20 @@
+//! Fixture: schema versions referencing the central consts (ok).
+
+pub const SCHEMA_VERSION: u32 = 2;
+
+pub struct Header { pub schema: u32 }
+
+pub fn header() -> Header {
+    Header { schema: SCHEMA_VERSION }
+}
+
+pub fn check(h: &Header) -> bool {
+    h.schema == SCHEMA_VERSION && h.schema >= SCHEMA_VERSION
+}
+
+/// Module paths named `schema` are not version declarations.
+pub fn module_path() -> u32 {
+    schema::CURRENT
+}
+
+mod schema { pub const CURRENT: u32 = 2; }

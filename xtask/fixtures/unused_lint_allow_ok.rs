@@ -1,0 +1,12 @@
+//! Fixture: escape hatches that earn their keep (ok).
+
+/// Standalone form covers the next line.
+pub fn stamp() -> std::time::Instant {
+    // lint:allow(no-wall-clock, "progress display only, never traced")
+    std::time::Instant::now()
+}
+
+/// Trailing form covers its own line.
+pub fn entropy() -> u64 {
+    rand::thread_rng().gen() // lint:allow(no-unseeded-rng, "fixture demonstrates the trailing form")
+}

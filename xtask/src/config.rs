@@ -1,18 +1,30 @@
 //! `lint.toml` — the per-rule allowlist configuration.
 //!
 //! The linter is dependency-free, so it reads a deliberately small TOML
-//! subset: `[section]` headers and `key = ["string", ...]` arrays (plus
-//! `#` comments and blank lines). Anything else is a configuration error
-//! with a line number, so typos fail loudly instead of silently relaxing
-//! a rule.
+//! subset: `[section]` headers and `key = ["string", ...]` arrays, where
+//! arrays may span multiple lines (trailing commas and `#` comments
+//! tolerated, inside the array too). Anything else is a configuration
+//! error with a line number, so typos fail loudly instead of silently
+//! relaxing a rule.
+//!
+//! Each entry remembers the line its key appeared on: the
+//! `unused-lint-allow` rule reports stale allowlist entries (files that no
+//! longer exist in the scanned tree) *at their line in `lint.toml`*.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// One `key = [...]` entry: its values plus the 1-based line of the key.
+#[derive(Debug, Clone, Default)]
+struct Entry {
+    values: Vec<String>,
+    line: usize,
+}
+
 /// Parsed `lint.toml`: section → key → list of strings.
 #[derive(Debug, Clone, Default)]
 pub struct LintConfig {
-    sections: BTreeMap<String, BTreeMap<String, Vec<String>>>,
+    sections: BTreeMap<String, BTreeMap<String, Entry>>,
 }
 
 /// A configuration parse failure (line-numbered).
@@ -35,12 +47,13 @@ impl std::error::Error for ConfigError {}
 impl LintConfig {
     /// Parses the TOML subset described in the module docs.
     pub fn parse(text: &str) -> Result<Self, ConfigError> {
-        let mut sections: BTreeMap<String, BTreeMap<String, Vec<String>>> = BTreeMap::new();
+        let mut sections: BTreeMap<String, BTreeMap<String, Entry>> = BTreeMap::new();
         let mut current: Option<String> = None;
-        for (idx, raw) in text.lines().enumerate() {
+        let mut lines = text.lines().enumerate();
+        while let Some((idx, raw)) = lines.next() {
             let line_no = idx + 1;
-            let line = raw.trim();
-            if line.is_empty() || line.starts_with('#') {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
                 continue;
             }
             if let Some(name) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
@@ -67,33 +80,111 @@ impl LintConfig {
                     message: "key outside any [section]".to_string(),
                 });
             };
-            let values = parse_string_array(value.trim()).map_err(|message| ConfigError {
+            // Accumulate continuation lines until the array's brackets
+            // balance — multi-line arrays are first-class.
+            let mut buf = value.trim().to_string();
+            if !buf.starts_with('[') {
+                return Err(ConfigError {
+                    line: line_no,
+                    message: format!("expected a `[\"...\"]` string array, got `{buf}`"),
+                });
+            }
+            while !array_is_closed(&buf) {
+                let Some((_, next_raw)) = lines.next() else {
+                    return Err(ConfigError {
+                        line: line_no,
+                        message: format!("unterminated array for key `{}`", key.trim()),
+                    });
+                };
+                buf.push(' ');
+                buf.push_str(strip_comment(next_raw).trim());
+            }
+            let values = parse_string_array(&buf).map_err(|message| ConfigError {
                 line: line_no,
                 message,
             })?;
-            sections
-                .entry(section)
-                .or_default()
-                .insert(key.trim().to_string(), values);
+            sections.entry(section).or_default().insert(
+                key.trim().to_string(),
+                Entry {
+                    values,
+                    line: line_no,
+                },
+            );
         }
         Ok(Self { sections })
     }
 
     /// The string list at `[section] key`, empty when absent.
+    #[must_use]
     pub fn list(&self, section: &str, key: &str) -> &[String] {
         self.sections
             .get(section)
             .and_then(|s| s.get(key))
-            .map_or(&[], Vec::as_slice)
+            .map_or(&[], |e| e.values.as_slice())
     }
 
     /// Whether `[section]` exists at all.
+    #[must_use]
     pub fn has_section(&self, section: &str) -> bool {
         self.sections.contains_key(section)
     }
+
+    /// The 1-based `lint.toml` line of `[section] key`, when present.
+    #[must_use]
+    pub fn entry_line(&self, section: &str, key: &str) -> Option<usize> {
+        self.sections
+            .get(section)
+            .and_then(|s| s.get(key))
+            .map(|e| e.line)
+    }
+
+    /// Every `(section, key, values, line)` entry, in sorted order.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &str, &[String], usize)> {
+        self.sections.iter().flat_map(|(section, keys)| {
+            keys.iter().map(move |(key, entry)| {
+                (
+                    section.as_str(),
+                    key.as_str(),
+                    entry.values.as_slice(),
+                    entry.line,
+                )
+            })
+        })
+    }
 }
 
-/// Parses `["a", "b"]` (trailing comma tolerated, single line).
+/// Drops a `#` comment, respecting `"…"` strings (a `#` inside quotes is
+/// content, not a comment).
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_string = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'"' => in_string = !in_string,
+            b'#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Whether `buf` (comment-stripped) closes the `[` array it opens.
+fn array_is_closed(buf: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_string = false;
+    for b in buf.bytes() {
+        match b {
+            b'"' => in_string = !in_string,
+            b'[' if !in_string => depth += 1,
+            b']' if !in_string => depth -= 1,
+            _ => {}
+        }
+    }
+    depth <= 0
+}
+
+/// Parses `["a", "b"]` (trailing comma tolerated; input already collapsed
+/// onto one line and comment-stripped).
 fn parse_string_array(value: &str) -> Result<Vec<String>, String> {
     let inner = value
         .strip_prefix('[')
@@ -128,6 +219,33 @@ mod tests {
         assert!(cfg.has_section("other"));
         assert!(cfg.list("other", "crates").is_empty());
         assert!(cfg.list("missing", "missing").is_empty());
+        assert_eq!(cfg.entry_line("no-wall-clock", "allow-files"), Some(3));
+    }
+
+    #[test]
+    fn parses_multi_line_arrays() {
+        let cfg = LintConfig::parse(
+            "[no-panic-in-library]\ncrates = [\n    \"core\",  # the runner\n    \"gossip\",\n    \"trace\",\n]\n",
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.list("no-panic-in-library", "crates"),
+            ["core", "gossip", "trace"]
+        );
+        assert_eq!(cfg.entry_line("no-panic-in-library", "crates"), Some(2));
+    }
+
+    #[test]
+    fn hash_inside_quoted_item_is_not_a_comment() {
+        let cfg = LintConfig::parse("[s]\nfiles = [\n  \"a#b.rs\",\n]\n").unwrap();
+        assert_eq!(cfg.list("s", "files"), ["a#b.rs"]);
+    }
+
+    #[test]
+    fn unterminated_array_fails_with_the_key_line() {
+        let err = LintConfig::parse("[s]\nfiles = [\n  \"a.rs\",\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unterminated"));
     }
 
     #[test]
@@ -138,5 +256,18 @@ mod tests {
         assert_eq!(err.line, 2);
         let err = LintConfig::parse("[s]\nallow = yes\n").unwrap_err();
         assert!(err.message.contains("string array"));
+    }
+
+    #[test]
+    fn entries_iterate_in_sorted_order_with_lines() {
+        let cfg = LintConfig::parse("[b]\nk = [\"1\"]\n[a]\nj = [\"2\"]\n").unwrap();
+        let got: Vec<(String, String, usize)> = cfg
+            .entries()
+            .map(|(s, k, _, l)| (s.to_string(), k.to_string(), l))
+            .collect();
+        assert_eq!(
+            got,
+            vec![("a".into(), "j".into(), 4), ("b".into(), "k".into(), 2)]
+        );
     }
 }

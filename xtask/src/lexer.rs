@@ -1,0 +1,663 @@
+//! A token-level lexer for Rust source.
+//!
+//! The first lint engine matched patterns against a *masked* copy of each
+//! file — comments and literals blanked to spaces. That was enough for
+//! identifier rules but made token-adjacency queries ("is this `schema`
+//! followed by `:` and an integer literal?") fragile. The v2 engine lexes
+//! every file into a real token stream with byte spans, and rules match
+//! tokens. The lexer is still dependency-free (no `proc-macro2`/`syn`):
+//! the workspace must build with no registry access.
+//!
+//! Coverage is the full lexical surface the rules can encounter:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`), with doc flavors distinguished;
+//! * string literals with escapes, byte strings (`b"…"`), and raw /
+//!   raw-byte strings with any number of `#` delimiters (`r#"…"#`,
+//!   `br##"…"##`);
+//! * char literals vs lifetimes — `'a'` is a char, `'a` is a lifetime,
+//!   `'\''`, `'"'` and `'/'` are chars (the `"`/`//` bytes inside them
+//!   must not open a string or comment);
+//! * numeric literals (decimal, `0x`/`0o`/`0b`, underscores, floats,
+//!   exponents, type suffixes) — kept as single tokens so `1.0` never
+//!   reads as a method call on `1`;
+//! * identifiers/keywords (`r#raw` identifiers included) and one-byte
+//!   punctuation tokens.
+//!
+//! Unterminated literals or comments do not panic: the token is closed at
+//! end of input, matching how the old scanner degraded.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including `r#ident` raw identifiers).
+    Ident,
+    /// A lifetime such as `'a` (no closing quote).
+    Lifetime,
+    /// A char literal such as `'x'` or `'\n'`.
+    Char,
+    /// A string (`"…"`) or byte-string (`b"…"`) literal.
+    Str,
+    /// A raw or raw-byte string literal (`r"…"`, `r#"…"#`, `br##"…"##`).
+    RawStr,
+    /// An integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// A float literal (`1.0`, `2e-3`, `1.5f32`).
+    Float,
+    /// A `//` comment; `doc` marks `///` and `//!` flavors.
+    LineComment {
+        /// Whether this is a doc comment.
+        doc: bool,
+    },
+    /// A (possibly nested) `/* … */` comment.
+    BlockComment,
+    /// A single punctuation byte (`.`, `:`, `!`, `{`, …).
+    Punct,
+}
+
+impl TokenKind {
+    /// Whether the token is a comment of either flavor.
+    #[must_use]
+    pub fn is_comment(self) -> bool {
+        matches!(
+            self,
+            TokenKind::LineComment { .. } | TokenKind::BlockComment
+        )
+    }
+
+    /// Whether the token is a string/char-like literal whose contents the
+    /// rules must never match against.
+    #[must_use]
+    pub fn is_text_literal(self) -> bool {
+        matches!(self, TokenKind::Char | TokenKind::Str | TokenKind::RawStr)
+    }
+}
+
+/// One lexed token: kind plus its byte span and 1-based start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// The token's kind.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first byte.
+    pub start: usize,
+    /// Byte offset one past the token's last byte.
+    pub end: usize,
+    /// 1-based line of the token's first byte.
+    pub line: usize,
+}
+
+impl Token {
+    /// The token's text within `source`.
+    #[must_use]
+    pub fn text<'s>(&self, source: &'s str) -> &'s str {
+        &source[self.start..self.end]
+    }
+}
+
+/// Lexes `source` into a complete token stream (whitespace dropped,
+/// comments kept — the allow-comment parser needs them).
+#[must_use]
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        source,
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    source: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    line: usize,
+    tokens: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            let next = self.bytes.get(self.pos + 1).copied();
+            match b {
+                b'/' if next == Some(b'/') => self.line_comment(),
+                b'/' if next == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.pos),
+                b'\'' => self.quote(),
+                b'b' if next == Some(b'"') => self.string(self.pos + 1),
+                _ if self.raw_string_hashes().is_some() => self.raw_string(),
+                _ if b == b'r' && next == Some(b'#') && self.is_raw_ident() => self.ident(),
+                _ if is_ident_start(b) => self.ident(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ if b.is_ascii_whitespace() => {
+                    if b == b'\n' {
+                        self.line += 1;
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    let start = self.pos;
+                    // One token per byte; multi-byte UTF-8 punctuation is
+                    // consumed whole so spans stay on char boundaries.
+                    let len = utf8_len(b);
+                    self.pos += len;
+                    self.push(TokenKind::Punct, start);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        let line = self.line;
+        // `line` tracks the *current* position; walk back over any
+        // newlines inside the token so the recorded line is the start's.
+        let newlines_inside = self.bytes[start..self.pos]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count();
+        self.tokens.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line: line - newlines_inside,
+        });
+    }
+
+    fn advance_counting_lines(&mut self, to: usize) {
+        for &b in &self.bytes[self.pos..to] {
+            if b == b'\n' {
+                self.line += 1;
+            }
+        }
+        self.pos = to;
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        let end = self.source[start..]
+            .find('\n')
+            .map_or(self.bytes.len(), |n| start + n);
+        let doc = matches!(self.bytes.get(start + 2), Some(&b'/') | Some(&b'!'))
+            // `////…` separator lines are plain comments, not docs.
+            && self.bytes.get(start + 3) != Some(&b'/');
+        self.pos = end;
+        self.push(TokenKind::LineComment { doc }, start);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let mut depth = 1usize;
+        let mut j = start + 2;
+        while j < self.bytes.len() && depth > 0 {
+            if self.bytes[j] == b'/' && self.bytes.get(j + 1) == Some(&b'*') {
+                depth += 1;
+                j += 2;
+            } else if self.bytes[j] == b'*' && self.bytes.get(j + 1) == Some(&b'/') {
+                depth -= 1;
+                j += 2;
+            } else {
+                j += 1;
+            }
+        }
+        self.advance_counting_lines(j);
+        self.push(TokenKind::BlockComment, start);
+    }
+
+    /// Lexes a plain/byte string whose opening quote sits at `quote`.
+    /// (`self.pos` may be one before, on the `b` prefix.)
+    fn string(&mut self, quote: usize) {
+        let start = self.pos;
+        let mut j = quote + 1;
+        while j < self.bytes.len() {
+            match self.bytes[j] {
+                b'\\' => j += 2,
+                b'"' => {
+                    j += 1;
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        self.advance_counting_lines(j.min(self.bytes.len()));
+        self.push(TokenKind::Str, start);
+    }
+
+    /// `Some(hash_count)` when a raw (or raw-byte) string starts at
+    /// `self.pos`.
+    fn raw_string_hashes(&self) -> Option<usize> {
+        let rest = &self.bytes[self.pos..];
+        let after_prefix = match rest {
+            [b'b', b'r', ..] => &rest[2..],
+            [b'r', ..] => &rest[1..],
+            _ => return None,
+        };
+        if self.pos > 0 && is_ident_byte(self.bytes[self.pos - 1]) {
+            return None; // the `r` is the tail of a longer identifier
+        }
+        let hashes = after_prefix.iter().take_while(|&&b| b == b'#').count();
+        (after_prefix.get(hashes) == Some(&b'"')).then_some(hashes)
+    }
+
+    fn raw_string(&mut self) {
+        let start = self.pos;
+        let hashes = self
+            .raw_string_hashes()
+            .expect("caller checked raw_string_hashes");
+        let mut j = self.pos;
+        if self.bytes[j] == b'b' {
+            j += 1;
+        }
+        j += 1 + hashes + 1; // `r`, hashes, opening quote
+        while j < self.bytes.len() {
+            if self.bytes[j] == b'"'
+                && self.bytes[j + 1..].len() >= hashes
+                && self.bytes[j + 1..j + 1 + hashes].iter().all(|&b| b == b'#')
+            {
+                j += 1 + hashes;
+                break;
+            }
+            j += 1;
+        }
+        self.advance_counting_lines(j.min(self.bytes.len()));
+        self.push(TokenKind::RawStr, start);
+    }
+
+    /// Whether `self.pos` starts an `r#ident` raw identifier (as opposed
+    /// to an `r#"…"#` raw string, which the caller has already excluded).
+    fn is_raw_ident(&self) -> bool {
+        self.bytes
+            .get(self.pos + 2)
+            .copied()
+            .is_some_and(is_ident_start)
+    }
+
+    /// Disambiguates `'` between char literals and lifetimes.
+    fn quote(&mut self) {
+        let start = self.pos;
+        match self.bytes.get(start + 1) {
+            // `'\…'`: escaped char literal (covers `'\''`, `'\n'`, `'\\'`,
+            // `'\x41'`, `'\u{1F600}'`). Consume the escape designator, then
+            // the closing quote; a malformed escape just ends the token
+            // early rather than swallowing the rest of the line.
+            Some(b'\\') => {
+                let mut j = start + 2; // first byte after the backslash
+                match self.bytes.get(j) {
+                    Some(b'u') if self.bytes.get(j + 1) == Some(&b'{') => {
+                        j += 2;
+                        while j < self.bytes.len()
+                            && self.bytes[j] != b'}'
+                            && self.bytes[j] != b'\n'
+                        {
+                            j += 1;
+                        }
+                        if self.bytes.get(j) == Some(&b'}') {
+                            j += 1;
+                        }
+                    }
+                    Some(b'x') => j += 3, // \xNN
+                    Some(_) => j += 1,    // \n, \t, \', \\, \", \0, …
+                    None => {}
+                }
+                if self.bytes.get(j) == Some(&b'\'') {
+                    j += 1;
+                }
+                self.pos = j.min(self.bytes.len());
+                self.push(TokenKind::Char, start);
+            }
+            // `''` can't start a char; treat the quote as punctuation.
+            Some(b'\'') | None => {
+                self.pos = start + 1;
+                self.push(TokenKind::Punct, start);
+            }
+            Some(&c) => {
+                // `'x'` (one scalar then a closing quote) is a char — this
+                // is where `'"'` and `'/'` matter: the inner byte must not
+                // open a string or comment. Anything else (`'a`, `'static`)
+                // is a lifetime: quote plus the identifier run.
+                let scalar_len = utf8_len(c);
+                let close = start + 1 + scalar_len;
+                if self.bytes.get(close) == Some(&b'\'') {
+                    self.pos = close + 1;
+                    self.push(TokenKind::Char, start);
+                } else {
+                    let mut j = start + 1;
+                    while j < self.bytes.len() && is_ident_byte(self.bytes[j]) {
+                        j += 1;
+                    }
+                    self.pos = j.max(start + 1);
+                    self.push(TokenKind::Lifetime, start);
+                }
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        if self.bytes[start] == b'r' && self.bytes.get(start + 1) == Some(&b'#') {
+            self.pos = start + 2;
+        }
+        while self.pos < self.bytes.len() && is_ident_byte(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+        self.push(TokenKind::Ident, start);
+    }
+
+    /// Lexes a numeric literal. `1.0` stays one `Float` token; `1.` is
+    /// left as `Int` + `.` (matching rustc, where `1.method()` parses);
+    /// exponents and type suffixes are folded in.
+    fn number(&mut self) {
+        let start = self.pos;
+        let mut j = start;
+        let radix_prefix = matches!(
+            (self.bytes.get(j), self.bytes.get(j + 1)),
+            (Some(b'0'), Some(b'x' | b'o' | b'b' | b'X' | b'O' | b'B'))
+        );
+        if radix_prefix {
+            j += 2;
+            while j < self.bytes.len()
+                && (self.bytes[j].is_ascii_alphanumeric() || self.bytes[j] == b'_')
+            {
+                j += 1;
+            }
+            self.pos = j;
+            self.push(TokenKind::Int, start);
+            return;
+        }
+        let mut float = false;
+        while j < self.bytes.len() && (self.bytes[j].is_ascii_digit() || self.bytes[j] == b'_') {
+            j += 1;
+        }
+        // Fractional part: a dot followed by a digit (so `1..2` ranges and
+        // `1.max(2)` method calls stay integer-plus-punct).
+        if self.bytes.get(j) == Some(&b'.') && self.bytes.get(j + 1).is_some_and(u8::is_ascii_digit)
+        {
+            float = true;
+            j += 1;
+            while j < self.bytes.len() && (self.bytes[j].is_ascii_digit() || self.bytes[j] == b'_')
+            {
+                j += 1;
+            }
+        }
+        // Exponent.
+        if matches!(self.bytes.get(j), Some(b'e' | b'E')) {
+            let mut k = j + 1;
+            if matches!(self.bytes.get(k), Some(b'+' | b'-')) {
+                k += 1;
+            }
+            if self.bytes.get(k).is_some_and(u8::is_ascii_digit) {
+                float = true;
+                j = k;
+                while j < self.bytes.len()
+                    && (self.bytes[j].is_ascii_digit() || self.bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+            }
+        }
+        // Type suffix (`u64`, `f32`, …).
+        if self.bytes.get(j).copied().is_some_and(is_ident_start) {
+            let suffix_start = j;
+            while j < self.bytes.len() && is_ident_byte(self.bytes[j]) {
+                j += 1;
+            }
+            if self.source[suffix_start..j].starts_with('f') {
+                float = true;
+            }
+        }
+        self.pos = j;
+        self.push(
+            if float {
+                TokenKind::Float
+            } else {
+                TokenKind::Int
+            },
+            start,
+        );
+    }
+}
+
+/// Rebuilds the masked view of `source` from its token stream: comments
+/// and string/char literals are blanked to spaces byte-for-byte (newlines
+/// kept), everything else is copied through. Statement-span heuristics
+/// (the float-accumulation rule) and `#[cfg(test)]` bracket matching still
+/// run on this view; offsets and line numbers match the original exactly.
+#[must_use]
+pub fn mask(source: &str, tokens: &[Token]) -> String {
+    let mut out = source.as_bytes().to_vec();
+    for token in tokens {
+        if token.kind.is_comment() || token.kind.is_text_literal() {
+            for b in &mut out[token.start..token.end] {
+                if *b != b'\n' {
+                    *b = b' ';
+                }
+            }
+        }
+    }
+    // Only ASCII bytes were replaced with ASCII spaces inside spans that
+    // lie on char boundaries, so the result is valid UTF-8.
+    String::from_utf8(out).unwrap_or_else(|_| source.to_string())
+}
+
+pub(crate) fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+pub(crate) fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Length in bytes of the UTF-8 scalar starting with `b`.
+fn utf8_len(b: u8) -> usize {
+    match b {
+        _ if b < 0x80 => 1,
+        _ if b < 0xE0 => 2,
+        _ if b < 0xF0 => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    fn texts_of(src: &str, kind: TokenKind) -> Vec<String> {
+        lex(src)
+            .iter()
+            .filter(|t| t.kind == kind)
+            .map(|t| t.text(src).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_numbers() {
+        let toks = kinds("let x2 = 41 + 1.5f32;");
+        assert!(toks.contains(&(TokenKind::Ident, "let".into())));
+        assert!(toks.contains(&(TokenKind::Ident, "x2".into())));
+        assert!(toks.contains(&(TokenKind::Int, "41".into())));
+        assert!(toks.contains(&(TokenKind::Float, "1.5f32".into())));
+        assert!(toks.contains(&(TokenKind::Punct, ";".into())));
+    }
+
+    #[test]
+    fn numeric_shapes() {
+        assert_eq!(
+            texts_of("0xFF_u8 0b1010 1_000_000u64", TokenKind::Int).len(),
+            3
+        );
+        assert_eq!(
+            texts_of("1.0 2e-3 4E+2 7f64 1_0.5", TokenKind::Float).len(),
+            5
+        );
+        // `1..2` is Int, `..`, Int — the dot must not glue to the 1.
+        let toks = kinds("1..2");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Int, "1".into()),
+                (TokenKind::Punct, ".".into()),
+                (TokenKind::Punct, ".".into()),
+                (TokenKind::Int, "2".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let src = "/* outer /* inner HashMap */ tail */ fn g() {}";
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert!(toks[0].1.contains("inner HashMap"));
+        assert!(toks.contains(&(TokenKind::Ident, "fn".into())));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"let s = r#"quoted "inside" thread_rng"#; let t = br##"x"# still"##;"####;
+        let raws = texts_of(src, TokenKind::RawStr);
+        assert_eq!(raws.len(), 2, "{raws:?}");
+        assert!(raws[0].contains("thread_rng"));
+        assert!(raws[1].contains("still"));
+        // Nothing inside the raw strings leaked out as identifiers.
+        let idents = texts_of(src, TokenKind::Ident);
+        assert!(!idents.iter().any(|i| i == "thread_rng"));
+    }
+
+    #[test]
+    fn char_literals_containing_quote_and_slashes() {
+        // `'"'` must not open a string; `'/'` twice must not open a comment.
+        let src = "let a = '\"'; let b = '/'; let c = '/'; let d = \"live\";";
+        let chars = texts_of(src, TokenKind::Char);
+        assert_eq!(chars, vec!["'\"'", "'/'", "'/'"]);
+        assert_eq!(texts_of(src, TokenKind::Str), vec!["\"live\""]);
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let src = r"let a = '\''; let b = '\\'; let c = '\n'; let d = '\u{1F600}';";
+        assert_eq!(texts_of(src, TokenKind::Char).len(), 4);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str, s: &'static str) -> char { let c = 'x'; c }";
+        assert_eq!(
+            texts_of(src, TokenKind::Lifetime),
+            vec!["'a", "'a", "'static"]
+        );
+        assert_eq!(texts_of(src, TokenKind::Char), vec!["'x'"]);
+    }
+
+    #[test]
+    fn unicode_char_literal_vs_lifetime() {
+        let src = "let heart = '❤'; let l: &'aé u8 = &0;";
+        assert_eq!(texts_of(src, TokenKind::Char), vec!["'❤'"]);
+        assert_eq!(texts_of(src, TokenKind::Lifetime), vec!["'aé"]);
+    }
+
+    #[test]
+    fn byte_strings_and_escapes() {
+        let src = r#"let a = b"bytes"; let b = "esc \" still string HashMap"; let c = 1;"#;
+        let strs = texts_of(src, TokenKind::Str);
+        assert_eq!(strs.len(), 2);
+        assert!(strs[1].contains("HashMap"));
+        assert!(!texts_of(src, TokenKind::Ident)
+            .iter()
+            .any(|i| i == "HashMap"));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let src = "let r#type = 1; let r = 2;";
+        let idents = texts_of(src, TokenKind::Ident);
+        assert!(idents.iter().any(|i| i == "r#type"));
+    }
+
+    #[test]
+    fn doc_comments_are_flagged() {
+        let src = "/// doc\n//! inner\n// plain\n//// separator\nfn f() {}\n";
+        let doc_flags: Vec<bool> = lex(src)
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::LineComment { doc } => Some(doc),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(doc_flags, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn token_lines_are_one_based_and_start_of_token() {
+        let src = "fn a() {}\nlet s = \"multi\nline\";\nfn b() {}\n";
+        let toks = lex(src);
+        let b_tok = toks
+            .iter()
+            .find(|t| t.text(src) == "b")
+            .expect("ident b is lexed");
+        assert_eq!(b_tok.line, 4);
+        let s_tok = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Str)
+            .expect("string is lexed");
+        assert_eq!(s_tok.line, 2);
+    }
+
+    #[test]
+    fn every_byte_is_covered_or_whitespace() {
+        let src = "fn f<'a>(x: &'a str) { let c = '\\''; let s = r#\"x\"#; /* c */ }\n";
+        let toks = lex(src);
+        let mut covered = vec![false; src.len()];
+        for t in &toks {
+            for slot in &mut covered[t.start..t.end] {
+                *slot = true;
+            }
+        }
+        for (i, b) in src.bytes().enumerate() {
+            assert!(
+                covered[i] || b.is_ascii_whitespace(),
+                "byte {i} ({:?}) uncovered",
+                b as char
+            );
+        }
+    }
+
+    #[test]
+    fn mask_blanks_comments_and_literals_only() {
+        let src = "let a = \"thread_rng\"; // Instant::now\nlet b = HashMap::new();\n";
+        let toks = lex(src);
+        let masked = mask(src, &toks);
+        assert_eq!(masked.len(), src.len());
+        assert!(!masked.contains("thread_rng"));
+        assert!(!masked.contains("Instant::now"));
+        assert!(masked.contains("HashMap"));
+        assert_eq!(
+            src.matches('\n').count(),
+            masked.matches('\n').count(),
+            "newlines must survive masking"
+        );
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        for src in [
+            "let s = \"open",
+            "let s = r#\"open",
+            "/* open",
+            "let c = '\\",
+            "b\"open",
+        ] {
+            let toks = lex(src);
+            assert!(!toks.is_empty(), "{src:?} lexed to nothing");
+            let _ = mask(src, &toks);
+        }
+    }
+}

@@ -2,13 +2,19 @@
 //!
 //! The only task today is `lint`: a determinism & soundness static-analysis
 //! pass enforcing repo-specific rules the stock toolchain cannot express
-//! (see DESIGN.md §8). It is deliberately dependency-free — a lexical
-//! scanner over masked source text rather than a `syn` AST walk — so it
-//! builds and runs even when no crate registry is reachable.
+//! (see DESIGN.md §8). It is deliberately dependency-free — a hand-rolled
+//! token-level lexer ([`lexer`]) rather than a `syn` AST walk, and
+//! hand-rolled JSON/SARIF emission ([`output`]) rather than `serde` — so
+//! it builds and runs even when no crate registry is reachable. Rules
+//! match the token stream, so banned names inside strings, chars, or
+//! comments can never fire.
 
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod json;
+pub mod lexer;
+pub mod output;
 pub mod rules;
 pub mod scanner;
 pub mod walk;

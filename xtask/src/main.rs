@@ -5,6 +5,8 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use xtask::output::{self, Format};
+
 const USAGE: &str = "\
 cargo xtask <task>
 
@@ -15,9 +17,15 @@ lint options:
   --root <DIR>      workspace root to scan (default: parent of the xtask
                     manifest under cargo, else the current directory)
   --config <FILE>   lint.toml to use (default: <root>/lint.toml if present)
+  --format <FMT>    text (default), json, or sarif
+  --output <FILE>   write findings to FILE instead of the terminal; the
+                    human summary still goes to stderr, so CI can upload
+                    SARIF while the job output stays readable
   --list-rules      print the rule table and exit
 
-Exit codes: 0 clean, 1 findings, 2 usage or configuration error.";
+Exit codes: 0 clean, 1 findings, 2 usage or configuration error.
+With --format json|sarif the document is emitted even when clean (an
+empty result set), so uploads are unconditional.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,6 +45,8 @@ fn main() -> ExitCode {
 fn lint(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut config: Option<PathBuf> = None;
+    let mut format = Format::Text;
+    let mut output: Option<PathBuf> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -54,26 +64,53 @@ fn lint(args: &[String]) -> ExitCode {
                 Some(v) => config = Some(PathBuf::from(v)),
                 None => return usage_error("--config requires a file"),
             },
+            "--format" => match iter.next().map(|v| Format::parse(v)) {
+                Some(Ok(f)) => format = f,
+                Some(Err(e)) => return usage_error(&e),
+                None => return usage_error("--format requires text, json, or sarif"),
+            },
+            "--output" => match iter.next() {
+                Some(v) => output = Some(PathBuf::from(v)),
+                None => return usage_error("--output requires a file"),
+            },
             other => return usage_error(&format!("unknown lint option `{other}`")),
         }
     }
     let root = root.unwrap_or_else(default_root);
-    match xtask::lint_root(&root, config.as_deref()) {
-        Ok(diags) if diags.is_empty() => {
-            println!("xtask lint: clean");
-            ExitCode::SUCCESS
+    let diags = match xtask::lint_root(&root, config.as_deref()) {
+        Ok(diags) => diags,
+        Err(message) => {
+            eprintln!("xtask lint: {message}");
+            return ExitCode::from(2);
         }
-        Ok(diags) => {
+    };
+    // Machine formats always emit a document (empty result set when
+    // clean); text only prints findings.
+    let rendered = match format {
+        Format::Text if diags.is_empty() => String::new(),
+        _ => output::render(&diags, format),
+    };
+    if let Some(path) = &output {
+        if let Err(e) = std::fs::write(path, &rendered) {
+            eprintln!("xtask lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    } else {
+        print!("{rendered}");
+    }
+    if diags.is_empty() {
+        eprintln!("xtask lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        if format != Format::Text || output.is_some() {
+            // The findings went to a file or a machine format; keep the
+            // human-readable account on stderr.
             for d in &diags {
                 eprintln!("{d}\n");
             }
-            eprintln!("xtask lint: {} finding(s)", diags.len());
-            ExitCode::FAILURE
         }
-        Err(message) => {
-            eprintln!("xtask lint: {message}");
-            ExitCode::from(2)
-        }
+        eprintln!("xtask lint: {} finding(s)", diags.len());
+        ExitCode::FAILURE
     }
 }
 

@@ -1,0 +1,255 @@
+//! Finding serialization: human text, line-oriented JSON, and SARIF 2.1.0.
+//!
+//! All three formats are emitted by hand — the linter is dependency-free
+//! by design (it must build with no registry reachable), so there is no
+//! `serde` here, just a small JSON string writer. The SARIF output targets
+//! the GitHub code-scanning subset of SARIF 2.1.0: one run, one driver,
+//! a populated rule table (so findings link to their rule help), and one
+//! result per diagnostic with a physical location.
+
+use std::fmt::Write as _;
+
+use crate::rules::{Diagnostic, RULES};
+
+/// Output format for `cargo xtask lint --format <fmt>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Format {
+    /// Rustc-style human diagnostics (the default).
+    #[default]
+    Text,
+    /// One JSON object per finding inside a top-level array.
+    Json,
+    /// SARIF 2.1.0, for GitHub code scanning upload.
+    Sarif,
+}
+
+impl Format {
+    /// Parses a `--format` argument.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "text" => Ok(Self::Text),
+            "json" => Ok(Self::Json),
+            "sarif" => Ok(Self::Sarif),
+            other => Err(format!(
+                "unknown format `{other}` (expected text, json, or sarif)"
+            )),
+        }
+    }
+}
+
+/// Renders `diags` in `format`. The returned string ends with a newline
+/// unless empty.
+#[must_use]
+pub fn render(diags: &[Diagnostic], format: Format) -> String {
+    match format {
+        Format::Text => render_text(diags),
+        Format::Json => render_json(diags),
+        Format::Sarif => render_sarif(diags),
+    }
+}
+
+fn render_text(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for diag in diags {
+        let _ = writeln!(out, "{diag}");
+        out.push('\n');
+    }
+    out
+}
+
+/// Escapes `s` into a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[\n");
+    for (i, d) in diags.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}}}",
+            json_string(d.rule),
+            json_string(&d.path.to_string_lossy().replace('\\', "/")),
+            d.line,
+            json_string(&d.message),
+            json_string(&d.snippet),
+        );
+        out.push_str(if i + 1 < diags.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn render_sarif(diags: &[Diagnostic]) -> String {
+    let mut rules = String::new();
+    for (i, rule) in RULES.iter().enumerate() {
+        let _ = write!(
+            rules,
+            "          {{\n            \"id\": {},\n            \"shortDescription\": {{\"text\": {}}},\n            \"defaultConfiguration\": {{\"level\": \"error\"}}\n          }}{}",
+            json_string(rule.name),
+            json_string(rule.summary),
+            if i + 1 < RULES.len() { ",\n" } else { "\n" }
+        );
+    }
+    let mut results = String::new();
+    for (i, d) in diags.iter().enumerate() {
+        let rule_index = RULES
+            .iter()
+            .position(|r| r.name == d.rule)
+            .unwrap_or_default();
+        let _ = write!(
+            results,
+            "        {{\n          \"ruleId\": {},\n          \"ruleIndex\": {},\n          \"level\": \"error\",\n          \"message\": {{\"text\": {}}},\n          \"locations\": [\n            {{\n              \"physicalLocation\": {{\n                \"artifactLocation\": {{\"uri\": {}, \"uriBaseId\": \"%SRCROOT%\"}},\n                \"region\": {{\"startLine\": {}, \"snippet\": {{\"text\": {}}}}}\n              }}\n            }}\n          ]\n        }}{}",
+            json_string(d.rule),
+            rule_index,
+            json_string(&d.message),
+            json_string(&d.path.to_string_lossy().replace('\\', "/")),
+            d.line,
+            json_string(&d.snippet),
+            if i + 1 < diags.len() { ",\n" } else { "\n" }
+        );
+    }
+    format!(
+        "{{\n  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n  \"version\": \"2.1.0\",\n  \"runs\": [\n    {{\n      \"tool\": {{\n        \"driver\": {{\n          \"name\": \"glmia-xtask-lint\",\n          \"informationUri\": \"https://github.com/glmia/glmia\",\n          \"rules\": [\n{rules}          ]\n        }}\n      }},\n      \"results\": [\n{results}      ]\n    }}\n  ]\n}}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic {
+                rule: "no-wall-clock",
+                path: PathBuf::from("crates/core/src/runner.rs"),
+                line: 12,
+                message: "wall clock \"quoted\" and\nnewline".to_string(),
+                snippet: "let t = Instant::now();".to_string(),
+            },
+            Diagnostic {
+                rule: "no-unseeded-rng",
+                path: PathBuf::from("crates/dist/src/sampler.rs"),
+                line: 3,
+                message: "entropy".to_string(),
+                snippet: "thread_rng()".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn format_parses_and_rejects() {
+        assert_eq!(Format::parse("text").unwrap(), Format::Text);
+        assert_eq!(Format::parse("json").unwrap(), Format::Json);
+        assert_eq!(Format::parse("sarif").unwrap(), Format::Sarif);
+        assert!(Format::parse("xml").is_err());
+    }
+
+    #[test]
+    fn json_escapes_control_and_quote_characters() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn json_output_parses_back() {
+        let text = render(&sample(), Format::Json);
+        let value = crate::json::parse(&text).expect("emitted JSON parses");
+        let items = value.as_array().expect("top level is an array");
+        assert_eq!(items.len(), 2);
+        assert_eq!(
+            items[0].get("rule").and_then(|v| v.as_str()),
+            Some("no-wall-clock")
+        );
+        assert_eq!(items[0].get("line").and_then(|v| v.as_f64()), Some(12.0));
+        assert_eq!(
+            items[0].get("message").and_then(|v| v.as_str()),
+            Some("wall clock \"quoted\" and\nnewline")
+        );
+    }
+
+    #[test]
+    fn empty_json_is_an_empty_array() {
+        let value = crate::json::parse(&render(&[], Format::Json)).unwrap();
+        assert_eq!(value.as_array().map(Vec::len), Some(0));
+    }
+
+    #[test]
+    fn sarif_declares_version_and_schema() {
+        let value = crate::json::parse(&render(&sample(), Format::Sarif)).unwrap();
+        assert_eq!(value.get("version").and_then(|v| v.as_str()), Some("2.1.0"));
+        assert!(value
+            .get("$schema")
+            .and_then(|v| v.as_str())
+            .is_some_and(|s| s.contains("sarif-schema-2.1.0")));
+    }
+
+    #[test]
+    fn sarif_rule_table_covers_every_rule_and_indexes_match() {
+        let value = crate::json::parse(&render(&sample(), Format::Sarif)).unwrap();
+        let runs = value.get("runs").and_then(|v| v.as_array()).unwrap();
+        let driver = runs[0].get("tool").unwrap().get("driver").unwrap();
+        let rules = driver.get("rules").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(rules.len(), RULES.len());
+        for (i, rule) in RULES.iter().enumerate() {
+            assert_eq!(rules[i].get("id").and_then(|v| v.as_str()), Some(rule.name));
+        }
+        let results = runs[0].get("results").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(results.len(), 2);
+        for result in results {
+            let id = result.get("ruleId").and_then(|v| v.as_str()).unwrap();
+            let idx = result.get("ruleIndex").and_then(|v| v.as_f64()).unwrap() as usize;
+            assert_eq!(rules[idx].get("id").and_then(|v| v.as_str()), Some(id));
+        }
+    }
+
+    #[test]
+    fn sarif_locations_carry_path_and_line() {
+        let value = crate::json::parse(&render(&sample(), Format::Sarif)).unwrap();
+        let result = &value.get("runs").unwrap().as_array().unwrap()[0]
+            .get("results")
+            .unwrap()
+            .as_array()
+            .unwrap()[0];
+        let loc = &result.get("locations").unwrap().as_array().unwrap()[0];
+        let phys = loc.get("physicalLocation").unwrap();
+        assert_eq!(
+            phys.get("artifactLocation")
+                .unwrap()
+                .get("uri")
+                .and_then(|v| v.as_str()),
+            Some("crates/core/src/runner.rs")
+        );
+        assert_eq!(
+            phys.get("region")
+                .unwrap()
+                .get("startLine")
+                .and_then(|v| v.as_f64()),
+            Some(12.0)
+        );
+    }
+
+    #[test]
+    fn text_output_is_rustc_style() {
+        let text = render(&sample(), Format::Text);
+        assert!(text.starts_with("error[no-wall-clock]"));
+        assert!(text.contains("crates/core/src/runner.rs:12"));
+    }
+}

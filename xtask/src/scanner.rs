@@ -1,13 +1,20 @@
-//! Lexical preprocessing of Rust sources for the lint rules.
+//! Per-file preprocessing for the lint rules, built on the token lexer.
 //!
-//! Rules match tokens on a *masked* copy of each file: comments and
-//! string/char literals are blanked out (byte-for-byte, newlines kept), so
-//! a `thread_rng` inside a doc example or an error message never trips a
-//! rule. The scanner also extracts the `// lint:allow(rule, "reason")`
-//! escape hatches and the line spans of `#[cfg(test)]` blocks, which the
-//! no-panic rule exempts.
+//! Every file is lexed into a full token stream ([`crate::lexer`]); rules
+//! match tokens, so a `thread_rng` inside a doc example, a string, or a
+//! char literal can never trip a rule. A masked view (comments/literals
+//! blanked byte-for-byte) is still derived from the tokens for the two
+//! analyses that want flat text: statement-span heuristics and
+//! `#[cfg(test)]` bracket matching.
+//!
+//! The scanner also extracts `// lint:allow(rule, "reason")` escape
+//! hatches from comment tokens. Allows are *candidates* here; whether each
+//! one actually suppresses a finding is decided by the suppression pass in
+//! [`crate::rules`], which is what powers the `unused-lint-allow` rule.
 
 use std::path::PathBuf;
+
+use crate::lexer::{self, Token, TokenKind};
 
 /// Where a file sits in the workspace; rules scope themselves by kind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +43,19 @@ pub struct Allow {
     pub standalone: bool,
 }
 
+impl Allow {
+    /// The 1-based line this allow covers: its own line for the trailing
+    /// form, the next line for the standalone form.
+    #[must_use]
+    pub fn covered_line(&self) -> usize {
+        if self.standalone {
+            self.line + 1
+        } else {
+            self.line
+        }
+    }
+}
+
 /// A malformed escape hatch, reported as a diagnostic in its own right.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BadAllow {
@@ -56,6 +76,11 @@ pub struct ScannedFile {
     pub kind: FileKind,
     /// Original source text.
     pub source: String,
+    /// The complete token stream (comments included).
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of the significant (non-comment) tokens, in
+    /// order — the stream rules do adjacency queries on.
+    pub sig: Vec<usize>,
     /// Source with comments and string/char literals blanked to spaces.
     pub masked: String,
     /// Parsed escape hatches.
@@ -68,15 +93,25 @@ pub struct ScannedFile {
 
 impl ScannedFile {
     /// Preprocesses `source` as the file at `path`.
+    #[must_use]
     pub fn new(path: PathBuf, crate_name: Option<String>, kind: FileKind, source: String) -> Self {
-        let (masked, comments) = mask(&source);
-        let (allows, bad_allows) = parse_allows(&comments);
+        let tokens = lexer::lex(&source);
+        let sig = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.kind.is_comment())
+            .map(|(i, _)| i)
+            .collect();
+        let masked = lexer::mask(&source, &tokens);
+        let (allows, bad_allows) = parse_allows(&source, &tokens);
         let test_spans = find_test_spans(&masked);
         Self {
             path,
             crate_name,
             kind,
             source,
+            tokens,
+            sig,
             masked,
             allows,
             bad_allows,
@@ -85,6 +120,7 @@ impl ScannedFile {
     }
 
     /// The 1-based line containing byte `offset`.
+    #[must_use]
     pub fn line_of(&self, offset: usize) -> usize {
         1 + self.source[..offset.min(self.source.len())]
             .bytes()
@@ -93,6 +129,7 @@ impl ScannedFile {
     }
 
     /// The trimmed text of 1-based `line`.
+    #[must_use]
     pub fn line_text(&self, line: usize) -> &str {
         self.source
             .lines()
@@ -102,224 +139,122 @@ impl ScannedFile {
     }
 
     /// Whether `line` falls inside a `#[cfg(test)]` item.
+    #[must_use]
     pub fn in_test_span(&self, line: usize) -> bool {
         self.test_spans
             .iter()
             .any(|&(start, end)| start <= line && line <= end)
     }
 
-    /// Whether a finding of `rule` on `line` is covered by an escape
-    /// hatch: a trailing allow on the same line, or a standalone allow on
-    /// the line directly above.
-    pub fn is_allowed(&self, rule: &str, line: usize) -> bool {
-        self.allows.iter().any(|a| {
-            a.rule == rule
-                && ((a.line == line && !a.standalone) || (a.standalone && a.line + 1 == line))
-        })
+    /// The index into `allows` of an escape hatch covering a finding of
+    /// `rule` on `line`, if any.
+    #[must_use]
+    pub fn matching_allow(&self, rule: &str, line: usize) -> Option<usize> {
+        self.allows
+            .iter()
+            .position(|a| a.rule == rule && a.covered_line() == line)
+    }
+
+    // ---- token-stream queries -------------------------------------------
+
+    /// The significant token at stream position `i` (comments skipped).
+    #[must_use]
+    pub fn sig_token(&self, i: usize) -> Option<&Token> {
+        self.sig.get(i).map(|&idx| &self.tokens[idx])
+    }
+
+    /// The text of the significant token at stream position `i`.
+    #[must_use]
+    pub fn sig_text(&self, i: usize) -> &str {
+        self.sig_token(i).map_or("", |t| t.text(&self.source))
+    }
+
+    /// Stream positions (indices into `sig`) of identifier tokens whose
+    /// text is `name`.
+    #[must_use]
+    pub fn idents(&self, name: &str) -> Vec<usize> {
+        (0..self.sig.len())
+            .filter(|&i| {
+                let t = &self.tokens[self.sig[i]];
+                t.kind == TokenKind::Ident && t.text(&self.source) == name
+            })
+            .collect()
+    }
+
+    /// Whether the significant tokens starting at stream position `i`
+    /// spell `texts` exactly (any kind; compares token text).
+    #[must_use]
+    pub fn sig_matches(&self, i: usize, texts: &[&str]) -> bool {
+        texts
+            .iter()
+            .enumerate()
+            .all(|(k, want)| self.sig_text(i + k) == *want)
+    }
+
+    /// Stream positions of `a::b` path patterns, returned at the position
+    /// of `a` (e.g. `paths("Instant", "now")` finds `Instant::now`).
+    #[must_use]
+    pub fn paths(&self, a: &str, b: &str) -> Vec<usize> {
+        self.idents(a)
+            .into_iter()
+            .filter(|&i| self.sig_matches(i + 1, &[":", ":"]) && self.sig_text(i + 3) == b)
+            .collect()
+    }
+
+    /// Stream positions of `.name` method-call patterns (position of the
+    /// method identifier).
+    #[must_use]
+    pub fn method_calls(&self, name: &str) -> Vec<usize> {
+        self.idents(name)
+            .into_iter()
+            .filter(|&i| i > 0 && self.sig_text(i - 1) == ".")
+            .collect()
+    }
+
+    /// Stream positions of `name!` macro-invocation patterns.
+    #[must_use]
+    pub fn macro_calls(&self, name: &str) -> Vec<usize> {
+        self.idents(name)
+            .into_iter()
+            .filter(|&i| self.sig_text(i + 1) == "!")
+            .collect()
+    }
+
+    /// Whether the identifier at stream position `i` is the final segment
+    /// of a `Prefix::` path (e.g. `Ordering::Relaxed`).
+    #[must_use]
+    pub fn path_prefixed_by(&self, i: usize, prefix: &str) -> bool {
+        i >= 3 && self.sig_matches(i - 2, &[":", ":"]) && self.sig_text(i - 3) == prefix
+    }
+
+    /// The 1-based line of the significant token at stream position `i`.
+    #[must_use]
+    pub fn sig_line(&self, i: usize) -> usize {
+        self.sig_token(i).map_or(1, |t| t.line)
     }
 }
 
-/// A line comment captured during masking.
-#[derive(Debug, Clone)]
-struct Comment {
-    /// 1-based line of the `//`.
-    line: usize,
-    /// Text after the `//`, up to the newline.
-    text: String,
-    /// Whether anything other than whitespace precedes the `//` on its line.
-    trailing: bool,
-}
-
-/// Blanks comments and string/char literals, preserving byte offsets and
-/// newlines, and collects line comments for allow parsing.
-fn mask(source: &str) -> (String, Vec<Comment>) {
-    let bytes = source.as_bytes();
-    let mut out = Vec::with_capacity(bytes.len());
-    let mut comments = Vec::new();
-    let mut line = 1usize;
-    let mut line_has_code = false;
-    let mut i = 0usize;
-
-    // Pushes `n` bytes of blank space, preserving any newlines in `src`.
-    fn blank(out: &mut Vec<u8>, src: &[u8], line: &mut usize) {
-        for &b in src {
-            if b == b'\n' {
-                out.push(b'\n');
-                *line += 1;
-            } else {
-                out.push(b' ');
-            }
-        }
-    }
-
-    while i < bytes.len() {
-        let b = bytes[i];
-        let next = bytes.get(i + 1).copied();
-        if b == b'/' && next == Some(b'/') {
-            // Line comment (also covers /// and //! doc comments).
-            let end = source[i..].find('\n').map_or(bytes.len(), |n| i + n);
-            comments.push(Comment {
-                line,
-                text: source[i + 2..end].to_string(),
-                trailing: line_has_code,
-            });
-            blank(&mut out, &bytes[i..end], &mut line);
-            i = end;
-        } else if b == b'/' && next == Some(b'*') {
-            // Block comment, possibly nested.
-            let mut depth = 1usize;
-            let mut j = i + 2;
-            while j < bytes.len() && depth > 0 {
-                if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
-                    depth += 1;
-                    j += 2;
-                } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
-                    depth -= 1;
-                    j += 2;
-                } else {
-                    j += 1;
-                }
-            }
-            blank(&mut out, &bytes[i..j], &mut line);
-            i = j;
-        } else if b == b'"' {
-            let j = skip_string(bytes, i);
-            blank(&mut out, &bytes[i..j], &mut line);
-            i = j;
-        } else if is_raw_string_start(bytes, i) {
-            let j = skip_raw_string(bytes, i);
-            blank(&mut out, &bytes[i..j], &mut line);
-            i = j;
-        } else if b == b'b' && next == Some(b'"') {
-            let j = skip_string(bytes, i + 1);
-            blank(&mut out, &bytes[i..j], &mut line);
-            i = j;
-        } else if b == b'\'' {
-            if let Some(j) = char_literal_end(bytes, i) {
-                blank(&mut out, &bytes[i..j], &mut line);
-                i = j;
-            } else {
-                // A lifetime; copy the quote through.
-                out.push(b);
-                line_has_code = true;
-                i += 1;
-            }
-        } else {
-            if b == b'\n' {
-                line += 1;
-                line_has_code = false;
-            } else if !b.is_ascii_whitespace() {
-                line_has_code = true;
-            }
-            out.push(b);
-            i += 1;
-        }
-    }
-    // Masking only ever replaces bytes with ASCII spaces or keeps them, so
-    // the result is valid UTF-8 iff the input was (and the input is a &str).
-    let masked = String::from_utf8(out).unwrap_or_default();
-    (masked, comments)
-}
-
-/// Byte index one past the closing quote of the plain string starting at
-/// `bytes[start] == b'"'`.
-fn skip_string(bytes: &[u8], start: usize) -> usize {
-    let mut j = start + 1;
-    while j < bytes.len() {
-        match bytes[j] {
-            b'\\' => j += 2,
-            b'"' => return j + 1,
-            _ => j += 1,
-        }
-    }
-    j
-}
-
-/// Whether `bytes[i..]` starts a raw (or raw-byte) string literal.
-fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
-    let rest = &bytes[i..];
-    let rest = match rest {
-        [b'b', b'r', ..] => &rest[2..],
-        [b'r', ..] => &rest[1..],
-        _ => return false,
-    };
-    // Preceded by an identifier character? Then this `r` is part of a
-    // larger identifier like `for` — not a literal prefix.
-    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
-        return false;
-    }
-    let hashes = rest.iter().take_while(|&&b| b == b'#').count();
-    rest.get(hashes) == Some(&b'"')
-}
-
-/// Byte index one past the closing delimiter of the raw string at `i`.
-fn skip_raw_string(bytes: &[u8], i: usize) -> usize {
-    let mut j = i;
-    if bytes[j] == b'b' {
-        j += 1;
-    }
-    j += 1; // the `r`
-    let hashes = bytes[j..].iter().take_while(|&&b| b == b'#').count();
-    j += hashes + 1; // hashes and the opening quote
-    while j < bytes.len() {
-        if bytes[j] == b'"'
-            && bytes[j + 1..].len() >= hashes
-            && bytes[j + 1..j + 1 + hashes].iter().all(|&b| b == b'#')
-        {
-            return j + 1 + hashes;
-        }
-        j += 1;
-    }
-    j
-}
-
-/// If a char literal starts at `bytes[i] == b'\''`, the index one past its
-/// closing quote; `None` when the quote introduces a lifetime instead.
-fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
-    match bytes.get(i + 1) {
-        Some(b'\\') => {
-            // Escaped char: scan to the closing quote.
-            let mut j = i + 2;
-            while j < bytes.len() {
-                match bytes[j] {
-                    b'\\' => j += 2,
-                    b'\'' => return Some(j + 1),
-                    b'\n' => return None,
-                    _ => j += 1,
-                }
-            }
-            None
-        }
-        Some(&c) if c != b'\'' => {
-            // `'x'` is a char literal; `'x` followed by anything else is a
-            // lifetime. The scalar after the quote spans 1–4 bytes.
-            let scalar_len = match c {
-                _ if c < 0x80 => 1,
-                _ if c < 0xE0 => 2,
-                _ if c < 0xF0 => 3,
-                _ => 4,
-            };
-            let close = i + 1 + scalar_len;
-            (bytes.get(close) == Some(&b'\'')).then_some(close + 1)
-        }
-        _ => None,
-    }
-}
-
-/// Extracts well-formed and malformed `lint:allow` hatches from comments.
-fn parse_allows(comments: &[Comment]) -> (Vec<Allow>, Vec<BadAllow>) {
+/// Extracts well-formed and malformed `lint:allow` hatches from line
+/// comment tokens. A comment is *trailing* when any significant token
+/// starts on the same line before it; otherwise it is standalone and
+/// covers the next line.
+fn parse_allows(source: &str, tokens: &[Token]) -> (Vec<Allow>, Vec<BadAllow>) {
     let mut allows = Vec::new();
     let mut bad = Vec::new();
-    for comment in comments {
-        // The marker is `lint:allow(` with the paren attached, so prose
-        // *mentioning* lint:allow (docs, this comment) is not a hatch.
-        let Some(start) = comment.text.find("lint:allow(") else {
+    for (idx, token) in tokens.iter().enumerate() {
+        if !matches!(token.kind, TokenKind::LineComment { .. }) {
+            continue;
+        }
+        let text = &token.text(source)[2..]; // past the `//`
+                                             // The marker is `lint:allow(` with the paren attached, so prose
+                                             // *mentioning* lint:allow (docs, this comment) is not a hatch.
+        let Some(start) = text.find("lint:allow(") else {
             continue;
         };
-        let rest = &comment.text[start + "lint:allow(".len()..];
+        let rest = &text[start + "lint:allow(".len()..];
         let Some(inner) = rest.rfind(')').map(|end| &rest[..end]) else {
             bad.push(BadAllow {
-                line: comment.line,
+                line: token.line,
                 problem: "expected `lint:allow(<rule>, \"<reason>\")`".to_string(),
             });
             continue;
@@ -331,7 +266,7 @@ fn parse_allows(comments: &[Comment]) -> (Vec<Allow>, Vec<BadAllow>) {
         let reason = reason.trim_matches('"').trim();
         if rule.is_empty() || reason.is_empty() {
             bad.push(BadAllow {
-                line: comment.line,
+                line: token.line,
                 problem: format!(
                     "lint:allow({}) needs a non-empty rule and justification, \
                      e.g. lint:allow(no-wall-clock, \"observability timing\")",
@@ -340,11 +275,16 @@ fn parse_allows(comments: &[Comment]) -> (Vec<Allow>, Vec<BadAllow>) {
             });
             continue;
         }
+        let trailing = tokens[..idx]
+            .iter()
+            .rev()
+            .take_while(|t| t.line == token.line)
+            .any(|t| !t.kind.is_comment());
         allows.push(Allow {
-            line: comment.line,
+            line: token.line,
             rule: rule.to_string(),
             reason: reason.to_string(),
-            standalone: !comment.trailing,
+            standalone: !trailing,
         });
     }
     (allows, bad)
@@ -425,6 +365,8 @@ mod tests {
         assert!(!f.masked.contains("Instant::now"));
         assert!(f.masked.contains("fn f"));
         assert_eq!(f.masked.len(), f.source.len());
+        assert!(f.idents("thread_rng").is_empty());
+        assert_eq!(f.idents("f").len(), 1);
     }
 
     #[test]
@@ -432,6 +374,7 @@ mod tests {
         let f = scan("/* outer /* HashMap */ still comment */ fn g() {}\n");
         assert!(!f.masked.contains("HashMap"));
         assert!(f.masked.contains("fn g"));
+        assert!(f.idents("HashMap").is_empty());
     }
 
     #[test]
@@ -442,6 +385,8 @@ mod tests {
         assert!(!f.masked.contains("thread_rng"));
         assert!(!f.masked.contains("SystemTime"));
         assert!(f.masked.contains("HashMap"));
+        assert_eq!(f.idents("HashMap").len(), 1);
+        assert!(f.paths("SystemTime", "now").is_empty());
     }
 
     #[test]
@@ -466,7 +411,33 @@ mod tests {
             f.source.matches('\n').count(),
             f.masked.matches('\n').count()
         );
-        assert_eq!(f.line_of(f.masked.find("fn h").unwrap()), 3);
+        let h = f.idents("h")[0];
+        assert_eq!(f.sig_line(h), 3);
+    }
+
+    #[test]
+    fn token_queries_find_paths_methods_and_macros() {
+        let f = scan(
+            "fn f() {\n    let t = Instant::now();\n    let v = xs.first().unwrap();\n    panic!(\"boom\");\n}\n",
+        );
+        assert_eq!(f.paths("Instant", "now").len(), 1);
+        assert_eq!(f.sig_line(f.paths("Instant", "now")[0]), 2);
+        assert_eq!(f.method_calls("unwrap").len(), 1);
+        assert_eq!(f.macro_calls("panic").len(), 1);
+        // `first` is a method call too; `fn` is not.
+        assert_eq!(f.method_calls("first").len(), 1);
+        assert!(f.method_calls("fn").is_empty());
+    }
+
+    #[test]
+    fn path_prefix_queries() {
+        let f = scan(
+            "use std::sync::atomic::Ordering;\nfn f() { o(Ordering::Relaxed); g(Relaxed); }\n",
+        );
+        let relaxed = f.idents("Relaxed");
+        assert_eq!(relaxed.len(), 2);
+        assert!(f.path_prefixed_by(relaxed[0], "Ordering"));
+        assert!(!f.path_prefixed_by(relaxed[1], "Ordering"));
     }
 
     #[test]
@@ -478,10 +449,20 @@ mod tests {
         assert!(f.allows[0].standalone);
         assert_eq!(f.allows[0].rule, "no-wall-clock");
         assert_eq!(f.allows[0].reason, "timing the run");
+        assert_eq!(f.allows[0].covered_line(), 2);
         assert!(!f.allows[1].standalone);
-        assert!(f.is_allowed("no-wall-clock", 2));
-        assert!(f.is_allowed("no-unseeded-rng", 3));
-        assert!(!f.is_allowed("no-wall-clock", 3));
+        assert_eq!(f.allows[1].covered_line(), 3);
+        assert!(f.matching_allow("no-wall-clock", 2).is_some());
+        assert!(f.matching_allow("no-unseeded-rng", 3).is_some());
+        assert!(f.matching_allow("no-wall-clock", 3).is_none());
+    }
+
+    #[test]
+    fn allow_after_a_comment_on_its_own_line_is_still_standalone() {
+        let f = scan("// context\n// lint:allow(no-wall-clock, \"why\")\nlet t = 1;\n");
+        assert_eq!(f.allows.len(), 1);
+        assert!(f.allows[0].standalone);
+        assert_eq!(f.allows[0].covered_line(), 3);
     }
 
     #[test]

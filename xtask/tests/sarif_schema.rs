@@ -1,0 +1,161 @@
+//! SARIF 2.1.0 conformance: the `--format sarif` document must satisfy
+//! the schema's required-property set, so GitHub code scanning accepts
+//! the upload.
+//!
+//! The linter is dependency-free (no network, no `jsonschema` crate), so
+//! the check encodes the SARIF 2.1.0 schema constraints that matter for
+//! a static-analysis log directly: required top-level members and their
+//! types, required `run`/`tool`/`driver`/`reportingDescriptor` members,
+//! and for each `result` the `message` object plus physical locations
+//! with 1-based `startLine`s. The document is exercised twice — once for
+//! the (clean) committed workspace, once for a synthetic finding set —
+//! so both the empty and populated `results` shapes are covered.
+
+use std::path::PathBuf;
+
+use xtask::json::{self, Value};
+use xtask::output::{render, Format};
+use xtask::rules::{Diagnostic, RULES};
+
+fn workspace_root() -> PathBuf {
+    if let Some(dir) = option_env!("CARGO_MANIFEST_DIR") {
+        if let Some(parent) = PathBuf::from(dir).parent() {
+            return parent.to_path_buf();
+        }
+    }
+    let mut dir = std::env::current_dir().expect("current directory is readable");
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return dir;
+        }
+        assert!(dir.pop(), "workspace root (lint.toml) not found above cwd");
+    }
+}
+
+/// Asserts the SARIF 2.1.0 required-property constraints on `doc`.
+fn assert_sarif_2_1_0(doc: &Value) {
+    // sarifLog: `version` is required and must be the literal "2.1.0".
+    assert_eq!(doc.get("version").and_then(Value::as_str), Some("2.1.0"));
+    assert!(doc
+        .get("$schema")
+        .and_then(Value::as_str)
+        .is_some_and(|s| s.contains("sarif-schema-2.1.0")));
+    // sarifLog: `runs` is required, an array of run objects.
+    let runs = doc
+        .get("runs")
+        .and_then(Value::as_array)
+        .expect("runs is a required array");
+    assert!(!runs.is_empty());
+    for run in runs {
+        // run: `tool` is required; tool: `driver` is required;
+        // toolComponent: `name` is required.
+        let driver = run
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .expect("tool.driver is required");
+        assert!(driver
+            .get("name")
+            .and_then(Value::as_str)
+            .is_some_and(|n| !n.is_empty()));
+        // reportingDescriptor: `id` is required; ours also carry a
+        // shortDescription with required `text`.
+        let rules = driver
+            .get("rules")
+            .and_then(Value::as_array)
+            .expect("driver.rules is an array");
+        assert_eq!(rules.len(), RULES.len(), "one descriptor per rule");
+        for rule in rules {
+            assert!(rule
+                .get("id")
+                .and_then(Value::as_str)
+                .is_some_and(|id| !id.is_empty()));
+            assert!(rule
+                .get("shortDescription")
+                .and_then(|d| d.get("text"))
+                .and_then(Value::as_str)
+                .is_some_and(|t| !t.is_empty()));
+        }
+        // run: `results` must be an array when present; result: `message`
+        // is the only required member, and our physical locations must be
+        // well-formed (uri set, startLine >= 1).
+        let results = run
+            .get("results")
+            .and_then(Value::as_array)
+            .expect("results is an array");
+        for result in results {
+            assert!(result
+                .get("message")
+                .and_then(|m| m.get("text"))
+                .and_then(Value::as_str)
+                .is_some());
+            let rule_id = result
+                .get("ruleId")
+                .and_then(Value::as_str)
+                .expect("ruleId set");
+            let idx = result
+                .get("ruleIndex")
+                .and_then(Value::as_f64)
+                .expect("ruleIndex set") as usize;
+            assert_eq!(
+                rules[idx].get("id").and_then(Value::as_str),
+                Some(rule_id),
+                "ruleIndex must point at the ruleId's descriptor"
+            );
+            for loc in result
+                .get("locations")
+                .and_then(Value::as_array)
+                .expect("locations is an array")
+            {
+                let phys = loc
+                    .get("physicalLocation")
+                    .expect("physicalLocation present");
+                let uri = phys
+                    .get("artifactLocation")
+                    .and_then(|a| a.get("uri"))
+                    .and_then(Value::as_str)
+                    .expect("artifactLocation.uri present");
+                assert!(!uri.starts_with('/'), "uri must be relative: {uri}");
+                assert!(!uri.contains('\\'), "uri must be /-separated: {uri}");
+                let line = phys
+                    .get("region")
+                    .and_then(|r| r.get("startLine"))
+                    .and_then(Value::as_f64)
+                    .expect("region.startLine present");
+                assert!(line >= 1.0, "startLine is 1-based");
+            }
+        }
+    }
+}
+
+#[test]
+fn workspace_sarif_output_conforms_to_2_1_0() {
+    let root = workspace_root();
+    let diags = xtask::lint_root(&root, None).expect("workspace scans");
+    let doc = json::parse(&render(&diags, Format::Sarif)).expect("SARIF output is valid JSON");
+    assert_sarif_2_1_0(&doc);
+}
+
+#[test]
+fn populated_sarif_output_conforms_to_2_1_0() {
+    let diags: Vec<Diagnostic> = RULES
+        .iter()
+        .enumerate()
+        .map(|(i, rule)| Diagnostic {
+            rule: rule.name,
+            path: PathBuf::from("crates/demo/src/lib.rs"),
+            line: i + 1,
+            message: format!(
+                "synthetic {} finding with \"quotes\"\nand newline",
+                rule.name
+            ),
+            snippet: "let x = 1;".to_string(),
+        })
+        .collect();
+    let doc = json::parse(&render(&diags, Format::Sarif)).expect("SARIF output is valid JSON");
+    assert_sarif_2_1_0(&doc);
+    let results = doc.get("runs").and_then(Value::as_array).unwrap()[0]
+        .get("results")
+        .and_then(Value::as_array)
+        .unwrap();
+    assert_eq!(results.len(), RULES.len());
+}
