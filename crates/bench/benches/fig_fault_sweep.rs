@@ -7,52 +7,52 @@
 //! shape: mild churn/loss slows convergence (lower max accuracy at equal
 //! rounds) but does not raise vulnerability at a given accuracy — the
 //! attack surface tracks overfitting, not delivery reliability.
+//!
+//! The grid lives in `scenarios/fault_sweep.toml` (shared with
+//! `glmia sweep`); this bench expands it with the same canonical grid
+//! machinery and runs the cells through [`glmia_sweep::run_cell`].
+//! `GLMIA_PAPER_SCALE` switches the scenario's preset to the paper's full
+//! scale.
 
 use glmia_bench::output::{emit, f3};
-use glmia_bench::scale::experiment;
-use glmia_core::run_experiment;
-use glmia_data::DataPreset;
-use glmia_gossip::{ChurnConfig, FaultPlan, LatencyDist, ProtocolKind, TopologyMode};
+use glmia_bench::scale::is_paper_scale;
+use glmia_sweep::{run_cell, Scenario, SweepGrid};
+
+const SCENARIO: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../scenarios/fault_sweep.toml"
+);
 
 fn main() {
+    let mut scenario = Scenario::from_path(std::path::Path::new(SCENARIO))
+        .expect("committed fault-sweep scenario parses");
+    if is_paper_scale() {
+        scenario
+            .set_preset("paper")
+            .expect("paper is a known preset");
+    }
+    let grid = SweepGrid::expand(&scenario).expect("fault-sweep grid expands");
     let mut rows = Vec::new();
-    for &churn in &[0.0f64, 0.1, 0.3, 0.5] {
-        for &drop in &[0.0f64, 0.05, 0.15] {
-            let mut fault = FaultPlan::none().with_latency(LatencyDist::Straggler {
-                base: 1,
-                tail: 20,
-                tail_prob: 0.1,
-            });
-            if churn > 0.0 {
-                fault = fault.with_churn(ChurnConfig::new(churn).with_downtime(40, 160));
-            }
-            if drop > 0.0 {
-                fault = fault.with_link_drop(drop);
-            }
-            let config = experiment(DataPreset::FashionMnistLike)
-                .with_protocol(ProtocolKind::Samo)
-                .with_topology_mode(TopologyMode::Static)
-                .with_view_size(5)
-                .with_fault_plan(fault)
-                .with_seed(42);
-            let result = run_experiment(&config).expect("fault sweep experiment");
-            let loss = if result.messages_sent == 0 {
-                0.0
-            } else {
-                result.messages_dropped as f64 / result.messages_sent as f64
-            };
-            let best = result.best_point().expect("non-empty run");
-            rows.push(vec![
-                format!("{churn:.2}"),
-                format!("{drop:.2}"),
-                result.messages_sent.to_string(),
-                result.messages_dropped.to_string(),
-                f3(loss),
-                f3(best.utility),
-                f3(best.vulnerability),
-            ]);
-            eprintln!("[fault_sweep] finished churn={churn:.2} drop={drop:.2}");
-        }
+    for cell in &grid.cells {
+        let churn: f64 = cell.axes["churn"].parse().expect("numeric churn label");
+        let drop: f64 = cell.axes["drop"].parse().expect("numeric drop label");
+        let record = run_cell(cell).expect("fault sweep experiment");
+        let s = &record.summary;
+        let loss = if s.messages_sent == 0 {
+            0.0
+        } else {
+            s.messages_dropped as f64 / s.messages_sent as f64
+        };
+        rows.push(vec![
+            format!("{churn:.2}"),
+            format!("{drop:.2}"),
+            s.messages_sent.to_string(),
+            s.messages_dropped.to_string(),
+            f3(loss),
+            f3(s.best_test_accuracy),
+            f3(s.mia_vulnerability_at_best),
+        ]);
+        eprintln!("[fault_sweep] finished churn={churn:.2} drop={drop:.2}");
     }
     emit(
         "fig_fault_sweep",

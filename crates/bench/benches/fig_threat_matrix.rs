@@ -10,132 +10,74 @@
 //! per-node leakage; defenses trade test accuracy against AUC; λ₂ depends
 //! only on the topology column.
 //!
-//! Emits `target/bench-results/BENCH_threat.json`; the committed copy at
-//! the repository root records the acceptance matrix. CI's threat-matrix
+//! The grid lives in `scenarios/threat_matrix.toml` (shared with
+//! `glmia sweep`); this bench expands it with the same canonical grid
+//! machinery and runs the cells through [`glmia_sweep::run_cell`], so the
+//! bench and the sweep runner cannot drift apart. Emits
+//! `target/bench-results/BENCH_threat.json`; the committed copy at the
+//! repository root records the acceptance matrix. CI's threat-matrix
 //! smoke job runs the reduced grid via `GLMIA_THREAT_GRID=smoke`.
 
 use glmia_bench::output::{emit, emit_json, f3};
-use glmia_core::prelude::AttackerModel;
-use glmia_core::{run_experiment_traced, ExperimentConfig};
-use glmia_data::DataPreset;
-use glmia_gossip::{Defense, ProtocolKind, TopologyMode};
-use glmia_trace::TraceEvent;
+use glmia_sweep::{run_cell, Scenario, SweepGrid};
 
-const SEED: u64 = 31;
-
-/// The workload every cell runs: small enough that the full 24-cell matrix
-/// finishes in minutes, large enough that restricted vantages differ from
-/// the full graph.
-fn base(mode: TopologyMode) -> ExperimentConfig {
-    ExperimentConfig::quick_test(DataPreset::FashionMnistLike)
-        .with_protocol(ProtocolKind::Samo)
-        .with_topology_mode(mode)
-        .with_nodes(16)
-        .with_view_size(4)
-        .with_rounds(20)
-        .with_eval_every(5)
-        .with_seed(SEED)
-}
-
-fn attackers() -> Vec<(&'static str, AttackerModel)> {
-    vec![
-        ("omniscient", AttackerModel::Omniscient),
-        (
-            "neighbors",
-            AttackerModel::PassiveNeighbors {
-                observers: vec![0, 1, 2],
-            },
-        ),
-        (
-            "coalition",
-            AttackerModel::Coalition {
-                members: (0..4).collect(),
-            },
-        ),
-    ]
-}
-
-fn defenses() -> Vec<(&'static str, Option<Defense>)> {
-    vec![
-        ("none", None),
-        ("gaussian", Some(Defense::GaussianNoise { std: 0.05 })),
-        ("mask", Some(Defense::RandomMask { fraction: 0.25 })),
-        ("clip", Some(Defense::Clipping { limit: 0.5 })),
-    ]
-}
+const SCENARIO: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../scenarios/threat_matrix.toml"
+);
 
 fn smoke() -> bool {
     std::env::var("GLMIA_THREAT_GRID").is_ok_and(|v| v == "smoke")
 }
 
+/// The axis label up to its first parameter: `gaussian:0.05` → `gaussian`.
+fn short(label: &str) -> &str {
+    label.split(':').next().unwrap_or(label)
+}
+
 fn main() {
-    let topologies = [
-        ("static", TopologyMode::Static),
-        ("dynamic", TopologyMode::Dynamic),
-    ];
+    let scenario = Scenario::from_path(std::path::Path::new(SCENARIO))
+        .expect("committed threat-matrix scenario parses");
+    let grid = SweepGrid::expand(&scenario).expect("threat-matrix grid expands");
     let mut rows = Vec::new();
     let mut cells = Vec::new();
-    for (attacker_name, attacker) in attackers() {
-        for (defense_name, defense) in defenses() {
-            for (topology_name, mode) in topologies {
-                // The smoke grid keeps one cell per axis value while still
-                // crossing every attacker with a defended and an undefended
-                // column.
-                if smoke()
-                    && (topology_name == "dynamic" || !matches!(defense_name, "none" | "gaussian"))
-                {
-                    continue;
-                }
-                let mut config = base(mode).with_attacker(attacker.clone());
-                if let Some(defense) = defense {
-                    config = config.with_defense(defense);
-                }
-                let (result, trace) =
-                    run_experiment_traced(&config).expect("threat matrix experiment");
-                let final_round = result.final_round();
-                let lambda2 = trace
-                    .events()
-                    .iter()
-                    .find_map(|e| match e {
-                        TraceEvent::Topology(t) => Some(t.lambda2_analytic),
-                        _ => None,
-                    })
-                    .expect("traced runs record the topology anchor");
-                let observed = trace
-                    .events()
-                    .iter()
-                    .find_map(|e| match e {
-                        TraceEvent::Threat(t) => Some(t.observed_nodes),
-                        _ => None,
-                    })
-                    .unwrap_or(config.nodes());
-                rows.push(vec![
-                    attacker_name.to_string(),
-                    defense_name.to_string(),
-                    topology_name.to_string(),
-                    format!("{observed}/{}", config.nodes()),
-                    f3(final_round.test_accuracy.mean),
-                    f3(final_round.mia_vulnerability.mean),
-                    f3(final_round.mia_auc.mean),
-                    format!("{lambda2:.4}"),
-                ]);
-                cells.push(serde_json::json!({
-                    "attacker": attacker_name,
-                    "attacker_spec": attacker.to_string(),
-                    "defense": defense_name,
-                    "topology": topology_name,
-                    "observed_nodes": observed,
-                    "nodes": config.nodes(),
-                    "test_accuracy": final_round.test_accuracy.mean,
-                    "mia_vulnerability": final_round.mia_vulnerability.mean,
-                    "mia_auc": final_round.mia_auc.mean,
-                    "lambda2_analytic": lambda2,
-                }));
-                eprintln!(
-                    "[threat_matrix] finished {attacker_name} x {defense_name} x {topology_name}"
-                );
-            }
+    for cell in &grid.cells {
+        let attacker_name = short(&cell.axes["attacker"]).to_string();
+        let defense_name = short(&cell.axes["defense"]).to_string();
+        let topology_name = cell.axes["topology"].clone();
+        // The smoke grid keeps one cell per axis value while still
+        // crossing every attacker with a defended and an undefended
+        // column.
+        if smoke()
+            && (topology_name == "dynamic" || !matches!(defense_name.as_str(), "none" | "gaussian"))
+        {
+            continue;
         }
+        let record = run_cell(cell).expect("threat matrix experiment");
+        let s = &record.summary;
+        rows.push(vec![
+            attacker_name.clone(),
+            defense_name.clone(),
+            topology_name.clone(),
+            format!("{}/{}", s.observed_nodes, cell.config.nodes()),
+            f3(s.final_test_accuracy),
+            f3(s.final_mia_vulnerability),
+            f3(s.final_mia_auc),
+            format!("{:.4}", s.lambda2_analytic),
+        ]);
+        cells.push(serde_json::json!({
+            "attacker": attacker_name,
+            "attacker_spec": s.attacker,
+            "defense": defense_name,
+            "topology": topology_name,
+            "observed_nodes": s.observed_nodes,
+            "nodes": cell.config.nodes(),
+            "test_accuracy": s.final_test_accuracy,
+            "mia_vulnerability": s.final_mia_vulnerability,
+            "mia_auc": s.final_mia_auc,
+            "lambda2_analytic": s.lambda2_analytic,
+        }));
+        eprintln!("[threat_matrix] finished {attacker_name} x {defense_name} x {topology_name}");
     }
     emit(
         "fig_threat_matrix",
@@ -157,8 +99,10 @@ fn main() {
                 "view_size": 4,
                 "rounds": 20,
                 "eval_every": 5,
-                "seed": SEED,
+                "seed": 31,
                 "grid": if smoke() { "smoke" } else { "full" },
+                "scenario": "scenarios/threat_matrix.toml",
+                "scenario_hash": grid.hash_hex(),
             },
             "cells": cells,
         }),

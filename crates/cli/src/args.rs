@@ -81,6 +81,11 @@ pub enum CliError {
     /// *invocation* named bad input, distinguishing it from transient
     /// runtime failures so scripts can tell the two apart.
     CorruptTrace(String),
+    /// A sweep output directory holds a checkpoint that is malformed, has
+    /// an unsupported schema, or belongs to a different scenario. Exits
+    /// `2` for the same reason as [`CliError::CorruptTrace`]: the input
+    /// named on the command line is bad, not the run transiently failing.
+    CorruptCheckpoint(String),
     /// The command ran and failed.
     Failure(String),
 }
@@ -93,7 +98,7 @@ impl CliError {
     pub fn exit_code(&self) -> u8 {
         match self {
             CliError::Arg(e) if e.is_usage() => 2,
-            CliError::CorruptTrace(_) => 2,
+            CliError::CorruptTrace(_) | CliError::CorruptCheckpoint(_) => 2,
             _ => 1,
         }
     }
@@ -104,6 +109,9 @@ impl fmt::Display for CliError {
         match self {
             CliError::Arg(e) => e.fmt(f),
             CliError::CorruptTrace(message) => write!(f, "corrupt trace: {message}"),
+            CliError::CorruptCheckpoint(message) => {
+                write!(f, "corrupt checkpoint: {message}")
+            }
             CliError::Failure(message) => f.write_str(message),
         }
     }
@@ -363,6 +371,9 @@ mod tests {
         let corrupt = CliError::CorruptTrace("trace line 3: bad".into());
         assert_eq!(corrupt.exit_code(), 2, "corrupt input is not transient");
         assert_eq!(corrupt.to_string(), "corrupt trace: trace line 3: bad");
+        let checkpoint = CliError::CorruptCheckpoint("line 2: bad".into());
+        assert_eq!(checkpoint.exit_code(), 2);
+        assert_eq!(checkpoint.to_string(), "corrupt checkpoint: line 2: bad");
     }
 
     #[test]

@@ -13,44 +13,23 @@ use glmia_graph::Topology;
 use glmia_metrics::{render_markdown_report, render_prometheus, render_table};
 use glmia_mia::{AttackKind, AttackerModel, MiaEvaluator};
 use glmia_nn::{Mlp, Sgd};
+use glmia_sweep::{run_sweep, Scenario, SweepError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::args::{ArgError, Args, CliError};
 
 fn parse_dataset(raw: &str) -> Result<DataPreset, String> {
-    match raw {
-        "cifar10" => Ok(DataPreset::Cifar10Like),
-        "cifar100" => Ok(DataPreset::Cifar100Like),
-        "fashion" => Ok(DataPreset::FashionMnistLike),
-        "purchase100" => Ok(DataPreset::Purchase100Like),
-        other => Err(format!(
-            "unknown dataset '{other}' (expected cifar10|cifar100|fashion|purchase100)"
-        )),
-    }
+    raw.parse()
 }
 
 fn parse_protocol(raw: &str) -> Result<ProtocolKind, String> {
-    match raw {
-        "base" => Ok(ProtocolKind::BaseGossip),
-        "samo" => Ok(ProtocolKind::Samo),
-        "somo" => Ok(ProtocolKind::SendOneMergeOnce),
-        "same" => Ok(ProtocolKind::SendAllMergeEach),
-        other => Err(format!(
-            "unknown protocol '{other}' (expected base|samo|somo|same)"
-        )),
-    }
+    raw.parse()
 }
 
 fn parse_preset(raw: &str, dataset: DataPreset) -> Result<ExperimentConfig, String> {
-    match raw {
-        "quick" => Ok(ExperimentConfig::quick_test(dataset)),
-        "bench" => Ok(ExperimentConfig::bench_scale(dataset)),
-        "paper" => Ok(ExperimentConfig::paper_scale(dataset)),
-        other => Err(format!(
-            "unknown preset '{other}' (expected quick|bench|paper)"
-        )),
-    }
+    ExperimentConfig::preset(raw, dataset)
+        .ok_or_else(|| format!("unknown preset '{raw}' (expected quick|bench|paper)"))
 }
 
 fn reject_unknown(args: &Args, known: &[&str]) -> Result<(), CliError> {
@@ -223,6 +202,38 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         "\nbest: round {} — accuracy {:.3} at vulnerability {:.3}; {} models sent",
         best.round, best.utility, best.vulnerability, result.messages_sent
     );
+    Ok(())
+}
+
+/// `glmia sweep <scenario.toml>`: expand a scenario file into its cell
+/// grid and run (or resume) it under the checkpointed worker pool.
+pub fn sweep(args: &Args) -> Result<(), CliError> {
+    reject_unknown(args, &["out", "workers", "quiet"])?;
+    let scenario_path = args.require_positional(0, "<scenario.toml>")?;
+    if let Some(extra) = args.positional(1) {
+        return Err(ArgError::UnexpectedPositional(extra.to_string()).into());
+    }
+    let scenario = Scenario::from_path(std::path::Path::new(scenario_path))
+        .map_err(|e| CliError::Failure(e.to_string()))?;
+    let out = args.get("out").map_or_else(
+        || PathBuf::from("sweeps").join(scenario.name()),
+        PathBuf::from,
+    );
+    let workers = args.get_or("workers", Parallelism::Auto)?;
+    let progress = !args.flag("quiet");
+    let outcome = run_sweep(&scenario, &out, workers, progress).map_err(|e| match e {
+        SweepError::Checkpoint(message) => CliError::CorruptCheckpoint(message),
+        other => CliError::Failure(other.to_string()),
+    })?;
+    println!(
+        "sweep '{}': {} cells ({} resumed, {} ran)",
+        scenario.name(),
+        outcome.total,
+        outcome.resumed,
+        outcome.ran,
+    );
+    println!("  {}", outcome.sweep_json.display());
+    println!("  {}", outcome.report_md.display());
     Ok(())
 }
 

@@ -3,6 +3,7 @@
 //! ```text
 //! glmia run      --dataset cifar10 --protocol samo --dynamic --k 5 ...
 //! glmia run      --preset quick --trace out/trace
+//! glmia sweep    scenarios/threat_matrix.toml --out sweeps/threat --workers 4
 //! glmia analyze  out/trace --format md
 //! glmia lambda2  --k 2 --nodes 150 --iterations 15 --runs 10 --dynamic
 //! glmia attack   --dataset purchase100 --epochs 100
@@ -40,6 +41,7 @@ fn main() -> ExitCode {
     };
     let outcome = match parsed.subcommand() {
         Some("run") => commands::run(&parsed),
+        Some("sweep") => commands::sweep(&parsed),
         Some("analyze") => commands::analyze(&parsed),
         Some("compare") => commands::compare(&parsed),
         Some("lambda2") => commands::lambda2(&parsed),
@@ -116,6 +118,15 @@ SUBCOMMANDS:
               --json                             emit JSON instead of a table
               --plot                             draw an ASCII tradeoff scatter
 
+    sweep     expand a TOML scenario file into a seed x config grid and
+              run it under a resumable, checkpointed worker pool; writes
+              checkpoint.jsonl + sweep.json + report.md (byte-identical
+              at any worker count and across kill/resume)
+              glmia sweep <scenario.toml> [--out <dir>] [--workers auto|N]
+              [--quiet]
+              --out defaults to sweeps/<scenario name>; rerunning with an
+              existing checkpoint resumes from completed cells
+
     analyze   derive metrics from a recorded trace directory: per-round
               aggregates, fan-in/staleness histograms, MIA time series and
               the empirical mixing spectrum; writes summary.json + report.md
@@ -143,7 +154,9 @@ SUBCOMMANDS:
 EXIT CODES:
     0  success
     1  runtime failure or invalid option value
-    2  usage error (unknown subcommand, unknown option, malformed syntax)
-       or corrupt trace input (malformed / truncated / unsupported schema)"
+    2  usage error (unknown subcommand, unknown option, malformed syntax),
+       corrupt trace input (malformed / truncated / unsupported schema),
+       or corrupt sweep checkpoint (malformed / wrong schema / different
+       scenario)"
     );
 }

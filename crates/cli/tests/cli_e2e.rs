@@ -470,3 +470,244 @@ fn seeded_runs_are_reproducible() {
     assert!(a.status.success() && b.status.success());
     assert_eq!(a.stdout, b.stdout);
 }
+
+// ---------------------------------------------------------------------------
+// `glmia sweep`: scenario DSL + resumable checkpointed runner.
+
+/// A fast 12-cell quick-scale scenario, written into `dir`.
+fn write_sweep_scenario(dir: &std::path::Path) -> std::path::PathBuf {
+    write_scenario_with(dir, 6, 2)
+}
+
+/// A 12-cell scenario whose cells are deliberately heavy (hundreds of
+/// milliseconds each) so a mid-run kill reliably lands while later cells
+/// are still pending.
+fn write_slow_sweep_scenario(dir: &std::path::Path) -> std::path::PathBuf {
+    write_scenario_with(dir, 32, 24)
+}
+
+fn write_scenario_with(dir: &std::path::Path, nodes: usize, rounds: usize) -> std::path::PathBuf {
+    std::fs::create_dir_all(dir).unwrap();
+    let path = dir.join("scenario.toml");
+    std::fs::write(
+        &path,
+        format!(
+            "[scenario]\nname = \"e2e\"\npreset = \"quick\"\ndataset = \"fashion\"\n\
+             nodes = {nodes}\nk = {k}\nrounds = {rounds}\neval-every = {eval}\n\n\
+             [seeds]\nrange = \"0..6\"\n\n\
+             [axes]\nprotocol = [\"base\", \"samo\"]\n",
+            k = if nodes > 8 { 4 } else { 2 },
+            eval = rounds.div_ceil(4),
+        ),
+    )
+    .unwrap();
+    path
+}
+
+fn sweep_artifacts(dir: &std::path::Path) -> (Vec<u8>, Vec<u8>) {
+    (
+        std::fs::read(dir.join("sweep.json")).expect("sweep.json written"),
+        std::fs::read(dir.join("report.md")).expect("report.md written"),
+    )
+}
+
+#[test]
+fn sweep_aggregates_are_byte_identical_across_worker_counts_and_reruns() {
+    let base = std::env::temp_dir().join(format!("glmia-cli-sweep-workers-{}", std::process::id()));
+    let scenario = write_sweep_scenario(&base);
+    let one = base.join("w1");
+    let four = base.join("w4");
+    for (dir, workers) in [(&one, "1"), (&four, "4")] {
+        let out = glmia(&[
+            "sweep",
+            scenario.to_str().unwrap(),
+            "--out",
+            dir.to_str().unwrap(),
+            "--workers",
+            workers,
+            "--quiet",
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains("12 cells (0 resumed, 12 ran)"),
+            "{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+    assert_eq!(
+        sweep_artifacts(&one),
+        sweep_artifacts(&four),
+        "sweep.json/report.md must not depend on --workers"
+    );
+
+    // Rerunning against a complete checkpoint executes nothing and leaves
+    // the artifacts byte-identical.
+    let before = sweep_artifacts(&one);
+    let again = glmia(&[
+        "sweep",
+        scenario.to_str().unwrap(),
+        "--out",
+        one.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert!(again.status.success());
+    assert!(
+        String::from_utf8_lossy(&again.stdout).contains("(12 resumed, 0 ran)"),
+        "{}",
+        String::from_utf8_lossy(&again.stdout)
+    );
+    assert_eq!(sweep_artifacts(&one), before);
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn sweep_killed_mid_run_resumes_to_byte_identical_output() {
+    let base = std::env::temp_dir().join(format!("glmia-cli-sweep-kill-{}", std::process::id()));
+    let scenario = write_slow_sweep_scenario(&base);
+
+    // Reference: one uninterrupted run.
+    let reference_dir = base.join("reference");
+    let reference = glmia(&[
+        "sweep",
+        scenario.to_str().unwrap(),
+        "--out",
+        reference_dir.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert!(
+        reference.status.success(),
+        "{}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+    let expected = sweep_artifacts(&reference_dir);
+
+    // Kill: start the same sweep, SIGKILL it at (or inside) a cell
+    // boundary as soon as at least one cell record hits the checkpoint.
+    let killed_dir = base.join("killed");
+    let checkpoint = killed_dir.join("checkpoint.jsonl");
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_glmia"))
+        .args([
+            "sweep",
+            scenario.to_str().unwrap(),
+            "--out",
+            killed_dir.to_str().unwrap(),
+            "--workers",
+            "1",
+            "--quiet",
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawning glmia sweep");
+    let mut polls = 0;
+    loop {
+        let cell_lines = std::fs::read_to_string(&checkpoint)
+            .map(|s| s.lines().count().saturating_sub(1))
+            .unwrap_or(0);
+        if cell_lines >= 1 {
+            break;
+        }
+        polls += 1;
+        assert!(polls < 30_000, "no cell completed within the poll budget");
+        assert!(
+            child.try_wait().expect("polling child").is_none(),
+            "sweep finished before it could be killed; grow the scenario"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    child.kill().expect("SIGKILL the sweep");
+    child.wait().expect("reaping the killed sweep");
+    assert!(
+        !killed_dir.join("sweep.json").exists(),
+        "a killed sweep must not have produced final artifacts"
+    );
+
+    // The surviving checkpoint holds `complete` whole cell records; a
+    // torn final line (kill mid-write) is healed, not fatal.
+    let content = std::fs::read_to_string(&checkpoint).expect("checkpoint survives the kill");
+    let lines = content.lines().count();
+    let complete = if content.ends_with('\n') {
+        lines
+    } else {
+        lines - 1
+    };
+    let resumable = complete - 1; // minus the header line
+
+    // Resume and demand the uninterrupted bytes.
+    let resumed = glmia(&[
+        "sweep",
+        scenario.to_str().unwrap(),
+        "--out",
+        killed_dir.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert!(
+        resumed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&resumed.stdout);
+    assert!(
+        stdout.contains(&format!("({resumable} resumed, {} ran)", 12 - resumable)),
+        "expected {resumable} resumed cells: {stdout}"
+    );
+    assert_eq!(
+        sweep_artifacts(&killed_dir),
+        expected,
+        "kill/resume must reproduce the uninterrupted bytes"
+    );
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn sweep_exit_codes_partition_usage_parse_and_corruption() {
+    let base = std::env::temp_dir().join(format!("glmia-cli-sweep-exit-{}", std::process::id()));
+    std::fs::create_dir_all(&base).unwrap();
+
+    // Usage problems: missing operand, unknown option → 2.
+    assert_eq!(glmia(&["sweep"]).status.code(), Some(2));
+    assert_eq!(glmia(&["sweep", "x.toml", "--oops"]).status.code(), Some(2));
+
+    // Scenario problems are user-input problems → 1, with the line.
+    let bad = base.join("bad.toml");
+    std::fs::write(
+        &bad,
+        "[scenario]\nname = \"bad\"\nnodez = 4\n[seeds]\nlist = [1]\n",
+    )
+    .unwrap();
+    let out = glmia(&["sweep", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 3"), "{stderr}");
+    // A missing file is an I/O failure, also 1.
+    assert_eq!(
+        glmia(&["sweep", base.join("absent.toml").to_str().unwrap()])
+            .status
+            .code(),
+        Some(1)
+    );
+
+    // A corrupt checkpoint in the output directory → 2.
+    let scenario = write_sweep_scenario(&base);
+    let out_dir = base.join("corrupt");
+    std::fs::create_dir_all(&out_dir).unwrap();
+    std::fs::write(out_dir.join("checkpoint.jsonl"), "not json\n").unwrap();
+    let out = glmia(&[
+        "sweep",
+        scenario.to_str().unwrap(),
+        "--out",
+        out_dir.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("corrupt checkpoint"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&base).ok();
+}

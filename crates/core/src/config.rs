@@ -324,6 +324,19 @@ impl ExperimentConfig {
         config
     }
 
+    /// Looks up a scale preset by name: `quick` → [`Self::quick_test`],
+    /// `bench` → [`Self::bench_scale`], `paper` → [`Self::paper_scale`].
+    /// `None` for any other name.
+    #[must_use]
+    pub fn preset(name: &str, dataset: DataPreset) -> Option<Self> {
+        match name {
+            "quick" => Some(Self::quick_test(dataset)),
+            "bench" => Some(Self::bench_scale(dataset)),
+            "paper" => Some(Self::paper_scale(dataset)),
+            _ => None,
+        }
+    }
+
     fn dataset_spec_classes(&self) -> usize {
         self.dataset.spec().num_classes()
     }

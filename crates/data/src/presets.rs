@@ -118,6 +118,23 @@ impl std::fmt::Display for DataPreset {
     }
 }
 
+impl std::str::FromStr for DataPreset {
+    type Err = String;
+
+    /// Accepts the CLI short names and the `Display` forms.
+    fn from_str(raw: &str) -> Result<Self, Self::Err> {
+        match raw {
+            "cifar10" | "cifar10-like" => Ok(DataPreset::Cifar10Like),
+            "cifar100" | "cifar100-like" => Ok(DataPreset::Cifar100Like),
+            "fashion" | "fashion-mnist-like" => Ok(DataPreset::FashionMnistLike),
+            "purchase100" | "purchase100-like" => Ok(DataPreset::Purchase100Like),
+            other => Err(format!(
+                "unknown dataset '{other}' (expected cifar10|cifar100|fashion|purchase100)"
+            )),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -66,6 +66,23 @@ impl std::fmt::Display for ProtocolKind {
     }
 }
 
+impl std::str::FromStr for ProtocolKind {
+    type Err = String;
+
+    /// Accepts the CLI short names and the `Display` forms.
+    fn from_str(raw: &str) -> Result<Self, Self::Err> {
+        match raw {
+            "base" | "base-gossip" => Ok(ProtocolKind::BaseGossip),
+            "samo" | "send-all-merge-once" => Ok(ProtocolKind::Samo),
+            "somo" | "send-one-merge-once" => Ok(ProtocolKind::SendOneMergeOnce),
+            "same" | "send-all-merge-each" => Ok(ProtocolKind::SendAllMergeEach),
+            other => Err(format!(
+                "unknown protocol '{other}' (expected base|samo|somo|same)"
+            )),
+        }
+    }
+}
+
 /// Whether the communication graph evolves during the run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TopologyMode {
@@ -81,6 +98,20 @@ impl std::fmt::Display for TopologyMode {
         match self {
             TopologyMode::Static => f.write_str("static"),
             TopologyMode::Dynamic => f.write_str("dynamic"),
+        }
+    }
+}
+
+impl std::str::FromStr for TopologyMode {
+    type Err = String;
+
+    fn from_str(raw: &str) -> Result<Self, Self::Err> {
+        match raw {
+            "static" => Ok(TopologyMode::Static),
+            "dynamic" => Ok(TopologyMode::Dynamic),
+            other => Err(format!(
+                "unknown topology '{other}' (expected static|dynamic)"
+            )),
         }
     }
 }

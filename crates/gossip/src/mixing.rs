@@ -43,7 +43,7 @@ use crate::observer::{DeliverEvent, MergeEvent, SimObserver};
 use crate::RoundSnapshot;
 
 /// Reconstructs the empirical mixing matrix `W_t` of every round from
-/// deliver/merge events (see the [module docs](self) for the model).
+/// deliver/merge events (see the module docs for the model).
 ///
 /// Attach it to a run via
 /// [`Simulation::run_observed`](crate::Simulation::run_observed) (compose

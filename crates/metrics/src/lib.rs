@@ -40,10 +40,12 @@ mod eval;
 mod plot;
 mod report;
 mod run_report;
+mod sweep;
 mod tradeoff;
 
 pub use eval::{accuracy, generalization_error};
 pub use plot::plot_tradeoff;
 pub use report::{render_csv, render_table};
 pub use run_report::{render_markdown_report, render_prometheus, render_round_table};
+pub use sweep::{render_sweep_json, render_sweep_report};
 pub use tradeoff::{best_utility_point, pareto_front, TradeoffPoint};

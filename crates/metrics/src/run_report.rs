@@ -18,7 +18,7 @@ use glmia_trace::{HistogramSummary, RunSummary};
 use crate::render_table;
 
 /// Renders `summary` as a Markdown run report with sections keyed to the
-/// paper's figures (see the [module docs](self)).
+/// paper's figures (see the module docs).
 #[must_use]
 pub fn render_markdown_report(summary: &RunSummary) -> String {
     let mut out = String::new();

@@ -1,0 +1,327 @@
+//! Sweep aggregate renderers: per-cell checkpoint records → one columnar
+//! `sweep.json` and one human `report.md`.
+//!
+//! Both renderers are pure functions of the sorted record list. Records
+//! are re-sorted by cell index here regardless of input order, and
+//! `serde_json`'s map is a `BTreeMap` (keys serialize sorted), so output
+//! bytes depend only on the cells' *contents* — never on worker count,
+//! completion order, or a kill/resume split.
+
+use std::collections::BTreeMap;
+
+use glmia_trace::{CellRecord, SweepHeaderRecord};
+use serde_json::{json, Value};
+
+/// Renders the columnar aggregate: one JSON object whose `columns` map
+/// holds a same-length array per column — grid coordinates (`cell`,
+/// `seed`, `config_hash`, one column per axis) and every summary metric.
+#[must_use]
+pub fn render_sweep_json(
+    header: &SweepHeaderRecord,
+    axis_names: &[String],
+    cells: &[CellRecord],
+) -> String {
+    let cells = sorted(cells);
+    let column = |f: &dyn Fn(&CellRecord) -> Value| Value::Array(cells.iter().map(f).collect());
+    let mut columns: BTreeMap<String, Value> = BTreeMap::new();
+    columns.insert("cell".to_string(), column(&|c| json!(c.cell)));
+    columns.insert("seed".to_string(), column(&|c| json!(c.seed)));
+    columns.insert("config_hash".to_string(), column(&|c| json!(c.config_hash)));
+    for axis in axis_names {
+        columns.insert(
+            axis.clone(),
+            column(&|c| json!(c.axes.get(axis).cloned().unwrap_or_default())),
+        );
+    }
+    let metric =
+        |f: fn(&CellRecord) -> Value| -> Value { Value::Array(cells.iter().map(f).collect()) };
+    columns.insert(
+        "final_test_accuracy".into(),
+        metric(|c| json!(c.summary.final_test_accuracy)),
+    );
+    columns.insert(
+        "final_train_accuracy".into(),
+        metric(|c| json!(c.summary.final_train_accuracy)),
+    );
+    columns.insert(
+        "final_gen_error".into(),
+        metric(|c| json!(c.summary.final_gen_error)),
+    );
+    columns.insert(
+        "final_mia_vulnerability".into(),
+        metric(|c| json!(c.summary.final_mia_vulnerability)),
+    );
+    columns.insert(
+        "final_mia_auc".into(),
+        metric(|c| json!(c.summary.final_mia_auc)),
+    );
+    columns.insert("best_round".into(), metric(|c| json!(c.summary.best_round)));
+    columns.insert(
+        "best_test_accuracy".into(),
+        metric(|c| json!(c.summary.best_test_accuracy)),
+    );
+    columns.insert(
+        "mia_vulnerability_at_best".into(),
+        metric(|c| json!(c.summary.mia_vulnerability_at_best)),
+    );
+    columns.insert(
+        "lambda2_analytic".into(),
+        metric(|c| json!(c.summary.lambda2_analytic)),
+    );
+    columns.insert(
+        "lambda2_cumulative".into(),
+        metric(|c| json!(c.summary.lambda2_cumulative)),
+    );
+    columns.insert(
+        "messages_sent".into(),
+        metric(|c| json!(c.summary.messages_sent)),
+    );
+    columns.insert(
+        "messages_dropped".into(),
+        metric(|c| json!(c.summary.messages_dropped)),
+    );
+    columns.insert("crashes".into(), metric(|c| json!(c.summary.crashes)));
+    columns.insert(
+        "observed_nodes".into(),
+        metric(|c| json!(c.summary.observed_nodes)),
+    );
+    columns.insert("attacker".into(), metric(|c| json!(c.summary.attacker)));
+    columns.insert("defense".into(), metric(|c| json!(c.summary.defense)));
+    columns.insert(
+        "local_updates".into(),
+        metric(|c| json!(c.summary.local_updates)),
+    );
+    columns.insert("evals".into(), metric(|c| json!(c.summary.evals)));
+
+    let doc = json!({
+        "schema": header.schema,
+        "scenario": header.scenario,
+        "scenario_hash": header.scenario_hash,
+        "cells": header.cells,
+        "axes": axis_names,
+        "columns": columns,
+    });
+    let mut out = serde_json::to_string_pretty(&doc)
+        .expect("sweep aggregate serializes: no non-string keys or NaN floats");
+    out.push('\n');
+    out
+}
+
+/// Renders the markdown report: the per-cell table plus extreme cells and
+/// column aggregates.
+#[must_use]
+pub fn render_sweep_report(
+    header: &SweepHeaderRecord,
+    axis_names: &[String],
+    cells: &[CellRecord],
+) -> String {
+    let cells = sorted(cells);
+    let mut out = String::new();
+    out.push_str(&format!("# Sweep report — {}\n\n", header.scenario));
+    out.push_str(&format!("- scenario hash: `{}`\n", header.scenario_hash));
+    out.push_str(&format!("- cells: {}\n", cells.len()));
+    out.push_str(&format!("- axes: {}\n\n", render_axes(axis_names, &cells)));
+
+    out.push_str("## Cells\n\n|cell|");
+    for axis in axis_names {
+        out.push_str(&format!("{axis}|"));
+    }
+    out.push_str("seed|test acc|MIA vuln|MIA AUC|gen err|lambda2|sent|dropped|\n");
+    out.push_str("|---:|");
+    for _ in axis_names {
+        out.push_str(":--|");
+    }
+    out.push_str("---:|---:|---:|---:|---:|---:|---:|---:|\n");
+    for cell in &cells {
+        out.push_str(&format!("|{}|", cell.cell));
+        for axis in axis_names {
+            out.push_str(&format!(
+                "{}|",
+                cell.axes.get(axis).cloned().unwrap_or_default()
+            ));
+        }
+        let s = &cell.summary;
+        out.push_str(&format!(
+            "{}|{:.3}|{:.3}|{:.3}|{:.3}|{:.4}|{}|{}|\n",
+            cell.seed,
+            s.final_test_accuracy,
+            s.final_mia_vulnerability,
+            s.final_mia_auc,
+            s.final_gen_error,
+            s.lambda2_analytic,
+            s.messages_sent,
+            s.messages_dropped,
+        ));
+    }
+
+    if !cells.is_empty() {
+        out.push_str("\n## Extremes\n\n");
+        let by = |pick: fn(&CellRecord) -> f64, best_high: bool| -> &CellRecord {
+            let mut best = &cells[0];
+            for cell in &cells[1..] {
+                let better = if best_high {
+                    pick(cell) > pick(best)
+                } else {
+                    pick(cell) < pick(best)
+                };
+                if better {
+                    best = cell;
+                }
+            }
+            best
+        };
+        let acc = by(|c| c.summary.final_test_accuracy, true);
+        out.push_str(&format!(
+            "- highest test accuracy: cell {} ({}) at {:.3}\n",
+            acc.cell,
+            coordinates(acc, axis_names),
+            acc.summary.final_test_accuracy,
+        ));
+        let leak = by(|c| c.summary.final_mia_auc, true);
+        out.push_str(&format!(
+            "- highest MIA AUC: cell {} ({}) at {:.3}\n",
+            leak.cell,
+            coordinates(leak, axis_names),
+            leak.summary.final_mia_auc,
+        ));
+        let tight = by(|c| c.summary.final_mia_auc, false);
+        out.push_str(&format!(
+            "- lowest MIA AUC: cell {} ({}) at {:.3}\n",
+            tight.cell,
+            coordinates(tight, axis_names),
+            tight.summary.final_mia_auc,
+        ));
+
+        out.push_str("\n## Aggregates\n\n|column|mean|min|max|\n|:--|---:|---:|---:|\n");
+        for (name, pick) in [
+            (
+                "final_test_accuracy",
+                (|c: &CellRecord| c.summary.final_test_accuracy) as fn(&CellRecord) -> f64,
+            ),
+            ("final_mia_vulnerability", |c| {
+                c.summary.final_mia_vulnerability
+            }),
+            ("final_mia_auc", |c| c.summary.final_mia_auc),
+            ("final_gen_error", |c| c.summary.final_gen_error),
+        ] {
+            // Cell-index iteration order — the float sum is order-pinned.
+            let values: Vec<f64> = cells.iter().map(pick).collect();
+            let mean = values.iter().sum::<f64>() / values.len() as f64;
+            let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            out.push_str(&format!("|{name}|{mean:.3}|{min:.3}|{max:.3}|\n"));
+        }
+    }
+    out
+}
+
+/// Records sorted by cell index (cloned; inputs may arrive in completion
+/// order).
+fn sorted(cells: &[CellRecord]) -> Vec<CellRecord> {
+    let mut cells = cells.to_vec();
+    cells.sort_by_key(|c| c.cell);
+    cells
+}
+
+/// `attacker(3) × defense(4) × topology(2)` — the axes line.
+fn render_axes(axis_names: &[String], cells: &[CellRecord]) -> String {
+    if axis_names.is_empty() {
+        return "none".to_string();
+    }
+    let parts: Vec<String> = axis_names
+        .iter()
+        .map(|axis| {
+            let mut values: Vec<&str> = cells
+                .iter()
+                .filter_map(|c| c.axes.get(axis).map(String::as_str))
+                .collect();
+            values.sort_unstable();
+            values.dedup();
+            format!("{axis}({})", values.len())
+        })
+        .collect();
+    parts.join(" × ")
+}
+
+/// `attacker=omniscient, topology=static, seed=31`.
+fn coordinates(cell: &CellRecord, axis_names: &[String]) -> String {
+    let mut parts: Vec<String> = axis_names
+        .iter()
+        .filter_map(|axis| cell.axes.get(axis).map(|value| format!("{axis}={value}")))
+        .collect();
+    parts.push(format!("seed={}", cell.seed));
+    parts.join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glmia_trace::{CellSummary, SWEEP_SCHEMA_VERSION};
+
+    fn record(cell: usize, acc: f64) -> CellRecord {
+        let mut axes = BTreeMap::new();
+        axes.insert("protocol".to_string(), format!("p{cell}"));
+        CellRecord {
+            cell,
+            config_hash: format!("{cell:016x}"),
+            seed: 1,
+            axes,
+            summary: CellSummary {
+                final_test_accuracy: acc,
+                final_train_accuracy: acc + 0.1,
+                final_gen_error: 0.1,
+                final_mia_vulnerability: 0.6,
+                final_mia_auc: 0.6 + acc / 10.0,
+                best_round: 2,
+                best_test_accuracy: acc,
+                mia_vulnerability_at_best: 0.55,
+                lambda2_analytic: 0.5,
+                lambda2_cumulative: None,
+                messages_sent: 10,
+                messages_dropped: 0,
+                crashes: 0,
+                observed_nodes: 4,
+                attacker: "omniscient".to_string(),
+                defense: "none".to_string(),
+                local_updates: 8,
+                evals: 2,
+            },
+        }
+    }
+
+    fn header() -> SweepHeaderRecord {
+        SweepHeaderRecord {
+            schema: SWEEP_SCHEMA_VERSION,
+            scenario: "demo".to_string(),
+            scenario_hash: "0".repeat(16),
+            cells: 2,
+        }
+    }
+
+    #[test]
+    fn json_is_columnar_and_input_order_independent() {
+        let axes = vec!["protocol".to_string()];
+        let a = render_sweep_json(&header(), &axes, &[record(0, 0.5), record(1, 0.7)]);
+        let b = render_sweep_json(&header(), &axes, &[record(1, 0.7), record(0, 0.5)]);
+        assert_eq!(a, b, "completion order must not leak into bytes");
+        let doc: serde_json::Value = serde_json::from_str(&a).unwrap();
+        assert_eq!(doc["columns"]["cell"], serde_json::json!([0, 1]));
+        assert_eq!(doc["columns"]["protocol"], serde_json::json!(["p0", "p1"]));
+        assert_eq!(
+            doc["columns"]["final_test_accuracy"],
+            serde_json::json!([0.5, 0.7])
+        );
+        assert_eq!(doc["schema"], serde_json::json!(SWEEP_SCHEMA_VERSION));
+    }
+
+    #[test]
+    fn report_names_extremes_and_aggregates() {
+        let axes = vec!["protocol".to_string()];
+        let md = render_sweep_report(&header(), &axes, &[record(1, 0.7), record(0, 0.5)]);
+        assert!(md.contains("# Sweep report — demo"));
+        assert!(md.contains("- highest test accuracy: cell 1"));
+        assert!(md.contains("|final_test_accuracy|0.600|0.500|0.700|"));
+        let rows: Vec<&str> = md.lines().filter(|l| l.starts_with("|0|")).collect();
+        assert_eq!(rows.len(), 1);
+    }
+}

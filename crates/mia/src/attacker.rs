@@ -81,8 +81,8 @@ impl AttackerModel {
         matches!(self, AttackerModel::Omniscient)
     }
 
-    /// Canonical form: node lists sorted and deduplicated. [`Display`]
-    /// (std::fmt::Display) and the config identity both use this form, so
+    /// Canonical form: node lists sorted and deduplicated. [`Display`](std::fmt::Display)
+    /// and the config identity both use this form, so
     /// `neighbors:7,3,3` and `neighbors:3,7` describe the same experiment.
     #[must_use]
     pub fn normalized(self) -> Self {

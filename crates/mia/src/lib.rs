@@ -28,7 +28,7 @@
 //! [`AttackerView`] exposes, and every attack — the oracle-threshold
 //! family ([`MiaEvaluator`]) and the calibrated [`TransferAttack`] —
 //! implements the [`Attack`] trait against that view. See the
-//! [`attacker`](crate::attacker) module docs for the observation
+//! [`attacker`] module docs for the observation
 //! semantics.
 //!
 //! # Examples

@@ -50,7 +50,11 @@ impl GradCheckReport {
 /// let mut m = Mlp::new(&spec, &mut rng);
 /// let x = Matrix::from_vec(2, 3, vec![0.1, -0.3, 0.5, 0.2, 0.2, -0.1])?;
 /// let report = check_gradients(&mut m, &x, &[0, 1], 1e-3);
-/// assert!(report.passes(1e-2), "{report:?}");
+/// // f32 finite differences: near-zero gradients hit the clamped
+/// // denominator, so the relative tolerance is looser than the unit
+/// // tests' (which check f64-accumulated layers directly).
+/// assert!(report.passes(5e-2), "{report:?}");
+/// assert!(report.max_abs_diff < 1e-3, "{report:?}");
 /// # Ok(())
 /// # }
 /// ```

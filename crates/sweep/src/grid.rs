@@ -1,0 +1,216 @@
+//! Canonical grid expansion: scenario → duplicate-free, ordered cells.
+//!
+//! The cell order is a pure function of the scenario *content*, not its
+//! file layout: axes iterate in sorted-name order (the odometer's most
+//! significant digit is the alphabetically first axis), values in file
+//! order within each axis, and seeds (sorted ascending) innermost.
+//! Reordering `[axes]` declarations or whole tables in the file therefore
+//! changes nothing — the property the sweep proptests pin.
+//!
+//! Every cell carries a validated [`ExperimentConfig`] plus its
+//! fingerprint; cells whose `(fingerprint, seed)` collide with an earlier
+//! cell (e.g. two spellings of the same attacker spec) are dropped,
+//! keeping the first occurrence, so the grid is duplicate-free by
+//! construction. The grid hash — FNV-1a over the scenario name and every
+//! surviving cell's `(position, fingerprint, seed)` — is what a resumed
+//! checkpoint must match.
+
+use std::collections::BTreeMap;
+
+use glmia_core::ExperimentConfig;
+use glmia_trace::fnv1a;
+
+use crate::scenario::{Scenario, ScenarioError};
+
+/// One cell of the expanded grid.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Position in canonical grid order (0-based, after dedup).
+    pub index: usize,
+    /// The seed this cell runs under.
+    pub seed: u64,
+    /// Axis name → canonical value label.
+    pub axes: BTreeMap<String, String>,
+    /// The fully resolved, validated config.
+    pub config: ExperimentConfig,
+    /// `config.fingerprint()`, cached.
+    pub config_hash: u64,
+}
+
+/// The expanded grid.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// Scenario name.
+    pub scenario: String,
+    /// FNV-1a hash binding checkpoints to this exact grid.
+    pub scenario_hash: u64,
+    /// Axis names in canonical (sorted) order.
+    pub axis_names: Vec<String>,
+    /// Cells in canonical order.
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepGrid {
+    /// Expands a scenario into its grid, building and validating every
+    /// cell config up front (so a sweep never fails halfway through on a
+    /// bad corner of the grid).
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Invalid`] naming the first cell whose config
+    /// fails validation.
+    pub fn expand(scenario: &Scenario) -> Result<Self, ScenarioError> {
+        let axes = scenario.axes();
+        let mut cells: Vec<SweepCell> = Vec::new();
+        let mut seen: Vec<(u64, u64)> = Vec::new();
+        // Odometer over axis value indices; empty axes list = one combo.
+        let mut digits = vec![0usize; axes.len()];
+        loop {
+            let assignment: BTreeMap<String, crate::scenario::Knob> = axes
+                .iter()
+                .zip(&digits)
+                .map(|(axis, &i)| (axis.name.clone(), axis.values[i].clone()))
+                .collect();
+            let labels: BTreeMap<String, String> = assignment
+                .iter()
+                .map(|(name, knob)| (name.clone(), knob.label()))
+                .collect();
+            for &seed in scenario.seeds() {
+                let config = scenario.config_for(&assignment, seed).map_err(|message| {
+                    ScenarioError::Invalid {
+                        cell: cell_label(&labels, seed),
+                        message,
+                    }
+                })?;
+                let config_hash = config.fingerprint();
+                if seen.contains(&(config_hash, seed)) {
+                    continue; // duplicate spelling of an existing cell
+                }
+                seen.push((config_hash, seed));
+                cells.push(SweepCell {
+                    index: cells.len(),
+                    seed,
+                    axes: labels.clone(),
+                    config,
+                    config_hash,
+                });
+            }
+            // Advance the odometer: last axis (alphabetically greatest)
+            // is the fastest digit.
+            let mut pos = digits.len();
+            loop {
+                if pos == 0 {
+                    return Ok(Self::assemble(scenario, cells));
+                }
+                pos -= 1;
+                digits[pos] += 1;
+                if digits[pos] < axes[pos].values.len() {
+                    break;
+                }
+                digits[pos] = 0;
+            }
+        }
+    }
+
+    fn assemble(scenario: &Scenario, cells: Vec<SweepCell>) -> Self {
+        let mut descriptor = String::new();
+        descriptor.push_str(scenario.name());
+        descriptor.push('\n');
+        for cell in &cells {
+            descriptor.push_str(&format!(
+                "{}:{:016x}:{}\n",
+                cell.index, cell.config_hash, cell.seed
+            ));
+        }
+        Self {
+            scenario: scenario.name().to_string(),
+            scenario_hash: fnv1a(descriptor.as_bytes()),
+            axis_names: scenario.axis_names(),
+            cells,
+        }
+    }
+
+    /// The grid hash as the 16-hex-digit string checkpoints store.
+    #[must_use]
+    pub fn hash_hex(&self) -> String {
+        format!("{:016x}", self.scenario_hash)
+    }
+}
+
+/// Human label for a cell: `protocol=samo,seed=42`.
+fn cell_label(labels: &BTreeMap<String, String>, seed: u64) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(name, value)| format!("{name}={value}"))
+        .collect();
+    parts.push(format!("seed={seed}"));
+    parts.join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scenario;
+
+    const TWO_AXES: &str = "[scenario]\nname = \"g\"\npreset = \"quick\"\nnodes = 6\nk = 2\nrounds = 2\neval-every = 1\n\n[seeds]\nlist = [1, 2]\n\n[axes]\nprotocol = [\"base\", \"samo\"]\ntopology = [\"static\", \"dynamic\"]\n";
+
+    #[test]
+    fn expansion_is_odometer_ordered_with_seeds_innermost() {
+        let grid = SweepGrid::expand(&Scenario::parse(TWO_AXES).unwrap()).unwrap();
+        assert_eq!(grid.cells.len(), 8);
+        assert_eq!(grid.axis_names, vec!["protocol", "topology"]);
+        let first: Vec<(String, String, u64)> = grid
+            .cells
+            .iter()
+            .map(|c| {
+                (
+                    c.axes["protocol"].clone(),
+                    c.axes["topology"].clone(),
+                    c.seed,
+                )
+            })
+            .collect();
+        assert_eq!(first[0], ("base".into(), "static".into(), 1));
+        assert_eq!(first[1], ("base".into(), "static".into(), 2));
+        assert_eq!(first[2], ("base".into(), "dynamic".into(), 1));
+        assert_eq!(first[4], ("samo".into(), "static".into(), 1));
+        // Indices are dense and in order.
+        for (i, cell) in grid.cells.iter().enumerate() {
+            assert_eq!(cell.index, i);
+        }
+    }
+
+    #[test]
+    fn axis_declaration_order_does_not_change_the_grid() {
+        let reordered = TWO_AXES.replace(
+            "protocol = [\"base\", \"samo\"]\ntopology = [\"static\", \"dynamic\"]",
+            "topology = [\"static\", \"dynamic\"]\nprotocol = [\"base\", \"samo\"]",
+        );
+        let a = SweepGrid::expand(&Scenario::parse(TWO_AXES).unwrap()).unwrap();
+        let b = SweepGrid::expand(&Scenario::parse(&reordered).unwrap()).unwrap();
+        assert_eq!(a.scenario_hash, b.scenario_hash);
+        let pairs = |g: &SweepGrid| -> Vec<(u64, u64)> {
+            g.cells.iter().map(|c| (c.config_hash, c.seed)).collect()
+        };
+        assert_eq!(pairs(&a), pairs(&b));
+    }
+
+    #[test]
+    fn equivalent_spellings_deduplicate() {
+        let text = "[scenario]\nname = \"g\"\npreset = \"quick\"\nnodes = 6\nk = 2\nrounds = 2\neval-every = 1\n\n[seeds]\nlist = [1]\n\n[axes]\nattacker = [\"neighbors:0,1,2\", \"neighbors:0..3\"]\n";
+        let grid = SweepGrid::expand(&Scenario::parse(text).unwrap()).unwrap();
+        assert_eq!(grid.cells.len(), 1, "same attacker spelled twice");
+    }
+
+    #[test]
+    fn invalid_cells_name_their_coordinates() {
+        let text = "[scenario]\nname = \"g\"\npreset = \"quick\"\nnodes = 4\nrounds = 2\neval-every = 1\n\n[seeds]\nlist = [1]\n\n[axes]\nk = [2, 9]\n";
+        let err = SweepGrid::expand(&Scenario::parse(text).unwrap()).unwrap_err();
+        match err {
+            ScenarioError::Invalid { cell, .. } => {
+                assert!(cell.contains("k=9"), "{cell}");
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Declarative experiment sweeps for glmia.
+//!
+//! The paper's results are a grid — topology family × attacker × defense ×
+//! seeds — and every related-work extension multiplies it further. This
+//! crate turns such grids into data: a TOML *scenario* file names a base
+//! experiment (preset, dataset, protocol, fault plan, threat model), the
+//! axes to sweep (lists or integer ranges) and the seeds to replicate
+//! over, and `glmia sweep <scenario.toml>` does the rest.
+//!
+//! The pipeline has three stages, each deterministic:
+//!
+//! * [`Scenario`] — parses and validates the file (a dependency-free TOML
+//!   subset, line-numbered errors) into a typed spec;
+//! * [`SweepGrid`] — expands axes × seeds into a duplicate-free cell list
+//!   whose order is a pure function of the scenario *content* (axes are
+//!   keyed by name, so reordering tables or axis declarations in the file
+//!   changes nothing), each cell carrying a validated
+//!   [`ExperimentConfig`](glmia_core::ExperimentConfig) and its
+//!   fingerprint;
+//! * [`run_sweep`] — fans cells across a worker pool (each cell runs
+//!   single-threaded under the per-(seed, round, node) derived-RNG
+//!   contract, so worker count never changes results), appends one
+//!   crash-safe checkpoint record per completed cell, and folds the
+//!   records into columnar `sweep.json` + `report.md` via
+//!   [`glmia_metrics`].
+//!
+//! Killing a sweep and rerunning the same command resumes from the
+//! checkpoint: completed cells are reused byte-for-byte, only unfinished
+//! cells execute, and the final aggregates are byte-identical to an
+//! uninterrupted run at any worker count.
+
+mod grid;
+mod runner;
+mod scenario;
+mod toml;
+
+pub use grid::{SweepCell, SweepGrid};
+pub use runner::{run_cell, run_sweep, SweepError, SweepOutcome};
+pub use scenario::{Scenario, ScenarioError};
+pub use toml::{TomlDoc, TomlError, TomlValue};

@@ -1,0 +1,315 @@
+//! Checkpointed worker pool: run the grid, survive kills, aggregate.
+//!
+//! Cells are claimed from a shared counter by `N` workers; each cell runs
+//! single-threaded through [`run_experiment_traced`], so results are
+//! independent of which worker ran it and of `N` (the per-(seed, round,
+//! node) derived-RNG contract). The coordinating thread is the only
+//! writer of `checkpoint.jsonl`: it appends and flushes one record per
+//! completed cell, in completion order — the one artifact whose byte
+//! order may vary with worker count. The final `sweep.json` / `report.md`
+//! are rendered from records sorted by cell index, so they are
+//! byte-identical at any worker count and across any kill/resume split.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use glmia_core::{run_experiment_traced, Parallelism};
+use glmia_trace::{
+    read_checkpoint, CellRecord, CellSummary, CheckpointReadError, CheckpointWriter,
+    SweepHeaderRecord, TraceEvent, SWEEP_SCHEMA_VERSION,
+};
+
+use crate::grid::{SweepCell, SweepGrid};
+use crate::scenario::{Scenario, ScenarioError};
+
+/// Why a sweep failed, partitioned by the CLI exit-code contract.
+#[derive(Debug)]
+pub enum SweepError {
+    /// Scenario parse/validation problem → exit 1.
+    Scenario(ScenarioError),
+    /// The checkpoint in the output directory is corrupt, has the wrong
+    /// schema, or belongs to a different scenario → exit 2.
+    Checkpoint(String),
+    /// A cell failed at runtime, or artifacts could not be written →
+    /// exit 1.
+    Runtime(String),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Scenario(err) => write!(f, "{err}"),
+            SweepError::Checkpoint(message) => write!(f, "{message}"),
+            SweepError::Runtime(message) => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<ScenarioError> for SweepError {
+    fn from(err: ScenarioError) -> Self {
+        SweepError::Scenario(err)
+    }
+}
+
+/// What a finished sweep did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepOutcome {
+    /// Cells in the grid.
+    pub total: usize,
+    /// Cells executed by this invocation.
+    pub ran: usize,
+    /// Cells reused from the checkpoint.
+    pub resumed: usize,
+    /// Path of the columnar aggregate.
+    pub sweep_json: PathBuf,
+    /// Path of the markdown report.
+    pub report_md: PathBuf,
+}
+
+/// Runs (or resumes) a sweep into `out_dir` with `workers` cell workers.
+///
+/// Existing progress in `out_dir/checkpoint.jsonl` is validated against
+/// the expanded grid and reused; only unfinished cells execute. Progress
+/// lines go to stderr when `progress` is set.
+///
+/// # Errors
+///
+/// [`SweepError::Scenario`] on grid expansion failures,
+/// [`SweepError::Checkpoint`] on corrupt or stale checkpoints,
+/// [`SweepError::Runtime`] on cell or I/O failures.
+pub fn run_sweep(
+    scenario: &Scenario,
+    out_dir: &Path,
+    workers: Parallelism,
+    progress: bool,
+) -> Result<SweepOutcome, SweepError> {
+    let grid = SweepGrid::expand(scenario)?;
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| SweepError::Runtime(format!("creating {}: {e}", out_dir.display())))?;
+    let checkpoint_path = out_dir.join("checkpoint.jsonl");
+    let header = SweepHeaderRecord {
+        schema: SWEEP_SCHEMA_VERSION,
+        scenario: grid.scenario.clone(),
+        scenario_hash: grid.hash_hex(),
+        cells: grid.cells.len(),
+    };
+
+    // Load prior progress, if any, and bind it to this grid.
+    let mut completed: BTreeMap<usize, CellRecord> = BTreeMap::new();
+    if checkpoint_path.exists() {
+        let file = read_checkpoint(&checkpoint_path).map_err(|err| match err {
+            CheckpointReadError::Io(e) => SweepError::Runtime(format!("reading checkpoint: {e}")),
+            other => SweepError::Checkpoint(format!("{}: {other}", checkpoint_path.display())),
+        })?;
+        if file.header.scenario_hash != header.scenario_hash {
+            return Err(SweepError::Checkpoint(format!(
+                "{}: checkpoint belongs to scenario `{}` (grid hash {}), but this \
+                 scenario expands to grid hash {} — remove the output directory or \
+                 fix the scenario",
+                checkpoint_path.display(),
+                file.header.scenario,
+                file.header.scenario_hash,
+                header.scenario_hash,
+            )));
+        }
+        for record in file.cells {
+            let stale = grid.cells.get(record.cell).is_none_or(|cell| {
+                record.config_hash != format!("{:016x}", cell.config_hash)
+                    || record.seed != cell.seed
+            });
+            if stale {
+                return Err(SweepError::Checkpoint(format!(
+                    "{}: cell {} does not match the expanded grid (stale config hash)",
+                    checkpoint_path.display(),
+                    record.cell,
+                )));
+            }
+            completed.insert(record.cell, record);
+        }
+    }
+    let resumed = completed.len();
+
+    let pending: Vec<usize> = grid
+        .cells
+        .iter()
+        .map(|c| c.index)
+        .filter(|i| !completed.contains_key(i))
+        .collect();
+
+    let records: Vec<CellRecord> = completed.values().cloned().collect();
+    let mut writer = if resumed > 0 {
+        CheckpointWriter::resume(&checkpoint_path, &header, &records)
+    } else {
+        CheckpointWriter::create(&checkpoint_path, &header)
+    }
+    .map_err(|e| SweepError::Runtime(format!("writing checkpoint: {e}")))?;
+
+    if progress && resumed > 0 {
+        eprintln!(
+            "[sweep] resuming {}: {resumed}/{} cells already complete",
+            grid.scenario,
+            grid.cells.len()
+        );
+    }
+
+    // Fan the pending cells across workers; the coordinator owns the
+    // checkpoint and appends records in completion order.
+    let worker_count = workers.threads().clamp(1, pending.len().max(1));
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel::<Result<CellRecord, String>>();
+    let mut first_error: Option<String> = None;
+    std::thread::scope(|scope| {
+        for _ in 0..worker_count {
+            let tx = tx.clone();
+            let grid = &grid;
+            let pending = &pending;
+            let next = &next;
+            let abort = &abort;
+            scope.spawn(move || loop {
+                if abort.load(Ordering::SeqCst) {
+                    break;
+                }
+                let slot = next.fetch_add(1, Ordering::SeqCst);
+                let Some(&index) = pending.get(slot) else {
+                    break;
+                };
+                let outcome = run_cell(&grid.cells[index]);
+                if tx.send(outcome).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut done = resumed;
+        for outcome in rx {
+            match outcome {
+                Ok(record) => {
+                    if let Err(e) = writer.append(&record) {
+                        abort.store(true, Ordering::SeqCst);
+                        first_error.get_or_insert(format!("writing checkpoint: {e}"));
+                        continue;
+                    }
+                    done += 1;
+                    if progress {
+                        eprintln!(
+                            "[sweep] cell {}/{} done ({})",
+                            done,
+                            grid.cells.len(),
+                            describe(&grid.cells[record.cell]),
+                        );
+                    }
+                    completed.insert(record.cell, record);
+                }
+                Err(message) => {
+                    abort.store(true, Ordering::SeqCst);
+                    first_error.get_or_insert(message);
+                }
+            }
+        }
+    });
+    if let Some(message) = first_error {
+        return Err(SweepError::Runtime(message));
+    }
+
+    // Aggregate in cell order — byte-identical at any worker count and
+    // across any kill/resume split.
+    let ordered: Vec<CellRecord> = completed.values().cloned().collect();
+    let sweep_json = out_dir.join("sweep.json");
+    let report_md = out_dir.join("report.md");
+    std::fs::write(
+        &sweep_json,
+        glmia_metrics::render_sweep_json(&header, &grid.axis_names, &ordered),
+    )
+    .map_err(|e| SweepError::Runtime(format!("writing sweep.json: {e}")))?;
+    std::fs::write(
+        &report_md,
+        glmia_metrics::render_sweep_report(&header, &grid.axis_names, &ordered),
+    )
+    .map_err(|e| SweepError::Runtime(format!("writing report.md: {e}")))?;
+
+    Ok(SweepOutcome {
+        total: grid.cells.len(),
+        ran: grid.cells.len() - resumed,
+        resumed,
+        sweep_json,
+        report_md,
+    })
+}
+
+/// Runs one cell and folds its result into a checkpoint record. Public
+/// so benches can execute scenario-defined grids cell by cell.
+///
+/// # Errors
+///
+/// The experiment's error, stringified.
+pub fn run_cell(cell: &SweepCell) -> Result<CellRecord, String> {
+    let (result, trace) = run_experiment_traced(&cell.config)
+        .map_err(|e| format!("cell {} ({}): {e}", cell.index, describe(cell)))?;
+    let final_round = result.rounds.last();
+    let best = result.best_point();
+    let mut lambda2_analytic = 0.0;
+    let mut lambda2_cumulative = None;
+    let mut crashes = 0u64;
+    let mut observed_nodes = None;
+    for event in trace.events() {
+        match event {
+            TraceEvent::Topology(t) => lambda2_analytic = t.lambda2_analytic,
+            TraceEvent::Mixing(m) => lambda2_cumulative = Some(m.lambda2_cumulative),
+            TraceEvent::Threat(t) => observed_nodes = Some(t.observed_nodes),
+            TraceEvent::Fault(f) if matches!(f.kind, glmia_trace::FaultRecordKind::Crash) => {
+                crashes += 1;
+            }
+            _ => {}
+        }
+    }
+    let totals = trace.totals();
+    let summary = CellSummary {
+        final_test_accuracy: final_round.map_or(0.0, |r| r.test_accuracy.mean),
+        final_train_accuracy: final_round.map_or(0.0, |r| r.train_accuracy.mean),
+        final_gen_error: final_round.map_or(0.0, |r| r.gen_error.mean),
+        final_mia_vulnerability: final_round.map_or(0.0, |r| r.mia_vulnerability.mean),
+        final_mia_auc: final_round.map_or(0.0, |r| r.mia_auc.mean),
+        best_round: best.as_ref().map_or(0, |p| p.round),
+        best_test_accuracy: best.as_ref().map_or(0.0, |p| p.utility),
+        mia_vulnerability_at_best: best.as_ref().map_or(0.0, |p| p.vulnerability),
+        lambda2_analytic,
+        lambda2_cumulative,
+        messages_sent: result.messages_sent,
+        messages_dropped: result.messages_dropped,
+        crashes,
+        observed_nodes: observed_nodes.unwrap_or(cell.config.nodes()),
+        attacker: cell
+            .config
+            .attacker()
+            .map_or_else(|| "omniscient".to_string(), ToString::to_string),
+        defense: cell
+            .config
+            .defense()
+            .map_or_else(|| "none".to_string(), ToString::to_string),
+        local_updates: totals.local_updates,
+        evals: totals.evals,
+    };
+    Ok(CellRecord {
+        cell: cell.index,
+        config_hash: format!("{:016x}", cell.config_hash),
+        seed: cell.seed,
+        axes: cell.axes.clone(),
+        summary,
+    })
+}
+
+/// `axis=value,…,seed=N` — the progress/error label for a cell.
+fn describe(cell: &SweepCell) -> String {
+    let mut parts: Vec<String> = cell
+        .axes
+        .iter()
+        .map(|(name, value)| format!("{name}={value}"))
+        .collect();
+    parts.push(format!("seed={}", cell.seed));
+    parts.join(",")
+}

@@ -1,0 +1,950 @@
+//! Scenario schema: the validated bridge from a TOML file to a cell grid.
+//!
+//! A scenario has five tables, all but `[scenario]` and `[seeds]`
+//! optional:
+//!
+//! ```toml
+//! [scenario]              # base experiment (CLI `run` knobs)
+//! name = "threat_matrix"  # required; names the sweep's artifacts
+//! preset = "quick"        # quick | bench | paper (default bench)
+//! dataset = "fashion"     # cifar10 | cifar100 | fashion | purchase100
+//! protocol = "samo"       # base | samo | somo | same
+//! topology = "static"     # static | dynamic
+//! nodes = 16
+//! k = 4
+//! rounds = 20
+//! eval-every = 5
+//! # also: beta (Dirichlet non-IID), wake-std, local-epochs, lr
+//!
+//! [fault]                 # fault plan, composed exactly like `glmia run`
+//! latency = "straggler:1:20:0.1"
+//! downtime = [40, 160]    # churn downtime window, ticks
+//! # also: churn, drop (zero means "component absent")
+//!
+//! [threat]
+//! attacker = "omniscient" # omniscient | neighbors:IDS | coalition:A..B
+//! defense = "none"        # none | gaussian:STD | mask:FRAC | clip:LIMIT
+//!
+//! [seeds]                 # exactly one of:
+//! list = [41, 42, 43]
+//! # range = "1..9"        # inclusive start, exclusive end
+//!
+//! [axes]                  # each key overrides the base per cell
+//! attacker = ["omniscient", "neighbors:0,1,2", "coalition:0..4"]
+//! defense = ["none", "gaussian:0.05", "mask:0.25", "clip:0.5"]
+//! topology = ["static", "dynamic"]
+//! # integer axes may also be a range string: nodes = "8..12"
+//! ```
+//!
+//! Every string knob is validated *at parse time* with the CLI's own
+//! grammars (so errors carry the file line), and every expanded cell's
+//! config passes [`ExperimentConfig::validate`] before any cell runs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+use glmia_core::{ExperimentConfig, Parallelism};
+use glmia_data::{DataPreset, Partition};
+use glmia_gossip::{ChurnConfig, Defense, FaultPlan, LatencyDist, ProtocolKind, TopologyMode};
+use glmia_mia::AttackerModel;
+
+use crate::toml::{TomlDoc, TomlError, TomlValue};
+
+/// Why a scenario could not be loaded. All variants map to CLI exit
+/// code 1 (a scenario problem is a user-input problem, not corruption).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The file could not be read.
+    Io {
+        /// Path as given.
+        path: String,
+        /// The underlying I/O error.
+        message: String,
+    },
+    /// TOML-subset syntax error.
+    Toml(TomlError),
+    /// A required table or key is absent.
+    Missing {
+        /// What was expected, e.g. ``[scenario] name``.
+        what: String,
+    },
+    /// A section outside the schema.
+    UnknownSection {
+        /// The section name.
+        name: String,
+        /// 1-based line of its header.
+        line: usize,
+    },
+    /// A key outside its section's schema.
+    UnknownKey {
+        /// The section it appeared in.
+        section: String,
+        /// The offending key.
+        key: String,
+        /// 1-based line of the key.
+        line: usize,
+    },
+    /// A key whose value has the wrong type or fails its grammar.
+    BadValue {
+        /// The section it appeared in.
+        section: String,
+        /// The offending key.
+        key: String,
+        /// 1-based line of the key.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// `[seeds]` sets both `list` and `range`.
+    ConflictingSeeds {
+        /// 1-based line of the second spec.
+        line: usize,
+    },
+    /// The expanded grid would contain no cells.
+    EmptyGrid {
+        /// 1-based line of the empty list.
+        line: usize,
+        /// What is empty.
+        message: String,
+    },
+    /// A fully expanded cell failed [`ExperimentConfig::validate`].
+    Invalid {
+        /// The cell's axis assignment, for the error message.
+        cell: String,
+        /// The validation failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Io { path, message } => write!(f, "{path}: {message}"),
+            ScenarioError::Toml(err) => write!(f, "{err}"),
+            ScenarioError::Missing { what } => write!(f, "missing {what}"),
+            ScenarioError::UnknownSection { name, line } => write!(
+                f,
+                "line {line}: unknown section `[{name}]` \
+                 (expected scenario|fault|threat|seeds|axes)"
+            ),
+            ScenarioError::UnknownKey { section, key, line } => {
+                write!(f, "line {line}: unknown key `{key}` in `[{section}]`")
+            }
+            ScenarioError::BadValue {
+                section,
+                key,
+                line,
+                message,
+            } => write!(f, "line {line}: `[{section}] {key}`: {message}"),
+            ScenarioError::ConflictingSeeds { line } => write!(
+                f,
+                "line {line}: `[seeds]` must set exactly one of `list` or `range`"
+            ),
+            ScenarioError::EmptyGrid { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            ScenarioError::Invalid { cell, message } => {
+                write!(f, "cell {cell}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<TomlError> for ScenarioError {
+    fn from(err: TomlError) -> Self {
+        ScenarioError::Toml(err)
+    }
+}
+
+/// One resolved knob value: the scalar types a sweep axis can take.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Knob {
+    /// A string knob (protocol, attacker spec, …).
+    Str(String),
+    /// A non-negative integer knob (nodes, rounds, …).
+    Int(i64),
+    /// A float knob (churn, beta, …).
+    Float(f64),
+}
+
+impl Knob {
+    /// Canonical label: exactly the value a report column shows, and the
+    /// dedup key for axis values.
+    pub(crate) fn label(&self) -> String {
+        match self {
+            Knob::Str(s) => s.clone(),
+            Knob::Int(v) => v.to_string(),
+            Knob::Float(v) => v.to_string(),
+        }
+    }
+}
+
+/// One sweep axis: the knob it overrides and its deduplicated values in
+/// file order.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Axis {
+    /// The knob key (one of [`AXIS_KEYS`]).
+    pub name: String,
+    /// Values, deduplicated by label, in file order.
+    pub values: Vec<Knob>,
+}
+
+/// What scalar type each sweepable knob expects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Str,
+    Int,
+    Float,
+}
+
+/// Every key that may appear in `[axes]`, with its expected type.
+/// Sorted by name; also the vocabulary of the `[scenario]`/`[fault]`/
+/// `[threat]` scalar keys (minus `name`, `preset`, `downtime`).
+const AXIS_KEYS: &[(&str, Kind)] = &[
+    ("attacker", Kind::Str),
+    ("beta", Kind::Float),
+    ("churn", Kind::Float),
+    ("dataset", Kind::Str),
+    ("defense", Kind::Str),
+    ("drop", Kind::Float),
+    ("eval-every", Kind::Int),
+    ("k", Kind::Int),
+    ("latency", Kind::Str),
+    ("local-epochs", Kind::Int),
+    ("lr", Kind::Float),
+    ("nodes", Kind::Int),
+    ("protocol", Kind::Str),
+    ("rounds", Kind::Int),
+    ("topology", Kind::Str),
+    ("wake-std", Kind::Float),
+];
+
+const SCENARIO_KEYS: &[&str] = &[
+    "beta",
+    "dataset",
+    "eval-every",
+    "k",
+    "local-epochs",
+    "lr",
+    "name",
+    "nodes",
+    "preset",
+    "protocol",
+    "rounds",
+    "topology",
+    "wake-std",
+];
+const FAULT_KEYS: &[&str] = &["churn", "downtime", "drop", "latency"];
+const THREAT_KEYS: &[&str] = &["attacker", "defense"];
+const SEEDS_KEYS: &[&str] = &["list", "range"];
+
+fn kind_of(key: &str) -> Option<Kind> {
+    AXIS_KEYS
+        .iter()
+        .find(|(name, _)| *name == key)
+        .map(|(_, kind)| *kind)
+}
+
+/// A parsed, validated scenario: the base experiment, the sweep axes
+/// (sorted by name) and the seed set (sorted, deduplicated).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    name: String,
+    preset: String,
+    base: BTreeMap<String, Knob>,
+    downtime: Option<(u64, u64)>,
+    seeds: Vec<u64>,
+    axes: Vec<Axis>,
+}
+
+impl Scenario {
+    /// Reads and parses a scenario file.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Io`] when the file cannot be read, otherwise
+    /// whatever [`Scenario::parse`] reports.
+    pub fn from_path(path: &Path) -> Result<Self, ScenarioError> {
+        let text = std::fs::read_to_string(path).map_err(|err| ScenarioError::Io {
+            path: path.display().to_string(),
+            message: err.to_string(),
+        })?;
+        Self::parse(&text)
+    }
+
+    /// Parses and validates scenario text.
+    ///
+    /// # Errors
+    ///
+    /// A line-numbered [`ScenarioError`] on any syntax, schema, type,
+    /// grammar or emptiness problem.
+    pub fn parse(text: &str) -> Result<Self, ScenarioError> {
+        let doc = TomlDoc::parse(text)?;
+        for (name, section) in doc.sections() {
+            if !matches!(name, "scenario" | "fault" | "threat" | "seeds" | "axes") {
+                return Err(ScenarioError::UnknownSection {
+                    name: name.to_string(),
+                    line: section.line,
+                });
+            }
+        }
+        let Some(scenario) = doc.section("scenario") else {
+            return Err(ScenarioError::Missing {
+                what: "`[scenario]` table".to_string(),
+            });
+        };
+        let mut base: BTreeMap<String, Knob> = BTreeMap::new();
+        let mut name = None;
+        let mut preset = "bench".to_string();
+        for (key, entry) in &scenario.entries {
+            if !SCENARIO_KEYS.contains(&key.as_str()) {
+                return Err(ScenarioError::UnknownKey {
+                    section: "scenario".to_string(),
+                    key: key.clone(),
+                    line: entry.line,
+                });
+            }
+            match key.as_str() {
+                "name" => match &entry.value {
+                    TomlValue::Str(s) if !s.is_empty() => name = Some(s.clone()),
+                    other => {
+                        return Err(bad(
+                            "scenario",
+                            key,
+                            entry.line,
+                            &format!("expected a non-empty string, got {}", other.type_name()),
+                        ))
+                    }
+                },
+                "preset" => match &entry.value {
+                    TomlValue::Str(s) => preset = s.clone(),
+                    other => {
+                        return Err(bad(
+                            "scenario",
+                            key,
+                            entry.line,
+                            &format!("expected a string, got {}", other.type_name()),
+                        ))
+                    }
+                },
+                _ => {
+                    let knob = scalar_knob("scenario", key, entry.line, &entry.value)?;
+                    base.insert(key.clone(), knob);
+                }
+            }
+        }
+        let Some(name) = name else {
+            return Err(ScenarioError::Missing {
+                what: "`[scenario] name`".to_string(),
+            });
+        };
+        if !matches!(preset.as_str(), "quick" | "bench" | "paper") {
+            let line = scenario
+                .entries
+                .get("preset")
+                .map_or(scenario.line, |e| e.line);
+            return Err(bad(
+                "scenario",
+                "preset",
+                line,
+                &format!("unknown preset `{preset}` (expected quick|bench|paper)"),
+            ));
+        }
+
+        let mut downtime = None;
+        if let Some(fault) = doc.section("fault") {
+            for (key, entry) in &fault.entries {
+                if !FAULT_KEYS.contains(&key.as_str()) {
+                    return Err(ScenarioError::UnknownKey {
+                        section: "fault".to_string(),
+                        key: key.clone(),
+                        line: entry.line,
+                    });
+                }
+                if key == "downtime" {
+                    downtime = Some(parse_downtime(entry.line, &entry.value)?);
+                } else {
+                    let knob = scalar_knob("fault", key, entry.line, &entry.value)?;
+                    base.insert(key.clone(), knob);
+                }
+            }
+        }
+        if let Some(threat) = doc.section("threat") {
+            for (key, entry) in &threat.entries {
+                if !THREAT_KEYS.contains(&key.as_str()) {
+                    return Err(ScenarioError::UnknownKey {
+                        section: "threat".to_string(),
+                        key: key.clone(),
+                        line: entry.line,
+                    });
+                }
+                let knob = scalar_knob("threat", key, entry.line, &entry.value)?;
+                base.insert(key.clone(), knob);
+            }
+        }
+
+        let seeds = parse_seeds(&doc)?;
+
+        let mut axes = Vec::new();
+        if let Some(section) = doc.section("axes") {
+            // BTreeMap iteration — axes come out sorted by name, which is
+            // exactly the canonical grid order.
+            for (key, entry) in &section.entries {
+                let Some(kind) = kind_of(key) else {
+                    return Err(ScenarioError::UnknownKey {
+                        section: "axes".to_string(),
+                        key: key.clone(),
+                        line: entry.line,
+                    });
+                };
+                let values = axis_values(key, kind, entry.line, &entry.value)?;
+                if values.is_empty() {
+                    return Err(ScenarioError::EmptyGrid {
+                        line: entry.line,
+                        message: format!("axis `{key}` has no values"),
+                    });
+                }
+                axes.push(Axis {
+                    name: key.clone(),
+                    values,
+                });
+            }
+        }
+
+        let parsed = Self {
+            name,
+            preset,
+            base,
+            downtime,
+            seeds,
+            axes,
+        };
+        parsed.validate_grammars(&doc)?;
+        Ok(parsed)
+    }
+
+    /// The scenario's name (labels its artifacts).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The sorted, deduplicated seed set.
+    #[must_use]
+    pub fn seeds(&self) -> &[u64] {
+        &self.seeds
+    }
+
+    /// Axis names in canonical (sorted) order.
+    #[must_use]
+    pub fn axis_names(&self) -> Vec<String> {
+        self.axes.iter().map(|a| a.name.clone()).collect()
+    }
+
+    /// Overrides the training-scale preset (`quick`/`bench`/`paper`) —
+    /// benches use this to honor `GLMIA_PAPER_SCALE` on a committed
+    /// scenario file.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::BadValue`] on an unknown preset name.
+    pub fn set_preset(&mut self, preset: &str) -> Result<(), ScenarioError> {
+        if !matches!(preset, "quick" | "bench" | "paper") {
+            return Err(bad(
+                "scenario",
+                "preset",
+                0,
+                &format!("unknown preset `{preset}` (expected quick|bench|paper)"),
+            ));
+        }
+        self.preset = preset.to_string();
+        Ok(())
+    }
+
+    pub(crate) fn axes(&self) -> &[Axis] {
+        &self.axes
+    }
+
+    /// Builds the fully resolved config for one cell: base knobs,
+    /// overridden by `assignment`, pinned to `seed`, single-threaded and
+    /// silent (cell-level parallelism belongs to the worker pool; neither
+    /// knob is identity-bearing).
+    pub(crate) fn config_for(
+        &self,
+        assignment: &BTreeMap<String, Knob>,
+        seed: u64,
+    ) -> Result<ExperimentConfig, String> {
+        let mut merged: BTreeMap<&str, &Knob> =
+            self.base.iter().map(|(k, v)| (k.as_str(), v)).collect();
+        for (key, knob) in assignment {
+            merged.insert(key.as_str(), knob);
+        }
+        let dataset: DataPreset = str_knob(&merged, "dataset").unwrap_or("cifar10").parse()?;
+        let mut config = ExperimentConfig::preset(&self.preset, dataset)
+            .ok_or_else(|| format!("unknown preset `{}`", self.preset))?;
+        if let Some(raw) = str_knob(&merged, "protocol") {
+            let protocol: ProtocolKind = raw.parse()?;
+            config = config.with_protocol(protocol);
+        }
+        if let Some(raw) = str_knob(&merged, "topology") {
+            let mode: TopologyMode = raw.parse()?;
+            config = config.with_topology_mode(mode);
+        }
+        if let Some(n) = int_knob(&merged, "nodes")? {
+            config = config.with_nodes(n);
+        }
+        if let Some(k) = int_knob(&merged, "k")? {
+            config = config.with_view_size(k);
+        }
+        if let Some(rounds) = int_knob(&merged, "rounds")? {
+            config = config.with_rounds(rounds);
+        }
+        if let Some(every) = int_knob(&merged, "eval-every")? {
+            config = config.with_eval_every(every);
+        }
+        if let Some(epochs) = int_knob(&merged, "local-epochs")? {
+            config = config.with_local_epochs(epochs);
+        }
+        if let Some(lr) = float_knob(&merged, "lr") {
+            config = config.with_learning_rate(lr as f32);
+        }
+        if let Some(beta) = float_knob(&merged, "beta") {
+            config = config.with_partition(Partition::Dirichlet { beta });
+        }
+        if let Some(std) = float_knob(&merged, "wake-std") {
+            config = config.with_wake_std(std);
+        }
+        let mut fault = FaultPlan::none();
+        if let Some(spec) = str_knob(&merged, "latency") {
+            if spec != "none" {
+                let dist: LatencyDist = spec
+                    .parse()
+                    .map_err(|_| format!("invalid latency spec `{spec}`"))?;
+                fault = fault.with_latency(dist);
+            }
+        }
+        if let Some(rate) = float_knob(&merged, "churn") {
+            // Zero means "component absent", matching the fault-sweep
+            // bench's grid semantics (an inert plan is normalized away).
+            if rate > 0.0 {
+                let mut churn = ChurnConfig::new(rate);
+                if let Some((lo, hi)) = self.downtime {
+                    churn = churn.with_downtime(lo, hi);
+                }
+                fault = fault.with_churn(churn);
+            }
+        }
+        if let Some(p) = float_knob(&merged, "drop") {
+            if p > 0.0 {
+                fault = fault.with_link_drop(p);
+            }
+        }
+        config = config.with_fault_plan(fault);
+        if let Some(spec) = str_knob(&merged, "attacker") {
+            let attacker: AttackerModel = spec
+                .parse()
+                .map_err(|e| format!("invalid attacker spec `{spec}`: {e}"))?;
+            config = config.with_attacker(attacker);
+        }
+        if let Some(spec) = str_knob(&merged, "defense") {
+            if spec != "none" {
+                let defense: Defense = spec.parse()?;
+                config = config.with_defense(defense);
+            }
+        }
+        config = config
+            .with_seed(seed)
+            .with_parallelism(Parallelism::Fixed(1))
+            .with_progress(false);
+        config.validate().map_err(|e| e.to_string())?;
+        Ok(config)
+    }
+
+    /// Eagerly checks every string knob against its grammar so errors
+    /// carry file lines instead of surfacing at grid expansion.
+    fn validate_grammars(&self, doc: &TomlDoc) -> Result<(), ScenarioError> {
+        let check = |section: &str, key: &str, raw: &str| -> Result<(), ScenarioError> {
+            let line = doc.get(section, key).map_or(0, |e| e.line);
+            string_grammar(key, raw).map_err(|message| bad(section, key, line, &message))
+        };
+        for (key, knob) in &self.base {
+            if let Knob::Str(raw) = knob {
+                let section = if FAULT_KEYS.contains(&key.as_str()) {
+                    "fault"
+                } else if THREAT_KEYS.contains(&key.as_str()) {
+                    "threat"
+                } else {
+                    "scenario"
+                };
+                check(section, key, raw)?;
+            }
+        }
+        for axis in &self.axes {
+            for knob in &axis.values {
+                if let Knob::Str(raw) = knob {
+                    check("axes", &axis.name, raw)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The merged string knob for `key`, if set.
+fn str_knob<'a>(merged: &BTreeMap<&str, &'a Knob>, key: &str) -> Option<&'a str> {
+    match merged.get(key) {
+        Some(Knob::Str(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// The merged integer knob for `key`, if set, as a `usize`.
+fn int_knob(merged: &BTreeMap<&str, &Knob>, key: &str) -> Result<Option<usize>, String> {
+    match merged.get(key) {
+        Some(Knob::Int(v)) => usize::try_from(*v)
+            .map(Some)
+            .map_err(|_| format!("`{key}` must be non-negative, got {v}")),
+        _ => Ok(None),
+    }
+}
+
+/// The merged float knob for `key`, if set (integers coerce).
+fn float_knob(merged: &BTreeMap<&str, &Knob>, key: &str) -> Option<f64> {
+    match merged.get(key) {
+        Some(Knob::Float(v)) => Some(*v),
+        Some(Knob::Int(v)) => Some(*v as f64),
+        _ => None,
+    }
+}
+
+/// Validates one string knob value against the CLI grammar for its key.
+fn string_grammar(key: &str, raw: &str) -> Result<(), String> {
+    match key {
+        "dataset" => raw.parse::<DataPreset>().map(|_| ()),
+        "protocol" => raw.parse::<ProtocolKind>().map(|_| ()),
+        "topology" => raw.parse::<TopologyMode>().map(|_| ()),
+        "latency" if raw == "none" => Ok(()),
+        "latency" => raw
+            .parse::<LatencyDist>()
+            .map(|_| ())
+            .map_err(|_| format!("invalid latency spec `{raw}`")),
+        "attacker" => raw
+            .parse::<AttackerModel>()
+            .map(|_| ())
+            .map_err(|e| format!("invalid attacker spec `{raw}`: {e}")),
+        "defense" if raw == "none" => Ok(()),
+        "defense" => raw.parse::<Defense>().map(|_| ()),
+        _ => Ok(()),
+    }
+}
+
+fn bad(section: &str, key: &str, line: usize, message: &str) -> ScenarioError {
+    ScenarioError::BadValue {
+        section: section.to_string(),
+        key: key.to_string(),
+        line,
+        message: message.to_string(),
+    }
+}
+
+/// Converts a scalar TOML value to the knob type `key` expects.
+fn scalar_knob(
+    section: &str,
+    key: &str,
+    line: usize,
+    value: &TomlValue,
+) -> Result<Knob, ScenarioError> {
+    let kind = kind_of(key).unwrap_or(Kind::Str);
+    knob_of_kind(kind, value).map_err(|message| bad(section, key, line, &message))
+}
+
+fn knob_of_kind(kind: Kind, value: &TomlValue) -> Result<Knob, String> {
+    match (kind, value) {
+        (Kind::Str, TomlValue::Str(s)) => Ok(Knob::Str(s.clone())),
+        (Kind::Int, TomlValue::Int(v)) if *v >= 0 => Ok(Knob::Int(*v)),
+        (Kind::Int, TomlValue::Int(v)) => Err(format!("must be non-negative, got {v}")),
+        (Kind::Float, TomlValue::Float(v)) => Ok(Knob::Float(*v)),
+        (Kind::Float, TomlValue::Int(v)) => Ok(Knob::Float(*v as f64)),
+        (expected, other) => Err(format!(
+            "expected a {}, got {}",
+            match expected {
+                Kind::Str => "string",
+                Kind::Int => "integer",
+                Kind::Float => "float",
+            },
+            other.type_name()
+        )),
+    }
+}
+
+/// Parses `[fault] downtime = [lo, hi]`.
+fn parse_downtime(line: usize, value: &TomlValue) -> Result<(u64, u64), ScenarioError> {
+    let err = |message: &str| bad("fault", "downtime", line, message);
+    let TomlValue::Array(items) = value else {
+        return Err(err(&format!(
+            "expected a two-integer array, got {}",
+            value.type_name()
+        )));
+    };
+    let [TomlValue::Int(lo), TomlValue::Int(hi)] = items.as_slice() else {
+        return Err(err("expected exactly two integers `[min, max]`"));
+    };
+    if *lo <= 0 || hi < lo {
+        return Err(err("downtime window must satisfy 0 < min <= max"));
+    }
+    Ok((*lo as u64, *hi as u64))
+}
+
+/// Parses `[seeds]`: exactly one of `list` / `range`, non-empty, sorted
+/// and deduplicated.
+fn parse_seeds(doc: &TomlDoc) -> Result<Vec<u64>, ScenarioError> {
+    let Some(section) = doc.section("seeds") else {
+        return Err(ScenarioError::Missing {
+            what: "`[seeds]` table".to_string(),
+        });
+    };
+    for (key, entry) in &section.entries {
+        if !SEEDS_KEYS.contains(&key.as_str()) {
+            return Err(ScenarioError::UnknownKey {
+                section: "seeds".to_string(),
+                key: key.clone(),
+                line: entry.line,
+            });
+        }
+    }
+    let list = section.entries.get("list");
+    let range = section.entries.get("range");
+    let mut seeds = match (list, range) {
+        (Some(_), Some(range)) => return Err(ScenarioError::ConflictingSeeds { line: range.line }),
+        (None, None) => {
+            return Err(ScenarioError::Missing {
+                what: "`[seeds] list` or `[seeds] range`".to_string(),
+            })
+        }
+        (Some(entry), None) => {
+            let TomlValue::Array(items) = &entry.value else {
+                return Err(bad(
+                    "seeds",
+                    "list",
+                    entry.line,
+                    &format!("expected an integer array, got {}", entry.value.type_name()),
+                ));
+            };
+            let mut seeds = Vec::with_capacity(items.len());
+            for item in items {
+                let TomlValue::Int(v) = item else {
+                    return Err(bad(
+                        "seeds",
+                        "list",
+                        entry.line,
+                        &format!("expected integers, got {}", item.type_name()),
+                    ));
+                };
+                if *v < 0 {
+                    return Err(bad(
+                        "seeds",
+                        "list",
+                        entry.line,
+                        "seeds must be non-negative",
+                    ));
+                }
+                seeds.push(*v as u64);
+            }
+            if seeds.is_empty() {
+                return Err(ScenarioError::EmptyGrid {
+                    line: entry.line,
+                    message: "`[seeds] list` is empty — the grid has no cells".to_string(),
+                });
+            }
+            seeds
+        }
+        (None, Some(entry)) => {
+            let TomlValue::Str(raw) = &entry.value else {
+                return Err(bad(
+                    "seeds",
+                    "range",
+                    entry.line,
+                    &format!(
+                        "expected a string `\"A..B\"`, got {}",
+                        entry.value.type_name()
+                    ),
+                ));
+            };
+            let Some((lo, hi)) = parse_range(raw) else {
+                return Err(bad(
+                    "seeds",
+                    "range",
+                    entry.line,
+                    &format!("expected `A..B` with A < B (exclusive end), got `{raw}`"),
+                ));
+            };
+            (lo..hi).collect()
+        }
+    };
+    seeds.sort_unstable();
+    seeds.dedup();
+    Ok(seeds)
+}
+
+/// Parses `"A..B"` (inclusive start, exclusive end — the repo's index
+/// range grammar, as in `coalition:0..8`). `None` unless `A < B`.
+fn parse_range(raw: &str) -> Option<(u64, u64)> {
+    let (lo, hi) = raw.split_once("..")?;
+    let lo: u64 = lo.trim().parse().ok()?;
+    let hi: u64 = hi.trim().parse().ok()?;
+    (lo < hi).then_some((lo, hi))
+}
+
+/// Parses one axis entry: an array of scalars, or (for integer axes) a
+/// range string. Values are deduplicated by label, keeping first
+/// occurrence, so the grid is duplicate-free by construction.
+fn axis_values(
+    key: &str,
+    kind: Kind,
+    line: usize,
+    value: &TomlValue,
+) -> Result<Vec<Knob>, ScenarioError> {
+    let raw_values: Vec<Knob> = match value {
+        TomlValue::Array(items) => {
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                let knob =
+                    knob_of_kind(kind, item).map_err(|message| bad("axes", key, line, &message))?;
+                out.push(knob);
+            }
+            out
+        }
+        TomlValue::Str(raw) if kind == Kind::Int => {
+            let Some((lo, hi)) = parse_range(raw) else {
+                return Err(bad(
+                    "axes",
+                    key,
+                    line,
+                    &format!("expected `A..B` with A < B (exclusive end), got `{raw}`"),
+                ));
+            };
+            (lo..hi).map(|v| Knob::Int(v as i64)).collect()
+        }
+        other => {
+            return Err(bad(
+                "axes",
+                key,
+                line,
+                &format!(
+                    "an axis must be a list{}, got {}",
+                    if kind == Kind::Int {
+                        " or a range string"
+                    } else {
+                        ""
+                    },
+                    other.type_name()
+                ),
+            ))
+        }
+    };
+    let mut seen = Vec::new();
+    let mut values = Vec::with_capacity(raw_values.len());
+    for knob in raw_values {
+        let label = knob.label();
+        if !seen.contains(&label) {
+            seen.push(label);
+            values.push(knob);
+        }
+    }
+    Ok(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = "[scenario]\nname = \"t\"\npreset = \"quick\"\nnodes = 6\nk = 2\nrounds = 2\neval-every = 1\n\n[seeds]\nlist = [2, 1, 2]\n\n[axes]\nprotocol = [\"base\", \"samo\", \"base\"]\n";
+
+    #[test]
+    fn parses_minimal_scenario_sorting_and_deduping() {
+        let scenario = Scenario::parse(MINIMAL).unwrap();
+        assert_eq!(scenario.name(), "t");
+        assert_eq!(scenario.seeds(), &[1, 2]);
+        assert_eq!(scenario.axis_names(), vec!["protocol".to_string()]);
+        assert_eq!(scenario.axes()[0].values.len(), 2, "duplicates dropped");
+    }
+
+    #[test]
+    fn builds_a_valid_config_per_cell() {
+        let scenario = Scenario::parse(MINIMAL).unwrap();
+        let mut assignment = BTreeMap::new();
+        assignment.insert("protocol".to_string(), Knob::Str("samo".to_string()));
+        let config = scenario.config_for(&assignment, 7).unwrap();
+        assert_eq!(config.seed(), 7);
+        assert_eq!(config.nodes(), 6);
+        assert_eq!(config.protocol(), ProtocolKind::Samo);
+        assert_eq!(config.parallelism(), Parallelism::Fixed(1));
+    }
+
+    #[test]
+    fn unknown_section_key_and_types_are_line_numbered() {
+        let err = Scenario::parse("[scenario]\nname = \"t\"\n[bogus]\n").unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioError::UnknownSection {
+                name: "bogus".to_string(),
+                line: 3
+            }
+        );
+        let err = Scenario::parse("[scenario]\nname = \"t\"\nnodez = 4\n[seeds]\nlist = [1]\n")
+            .unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::UnknownKey { line: 3, .. }),
+            "{err:?}"
+        );
+        let err = Scenario::parse(
+            "[scenario]\nname = \"t\"\n[seeds]\nlist = [1]\n[axes]\nnodes = [\"a\"]\n",
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::BadValue { line: 6, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn seed_conflicts_and_empty_grids_are_rejected() {
+        let err =
+            Scenario::parse("[scenario]\nname = \"t\"\n[seeds]\nlist = [1]\nrange = \"0..4\"\n")
+                .unwrap_err();
+        assert_eq!(err, ScenarioError::ConflictingSeeds { line: 5 });
+        let err = Scenario::parse("[scenario]\nname = \"t\"\n[seeds]\nlist = []\n").unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::EmptyGrid { line: 4, .. }),
+            "{err:?}"
+        );
+        let err =
+            Scenario::parse("[scenario]\nname = \"t\"\n[seeds]\nrange = \"4..4\"\n").unwrap_err();
+        assert!(matches!(err, ScenarioError::BadValue { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn string_grammars_are_checked_at_parse_time() {
+        let err = Scenario::parse(
+            "[scenario]\nname = \"t\"\n[threat]\nattacker = \"sideways:9\"\n[seeds]\nlist = [1]\n",
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::BadValue { line: 4, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn integer_axes_accept_range_strings() {
+        let scenario = Scenario::parse(
+            "[scenario]\nname = \"t\"\npreset = \"quick\"\n[seeds]\nlist = [1]\n[axes]\nrounds = \"2..5\"\n",
+        )
+        .unwrap();
+        let labels: Vec<String> = scenario.axes()[0].values.iter().map(Knob::label).collect();
+        assert_eq!(labels, vec!["2", "3", "4"]);
+    }
+}

@@ -1,0 +1,473 @@
+//! Dependency-free parser for the scenario files' TOML subset.
+//!
+//! The workspace takes no external TOML dependency (the same stance as
+//! `xtask`'s `lint.toml` reader), so scenarios use a deliberately small,
+//! strictly validated subset:
+//!
+//! * `[section]` headers (no dotted or repeated sections);
+//! * `key = value` pairs where a value is a double-quoted string (with
+//!   `\"` and `\\` escapes), an integer, a float, a boolean, or an array
+//!   of those (arrays may span multiple lines, trailing commas allowed);
+//! * `#` comments anywhere, including inside arrays (a `#` inside quotes
+//!   is content).
+//!
+//! Everything else — duplicate keys, bare words, unterminated strings or
+//! arrays, non-finite floats — is a [`TomlError`] with a 1-based line
+//! number, so a typo fails the parse instead of silently changing a grid.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A scalar or array value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TomlValue {
+    /// A double-quoted string.
+    Str(String),
+    /// A signed integer.
+    Int(i64),
+    /// A finite float.
+    Float(f64),
+    /// `true` or `false`.
+    Bool(bool),
+    /// A (possibly heterogeneous) array; homogeneity is enforced by the
+    /// scenario layer where the expected element type is known.
+    Array(Vec<TomlValue>),
+}
+
+impl TomlValue {
+    /// Human-readable type name for error messages.
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            TomlValue::Str(_) => "string",
+            TomlValue::Int(_) => "integer",
+            TomlValue::Float(_) => "float",
+            TomlValue::Bool(_) => "boolean",
+            TomlValue::Array(_) => "array",
+        }
+    }
+}
+
+/// One `key = value` entry with the line its key appeared on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TomlEntry {
+    /// The parsed value.
+    pub value: TomlValue,
+    /// 1-based line of the key.
+    pub line: usize,
+}
+
+/// One `[section]` with the line of its header.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TomlSection {
+    /// 1-based line of the `[section]` header.
+    pub line: usize,
+    /// Entries keyed by name.
+    pub entries: BTreeMap<String, TomlEntry>,
+}
+
+/// A parsed scenario document: section name → section.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TomlDoc {
+    sections: BTreeMap<String, TomlSection>,
+}
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TomlError {
+    /// 1-based line of the offending text.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TomlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+impl TomlDoc {
+    /// Parses the subset described in the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a line-numbered [`TomlError`] on any construct outside the
+    /// subset.
+    pub fn parse(text: &str) -> Result<Self, TomlError> {
+        let mut sections: BTreeMap<String, TomlSection> = BTreeMap::new();
+        let mut current: Option<String> = None;
+        let mut lines = text.lines().enumerate();
+        while let Some((idx, raw)) = lines.next() {
+            let line_no = idx + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+                let name = name.trim();
+                if name.is_empty() {
+                    return Err(TomlError {
+                        line: line_no,
+                        message: "empty section name".to_string(),
+                    });
+                }
+                if !name
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+                {
+                    return Err(TomlError {
+                        line: line_no,
+                        message: format!("invalid section name `{name}`"),
+                    });
+                }
+                if sections.contains_key(name) {
+                    return Err(TomlError {
+                        line: line_no,
+                        message: format!("duplicate section `[{name}]`"),
+                    });
+                }
+                sections.insert(
+                    name.to_string(),
+                    TomlSection {
+                        line: line_no,
+                        entries: BTreeMap::new(),
+                    },
+                );
+                current = Some(name.to_string());
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(TomlError {
+                    line: line_no,
+                    message: format!("expected `key = value` or `[section]`, got `{line}`"),
+                });
+            };
+            let key = key.trim();
+            if key.is_empty() {
+                return Err(TomlError {
+                    line: line_no,
+                    message: "empty key".to_string(),
+                });
+            }
+            let Some(section) = current.clone() else {
+                return Err(TomlError {
+                    line: line_no,
+                    message: format!("key `{key}` outside any [section]"),
+                });
+            };
+            // Multi-line arrays: accumulate until brackets balance outside
+            // strings, exactly like lint.toml's reader.
+            let mut buf = value.trim().to_string();
+            while buf.starts_with('[') && !array_is_closed(&buf) {
+                let Some((_, next_raw)) = lines.next() else {
+                    return Err(TomlError {
+                        line: line_no,
+                        message: format!("unterminated array for key `{key}`"),
+                    });
+                };
+                buf.push(' ');
+                buf.push_str(strip_comment(next_raw).trim());
+            }
+            let value = parse_value(&buf).map_err(|message| TomlError {
+                line: line_no,
+                message,
+            })?;
+            // `current` is only ever set right after inserting its
+            // section, so this never actually creates a default entry.
+            let entries = &mut sections.entry(section.clone()).or_default().entries;
+            if entries.contains_key(key) {
+                return Err(TomlError {
+                    line: line_no,
+                    message: format!("duplicate key `{key}` in section `[{section}]`"),
+                });
+            }
+            entries.insert(
+                key.to_string(),
+                TomlEntry {
+                    value,
+                    line: line_no,
+                },
+            );
+        }
+        Ok(Self { sections })
+    }
+
+    /// The section named `name`, when present.
+    #[must_use]
+    pub fn section(&self, name: &str) -> Option<&TomlSection> {
+        self.sections.get(name)
+    }
+
+    /// The entry at `[section] key`, when present.
+    #[must_use]
+    pub fn get(&self, section: &str, key: &str) -> Option<&TomlEntry> {
+        self.sections.get(section).and_then(|s| s.entries.get(key))
+    }
+
+    /// Every section, sorted by name.
+    pub fn sections(&self) -> impl Iterator<Item = (&str, &TomlSection)> {
+        self.sections.iter().map(|(name, s)| (name.as_str(), s))
+    }
+}
+
+/// Drops a `#` comment, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            _ if escaped => escaped = false,
+            b'\\' if in_string => escaped = true,
+            b'"' => in_string = !in_string,
+            b'#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Whether `buf` (comment-stripped) closes the `[` array it opens.
+fn array_is_closed(buf: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_string = false;
+    let mut escaped = false;
+    for b in buf.bytes() {
+        match b {
+            _ if escaped => escaped = false,
+            b'\\' if in_string => escaped = true,
+            b'"' => in_string = !in_string,
+            b'[' if !in_string => depth += 1,
+            b']' if !in_string => depth -= 1,
+            _ => {}
+        }
+    }
+    depth <= 0
+}
+
+/// Parses one complete value (scalar or array collapsed onto one line).
+fn parse_value(text: &str) -> Result<TomlValue, String> {
+    let mut cursor = Cursor {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    cursor.skip_ws();
+    let value = cursor.value()?;
+    cursor.skip_ws();
+    if cursor.pos != cursor.bytes.len() {
+        return Err(format!(
+            "trailing characters after value: `{}`",
+            &text[cursor.pos..]
+        ));
+    }
+    Ok(value)
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn value(&mut self) -> Result<TomlValue, String> {
+        match self.bytes.get(self.pos) {
+            None => Err("expected a value".to_string()),
+            Some(b'"') => self.string(),
+            Some(b'[') => self.array(),
+            Some(_) => self.scalar(),
+        }
+    }
+
+    fn string(&mut self) -> Result<TomlValue, String> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(TomlValue::Str(out));
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        other => {
+                            return Err(format!(
+                                "unsupported escape `\\{}`",
+                                other.map_or(String::new(), |b| (*b as char).to_string())
+                            ))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<TomlValue, String> {
+        self.pos += 1; // opening bracket
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated array".to_string()),
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(TomlValue::Array(items));
+                }
+                Some(_) => {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.bytes.get(self.pos) {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {}
+                        _ => return Err("expected `,` or `]` in array".to_string()),
+                    }
+                }
+            }
+        }
+    }
+
+    fn scalar(&mut self) -> Result<TomlValue, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&b| !b.is_ascii_whitespace() && b != b',' && b != b']')
+        {
+            self.pos += 1;
+        }
+        let word = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-UTF-8 value".to_string())?;
+        match word {
+            "true" => return Ok(TomlValue::Bool(true)),
+            "false" => return Ok(TomlValue::Bool(false)),
+            _ => {}
+        }
+        if let Ok(int) = word.parse::<i64>() {
+            return Ok(TomlValue::Int(int));
+        }
+        if let Ok(float) = word.parse::<f64>() {
+            if !float.is_finite() {
+                return Err(format!("non-finite float `{word}`"));
+            }
+            return Ok(TomlValue::Float(float));
+        }
+        Err(format!(
+            "expected a string, number, boolean or array, got `{word}` \
+             (strings must be double-quoted)"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_scalar_types_and_arrays() {
+        let doc = TomlDoc::parse(
+            "[scenario]\nname = \"demo\" # trailing comment\nnodes = 16\nbeta = 0.1\nfast = true\n\n[axes]\nchurn = [0.0, 0.1, 0.3]\nattacker = [\n  \"omniscient\",  # full vantage\n  \"coalition:0..4\",\n]\n",
+        )
+        .unwrap();
+        assert_eq!(
+            doc.get("scenario", "name").unwrap().value,
+            TomlValue::Str("demo".to_string())
+        );
+        assert_eq!(
+            doc.get("scenario", "nodes").unwrap().value,
+            TomlValue::Int(16)
+        );
+        assert_eq!(
+            doc.get("scenario", "beta").unwrap().value,
+            TomlValue::Float(0.1)
+        );
+        assert_eq!(
+            doc.get("scenario", "fast").unwrap().value,
+            TomlValue::Bool(true)
+        );
+        assert_eq!(
+            doc.get("axes", "churn").unwrap().value,
+            TomlValue::Array(vec![
+                TomlValue::Float(0.0),
+                TomlValue::Float(0.1),
+                TomlValue::Float(0.3)
+            ])
+        );
+        assert_eq!(
+            doc.get("axes", "attacker").unwrap().value,
+            TomlValue::Array(vec![
+                TomlValue::Str("omniscient".to_string()),
+                TomlValue::Str("coalition:0..4".to_string())
+            ])
+        );
+        assert_eq!(doc.get("axes", "attacker").unwrap().line, 9);
+    }
+
+    #[test]
+    fn rejects_duplicates_with_line_numbers() {
+        let err = TomlDoc::parse("[a]\nx = 1\nx = 2\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("duplicate key"));
+        let err = TomlDoc::parse("[a]\n[a]\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("duplicate section"));
+    }
+
+    #[test]
+    fn rejects_bare_words_and_syntax_errors() {
+        let err = TomlDoc::parse("[a]\nx = yes\n").unwrap_err();
+        assert!(err.message.contains("double-quoted"), "{}", err.message);
+        let err = TomlDoc::parse("x = 1\n").unwrap_err();
+        assert!(err.message.contains("outside any"));
+        let err = TomlDoc::parse("[a]\njust words\n").unwrap_err();
+        assert!(err.message.contains("expected `key = value`"));
+        let err = TomlDoc::parse("[a]\nx = \"open\n").unwrap_err();
+        assert!(err.message.contains("unterminated string"));
+        let err = TomlDoc::parse("[a]\nx = [1, 2\n").unwrap_err();
+        assert!(err.message.contains("unterminated array"));
+        let err = TomlDoc::parse("[a]\nx = 1 2\n").unwrap_err();
+        assert!(err.message.contains("trailing characters"));
+        let err = TomlDoc::parse("[a]\nx = inf\n").unwrap_err();
+        assert!(err.message.contains("non-finite"));
+    }
+
+    #[test]
+    fn hash_and_escapes_inside_strings_are_content() {
+        let doc = TomlDoc::parse("[a]\nx = \"a#b\"\ny = \"q\\\"q\"\n").unwrap();
+        assert_eq!(
+            doc.get("a", "x").unwrap().value,
+            TomlValue::Str("a#b".into())
+        );
+        assert_eq!(
+            doc.get("a", "y").unwrap().value,
+            TomlValue::Str("q\"q".into())
+        );
+    }
+
+    #[test]
+    fn negative_numbers_and_exponents_parse() {
+        let doc = TomlDoc::parse("[a]\nx = -3\ny = 1e-3\n").unwrap();
+        assert_eq!(doc.get("a", "x").unwrap().value, TomlValue::Int(-3));
+        assert_eq!(doc.get("a", "y").unwrap().value, TomlValue::Float(1e-3));
+    }
+}

@@ -12,7 +12,7 @@
 //! 2. **Span profiler** ([`span`]): hierarchical wall-time regions
 //!    (`simulate` → `simulate/round` → …) folded into a per-path
 //!    self/total tree, exported via [`profile`] to `profile.json`.
-//! 3. **Allocation accounting** ([`CountingAllocator`], behind the
+//! 3. **Allocation accounting** (`CountingAllocator`, behind the
 //!    `telemetry-alloc` feature): an opt-in counting global allocator that
 //!    attributes allocs/bytes to the active span.
 //! 4. **Clock shim** ([`clock`]): the workspace's only sanctioned

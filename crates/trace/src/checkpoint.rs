@@ -1,0 +1,492 @@
+//! Sweep checkpoint stream — crash-safe per-cell progress for `glmia sweep`.
+//!
+//! A sweep's output directory holds a `checkpoint.jsonl`: one
+//! [`SweepHeaderRecord`] line binding the file to a scenario (by hash of
+//! the fully expanded cell grid), then one [`CellRecord`] line per
+//! completed cell, appended and flushed as each cell finishes. The
+//! persistence contract follows [`TraceWriter`](crate::TraceWriter): a
+//! killed process leaves at worst one truncated final line, which
+//! [`read_checkpoint`] drops (it can only belong to the cell that was
+//! being recorded when the process died, and that cell simply reruns).
+//! Any *complete* line that fails to parse, a schema mismatch, or a
+//! header naming a different scenario is reported as corruption instead —
+//! resuming under the wrong grid would silently mix incompatible cells.
+//!
+//! Cell summaries carry only config-and-seed-determined quantities, so an
+//! interrupted-and-resumed sweep aggregates to byte-identical
+//! `sweep.json` / `report.md` against an uninterrupted run.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::events::SWEEP_SCHEMA_VERSION;
+
+/// One line of `checkpoint.jsonl`, discriminated by a `type` tag like
+/// [`TraceEvent`](crate::TraceEvent).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type")]
+pub enum CheckpointEvent {
+    /// First line: scenario identity and grid size.
+    SweepHeader(SweepHeaderRecord),
+    /// One completed grid cell.
+    Cell(CellRecord),
+}
+
+/// Header line of a sweep checkpoint: which scenario this file belongs to
+/// and how many cells the full grid contains.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepHeaderRecord {
+    /// Checkpoint schema version ([`SWEEP_SCHEMA_VERSION`]).
+    pub schema: u32,
+    /// Scenario name from the `[scenario]` table.
+    pub scenario: String,
+    /// FNV-1a hash (16 hex digits) over the expanded grid — scenario name
+    /// plus every cell's `(position, config fingerprint, seed)`. A resume
+    /// against a file whose hash differs is rejected as stale.
+    pub scenario_hash: String,
+    /// Total number of cells in the grid.
+    pub cells: usize,
+}
+
+/// One completed sweep cell: its grid coordinates and the deterministic
+/// summary columns the aggregator folds into `sweep.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellRecord {
+    /// Position in the canonical grid order (0-based).
+    pub cell: usize,
+    /// `ExperimentConfig::fingerprint()` of the cell's config, 16 hex
+    /// digits. Checked against the grid on resume.
+    pub config_hash: String,
+    /// Experiment seed the cell ran under.
+    pub seed: u64,
+    /// Axis name → canonical value label for every swept axis.
+    pub axes: BTreeMap<String, String>,
+    /// Deterministic result columns.
+    pub summary: CellSummary,
+}
+
+/// Per-cell result columns. Every field is a pure function of config and
+/// seed (the determinism contract), so checkpointed cells can be reused
+/// byte-for-byte on resume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellSummary {
+    /// Final evaluated round's mean test accuracy.
+    pub final_test_accuracy: f64,
+    /// Final evaluated round's mean train accuracy.
+    pub final_train_accuracy: f64,
+    /// Final evaluated round's mean generalization error.
+    pub final_gen_error: f64,
+    /// Final evaluated round's mean MIA attack accuracy.
+    pub final_mia_vulnerability: f64,
+    /// Final evaluated round's mean MIA AUC.
+    pub final_mia_auc: f64,
+    /// Round with the best utility (max test accuracy).
+    pub best_round: usize,
+    /// Test accuracy at the best round.
+    pub best_test_accuracy: f64,
+    /// MIA vulnerability at the best round.
+    pub mia_vulnerability_at_best: f64,
+    /// Analytic spectral gap anchor of the topology.
+    pub lambda2_analytic: f64,
+    /// Empirical cumulative-product λ₂ at the last round, when the run
+    /// recorded mixing events.
+    pub lambda2_cumulative: Option<f64>,
+    /// Model transmissions attempted.
+    pub messages_sent: u64,
+    /// Transmissions lost to fault injection.
+    pub messages_dropped: u64,
+    /// Node crash events injected by the fault plan.
+    pub crashes: u64,
+    /// Nodes the attacker's vantage exposed to MIA scoring.
+    pub observed_nodes: usize,
+    /// Canonical attacker spec (e.g. `omniscient`, `neighbors:0..3`).
+    pub attacker: String,
+    /// Canonical defense spec (`none` when undefended).
+    pub defense: String,
+    /// Local SGD epochs run (telemetry column).
+    pub local_updates: u64,
+    /// Rounds that were evaluated (telemetry column).
+    pub evals: u64,
+}
+
+/// A parsed `checkpoint.jsonl`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointFile {
+    /// The header line.
+    pub header: SweepHeaderRecord,
+    /// Every complete cell record, in file order.
+    pub cells: Vec<CellRecord>,
+    /// Whether a truncated final line (no trailing newline — the mark of
+    /// a mid-write kill) was dropped.
+    pub truncated_tail: bool,
+}
+
+/// Why a checkpoint could not be read.
+#[derive(Debug)]
+pub enum CheckpointReadError {
+    /// The file could not be opened or read.
+    Io(std::io::Error),
+    /// A complete line failed to parse, or the header is missing.
+    Corrupt {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The header declares a schema this reader does not speak.
+    Schema {
+        /// Version found in the header.
+        found: u32,
+    },
+}
+
+impl fmt::Display for CheckpointReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointReadError::Io(err) => write!(f, "{err}"),
+            CheckpointReadError::Corrupt { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            CheckpointReadError::Schema { found } => write!(
+                f,
+                "unsupported checkpoint schema {found} (expected {SWEEP_SCHEMA_VERSION})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointReadError {}
+
+impl From<std::io::Error> for CheckpointReadError {
+    fn from(err: std::io::Error) -> Self {
+        CheckpointReadError::Io(err)
+    }
+}
+
+/// Reads and validates a `checkpoint.jsonl`.
+///
+/// A final line without a trailing newline that fails to parse is treated
+/// as a mid-write kill and dropped (`truncated_tail = true`); every other
+/// malformed line is corruption.
+///
+/// # Errors
+///
+/// [`CheckpointReadError::Io`] when the file cannot be read,
+/// [`CheckpointReadError::Corrupt`] on a malformed complete line or a
+/// missing/mid-file header, [`CheckpointReadError::Schema`] on a version
+/// this reader does not speak.
+pub fn read_checkpoint(path: &Path) -> Result<CheckpointFile, CheckpointReadError> {
+    let text = std::fs::read_to_string(path)?;
+    let ends_with_newline = text.ends_with('\n');
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.is_empty() {
+        return Err(CheckpointReadError::Corrupt {
+            line: 1,
+            message: "missing sweep header".to_string(),
+        });
+    }
+    let mut header: Option<SweepHeaderRecord> = None;
+    let mut cells = Vec::new();
+    let mut truncated_tail = false;
+    let last = lines.len() - 1;
+    for (idx, raw) in lines.iter().enumerate() {
+        let line_no = idx + 1;
+        let parsed: Result<CheckpointEvent, _> = serde_json::from_str(raw);
+        let event = match parsed {
+            Ok(event) => event,
+            Err(err) => {
+                if idx == last && !ends_with_newline {
+                    // The process died mid-append; the cell reruns.
+                    truncated_tail = true;
+                    break;
+                }
+                return Err(CheckpointReadError::Corrupt {
+                    line: line_no,
+                    message: format!("malformed checkpoint record: {err}"),
+                });
+            }
+        };
+        match event {
+            CheckpointEvent::SweepHeader(record) => {
+                if line_no != 1 {
+                    return Err(CheckpointReadError::Corrupt {
+                        line: line_no,
+                        message: "sweep header after line 1".to_string(),
+                    });
+                }
+                if record.schema != SWEEP_SCHEMA_VERSION {
+                    return Err(CheckpointReadError::Schema {
+                        found: record.schema,
+                    });
+                }
+                header = Some(record);
+            }
+            CheckpointEvent::Cell(record) => {
+                if header.is_none() {
+                    return Err(CheckpointReadError::Corrupt {
+                        line: line_no,
+                        message: "cell record before the sweep header".to_string(),
+                    });
+                }
+                cells.push(record);
+            }
+        }
+    }
+    let Some(header) = header else {
+        return Err(CheckpointReadError::Corrupt {
+            line: 1,
+            message: "first line is not a sweep header".to_string(),
+        });
+    };
+    Ok(CheckpointFile {
+        header,
+        cells,
+        truncated_tail,
+    })
+}
+
+/// Append-only writer for `checkpoint.jsonl`, flushing after every record
+/// so a kill loses at most the line being written.
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    file: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl CheckpointWriter {
+    /// Starts a fresh checkpoint: truncates `path` and writes the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn create(path: &Path, header: &SweepHeaderRecord) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        let mut writer = Self {
+            file: BufWriter::new(file),
+            path: path.to_path_buf(),
+        };
+        writer.write_event(&CheckpointEvent::SweepHeader(header.clone()))?;
+        Ok(writer)
+    }
+
+    /// Resumes a checkpoint: atomically rewrites `path` with the header
+    /// and the already-completed `cells` (dropping any truncated tail the
+    /// reader tolerated), then continues appending.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn resume(
+        path: &Path,
+        header: &SweepHeaderRecord,
+        cells: &[CellRecord],
+    ) -> std::io::Result<Self> {
+        let tmp = path.with_extension("jsonl.tmp");
+        {
+            let mut file = BufWriter::new(File::create(&tmp)?);
+            write_line(&mut file, &CheckpointEvent::SweepHeader(header.clone()))?;
+            for cell in cells {
+                write_line(&mut file, &CheckpointEvent::Cell(cell.clone()))?;
+            }
+            file.flush()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(Self {
+            file: BufWriter::new(file),
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Records one completed cell, flushed to disk before returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn append(&mut self, cell: &CellRecord) -> std::io::Result<()> {
+        self.write_event(&CheckpointEvent::Cell(cell.clone()))
+    }
+
+    /// The file this writer appends to.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn write_event(&mut self, event: &CheckpointEvent) -> std::io::Result<()> {
+        write_line(&mut self.file, event)?;
+        self.file.flush()
+    }
+}
+
+fn write_line<W: Write>(writer: &mut W, event: &CheckpointEvent) -> std::io::Result<()> {
+    let json = serde_json::to_string(event).map_err(std::io::Error::other)?;
+    writer.write_all(json.as_bytes())?;
+    writer.write_all(b"\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_header() -> SweepHeaderRecord {
+        SweepHeaderRecord {
+            schema: SWEEP_SCHEMA_VERSION,
+            scenario: "demo".to_string(),
+            scenario_hash: "00deadbeef00cafe".to_string(),
+            cells: 3,
+        }
+    }
+
+    fn sample_cell(index: usize) -> CellRecord {
+        let mut axes = BTreeMap::new();
+        axes.insert("protocol".to_string(), "samo".to_string());
+        CellRecord {
+            cell: index,
+            config_hash: format!("{:016x}", 0x1234_u64 + index as u64),
+            seed: 7,
+            axes,
+            summary: CellSummary {
+                final_test_accuracy: 0.75,
+                final_train_accuracy: 0.9,
+                final_gen_error: 0.15,
+                final_mia_vulnerability: 0.6,
+                final_mia_auc: 0.62,
+                best_round: 5,
+                best_test_accuracy: 0.76,
+                mia_vulnerability_at_best: 0.59,
+                lambda2_analytic: 0.5,
+                lambda2_cumulative: Some(0.48),
+                messages_sent: 100,
+                messages_dropped: 3,
+                crashes: 1,
+                observed_nodes: 8,
+                attacker: "omniscient".to_string(),
+                defense: "none".to_string(),
+                local_updates: 40,
+                evals: 5,
+            },
+        }
+    }
+
+    #[test]
+    fn create_append_read_round_trips() {
+        let dir = std::env::temp_dir().join(format!("glmia-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.jsonl");
+        let mut writer = CheckpointWriter::create(&path, &sample_header()).unwrap();
+        writer.append(&sample_cell(0)).unwrap();
+        writer.append(&sample_cell(1)).unwrap();
+        drop(writer);
+
+        let file = read_checkpoint(&path).unwrap();
+        assert_eq!(file.header, sample_header());
+        assert_eq!(file.cells, vec![sample_cell(0), sample_cell(1)]);
+        assert!(!file.truncated_tail);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_final_line_is_dropped_not_fatal() {
+        let dir = std::env::temp_dir().join(format!("glmia-ckpt-trunc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.jsonl");
+        let mut writer = CheckpointWriter::create(&path, &sample_header()).unwrap();
+        writer.append(&sample_cell(0)).unwrap();
+        drop(writer);
+        // Simulate a kill mid-append: a partial record with no newline.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"type\":\"Cell\",\"cell\":1,\"conf");
+        std::fs::write(&path, &text).unwrap();
+
+        let file = read_checkpoint(&path).unwrap();
+        assert_eq!(file.cells, vec![sample_cell(0)]);
+        assert!(file.truncated_tail);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_complete_line_is_corrupt() {
+        let dir = std::env::temp_dir().join(format!("glmia-ckpt-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.jsonl");
+        let mut writer = CheckpointWriter::create(&path, &sample_header()).unwrap();
+        writer.append(&sample_cell(0)).unwrap();
+        drop(writer);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("not json\n");
+        std::fs::write(&path, &text).unwrap();
+
+        let err = read_checkpoint(&path).unwrap_err();
+        match err {
+            CheckpointReadError::Corrupt { line, .. } => assert_eq!(line, 3),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("glmia-ckpt-schema-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.jsonl");
+        let mut header = sample_header();
+        header.schema = SWEEP_SCHEMA_VERSION + 1;
+        let writer = CheckpointWriter::create(&path, &header).unwrap();
+        drop(writer);
+        let err = read_checkpoint(&path).unwrap_err();
+        match err {
+            CheckpointReadError::Schema { found } => assert_eq!(found, SWEEP_SCHEMA_VERSION + 1),
+            other => panic!("expected Schema, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_header_and_empty_file_are_corrupt() {
+        let dir = std::env::temp_dir().join(format!("glmia-ckpt-hdr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.jsonl");
+        std::fs::write(&path, "").unwrap();
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(CheckpointReadError::Corrupt { line: 1, .. })
+        ));
+        let cell_line = serde_json::to_string(&CheckpointEvent::Cell(sample_cell(0))).unwrap();
+        std::fs::write(&path, format!("{cell_line}\n")).unwrap();
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(CheckpointReadError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_rewrites_cleanly_and_continues() {
+        let dir = std::env::temp_dir().join(format!("glmia-ckpt-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.jsonl");
+        let mut writer = CheckpointWriter::create(&path, &sample_header()).unwrap();
+        writer.append(&sample_cell(0)).unwrap();
+        drop(writer);
+        // Kill artifact: partial tail.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"type\":\"Cell\"");
+        std::fs::write(&path, &text).unwrap();
+
+        let file = read_checkpoint(&path).unwrap();
+        let mut writer = CheckpointWriter::resume(&path, &file.header, &file.cells).unwrap();
+        writer.append(&sample_cell(1)).unwrap();
+        drop(writer);
+
+        let reread = read_checkpoint(&path).unwrap();
+        assert_eq!(reread.cells, vec![sample_cell(0), sample_cell(1)]);
+        assert!(!reread.truncated_tail);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -54,6 +54,19 @@ pub const THREAT_SCHEMA_VERSION: u32 = 4;
 /// instead, which carries no determinism guarantee.
 pub const TELEMETRY_SCHEMA_VERSION: u32 = 5;
 
+/// Schema version of the sweep checkpoint stream (`checkpoint.jsonl`).
+///
+/// Checkpoint records live in their **own file** inside a sweep output
+/// directory, never inside `events.jsonl`; like the telemetry side-stream
+/// they extend the shared schema ladder without perturbing trace bytes.
+/// The stream is append-only — a header naming the scenario hash, then
+/// one record per completed grid cell — so a killed sweep can resume from
+/// exactly the cells that finished. Cell records carry only quantities
+/// that are pure functions of config and seed (accuracies, MIA scores,
+/// λ₂, message counts), never wall-clock data, so resumed and
+/// uninterrupted sweeps aggregate to byte-identical outputs.
+pub const SWEEP_SCHEMA_VERSION: u32 = 6;
+
 /// Number of buckets in the fan-in and staleness histograms.
 pub const HIST_BUCKETS: usize = 9;
 

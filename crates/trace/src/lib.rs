@@ -68,6 +68,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod derive;
 mod events;
 mod manifest;
@@ -78,6 +79,10 @@ mod recorder;
 mod telemetry;
 mod writer;
 
+pub use checkpoint::{
+    read_checkpoint, CellRecord, CellSummary, CheckpointEvent, CheckpointFile, CheckpointReadError,
+    CheckpointWriter, SweepHeaderRecord,
+};
 pub use derive::{
     EvalSummary, FaultSummary, HistogramBucket, HistogramSummary, NodeSeries, PerfSummary,
     RoundSummary, RunSummary, ThreatSummary, TopologySummary,
@@ -86,7 +91,8 @@ pub use events::{
     EvalRecord, FaultRecord, FaultRecordKind, HeaderRecord, MixingRecord, NodeEvalRecord,
     RoundRecord, TelemetryEvent, TelemetryHeaderRecord, TelemetryRoundRecord,
     TelemetryTotalsRecord, ThreatRecord, TopologyRecord, TraceEvent, FAULT_SCHEMA_VERSION,
-    HIST_BUCKETS, SCHEMA_VERSION, STALENESS_EDGES, TELEMETRY_SCHEMA_VERSION, THREAT_SCHEMA_VERSION,
+    HIST_BUCKETS, SCHEMA_VERSION, STALENESS_EDGES, SWEEP_SCHEMA_VERSION, TELEMETRY_SCHEMA_VERSION,
+    THREAT_SCHEMA_VERSION,
 };
 pub use manifest::{fnv1a, git_describe, git_describe_in, Manifest, PhaseEntry, Totals};
 pub use phase::{Phase, PhaseTimings};

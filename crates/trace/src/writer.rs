@@ -16,7 +16,7 @@ use crate::manifest::{git_describe, Manifest, Totals};
 use crate::RunTrace;
 
 /// Writes a run's trace directory (`events.jsonl` + `manifest.json`) with
-/// crash-safe finalization semantics (see the [module docs](self)).
+/// crash-safe finalization semantics (see the module docs).
 #[derive(Debug)]
 pub struct TraceWriter {
     dir: PathBuf,

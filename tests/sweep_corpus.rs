@@ -1,0 +1,135 @@
+//! Malformed-scenario corpus: every file under
+//! `tests/fixtures/scenarios/` must fail with a *typed*, line-numbered
+//! [`ScenarioError`] — never a panic, never a silently partial parse.
+//! The CLI-level contract (scenario problem → `glmia sweep` exit 1) is
+//! covered by `crates/cli/tests/cli_e2e.rs`.
+
+use std::path::PathBuf;
+
+use glmia_sweep::{Scenario, ScenarioError};
+
+fn corpus(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures/scenarios")
+        .join(name)
+}
+
+fn parse(name: &str) -> ScenarioError {
+    Scenario::from_path(&corpus(name)).unwrap_err()
+}
+
+#[test]
+fn wrongly_typed_axis_values_name_section_key_and_line() {
+    let err = parse("bad_axis_type.toml");
+    match &err {
+        ScenarioError::BadValue {
+            section, key, line, ..
+        } => {
+            assert_eq!(section, "axes");
+            assert_eq!(key, "nodes");
+            assert_eq!(*line, 11);
+        }
+        other => panic!("expected BadValue, got {other:?}"),
+    }
+    assert!(err.to_string().contains("line 11"), "{err}");
+}
+
+#[test]
+fn unknown_keys_are_rejected_with_their_line() {
+    let err = parse("unknown_key.toml");
+    assert_eq!(
+        err,
+        ScenarioError::UnknownKey {
+            section: "scenario".to_string(),
+            key: "nodez".to_string(),
+            line: 5,
+        }
+    );
+}
+
+#[test]
+fn unknown_sections_are_rejected_with_their_line() {
+    let err = parse("unknown_section.toml");
+    assert_eq!(
+        err,
+        ScenarioError::UnknownSection {
+            name: "faults".to_string(),
+            line: 8,
+        }
+    );
+    assert!(err.to_string().contains("expected scenario|"), "{err}");
+}
+
+#[test]
+fn empty_grids_are_refused_before_anything_runs() {
+    let err = parse("empty_grid.toml");
+    assert!(
+        matches!(err, ScenarioError::EmptyGrid { line: 8, .. }),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn conflicting_seed_specs_are_refused() {
+    assert_eq!(
+        parse("conflicting_seeds.toml"),
+        ScenarioError::ConflictingSeeds { line: 8 }
+    );
+}
+
+#[test]
+fn grammar_failures_surface_at_parse_time_with_the_file_line() {
+    let err = parse("bad_grammar.toml");
+    match &err {
+        ScenarioError::BadValue {
+            section,
+            key,
+            line,
+            message,
+        } => {
+            assert_eq!(section, "threat");
+            assert_eq!(key, "attacker");
+            assert_eq!(*line, 8);
+            assert!(message.contains("sideways"), "{message}");
+        }
+        other => panic!("expected BadValue, got {other:?}"),
+    }
+}
+
+#[test]
+fn toml_syntax_errors_carry_their_line() {
+    let err = parse("bad_syntax.toml");
+    match &err {
+        ScenarioError::Toml(toml) => assert_eq!(toml.line, 4),
+        other => panic!("expected Toml, got {other:?}"),
+    }
+}
+
+#[test]
+fn a_missing_name_is_a_typed_missing_error() {
+    assert_eq!(
+        parse("missing_name.toml"),
+        ScenarioError::Missing {
+            what: "`[scenario] name`".to_string(),
+        }
+    );
+}
+
+#[test]
+fn every_corpus_file_fails_with_a_typed_error() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/scenarios");
+    let mut names: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("corpus directory exists")
+        .map(|entry| entry.expect("readable entry").path())
+        .collect();
+    names.sort();
+    assert!(names.len() >= 8, "corpus has at least 8 cases");
+    for path in names {
+        let err = Scenario::from_path(&path).expect_err("corpus files must not parse");
+        assert!(
+            !err.to_string().is_empty(),
+            "{}: error renders",
+            path.display()
+        );
+    }
+}

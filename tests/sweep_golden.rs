@@ -1,0 +1,70 @@
+//! Golden-file regression test for the sweep aggregate pipeline.
+//!
+//! The committed `scenarios/smoke.toml` runs end-to-end through
+//! [`run_sweep`] and the resulting `sweep.json` / `report.md` bytes are
+//! compared against the golden copies under
+//! `tests/fixtures/golden/sweep/`. Any byte drift in grid expansion, cell
+//! execution, or the aggregate renderers fails here first, with a
+//! regeneration escape hatch (`GLMIA_UPDATE_GOLDEN=1`) for intentional
+//! changes.
+
+use std::path::PathBuf;
+
+use glmia_core::Parallelism;
+use glmia_sweep::{run_sweep, Scenario};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/golden/sweep")
+}
+
+fn smoke_outputs() -> (String, String) {
+    let scenario_path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios/smoke.toml");
+    let scenario = Scenario::from_path(&scenario_path).expect("committed smoke scenario parses");
+    let dir = std::env::temp_dir().join(format!("glmia-sweep-golden-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let outcome =
+        run_sweep(&scenario, &dir, Parallelism::Fixed(2), false).expect("smoke sweep runs");
+    assert_eq!((outcome.total, outcome.ran), (4, 4));
+    let json = std::fs::read_to_string(outcome.sweep_json).expect("sweep.json written");
+    let md = std::fs::read_to_string(outcome.report_md).expect("report.md written");
+    std::fs::remove_dir_all(&dir).ok();
+    (json, md)
+}
+
+#[test]
+fn smoke_sweep_matches_the_golden_files_byte_for_byte() {
+    let (json, md) = smoke_outputs();
+
+    // Semantic floor independent of the golden bytes.
+    let value: serde_json::Value = serde_json::from_str(&json).expect("sweep.json is valid JSON");
+    assert_eq!(value["scenario"].as_str(), Some("smoke"));
+    assert_eq!(value["cells"].as_u64(), Some(4));
+    assert_eq!(value["axes"][0].as_str(), Some("protocol"));
+    let col = &value["columns"]["final_mia_auc"];
+    assert_eq!(col.as_array().map(Vec::len), Some(4));
+    for auc in col.as_array().expect("columnar") {
+        let auc = auc.as_f64().expect("finite AUC");
+        assert!((0.0..=1.0).contains(&auc), "{auc}");
+    }
+    assert!(md.contains("# Sweep report — smoke"), "{md}");
+
+    let dir = golden_dir();
+    std::fs::create_dir_all(&dir).expect("golden dir");
+    let update = std::env::var_os("GLMIA_UPDATE_GOLDEN").is_some();
+    for (name, fresh) in [("sweep.json", &json), ("report.md", &md)] {
+        let path = dir.join(name);
+        if update || !path.exists() {
+            std::fs::write(&path, fresh).unwrap_or_else(|e| panic!("writing {name}: {e}"));
+            eprintln!("sweep_golden: wrote {} — commit it", path.display());
+            continue;
+        }
+        let golden =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {name}: {e}"));
+        assert_eq!(
+            fresh, &golden,
+            "{name} drifted from the golden copy; if the change is \
+             intentional, regenerate with GLMIA_UPDATE_GOLDEN=1 and commit"
+        );
+    }
+}

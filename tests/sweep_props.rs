@@ -1,0 +1,213 @@
+//! Property tests pinning the sweep contracts: grid expansion is a pure,
+//! duplicate-free function of scenario *content* (stable under axis
+//! declaration order), and checkpoint records survive a write/read
+//! round-trip while stale or mismatched checkpoints are rejected.
+
+use std::collections::BTreeMap;
+
+use glmia_sweep::{Scenario, SweepGrid};
+use glmia_trace::{
+    read_checkpoint, CellRecord, CellSummary, CheckpointWriter, SweepHeaderRecord,
+    SWEEP_SCHEMA_VERSION,
+};
+use proptest::prelude::*;
+
+/// Builds scenario text from axis declarations given in `order` (a list
+/// of `(key, values-literal)` pairs) so tests can permute the file layout.
+fn scenario_text(axes: &[(String, String)], seeds: &[u64]) -> String {
+    let mut text = String::from(
+        "[scenario]\nname = \"prop\"\npreset = \"quick\"\nnodes = 6\nk = 2\nrounds = 2\neval-every = 1\n\n[seeds]\nlist = [",
+    );
+    text.push_str(
+        &seeds
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    text.push_str("]\n\n[axes]\n");
+    for (key, values) in axes {
+        text.push_str(&format!("{key} = {values}\n"));
+    }
+    text
+}
+
+/// A non-empty, order-preserving subset of `pool` selected by `mask`
+/// bits, rendered as a TOML array literal.
+fn subset(pool: &[&str], mask: u32) -> String {
+    let picked: Vec<&str> = pool
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, s)| *s)
+        .collect();
+    format!("[{}]", picked.join(", "))
+}
+
+/// A strategy over small axis sets drawn from value pools the quick-test
+/// preset accepts. Each axis draws a non-empty bitmask over its pool.
+fn axes_strategy() -> impl Strategy<Value = Vec<(String, String)>> {
+    let protocol = (1u32..16).prop_map(|mask| {
+        let pool = ["\"base\"", "\"samo\"", "\"somo\"", "\"same\""];
+        ("protocol".to_string(), subset(&pool, mask))
+    });
+    let topology = (1u32..4).prop_map(|mask| {
+        (
+            "topology".to_string(),
+            subset(&["\"static\"", "\"dynamic\""], mask),
+        )
+    });
+    let rounds = (1u32..8).prop_map(|mask| ("rounds".to_string(), subset(&["1", "2", "3"], mask)));
+    (protocol, topology, rounds).prop_map(|(p, t, r)| vec![p, t, r])
+}
+
+/// The `perm`-th reordering of a three-element axis list.
+fn permute(axes: &[(String, String)], perm: usize) -> Vec<(String, String)> {
+    const ORDERS: [[usize; 3]; 6] = [
+        [0, 1, 2],
+        [0, 2, 1],
+        [1, 0, 2],
+        [1, 2, 0],
+        [2, 0, 1],
+        [2, 1, 0],
+    ];
+    ORDERS[perm % 6].iter().map(|&i| axes[i].clone()).collect()
+}
+
+fn signature(grid: &SweepGrid) -> Vec<(u64, u64)> {
+    grid.cells.iter().map(|c| (c.config_hash, c.seed)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn expansion_is_deterministic_and_duplicate_free(
+        axes in axes_strategy(),
+        seeds in proptest::collection::vec(0u64..50, 1..4),
+    ) {
+        let text = scenario_text(&axes, &seeds);
+        let a = SweepGrid::expand(&Scenario::parse(&text).unwrap()).unwrap();
+        let b = SweepGrid::expand(&Scenario::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(a.scenario_hash, b.scenario_hash);
+        prop_assert_eq!(signature(&a), signature(&b));
+        // Duplicate-free by construction: every (config, seed) pair is
+        // unique, and indices are dense.
+        let mut pairs = signature(&a);
+        pairs.sort_unstable();
+        pairs.dedup();
+        prop_assert_eq!(pairs.len(), a.cells.len());
+        for (i, cell) in a.cells.iter().enumerate() {
+            prop_assert_eq!(cell.index, i);
+        }
+    }
+
+    #[test]
+    fn axis_declaration_order_is_irrelevant(
+        (axes, perm) in (axes_strategy(), 0usize..6),
+        seeds in proptest::collection::vec(0u64..50, 1..3),
+    ) {
+        let axes = permute(&axes, perm);
+        let shuffled = scenario_text(&axes, &seeds);
+        let mut sorted_axes = axes.clone();
+        sorted_axes.sort();
+        let sorted = scenario_text(&sorted_axes, &seeds);
+        let a = SweepGrid::expand(&Scenario::parse(&shuffled).unwrap()).unwrap();
+        let b = SweepGrid::expand(&Scenario::parse(&sorted).unwrap()).unwrap();
+        prop_assert_eq!(a.scenario_hash, b.scenario_hash);
+        prop_assert_eq!(signature(&a), signature(&b));
+    }
+
+    #[test]
+    fn seed_spelling_is_canonicalized(
+        mut seeds in proptest::collection::vec(0u64..50, 1..6),
+    ) {
+        let axes = vec![("protocol".to_string(), "[\"base\"]".to_string())];
+        let given = scenario_text(&axes, &seeds);
+        seeds.sort_unstable();
+        seeds.dedup();
+        seeds.reverse();
+        let reversed = scenario_text(&axes, &seeds);
+        let a = SweepGrid::expand(&Scenario::parse(&given).unwrap()).unwrap();
+        let b = SweepGrid::expand(&Scenario::parse(&reversed).unwrap()).unwrap();
+        prop_assert_eq!(a.scenario_hash, b.scenario_hash);
+        prop_assert_eq!(signature(&a), signature(&b));
+    }
+
+    #[test]
+    fn checkpoint_records_round_trip(
+        cell in 0usize..1000,
+        seed in 0u64..u64::MAX,
+        acc in 0.0f64..1.0,
+        auc in 0.0f64..1.0,
+        sent in 0u64..u64::MAX,
+        crashes in 0u64..1_000_000,
+        cumulative in proptest::option::of(0.0f64..2.0),
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "glmia-sweep-prop-{}-{cell}-{seed}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.jsonl");
+        let header = SweepHeaderRecord {
+            schema: SWEEP_SCHEMA_VERSION,
+            scenario: "prop".to_string(),
+            scenario_hash: format!("{seed:016x}"),
+            cells: cell + 1,
+        };
+        let mut axes = BTreeMap::new();
+        axes.insert("protocol".to_string(), "samo".to_string());
+        let record = CellRecord {
+            cell,
+            config_hash: format!("{:016x}", seed ^ 0xabcd),
+            seed,
+            axes,
+            summary: CellSummary {
+                final_test_accuracy: acc,
+                final_train_accuracy: acc,
+                final_gen_error: 0.0,
+                final_mia_vulnerability: auc,
+                final_mia_auc: auc,
+                best_round: cell,
+                best_test_accuracy: acc,
+                mia_vulnerability_at_best: auc,
+                lambda2_analytic: 0.5,
+                lambda2_cumulative: cumulative,
+                messages_sent: sent,
+                messages_dropped: 0,
+                crashes,
+                observed_nodes: 4,
+                attacker: "omniscient".to_string(),
+                defense: "none".to_string(),
+                local_updates: sent,
+                evals: 2,
+            },
+        };
+        let mut writer = CheckpointWriter::create(&path, &header).unwrap();
+        writer.append(&record).unwrap();
+        drop(writer);
+        let file = read_checkpoint(&path).unwrap();
+        prop_assert_eq!(&file.header, &header);
+        prop_assert_eq!(file.cells.len(), 1);
+        prop_assert_eq!(&file.cells[0], &record);
+        prop_assert!(!file.truncated_tail);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// A checkpoint whose header names a different grid hash must be refused
+/// by the runner (exit-2 path) rather than silently reused — here pinned
+/// at the reader level plus the hash comparison the runner performs.
+#[test]
+fn stale_scenario_hashes_do_not_match() {
+    const TEXT: &str = "[scenario]\nname = \"prop\"\npreset = \"quick\"\nnodes = 6\nk = 2\nrounds = 2\neval-every = 1\n\n[seeds]\nlist = [1]\n\n[axes]\nprotocol = [\"base\", \"samo\"]\n";
+    let grid = SweepGrid::expand(&Scenario::parse(TEXT).unwrap()).unwrap();
+    let edited = TEXT.replace("[\"base\", \"samo\"]", "[\"base\"]");
+    let other = SweepGrid::expand(&Scenario::parse(&edited).unwrap()).unwrap();
+    assert_ne!(
+        grid.hash_hex(),
+        other.hash_hex(),
+        "editing the grid must change the checkpoint binding hash"
+    );
+}

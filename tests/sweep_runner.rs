@@ -1,0 +1,174 @@
+//! In-process determinism suite for the sweep runner: aggregates are
+//! byte-identical at any worker count and across any resume split, a
+//! truncated checkpoint tail heals, and corrupt or stale checkpoints are
+//! refused with the typed [`SweepError::Checkpoint`].
+
+use std::path::{Path, PathBuf};
+
+use glmia_core::Parallelism;
+use glmia_sweep::{run_sweep, Scenario, SweepError};
+
+const TEXT: &str = "[scenario]\nname = \"runner\"\npreset = \"quick\"\ndataset = \"fashion\"\nnodes = 6\nk = 2\nrounds = 2\neval-every = 1\n\n[seeds]\nlist = [1, 2]\n\n[axes]\nprotocol = [\"base\", \"samo\"]\n";
+
+fn scenario() -> Scenario {
+    Scenario::parse(TEXT).expect("runner scenario parses")
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("glmia-sweep-runner-{}-{tag}", std::process::id()))
+}
+
+fn artifacts(dir: &Path) -> (Vec<u8>, Vec<u8>) {
+    (
+        std::fs::read(dir.join("sweep.json")).expect("sweep.json written"),
+        std::fs::read(dir.join("report.md")).expect("report.md written"),
+    )
+}
+
+#[test]
+fn aggregates_are_byte_identical_across_worker_counts() {
+    let one = tmp("w1");
+    let eight = tmp("w8");
+    let a = run_sweep(&scenario(), &one, Parallelism::Fixed(1), false).unwrap();
+    let b = run_sweep(&scenario(), &eight, Parallelism::Fixed(8), false).unwrap();
+    assert_eq!(a.total, 4);
+    assert_eq!((a.ran, a.resumed), (4, 0));
+    assert_eq!((b.ran, b.resumed), (4, 0));
+    assert_eq!(
+        artifacts(&one),
+        artifacts(&eight),
+        "sweep.json/report.md must not depend on worker count"
+    );
+    std::fs::remove_dir_all(&one).ok();
+    std::fs::remove_dir_all(&eight).ok();
+}
+
+#[test]
+fn resuming_from_any_prefix_reproduces_the_uninterrupted_bytes() {
+    let full = tmp("full");
+    run_sweep(&scenario(), &full, Parallelism::Fixed(2), false).unwrap();
+    let reference = artifacts(&full);
+    let checkpoint =
+        std::fs::read_to_string(full.join("checkpoint.jsonl")).expect("checkpoint written");
+    let lines: Vec<&str> = checkpoint.lines().collect();
+    assert_eq!(lines.len(), 5, "header + 4 cells");
+
+    // Simulate a kill after each possible number of completed cells
+    // (0..=3), then resume and demand the reference bytes.
+    for completed in 0..4 {
+        let dir = tmp(&format!("prefix{completed}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut prefix: String = lines[..=completed].join("\n");
+        prefix.push('\n');
+        std::fs::write(dir.join("checkpoint.jsonl"), prefix).unwrap();
+        let outcome = run_sweep(&scenario(), &dir, Parallelism::Fixed(1), false).unwrap();
+        assert_eq!(outcome.resumed, completed, "prefix of {completed} cells");
+        assert_eq!(outcome.ran, 4 - completed);
+        assert_eq!(
+            artifacts(&dir),
+            reference,
+            "resume after {completed} cells diverged"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::fs::remove_dir_all(&full).ok();
+}
+
+#[test]
+fn truncated_checkpoint_tail_heals_on_resume() {
+    let full = tmp("trunc-src");
+    run_sweep(&scenario(), &full, Parallelism::Fixed(1), false).unwrap();
+    let reference = artifacts(&full);
+    let checkpoint =
+        std::fs::read_to_string(full.join("checkpoint.jsonl")).expect("checkpoint written");
+
+    // Chop the file mid-way through the last record, as a kill inside
+    // the final write would: the torn line is dropped, its cell reruns.
+    let torn = &checkpoint[..checkpoint.len() - 25];
+    assert!(!torn.ends_with('\n'));
+    let dir = tmp("trunc");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("checkpoint.jsonl"), torn).unwrap();
+    let outcome = run_sweep(&scenario(), &dir, Parallelism::Fixed(1), false).unwrap();
+    assert_eq!(outcome.resumed, 3, "three intact records survive");
+    assert_eq!(outcome.ran, 1, "the torn cell reruns");
+    assert_eq!(artifacts(&dir), reference);
+
+    // The healed checkpoint is complete and canonical: rerunning resumes
+    // all four cells without executing anything.
+    let again = run_sweep(&scenario(), &dir, Parallelism::Fixed(1), false).unwrap();
+    assert_eq!((again.resumed, again.ran), (4, 0));
+    assert_eq!(artifacts(&dir), reference);
+
+    std::fs::remove_dir_all(&full).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoints_from_a_different_scenario_are_refused() {
+    let full = tmp("stale-src");
+    run_sweep(&scenario(), &full, Parallelism::Fixed(1), false).unwrap();
+    let checkpoint =
+        std::fs::read_to_string(full.join("checkpoint.jsonl")).expect("checkpoint written");
+
+    // Same cell count and schema, different grid: the hash in the header
+    // no longer matches what the scenario expands to.
+    let edited = Scenario::parse(&TEXT.replace("list = [1, 2]", "list = [3, 4]")).unwrap();
+    let dir = tmp("stale");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("checkpoint.jsonl"), &checkpoint).unwrap();
+    let err = run_sweep(&edited, &dir, Parallelism::Fixed(1), false).unwrap_err();
+    match err {
+        SweepError::Checkpoint(message) => {
+            assert!(message.contains("grid hash"), "{message}");
+        }
+        other => panic!("expected Checkpoint, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&full).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_checkpoint_lines_are_refused() {
+    let full = tmp("corrupt-src");
+    run_sweep(&scenario(), &full, Parallelism::Fixed(1), false).unwrap();
+    let checkpoint =
+        std::fs::read_to_string(full.join("checkpoint.jsonl")).expect("checkpoint written");
+    let lines: Vec<&str> = checkpoint.lines().collect();
+
+    // A malformed *complete* line (newline-terminated garbage) is
+    // corruption, not a torn tail.
+    let dir = tmp("corrupt");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("checkpoint.jsonl"),
+        format!("{}\n{}\nnot json\n", lines[0], lines[1]),
+    )
+    .unwrap();
+    let err = run_sweep(&scenario(), &dir, Parallelism::Fixed(1), false).unwrap_err();
+    assert!(
+        matches!(err, SweepError::Checkpoint(_)),
+        "expected Checkpoint, got {err:?}"
+    );
+
+    // A record whose config hash does not match its grid cell is stale.
+    let swapped = lines[1].replace(
+        &lines[1][lines[1].find("\"config_hash\":\"").unwrap() + 15..][..16],
+        "0000000000000000",
+    );
+    std::fs::write(
+        dir.join("checkpoint.jsonl"),
+        format!("{}\n{swapped}\n", lines[0]),
+    )
+    .unwrap();
+    let err = run_sweep(&scenario(), &dir, Parallelism::Fixed(1), false).unwrap_err();
+    match err {
+        SweepError::Checkpoint(message) => {
+            assert!(message.contains("stale"), "{message}");
+        }
+        other => panic!("expected Checkpoint, got {other:?}"),
+    }
+
+    std::fs::remove_dir_all(&full).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
